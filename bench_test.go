@@ -1,0 +1,546 @@
+// Benchmark suite: one testing.B family per experiment table in
+// DESIGN.md (E1–E10). `go test -bench=. -benchmem` regenerates the raw
+// measurements behind EXPERIMENTS.md; `cmd/hbench` prints the same data
+// as formatted tables.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"harness2/internal/bench"
+	"harness2/internal/container"
+	"harness2/internal/core"
+	"harness2/internal/dvm"
+	"harness2/internal/events"
+	"harness2/internal/invoke"
+	"harness2/internal/jspaces"
+	"harness2/internal/kernel"
+	"harness2/internal/mpi"
+	"harness2/internal/namesvc"
+	"harness2/internal/pvm"
+	"harness2/internal/registry"
+	"harness2/internal/simnet"
+	"harness2/internal/soap"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+	"harness2/internal/xdr"
+)
+
+// --- E1: discovery amortization -------------------------------------------
+
+func e1Host(b *testing.B) *core.Framework {
+	b.Helper()
+	fw := core.NewFramework(nil)
+	node, err := fw.AddNode("bench", core.NodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.RegisterBuiltins(node.Container())
+	if _, _, err := fw.DeployAndPublish("bench", "WSTime", "clock"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(fw.Close)
+	return fw
+}
+
+func BenchmarkE1_DiscoverAndBind(b *testing.B) {
+	fw := e1Host(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		defs, err := fw.Discover("WSTime")
+		if err != nil || len(defs) == 0 {
+			b.Fatal(err)
+		}
+		p, err := fw.DialRemote(defs[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p.Close()
+	}
+}
+
+func BenchmarkE1_WarmInvoke(b *testing.B) {
+	fw := e1Host(b)
+	defs, _ := fw.Discover("WSTime")
+	p, err := fw.DialRemote(defs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke(ctx, "getTime", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: array encodings ---------------------------------------------------
+
+func benchEncode(b *testing.B, enc func(data []float64) int) {
+	data := bench.RandDoubles(10000, 1)
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := enc(data); n == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func BenchmarkE2_EncodeXDR(b *testing.B) {
+	e := xdr.NewEncoder(90000)
+	benchEncode(b, func(data []float64) int {
+		e.Reset()
+		if err := xdr.EncodeValue(e, data); err != nil {
+			b.Fatal(err)
+		}
+		return e.Len()
+	})
+}
+
+func soapEncodeBench(b *testing.B, arrays soap.ArrayEncoding) {
+	codec := soap.Codec{Arrays: arrays}
+	benchEncode(b, func(data []float64) int {
+		buf, err := codec.EncodeCall(&soap.Call{Method: "m",
+			Params: []soap.Param{{Name: "a", Value: data}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(buf)
+	})
+}
+
+func BenchmarkE2_EncodeSOAPBase64(b *testing.B)      { soapEncodeBench(b, soap.EncodeBase64) }
+func BenchmarkE2_EncodeSOAPHex(b *testing.B)         { soapEncodeBench(b, soap.EncodeHex) }
+func BenchmarkE2_EncodeSOAPElementwise(b *testing.B) { soapEncodeBench(b, soap.EncodeElementwise) }
+
+func BenchmarkE2_DecodeXDR(b *testing.B) {
+	data := bench.RandDoubles(10000, 1)
+	e := xdr.NewEncoder(90000)
+	if err := xdr.EncodeValue(e, data); err != nil {
+		b.Fatal(err)
+	}
+	buf := e.Bytes()
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xdr.DecodeValue(xdr.NewDecoder(buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2_DecodeSOAPBase64(b *testing.B) {
+	data := bench.RandDoubles(10000, 1)
+	codec := soap.Codec{}
+	buf, err := codec.EncodeCall(&soap.Call{Method: "m",
+		Params: []soap.Param{{Name: "a", Value: data}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.DecodeCall(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: binding latency ---------------------------------------------------
+
+func e3Port(b *testing.B, kind wsdl.BindingKind) invoke.Port {
+	b.Helper()
+	fw := core.NewFramework(nil)
+	node, err := fw.AddNode("bench", core.NodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.RegisterBuiltins(node.Container())
+	if _, _, err := fw.DeployAndPublish("bench", "MatMul", "mm"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(fw.Close)
+	switch kind {
+	case wsdl.BindJavaObject:
+		return &invoke.LocalPort{Container: node.Container(), Instance: "mm"}
+	case wsdl.BindXDR:
+		p := invoke.NewXDRPort(node.XDRAddr(), "mm", false)
+		b.Cleanup(func() { _ = p.Close() })
+		return p
+	default:
+		return &invoke.SOAPPort{URL: node.SOAPBase() + "/mm"}
+	}
+}
+
+func benchMatMulVia(b *testing.B, kind wsdl.BindingKind) {
+	const n = 64
+	p := e3Port(b, kind)
+	a := bench.RandDoubles(n*n, 1)
+	bb := bench.RandDoubles(n*n, 2)
+	args := wire.Args("mata", a, "matb", bb, "n", int32(n))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke(ctx, "getResult", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_MatMul64_Local(b *testing.B) { benchMatMulVia(b, wsdl.BindJavaObject) }
+func BenchmarkE3_MatMul64_XDR(b *testing.B)   { benchMatMulVia(b, wsdl.BindXDR) }
+func BenchmarkE3_MatMul64_SOAP(b *testing.B)  { benchMatMulVia(b, wsdl.BindSOAP) }
+
+// --- E4: deployment --------------------------------------------------------
+
+func BenchmarkE4_DeployLightweight(b *testing.B) {
+	c := container.New(container.Config{Name: "bench"})
+	core.RegisterBuiltins(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Deploy("WSTime", fmt.Sprintf("w%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4_DeployAndFirstRequest(b *testing.B) {
+	c := container.New(container.Config{Name: "bench"})
+	core.RegisterBuiltins(c)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("w%d", i)
+		if _, _, err := c.Deploy("WSTime", id); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Invoke(ctx, id, "getTime", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: coherency ---------------------------------------------------------
+
+func coherencyDomain(b *testing.B, mk func(*simnet.Network) dvm.Coherency, n int) dvm.Coherency {
+	b.Helper()
+	net := simnet.New(simnet.LAN)
+	coh := mk(net)
+	for i := 0; i < n; i++ {
+		if _, err := coh.AddNode(fmt.Sprintf("n%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Seed one service per node so queries return work.
+	for i := 0; i < n; i++ {
+		node := fmt.Sprintf("n%d", i)
+		if _, err := coh.Apply(node, dvm.Event{Kind: dvm.ServiceAdd, Node: node,
+			Entry: dvm.ServiceEntry{Node: node, Instance: "s", Class: "Echo", Service: "Echo"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return coh
+}
+
+func benchCoherencyUpdate(b *testing.B, mk func(*simnet.Network) dvm.Coherency) {
+	coh := coherencyDomain(b, mk, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := dvm.Event{Kind: dvm.ServiceAdd, Node: "n0",
+			Entry: dvm.ServiceEntry{Node: "n0", Instance: fmt.Sprintf("i%d", i), Class: "Echo", Service: "Echo"}}
+		if _, err := coh.Apply("n0", ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCoherencyQuery(b *testing.B, mk func(*simnet.Network) dvm.Coherency) {
+	coh := coherencyDomain(b, mk, 16)
+	q := dvm.Query{Service: "Echo"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coh.Query("n1", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5_FullSyncUpdate(b *testing.B) {
+	benchCoherencyUpdate(b, func(n *simnet.Network) dvm.Coherency { return dvm.NewFullSync(n) })
+}
+func BenchmarkE5_FullSyncQuery(b *testing.B) {
+	benchCoherencyQuery(b, func(n *simnet.Network) dvm.Coherency { return dvm.NewFullSync(n) })
+}
+func BenchmarkE5_DecentralizedUpdate(b *testing.B) {
+	benchCoherencyUpdate(b, func(n *simnet.Network) dvm.Coherency { return dvm.NewDecentralized(n) })
+}
+func BenchmarkE5_DecentralizedQuery(b *testing.B) {
+	benchCoherencyQuery(b, func(n *simnet.Network) dvm.Coherency { return dvm.NewDecentralized(n) })
+}
+func BenchmarkE5_HybridUpdate(b *testing.B) {
+	benchCoherencyUpdate(b, func(n *simnet.Network) dvm.Coherency { return dvm.NewHybrid(n, 4) })
+}
+func BenchmarkE5_HybridQuery(b *testing.B) {
+	benchCoherencyQuery(b, func(n *simnet.Network) dvm.Coherency { return dvm.NewHybrid(n, 4) })
+}
+
+// --- E6: lookup architectures ----------------------------------------------
+
+func BenchmarkE6_CentralizedLookupRTT(b *testing.B) {
+	net := simnet.New(simnet.LAN)
+	net.AddNode("registry")
+	net.AddNode("client")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.RTT("client", "registry", 128, 1500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_DecentralizedLookup32(b *testing.B) {
+	coh := coherencyDomain(b, func(n *simnet.Network) dvm.Coherency { return dvm.NewDecentralized(n) }, 32)
+	q := dvm.Query{Service: "Echo"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coh.Query("n0", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: PVM emulation -----------------------------------------------------
+
+func benchPVMPingPong(b *testing.B, payloadDoubles int) {
+	router := pvm.NewRouter(nil)
+	daemons := make([]*pvm.Daemon, 2)
+	for i := range daemons {
+		name := fmt.Sprintf("bh%d-%d", i, payloadDoubles)
+		k := kernel.New(name, container.Config{})
+		k.RegisterPlugin(events.PluginClass, events.Factory())
+		k.RegisterPlugin(namesvc.PluginClass, namesvc.Factory())
+		k.RegisterPlugin(pvm.PluginClass, pvm.Factory(name, router),
+			events.PluginClass, namesvc.PluginClass)
+		if err := k.Load(pvm.PluginClass); err != nil {
+			b.Fatal(err)
+		}
+		comp, _ := k.Plugin(pvm.PluginClass)
+		daemons[i] = comp.(*pvm.Daemon)
+	}
+	payload := bench.RandDoubles(payloadDoubles, 3)
+	daemons[0].RegisterTaskFunc("echo", func(ctx context.Context, self *pvm.Task, args []string) error {
+		for {
+			m, err := self.Recv(pvm.AnySrc, pvm.AnyTag)
+			if err != nil {
+				return nil
+			}
+			if m.Tag == 0 {
+				return nil
+			}
+			if err := self.Send(m.Src, m.Tag, m.Body); err != nil {
+				return err
+			}
+		}
+	})
+	echo, err := daemons[0].Spawn("echo", nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	daemons[1].RegisterTaskFunc("driver", func(ctx context.Context, self *pvm.Task, args []string) error {
+		body := []wire.Arg{pvm.PkDoubleArray("d", payload)}
+		for i := 0; i < b.N; i++ {
+			if err := self.Send(echo[0], 1, body); err != nil {
+				done <- err
+				return err
+			}
+			if _, err := self.Recv(echo[0], 1); err != nil {
+				done <- err
+				return err
+			}
+		}
+		done <- self.Send(echo[0], 0, nil)
+		return nil
+	})
+	b.SetBytes(int64(16 * payloadDoubles))
+	b.ResetTimer()
+	if _, err := daemons[1].Spawn("driver", nil, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkE7_PVMPingPongEmpty(b *testing.B) { benchPVMPingPong(b, 0) }
+func BenchmarkE7_PVMPingPong32KiB(b *testing.B) { benchPVMPingPong(b, 4096) }
+
+// --- E8: registry find -----------------------------------------------------
+
+func e8Registry(b *testing.B, size int) *registry.Registry {
+	b.Helper()
+	reg := registry.New()
+	for i := 0; i < size; i++ {
+		name := fmt.Sprintf("Svc%d", i)
+		defs, err := wsdl.Generate(wsdl.ServiceSpec{
+			Name: name,
+			Operations: []wsdl.OpSpec{{Name: "run",
+				Input:  []wsdl.ParamSpec{{Name: "x", Type: wire.KindFloat64Array}},
+				Output: []wsdl.ParamSpec{{Name: "y", Type: wire.KindFloat64Array}}}},
+		}, wsdl.EndpointSet{SOAPAddress: "http://h/" + name})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Publish(registry.Entry{Name: name, WSDL: defs.String()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func BenchmarkE8_FindByName1000(b *testing.B) {
+	reg := e8Registry(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := reg.FindByName("Svc500"); len(got) != 1 {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkE8_FindByQuery1000(b *testing.B) {
+	reg := e8Registry(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := reg.FindByQuery("//service[@name='Svc500Service']")
+		if err != nil || len(got) != 1 {
+			b.Fatalf("miss: %v", err)
+		}
+	}
+}
+
+// --- E9: locality ----------------------------------------------------------
+
+func benchLinSolveVia(b *testing.B, kind wsdl.BindingKind) {
+	const n = 96
+	fw := core.NewFramework(nil)
+	node, err := fw.AddNode("bench", core.NodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.RegisterBuiltins(node.Container())
+	if _, _, err := fw.DeployAndPublish("bench", "LinSolve", "lapack"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(fw.Close)
+	var p invoke.Port
+	switch kind {
+	case wsdl.BindJavaObject:
+		p = &invoke.LocalPort{Container: node.Container(), Instance: "lapack"}
+	case wsdl.BindXDR:
+		xp := invoke.NewXDRPort(node.XDRAddr(), "lapack", false)
+		b.Cleanup(func() { _ = xp.Close() })
+		p = xp
+	default:
+		p = &invoke.SOAPPort{URL: node.SOAPBase() + "/lapack"}
+	}
+	a := bench.RandMatrix(n, 1)
+	rhs := bench.RandDoubles(n, 2)
+	args := wire.Args("a", a, "b", rhs, "n", int32(n))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke(ctx, "solve", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9_LinSolve96_Local(b *testing.B) { benchLinSolveVia(b, wsdl.BindJavaObject) }
+func BenchmarkE9_LinSolve96_XDR(b *testing.B)   { benchLinSolveVia(b, wsdl.BindXDR) }
+func BenchmarkE9_LinSolve96_SOAP(b *testing.B)  { benchLinSolveVia(b, wsdl.BindSOAP) }
+
+// --- Plugin environments (MPI / JavaSpaces) ---------------------------------
+
+func BenchmarkMPI_AllReduce8(b *testing.B) {
+	router := pvm.NewRouter(nil)
+	daemons := make([]*pvm.Daemon, 2)
+	for i := range daemons {
+		name := fmt.Sprintf("mb%d", i)
+		k := kernel.New(name, container.Config{})
+		k.RegisterPlugin(events.PluginClass, events.Factory())
+		k.RegisterPlugin(namesvc.PluginClass, namesvc.Factory())
+		k.RegisterPlugin(pvm.PluginClass, pvm.Factory(name, router),
+			events.PluginClass, namesvc.PluginClass)
+		if err := k.Load(pvm.PluginClass); err != nil {
+			b.Fatal(err)
+		}
+		comp, _ := k.Plugin(pvm.PluginClass)
+		daemons[i] = comp.(*pvm.Daemon)
+	}
+	world, err := mpi.NewWorld(router, daemons)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = world.Run(8, func(ctx context.Context, c *mpi.Comm) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.AllReduce(mpi.OpSum, float64(c.Rank())); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkJSpaces_WriteTake(b *testing.B) {
+	s := jspaces.New()
+	entry := wire.NewStruct("Task").Set("name", "bench").Set("seq", int32(1))
+	tmpl := wire.NewStruct("Task")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Write(entry, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := s.TakeIfExists(tmpl); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkE4_RemoteDeployViaManager(b *testing.B) {
+	// The manager component makes instantiation a remote SOAP operation:
+	// this measures the full automated-deployment round trip the paper's
+	// design enables (contrast with the in-process E4 numbers).
+	node, err := core.NewNode("mgr-bench", core.NodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = node.Close() })
+	core.RegisterBuiltins(node.Container())
+	node.Container().RegisterFactory(container.ManagerClass, container.ManagerFactory())
+	if _, _, err := node.Container().Deploy(container.ManagerClass, "manager"); err != nil {
+		b.Fatal(err)
+	}
+	p := &invoke.SOAPPort{URL: node.SOAPBase() + "/manager"}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke(ctx, "deploy",
+			wire.Args("class", "WSTime", "id", fmt.Sprintf("w%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command hbench regenerates the HARNESS II experiment tables (E1–E10 in
+// DESIGN.md): every figure-scenario and quantified design claim of the
+// paper, printed as aligned text tables.
+//
+// Usage:
+//
+//	hbench                  # run every experiment with quick parameters
+//	hbench -exp E2,E5       # selected experiments
+//	hbench -full            # report-quality sweeps (slower)
+//	hbench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harness2/internal/bench"
+)
+
+func main() {
+	var (
+		exps = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		full = flag.Bool("full", false, "run the full (report-quality) parameter sweeps")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := bench.IDs()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+	p := bench.Params{Full: *full}
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		table, err := bench.Run(id, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		table.Fprint(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

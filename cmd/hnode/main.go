@@ -1,0 +1,89 @@
+// Command hnode runs one HARNESS II host: a component container with live
+// SOAP/HTTP and XDR endpoints, the built-in component classes installed,
+// and (optionally) instances deployed and published into a registry.
+//
+// Usage:
+//
+//	hnode -name n1 -deploy MatMul,WSTime -registry http://127.0.0.1:8900/
+//
+// The node prints each deployed instance's WSDL endpoints, then serves
+// until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"harness2/internal/container"
+	"harness2/internal/core"
+	"harness2/internal/registry"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "node1", "node (container) name")
+		addr     = flag.String("addr", "127.0.0.1:0", "SOAP listen address")
+		deploy   = flag.String("deploy", "MatMul,WSTime,LinSolve", "comma-separated component classes to deploy")
+		regURL   = flag.String("registry", "", "SOAP registry endpoint (empty = private node)")
+		manage   = flag.Bool("manage", true, "deploy the remote-management component")
+		printDoc = flag.Bool("wsdl", false, "print each instance's WSDL document")
+	)
+	flag.Parse()
+
+	node, err := core.NewNode(*name, core.NodeOptions{Addr: *addr})
+	if err != nil {
+		log.Fatalf("hnode: %v", err)
+	}
+	defer node.Close()
+	core.RegisterBuiltins(node.Container())
+	if *manage {
+		node.Container().RegisterFactory(container.ManagerClass, container.ManagerFactory())
+		if _, _, err := node.Container().Deploy(container.ManagerClass, "manager"); err != nil {
+			log.Fatalf("hnode: manager: %v", err)
+		}
+		fmt.Printf("hnode: remote management at %s/manager\n", node.SOAPBase())
+	}
+
+	var lookup registry.Lookup
+	if *regURL != "" {
+		lookup = registry.NewRemote(*regURL)
+	}
+
+	fmt.Printf("hnode: %s soap=%s xdr=%s\n", node.Name(), node.SOAPBase(), node.XDRAddr())
+	for _, class := range strings.Split(*deploy, ",") {
+		class = strings.TrimSpace(class)
+		if class == "" {
+			continue
+		}
+		inst, _, err := node.Container().Deploy(class, "")
+		if err != nil {
+			log.Fatalf("hnode: deploy %s: %v", class, err)
+		}
+		defs, err := node.Container().WSDLFor(inst.ID)
+		if err != nil {
+			log.Fatalf("hnode: wsdl %s: %v", inst.ID, err)
+		}
+		if lookup != nil {
+			key, err := node.Container().Expose(inst.ID, lookup)
+			if err != nil {
+				log.Fatalf("hnode: publish %s: %v", inst.ID, err)
+			}
+			fmt.Printf("hnode: deployed %s published as %s\n", inst.ID, key)
+		} else {
+			fmt.Printf("hnode: deployed %s (private)\n", inst.ID)
+		}
+		if *printDoc {
+			fmt.Println(defs.String())
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("hnode: shutting down")
+}

@@ -1,0 +1,41 @@
+// Command hregistry runs a standalone HARNESS II lookup service: a
+// UDDI-style registry exposed as a SOAP web service. Nodes publish their
+// component WSDL here; any SOAP-aware client can discover them.
+//
+// Usage:
+//
+//	hregistry -addr 127.0.0.1:8900
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"harness2/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8900", "listen address")
+	flag.Parse()
+
+	reg := registry.New()
+	for _, tm := range registry.WellKnownTModels() {
+		if err := reg.PublishTModel(tm); err != nil {
+			log.Fatalf("hregistry: %v", err)
+		}
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hregistry: %v", err)
+	}
+	fmt.Printf("hregistry: serving SOAP registry at http://%s/\n", ln.Addr())
+	srv := &http.Server{
+		Handler:           registry.NewServer(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.Serve(ln))
+}

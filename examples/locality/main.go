@@ -1,0 +1,120 @@
+// Locality: the Section 6 LAPACK scenario.
+//
+// "A user's application is composed of two main components: the
+// application logic and the computational library (e.g. LAPACK)." The
+// example deploys the LinSolve component (the optimized-library stand-in)
+// on a node, then runs the same batch of solves from three placements of
+// the application logic:
+//
+//  1. on the user's home node, calling the library remotely over SOAP;
+//  2. on a well-connected node, using the XDR socket binding;
+//  3. uploaded into the library's own container, using the local
+//     JavaObject binding.
+//
+// Each step down the list is the migration the paper describes, and each
+// should cut the per-job time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"harness2"
+)
+
+const (
+	n    = 200
+	jobs = 10
+)
+
+func main() {
+	fw := harness.NewFramework(nil)
+	defer fw.Close()
+	node, err := fw.AddNode("library-node", harness.NodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	harness.RegisterBuiltins(node.Container())
+	if _, _, err := fw.DeployAndPublish("library-node", "LinSolve", "lapack"); err != nil {
+		log.Fatal(err)
+	}
+	defsList, err := fw.Discover("LinSolve")
+	if err != nil || len(defsList) == 0 {
+		log.Fatalf("discover: %v", err)
+	}
+	defs := defsList[0]
+
+	r := rand.New(rand.NewSource(42))
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = r.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a[i*n+i] += n + 1 // well-conditioned
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	args := harness.Args("a", a, "b", b, "n", int32(n))
+	ctx := context.Background()
+
+	type placement struct {
+		label  string
+		forbid []harness.BindingKind
+		local  []*harness.Container
+	}
+	placements := []placement{
+		{"home node, SOAP to remote library", []harness.BindingKind{harness.BindXDR, harness.BindJavaObject}, nil},
+		{"nearby node, XDR socket to library", []harness.BindingKind{harness.BindJavaObject}, nil},
+		{"inside the library container, local binding", nil, []*harness.Container{node.Container()}},
+	}
+	var prev time.Duration
+	for _, pl := range placements {
+		p, err := harness.Dial(defs, harness.DialOptions{Forbid: pl.forbid, LocalContainers: pl.local})
+		if err != nil {
+			log.Fatalf("%s: %v", pl.label, err)
+		}
+		start := time.Now()
+		for j := 0; j < jobs; j++ {
+			out, err := p.Invoke(ctx, "solve", args)
+			if err != nil {
+				log.Fatalf("%s: %v", pl.label, err)
+			}
+			if j == 0 {
+				x, _ := harness.GetArg(out, "x")
+				checkResidual(a, b, x.([]float64))
+			}
+		}
+		total := time.Since(start)
+		_ = p.Close()
+		speedup := ""
+		if prev > 0 {
+			speedup = fmt.Sprintf("  (%.2fx faster than previous placement)", float64(prev)/float64(total))
+		}
+		fmt.Printf("%-45s binding=%-5v %2d jobs in %8v%s\n", pl.label, p.Kind(), jobs, total, speedup)
+		prev = total
+	}
+}
+
+func checkResidual(a, b, x []float64) {
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += a[i*n+j] * x[j]
+		}
+		if d := sum - b[i]; d > worst || -d > worst {
+			if d < 0 {
+				d = -d
+			}
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		log.Fatalf("solution residual too large: %g", worst)
+	}
+}

@@ -1,0 +1,128 @@
+// Migration: mobile components and failure recovery in a DVM.
+//
+// The paper's metacomputing model allows that "mobile components may even
+// move from one host to another during run time". This example builds a
+// three-node DVM under full-synchrony coherency, deploys a stateful
+// accumulator, feeds it work, migrates it live between nodes (state
+// intact, unified namespace updated), then kills a node and lets the
+// heartbeat failure detector evict it — showing the dead node's services
+// vanishing from every surviving member's view.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"harness2"
+)
+
+func accumulatorFactory() harness.Factory {
+	return harness.FuncFactory(func() *harness.FuncComponent {
+		var mu sync.Mutex
+		var sum float64
+		f := &harness.FuncComponent{
+			Spec: harness.ServiceSpec{Name: "Accumulator", Operations: []harness.OpSpec{
+				{Name: "add",
+					Input:  []harness.ParamSpec{{Name: "x", Type: harness.KindFloat64}},
+					Output: []harness.ParamSpec{{Name: "sum", Type: harness.KindFloat64}}},
+			}},
+		}
+		f.Handlers = map[string]harness.OpFunc{
+			"add": func(ctx context.Context, args []harness.Arg) ([]harness.Arg, error) {
+				xv, _ := harness.GetArg(args, "x")
+				mu.Lock()
+				defer mu.Unlock()
+				sum += xv.(float64)
+				return harness.Args("sum", sum), nil
+			},
+		}
+		f.OnSnapshot = func() ([]harness.StateField, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return []harness.StateField{{Name: "sum", Value: sum}}, nil
+		}
+		f.OnRestore = func(state []harness.StateField) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, s := range state {
+				if s.Name == "sum" {
+					sum = s.Value.(float64)
+					return nil
+				}
+			}
+			return fmt.Errorf("state missing sum")
+		}
+		return f
+	})
+}
+
+func main() {
+	net := harness.NewSimNetwork(harness.LAN)
+	d := harness.NewDVM("mobility-demo", harness.NewFullSync(net))
+	nodes := []string{"alpha", "beta", "gamma"}
+	for _, name := range nodes {
+		c := harness.NewContainer(harness.ContainerConfig{Name: name})
+		c.RegisterFactory("Accumulator", accumulatorFactory())
+		if err := d.AddNode(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if _, err := d.Deploy("alpha", "Accumulator", "acc"); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	feed := func(x float64) float64 {
+		out, err := d.Invoke(ctx, "gamma", harness.DVMQuery{Service: "Accumulator"}, "add",
+			harness.Args("x", x))
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, _ := harness.GetArg(out, "sum")
+		return v.(float64)
+	}
+
+	feed(1)
+	feed(2)
+	fmt.Printf("deployed on alpha; sum after feeding 1+2+3 = %v\n", feed(3))
+	where(d, "before migration")
+
+	if err := d.Migrate("alpha", "acc", "beta"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated alpha→beta; sum after feeding 4 = %v (state survived)\n", feed(4))
+	where(d, "after migration")
+
+	// beta dies: partition it from everyone, then let the detector evict.
+	for _, n := range nodes {
+		if n != "beta" {
+			net.Partition(n, "beta", true)
+		}
+	}
+	det := harness.NewFailureDetector(d, 3)
+	evicted, err := d.EvictFailed("alpha", det)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure detector evicted: %v\n", evicted)
+	where(d, "after eviction")
+
+	entries, err := d.Lookup("alpha", harness.DVMQuery{Service: "Accumulator"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surviving Accumulator entries: %d (the component died with beta —\n", len(entries))
+	fmt.Println("a production system would re-deploy from its last snapshot)")
+}
+
+func where(d *harness.DVM, label string) {
+	entries, err := d.Lookup("gamma", harness.DVMQuery{Service: "Accumulator"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("  [%s] %s lives on %s\n", label, e.Instance, e.Node)
+	}
+}

@@ -1,0 +1,3 @@
+module harness2
+
+go 1.22

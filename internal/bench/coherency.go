@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harness2/internal/dvm"
+	"harness2/internal/simnet"
+)
+
+// Mix is an update:query workload ratio.
+type Mix struct {
+	Label       string
+	UpdateShare float64 // fraction of operations that are state changes
+}
+
+// DefaultMixes covers the regimes the paper argues about: update-heavy
+// (volatile components), balanced, and query-heavy (stable long-running
+// DVMs).
+func DefaultMixes() []Mix {
+	return []Mix{
+		{"90%upd", 0.9},
+		{"50%upd", 0.5},
+		{"10%upd", 0.1},
+	}
+}
+
+// E5Coherency sweeps DVM size and workload mix over the three coherency
+// strategies of §6, reporting traffic and modelled latency per operation.
+// The expected shape: full synchrony wins when queries dominate,
+// decentralisation wins when updates dominate and the DVM is large,
+// hybrid sits between — exactly the trade-off the paper describes.
+func E5Coherency(nodeCounts []int, mixes []Mix, opsPerRun int) *Table {
+	t := &Table{
+		ID:    "E5",
+		Title: "DVM state coherency: traffic and latency per operation (LAN fabric)",
+		Note:  "paper §6: full synchrony vs decentralisation vs hybrid neighbourhoods",
+		Columns: []string{"nodes", "mix", "strategy", "msgs/op", "KB/op",
+			"mean latency/op"},
+	}
+	for _, n := range nodeCounts {
+		for _, mix := range mixes {
+			for _, mk := range []func(*simnet.Network) dvm.Coherency{
+				func(net *simnet.Network) dvm.Coherency { return dvm.NewFullSync(net) },
+				func(net *simnet.Network) dvm.Coherency { return dvm.NewDecentralized(net) },
+				func(net *simnet.Network) dvm.Coherency { return dvm.NewHybrid(net, 4) },
+			} {
+				net := simnet.New(simnet.LAN)
+				coh := mk(net)
+				msgs, bytes, lat := runCoherencyWorkload(coh, net, n, mix.UpdateShare, opsPerRun)
+				t.AddRow(FmtInt(n), mix.Label, coh.Name(),
+					FmtFloat(float64(msgs)/float64(opsPerRun)),
+					FmtFloat(float64(bytes)/float64(opsPerRun)/1024),
+					FmtDur(lat/time.Duration(opsPerRun)))
+			}
+		}
+	}
+	return t
+}
+
+// runCoherencyWorkload drives ops operations (updateShare of them state
+// changes) against a fresh coherency domain of n nodes and returns the
+// fabric traffic and summed modelled latency.
+func runCoherencyWorkload(coh dvm.Coherency, net *simnet.Network, n int, updateShare float64, ops int) (int, int64, time.Duration) {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%d", i)
+		if _, err := coh.AddNode(nodes[i]); err != nil {
+			panic(err)
+		}
+	}
+	// Seed some services so queries have answers.
+	for i := range nodes {
+		_, _ = coh.Apply(nodes[i], dvm.Event{Kind: dvm.ServiceAdd, Node: nodes[i],
+			Entry: seedEntry(nodes[i], 0)})
+	}
+	net.ResetStats()
+	r := rand.New(rand.NewSource(7))
+	var lat time.Duration
+	seq := 1
+	for op := 0; op < ops; op++ {
+		node := nodes[r.Intn(n)]
+		if r.Float64() < updateShare {
+			d, err := coh.Apply(node, dvm.Event{Kind: dvm.ServiceAdd, Node: node,
+				Entry: seedEntry(node, seq)})
+			if err != nil {
+				panic(err)
+			}
+			seq++
+			lat += d
+		} else {
+			_, d, err := coh.Query(node, dvm.Query{Service: "Echo"})
+			if err != nil {
+				panic(err)
+			}
+			lat += d
+		}
+	}
+	st := net.Stats()
+	return st.Messages, st.Bytes, lat
+}
+
+func seedEntry(node string, seq int) dvm.ServiceEntry {
+	return dvm.ServiceEntry{
+		Node:     node,
+		Instance: fmt.Sprintf("svc-%d", seq),
+		Class:    "Echo",
+		Service:  "Echo",
+		// A realistic WSDL document is ~1.5 KiB; model that footprint.
+		WSDL: string(make([]byte, 1500)),
+	}
+}
+
+// E6Lookup compares the discovery-architecture spectrum of §5: a
+// centralized registry, a fully decentralized scheme ("registration ...
+// fully localized ... discovery ... active lookup that can be expensive"),
+// and the intermediate neighbourhood scheme.
+func E6Lookup(nodeCounts []int) *Table {
+	t := &Table{
+		ID:    "E6",
+		Title: "Lookup architectures: registration vs discovery cost (LAN fabric)",
+		Note:  "paper §5 discovery spectrum; per-operation messages and modelled latency",
+		Columns: []string{"nodes", "architecture", "reg msgs", "reg latency",
+			"disc msgs", "disc latency"},
+	}
+	const entryBytes = 1500
+	for _, n := range nodeCounts {
+		// Centralized: a star around a registry node; both phases are one
+		// round trip.
+		{
+			net := simnet.New(simnet.LAN)
+			net.AddNode("registry")
+			for i := 0; i < n; i++ {
+				net.AddNode(fmt.Sprintf("n%d", i))
+			}
+			regLat, _ := net.RTT("n0", "registry", entryBytes, 64)
+			regStats := net.Stats()
+			net.ResetStats()
+			discLat, _ := net.RTT("n1", "registry", 128, entryBytes)
+			discStats := net.Stats()
+			t.AddRow(FmtInt(n), "centralized", FmtInt(regStats.Messages), FmtDur(regLat),
+				FmtInt(discStats.Messages), FmtDur(discLat))
+		}
+		// Decentralized and hybrid reuse the DVM coherency machinery with
+		// a one-service workload: registration is Apply, discovery Query.
+		for _, mk := range []func(*simnet.Network) dvm.Coherency{
+			func(net *simnet.Network) dvm.Coherency { return dvm.NewDecentralized(net) },
+			func(net *simnet.Network) dvm.Coherency { return dvm.NewHybrid(net, 4) },
+		} {
+			net := simnet.New(simnet.LAN)
+			coh := mk(net)
+			for i := 0; i < n; i++ {
+				_, _ = coh.AddNode(fmt.Sprintf("n%d", i))
+			}
+			net.ResetStats()
+			regLat, err := coh.Apply("n0", dvm.Event{Kind: dvm.ServiceAdd, Node: "n0",
+				Entry: seedEntry("n0", 1)})
+			if err != nil {
+				panic(err)
+			}
+			regStats := net.Stats()
+			net.ResetStats()
+			_, discLat, err := coh.Query(fmt.Sprintf("n%d", n-1), dvm.Query{Service: "Echo"})
+			if err != nil {
+				panic(err)
+			}
+			discStats := net.Stats()
+			t.AddRow(FmtInt(n), coh.Name(), FmtInt(regStats.Messages), FmtDur(regLat),
+				FmtInt(discStats.Messages), FmtDur(discLat))
+		}
+	}
+	return t
+}
+
+// E5bHybridK is the DESIGN.md ablation of the hybrid strategy's
+// neighbourhood size: k=1 degenerates to full decentralisation (every
+// node its own neighbourhood), k=N to full synchrony; the sweep shows the
+// update/query cost trade moving between those poles.
+func E5bHybridK(n int, ks []int, opsPerRun int) *Table {
+	t := &Table{
+		ID:    "E5b",
+		Title: fmt.Sprintf("Hybrid coherency ablation: neighbourhood size k (%d nodes, 50%% updates)", n),
+		Note:  "k=1 ≈ decentralized, k=N ≈ full synchrony",
+		Columns: []string{"k", "strategy", "msgs/op", "KB/op",
+			"mean latency/op"},
+	}
+	for _, k := range ks {
+		net := simnet.New(simnet.LAN)
+		coh := dvm.NewHybrid(net, k)
+		msgs, bytes, lat := runCoherencyWorkload(coh, net, n, 0.5, opsPerRun)
+		t.AddRow(FmtInt(k), coh.Name(),
+			FmtFloat(float64(msgs)/float64(opsPerRun)),
+			FmtFloat(float64(bytes)/float64(opsPerRun)/1024),
+			FmtDur(lat/time.Duration(opsPerRun)))
+	}
+	return t
+}

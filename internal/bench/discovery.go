@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	"harness2/internal/core"
+	"harness2/internal/registry"
+)
+
+// E10Discovery measures the two concrete discovery paths over real HTTP:
+// a central SOAP registry (publish once, find by name) versus per-node
+// WS-Inspection documents (fetch inspection + referenced WSDL). The
+// centralized path answers one small query; the WSIL path costs one fetch
+// per referenced document but needs no registry infrastructure — the
+// trade the paper's §5 lookup spectrum describes, here with wall-clock
+// numbers instead of fabric models (compare E6).
+func E10Discovery(serviceCounts []int) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Discovery paths over real HTTP: central registry vs WSIL inspection",
+		Note:    "registry find returns one match; WSIL walk fetches every referenced WSDL",
+		Columns: []string{"services/node", "path", "per discovery", "docs fetched"},
+	}
+	for _, count := range serviceCounts {
+		// One node hosting `count` services.
+		fw := core.NewFramework(nil)
+		node, err := fw.AddNode("disc-node", core.NodeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		core.RegisterBuiltins(node.Container())
+		reg := registry.New()
+		regSrv := httptest.NewServer(registry.NewServer(reg))
+		remote := registry.NewRemote(regSrv.URL)
+		for i := 0; i < count; i++ {
+			inst, _, err := node.Container().Deploy("WSTime", fmt.Sprintf("svc%d", i))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := node.Container().Expose(inst.ID, remote); err != nil {
+				return nil, err
+			}
+		}
+		target := "WSTime"
+
+		reps := 50
+		regPer := timeIt(reps, func() {
+			if got := remote.FindByName(target); len(got) != count {
+				panic(fmt.Sprintf("registry find = %d", len(got)))
+			}
+		})
+		t.AddRow(FmtInt(count), "registry (SOAP find)", FmtDur(regPer), FmtInt(1))
+
+		base := strings.TrimSuffix(node.SOAPBase(), "/services")
+		wsilPer := timeIt(reps/5+1, func() {
+			defs, err := registry.DiscoverViaWSIL(base + "/inspection.wsil")
+			if err != nil || len(defs) != count {
+				panic(fmt.Sprintf("wsil = %d, %v", len(defs), err))
+			}
+		})
+		t.AddRow(FmtInt(count), "wsil (inspect+fetch)", FmtDur(wsilPer), FmtInt(count+1))
+
+		regSrv.Close()
+		fw.Close()
+	}
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"harness2/internal/soap"
+	"harness2/internal/xdr"
+)
+
+// E2Encoding quantifies the paper's data-encoding claim: XML text
+// encodings of numeric arrays cost far more than XDR binary, both in
+// bytes on the wire and in encode/decode CPU time. One row per
+// (array size, encoding).
+func E2Encoding(sizes []int) *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: "Array-of-double encoding cost: XDR binary vs SOAP text encodings",
+		Note:  "paper §5 data encoding issue; raw payload is 8 bytes/double",
+		Columns: []string{"doubles", "encoding", "wire bytes", "expansion",
+			"encode", "decode", "throughput"},
+	}
+	for _, n := range sizes {
+		data := RandDoubles(n, int64(n))
+		raw := int64(8 * n)
+		for _, enc := range []string{"xdr", "soap-base64", "soap-hex", "soap-elementwise"} {
+			wire, encT, decT := measureEncoding(enc, data)
+			total := encT + decT
+			rate := 0.0
+			if total > 0 {
+				rate = float64(raw) / total.Seconds()
+			}
+			t.AddRow(FmtInt(n), enc, FmtBytes(wire),
+				FmtRatio(float64(wire)/float64(raw)),
+				FmtDur(encT), FmtDur(decT), FmtRate(rate))
+		}
+	}
+	return t
+}
+
+// measureEncoding returns (wire bytes, mean encode time, mean decode time)
+// for one encoding of data.
+func measureEncoding(enc string, data []float64) (int64, time.Duration, time.Duration) {
+	reps := repsFor(len(data))
+	if enc == "xdr" {
+		e := xdr.NewEncoder(8*len(data) + 16)
+		encT := timeIt(reps, func() {
+			e.Reset()
+			if err := xdr.EncodeValue(e, data); err != nil {
+				panic(err)
+			}
+		})
+		buf := e.Bytes()
+		decT := timeIt(reps, func() {
+			if _, err := xdr.DecodeValue(xdr.NewDecoder(buf)); err != nil {
+				panic(err)
+			}
+		})
+		return int64(len(buf)), encT, decT
+	}
+	codec := soap.Codec{}
+	switch enc {
+	case "soap-base64":
+		codec.Arrays = soap.EncodeBase64
+	case "soap-hex":
+		codec.Arrays = soap.EncodeHex
+	case "soap-elementwise":
+		codec.Arrays = soap.EncodeElementwise
+	default:
+		panic(fmt.Sprintf("bench: unknown encoding %q", enc))
+	}
+	call := &soap.Call{Method: "getResult", Params: []soap.Param{{Name: "mata", Value: data}}}
+	var buf []byte
+	encT := timeIt(reps, func() {
+		var err error
+		buf, err = codec.EncodeCall(call)
+		if err != nil {
+			panic(err)
+		}
+	})
+	decT := timeIt(reps, func() {
+		if _, err := codec.DecodeCall(buf); err != nil {
+			panic(err)
+		}
+	})
+	return int64(len(buf)), encT, decT
+}
+
+func repsFor(n int) int {
+	switch {
+	case n <= 1000:
+		return 50
+	case n <= 100000:
+		return 10
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/events"
+	"harness2/internal/kernel"
+	"harness2/internal/namesvc"
+	"harness2/internal/pvm"
+	"harness2/internal/wire"
+)
+
+// E7PVM measures the PVM-emulation overhead of Figure 2: ping-pong
+// round trips between tasks on two hpvmd daemons versus a raw Go channel
+// baseline, across payload sizes.
+func E7PVM(payloadDoubles []int, rounds int) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "PVM emulation (hpvmd) ping-pong vs raw channel baseline",
+		Note:  "Figure 2: the framework path runs router + mailbox + plugin layers",
+		Columns: []string{"payload", "path", "per round trip", "bandwidth",
+			"overhead"},
+	}
+	router := pvm.NewRouter(nil)
+	daemons := make([]*pvm.Daemon, 2)
+	for i := range daemons {
+		name := fmt.Sprintf("bhost%d", i)
+		k := kernel.New(name, container.Config{})
+		k.RegisterPlugin(events.PluginClass, events.Factory())
+		k.RegisterPlugin(namesvc.PluginClass, namesvc.Factory())
+		k.RegisterPlugin(pvm.PluginClass, pvm.Factory(name, router),
+			events.PluginClass, namesvc.PluginClass)
+		if err := k.Load(pvm.PluginClass); err != nil {
+			return nil, err
+		}
+		comp, _ := k.Plugin(pvm.PluginClass)
+		daemons[i] = comp.(*pvm.Daemon)
+	}
+
+	for _, n := range payloadDoubles {
+		payload := RandDoubles(n, int64(n))
+		bytes := 8 * n
+
+		// Framework path: echo server task on daemon 0, driver on daemon 1.
+		perRT, err := pvmPingPong(daemons, payload, rounds)
+		if err != nil {
+			return nil, err
+		}
+		// Baseline: the same payload over raw Go channels.
+		base := channelPingPong(payload, rounds)
+
+		bw := func(d time.Duration) float64 {
+			if d <= 0 {
+				return 0
+			}
+			return float64(2*bytes) / d.Seconds()
+		}
+		t.AddRow(FmtBytes(int64(bytes)), "hpvmd", FmtDur(perRT), FmtRate(bw(perRT)),
+			FmtRatio(float64(perRT)/float64(base)))
+		t.AddRow(FmtBytes(int64(bytes)), "raw channel", FmtDur(base), FmtRate(bw(base)), FmtRatio(1))
+	}
+	return t, nil
+}
+
+func pvmPingPong(daemons []*pvm.Daemon, payload []float64, rounds int) (time.Duration, error) {
+	const tag = 5
+	daemons[0].RegisterTaskFunc("echo", func(ctx context.Context, self *pvm.Task, args []string) error {
+		for {
+			m, err := self.Recv(pvm.AnySrc, pvm.AnyTag)
+			if err != nil {
+				return nil // cancelled at teardown
+			}
+			if m.Tag == 0 {
+				return nil // shutdown
+			}
+			if err := self.Send(m.Src, m.Tag, m.Body); err != nil {
+				return err
+			}
+		}
+	})
+	echoTids, err := daemons[0].Spawn("echo", nil, 1)
+	if err != nil {
+		return 0, err
+	}
+	result := make(chan time.Duration, 1)
+	errs := make(chan error, 1)
+	daemons[1].RegisterTaskFunc("driver", func(ctx context.Context, self *pvm.Task, args []string) error {
+		body := []wire.Arg{pvm.PkDoubleArray("data", payload)}
+		// Warm-up round.
+		if err := self.Send(echoTids[0], tag, body); err != nil {
+			return err
+		}
+		if _, err := self.Recv(echoTids[0], tag); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if err := self.Send(echoTids[0], tag, body); err != nil {
+				return err
+			}
+			if _, err := self.Recv(echoTids[0], tag); err != nil {
+				return err
+			}
+		}
+		result <- time.Since(start) / time.Duration(rounds)
+		return self.Send(echoTids[0], 0, nil)
+	})
+	if _, err := daemons[1].Spawn("driver", nil, 1); err != nil {
+		return 0, err
+	}
+	select {
+	case d := <-result:
+		return d, nil
+	case err := <-errs:
+		return 0, err
+	case <-time.After(60 * time.Second):
+		return 0, fmt.Errorf("bench: pvm ping-pong timed out")
+	}
+}
+
+func channelPingPong(payload []float64, rounds int) time.Duration {
+	type msg struct {
+		data []float64
+	}
+	req := make(chan msg, 1)
+	resp := make(chan msg, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range req {
+			resp <- m
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		req <- msg{payload}
+		<-resp
+	}
+	elapsed := time.Since(start) / time.Duration(rounds)
+	close(req)
+	<-done
+	return elapsed
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"harness2/internal/registry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// wireKindDoubleArray shortens the workload generator below.
+const wireKindDoubleArray = wire.KindFloat64Array
+
+// E8Registry measures the registry's two find paths against store size:
+// the indexed name lookup and the structural XML query scan — the E8
+// ablation of DESIGN.md (indexed vs scan).
+func E8Registry(sizes []int) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Registry find cost vs published services",
+		Note:    "indexed FindByName vs structural FindByQuery over cached WSDL documents",
+		Columns: []string{"entries", "find path", "per find", "results"},
+	}
+	for _, size := range sizes {
+		reg := registry.New()
+		if err := fillRegistry(reg, size); err != nil {
+			return nil, err
+		}
+		target := fmt.Sprintf("Svc%d", size/2)
+
+		reps := 2000
+		if size > 1000 {
+			reps = 200
+		}
+		var found int
+		byName := timeIt(reps, func() {
+			found = len(reg.FindByName(target))
+		})
+		t.AddRow(FmtInt(size), "byName (indexed)", FmtDur(byName), FmtInt(found))
+
+		queryReps := reps / 10
+		if queryReps < 10 {
+			queryReps = 10
+		}
+		q := fmt.Sprintf("//service[@name='%sService']", target)
+		byQuery := timeIt(queryReps, func() {
+			res, err := reg.FindByQuery(q)
+			if err != nil {
+				panic(err)
+			}
+			found = len(res)
+		})
+		t.AddRow(FmtInt(size), "byQuery (scan)", FmtDur(byQuery), FmtInt(found))
+
+		// A binding-kind query touches every document too but matches many.
+		byKind := timeIt(queryReps, func() {
+			res, err := reg.FindByQuery("//binding/soap:binding")
+			if err != nil {
+				panic(err)
+			}
+			found = len(res)
+		})
+		t.AddRow(FmtInt(size), "byQuery (kind)", FmtDur(byKind), FmtInt(found))
+	}
+	return t, nil
+}
+
+func fillRegistry(reg *registry.Registry, size int) error {
+	for i := 0; i < size; i++ {
+		name := fmt.Sprintf("Svc%d", i)
+		spec := wsdl.ServiceSpec{
+			Name: name,
+			Operations: []wsdl.OpSpec{{
+				Name:   "run",
+				Input:  []wsdl.ParamSpec{{Name: "x", Type: wireKindDoubleArray}},
+				Output: []wsdl.ParamSpec{{Name: "y", Type: wireKindDoubleArray}},
+			}},
+		}
+		defs, err := wsdl.Generate(spec, wsdl.EndpointSet{
+			SOAPAddress: fmt.Sprintf("http://host:8080/services/%s", name),
+			XDRAddress:  "host:9010",
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Publish(registry.Entry{
+			Name:    name,
+			WSDL:    defs.String(),
+			TModels: registry.TModelsFor(defs),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

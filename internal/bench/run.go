@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params sizes an experiment run. Quick keeps everything laptop-fast;
+// Full widens the sweeps for report-quality output.
+type Params struct {
+	Full bool
+}
+
+func (p Params) encodingSizes() []int {
+	if p.Full {
+		return []int{100, 1000, 10000, 100000, 1000000}
+	}
+	return []int{100, 10000, 250000}
+}
+
+func (p Params) matmulSizes() []int {
+	if p.Full {
+		return []int{8, 32, 128, 384}
+	}
+	return []int{8, 64, 192}
+}
+
+func (p Params) callCounts() []int {
+	if p.Full {
+		return []int{1, 10, 100, 1000}
+	}
+	return []int{1, 10, 100}
+}
+
+func (p Params) nodeCounts() []int {
+	if p.Full {
+		return []int{2, 4, 8, 16, 32, 64}
+	}
+	return []int{4, 16, 64}
+}
+
+func (p Params) coherencyOps() int {
+	if p.Full {
+		return 2000
+	}
+	return 400
+}
+
+func (p Params) hybridKs() []int {
+	if p.Full {
+		return []int{1, 2, 4, 8, 16, 32}
+	}
+	return []int{1, 4, 16, 32}
+}
+
+func (p Params) pvmPayloads() []int {
+	if p.Full {
+		return []int{0, 128, 4096, 131072}
+	}
+	return []int{0, 4096, 131072}
+}
+
+func (p Params) pvmRounds() int {
+	if p.Full {
+		return 5000
+	}
+	return 1000
+}
+
+func (p Params) registrySizes() []int {
+	if p.Full {
+		return []int{10, 100, 1000, 5000}
+	}
+	return []int{10, 100, 1000}
+}
+
+func (p Params) discoveryCounts() []int {
+	if p.Full {
+		return []int{1, 8, 32}
+	}
+	return []int{1, 8}
+}
+
+func (p Params) localityN() int {
+	if p.Full {
+		return 300
+	}
+	return 150
+}
+
+func (p Params) localityJobs() int {
+	if p.Full {
+		return 20
+	}
+	return 8
+}
+
+// Run executes one experiment by ID (E1–E9).
+func Run(id string, p Params) (*Table, error) {
+	switch id {
+	case "E1":
+		return E1Amortization(p.callCounts())
+	case "E2":
+		return E2Encoding(p.encodingSizes()), nil
+	case "E3":
+		return E3Bindings(p.matmulSizes())
+	case "E4":
+		return E4Deployment()
+	case "E5":
+		return E5Coherency(p.nodeCounts(), DefaultMixes(), p.coherencyOps()), nil
+	case "E5b":
+		return E5bHybridK(32, p.hybridKs(), p.coherencyOps()), nil
+	case "E6":
+		return E6Lookup(p.nodeCounts()), nil
+	case "E7":
+		return E7PVM(p.pvmPayloads(), p.pvmRounds())
+	case "E8":
+		return E8Registry(p.registrySizes())
+	case "E9":
+		return E9Locality(p.localityN(), p.localityJobs())
+	case "E10":
+		return E10Discovery(p.discoveryCounts())
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// IDs returns every experiment ID in order.
+func IDs() []string {
+	ids := []string{"E1", "E10", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RandDoubles returns a deterministic pseudo-random []float64 workload.
+func RandDoubles(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.NormFloat64()
+	}
+	return out
+}
+
+// RandMatrix returns an n×n row-major matrix with a dominant diagonal
+// (well-conditioned, so LinSolve workloads never hit singularity).
+func RandMatrix(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n*n)
+	for i := range out {
+		out[i] = r.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		out[i*n+i] += float64(n) + 1
+	}
+	return out
+}
+
+// timeIt measures the mean wall time of reps invocations of fn.
+func timeIt(reps int, fn func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(reps)
+}

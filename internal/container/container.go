@@ -1,0 +1,580 @@
+// Package container implements the HARNESS II component container — the
+// middle abstraction layer of the architecture (Figure 6). A container
+// "defines a local name space, lookup service and a management service for
+// other components": it deploys component instances from registered
+// factories, dispatches invocations to specific stateful instances (the
+// JavaObject binding target), answers local lookup queries, and controls
+// each instance's exposure level (private, or published to one or more
+// registries — a run-time decision that can be reviewed at any time).
+//
+// The package also models the paper's deployment-cost contrast: the
+// lightweight HARNESS II container instantiates volatile components
+// immediately, while a DeployPolicy can emulate the heavyweight
+// e-commerce application-server flow (restart cost, human approval) that
+// the paper argues is unsuitable for metacomputing (experiment E4).
+package container
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// Errors returned by container operations.
+var (
+	ErrNoFactory    = errors.New("container: no factory for class")
+	ErrNoInstance   = errors.New("container: no such instance")
+	ErrDuplicateID  = errors.New("container: instance id already in use")
+	ErrNotExposed   = errors.New("container: instance not exposed")
+	ErrStopped      = errors.New("container: instance is stopped")
+	ErrNoSuchMethod = errors.New("container: no such operation")
+)
+
+// Component is a deployable service implementation.
+type Component interface {
+	// Describe returns the service descriptor used to generate WSDL.
+	Describe() wsdl.ServiceSpec
+	// Invoke executes one operation.
+	Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error)
+}
+
+// Attachable components are given their hosting container on deployment,
+// enabling the inter-component leveraging of Figure 2 (a component can
+// look up and call co-located services through local bindings).
+type Attachable interface {
+	Attach(host *Container) error
+}
+
+// Detachable components are notified on undeployment.
+type Detachable interface {
+	Detach() error
+}
+
+// Factory creates component instances for a class. Registering factories
+// is the analogue of installing plugin code in the Harness repository.
+type Factory func() (Component, error)
+
+// Exposure is an instance's visibility level.
+type Exposure int
+
+const (
+	// Private instances serve only co-located components.
+	Private Exposure = iota
+	// Public instances are published in one or more lookup services.
+	Public
+)
+
+// String names the exposure level.
+func (e Exposure) String() string {
+	if e == Public {
+		return "public"
+	}
+	return "private"
+}
+
+// Status is an instance lifecycle state.
+type Status int
+
+// Instance lifecycle: deployed instances start Running; Stop moves them to
+// Stopped (refusing invocations) and Start back.
+const (
+	Running Status = iota
+	Stopped
+)
+
+// Instance is one deployed, stateful component.
+type Instance struct {
+	ID       string
+	Class    string
+	Exposure Exposure
+
+	mu        sync.Mutex
+	status    Status
+	component Component
+	spec      wsdl.ServiceSpec
+	// published maps registry identity (pointer) to the entry key so the
+	// container can unpublish on exposure changes and undeployment.
+	published map[registry.Lookup]string
+	deployed  time.Time
+	invokes   int64
+}
+
+// Status returns the instance lifecycle state.
+func (in *Instance) Status() Status {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.status
+}
+
+// Spec returns the instance's service descriptor.
+func (in *Instance) Spec() wsdl.ServiceSpec { return in.spec }
+
+// Invocations returns how many operations the instance has served.
+func (in *Instance) Invocations() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.invokes
+}
+
+// Component returns the underlying implementation. Co-located callers may
+// type-assert it for direct in-process use — this is exactly the local
+// JavaObject access path.
+func (in *Instance) Component() Component { return in.component }
+
+// DeployPolicy models the cost structure of a deployment technology.
+type DeployPolicy struct {
+	// Name labels the policy in experiment output.
+	Name string
+	// RestartCost is charged once per deployment when the technology
+	// requires a container/application-server restart.
+	RestartCost time.Duration
+	// ApprovalCost models the human interaction the paper says era
+	// deployment "usually require[s]".
+	ApprovalCost time.Duration
+	// PerServiceCost is the mechanical per-service installation cost.
+	PerServiceCost time.Duration
+	// Sleep, when true, physically sleeps the modelled costs instead of
+	// only accounting them (for end-to-end demos; experiments keep it
+	// false and read the returned cost).
+	Sleep bool
+}
+
+// Cost returns the modelled total deployment latency under the policy.
+func (p DeployPolicy) Cost() time.Duration {
+	return p.RestartCost + p.ApprovalCost + p.PerServiceCost
+}
+
+// Lightweight is the HARNESS II container policy: automated instantiation
+// with microsecond-scale bookkeeping only.
+var Lightweight = DeployPolicy{Name: "harness2-lightweight", PerServiceCost: 50 * time.Microsecond}
+
+// Heavyweight models the era application-server flow the paper contrasts
+// against: minutes of human interaction plus a server restart.
+var Heavyweight = DeployPolicy{
+	Name:           "appserver-heavyweight",
+	RestartCost:    30 * time.Second,
+	ApprovalCost:   5 * time.Minute,
+	PerServiceCost: 2 * time.Second,
+}
+
+// Config parameterises a container.
+type Config struct {
+	// Name is the container's name-space identifier.
+	Name string
+	// SOAPBase is the advertised base URL for SOAP endpoints
+	// (e.g. http://host:8080/services); empty disables SOAP advertising.
+	SOAPBase string
+	// HTTPBase is the advertised base URL for HTTP GET (urlEncoded)
+	// endpoints (e.g. http://host:8080/rest); empty disables them.
+	HTTPBase string
+	// XDRAddr is the advertised host:port of the XDR socket endpoint;
+	// empty disables XDR advertising.
+	XDRAddr string
+	// Policy is the deployment cost model; zero value means Lightweight.
+	Policy DeployPolicy
+}
+
+// LifecycleEvent describes one container state change, delivered to
+// registered listeners — the hook through which the Harness event-
+// management plugin observes its own container (see events.BridgeContainer).
+type LifecycleEvent struct {
+	// Kind is one of deploy, undeploy, start, stop, expose, unexpose.
+	Kind  string
+	ID    string
+	Class string
+}
+
+// LifecycleListener receives container lifecycle events. Listeners run
+// synchronously on the mutating goroutine and must not block.
+type LifecycleListener func(LifecycleEvent)
+
+// Container hosts component instances.
+type Container struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	factories map[string]Factory
+	instances map[string]*Instance
+	listeners []LifecycleListener
+	seq       int
+}
+
+// New creates an empty container.
+func New(cfg Config) *Container {
+	if cfg.Name == "" {
+		cfg.Name = "container"
+	}
+	if cfg.Policy.Name == "" {
+		cfg.Policy = Lightweight
+	}
+	return &Container{
+		cfg:       cfg,
+		factories: make(map[string]Factory),
+		instances: make(map[string]*Instance),
+	}
+}
+
+// Name returns the container's name-space identifier.
+func (c *Container) Name() string { return c.cfg.Name }
+
+// Policy returns the container's deployment policy.
+func (c *Container) Policy() DeployPolicy { return c.cfg.Policy }
+
+// AddLifecycleListener registers a lifecycle observer.
+func (c *Container) AddLifecycleListener(fn LifecycleListener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+func (c *Container) notify(kind, id, class string) {
+	c.mu.RLock()
+	listeners := append([]LifecycleListener(nil), c.listeners...)
+	c.mu.RUnlock()
+	ev := LifecycleEvent{Kind: kind, ID: id, Class: class}
+	for _, fn := range listeners {
+		fn(ev)
+	}
+}
+
+// RegisterFactory installs the code for a component class.
+func (c *Container) RegisterFactory(class string, f Factory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.factories[class] = f
+}
+
+// Classes lists registered component classes, sorted.
+func (c *Container) Classes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.factories))
+	for k := range c.factories {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deploy instantiates class under the given instance ID (auto-generated
+// when empty) and returns the instance plus the modelled deployment cost
+// under the container's policy.
+func (c *Container) Deploy(class, id string) (*Instance, time.Duration, error) {
+	c.mu.Lock()
+	f, ok := c.factories[class]
+	if !ok {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoFactory, class)
+	}
+	if id == "" {
+		c.seq++
+		id = fmt.Sprintf("%s-%d", class, c.seq)
+	}
+	if _, exists := c.instances[id]; exists {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	// Reserve the ID before running user code outside the lock.
+	placeholder := &Instance{ID: id, Class: class}
+	c.instances[id] = placeholder
+	policy := c.cfg.Policy
+	c.mu.Unlock()
+
+	comp, err := f()
+	if err == nil {
+		if a, ok := comp.(Attachable); ok {
+			err = a.Attach(c)
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.instances, id)
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("container: deploy %s/%s: %w", class, id, err)
+	}
+	inst := &Instance{
+		ID:        id,
+		Class:     class,
+		component: comp,
+		spec:      comp.Describe(),
+		published: make(map[registry.Lookup]string),
+		deployed:  time.Now(),
+	}
+	c.mu.Lock()
+	c.instances[id] = inst
+	c.mu.Unlock()
+	if policy.Sleep && policy.Cost() > 0 {
+		time.Sleep(policy.Cost())
+	}
+	c.notify("deploy", id, class)
+	return inst, policy.Cost(), nil
+}
+
+// Undeploy stops and removes an instance, unpublishing it everywhere.
+func (c *Container) Undeploy(id string) error {
+	c.mu.Lock()
+	inst, ok := c.instances[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	delete(c.instances, id)
+	c.mu.Unlock()
+	inst.mu.Lock()
+	pubs := inst.published
+	inst.published = map[registry.Lookup]string{}
+	comp := inst.component
+	inst.mu.Unlock()
+	for reg, key := range pubs {
+		_ = reg.Remove(key)
+	}
+	c.notify("undeploy", id, inst.Class)
+	if d, ok := comp.(Detachable); ok && comp != nil {
+		return d.Detach()
+	}
+	return nil
+}
+
+// Instance returns a deployed instance by ID.
+func (c *Container) Instance(id string) (*Instance, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	inst, ok := c.instances[id]
+	if !ok || inst.component == nil {
+		return nil, false
+	}
+	return inst, true
+}
+
+// Instances returns all deployed instances sorted by ID.
+func (c *Container) Instances() []*Instance {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Instance, 0, len(c.instances))
+	for _, in := range c.instances {
+		if in.component != nil {
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FindByClass returns deployed instances of the given class — the local
+// lookup capability a runner box lacks.
+func (c *Container) FindByClass(class string) []*Instance {
+	var out []*Instance
+	for _, in := range c.Instances() {
+		if in.Class == class {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// FindByOperation returns instances whose service exposes the named
+// operation.
+func (c *Container) FindByOperation(op string) []*Instance {
+	var out []*Instance
+	for _, in := range c.Instances() {
+		for _, o := range in.spec.Operations {
+			if o.Name == op {
+				out = append(out, in)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Invoke dispatches an operation on a specific instance — the local
+// (JavaObject) access path: no encoding, no network hop.
+func (c *Container) Invoke(ctx context.Context, id, op string, args []wire.Arg) ([]wire.Arg, error) {
+	inst, ok := c.Instance(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	return inst.invoke(ctx, op, args)
+}
+
+func (in *Instance) invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	in.mu.Lock()
+	if in.status != Running {
+		in.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrStopped, in.ID)
+	}
+	found := false
+	for _, o := range in.spec.Operations {
+		if o.Name == op {
+			found = true
+			break
+		}
+	}
+	in.invokes++
+	comp := in.component
+	in.mu.Unlock()
+	if !found {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, in.Class, op)
+	}
+	return comp.Invoke(ctx, op, args)
+}
+
+// Stop pauses an instance: subsequent invocations fail until Start.
+func (c *Container) Stop(id string) error { return c.setStatus(id, Stopped) }
+
+// Start resumes a stopped instance.
+func (c *Container) Start(id string) error { return c.setStatus(id, Running) }
+
+func (c *Container) setStatus(id string, s Status) error {
+	inst, ok := c.Instance(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	inst.mu.Lock()
+	inst.status = s
+	inst.mu.Unlock()
+	kind := "start"
+	if s == Stopped {
+		kind = "stop"
+	}
+	c.notify(kind, id, inst.Class)
+	return nil
+}
+
+// WSDLFor generates the instance's complete WSDL document, advertising
+// every binding the container can serve: SOAP when SOAPBase is configured,
+// XDR when XDRAddr is configured and the service is numeric-only, and the
+// JavaObject binding pinning this exact instance.
+func (c *Container) WSDLFor(id string) (*wsdl.Definitions, error) {
+	inst, ok := c.Instance(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	eps := wsdl.EndpointSet{
+		LocalAddress: c.LocalAddress(id),
+		Class:        inst.Class,
+		Instance:     inst.ID,
+	}
+	if c.cfg.SOAPBase != "" {
+		eps.SOAPAddress = strings.TrimSuffix(c.cfg.SOAPBase, "/") + "/" + inst.ID
+	}
+	if c.cfg.HTTPBase != "" && urlEncodable(inst.spec) {
+		eps.HTTPAddress = strings.TrimSuffix(c.cfg.HTTPBase, "/") + "/" + inst.ID
+	}
+	if c.cfg.XDRAddr != "" && numericOnly(inst.spec) {
+		eps.XDRAddress = c.cfg.XDRAddr
+	}
+	return wsdl.Generate(inst.spec, eps)
+}
+
+// LocalAddress returns the JavaObject locator for an instance.
+func (c *Container) LocalAddress(id string) string {
+	return "local:" + c.cfg.Name + "/" + id
+}
+
+func urlEncodable(spec wsdl.ServiceSpec) bool {
+	for _, op := range spec.Operations {
+		for _, p := range append(append([]wsdl.ParamSpec{}, op.Input...), op.Output...) {
+			if p.Type == wire.KindStruct {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func numericOnly(spec wsdl.ServiceSpec) bool {
+	for _, op := range spec.Operations {
+		for _, p := range op.Input {
+			if !p.Type.Numeric() {
+				return false
+			}
+		}
+		for _, p := range op.Output {
+			if !p.Type.Numeric() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InspectableServices implements registry.WSDLSource: every deployed
+// instance is listed under its service name with its instance ID as the
+// document locator. Mounting a WSIL handler is itself the provider's
+// exposure decision for the node.
+func (c *Container) InspectableServices() []registry.ServiceRef {
+	var out []registry.ServiceRef
+	for _, in := range c.Instances() {
+		out = append(out, registry.ServiceRef{Name: in.Spec().Name, Location: in.ID})
+	}
+	return out
+}
+
+// WSDLDocument implements registry.WSDLSource.
+func (c *Container) WSDLDocument(id string) (string, error) {
+	defs, err := c.WSDLFor(id)
+	if err != nil {
+		return "", err
+	}
+	return defs.String(), nil
+}
+
+// Expose publishes an instance's WSDL into reg and marks it Public. The
+// provider can call it (and Unexpose) at any time: "the decision can be
+// reviewed at any time, thus allowing published services to be removed and
+// private services to be published".
+func (c *Container) Expose(id string, reg registry.Lookup) (string, error) {
+	inst, ok := c.Instance(id)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	defs, err := c.WSDLFor(id)
+	if err != nil {
+		return "", err
+	}
+	key, err := reg.Publish(registry.Entry{
+		Business: c.cfg.Name,
+		Name:     inst.spec.Name,
+		TModels:  registry.TModelsFor(defs),
+		WSDL:     defs.String(),
+	})
+	if err != nil {
+		return "", err
+	}
+	inst.mu.Lock()
+	inst.Exposure = Public
+	inst.published[reg] = key
+	inst.mu.Unlock()
+	c.notify("expose", id, inst.Class)
+	return key, nil
+}
+
+// Unexpose withdraws an instance from reg; when no registrations remain
+// the instance reverts to Private.
+func (c *Container) Unexpose(id string, reg registry.Lookup) error {
+	inst, ok := c.Instance(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	inst.mu.Lock()
+	key, published := inst.published[reg]
+	delete(inst.published, reg)
+	if len(inst.published) == 0 {
+		inst.Exposure = Private
+	}
+	inst.mu.Unlock()
+	if !published {
+		return fmt.Errorf("%w: %q not published in that registry", ErrNotExposed, id)
+	}
+	c.notify("unexpose", id, inst.Class)
+	return reg.Remove(key)
+}

@@ -1,0 +1,417 @@
+package container
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// counter is a stateful component proving the JavaObject binding premise:
+// a specific instance accumulates state across invocations.
+func counterFactory() Factory {
+	return FuncFactory(func() *FuncComponent {
+		var mu sync.Mutex
+		var n int64
+		return &FuncComponent{
+			Spec: wsdl.ServiceSpec{
+				Name: "Counter",
+				Operations: []wsdl.OpSpec{
+					{Name: "inc", Input: []wsdl.ParamSpec{{Name: "by", Type: wire.KindInt64}},
+						Output: []wsdl.ParamSpec{{Name: "total", Type: wire.KindInt64}}},
+				},
+			},
+			Handlers: map[string]OpFunc{
+				"inc": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					by, _ := wire.GetArg(args, "by")
+					mu.Lock()
+					defer mu.Unlock()
+					n += by.(int64)
+					return wire.Args("total", n), nil
+				},
+			},
+		}
+	})
+}
+
+func matmulFactory() Factory {
+	return FuncFactory(func() *FuncComponent {
+		return &FuncComponent{
+			Spec: wsdl.MatMulSpec(),
+			Handlers: map[string]OpFunc{
+				"getResult": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					a, _ := wire.GetArg(args, "mata")
+					return wire.Args("result", a), nil
+				},
+			},
+		}
+	})
+}
+
+func newC(t *testing.T) *Container {
+	t.Helper()
+	c := New(Config{Name: "node1", SOAPBase: "http://host:8080/services", XDRAddr: "host:9010"})
+	c.RegisterFactory("Counter", counterFactory())
+	c.RegisterFactory("MatMul", matmulFactory())
+	return c
+}
+
+func TestDeployInvokeStateful(t *testing.T) {
+	c := newC(t)
+	inst, cost, err := c.Deploy("Counter", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != Lightweight.Cost() {
+		t.Fatalf("cost = %v", cost)
+	}
+	if inst.ID == "" || inst.Class != "Counter" {
+		t.Fatalf("inst = %+v", inst)
+	}
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		out, err := c.Invoke(ctx, inst.ID, "inc", wire.Args("by", int64(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, _ := wire.GetArg(out, "total")
+		if total.(int64) != int64(2*i) {
+			t.Fatalf("iteration %d: total = %v", i, total)
+		}
+	}
+	if inst.Invocations() != 3 {
+		t.Fatalf("invocations = %d", inst.Invocations())
+	}
+}
+
+func TestTwoInstancesHaveIndependentState(t *testing.T) {
+	// The HARNESS II JavaObject binding exists precisely because instances
+	// are distinct: incrementing one must not affect the other.
+	c := newC(t)
+	a, _, _ := c.Deploy("Counter", "a")
+	b, _, _ := c.Deploy("Counter", "b")
+	ctx := context.Background()
+	_, _ = c.Invoke(ctx, a.ID, "inc", wire.Args("by", int64(10)))
+	out, _ := c.Invoke(ctx, b.ID, "inc", wire.Args("by", int64(1)))
+	total, _ := wire.GetArg(out, "total")
+	if total.(int64) != 1 {
+		t.Fatalf("instance state shared: %v", total)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	c := newC(t)
+	if _, _, err := c.Deploy("Nope", ""); !errors.Is(err, ErrNoFactory) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := c.Deploy("Counter", "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Deploy("Counter", "dup"); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v", err)
+	}
+	c.RegisterFactory("Broken", func() (Component, error) {
+		return nil, errors.New("boom")
+	})
+	if _, _, err := c.Deploy("Broken", "x"); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// Failed deployment must release the reserved ID.
+	c.RegisterFactory("Broken", counterFactory())
+	if _, _, err := c.Deploy("Broken", "x"); err != nil {
+		t.Fatalf("id not released: %v", err)
+	}
+}
+
+func TestUndeploy(t *testing.T) {
+	c := newC(t)
+	detached := false
+	c.RegisterFactory("D", FuncFactory(func() *FuncComponent {
+		return &FuncComponent{
+			Spec:     wsdl.ServiceSpec{Name: "D", Operations: []wsdl.OpSpec{{Name: "noop"}}},
+			Handlers: map[string]OpFunc{"noop": func(context.Context, []wire.Arg) ([]wire.Arg, error) { return nil, nil }},
+			OnDetach: func() error { detached = true; return nil },
+		}
+	}))
+	inst, _, err := c.Deploy("D", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Undeploy(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !detached {
+		t.Fatal("OnDetach not called")
+	}
+	if _, ok := c.Instance(inst.ID); ok {
+		t.Fatal("instance still present")
+	}
+	if err := c.Undeploy(inst.ID); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAttachGivesHostAccess(t *testing.T) {
+	// Figure 2 behaviour: a component leverages co-located services.
+	c := newC(t)
+	if _, _, err := c.Deploy("Counter", "shared"); err != nil {
+		t.Fatal(err)
+	}
+	var host *Container
+	c.RegisterFactory("Leech", FuncFactory(func() *FuncComponent {
+		f := &FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "Leech", Operations: []wsdl.OpSpec{
+				{Name: "delegate", Output: []wsdl.ParamSpec{{Name: "total", Type: wire.KindInt64}}},
+			}},
+		}
+		f.OnAttach = func(h *Container) error { host = h; return nil }
+		f.Handlers = map[string]OpFunc{
+			"delegate": func(ctx context.Context, _ []wire.Arg) ([]wire.Arg, error) {
+				return host.Invoke(ctx, "shared", "inc", wire.Args("by", int64(5)))
+			},
+		}
+		return f
+	}))
+	inst, _, err := c.Deploy("Leech", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Invoke(context.Background(), inst.ID, "delegate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := wire.GetArg(out, "total")
+	if total.(int64) != 5 {
+		t.Fatalf("delegated total = %v", total)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	c := newC(t)
+	ctx := context.Background()
+	if _, err := c.Invoke(ctx, "ghost", "inc", nil); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("err = %v", err)
+	}
+	inst, _, _ := c.Deploy("Counter", "")
+	if _, err := c.Invoke(ctx, inst.ID, "nosuch", nil); !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStopStart(t *testing.T) {
+	c := newC(t)
+	inst, _, _ := c.Deploy("Counter", "")
+	if err := c.Stop(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Status() != Stopped {
+		t.Fatal("status should be Stopped")
+	}
+	if _, err := c.Invoke(context.Background(), inst.ID, "inc", wire.Args("by", int64(1))); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Start(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), inst.ID, "inc", wire.Args("by", int64(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop("ghost"); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLocalLookup(t *testing.T) {
+	c := newC(t)
+	_, _, _ = c.Deploy("Counter", "c1")
+	_, _, _ = c.Deploy("Counter", "c2")
+	_, _, _ = c.Deploy("MatMul", "m1")
+	if got := c.FindByClass("Counter"); len(got) != 2 {
+		t.Fatalf("by class = %d", len(got))
+	}
+	if got := c.FindByOperation("getResult"); len(got) != 1 || got[0].ID != "m1" {
+		t.Fatalf("by op = %v", got)
+	}
+	all := c.Instances()
+	if len(all) != 3 || all[0].ID != "c1" {
+		t.Fatalf("instances = %v", all)
+	}
+	classes := c.Classes()
+	if len(classes) != 2 || classes[0] != "Counter" {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func TestWSDLGeneration(t *testing.T) {
+	c := newC(t)
+	inst, _, _ := c.Deploy("MatMul", "m1")
+	defs, err := c.WSDLFor(inst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MatMul is numeric-only: all three bindings advertised.
+	if len(defs.Bindings) != 3 {
+		t.Fatalf("bindings = %d", len(defs.Bindings))
+	}
+	jb := defs.Binding("MatMulJavaBinding")
+	if jb == nil || jb.Instance != "m1" {
+		t.Fatalf("java binding must pin the instance: %+v", jb)
+	}
+	ports := defs.Services[0].Ports
+	var soapAddr string
+	for _, p := range ports {
+		if strings.Contains(p.Binding, "SOAP") {
+			soapAddr = p.Address
+		}
+	}
+	if soapAddr != "http://host:8080/services/m1" {
+		t.Fatalf("soap address = %q", soapAddr)
+	}
+
+	// Counter has int64 params (numeric) so it also gets XDR; a string
+	// service must not.
+	c.RegisterFactory("Str", FuncFactory(func() *FuncComponent {
+		return &FuncComponent{
+			Spec: wsdl.WSTimeSpec(),
+			Handlers: map[string]OpFunc{"getTime": func(context.Context, []wire.Arg) ([]wire.Arg, error) {
+				return wire.Args("time", "now"), nil
+			}},
+		}
+	}))
+	s, _, _ := c.Deploy("Str", "")
+	sdefs, err := c.WSDLFor(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sdefs.Bindings {
+		if b.Kind == wsdl.BindXDR {
+			t.Fatal("string service must not advertise XDR")
+		}
+	}
+}
+
+func TestExposeUnexpose(t *testing.T) {
+	c := newC(t)
+	reg := registry.New()
+	inst, _, _ := c.Deploy("MatMul", "m1")
+	if inst.Exposure != Private {
+		t.Fatal("instances must start private")
+	}
+	key, err := c.Expose(inst.ID, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Exposure != Public {
+		t.Fatal("exposure not updated")
+	}
+	if reg.Len() != 1 {
+		t.Fatal("not published")
+	}
+	e, _ := reg.Get(key)
+	if e.Business != "node1" || e.Name != "MatMul" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if len(e.TModels) == 0 {
+		t.Fatal("tModels missing")
+	}
+	if err := c.Unexpose(inst.ID, reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 || inst.Exposure != Private {
+		t.Fatal("unexpose incomplete")
+	}
+	if err := c.Unexpose(inst.ID, reg); !errors.Is(err, ErrNotExposed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUndeployUnpublishes(t *testing.T) {
+	c := newC(t)
+	reg := registry.New()
+	inst, _, _ := c.Deploy("MatMul", "")
+	if _, err := c.Expose(inst.ID, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Undeploy(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("undeploy must withdraw registrations")
+	}
+}
+
+func TestDeployPolicies(t *testing.T) {
+	if Heavyweight.Cost() <= Lightweight.Cost() {
+		t.Fatal("heavyweight must cost more than lightweight")
+	}
+	c := New(Config{Name: "heavy", Policy: Heavyweight})
+	c.RegisterFactory("Counter", counterFactory())
+	_, cost, err := c.Deploy("Counter", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != Heavyweight.Cost() {
+		t.Fatalf("cost = %v", cost)
+	}
+	// Sleeping policy physically delays.
+	cs := New(Config{Name: "s", Policy: DeployPolicy{Name: "sleepy", PerServiceCost: 5 * time.Millisecond, Sleep: true}})
+	cs.RegisterFactory("Counter", counterFactory())
+	start := time.Now()
+	_, _, _ = cs.Deploy("Counter", "")
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("sleeping policy did not sleep")
+	}
+}
+
+func TestConcurrentDeployInvoke(t *testing.T) {
+	c := newC(t)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", i)
+			if _, _, err := c.Deploy("Counter", id); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 50; j++ {
+				if _, err := c.Invoke(ctx, id, "inc", wire.Args("by", int64(1))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, in := range c.Instances() {
+		if in.Invocations() != 50 {
+			t.Fatalf("instance %s: %d invocations", in.ID, in.Invocations())
+		}
+	}
+}
+
+func TestExposureString(t *testing.T) {
+	if Private.String() != "private" || Public.String() != "public" {
+		t.Fatal("Exposure.String broken")
+	}
+}
+
+func TestComponentAccessor(t *testing.T) {
+	c := newC(t)
+	inst, _, _ := c.Deploy("Counter", "")
+	if inst.Component() == nil {
+		t.Fatal("Component() should expose the implementation")
+	}
+	if inst.Spec().Name != "Counter" {
+		t.Fatal("Spec() wrong")
+	}
+}

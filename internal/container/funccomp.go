@@ -1,0 +1,83 @@
+package container
+
+import (
+	"context"
+	"fmt"
+
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// OpFunc implements one operation of a FuncComponent.
+type OpFunc func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error)
+
+// FuncComponent adapts a service spec plus per-operation functions into a
+// Component, the quickest way to implement services in Go (analogous to
+// the paper's single-method Java classes).
+type FuncComponent struct {
+	Spec     wsdl.ServiceSpec
+	Handlers map[string]OpFunc
+	// OnAttach and OnDetach hook the container lifecycle; either may be
+	// nil.
+	OnAttach func(host *Container) error
+	OnDetach func() error
+	// OnSnapshot and OnRestore, when both set, make the component
+	// Stateful and therefore migratable (see Migrate).
+	OnSnapshot func() ([]Field, error)
+	OnRestore  func(state []Field) error
+}
+
+var (
+	_ Component  = (*FuncComponent)(nil)
+	_ Attachable = (*FuncComponent)(nil)
+	_ Detachable = (*FuncComponent)(nil)
+)
+
+// Snapshot implements Stateful when OnSnapshot is set.
+func (f *FuncComponent) Snapshot() ([]Field, error) {
+	if f.OnSnapshot == nil {
+		return nil, ErrNotStateful
+	}
+	return f.OnSnapshot()
+}
+
+// Restore implements Stateful when OnRestore is set.
+func (f *FuncComponent) Restore(state []Field) error {
+	if f.OnRestore == nil {
+		return ErrNotStateful
+	}
+	return f.OnRestore(state)
+}
+
+// Describe implements Component.
+func (f *FuncComponent) Describe() wsdl.ServiceSpec { return f.Spec }
+
+// Invoke implements Component.
+func (f *FuncComponent) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	h, ok := f.Handlers[op]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, f.Spec.Name, op)
+	}
+	return h(ctx, args)
+}
+
+// Attach implements Attachable.
+func (f *FuncComponent) Attach(host *Container) error {
+	if f.OnAttach != nil {
+		return f.OnAttach(host)
+	}
+	return nil
+}
+
+// Detach implements Detachable.
+func (f *FuncComponent) Detach() error {
+	if f.OnDetach != nil {
+		return f.OnDetach()
+	}
+	return nil
+}
+
+// FuncFactory returns a Factory producing fresh FuncComponents via build.
+func FuncFactory(build func() *FuncComponent) Factory {
+	return func() (Component, error) { return build(), nil }
+}

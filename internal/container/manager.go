@@ -1,0 +1,140 @@
+package container
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// ManagerClass is the conventional class name of the manager component.
+const ManagerClass = "harness.manager"
+
+// Manager is the container's management service as a component: the
+// paper's component container "defines a local name space, lookup service
+// and a management service for other components", and since "every entity
+// is potentially a public service", the management surface itself is a
+// web service. Deploying a Manager makes the container remotely
+// administerable — deploy/undeploy/start/stop/list/describe — through any
+// binding that carries strings (SOAP and HTTP GET).
+//
+// Exposure remains the provider's choice: a container without a deployed
+// (or without a published) Manager is not remotely manageable.
+type Manager struct {
+	host *Container
+}
+
+var (
+	_ Component  = (*Manager)(nil)
+	_ Attachable = (*Manager)(nil)
+)
+
+// ManagerFactory returns the factory for the management component.
+func ManagerFactory() Factory {
+	return func() (Component, error) { return &Manager{}, nil }
+}
+
+// Attach implements Attachable.
+func (m *Manager) Attach(host *Container) error {
+	m.host = host
+	return nil
+}
+
+// Describe implements Component.
+func (m *Manager) Describe() wsdl.ServiceSpec {
+	id := []wsdl.ParamSpec{{Name: "id", Type: wire.KindString}}
+	ok := []wsdl.ParamSpec{{Name: "ok", Type: wire.KindBool}}
+	return wsdl.ServiceSpec{
+		Name: "ContainerManager",
+		Operations: []wsdl.OpSpec{
+			{Name: "list", Output: []wsdl.ParamSpec{
+				{Name: "ids", Type: wire.KindStringArray},
+				{Name: "classes", Type: wire.KindStringArray},
+				{Name: "services", Type: wire.KindStringArray},
+				{Name: "exposures", Type: wire.KindStringArray},
+			}},
+			{Name: "classes", Output: []wsdl.ParamSpec{{Name: "classes", Type: wire.KindStringArray}}},
+			{Name: "deploy", Input: []wsdl.ParamSpec{
+				{Name: "class", Type: wire.KindString},
+				{Name: "id", Type: wire.KindString},
+			}, Output: []wsdl.ParamSpec{
+				{Name: "id", Type: wire.KindString},
+				{Name: "costNs", Type: wire.KindInt64},
+			}},
+			{Name: "undeploy", Input: id, Output: ok},
+			{Name: "start", Input: id, Output: ok},
+			{Name: "stop", Input: id, Output: ok},
+			{Name: "describe", Input: id,
+				Output: []wsdl.ParamSpec{{Name: "wsdl", Type: wire.KindString}}},
+		},
+	}
+}
+
+// Invoke implements Component.
+func (m *Manager) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	if m.host == nil {
+		return nil, fmt.Errorf("container: manager is not attached")
+	}
+	idOf := func() string {
+		v, _ := wire.GetArg(args, "id")
+		s, _ := v.(string)
+		return s
+	}
+	switch op {
+	case "list":
+		instances := m.host.Instances()
+		ids := make([]string, len(instances))
+		classes := make([]string, len(instances))
+		services := make([]string, len(instances))
+		exposures := make([]string, len(instances))
+		for i, in := range instances {
+			ids[i] = in.ID
+			classes[i] = in.Class
+			services[i] = in.Spec().Name
+			exposures[i] = in.Exposure.String()
+		}
+		return wire.Args("ids", ids, "classes", classes,
+			"services", services, "exposures", exposures), nil
+	case "classes":
+		return wire.Args("classes", m.host.Classes()), nil
+	case "deploy":
+		cv, _ := wire.GetArg(args, "class")
+		class, _ := cv.(string)
+		if class == "" {
+			return nil, fmt.Errorf("container: deploy requires a class")
+		}
+		if strings.HasPrefix(class, "harness.") {
+			// Remote parties may not deploy framework infrastructure.
+			return nil, fmt.Errorf("container: class %q is not remotely deployable", class)
+		}
+		inst, cost, err := m.host.Deploy(class, idOf())
+		if err != nil {
+			return nil, err
+		}
+		return wire.Args("id", inst.ID, "costNs", cost.Nanoseconds()), nil
+	case "undeploy":
+		if err := m.host.Undeploy(idOf()); err != nil {
+			return nil, err
+		}
+		return wire.Args("ok", true), nil
+	case "start":
+		if err := m.host.Start(idOf()); err != nil {
+			return nil, err
+		}
+		return wire.Args("ok", true), nil
+	case "stop":
+		if err := m.host.Stop(idOf()); err != nil {
+			return nil, err
+		}
+		return wire.Args("ok", true), nil
+	case "describe":
+		defs, err := m.host.WSDLFor(idOf())
+		if err != nil {
+			return nil, err
+		}
+		return wire.Args("wsdl", defs.String()), nil
+	}
+	return nil, fmt.Errorf("container: manager has no operation %q", op)
+}

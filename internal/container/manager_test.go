@@ -1,0 +1,141 @@
+package container
+
+import (
+	"context"
+	"testing"
+
+	"harness2/internal/wire"
+)
+
+func managedContainer(t *testing.T) (*Container, string) {
+	t.Helper()
+	c := New(Config{Name: "managed"})
+	c.RegisterFactory("Counter", counterFactory())
+	c.RegisterFactory(ManagerClass, ManagerFactory())
+	inst, _, err := c.Deploy(ManagerClass, "mgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, inst.ID
+}
+
+func TestManagerDeployUndeploy(t *testing.T) {
+	c, mgr := managedContainer(t)
+	ctx := context.Background()
+
+	out, err := c.Invoke(ctx, mgr, "deploy", wire.Args("class", "Counter", "id", "c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := wire.GetArg(out, "id")
+	if id.(string) != "c1" {
+		t.Fatalf("id = %v", id)
+	}
+	if cost, _ := wire.GetArg(out, "costNs"); cost.(int64) <= 0 {
+		t.Fatalf("costNs = %v", cost)
+	}
+	// The deployed component works.
+	r, err := c.Invoke(ctx, "c1", "inc", wire.Args("by", int64(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, _ := wire.GetArg(r, "total"); total.(int64) != 2 {
+		t.Fatalf("total = %v", total)
+	}
+	if _, err := c.Invoke(ctx, mgr, "undeploy", wire.Args("id", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Instance("c1"); ok {
+		t.Fatal("undeploy did not remove the instance")
+	}
+	if _, err := c.Invoke(ctx, mgr, "undeploy", wire.Args("id", "c1")); err == nil {
+		t.Fatal("double undeploy should fail")
+	}
+	if _, err := c.Invoke(ctx, mgr, "deploy", wire.Args("class", "Ghost")); err == nil {
+		t.Fatal("deploy of unknown class should fail")
+	}
+	if _, err := c.Invoke(ctx, mgr, "deploy", nil); err == nil {
+		t.Fatal("deploy without class should fail")
+	}
+}
+
+func TestManagerRefusesInfrastructureClasses(t *testing.T) {
+	c, mgr := managedContainer(t)
+	_, err := c.Invoke(context.Background(), mgr, "deploy",
+		wire.Args("class", ManagerClass))
+	if err == nil {
+		t.Fatal("remote deploy of harness.* classes must be refused")
+	}
+}
+
+func TestManagerListAndClasses(t *testing.T) {
+	c, mgr := managedContainer(t)
+	ctx := context.Background()
+	if _, err := c.Invoke(ctx, mgr, "deploy", wire.Args("class", "Counter", "id", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Invoke(ctx, mgr, "list", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := wire.GetArg(out, "ids")
+	classes, _ := wire.GetArg(out, "classes")
+	exposures, _ := wire.GetArg(out, "exposures")
+	if len(ids.([]string)) != 2 { // manager + counter
+		t.Fatalf("ids = %v", ids)
+	}
+	if classes.([]string)[0] != "Counter" {
+		t.Fatalf("classes = %v", classes)
+	}
+	if exposures.([]string)[0] != "private" {
+		t.Fatalf("exposures = %v", exposures)
+	}
+	out, err = c.Invoke(ctx, mgr, "classes", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs, _ := wire.GetArg(out, "classes"); len(cs.([]string)) != 2 {
+		t.Fatalf("registered classes = %v", cs)
+	}
+}
+
+func TestManagerStartStopDescribe(t *testing.T) {
+	c, mgr := managedContainer(t)
+	ctx := context.Background()
+	if _, err := c.Invoke(ctx, mgr, "deploy", wire.Args("class", "Counter", "id", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(ctx, mgr, "stop", wire.Args("id", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(ctx, "c1", "inc", wire.Args("by", int64(1))); err == nil {
+		t.Fatal("stopped instance should refuse invocations")
+	}
+	if _, err := c.Invoke(ctx, mgr, "start", wire.Args("id", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(ctx, "c1", "inc", wire.Args("by", int64(1))); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Invoke(ctx, mgr, "describe", wire.Args("id", "c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := wire.GetArg(out, "wsdl")
+	if doc.(string) == "" {
+		t.Fatal("empty WSDL")
+	}
+	if _, err := c.Invoke(ctx, mgr, "describe", wire.Args("id", "ghost")); err == nil {
+		t.Fatal("describe of unknown instance should fail")
+	}
+	if _, err := c.Invoke(ctx, mgr, "bogus", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestManagerUnattached(t *testing.T) {
+	m := &Manager{}
+	if _, err := m.Invoke(context.Background(), "list", nil); err == nil {
+		t.Fatal("unattached manager should fail")
+	}
+}

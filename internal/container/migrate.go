@@ -1,0 +1,107 @@
+package container
+
+import (
+	"fmt"
+
+	"harness2/internal/wire"
+)
+
+// wireCheck validates a snapshot value against the wire type system.
+func wireCheck(v any) error { return wire.Check(v) }
+
+// Stateful components can externalise and restore their state, enabling
+// the mobility the paper ascribes to metacomputing components: "Mobile
+// components may even move from one host to another during run time" and,
+// in the Section 6 scenario, a user "can upload his application component
+// to a container residing on that node".
+//
+// Snapshot must return wire-typed values (they may cross a binding when
+// the migration is remote); Restore receives exactly what Snapshot
+// produced.
+type Stateful interface {
+	Snapshot() ([]Field, error)
+	Restore(state []Field) error
+}
+
+// Field is one named piece of externalised component state.
+type Field struct {
+	Name  string
+	Value any
+}
+
+// ErrNotStateful is returned when migration is requested for a component
+// that cannot externalise its state.
+var ErrNotStateful = fmt.Errorf("container: component does not implement Stateful")
+
+// Migrate moves the instance id from c to dst, preserving its ID and —
+// when the component implements Stateful — its state. The sequence is
+// stop-and-copy: the source instance stops, its state snapshots, a fresh
+// instance of the same class deploys at dst (dst must have the class's
+// factory registered: code distribution is by factory registration, as
+// everywhere in this reproduction), state restores, and only then is the
+// source undeployed. On any failure the source instance is restarted and
+// the error returned, so a failed migration never loses the component.
+func Migrate(c *Container, id string, dst *Container) error {
+	if c == dst {
+		return fmt.Errorf("container: migration target is the source container")
+	}
+	inst, ok := c.Instance(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	st, stateful := inst.Component().(Stateful)
+	if !stateful {
+		return ErrNotStateful
+	}
+	// Freeze the source so the snapshot is consistent.
+	if err := c.Stop(id); err != nil {
+		return err
+	}
+	restart := func() { _ = c.Start(id) }
+
+	state, err := st.Snapshot()
+	if err != nil {
+		restart()
+		return fmt.Errorf("container: snapshot %q: %w", id, err)
+	}
+	for _, f := range state {
+		// Validate against the wire type system so remote migrations
+		// behave identically to local ones.
+		if err := checkStateField(f); err != nil {
+			restart()
+			return err
+		}
+	}
+	newInst, _, err := dst.Deploy(inst.Class, id)
+	if err != nil {
+		restart()
+		return fmt.Errorf("container: migrate %q to %s: %w", id, dst.Name(), err)
+	}
+	newSt, ok := newInst.Component().(Stateful)
+	if !ok {
+		_ = dst.Undeploy(id)
+		restart()
+		return fmt.Errorf("container: class %q at %s lost statefulness", inst.Class, dst.Name())
+	}
+	if err := newSt.Restore(state); err != nil {
+		_ = dst.Undeploy(id)
+		restart()
+		return fmt.Errorf("container: restore %q at %s: %w", id, dst.Name(), err)
+	}
+	// Commit: remove the source (also withdraws its registrations).
+	if err := c.Undeploy(id); err != nil {
+		// The destination copy is live; report the cleanup failure.
+		return fmt.Errorf("container: source cleanup after migrating %q: %w", id, err)
+	}
+	return nil
+}
+
+func checkStateField(f Field) error {
+	if f.Name == "" {
+		return fmt.Errorf("container: snapshot field without a name")
+	}
+	if err := wireCheck(f.Value); err != nil {
+		return fmt.Errorf("container: snapshot field %q: %w", f.Name, err)
+	}
+	return nil
+}

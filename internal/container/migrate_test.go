@@ -1,0 +1,178 @@
+package container
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// statefulCounterFactory builds a migratable counter: its running total
+// survives Snapshot/Restore.
+func statefulCounterFactory() Factory {
+	return FuncFactory(func() *FuncComponent {
+		var mu sync.Mutex
+		var n int64
+		f := &FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "SCounter", Operations: []wsdl.OpSpec{
+				{Name: "inc", Input: []wsdl.ParamSpec{{Name: "by", Type: wire.KindInt64}},
+					Output: []wsdl.ParamSpec{{Name: "total", Type: wire.KindInt64}}},
+			}},
+		}
+		f.Handlers = map[string]OpFunc{
+			"inc": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+				by, _ := wire.GetArg(args, "by")
+				mu.Lock()
+				defer mu.Unlock()
+				n += by.(int64)
+				return wire.Args("total", n), nil
+			},
+		}
+		f.OnSnapshot = func() ([]Field, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return []Field{{Name: "n", Value: n}}, nil
+		}
+		f.OnRestore = func(state []Field) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, s := range state {
+				if s.Name == "n" {
+					n = s.Value.(int64)
+					return nil
+				}
+			}
+			return fmt.Errorf("missing n")
+		}
+		return f
+	})
+}
+
+func migrationPair(t *testing.T) (*Container, *Container) {
+	t.Helper()
+	src := New(Config{Name: "src"})
+	dst := New(Config{Name: "dst"})
+	for _, c := range []*Container{src, dst} {
+		c.RegisterFactory("SCounter", statefulCounterFactory())
+	}
+	return src, dst
+}
+
+func TestMigratePreservesState(t *testing.T) {
+	src, dst := migrationPair(t)
+	inst, _, err := src.Deploy("SCounter", "job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := src.Invoke(ctx, inst.ID, "inc", wire.Args("by", int64(3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Migrate(src, "job", dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Instance("job"); ok {
+		t.Fatal("source instance survived migration")
+	}
+	out, err := dst.Invoke(ctx, "job", "inc", wire.Args("by", int64(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := wire.GetArg(out, "total")
+	if total.(int64) != 15 {
+		t.Fatalf("total after migration = %v, want 15", total)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	src, dst := migrationPair(t)
+	if err := Migrate(src, "ghost", dst); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := src.Deploy("SCounter", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Migrate(src, "a", src); err == nil {
+		t.Fatal("self-migration should fail")
+	}
+	// Destination without the class: source must be restarted.
+	bare := New(Config{Name: "bare"})
+	if err := Migrate(src, "a", bare); err == nil {
+		t.Fatal("missing factory at destination should fail")
+	}
+	inst, _ := src.Instance("a")
+	if inst.Status() != Running {
+		t.Fatal("failed migration left the source stopped")
+	}
+	if _, err := src.Invoke(context.Background(), "a", "inc", wire.Args("by", int64(1))); err != nil {
+		t.Fatalf("source unusable after failed migration: %v", err)
+	}
+}
+
+func TestMigrateRejectsNonStateful(t *testing.T) {
+	src, dst := migrationPair(t)
+	src.RegisterFactory("Plain", counterFactory()) // no snapshot hooks
+	dst.RegisterFactory("Plain", counterFactory())
+	if _, _, err := src.Deploy("Plain", "p"); err != nil {
+		t.Fatal(err)
+	}
+	err := Migrate(src, "p", dst)
+	if err == nil {
+		t.Fatal("non-stateful migration should fail")
+	}
+	// The source must keep running.
+	inst, _ := src.Instance("p")
+	if inst.Status() != Running {
+		t.Fatal("source left stopped")
+	}
+}
+
+func TestMigrateDuplicateIDAtDestination(t *testing.T) {
+	src, dst := migrationPair(t)
+	if _, _, err := src.Deploy("SCounter", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dst.Deploy("SCounter", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Migrate(src, "x", dst); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v", err)
+	}
+	inst, _ := src.Instance("x")
+	if inst.Status() != Running {
+		t.Fatal("source left stopped after duplicate-ID failure")
+	}
+}
+
+func TestMigrateRejectsNonWireState(t *testing.T) {
+	src, dst := migrationPair(t)
+	src.RegisterFactory("BadState", FuncFactory(func() *FuncComponent {
+		return &FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "BadState", Operations: []wsdl.OpSpec{{Name: "noop"}}},
+			Handlers: map[string]OpFunc{
+				"noop": func(context.Context, []wire.Arg) ([]wire.Arg, error) { return nil, nil },
+			},
+			OnSnapshot: func() ([]Field, error) {
+				return []Field{{Name: "bad", Value: map[string]int{}}}, nil
+			},
+			OnRestore: func([]Field) error { return nil },
+		}
+	}))
+	dst.RegisterFactory("BadState", statefulCounterFactory())
+	if _, _, err := src.Deploy("BadState", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Migrate(src, "b", dst); err == nil {
+		t.Fatal("non-wire snapshot state should fail")
+	}
+	inst, _ := src.Instance("b")
+	if inst.Status() != Running {
+		t.Fatal("source left stopped")
+	}
+}

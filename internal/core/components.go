@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// Built-in components reproducing the paper's running examples: the
+// WSTime service of Figure 7, the MatMul service of Figure 8, and a
+// LinSolve service standing in for the "highly optimized version of the
+// LAPACK service" of the Section 6 locality scenario.
+
+// WSTimeFactory builds the trivial Time service of Figure 7. now may be
+// nil, defaulting to time.Now (injectable for deterministic tests).
+func WSTimeFactory(now func() time.Time) container.Factory {
+	if now == nil {
+		now = time.Now
+	}
+	return container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: wsdl.WSTimeSpec(),
+			Handlers: map[string]container.OpFunc{
+				"getTime": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					return wire.Args("time", now().UTC().Format(time.RFC1123)), nil
+				},
+			},
+		}
+	})
+}
+
+// MatMulSpecN extends the paper's Figure 8 service with an explicit
+// dimension parameter so square matrices of any size multiply.
+func MatMulSpecN() wsdl.ServiceSpec {
+	return wsdl.ServiceSpec{
+		Name: "MatMul",
+		Operations: []wsdl.OpSpec{{
+			Name: "getResult",
+			Input: []wsdl.ParamSpec{
+				{Name: "mata", Type: wire.KindFloat64Array},
+				{Name: "matb", Type: wire.KindFloat64Array},
+				{Name: "n", Type: wire.KindInt32},
+			},
+			Output: []wsdl.ParamSpec{{Name: "result", Type: wire.KindFloat64Array}},
+		}},
+	}
+}
+
+// MatMul multiplies two n×n row-major matrices.
+func MatMul(a, b []float64, n int) ([]float64, error) {
+	if n < 0 || len(a) != n*n || len(b) != n*n {
+		return nil, fmt.Errorf("core: matmul wants two %d×%d matrices, got %d and %d elements",
+			n, n, len(a), len(b))
+	}
+	out := make([]float64, n*n)
+	// ikj loop order for cache-friendly access to b and out.
+	for i := 0; i < n; i++ {
+		arow := a[i*n : (i+1)*n]
+		orow := out[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulFactory builds the MatMul component of Figure 8.
+func MatMulFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: MatMulSpecN(),
+			Handlers: map[string]container.OpFunc{
+				"getResult": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					av, ok := wire.GetArg(args, "mata")
+					if !ok {
+						return nil, fmt.Errorf("core: matmul missing mata")
+					}
+					bv, ok := wire.GetArg(args, "matb")
+					if !ok {
+						return nil, fmt.Errorf("core: matmul missing matb")
+					}
+					a, _ := av.([]float64)
+					b, _ := bv.([]float64)
+					n := int(math.Sqrt(float64(len(a))))
+					if nv, ok := wire.GetArg(args, "n"); ok {
+						if ni, ok := nv.(int32); ok {
+							n = int(ni)
+						}
+					}
+					out, err := MatMul(a, b, n)
+					if err != nil {
+						return nil, err
+					}
+					return wire.Args("result", out), nil
+				},
+			},
+		}
+	})
+}
+
+// LinSolveSpec describes the LAPACK stand-in: solve(A, b, n) -> x with
+// A an n×n row-major matrix.
+func LinSolveSpec() wsdl.ServiceSpec {
+	return wsdl.ServiceSpec{
+		Name: "LinSolve",
+		Operations: []wsdl.OpSpec{{
+			Name: "solve",
+			Input: []wsdl.ParamSpec{
+				{Name: "a", Type: wire.KindFloat64Array},
+				{Name: "b", Type: wire.KindFloat64Array},
+				{Name: "n", Type: wire.KindInt32},
+			},
+			Output: []wsdl.ParamSpec{{Name: "x", Type: wire.KindFloat64Array}},
+		}},
+	}
+}
+
+// LinSolve solves Ax = b by LU decomposition with partial pivoting.
+// A is n×n row-major and is not modified.
+func LinSolve(a, b []float64, n int) ([]float64, error) {
+	if n < 0 || len(a) != n*n || len(b) != n {
+		return nil, fmt.Errorf("core: linsolve wants %d×%d matrix and %d-vector, got %d and %d elements",
+			n, n, n, len(a), len(b))
+	}
+	lu := append([]float64(nil), a...)
+	x := append([]float64(nil), b...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(lu[perm[col]*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[perm[r]*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("core: linsolve: singular matrix (column %d)", col)
+		}
+		perm[col], perm[pivot] = perm[pivot], perm[col]
+		prow := perm[col]
+		pv := lu[prow*n+col]
+		for r := col + 1; r < n; r++ {
+			row := perm[r]
+			f := lu[row*n+col] / pv
+			if f == 0 {
+				continue
+			}
+			lu[row*n+col] = f
+			for c := col + 1; c < n; c++ {
+				lu[row*n+c] -= f * lu[prow*n+c]
+			}
+		}
+	}
+	// Forward substitution (Ly = Pb).
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := x[perm[i]]
+		for j := 0; j < i; j++ {
+			sum -= lu[perm[i]*n+j] * y[j]
+		}
+		y[i] = sum
+	}
+	// Back substitution (Ux = y).
+	out := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for j := i + 1; j < n; j++ {
+			sum -= lu[perm[i]*n+j] * out[j]
+		}
+		out[i] = sum / lu[perm[i]*n+i]
+	}
+	return out, nil
+}
+
+// LinSolveFactory builds the LAPACK stand-in component.
+func LinSolveFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: LinSolveSpec(),
+			Handlers: map[string]container.OpFunc{
+				"solve": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					av, _ := wire.GetArg(args, "a")
+					bv, _ := wire.GetArg(args, "b")
+					nv, _ := wire.GetArg(args, "n")
+					a, _ := av.([]float64)
+					b, _ := bv.([]float64)
+					ni, _ := nv.(int32)
+					x, err := LinSolve(a, b, int(ni))
+					if err != nil {
+						return nil, err
+					}
+					return wire.Args("x", x), nil
+				},
+			},
+		}
+	})
+}
+
+// RegisterBuiltins installs every built-in component class on a container.
+func RegisterBuiltins(c *container.Container) {
+	c.RegisterFactory("WSTime", WSTimeFactory(nil))
+	c.RegisterFactory("MatMul", MatMulFactory())
+	c.RegisterFactory("LinSolve", LinSolveFactory())
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/invoke"
+	"harness2/internal/registry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+func newFW(t *testing.T) *Framework {
+	t.Helper()
+	f := NewFramework(nil)
+	t.Cleanup(f.Close)
+	return f
+}
+
+func addNode(t *testing.T, f *Framework, name string) *Node {
+	t.Helper()
+	n, err := f.AddNode(name, NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterBuiltins(n.Container())
+	return n
+}
+
+func TestMatMulKernel(t *testing.T) {
+	a := []float64{1, 2, 3, 4} // [[1,2],[3,4]]
+	b := []float64{5, 6, 7, 8}
+	got, err := MatMul(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	if !wire.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if _, err := MatMul(a, b, 3); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	// Identity property.
+	id := []float64{1, 0, 0, 1}
+	got, _ = MatMul(a, id, 2)
+	if !wire.Equal(got, a) {
+		t.Fatalf("A*I = %v", got)
+	}
+	// Empty matrices are legal.
+	if out, err := MatMul(nil, nil, 0); err != nil || len(out) != 0 {
+		t.Fatalf("0×0: %v %v", out, err)
+	}
+}
+
+func TestLinSolveKernel(t *testing.T) {
+	// 3x3 system with known solution x = (1, -2, 3).
+	a := []float64{
+		2, 1, -1,
+		-3, -1, 2,
+		-2, 1, 2,
+	}
+	x := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b[i] += a[i*3+j] * x[j]
+		}
+	}
+	got, err := LinSolve(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("x = %v", got)
+		}
+	}
+	// Singular matrix.
+	if _, err := LinSolve([]float64{1, 2, 2, 4}, []float64{1, 2}, 2); err == nil {
+		t.Fatal("singular matrix should fail")
+	}
+	// Size mismatch.
+	if _, err := LinSolve(a, b, 2); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+	// Pivoting required: zero on the diagonal.
+	a2 := []float64{0, 1, 1, 0}
+	got, err = LinSolve(a2, []float64{3, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-5) > 1e-12 || math.Abs(got[1]-3) > 1e-12 {
+		t.Fatalf("pivoted solve = %v", got)
+	}
+}
+
+func TestPropertyLinSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		// Diagonal dominance guarantees non-singularity.
+		for i := 0; i < n; i++ {
+			a[i*n+i] += float64(n) + 1
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := LinSolve(a, b, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a[i*n+j] * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMatMulDistributesOverIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := make([]float64, n*n)
+		id := make([]float64, n*n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			id[i*n+i] = 1
+		}
+		left, err1 := MatMul(id, a, n)
+		right, err2 := MatMul(a, id, n)
+		return err1 == nil && err2 == nil && wire.Equal(left, a) && wire.Equal(right, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeEndpointsLive(t *testing.T) {
+	f := newFW(t)
+	n := addNode(t, f, "n1")
+	if n.SOAPBase() == "" || n.XDRAddr() == "" {
+		t.Fatalf("endpoints: soap=%q xdr=%q", n.SOAPBase(), n.XDRAddr())
+	}
+	if n.Name() != "n1" {
+		t.Fatalf("name = %q", n.Name())
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is safe.
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishDiscoverInvokeLoop(t *testing.T) {
+	// The full Figure 3/4 loop: deploy → publish → discover → bind →
+	// invoke → lookup service out of the loop.
+	f := newFW(t)
+	addNode(t, f, "n1")
+	inst, key, err := f.DeployAndPublish("n1", "MatMul", "mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID != "mm" || key == "" {
+		t.Fatalf("inst=%v key=%q", inst.ID, key)
+	}
+	defsList, err := f.Discover("MatMul")
+	if err != nil || len(defsList) != 1 {
+		t.Fatalf("discover: %v %v", defsList, err)
+	}
+	p, err := f.Dial(defsList[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Co-located: must select the JavaObject binding.
+	if p.Kind() != wsdl.BindJavaObject {
+		t.Fatalf("kind = %v", p.Kind())
+	}
+	out, err := p.Invoke(context.Background(), "getResult",
+		wire.Args("mata", []float64{1, 2, 3, 4}, "matb", []float64{5, 6, 7, 8}, "n", int32(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := wire.GetArg(out, "result")
+	if !wire.Equal(res, []float64{19, 22, 43, 50}) {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func TestDialRemoteForcesNetworkBinding(t *testing.T) {
+	f := newFW(t)
+	addNode(t, f, "n1")
+	if _, _, err := f.DeployAndPublish("n1", "MatMul", "mm"); err != nil {
+		t.Fatal(err)
+	}
+	defsList, _ := f.Discover("MatMul")
+	p, err := f.DialRemote(defsList[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Kind() == wsdl.BindJavaObject {
+		t.Fatal("remote dial must not use the local binding")
+	}
+	out, err := p.Invoke(context.Background(), "getResult",
+		wire.Args("mata", []float64{2}, "matb", []float64{3}, "n", int32(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := wire.GetArg(out, "result")
+	if !wire.Equal(res, []float64{6}) {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func TestWSTimeService(t *testing.T) {
+	f := newFW(t)
+	n := addNode(t, f, "n1")
+	fixed := time.Date(2002, 4, 15, 12, 0, 0, 0, time.UTC)
+	n.Container().RegisterFactory("WSTime", WSTimeFactory(func() time.Time { return fixed }))
+	if _, _, err := f.DeployAndPublish("n1", "WSTime", "time"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Call(context.Background(), "WSTime", "getTime", nil, "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != fixed.Format(time.RFC1123) {
+		t.Fatalf("time = %q", v)
+	}
+	// WSTime is string-typed: its WSDL must not advertise XDR.
+	defsList, _ := f.Discover("WSTime")
+	if refs := defsList[0].PortsByKind(wsdl.BindXDR); len(refs) != 0 {
+		t.Fatal("WSTime must not have an XDR port")
+	}
+}
+
+func TestDiscoverByQuery(t *testing.T) {
+	f := newFW(t)
+	addNode(t, f, "n1")
+	_, _, _ = f.DeployAndPublish("n1", "MatMul", "")
+	_, _, _ = f.DeployAndPublish("n1", "WSTime", "")
+	// Find services with an XDR endpoint: only MatMul qualifies.
+	defsList, err := f.DiscoverByQuery("//binding/xdr:binding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defsList) != 1 || defsList[0].Name != "MatMul" {
+		t.Fatalf("query result = %v", defsList)
+	}
+	if _, err := f.DiscoverByQuery("bad["); err == nil {
+		t.Fatal("bad query should fail")
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	f := newFW(t)
+	addNode(t, f, "n1")
+	if _, err := f.Call(context.Background(), "Nope", "x", nil, "r"); err == nil {
+		t.Fatal("unknown service should fail")
+	}
+}
+
+func TestFrameworkNodeManagement(t *testing.T) {
+	f := newFW(t)
+	addNode(t, f, "n1")
+	if _, err := f.AddNode("n1", NodeOptions{}); err == nil {
+		t.Fatal("duplicate node should fail")
+	}
+	if _, ok := f.Node("n1"); !ok {
+		t.Fatal("node lookup failed")
+	}
+	if _, ok := f.Node("ghost"); ok {
+		t.Fatal("ghost node found")
+	}
+}
+
+func TestNodeWithoutEndpoints(t *testing.T) {
+	n, err := NewNode("bare", NodeOptions{DisableSOAP: true, DisableXDR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.SOAPBase() != "" || n.XDRAddr() != "" {
+		t.Fatal("endpoints should be empty")
+	}
+	RegisterBuiltins(n.Container())
+	inst, _, err := n.Container().Deploy("MatMul", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local invocation still works — this is a purely private container.
+	out, err := n.Container().Invoke(context.Background(), inst.ID, "getResult",
+		wire.Args("mata", []float64{1}, "matb", []float64{1}, "n", int32(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := wire.GetArg(out, "result")
+	if !wire.Equal(res, []float64{1}) {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func TestStatefulAcrossBindingsEndToEnd(t *testing.T) {
+	// Stateful instance addressed through SOAP and XDR endpoints from a
+	// "remote" client: state accumulates on the single pinned instance.
+	f := newFW(t)
+	n := addNode(t, f, "n1")
+	n.Container().RegisterFactory("Accum", accumFactory())
+	if _, _, err := f.DeployAndPublish("n1", "Accum", "acc"); err != nil {
+		t.Fatal(err)
+	}
+	defsList, _ := f.Discover("Accum")
+	ports := invoke.OpenAll(defsList[0], invoke.Options{})
+	if len(ports) != 3 { // XDR + SOAP + HTTP GET (numeric service), no local
+		t.Fatalf("ports = %d", len(ports))
+	}
+	ctx := context.Background()
+	var last float64
+	for _, p := range ports {
+		out, err := p.Invoke(ctx, "add", wire.Args("x", 1.5))
+		if err != nil {
+			t.Fatalf("[%v] %v", p.Kind(), err)
+		}
+		s, _ := wire.GetArg(out, "sum")
+		last = s.(float64)
+		_ = p.Close()
+	}
+	if last != 4.5 {
+		t.Fatalf("sum = %v", last)
+	}
+}
+
+func TestNodeServesWSILInspection(t *testing.T) {
+	// Registry-free discovery: fetch the node's inspection document, walk
+	// to the referenced WSDL, dial, and invoke.
+	f := newFW(t)
+	n := addNode(t, f, "n1")
+	if _, _, err := n.Container().Deploy("MatMul", "mm"); err != nil {
+		t.Fatal(err)
+	}
+	base := strings.TrimSuffix(n.SOAPBase(), "/services")
+	defsList, err := registry.DiscoverViaWSIL(base + "/inspection.wsil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defsList) != 1 || defsList[0].Name != "MatMul" {
+		t.Fatalf("wsil discovery = %v", defsList)
+	}
+	p, err := invoke.Dial(defsList[0], invoke.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	out, err := p.Invoke(context.Background(), "getResult",
+		wire.Args("mata", []float64{3}, "matb", []float64{5}, "n", int32(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := wire.GetArg(out, "result")
+	if !wire.Equal(res, []float64{15}) {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func accumFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		var mu sync.Mutex
+		var sum float64
+		return &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "Accum", Operations: []wsdl.OpSpec{
+				{Name: "add", Input: []wsdl.ParamSpec{{Name: "x", Type: wire.KindFloat64}},
+					Output: []wsdl.ParamSpec{{Name: "sum", Type: wire.KindFloat64}}},
+			}},
+			Handlers: map[string]container.OpFunc{
+				"add": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					xv, _ := wire.GetArg(args, "x")
+					mu.Lock()
+					defer mu.Unlock()
+					sum += xv.(float64)
+					return wire.Args("sum", sum), nil
+				},
+			},
+		}
+	})
+}

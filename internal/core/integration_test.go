@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"harness2/internal/registry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// TestTwoFrameworksSharedRemoteRegistry is the full distributed scenario:
+// two independent frameworks (separate address spaces in spirit) share a
+// central SOAP registry. Provider publishes through it; consumer
+// discovers through it and must invoke over a network binding, because
+// the provider's container is not co-located.
+func TestTwoFrameworksSharedRemoteRegistry(t *testing.T) {
+	// Central registry served over SOAP/HTTP.
+	reg := registry.New()
+	regSrv := httptest.NewServer(registry.NewServer(reg))
+	defer regSrv.Close()
+
+	provider := NewFramework(registry.NewRemote(regSrv.URL))
+	defer provider.Close()
+	consumer := NewFramework(registry.NewRemote(regSrv.URL))
+	defer consumer.Close()
+
+	pnode, err := provider.AddNode("provider-node", NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterBuiltins(pnode.Container())
+	if _, err := consumer.AddNode("consumer-node", NodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish travels over SOAP to the central registry.
+	if _, _, err := provider.DeployAndPublish("provider-node", "MatMul", "mm"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("central registry has %d entries", reg.Len())
+	}
+
+	// The consumer discovers through the same central registry...
+	defsList, err := consumer.Discover("MatMul")
+	if err != nil || len(defsList) != 1 {
+		t.Fatalf("consumer discover: %v %v", defsList, err)
+	}
+	// ...and must not get a local binding: the provider's container is
+	// not among the consumer framework's nodes.
+	p, err := consumer.Dial(defsList[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Kind() == wsdl.BindJavaObject {
+		t.Fatalf("consumer dialled a local binding across frameworks")
+	}
+	out, err := p.Invoke(context.Background(), "getResult",
+		wire.Args("mata", []float64{1, 2}, "matb", []float64{3, 4}, "n", int32(0)))
+	_ = out
+	// n=0 with 2-element matrices is a dimension error served remotely:
+	// the fault must propagate as an error, not a panic.
+	if err == nil {
+		t.Fatal("dimension error should propagate across the binding")
+	}
+	out, err = p.Invoke(context.Background(), "getResult",
+		wire.Args("mata", []float64{1, 2, 3, 4}, "matb", []float64{5, 6, 7, 8}, "n", int32(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := wire.GetArg(out, "result")
+	if !wire.Equal(res, []float64{19, 22, 43, 50}) {
+		t.Fatalf("result = %v", res)
+	}
+
+	// Unpublish via the provider: the consumer stops finding it.
+	if err := pnode.Container().Unexpose("mm", provider.Registry); err != nil {
+		t.Fatal(err)
+	}
+	defsList, err = consumer.Discover("MatMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defsList) != 0 {
+		t.Fatalf("service still discoverable after unpublish: %v", defsList)
+	}
+}
+
+// TestCrossFrameworkWSILDiscovery covers the registry-free path between
+// frameworks: the consumer learns everything from the provider node's
+// inspection document.
+func TestCrossFrameworkWSILDiscovery(t *testing.T) {
+	provider := NewFramework(nil)
+	defer provider.Close()
+	pnode, err := provider.AddNode("p", NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterBuiltins(pnode.Container())
+	if _, _, err := pnode.Container().Deploy("LinSolve", "lapack"); err != nil {
+		t.Fatal(err)
+	}
+
+	base := pnode.SOAPBase()[:len(pnode.SOAPBase())-len("/services")]
+	defsList, err := registry.DiscoverViaWSIL(base + "/inspection.wsil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defsList) != 1 || defsList[0].Name != "LinSolve" {
+		t.Fatalf("wsil = %v", defsList)
+	}
+	// The discovered description is complete enough to solve a system
+	// through the XDR binding.
+	consumer := NewFramework(nil)
+	defer consumer.Close()
+	p, err := consumer.DialRemote(defsList[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	out, err := p.Invoke(context.Background(), "solve",
+		wire.Args("a", []float64{2, 0, 0, 2}, "b", []float64{2, 4}, "n", int32(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := wire.GetArg(out, "x")
+	if !wire.Equal(x, []float64{1, 2}) {
+		t.Fatalf("x = %v", x)
+	}
+}

@@ -1,0 +1,543 @@
+package dvm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"harness2/internal/simnet"
+)
+
+// Coherency is the DVM-enabling component interface: how the global state
+// is kept consistent across member nodes. Implementations must deliver
+// identical Query semantics; they differ only in where state lives and
+// what traffic each operation costs. Returned durations are modelled
+// (virtual) latencies charged against the simnet fabric.
+type Coherency interface {
+	// Name labels the strategy in experiment output.
+	Name() string
+	// AddNode admits a node to the coherency domain.
+	AddNode(node string) (time.Duration, error)
+	// RemoveNode withdraws a node and purges its services everywhere.
+	RemoveNode(node string) (time.Duration, error)
+	// Apply records a state-change event originating at node.
+	Apply(node string, ev Event) (time.Duration, error)
+	// Query answers q from the perspective of node.
+	Query(node string, q Query) ([]ServiceEntry, time.Duration, error)
+	// Members lists the admitted nodes.
+	Members() []string
+}
+
+// ---------------------------------------------------------------------------
+// Full synchrony: "the entire state information is replicated across all
+// participating nodes. All system events are synchronously distributed to
+// maintain coherency." Updates broadcast; queries are free local reads.
+
+// FullSync implements the replicated-state strategy.
+type FullSync struct {
+	net *simnet.Network
+
+	mu     sync.RWMutex
+	stores map[string]*store
+}
+
+var _ Coherency = (*FullSync)(nil)
+
+// NewFullSync creates the strategy over the given fabric.
+func NewFullSync(net *simnet.Network) *FullSync {
+	return &FullSync{net: net, stores: make(map[string]*store)}
+}
+
+// Name implements Coherency.
+func (f *FullSync) Name() string { return "full-sync" }
+
+// Fabric exposes the strategy's network for failure detection.
+func (f *FullSync) Fabric() *simnet.Network { return f.net }
+
+// AddNode implements Coherency: the join event itself is synchronously
+// distributed to existing members.
+func (f *FullSync) AddNode(node string) (time.Duration, error) {
+	f.mu.Lock()
+	if _, ok := f.stores[node]; ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("dvm: node %q already a member", node)
+	}
+	f.stores[node] = newStore()
+	f.mu.Unlock()
+	f.net.AddNode(node)
+	return f.Apply(node, Event{Kind: NodeJoin, Node: node})
+}
+
+// RemoveNode implements Coherency.
+func (f *FullSync) RemoveNode(node string) (time.Duration, error) {
+	f.mu.Lock()
+	if _, ok := f.stores[node]; !ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	f.mu.Unlock()
+	d, err := f.Apply(node, Event{Kind: NodeLeave, Node: node})
+	f.mu.Lock()
+	delete(f.stores, node)
+	f.mu.Unlock()
+	return d, err
+}
+
+// Apply implements Coherency: update locally, then synchronously
+// broadcast to every other member (parallel; cost is a full round trip to
+// the slowest member, since synchrony requires acknowledgement).
+func (f *FullSync) Apply(node string, ev Event) (time.Duration, error) {
+	f.mu.RLock()
+	local, ok := f.stores[node]
+	others := make(map[string]*store, len(f.stores))
+	for n, st := range f.stores {
+		if n != node {
+			others[n] = st
+		}
+	}
+	f.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	local.apply(ev)
+	var worst time.Duration
+	size := ev.ByteSize()
+	for n, st := range others {
+		rtt, err := f.net.RTT(node, n, size, ackBytes)
+		if err != nil {
+			return worst, fmt.Errorf("dvm: full-sync distribution to %s: %w", n, err)
+		}
+		st.apply(ev)
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return worst, nil
+}
+
+// Query implements Coherency: a pure local replica read.
+func (f *FullSync) Query(node string, q Query) ([]ServiceEntry, time.Duration, error) {
+	f.mu.RLock()
+	st, ok := f.stores[node]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	return st.query(q), 0, nil
+}
+
+// Members implements Coherency.
+func (f *FullSync) Members() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.stores))
+	for n := range f.stores {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fully decentralized: "state change events are not propagated to other
+// nodes. Instead, every request for state information triggers a
+// distributed query spanning across the DVM."
+
+// Decentralized implements the query-on-demand strategy.
+type Decentralized struct {
+	net *simnet.Network
+
+	mu     sync.RWMutex
+	stores map[string]*store
+}
+
+var _ Coherency = (*Decentralized)(nil)
+
+// NewDecentralized creates the strategy over the given fabric.
+func NewDecentralized(net *simnet.Network) *Decentralized {
+	return &Decentralized{net: net, stores: make(map[string]*store)}
+}
+
+// Name implements Coherency.
+func (d *Decentralized) Name() string { return "decentralized" }
+
+// Fabric exposes the strategy's network for failure detection.
+func (d *Decentralized) Fabric() *simnet.Network { return d.net }
+
+// AddNode implements Coherency: membership changes cost nothing — nodes
+// learn of each other through the coherency domain's shared membership.
+func (d *Decentralized) AddNode(node string) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.stores[node]; ok {
+		return 0, fmt.Errorf("dvm: node %q already a member", node)
+	}
+	d.stores[node] = newStore()
+	d.net.AddNode(node)
+	return 0, nil
+}
+
+// RemoveNode implements Coherency.
+func (d *Decentralized) RemoveNode(node string) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.stores[node]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	delete(d.stores, node)
+	return 0, nil
+}
+
+// Apply implements Coherency: the event stays local; zero traffic.
+func (d *Decentralized) Apply(node string, ev Event) (time.Duration, error) {
+	d.mu.RLock()
+	st, ok := d.stores[node]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	st.apply(ev)
+	return 0, nil
+}
+
+// Query implements Coherency: fan the query out to every member in
+// parallel and merge; cost is the slowest round trip (responses carry the
+// matched entries).
+func (d *Decentralized) Query(node string, q Query) ([]ServiceEntry, time.Duration, error) {
+	d.mu.RLock()
+	local, ok := d.stores[node]
+	others := make(map[string]*store, len(d.stores))
+	for n, st := range d.stores {
+		if n != node {
+			others[n] = st
+		}
+	}
+	d.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	sets := [][]ServiceEntry{local.query(q)}
+	var worst time.Duration
+	for n, st := range others {
+		res := st.query(q)
+		respBytes := ackBytes
+		for _, e := range res {
+			respBytes += e.ByteSize()
+		}
+		rtt, err := d.net.RTT(node, n, q.ByteSize(), respBytes)
+		if err != nil {
+			// Unreachable nodes simply contribute nothing, mirroring a
+			// best-effort spanning query over a faulty fabric.
+			continue
+		}
+		sets = append(sets, res)
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return mergeEntries(sets...), worst, nil
+}
+
+// Members implements Coherency.
+func (d *Decentralized) Members() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.stores))
+	for n := range d.stores {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid: "mesh-structured applications may benefit from a scheme that
+// provides full synchrony across small neighborhoods but facilitates
+// distributed queries for farther hosts."
+
+// Hybrid implements neighbourhood synchrony with inter-neighbourhood
+// spanning queries. Nodes join neighbourhoods of at most K in join order.
+type Hybrid struct {
+	net *simnet.Network
+	K   int
+
+	mu     sync.RWMutex
+	stores map[string]*store
+	// hood maps node -> neighbourhood index; hoods lists members per
+	// neighbourhood in join order.
+	hood  map[string]int
+	hoods [][]string
+}
+
+var _ Coherency = (*Hybrid)(nil)
+
+// NewHybrid creates the strategy with neighbourhoods of size k (≥1).
+func NewHybrid(net *simnet.Network, k int) *Hybrid {
+	if k < 1 {
+		k = 1
+	}
+	return &Hybrid{net: net, K: k, stores: make(map[string]*store), hood: make(map[string]int)}
+}
+
+// Name implements Coherency.
+func (h *Hybrid) Name() string { return fmt.Sprintf("hybrid-k%d", h.K) }
+
+// Fabric exposes the strategy's network for failure detection.
+func (h *Hybrid) Fabric() *simnet.Network { return h.net }
+
+// AddNode implements Coherency.
+func (h *Hybrid) AddNode(node string) (time.Duration, error) {
+	h.mu.Lock()
+	if _, ok := h.stores[node]; ok {
+		h.mu.Unlock()
+		return 0, fmt.Errorf("dvm: node %q already a member", node)
+	}
+	h.stores[node] = newStore()
+	idx := -1
+	for i := range h.hoods {
+		if len(h.hoods[i]) < h.K {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		h.hoods = append(h.hoods, nil)
+		idx = len(h.hoods) - 1
+	}
+	h.hoods[idx] = append(h.hoods[idx], node)
+	h.hood[node] = idx
+	h.mu.Unlock()
+	h.net.AddNode(node)
+	return h.Apply(node, Event{Kind: NodeJoin, Node: node})
+}
+
+// RemoveNode implements Coherency.
+func (h *Hybrid) RemoveNode(node string) (time.Duration, error) {
+	h.mu.RLock()
+	_, ok := h.stores[node]
+	h.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	d, err := h.Apply(node, Event{Kind: NodeLeave, Node: node})
+	h.mu.Lock()
+	idx := h.hood[node]
+	members := h.hoods[idx]
+	for i, n := range members {
+		if n == node {
+			h.hoods[idx] = append(members[:i], members[i+1:]...)
+			break
+		}
+	}
+	delete(h.hood, node)
+	delete(h.stores, node)
+	h.mu.Unlock()
+	return d, err
+}
+
+// Apply implements Coherency: synchronous distribution within the
+// originating node's neighbourhood only.
+func (h *Hybrid) Apply(node string, ev Event) (time.Duration, error) {
+	h.mu.RLock()
+	local, ok := h.stores[node]
+	var peers []string
+	if ok {
+		for _, n := range h.hoods[h.hood[node]] {
+			if n != node {
+				peers = append(peers, n)
+			}
+		}
+	}
+	peerStores := make(map[string]*store, len(peers))
+	for _, n := range peers {
+		peerStores[n] = h.stores[n]
+	}
+	h.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	local.apply(ev)
+	var worst time.Duration
+	for n, st := range peerStores {
+		rtt, err := h.net.RTT(node, n, ev.ByteSize(), ackBytes)
+		if err != nil {
+			return worst, fmt.Errorf("dvm: hybrid distribution to %s: %w", n, err)
+		}
+		st.apply(ev)
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return worst, nil
+}
+
+// Query implements Coherency: the local neighbourhood replica answers for
+// free; one representative of every other neighbourhood is queried in
+// parallel.
+func (h *Hybrid) Query(node string, q Query) ([]ServiceEntry, time.Duration, error) {
+	h.mu.RLock()
+	local, ok := h.stores[node]
+	if !ok {
+		h.mu.RUnlock()
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	myHood := h.hood[node]
+	type rep struct {
+		name string
+		st   *store
+	}
+	var reps []rep
+	for i, members := range h.hoods {
+		if i == myHood || len(members) == 0 {
+			continue
+		}
+		reps = append(reps, rep{members[0], h.stores[members[0]]})
+	}
+	h.mu.RUnlock()
+
+	sets := [][]ServiceEntry{local.query(q)}
+	var worst time.Duration
+	for _, r := range reps {
+		res := r.st.query(q)
+		respBytes := ackBytes
+		for _, e := range res {
+			respBytes += e.ByteSize()
+		}
+		rtt, err := h.net.RTT(node, r.name, q.ByteSize(), respBytes)
+		if err != nil {
+			continue
+		}
+		sets = append(sets, res)
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return mergeEntries(sets...), worst, nil
+}
+
+// Members implements Coherency.
+func (h *Hybrid) Members() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.stores))
+	for n := range h.stores {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// ackBytes is the modelled size of acknowledgements and query headers.
+const ackBytes = 64
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// ---------------------------------------------------------------------------
+// Eviction: a surviving member announces a dead member's departure. The
+// announcement travels the same paths the strategy uses for ordinary
+// events, except that the dead node is excluded from distribution.
+
+// Evict implements Evicter for the replicated-state strategy: byNode
+// broadcasts the NodeLeave to every surviving member.
+func (f *FullSync) Evict(byNode, deadNode string) (time.Duration, error) {
+	f.mu.Lock()
+	if _, ok := f.stores[deadNode]; !ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, deadNode)
+	}
+	by, ok := f.stores[byNode]
+	if !ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, byNode)
+	}
+	delete(f.stores, deadNode)
+	others := make(map[string]*store, len(f.stores))
+	for n, st := range f.stores {
+		if n != byNode {
+			others[n] = st
+		}
+	}
+	f.mu.Unlock()
+
+	ev := Event{Kind: NodeLeave, Node: deadNode}
+	by.apply(ev)
+	var worst time.Duration
+	for n, st := range others {
+		rtt, err := f.net.RTT(byNode, n, ev.ByteSize(), ackBytes)
+		if err != nil {
+			return worst, fmt.Errorf("dvm: eviction broadcast to %s: %w", n, err)
+		}
+		st.apply(ev)
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return worst, nil
+}
+
+// Evict implements Evicter for the decentralized strategy: dropping the
+// dead node's store removes its services from every future spanning
+// query; no traffic is needed.
+func (d *Decentralized) Evict(byNode, deadNode string) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.stores[byNode]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, byNode)
+	}
+	if _, ok := d.stores[deadNode]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, deadNode)
+	}
+	delete(d.stores, deadNode)
+	return 0, nil
+}
+
+// Evict implements Evicter for the hybrid strategy: the dead node's
+// neighbourhood peers hold replicas of its rows, so byNode notifies each
+// of them (and applies locally when it shares the neighbourhood).
+func (h *Hybrid) Evict(byNode, deadNode string) (time.Duration, error) {
+	h.mu.Lock()
+	if _, ok := h.stores[byNode]; !ok {
+		h.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, byNode)
+	}
+	deadHood, ok := h.hood[deadNode]
+	if !ok {
+		h.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMember, deadNode)
+	}
+	peers := make(map[string]*store)
+	for _, n := range h.hoods[deadHood] {
+		if n != deadNode {
+			peers[n] = h.stores[n]
+		}
+	}
+	members := h.hoods[deadHood]
+	for i, n := range members {
+		if n == deadNode {
+			h.hoods[deadHood] = append(members[:i], members[i+1:]...)
+			break
+		}
+	}
+	delete(h.hood, deadNode)
+	delete(h.stores, deadNode)
+	h.mu.Unlock()
+
+	ev := Event{Kind: NodeLeave, Node: deadNode}
+	var worst time.Duration
+	for n, st := range peers {
+		if n == byNode {
+			st.apply(ev)
+			continue
+		}
+		rtt, err := h.net.RTT(byNode, n, ev.ByteSize(), ackBytes)
+		if err != nil {
+			return worst, fmt.Errorf("dvm: eviction notice to %s: %w", n, err)
+		}
+		st.apply(ev)
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return worst, nil
+}

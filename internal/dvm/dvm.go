@@ -1,0 +1,264 @@
+package dvm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/invoke"
+	"harness2/internal/wire"
+)
+
+// DVM is a Distributed Virtual Machine: a named aggregate of component
+// containers with a unified name space. The functional behaviour (deploy,
+// lookup, invoke) is real — containers host live components — while
+// global-state maintenance is delegated to the chosen Coherency strategy,
+// whose traffic is charged to the strategy's simnet fabric.
+type DVM struct {
+	name string
+	coh  Coherency
+
+	mu      sync.RWMutex
+	members map[string]*container.Container
+	// virtual accumulates the modelled coherency latency of every
+	// operation performed through this DVM.
+	virtual time.Duration
+}
+
+// New creates a DVM with the given symbolic name (unique in the Harness
+// name space, per the paper) and coherency strategy.
+func New(name string, coh Coherency) *DVM {
+	return &DVM{name: name, coh: coh, members: make(map[string]*container.Container)}
+}
+
+// Name returns the DVM's symbolic name.
+func (d *DVM) Name() string { return d.name }
+
+// Coherency returns the active DVM-enabling strategy.
+func (d *DVM) Coherency() Coherency { return d.coh }
+
+// VirtualTime returns the accumulated modelled coherency latency.
+func (d *DVM) VirtualTime() time.Duration {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.virtual
+}
+
+func (d *DVM) charge(t time.Duration) {
+	d.mu.Lock()
+	d.virtual += t
+	d.mu.Unlock()
+}
+
+// AddNode enrolls a container as a DVM member.
+func (d *DVM) AddNode(c *container.Container) error {
+	name := c.Name()
+	d.mu.Lock()
+	if _, ok := d.members[name]; ok {
+		d.mu.Unlock()
+		return fmt.Errorf("dvm: node %q already enrolled", name)
+	}
+	d.members[name] = c
+	d.mu.Unlock()
+	t, err := d.coh.AddNode(name)
+	d.charge(t)
+	if err != nil {
+		d.mu.Lock()
+		delete(d.members, name)
+		d.mu.Unlock()
+	}
+	return err
+}
+
+// RemoveNode withdraws a node; its services leave the unified name space.
+func (d *DVM) RemoveNode(name string) error {
+	d.mu.Lock()
+	_, ok := d.members[name]
+	delete(d.members, name)
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	t, err := d.coh.RemoveNode(name)
+	d.charge(t)
+	return err
+}
+
+// Node returns a member container.
+func (d *DVM) Node(name string) (*container.Container, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.members[name]
+	return c, ok
+}
+
+// Nodes lists member node names.
+func (d *DVM) Nodes() []string { return d.coh.Members() }
+
+// Deploy instantiates class on the named node and records the service in
+// the DVM-wide table through the coherency strategy.
+func (d *DVM) Deploy(node, class, id string) (*container.Instance, error) {
+	c, ok := d.Node(node)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	inst, _, err := c.Deploy(class, id)
+	if err != nil {
+		return nil, err
+	}
+	entry := ServiceEntry{
+		Node:     node,
+		Instance: inst.ID,
+		Class:    inst.Class,
+		Service:  inst.Spec().Name,
+	}
+	if defs, werr := c.WSDLFor(inst.ID); werr == nil {
+		entry.WSDL = defs.String()
+	}
+	t, err := d.coh.Apply(node, Event{Kind: ServiceAdd, Node: node, Entry: entry})
+	d.charge(t)
+	if err != nil {
+		// Roll the deployment back so the table and reality agree.
+		_ = c.Undeploy(inst.ID)
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Undeploy removes an instance and its table row.
+func (d *DVM) Undeploy(node, id string) error {
+	c, ok := d.Node(node)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, node)
+	}
+	if err := c.Undeploy(id); err != nil {
+		return err
+	}
+	t, err := d.coh.Apply(node, Event{
+		Kind: ServiceRemove, Node: node,
+		Entry: ServiceEntry{Node: node, Instance: id},
+	})
+	d.charge(t)
+	return err
+}
+
+// Lookup answers q from the perspective of node, per the coherency
+// strategy's consistency/traffic trade-off.
+func (d *DVM) Lookup(node string, q Query) ([]ServiceEntry, error) {
+	entries, t, err := d.coh.Query(node, q)
+	d.charge(t)
+	return entries, err
+}
+
+// Invoke resolves an instance through the unified name space and invokes
+// it: lookup from the caller's node, then direct dispatch to the hosting
+// container (the post-discovery direct loop of Figure 4).
+func (d *DVM) Invoke(ctx context.Context, fromNode string, q Query, op string, args []wire.Arg) ([]wire.Arg, error) {
+	entries, err := d.Lookup(fromNode, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("dvm: %s matched no services", q)
+	}
+	e := entries[0]
+	c, ok := d.Node(e.Node)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (stale table entry)", ErrUnknownMember, e.Node)
+	}
+	return c.Invoke(ctx, e.Instance, op, args)
+}
+
+// Port opens an invocation port to the first match of q, preferring local
+// bindings when the caller's container is the host.
+func (d *DVM) Port(fromNode string, q Query) (invoke.Port, error) {
+	entries, err := d.Lookup(fromNode, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("dvm: %s matched no services", q)
+	}
+	e := entries[0]
+	host, ok := d.Node(e.Node)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMember, e.Node)
+	}
+	return &invoke.LocalPort{Container: host, Instance: e.Instance}, nil
+}
+
+// Migrate moves a stateful instance between member nodes, updating the
+// unified name space: the Section 6 mobility scenario ("upload his
+// application component to a container residing on that node"). The
+// service-table row moves atomically from the source node's entry to the
+// destination's.
+func (d *DVM) Migrate(fromNode, id, toNode string) error {
+	src, ok := d.Node(fromNode)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, fromNode)
+	}
+	dst, ok := d.Node(toNode)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, toNode)
+	}
+	inst, ok := src.Instance(id)
+	if !ok {
+		return fmt.Errorf("dvm: no instance %q on %s", id, fromNode)
+	}
+	class, service := inst.Class, inst.Spec().Name
+	if err := container.Migrate(src, id, dst); err != nil {
+		return err
+	}
+	t, err := d.coh.Apply(fromNode, Event{Kind: ServiceRemove, Node: fromNode,
+		Entry: ServiceEntry{Node: fromNode, Instance: id}})
+	d.charge(t)
+	if err != nil {
+		return err
+	}
+	entry := ServiceEntry{Node: toNode, Instance: id, Class: class, Service: service}
+	if defs, werr := dst.WSDLFor(id); werr == nil {
+		entry.WSDL = defs.String()
+	}
+	t, err = d.coh.Apply(toNode, Event{Kind: ServiceAdd, Node: toNode, Entry: entry})
+	d.charge(t)
+	return err
+}
+
+// NodeStatus summarises one member's load.
+type NodeStatus struct {
+	Node      string
+	Instances int
+	Classes   []string
+}
+
+// Status reports per-node instance counts — the DVM status-query service.
+func (d *DVM) Status() []NodeStatus {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []NodeStatus
+	for name, c := range d.members {
+		st := NodeStatus{Node: name}
+		seen := map[string]bool{}
+		for _, in := range c.Instances() {
+			st.Instances++
+			if !seen[in.Class] {
+				seen[in.Class] = true
+				st.Classes = append(st.Classes, in.Class)
+			}
+		}
+		sortStrings(st.Classes)
+		out = append(out, st)
+	}
+	sortByNode(out)
+	return out
+}
+
+func sortByNode(s []NodeStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Node < s[j-1].Node; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

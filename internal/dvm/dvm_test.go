@@ -1,0 +1,414 @@
+package dvm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/simnet"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+func echoFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "Echo", Operations: []wsdl.OpSpec{
+				{Name: "echo", Input: []wsdl.ParamSpec{{Name: "x", Type: wire.KindFloat64}},
+					Output: []wsdl.ParamSpec{{Name: "x", Type: wire.KindFloat64}}},
+			}},
+			Handlers: map[string]container.OpFunc{
+				"echo": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					return args, nil
+				},
+			},
+		}
+	})
+}
+
+func newNode(name string) *container.Container {
+	c := container.New(container.Config{Name: name})
+	c.RegisterFactory("Echo", echoFactory())
+	return c
+}
+
+func allStrategies(net *simnet.Network) []Coherency {
+	return []Coherency{NewFullSync(net), NewDecentralized(net), NewHybrid(net, 2)}
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{NodeJoin: "node-join", NodeLeave: "node-leave",
+		ServiceAdd: "service-add", ServiceRemove: "service-remove", EventKind(9): "unknown"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestQueryMatchAndString(t *testing.T) {
+	e := ServiceEntry{Node: "n1", Instance: "i1", Class: "Echo", Service: "Echo"}
+	cases := []struct {
+		q    Query
+		want bool
+	}{
+		{Query{}, true},
+		{Query{Service: "Echo"}, true},
+		{Query{Service: "Other"}, false},
+		{Query{Class: "Echo", Node: "n1"}, true},
+		{Query{Instance: "i2"}, false},
+		{Query{Node: "n2"}, false},
+	}
+	for _, c := range cases {
+		if got := c.q.Match(e); got != c.want {
+			t.Errorf("%s.Match = %v", c.q, got)
+		}
+	}
+	if (Query{}).String() != "query{*}" {
+		t.Error("empty query string")
+	}
+	if s := (Query{Service: "S", Node: "n"}).String(); s != "query{service=S,node=n}" {
+		t.Errorf("query string = %q", s)
+	}
+}
+
+// TestStrategiesAgree is the core consistency property: all coherency
+// strategies must expose identical query semantics, differing only in
+// cost.
+func TestStrategiesAgree(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	for _, coh := range allStrategies(net) {
+		t.Run(coh.Name(), func(t *testing.T) {
+			d := New("dvm1", coh)
+			nodes := []*container.Container{}
+			for i := 0; i < 5; i++ {
+				c := newNode(fmt.Sprintf("n%d", i))
+				nodes = append(nodes, c)
+				if err := d.AddNode(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Deploy two Echo instances per node.
+			for i := range nodes {
+				for j := 0; j < 2; j++ {
+					if _, err := d.Deploy(fmt.Sprintf("n%d", i), "Echo", fmt.Sprintf("e%d-%d", i, j)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Every node sees all ten services.
+			for i := 0; i < 5; i++ {
+				entries, err := d.Lookup(fmt.Sprintf("n%d", i), Query{Service: "Echo"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(entries) != 10 {
+					t.Fatalf("node n%d sees %d entries, want 10", i, len(entries))
+				}
+			}
+			// Scoped queries.
+			entries, _ := d.Lookup("n0", Query{Node: "n3"})
+			if len(entries) != 2 {
+				t.Fatalf("node-scoped lookup = %d", len(entries))
+			}
+			entries, _ = d.Lookup("n4", Query{Instance: "e2-1"})
+			if len(entries) != 1 || entries[0].Node != "n2" {
+				t.Fatalf("instance lookup = %v", entries)
+			}
+			// Undeploy propagates.
+			if err := d.Undeploy("n2", "e2-1"); err != nil {
+				t.Fatal(err)
+			}
+			entries, _ = d.Lookup("n0", Query{Service: "Echo"})
+			if len(entries) != 9 {
+				t.Fatalf("after undeploy: %d", len(entries))
+			}
+			// Node removal purges its services from every view.
+			if err := d.RemoveNode("n3"); err != nil {
+				t.Fatal(err)
+			}
+			entries, _ = d.Lookup("n0", Query{Service: "Echo"})
+			if len(entries) != 7 {
+				t.Fatalf("after node leave: %d", len(entries))
+			}
+			if got := len(d.Nodes()); got != 4 {
+				t.Fatalf("nodes = %d", got)
+			}
+		})
+	}
+}
+
+func TestCostShape(t *testing.T) {
+	// The paper's trade-off: full sync pays on updates and nothing on
+	// queries; decentralized pays on queries and nothing on updates.
+	mkDVM := func(coh Coherency, n int) *DVM {
+		d := New("d", coh)
+		for i := 0; i < n; i++ {
+			if err := d.AddNode(newNode(fmt.Sprintf("n%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+
+	netFS := simnet.New(simnet.LAN)
+	dFS := mkDVM(NewFullSync(netFS), 8)
+	netFS.ResetStats()
+	if _, err := dFS.Deploy("n0", "Echo", "e"); err != nil {
+		t.Fatal(err)
+	}
+	updMsgs := netFS.Stats().Messages
+	if updMsgs != 14 { // 7 peers × (event + ack)
+		t.Fatalf("full-sync update messages = %d, want 14", updMsgs)
+	}
+	netFS.ResetStats()
+	if _, err := dFS.Lookup("n5", Query{Service: "Echo"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := netFS.Stats().Messages; m != 0 {
+		t.Fatalf("full-sync query messages = %d, want 0", m)
+	}
+
+	netDC := simnet.New(simnet.LAN)
+	dDC := mkDVM(NewDecentralized(netDC), 8)
+	netDC.ResetStats()
+	if _, err := dDC.Deploy("n0", "Echo", "e"); err != nil {
+		t.Fatal(err)
+	}
+	if m := netDC.Stats().Messages; m != 0 {
+		t.Fatalf("decentralized update messages = %d, want 0", m)
+	}
+	netDC.ResetStats()
+	if _, err := dDC.Lookup("n5", Query{Service: "Echo"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := netDC.Stats().Messages; m != 14 { // 7 peers × (query + response)
+		t.Fatalf("decentralized query messages = %d, want 14", m)
+	}
+
+	// Hybrid k=4 with 8 nodes: update touches 3 hood peers; query touches
+	// 1 other-hood representative.
+	netHY := simnet.New(simnet.LAN)
+	dHY := mkDVM(NewHybrid(netHY, 4), 8)
+	netHY.ResetStats()
+	if _, err := dHY.Deploy("n0", "Echo", "e"); err != nil {
+		t.Fatal(err)
+	}
+	if m := netHY.Stats().Messages; m != 6 {
+		t.Fatalf("hybrid update messages = %d, want 6", m)
+	}
+	netHY.ResetStats()
+	if _, err := dHY.Lookup("n0", Query{Service: "Echo"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := netHY.Stats().Messages; m != 2 {
+		t.Fatalf("hybrid query messages = %d, want 2", m)
+	}
+}
+
+func TestInvokeThroughUnifiedNamespace(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	d := New("d", NewFullSync(net))
+	a, b := newNode("a"), newNode("b")
+	if err := d.AddNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Deploy("b", "Echo", "e1"); err != nil {
+		t.Fatal(err)
+	}
+	// Invoke from node a; the service lives on b.
+	out, err := d.Invoke(context.Background(), "a", Query{Service: "Echo"}, "echo", wire.Args("x", 4.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := wire.GetArg(out, "x")
+	if x.(float64) != 4.5 {
+		t.Fatalf("x = %v", x)
+	}
+	// Port-based access.
+	p, err := d.Port("a", Query{Service: "Echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = p.Invoke(context.Background(), "echo", wire.Args("x", 1.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := wire.GetArg(out, "x"); x.(float64) != 1.25 {
+		t.Fatalf("x = %v", x)
+	}
+	// Misses.
+	if _, err := d.Invoke(context.Background(), "a", Query{Service: "Nope"}, "echo", nil); err == nil {
+		t.Fatal("miss should error")
+	}
+	if _, err := d.Port("a", Query{Service: "Nope"}); err == nil {
+		t.Fatal("port miss should error")
+	}
+}
+
+func TestMembershipErrors(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	for _, coh := range allStrategies(net) {
+		d := New("d", coh)
+		n := newNode("x-" + coh.Name())
+		if err := d.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddNode(n); err == nil {
+			t.Errorf("[%s] duplicate add should fail", coh.Name())
+		}
+		if err := d.RemoveNode("ghost"); !errors.Is(err, ErrUnknownMember) {
+			t.Errorf("[%s] err = %v", coh.Name(), err)
+		}
+		if _, err := d.Deploy("ghost", "Echo", ""); !errors.Is(err, ErrUnknownMember) {
+			t.Errorf("[%s] err = %v", coh.Name(), err)
+		}
+		if err := d.Undeploy("ghost", "i"); !errors.Is(err, ErrUnknownMember) {
+			t.Errorf("[%s] err = %v", coh.Name(), err)
+		}
+		if _, err := d.Lookup("ghost", Query{}); err == nil {
+			t.Errorf("[%s] lookup from ghost should fail", coh.Name())
+		}
+		if _, _, err := coh.Query("ghost", Query{}); err == nil {
+			t.Errorf("[%s] raw query from ghost should fail", coh.Name())
+		}
+		if _, err := coh.Apply("ghost", Event{}); err == nil {
+			t.Errorf("[%s] raw apply from ghost should fail", coh.Name())
+		}
+	}
+}
+
+func TestDeployRollbackOnCoherencyFailure(t *testing.T) {
+	// When full-sync distribution fails (partition), the deployment must
+	// roll back so the service table and reality agree.
+	net := simnet.New(simnet.LAN)
+	d := New("d", NewFullSync(net))
+	a, b := newNode("a"), newNode("b")
+	_ = d.AddNode(a)
+	_ = d.AddNode(b)
+	net.Partition("a", "b", true)
+	if _, err := d.Deploy("a", "Echo", "e1"); err == nil {
+		t.Fatal("deploy across a partition should fail under full sync")
+	}
+	if _, ok := a.Instance("e1"); ok {
+		t.Fatal("failed deploy left the instance behind")
+	}
+}
+
+func TestDecentralizedToleratesPartition(t *testing.T) {
+	// Decentralized queries are best-effort: a partitioned node's services
+	// are invisible but the query succeeds.
+	net := simnet.New(simnet.LAN)
+	d := New("d", NewDecentralized(net))
+	a, b, c := newNode("a"), newNode("b"), newNode("c")
+	_ = d.AddNode(a)
+	_ = d.AddNode(b)
+	_ = d.AddNode(c)
+	if _, err := d.Deploy("b", "Echo", "eb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Deploy("c", "Echo", "ec"); err != nil {
+		t.Fatal(err)
+	}
+	net.Partition("a", "b", true)
+	entries, err := d.Lookup("a", Query{Service: "Echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Node != "c" {
+		t.Fatalf("entries = %v", entries)
+	}
+	net.Partition("a", "b", false)
+	entries, _ = d.Lookup("a", Query{Service: "Echo"})
+	if len(entries) != 2 {
+		t.Fatalf("after heal: %v", entries)
+	}
+}
+
+func TestHybridNeighbourhoodAssignment(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	h := NewHybrid(net, 3)
+	for i := 0; i < 7; i++ {
+		if _, err := h.AddNode(fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(h.hoods) != 3 {
+		t.Fatalf("hoods = %d, want 3 (3+3+1)", len(h.hoods))
+	}
+	// Removing a node frees a slot that the next join reuses.
+	if _, err := h.RemoveNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddNode("n7"); err != nil {
+		t.Fatal(err)
+	}
+	if h.hood["n7"] != 0 {
+		t.Fatalf("n7 hood = %d, want 0 (reused slot)", h.hood["n7"])
+	}
+}
+
+func TestHybridKFloor(t *testing.T) {
+	h := NewHybrid(simnet.New(simnet.LAN), 0)
+	if h.K != 1 {
+		t.Fatalf("K = %d", h.K)
+	}
+	if h.Name() != "hybrid-k1" {
+		t.Fatalf("name = %q", h.Name())
+	}
+}
+
+func TestStatus(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	d := New("d", NewFullSync(net))
+	a, b := newNode("a"), newNode("b")
+	_ = d.AddNode(a)
+	_ = d.AddNode(b)
+	_, _ = d.Deploy("a", "Echo", "")
+	_, _ = d.Deploy("a", "Echo", "")
+	_, _ = d.Deploy("b", "Echo", "")
+	st := d.Status()
+	if len(st) != 2 || st[0].Node != "a" || st[0].Instances != 2 || st[1].Instances != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(st[0].Classes) != 1 || st[0].Classes[0] != "Echo" {
+		t.Fatalf("classes = %v", st[0].Classes)
+	}
+}
+
+func TestVirtualTimeAccumulates(t *testing.T) {
+	net := simnet.New(simnet.WAN)
+	d := New("d", NewFullSync(net))
+	_ = d.AddNode(newNode("a"))
+	_ = d.AddNode(newNode("b"))
+	before := d.VirtualTime()
+	if _, err := d.Deploy("a", "Echo", ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.VirtualTime() <= before {
+		t.Fatal("deploy over WAN should accumulate virtual time")
+	}
+}
+
+func TestFullSyncLatencyScalesWithFabric(t *testing.T) {
+	run := func(link simnet.LinkConfig) time.Duration {
+		net := simnet.New(link)
+		coh := NewFullSync(net)
+		_, _ = coh.AddNode("a")
+		_, _ = coh.AddNode("b")
+		lat, err := coh.Apply("a", Event{Kind: ServiceAdd, Entry: ServiceEntry{Node: "a", Instance: "i"}})
+		if err != nil {
+			panic(err)
+		}
+		return lat
+	}
+	if run(simnet.WAN) <= run(simnet.LAN) {
+		t.Fatal("WAN distribution should cost more than LAN")
+	}
+}

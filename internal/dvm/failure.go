@@ -1,0 +1,117 @@
+package dvm
+
+import (
+	"time"
+
+	"harness2/internal/simnet"
+)
+
+// Failure detection. Harness "focuses primarily on improving robustness";
+// a DVM must notice dead or unreachable members and withdraw their
+// services from the unified name space. Detector implements a simple
+// heartbeat monitor over the fabric: a member probes its peers, retries
+// transient losses, and reports the peers that never answered. Eviction
+// is then an ordinary NodeLeave through the coherency strategy, so every
+// replica purges the dead node's service-table rows.
+type Detector struct {
+	dvm *DVM
+	// Retries is how many consecutive failed probes mark a suspect
+	// (defaults to 3 when zero or negative).
+	Retries int
+	// HeartbeatBytes is the modelled probe size (default 32).
+	HeartbeatBytes int
+}
+
+// NewDetector returns a detector over the DVM's coherency fabric.
+func NewDetector(d *DVM, retries int) *Detector {
+	if retries <= 0 {
+		retries = 3
+	}
+	return &Detector{dvm: d, Retries: retries, HeartbeatBytes: 32}
+}
+
+// fabric gives detectors access to the coherency strategy's network. The
+// three shipped strategies all expose it.
+type fabric interface {
+	Fabric() *simnet.Network
+}
+
+// Probe heartbeats target from monitor, retrying transient losses, and
+// reports whether the target ever answered plus the modelled probing cost.
+func (det *Detector) Probe(monitor, target string) (alive bool, cost time.Duration) {
+	net := det.network()
+	if net == nil {
+		return true, 0
+	}
+	hb := det.HeartbeatBytes
+	if hb <= 0 {
+		hb = 32
+	}
+	for attempt := 0; attempt < det.Retries; attempt++ {
+		d, err := net.RTT(monitor, target, hb, hb)
+		cost += d
+		if err == nil {
+			return true, cost
+		}
+	}
+	return false, cost
+}
+
+// Sweep probes every member (other than monitor) and returns the
+// suspects: members that answered none of their heartbeats. The cost is
+// the summed modelled probe latency.
+func (det *Detector) Sweep(monitor string) (suspects []string, cost time.Duration) {
+	for _, member := range det.dvm.Nodes() {
+		if member == monitor {
+			continue
+		}
+		alive, c := det.Probe(monitor, member)
+		cost += c
+		if !alive {
+			suspects = append(suspects, member)
+		}
+	}
+	return suspects, cost
+}
+
+func (det *Detector) network() *simnet.Network {
+	if f, ok := det.dvm.Coherency().(fabric); ok {
+		return f.Fabric()
+	}
+	return nil
+}
+
+// Evicter is implemented by coherency strategies that support having a
+// surviving member announce another member's death. This differs from
+// RemoveNode, whose leave event originates at the departing node itself —
+// impossible when that node is dead or unreachable.
+type Evicter interface {
+	Evict(byNode, deadNode string) (time.Duration, error)
+}
+
+// EvictFailed sweeps from monitor and removes every suspect from the DVM,
+// returning the evicted node names. Note the inherent limitation of
+// single-observer detection: a node partitioned only from the monitor is
+// evicted even though other members may still reach it — the paper's
+// full-synchrony scheme accepts this in exchange for simplicity.
+func (d *DVM) EvictFailed(monitor string, det *Detector) ([]string, error) {
+	suspects, cost := det.Sweep(monitor)
+	d.charge(cost)
+	for _, s := range suspects {
+		d.mu.Lock()
+		delete(d.members, s)
+		d.mu.Unlock()
+		if ev, ok := d.coh.(Evicter); ok {
+			t, err := ev.Evict(monitor, s)
+			d.charge(t)
+			if err != nil {
+				return suspects, err
+			}
+			continue
+		}
+		if _, err := d.coh.RemoveNode(s); err != nil {
+			return suspects, err
+		}
+	}
+	return suspects, nil
+}

@@ -1,0 +1,157 @@
+package dvm
+
+import (
+	"fmt"
+	"testing"
+
+	"harness2/internal/container"
+	"harness2/internal/simnet"
+)
+
+func failureDVM(t *testing.T, mk func(*simnet.Network) Coherency, n int) (*DVM, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(simnet.LAN)
+	d := New("fd", mk(net))
+	for i := 0; i < n; i++ {
+		c := container.New(container.Config{Name: fmt.Sprintf("n%d", i)})
+		c.RegisterFactory("Echo", echoFactory())
+		if err := d.AddNode(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, net
+}
+
+func TestDetectorAllAlive(t *testing.T) {
+	d, _ := failureDVM(t, func(n *simnet.Network) Coherency { return NewFullSync(n) }, 4)
+	det := NewDetector(d, 3)
+	suspects, cost := det.Sweep("n0")
+	if len(suspects) != 0 {
+		t.Fatalf("suspects = %v", suspects)
+	}
+	if cost <= 0 {
+		t.Fatal("probing should cost modelled time")
+	}
+}
+
+func TestDetectorFindsPartitionedNode(t *testing.T) {
+	for _, mk := range []func(*simnet.Network) Coherency{
+		func(n *simnet.Network) Coherency { return NewFullSync(n) },
+		func(n *simnet.Network) Coherency { return NewDecentralized(n) },
+		func(n *simnet.Network) Coherency { return NewHybrid(n, 2) },
+	} {
+		d, net := failureDVM(t, mk, 5)
+		name := d.Coherency().Name()
+		if _, err := d.Deploy("n3", "Echo", "victim"); err != nil {
+			t.Fatalf("[%s] %v", name, err)
+		}
+		if _, err := d.Deploy("n1", "Echo", "survivor"); err != nil {
+			t.Fatalf("[%s] %v", name, err)
+		}
+		// n3 dies: partition it from everyone.
+		for i := 0; i < 5; i++ {
+			if i != 3 {
+				net.Partition(fmt.Sprintf("n%d", i), "n3", true)
+			}
+		}
+		det := NewDetector(d, 3)
+		evicted, err := d.EvictFailed("n0", det)
+		if err != nil {
+			t.Fatalf("[%s] evict: %v", name, err)
+		}
+		if len(evicted) != 1 || evicted[0] != "n3" {
+			t.Fatalf("[%s] evicted = %v", name, evicted)
+		}
+		if got := len(d.Nodes()); got != 4 {
+			t.Fatalf("[%s] members = %d", name, got)
+		}
+		// The dead node's services are gone from the unified namespace;
+		// the survivor's remain.
+		entries, err := d.Lookup("n0", Query{Service: "Echo"})
+		if err != nil {
+			t.Fatalf("[%s] lookup: %v", name, err)
+		}
+		if len(entries) != 1 || entries[0].Node != "n1" {
+			t.Fatalf("[%s] entries = %v", name, entries)
+		}
+	}
+}
+
+func TestDetectorRetriesSurviveTransientLoss(t *testing.T) {
+	d, net := failureDVM(t, func(n *simnet.Network) Coherency { return NewFullSync(n) }, 3)
+	// 40% loss: with 5 retries the chance all probes to a node drop is
+	// ~1%; the seeded sequence below keeps every member alive.
+	net.SetDrop(0.4, 11)
+	det := NewDetector(d, 5)
+	suspects, _ := det.Sweep("n0")
+	if len(suspects) != 0 {
+		t.Fatalf("suspects under transient loss = %v", suspects)
+	}
+	// Total loss: everyone is suspect.
+	net.SetDrop(1.0, 1)
+	suspects, _ = det.Sweep("n0")
+	if len(suspects) != 2 {
+		t.Fatalf("suspects under total loss = %v", suspects)
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d, _ := failureDVM(t, func(n *simnet.Network) Coherency { return NewFullSync(n) }, 2)
+	det := NewDetector(d, 0)
+	if det.Retries != 3 {
+		t.Fatalf("default retries = %d", det.Retries)
+	}
+	alive, _ := det.Probe("n0", "n1")
+	if !alive {
+		t.Fatal("healthy node reported dead")
+	}
+}
+
+func TestEvictErrors(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	for _, coh := range []Coherency{NewFullSync(net), NewDecentralized(net), NewHybrid(net, 2)} {
+		ev := coh.(Evicter)
+		if _, err := ev.Evict("ghost", "alsoghost"); err == nil {
+			t.Errorf("[%s] evict of unknown nodes should fail", coh.Name())
+		}
+	}
+	fs := NewFullSync(net)
+	if _, err := fs.AddNode("ea"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Evict("ea", "ghost"); err == nil {
+		t.Fatal("evicting unknown dead node should fail")
+	}
+	if _, err := fs.Evict("ghost", "ea"); err == nil {
+		t.Fatal("evicting by unknown monitor should fail")
+	}
+}
+
+func TestHybridEvictPurgesDeadHoodReplicas(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	h := NewHybrid(net, 2) // hoods: {h0,h1}, {h2,h3}
+	for i := 0; i < 4; i++ {
+		if _, err := h.AddNode(fmt.Sprintf("h%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// h2 publishes; its replica lives at h3 (same hood).
+	if _, err := h.Apply("h2", Event{Kind: ServiceAdd, Node: "h2",
+		Entry: ServiceEntry{Node: "h2", Instance: "s", Service: "S"}}); err != nil {
+		t.Fatal(err)
+	}
+	// h0 (other hood) evicts h2.
+	if _, err := h.Evict("h0", "h2"); err != nil {
+		t.Fatal(err)
+	}
+	// Queries from any survivor must no longer see h2's service.
+	for _, from := range []string{"h0", "h1", "h3"} {
+		entries, _, err := h.Query(from, Query{Service: "S"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("from %s: stale entries %v", from, entries)
+		}
+	}
+}

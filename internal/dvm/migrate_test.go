@@ -1,0 +1,126 @@
+package dvm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"harness2/internal/container"
+	"harness2/internal/simnet"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+func migratableFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		var mu sync.Mutex
+		var n int64
+		f := &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "MCounter", Operations: []wsdl.OpSpec{
+				{Name: "inc", Input: []wsdl.ParamSpec{{Name: "by", Type: wire.KindInt64}},
+					Output: []wsdl.ParamSpec{{Name: "total", Type: wire.KindInt64}}},
+			}},
+		}
+		f.Handlers = map[string]container.OpFunc{
+			"inc": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+				by, _ := wire.GetArg(args, "by")
+				mu.Lock()
+				defer mu.Unlock()
+				n += by.(int64)
+				return wire.Args("total", n), nil
+			},
+		}
+		f.OnSnapshot = func() ([]container.Field, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return []container.Field{{Name: "n", Value: n}}, nil
+		}
+		f.OnRestore = func(state []container.Field) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, s := range state {
+				if s.Name == "n" {
+					n = s.Value.(int64)
+					return nil
+				}
+			}
+			return fmt.Errorf("missing n")
+		}
+		return f
+	})
+}
+
+func TestDVMMigrateUpdatesNamespace(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	for _, coh := range allStrategies(net) {
+		t.Run(coh.Name(), func(t *testing.T) {
+			d := New("d", coh)
+			suffix := coh.Name()
+			a := container.New(container.Config{Name: "a-" + suffix})
+			b := container.New(container.Config{Name: "b-" + suffix})
+			a.RegisterFactory("MCounter", migratableFactory())
+			b.RegisterFactory("MCounter", migratableFactory())
+			if err := d.AddNode(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.AddNode(b); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Deploy(a.Name(), "MCounter", "job"); err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := d.Invoke(ctx, a.Name(), Query{Service: "MCounter"}, "inc", wire.Args("by", int64(7))); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Migrate(a.Name(), "job", b.Name()); err != nil {
+				t.Fatal(err)
+			}
+			// The unified namespace now locates the service on b, from
+			// every node's perspective.
+			for _, from := range []string{a.Name(), b.Name()} {
+				entries, err := d.Lookup(from, Query{Service: "MCounter"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(entries) != 1 || entries[0].Node != b.Name() {
+					t.Fatalf("from %s: entries = %v", from, entries)
+				}
+			}
+			// State travelled with the component.
+			out, err := d.Invoke(ctx, a.Name(), Query{Service: "MCounter"}, "inc", wire.Args("by", int64(0)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total, _ := wire.GetArg(out, "total")
+			if total.(int64) != 7 {
+				t.Fatalf("total = %v", total)
+			}
+		})
+	}
+}
+
+func TestDVMMigrateErrors(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	d := New("d", NewFullSync(net))
+	a := container.New(container.Config{Name: "ma"})
+	a.RegisterFactory("MCounter", migratableFactory())
+	if err := d.AddNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Migrate("ghost", "x", "ma"); err == nil {
+		t.Fatal("unknown source should fail")
+	}
+	if err := d.Migrate("ma", "x", "ghost"); err == nil {
+		t.Fatal("unknown destination should fail")
+	}
+	b := container.New(container.Config{Name: "mb"})
+	b.RegisterFactory("MCounter", migratableFactory())
+	if err := d.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Migrate("ma", "nope", "mb"); err == nil {
+		t.Fatal("unknown instance should fail")
+	}
+}

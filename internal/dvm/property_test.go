@@ -1,0 +1,201 @@
+package dvm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harness2/internal/simnet"
+)
+
+// TestPropertyStrategiesEquivalent drives an identical random operation
+// sequence against all three coherency strategies and checks that every
+// node of every strategy answers every query identically. This is the
+// paper's core interchangeability promise: "they always expose the same
+// functional interface ... so that applications can be deployed and run
+// on any Harness II DVM regardless of the underlying state management
+// solution adapted."
+func TestPropertyStrategiesEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		strategies := []Coherency{
+			NewFullSync(simnet.New(simnet.LAN)),
+			NewDecentralized(simnet.New(simnet.LAN)),
+			NewHybrid(simnet.New(simnet.LAN), 1+r.Intn(4)),
+		}
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("n%d", i)
+			for _, coh := range strategies {
+				if _, err := coh.AddNode(nodes[i]); err != nil {
+					t.Logf("add: %v", err)
+					return false
+				}
+			}
+		}
+		// live tracks entries we believe exist, for removal picks.
+		type slot struct{ node, instance string }
+		var live []slot
+		services := []string{"A", "B", "C"}
+		const ops = 60
+		for op := 0; op < ops; op++ {
+			switch {
+			case len(live) == 0 || r.Float64() < 0.6: // add
+				node := nodes[r.Intn(n)]
+				inst := fmt.Sprintf("i%d", op)
+				svc := services[r.Intn(len(services))]
+				ev := Event{Kind: ServiceAdd, Node: node, Entry: ServiceEntry{
+					Node: node, Instance: inst, Class: svc, Service: svc}}
+				for _, coh := range strategies {
+					if _, err := coh.Apply(node, ev); err != nil {
+						t.Logf("apply: %v", err)
+						return false
+					}
+				}
+				live = append(live, slot{node, inst})
+			default: // remove
+				i := r.Intn(len(live))
+				s := live[i]
+				live = append(live[:i], live[i+1:]...)
+				ev := Event{Kind: ServiceRemove, Node: s.node,
+					Entry: ServiceEntry{Node: s.node, Instance: s.instance}}
+				for _, coh := range strategies {
+					if _, err := coh.Apply(s.node, ev); err != nil {
+						t.Logf("apply rm: %v", err)
+						return false
+					}
+				}
+			}
+			// Every few ops, compare a random query from a random node
+			// across strategies against the full-sync reference.
+			if op%5 == 0 {
+				from := nodes[r.Intn(n)]
+				q := Query{Service: services[r.Intn(len(services))]}
+				ref, _, err := strategies[0].Query(from, q)
+				if err != nil {
+					t.Logf("ref query: %v", err)
+					return false
+				}
+				for _, coh := range strategies[1:] {
+					got, _, err := coh.Query(from, q)
+					if err != nil {
+						t.Logf("query: %v", err)
+						return false
+					}
+					if !sameEntries(ref, got) {
+						t.Logf("seed %d op %d: %s answered %v, full-sync %v",
+							seed, op, coh.Name(), got, ref)
+						return false
+					}
+				}
+			}
+		}
+		// Final exhaustive check: every node, every service, plus the
+		// match-all query.
+		queries := []Query{{}, {Service: "A"}, {Service: "B"}, {Service: "C"}}
+		for _, from := range nodes {
+			for _, q := range queries {
+				ref, _, err := strategies[0].Query(from, q)
+				if err != nil {
+					return false
+				}
+				for _, coh := range strategies[1:] {
+					got, _, err := coh.Query(from, q)
+					if err != nil || !sameEntries(ref, got) {
+						t.Logf("final: %s from %s %s: %v vs %v", coh.Name(), from, q, got, ref)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameEntries(a, b []ServiceEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() || a[i].Service != b[i].Service {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyMembershipChurn mixes joins and leaves into the sequence:
+// after any prefix of operations, all strategies agree on the surviving
+// service set as seen from a surviving node.
+func TestPropertyMembershipChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		strategies := []Coherency{
+			NewFullSync(simnet.New(simnet.LAN)),
+			NewDecentralized(simnet.New(simnet.LAN)),
+			NewHybrid(simnet.New(simnet.LAN), 2),
+		}
+		// A stable anchor node never leaves, so queries always have a
+		// home perspective.
+		for _, coh := range strategies {
+			if _, err := coh.AddNode("anchor"); err != nil {
+				return false
+			}
+		}
+		members := map[string]bool{}
+		next := 0
+		for op := 0; op < 40; op++ {
+			switch r.Intn(3) {
+			case 0: // join a new node and give it a service
+				name := fmt.Sprintf("m%d", next)
+				next++
+				for _, coh := range strategies {
+					if _, err := coh.AddNode(name); err != nil {
+						return false
+					}
+					ev := Event{Kind: ServiceAdd, Node: name, Entry: ServiceEntry{
+						Node: name, Instance: "svc", Class: "X", Service: "X"}}
+					if _, err := coh.Apply(name, ev); err != nil {
+						return false
+					}
+				}
+				members[name] = true
+			case 1: // a member leaves (its services must vanish)
+				for name := range members {
+					for _, coh := range strategies {
+						if _, err := coh.RemoveNode(name); err != nil {
+							return false
+						}
+					}
+					delete(members, name)
+					break
+				}
+			default: // verify
+				ref, _, err := strategies[0].Query("anchor", Query{Service: "X"})
+				if err != nil {
+					return false
+				}
+				if len(ref) != len(members) {
+					t.Logf("seed %d: full-sync sees %d, members %d", seed, len(ref), len(members))
+					return false
+				}
+				for _, coh := range strategies[1:] {
+					got, _, err := coh.Query("anchor", Query{Service: "X"})
+					if err != nil || !sameEntries(ref, got) {
+						t.Logf("seed %d: %s disagrees", seed, coh.Name())
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package dvm implements the top HARNESS II abstraction layer of
+// Figure 6: the distributed component container, i.e. the Distributed
+// Virtual Machine. It supplies "a unified name space, status query,
+// lookup service and a management point for a set of component
+// containers", introducing the notion of distributed global state.
+//
+// Per the paper, "the Harness II framework defines only the DVM API and
+// does not mandate any particular solution to maintain global state
+// coherency": the Coherency interface is that API, and the package ships
+// the three concrete strategies the paper discusses — full synchrony
+// (replicated state, synchronous event distribution), full
+// decentralisation (no propagation, spanning queries), and a hybrid
+// (synchronous neighbourhoods, distributed far queries). All three expose
+// the same functional interface, so applications run unchanged on any of
+// them; their costs differ, which experiment E5 measures over simnet.
+package dvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EventKind enumerates global-state change events.
+type EventKind int
+
+// State events: node membership and service-table changes.
+const (
+	NodeJoin EventKind = iota
+	NodeLeave
+	ServiceAdd
+	ServiceRemove
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case NodeJoin:
+		return "node-join"
+	case NodeLeave:
+		return "node-leave"
+	case ServiceAdd:
+		return "service-add"
+	case ServiceRemove:
+		return "service-remove"
+	}
+	return "unknown"
+}
+
+// ServiceEntry is one row of the DVM-wide service table.
+type ServiceEntry struct {
+	Node     string // hosting container/kernel name
+	Instance string // instance ID within the node
+	Class    string // component class
+	Service  string // service name (from the WSDL spec)
+	WSDL     string // full description document
+}
+
+// Key returns the entry's unique identity within the DVM.
+func (e ServiceEntry) Key() string { return e.Node + "/" + e.Instance }
+
+// ByteSize approximates the entry's wire footprint for traffic accounting.
+func (e ServiceEntry) ByteSize() int {
+	return len(e.Node) + len(e.Instance) + len(e.Class) + len(e.Service) + len(e.WSDL) + 16
+}
+
+// Event is one state-change notification.
+type Event struct {
+	Kind  EventKind
+	Node  string // subject node for membership events
+	Entry ServiceEntry
+}
+
+// ByteSize approximates the event's wire footprint.
+func (ev Event) ByteSize() int { return 8 + len(ev.Node) + ev.Entry.ByteSize() }
+
+// Query selects service-table rows. Zero-valued fields match anything.
+type Query struct {
+	Service  string
+	Class    string
+	Node     string
+	Instance string
+}
+
+// ByteSize approximates the query's wire footprint.
+func (q Query) ByteSize() int {
+	return 16 + len(q.Service) + len(q.Class) + len(q.Node) + len(q.Instance)
+}
+
+// Match reports whether e satisfies q.
+func (q Query) Match(e ServiceEntry) bool {
+	if q.Service != "" && q.Service != e.Service {
+		return false
+	}
+	if q.Class != "" && q.Class != e.Class {
+		return false
+	}
+	if q.Node != "" && q.Node != e.Node {
+		return false
+	}
+	if q.Instance != "" && q.Instance != e.Instance {
+		return false
+	}
+	return true
+}
+
+// String renders the query for diagnostics.
+func (q Query) String() string {
+	var parts []string
+	if q.Service != "" {
+		parts = append(parts, "service="+q.Service)
+	}
+	if q.Class != "" {
+		parts = append(parts, "class="+q.Class)
+	}
+	if q.Node != "" {
+		parts = append(parts, "node="+q.Node)
+	}
+	if q.Instance != "" {
+		parts = append(parts, "instance="+q.Instance)
+	}
+	if len(parts) == 0 {
+		return "query{*}"
+	}
+	return "query{" + strings.Join(parts, ",") + "}"
+}
+
+// store is one node's view of (a subset of) the global service table.
+type store struct {
+	mu      sync.RWMutex
+	entries map[string]ServiceEntry
+	nodes   map[string]bool
+}
+
+func newStore() *store {
+	return &store{entries: make(map[string]ServiceEntry), nodes: make(map[string]bool)}
+}
+
+// apply folds one event into the store.
+func (s *store) apply(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev.Kind {
+	case NodeJoin:
+		s.nodes[ev.Node] = true
+	case NodeLeave:
+		delete(s.nodes, ev.Node)
+		for k, e := range s.entries {
+			if e.Node == ev.Node {
+				delete(s.entries, k)
+			}
+		}
+	case ServiceAdd:
+		s.entries[ev.Entry.Key()] = ev.Entry
+	case ServiceRemove:
+		delete(s.entries, ev.Entry.Key())
+	}
+}
+
+// query returns matching entries sorted by key.
+func (s *store) query(q Query) []ServiceEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ServiceEntry
+	for _, e := range s.entries {
+		if q.Match(e) {
+			out = append(out, e)
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+func (s *store) nodeNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.nodes))
+	for n := range s.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *store) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+func sortEntries(entries []ServiceEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key() < entries[j].Key() })
+}
+
+// mergeEntries deduplicates and sorts entry sets gathered from many nodes.
+func mergeEntries(sets ...[]ServiceEntry) []ServiceEntry {
+	seen := map[string]bool{}
+	var out []ServiceEntry
+	for _, set := range sets {
+		for _, e := range set {
+			if !seen[e.Key()] {
+				seen[e.Key()] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// ErrUnknownMember is returned when an operation names a node outside the
+// DVM.
+var ErrUnknownMember = fmt.Errorf("dvm: unknown member node")

@@ -1,0 +1,98 @@
+package events
+
+import (
+	"testing"
+
+	"harness2/internal/container"
+	"harness2/internal/kernel"
+	"harness2/internal/registry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+func noopFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "Noop", Operations: []wsdl.OpSpec{{Name: "noop"}}},
+		}
+	})
+}
+
+func TestBridgeContainerLifecycle(t *testing.T) {
+	// The kernel's own container lifecycle is observable through the
+	// events plugin loaded into it.
+	k := kernel.New("bridge-node", container.Config{})
+	k.RegisterPlugin(PluginClass, Factory())
+	if err := k.Load(PluginClass); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := k.Plugin(PluginClass)
+	svc := comp.(*Service)
+	BridgeContainer(svc, k.Container())
+
+	deploys := svc.Subscribe("container.deploy", 8)
+	stops := svc.Subscribe("container.stop", 8)
+	undeploys := svc.Subscribe("container.undeploy", 8)
+
+	k.Container().RegisterFactory("Noop", noopFactory())
+	if _, _, err := k.Container().Deploy("Noop", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-deploys.C
+	if ev.Source != "bridge-node" {
+		t.Fatalf("source = %q", ev.Source)
+	}
+	if id, _ := wire.GetArg(ev.Payload, "id"); id.(string) != "n1" {
+		t.Fatalf("id = %v", id)
+	}
+	if class, _ := wire.GetArg(ev.Payload, "class"); class.(string) != "Noop" {
+		t.Fatalf("class = %v", class)
+	}
+
+	if err := k.Container().Stop("n1"); err != nil {
+		t.Fatal(err)
+	}
+	<-stops.C
+
+	if err := k.Container().Undeploy("n1"); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-undeploys.C
+	if id, _ := wire.GetArg(ev.Payload, "id"); id.(string) != "n1" {
+		t.Fatalf("undeploy id = %v", id)
+	}
+	select {
+	case extra := <-deploys.C:
+		t.Fatalf("unexpected extra deploy event %+v", extra)
+	default:
+	}
+}
+
+func TestBridgeExposeEvents(t *testing.T) {
+	c := container.New(container.Config{Name: "exp"})
+	svc := New()
+	BridgeContainer(svc, c)
+	exposes := svc.Subscribe("container.expose", 4)
+	unexposes := svc.Subscribe("container.unexpose", 4)
+
+	c.RegisterFactory("Noop", noopFactory())
+	if _, _, err := c.Deploy("Noop", "x"); err != nil {
+		t.Fatal(err)
+	}
+	reg := newTestRegistry(t)
+	if _, err := c.Expose("x", reg); err != nil {
+		t.Fatal(err)
+	}
+	<-exposes.C
+	if err := c.Unexpose("x", reg); err != nil {
+		t.Fatal(err)
+	}
+	<-unexposes.C
+}
+
+// newTestRegistry avoids an events→registry test import cycle concern by
+// constructing the registry through its public constructor.
+func newTestRegistry(t *testing.T) *registry.Registry {
+	t.Helper()
+	return registry.New()
+}

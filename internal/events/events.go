@@ -1,0 +1,219 @@
+// Package events implements the Harness event-management plugin that
+// Figure 2 shows the PVM emulation leveraging: a topic-based
+// publish/subscribe service loaded into a kernel and shared by co-located
+// plugins through the local binding.
+//
+// Subscribers receive events on buffered channels; a slow subscriber
+// drops its oldest undelivered event rather than blocking publishers,
+// matching the best-effort notification semantics of the original
+// Harness event manager.
+package events
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// PluginClass is the class name under which the plugin registers.
+const PluginClass = "harness.events"
+
+// Event is one published notification.
+type Event struct {
+	Topic   string
+	Source  string
+	Payload []wire.Arg
+}
+
+// Subscription receives events for one topic pattern.
+type Subscription struct {
+	ID    int
+	Topic string
+	C     <-chan Event
+
+	svc *Service
+	ch  chan Event
+}
+
+// Cancel removes the subscription; its channel is closed.
+func (s *Subscription) Cancel() { s.svc.cancel(s) }
+
+// Service is the event manager. It implements container.Component so it
+// loads as a kernel plugin, and exposes a direct Go API for co-located
+// plugins (the local leveraging path).
+type Service struct {
+	mu     sync.Mutex
+	seq    int
+	subs   map[string]map[int]*Subscription // topic -> id -> sub
+	counts map[string]int64                 // published events per topic
+}
+
+var _ container.Component = (*Service)(nil)
+
+// New returns an empty event service.
+func New() *Service {
+	return &Service{
+		subs:   make(map[string]map[int]*Subscription),
+		counts: make(map[string]int64),
+	}
+}
+
+// Factory returns the plugin factory.
+func Factory() container.Factory {
+	return func() (container.Component, error) { return New(), nil }
+}
+
+// Subscribe registers interest in a topic. The buffer bounds undelivered
+// events; at least 1 is enforced.
+func (s *Service) Subscribe(topic string, buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	sub := &Subscription{ID: s.seq, Topic: topic, svc: s, ch: make(chan Event, buffer)}
+	sub.C = sub.ch
+	if s.subs[topic] == nil {
+		s.subs[topic] = make(map[int]*Subscription)
+	}
+	s.subs[topic][sub.ID] = sub
+	return sub
+}
+
+func (s *Service) cancel(sub *Subscription) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.subs[sub.Topic]; ok {
+		if _, live := m[sub.ID]; live {
+			delete(m, sub.ID)
+			close(sub.ch)
+			if len(m) == 0 {
+				delete(s.subs, sub.Topic)
+			}
+		}
+	}
+}
+
+// Publish delivers ev to every subscriber of its topic. Full subscriber
+// buffers drop the oldest event (best-effort delivery). It returns the
+// number of subscribers notified.
+func (s *Service) Publish(ev Event) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[ev.Topic]++
+	n := 0
+	for _, sub := range s.subs[ev.Topic] {
+		for {
+			select {
+			case sub.ch <- ev:
+				n++
+			default:
+				// Buffer full: drop the oldest and retry once.
+				select {
+				case <-sub.ch:
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+	return n
+}
+
+// Topics returns the currently subscribed topics, sorted.
+func (s *Service) Topics() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.subs))
+	for t := range s.subs {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Published returns how many events were published on topic.
+func (s *Service) Published(topic string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[topic]
+}
+
+// Describe implements container.Component.
+func (s *Service) Describe() wsdl.ServiceSpec {
+	return wsdl.ServiceSpec{
+		Name: "EventService",
+		Operations: []wsdl.OpSpec{
+			{
+				Name: "publish",
+				Input: []wsdl.ParamSpec{
+					{Name: "topic", Type: wire.KindString},
+					{Name: "source", Type: wire.KindString},
+				},
+				Output: []wsdl.ParamSpec{{Name: "delivered", Type: wire.KindInt32}},
+			},
+			{
+				Name:   "published",
+				Input:  []wsdl.ParamSpec{{Name: "topic", Type: wire.KindString}},
+				Output: []wsdl.ParamSpec{{Name: "count", Type: wire.KindInt64}},
+			},
+			{
+				Name:   "topics",
+				Output: []wsdl.ParamSpec{{Name: "topics", Type: wire.KindStringArray}},
+			},
+		},
+	}
+}
+
+// Invoke implements container.Component: the remotely-invocable subset
+// (publish/introspection; subscription is local-only, as channels cannot
+// cross a binding).
+func (s *Service) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	switch op {
+	case "publish":
+		topicV, _ := wire.GetArg(args, "topic")
+		topic, _ := topicV.(string)
+		if topic == "" {
+			return nil, fmt.Errorf("events: publish requires a topic")
+		}
+		sourceV, _ := wire.GetArg(args, "source")
+		source, _ := sourceV.(string)
+		var payload []wire.Arg
+		for _, a := range args {
+			if a.Name != "topic" && a.Name != "source" {
+				payload = append(payload, a)
+			}
+		}
+		n := s.Publish(Event{Topic: topic, Source: source, Payload: payload})
+		return wire.Args("delivered", int32(n)), nil
+	case "published":
+		topicV, _ := wire.GetArg(args, "topic")
+		topic, _ := topicV.(string)
+		return wire.Args("count", s.Published(topic)), nil
+	case "topics":
+		return wire.Args("topics", s.Topics()), nil
+	}
+	return nil, fmt.Errorf("events: no such operation %q", op)
+}
+
+// BridgeContainer wires a container's lifecycle into the event service:
+// every deploy/undeploy/start/stop/expose/unexpose publishes on the
+// "container.<kind>" topic with id and class in the payload. This is the
+// "general event management" leverage of Figure 2 applied to the
+// container itself.
+func BridgeContainer(s *Service, c *container.Container) {
+	c.AddLifecycleListener(func(ev container.LifecycleEvent) {
+		s.Publish(Event{
+			Topic:   "container." + ev.Kind,
+			Source:  c.Name(),
+			Payload: wire.Args("id", ev.ID, "class", ev.Class),
+		})
+	})
+}

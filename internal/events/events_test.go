@@ -1,0 +1,188 @@
+package events
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"harness2/internal/container"
+	"harness2/internal/kernel"
+	"harness2/internal/wire"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	s := New()
+	sub := s.Subscribe("task.exit", 4)
+	n := s.Publish(Event{Topic: "task.exit", Source: "n1", Payload: wire.Args("tid", int32(7))})
+	if n != 1 {
+		t.Fatalf("delivered = %d", n)
+	}
+	ev := <-sub.C
+	if ev.Topic != "task.exit" || ev.Source != "n1" {
+		t.Fatalf("ev = %+v", ev)
+	}
+	tid, _ := wire.GetArg(ev.Payload, "tid")
+	if tid.(int32) != 7 {
+		t.Fatalf("tid = %v", tid)
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	s := New()
+	a := s.Subscribe("t", 1)
+	b := s.Subscribe("t", 1)
+	if n := s.Publish(Event{Topic: "t"}); n != 2 {
+		t.Fatalf("delivered = %d", n)
+	}
+	<-a.C
+	<-b.C
+	// Unrelated topic is not delivered.
+	if n := s.Publish(Event{Topic: "other"}); n != 0 {
+		t.Fatalf("delivered = %d", n)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	sub := s.Subscribe("t", 1)
+	sub.Cancel()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel should be closed")
+	}
+	if n := s.Publish(Event{Topic: "t"}); n != 0 {
+		t.Fatalf("delivered after cancel = %d", n)
+	}
+	// Double cancel must not panic.
+	sub.Cancel()
+	if got := s.Topics(); len(got) != 0 {
+		t.Fatalf("topics = %v", got)
+	}
+}
+
+func TestDropOldestWhenFull(t *testing.T) {
+	s := New()
+	sub := s.Subscribe("t", 2)
+	for i := 0; i < 5; i++ {
+		s.Publish(Event{Topic: "t", Payload: wire.Args("i", int32(i))})
+	}
+	// Publisher never blocked; the two newest events remain.
+	first := <-sub.C
+	second := <-sub.C
+	i1, _ := wire.GetArg(first.Payload, "i")
+	i2, _ := wire.GetArg(second.Payload, "i")
+	if i1.(int32) != 3 || i2.(int32) != 4 {
+		t.Fatalf("kept %v,%v; want 3,4", i1, i2)
+	}
+	select {
+	case <-sub.C:
+		t.Fatal("no more events expected")
+	default:
+	}
+}
+
+func TestPublishedCountAndTopics(t *testing.T) {
+	s := New()
+	_ = s.Subscribe("a", 1)
+	_ = s.Subscribe("b", 1)
+	s.Publish(Event{Topic: "a"})
+	s.Publish(Event{Topic: "a"})
+	if s.Published("a") != 2 || s.Published("b") != 0 {
+		t.Fatal("counts wrong")
+	}
+	topics := s.Topics()
+	if len(topics) != 2 || topics[0] != "a" || topics[1] != "b" {
+		t.Fatalf("topics = %v", topics)
+	}
+}
+
+func TestComponentInvoke(t *testing.T) {
+	s := New()
+	sub := s.Subscribe("remote", 1)
+	ctx := context.Background()
+	out, err := s.Invoke(ctx, "publish", wire.Args("topic", "remote", "source", "client", "x", int32(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := wire.GetArg(out, "delivered")
+	if d.(int32) != 1 {
+		t.Fatalf("delivered = %v", d)
+	}
+	ev := <-sub.C
+	if ev.Source != "client" {
+		t.Fatalf("source = %q", ev.Source)
+	}
+	if x, ok := wire.GetArg(ev.Payload, "x"); !ok || x.(int32) != 1 {
+		t.Fatalf("payload = %v", ev.Payload)
+	}
+	out, err = s.Invoke(ctx, "published", wire.Args("topic", "remote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := wire.GetArg(out, "count"); c.(int64) != 1 {
+		t.Fatalf("count = %v", c)
+	}
+	out, err = s.Invoke(ctx, "topics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts, _ := wire.GetArg(out, "topics"); len(ts.([]string)) != 1 {
+		t.Fatalf("topics = %v", ts)
+	}
+	if _, err := s.Invoke(ctx, "publish", nil); err == nil {
+		t.Fatal("publish without topic should fail")
+	}
+	if _, err := s.Invoke(ctx, "bogus", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestLoadsAsKernelPlugin(t *testing.T) {
+	k := kernel.New("n1", container.Config{})
+	k.RegisterPlugin(PluginClass, Factory())
+	if err := k.Load(PluginClass); err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := k.Plugin(PluginClass)
+	if !ok {
+		t.Fatal("plugin missing")
+	}
+	svc, ok := comp.(*Service)
+	if !ok {
+		t.Fatalf("component type %T", comp)
+	}
+	sub := svc.Subscribe("x", 1)
+	svc.Publish(Event{Topic: "x"})
+	<-sub.C
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	s := New()
+	sub := s.Subscribe("t", 1024)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Publish(Event{Topic: "t"})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Published("t") != 800 {
+		t.Fatalf("published = %d", s.Published("t"))
+	}
+	got := 0
+	for {
+		select {
+		case <-sub.C:
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 800 {
+		t.Fatalf("received = %d", got)
+	}
+}

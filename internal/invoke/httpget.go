@@ -1,0 +1,383 @@
+package invoke
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+	"harness2/internal/xmlq"
+)
+
+// The HTTP GET binding: the second W3C-standardised WSDL binding. Calls
+// are GET requests of the form
+//
+//	GET <base>/<instance>/<operation>?param=value&arrayparam=v1&arrayparam=v2
+//
+// with scalar parameters URL-encoded as text, array parameters repeated,
+// and opaque bytes BASE64-encoded. Responses are a minimal XML document:
+//
+//	<response op="getTime">
+//	  <out name="time" type="string">Mon, 15 Apr 2002 ...</out>
+//	  <out name="vals" type="ArrayOfDouble"><item>1</item><item>2</item></out>
+//	</response>
+//
+// The server coerces incoming text to the operation's declared input
+// kinds (from the instance's service spec); the client recovers output
+// kinds from the type attributes. Struct-typed parameters are not
+// representable, which is why WSDL generation refuses HTTP endpoints for
+// struct-bearing services.
+
+// HTTPGetHandler serves the HTTP GET binding for a container's instances.
+type HTTPGetHandler struct {
+	Container *container.Container
+}
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPGetHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "http binding requires GET", http.StatusMethodNotAllowed)
+		return
+	}
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) < 2 {
+		http.Error(w, "path must be <instance>/<operation>", http.StatusBadRequest)
+		return
+	}
+	instance, op := parts[len(parts)-2], parts[len(parts)-1]
+	inst, ok := h.Container.Instance(instance)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no instance %q", instance), http.StatusNotFound)
+		return
+	}
+	opSpec := findOp(inst.Spec(), op)
+	if opSpec == nil {
+		http.Error(w, fmt.Sprintf("no operation %q", op), http.StatusNotFound)
+		return
+	}
+	args, err := argsFromQuery(opSpec.Input, r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, err := h.Container.Invoke(r.Context(), instance, op, args)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	doc, err := responseDoc(op, out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = io.WriteString(w, doc)
+}
+
+func findOp(spec wsdl.ServiceSpec, op string) *wsdl.OpSpec {
+	for i := range spec.Operations {
+		if spec.Operations[i].Name == op {
+			return &spec.Operations[i]
+		}
+	}
+	return nil
+}
+
+// argsFromQuery coerces URL query values to the declared input kinds.
+// Parameters absent from the query are omitted (operations treat them as
+// unset), matching HTML-form semantics.
+func argsFromQuery(params []wsdl.ParamSpec, q url.Values) ([]wire.Arg, error) {
+	var out []wire.Arg
+	for _, p := range params {
+		vals, ok := q[p.Name]
+		if !ok {
+			continue
+		}
+		v, err := coerce(p.Type, vals)
+		if err != nil {
+			return nil, fmt.Errorf("invoke: parameter %q: %w", p.Name, err)
+		}
+		out = append(out, wire.Arg{Name: p.Name, Value: v})
+	}
+	return out, nil
+}
+
+func coerce(k wire.Kind, vals []string) (any, error) {
+	if k.IsArray() {
+		return coerceArray(k, vals)
+	}
+	if len(vals) != 1 {
+		return nil, fmt.Errorf("scalar given %d values", len(vals))
+	}
+	return parseScalar(k, vals[0])
+}
+
+func coerceArray(k wire.Kind, vals []string) (any, error) {
+	elem := k.Elem()
+	switch k {
+	case wire.KindBoolArray:
+		out := make([]bool, len(vals))
+		for i, s := range vals {
+			v, err := parseScalar(elem, s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(bool)
+		}
+		return out, nil
+	case wire.KindInt32Array:
+		out := make([]int32, len(vals))
+		for i, s := range vals {
+			v, err := parseScalar(elem, s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(int32)
+		}
+		return out, nil
+	case wire.KindInt64Array:
+		out := make([]int64, len(vals))
+		for i, s := range vals {
+			v, err := parseScalar(elem, s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(int64)
+		}
+		return out, nil
+	case wire.KindFloat32Array:
+		out := make([]float32, len(vals))
+		for i, s := range vals {
+			v, err := parseScalar(elem, s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(float32)
+		}
+		return out, nil
+	case wire.KindFloat64Array:
+		out := make([]float64, len(vals))
+		for i, s := range vals {
+			v, err := parseScalar(elem, s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(float64)
+		}
+		return out, nil
+	case wire.KindStringArray:
+		return append([]string(nil), vals...), nil
+	}
+	return nil, fmt.Errorf("unsupported array kind %v", k)
+}
+
+func parseScalar(k wire.Kind, s string) (any, error) {
+	switch k {
+	case wire.KindBool:
+		return strconv.ParseBool(s)
+	case wire.KindInt32:
+		v, err := strconv.ParseInt(s, 10, 32)
+		return int32(v), err
+	case wire.KindInt64:
+		return strconv.ParseInt(s, 10, 64)
+	case wire.KindFloat32:
+		v, err := strconv.ParseFloat(s, 32)
+		return float32(v), err
+	case wire.KindFloat64:
+		return strconv.ParseFloat(s, 64)
+	case wire.KindString:
+		return s, nil
+	case wire.KindBytes:
+		return base64.StdEncoding.DecodeString(s)
+	}
+	return nil, fmt.Errorf("unsupported scalar kind %v", k)
+}
+
+// responseDoc renders output args as the binding's XML response.
+func responseDoc(op string, out []wire.Arg) (string, error) {
+	root := xmlq.NewNode("response")
+	root.SetAttr("op", op)
+	for _, a := range out {
+		k := wire.KindOf(a.Value)
+		if k == wire.KindInvalid || k == wire.KindStruct {
+			return "", fmt.Errorf("invoke: http binding cannot encode %q (%T)", a.Name, a.Value)
+		}
+		n := root.AddNew("out")
+		n.SetAttr("name", a.Name)
+		n.SetAttr("type", k.String())
+		if k.IsArray() {
+			for _, item := range textItems(a.Value) {
+				n.AddNew("item").SetText(item)
+			}
+		} else {
+			n.SetText(scalarText(a.Value))
+		}
+	}
+	return root.String(), nil
+}
+
+func scalarText(v any) string {
+	switch x := v.(type) {
+	case bool:
+		return strconv.FormatBool(x)
+	case int32:
+		return strconv.FormatInt(int64(x), 10)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case []byte:
+		return base64.StdEncoding.EncodeToString(x)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func textItems(v any) []string {
+	switch a := v.(type) {
+	case []bool:
+		out := make([]string, len(a))
+		for i, x := range a {
+			out[i] = strconv.FormatBool(x)
+		}
+		return out
+	case []int32:
+		out := make([]string, len(a))
+		for i, x := range a {
+			out[i] = strconv.FormatInt(int64(x), 10)
+		}
+		return out
+	case []int64:
+		out := make([]string, len(a))
+		for i, x := range a {
+			out[i] = strconv.FormatInt(x, 10)
+		}
+		return out
+	case []float32:
+		out := make([]string, len(a))
+		for i, x := range a {
+			out[i] = strconv.FormatFloat(float64(x), 'g', -1, 32)
+		}
+		return out
+	case []float64:
+		out := make([]string, len(a))
+		for i, x := range a {
+			out[i] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		return out
+	case []string:
+		return a
+	}
+	return nil
+}
+
+// HTTPPort is the client side of the HTTP GET binding.
+type HTTPPort struct {
+	// URL is the instance endpoint (…/rest/<instance>); the operation
+	// name is appended per call.
+	URL string
+	// HTTP is the underlying client; nil uses a 30 s-timeout default.
+	HTTP *http.Client
+}
+
+var _ Port = (*HTTPPort)(nil)
+
+var defaultHTTPGet = &http.Client{Timeout: 30 * time.Second}
+
+// Invoke implements Port.
+func (p *HTTPPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	q := url.Values{}
+	for _, a := range args {
+		k := wire.KindOf(a.Value)
+		switch {
+		case k == wire.KindInvalid || k == wire.KindStruct:
+			return nil, fmt.Errorf("invoke: http binding cannot carry %q (%T)", a.Name, a.Value)
+		case k.IsArray():
+			for _, item := range textItems(a.Value) {
+				q.Add(a.Name, item)
+			}
+		default:
+			q.Set(a.Name, scalarText(a.Value))
+		}
+	}
+	u := strings.TrimSuffix(p.URL, "/") + "/" + op
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: %w", err)
+	}
+	httpc := p.HTTP
+	if httpc == nil {
+		httpc = defaultHTTPGet
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: http get %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("invoke: http binding %s: %s: %s",
+			op, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return parseResponseDoc(body)
+}
+
+func parseResponseDoc(body []byte) ([]wire.Arg, error) {
+	root, err := xmlq.ParseString(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("invoke: http binding response: %w", err)
+	}
+	if root.Local != "response" {
+		return nil, fmt.Errorf("invoke: http binding response root is %q", root.Local)
+	}
+	var out []wire.Arg
+	for _, n := range root.ChildrenNamed("out") {
+		k := wire.KindByName(n.AttrOr("type", ""))
+		if k == wire.KindInvalid {
+			return nil, fmt.Errorf("invoke: http binding output %q has unknown type %q",
+				n.AttrOr("name", ""), n.AttrOr("type", ""))
+		}
+		var v any
+		if k.IsArray() {
+			items := n.ChildrenNamed("item")
+			texts := make([]string, len(items))
+			for i, it := range items {
+				texts[i] = it.Text
+			}
+			v, err = coerceArray(k, texts)
+		} else {
+			v, err = parseScalar(k, n.Text)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("invoke: http binding output %q: %w", n.AttrOr("name", ""), err)
+		}
+		out = append(out, wire.Arg{Name: n.AttrOr("name", ""), Value: v})
+	}
+	return out, nil
+}
+
+// Kind implements Port.
+func (p *HTTPPort) Kind() wsdl.BindingKind { return wsdl.BindHTTP }
+
+// Endpoint implements Port.
+func (p *HTTPPort) Endpoint() string { return p.URL }
+
+// Close implements Port.
+func (p *HTTPPort) Close() error { return nil }

@@ -1,0 +1,196 @@
+package invoke
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// mixedFactory exposes one operation exercising every URL-encodable kind.
+func mixedFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "Mixed", Operations: []wsdl.OpSpec{{
+				Name: "echo",
+				Input: []wsdl.ParamSpec{
+					{Name: "b", Type: wire.KindBool},
+					{Name: "i", Type: wire.KindInt32},
+					{Name: "l", Type: wire.KindInt64},
+					{Name: "f", Type: wire.KindFloat32},
+					{Name: "d", Type: wire.KindFloat64},
+					{Name: "s", Type: wire.KindString},
+					{Name: "raw", Type: wire.KindBytes},
+					{Name: "ds", Type: wire.KindFloat64Array},
+					{Name: "ss", Type: wire.KindStringArray},
+				},
+				Output: []wsdl.ParamSpec{
+					{Name: "b", Type: wire.KindBool},
+					{Name: "i", Type: wire.KindInt32},
+					{Name: "l", Type: wire.KindInt64},
+					{Name: "f", Type: wire.KindFloat32},
+					{Name: "d", Type: wire.KindFloat64},
+					{Name: "s", Type: wire.KindString},
+					{Name: "raw", Type: wire.KindBytes},
+					{Name: "ds", Type: wire.KindFloat64Array},
+					{Name: "ss", Type: wire.KindStringArray},
+				},
+			}}},
+			Handlers: map[string]container.OpFunc{
+				"echo": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					return args, nil
+				},
+			},
+		}
+	})
+}
+
+func newGetHost(t *testing.T) (*container.Container, string) {
+	t.Helper()
+	c := container.New(container.Config{Name: "gh"})
+	c.RegisterFactory("Mixed", mixedFactory())
+	c.RegisterFactory("Counter", counterImpl())
+	ts := httptest.NewServer(&HTTPGetHandler{Container: c})
+	t.Cleanup(ts.Close)
+	return c, ts.URL
+}
+
+func TestHTTPGetAllKindsRoundTrip(t *testing.T) {
+	c, base := newGetHost(t)
+	if _, _, err := c.Deploy("Mixed", "m"); err != nil {
+		t.Fatal(err)
+	}
+	p := &HTTPPort{URL: base + "/m"}
+	args := wire.Args(
+		"b", true,
+		"i", int32(-7),
+		"l", int64(1<<40),
+		"f", float32(1.5),
+		"d", 2.25,
+		"s", "hello world & <friends>",
+		"raw", []byte{0, 1, 255},
+		"ds", []float64{1.5, -2.5, 0},
+		"ss", []string{"a b", "c&d", ""},
+	)
+	out, err := p.Invoke(context.Background(), "echo", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range args {
+		got, ok := wire.GetArg(out, a.Name)
+		if !ok {
+			t.Errorf("missing output %q", a.Name)
+			continue
+		}
+		// Empty strings inside arrays survive as empty items; whitespace
+		// inside strings survives URL encoding.
+		if !wire.Equal(got, a.Value) {
+			t.Errorf("%s: got %#v want %#v", a.Name, got, a.Value)
+		}
+	}
+	if p.Kind() != wsdl.BindHTTP || p.Endpoint() == "" || p.Close() != nil {
+		t.Fatal("port surface broken")
+	}
+}
+
+func TestHTTPGetStatefulInstance(t *testing.T) {
+	c, base := newGetHost(t)
+	if _, _, err := c.Deploy("Counter", "cnt"); err != nil {
+		t.Fatal(err)
+	}
+	p := &HTTPPort{URL: base + "/cnt"}
+	ctx := context.Background()
+	var total int64
+	for i := 0; i < 3; i++ {
+		out, err := p.Invoke(ctx, "inc", wire.Args("by", int64(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := wire.GetArg(out, "total")
+		total = v.(int64)
+	}
+	if total != 6 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestHTTPGetErrors(t *testing.T) {
+	c, base := newGetHost(t)
+	if _, _, err := c.Deploy("Mixed", "m"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		port *HTTPPort
+		op   string
+		args []wire.Arg
+		want string
+	}{
+		{"unknown instance", &HTTPPort{URL: base + "/ghost"}, "echo", nil, "no instance"},
+		{"unknown op", &HTTPPort{URL: base + "/m"}, "nosuch", nil, "no operation"},
+		{"bad param type", &HTTPPort{URL: base + "/m"}, "echo",
+			wire.Args("i", "not-an-int-but-string-named-i"), "parameter"},
+		{"struct arg rejected client-side", &HTTPPort{URL: base + "/m"}, "echo",
+			wire.Args("s", wire.NewStruct("X")), "cannot carry"},
+	}
+	for _, tc := range cases {
+		_, err := tc.port.Invoke(ctx, tc.op, tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHTTPGetMethodNotAllowed(t *testing.T) {
+	_, base := newGetHost(t)
+	resp, err := defaultHTTPGet.Post(base+"/m/echo", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPGetViaDialPreference(t *testing.T) {
+	// With everything but HTTP forbidden, Dial must produce an HTTPPort
+	// from generated WSDL.
+	h := newHost(t)
+	_, defs := h.deploy(t, "Counter", "c1")
+	refs := defs.PortsByKind(wsdl.BindHTTP)
+	if len(refs) == 0 {
+		t.Skip("host fixture has no HTTP base configured")
+	}
+	p, err := Dial(defs, Options{Forbid: []wsdl.BindingKind{
+		wsdl.BindJavaObject, wsdl.BindXDR, wsdl.BindSOAP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Kind() != wsdl.BindHTTP {
+		t.Fatalf("kind = %v", p.Kind())
+	}
+}
+
+func TestHTTPGetOmittedParams(t *testing.T) {
+	// Absent query params are simply not passed, like HTML forms.
+	c, base := newGetHost(t)
+	if _, _, err := c.Deploy("Mixed", "m"); err != nil {
+		t.Fatal(err)
+	}
+	p := &HTTPPort{URL: base + "/m"}
+	out, err := p.Invoke(context.Background(), "echo", wire.Args("i", int32(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+}

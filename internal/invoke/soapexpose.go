@@ -1,0 +1,105 @@
+package invoke
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"harness2/internal/container"
+	"harness2/internal/soap"
+	"harness2/internal/wire"
+)
+
+// SOAPHandler exposes every instance of c over the SOAP/HTTP binding.
+// The final URL path segment selects the instance, matching the
+// SOAPBase/<instance> endpoints the container advertises in WSDL.
+type SOAPHandler struct {
+	Container *container.Container
+	Codec     soap.Codec
+	// Understood lists header entry names the handler processes; any
+	// other mustUnderstand header is refused with a MustUnderstand fault.
+	Understood []string
+}
+
+// ServeHTTP implements http.Handler.
+func (h *SOAPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	i := strings.LastIndexByte(path, '/')
+	instance := path[i+1:]
+	if instance == "" {
+		h.fault(w, &soap.Fault{Code: "Client", String: "no instance in request path"})
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		h.fault(w, &soap.Fault{Code: "Client", String: "unreadable request body"})
+		return
+	}
+	call, err := h.Codec.DecodeCall(body)
+	if err != nil {
+		h.fault(w, &soap.Fault{Code: "Client", String: err.Error()})
+		return
+	}
+	for _, hd := range call.Headers {
+		if hd.MustUnderstand && !h.understands(hd.Name) {
+			h.fault(w, &soap.Fault{Code: "MustUnderstand",
+				String: fmt.Sprintf("header %q not understood", hd.Name)})
+			return
+		}
+	}
+	args := make([]wire.Arg, len(call.Params))
+	for j, p := range call.Params {
+		args[j] = wire.Arg{Name: p.Name, Value: p.Value}
+	}
+	out, err := h.Container.Invoke(r.Context(), instance, call.Method, args)
+	if err != nil {
+		h.fault(w, &soap.Fault{Code: "Server", String: err.Error()})
+		return
+	}
+	params := make([]soap.Param, len(out))
+	for j, a := range out {
+		params[j] = soap.Param{Name: a.Name, Value: a.Value}
+	}
+	resp, err := h.Codec.EncodeResponse(call.Method, params)
+	if err != nil {
+		h.fault(w, &soap.Fault{Code: "Server", String: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write(resp)
+}
+
+func (h *SOAPHandler) understands(name string) bool {
+	for _, u := range h.Understood {
+		if u == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *SOAPHandler) fault(w http.ResponseWriter, f *soap.Fault) {
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(h.Codec.EncodeFault(f))
+}
+
+// CallOperation is a convenience wrapper invoking one named operation on a
+// port and extracting a single named result.
+func CallOperation(ctx context.Context, p Port, op string, args []wire.Arg, result string) (any, error) {
+	out, err := p.Invoke(ctx, op, args)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := wire.GetArg(out, result)
+	if !ok {
+		return nil, fmt.Errorf("invoke: result %q missing from %s response", result, op)
+	}
+	return v, nil
+}

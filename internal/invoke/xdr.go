@@ -1,0 +1,331 @@
+package invoke
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+	"harness2/internal/xdr"
+)
+
+// The XDR binding wire protocol. Each frame is an xdr.WriteFrame record.
+//
+// Request:  string instance; string op; uint32 nargs;
+//           nargs × (string name, tagged value)
+// Response: uint32 status (0 ok / 1 fault);
+//           ok:    uint32 nouts; nouts × (string name, tagged value)
+//           fault: string message
+//
+// Values use xdr.EncodeValue and are therefore restricted to numeric data
+// and arrays, per the paper's design of the binding. The header strings
+// exist to "mimic the behavior of the RMI daemon to select the actual
+// target component".
+
+// XDRServer serves the XDR socket binding for a container's instances.
+type XDRServer struct {
+	c  *container.Container
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// NewXDRServer starts an XDR listener on addr (e.g. "127.0.0.1:0") that
+// dispatches to instances of c.
+func NewXDRServer(c *container.Container, addr string) (*XDRServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: xdr listen: %w", err)
+	}
+	s := &XDRServer{c: c, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *XDRServer) Addr() string { return s.ln.Addr().String() }
+
+// Retarget points the server at a different container. Node bootstrap
+// needs this: endpoint addresses must be known before the final container
+// configuration (which advertises them) can be built.
+func (s *XDRServer) Retarget(c *container.Container) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c = c
+}
+
+func (s *XDRServer) target() *container.Container {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// Close stops the listener and all open connections.
+func (s *XDRServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *XDRServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *XDRServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		frame, err := xdr.ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken connection ends the session
+		}
+		resp := s.handleFrame(frame)
+		if err := xdr.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *XDRServer) handleFrame(frame []byte) []byte {
+	instance, op, args, err := decodeRequest(frame)
+	if err != nil {
+		return encodeFault(err)
+	}
+	out, err := s.target().Invoke(context.Background(), instance, op, args)
+	if err != nil {
+		return encodeFault(err)
+	}
+	resp, err := encodeResponse(out)
+	if err != nil {
+		return encodeFault(err)
+	}
+	return resp
+}
+
+func decodeRequest(frame []byte) (instance, op string, args []wire.Arg, err error) {
+	d := xdr.NewDecoder(frame)
+	if instance, err = d.String(); err != nil {
+		return "", "", nil, err
+	}
+	if op, err = d.String(); err != nil {
+		return "", "", nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return "", "", nil, err
+	}
+	if n > 1<<16 {
+		return "", "", nil, errors.New("invoke: absurd argument count")
+	}
+	args = make([]wire.Arg, n)
+	for i := range args {
+		if args[i].Name, err = d.String(); err != nil {
+			return "", "", nil, err
+		}
+		if args[i].Value, err = xdr.DecodeValue(d); err != nil {
+			return "", "", nil, err
+		}
+	}
+	return instance, op, args, nil
+}
+
+func encodeRequest(instance, op string, args []wire.Arg) ([]byte, error) {
+	e := xdr.NewEncoder(64)
+	e.String(instance)
+	e.String(op)
+	e.Uint32(uint32(len(args)))
+	for _, a := range args {
+		e.String(a.Name)
+		if err := xdr.EncodeValue(e, a.Value); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+func encodeResponse(out []wire.Arg) ([]byte, error) {
+	e := xdr.NewEncoder(64)
+	e.Uint32(0)
+	e.Uint32(uint32(len(out)))
+	for _, a := range out {
+		e.String(a.Name)
+		if err := xdr.EncodeValue(e, a.Value); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+func encodeFault(err error) []byte {
+	e := xdr.NewEncoder(64)
+	e.Uint32(1)
+	e.String(err.Error())
+	return e.Bytes()
+}
+
+func decodeResponse(frame []byte) ([]wire.Arg, error) {
+	d := xdr.NewDecoder(frame)
+	status, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		msg, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("invoke: xdr fault: %s", msg)
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, errors.New("invoke: absurd result count")
+	}
+	out := make([]wire.Arg, n)
+	for i := range out {
+		if out[i].Name, err = d.String(); err != nil {
+			return nil, err
+		}
+		if out[i].Value, err = xdr.DecodeValue(d); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// XDRPort is the client side of the XDR socket binding. By default it
+// keeps one TCP connection open across calls; DialPerCall reconnects for
+// every invocation (the E3 ablation quantifying connection reuse).
+type XDRPort struct {
+	addr        string
+	instance    string
+	dialPerCall bool
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ Port = (*XDRPort)(nil)
+
+// NewXDRPort returns a port bound to the XDR endpoint at addr targeting
+// the given instance.
+func NewXDRPort(addr, instance string, dialPerCall bool) *XDRPort {
+	return &XDRPort{addr: addr, instance: instance, dialPerCall: dialPerCall}
+}
+
+// Invoke implements Port.
+func (p *XDRPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	req, err := encodeRequest(p.instance, op, args)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conn, err := p.connLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	frame, err := p.exchange(conn, req)
+	if err != nil {
+		// One transparent retry on a fresh connection covers the case of
+		// a pooled connection closed by the peer between calls.
+		p.dropLocked()
+		conn, cerr := p.connLocked(ctx)
+		if cerr != nil {
+			return nil, err
+		}
+		if frame, err = p.exchange(conn, req); err != nil {
+			p.dropLocked()
+			return nil, fmt.Errorf("invoke: xdr call %s: %w", op, err)
+		}
+	}
+	if p.dialPerCall {
+		p.dropLocked()
+	}
+	return decodeResponse(frame)
+}
+
+func (p *XDRPort) exchange(conn net.Conn, req []byte) ([]byte, error) {
+	if err := xdr.WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	return xdr.ReadFrame(conn)
+}
+
+func (p *XDRPort) connLocked(ctx context.Context) (net.Conn, error) {
+	if p.conn != nil {
+		return p.conn, nil
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: xdr dial %s: %w", p.addr, err)
+	}
+	p.conn = conn
+	return conn, nil
+}
+
+func (p *XDRPort) dropLocked() {
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// Kind implements Port.
+func (p *XDRPort) Kind() wsdl.BindingKind { return wsdl.BindXDR }
+
+// Endpoint implements Port.
+func (p *XDRPort) Endpoint() string { return p.addr }
+
+// Close implements Port.
+func (p *XDRPort) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropLocked()
+	return nil
+}

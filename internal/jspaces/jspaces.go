@@ -1,0 +1,351 @@
+// Package jspaces implements the Harness JavaSpaces emulation plugin —
+// the third environment emulation the paper names ("currently PVM, MPI,
+// and JavaSpaces plugins are available"): a tuple space with Write, Read
+// and Take over structured entries, template matching with wildcard
+// fields, leases, and blocking reads with timeouts.
+//
+// Entries are wire.Struct values, so the space's operations travel over
+// the SOAP binding unchanged — a space deployed in a container is usable
+// by remote, standards-based clients as well as by co-located plugins.
+package jspaces
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// PluginClass is the kernel class name of the plugin.
+const PluginClass = "harness.jspaces"
+
+// LeaseForever marks an entry that never expires.
+const LeaseForever time.Duration = 0
+
+// Space is a tuple space.
+type Space struct {
+	// now is injectable for deterministic lease tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	seq     int64
+	entries map[int64]*entry
+	waiters []*waiter
+}
+
+type entry struct {
+	id      int64
+	value   *wire.Struct
+	expires time.Time // zero = never
+}
+
+type waiter struct {
+	template *wire.Struct
+	take     bool
+	ch       chan *wire.Struct
+	// done marks a waiter already satisfied or cancelled.
+	done bool
+}
+
+// New creates an empty space.
+func New() *Space { return NewWithClock(time.Now) }
+
+// NewWithClock creates a space with an injectable clock.
+func NewWithClock(now func() time.Time) *Space {
+	return &Space{now: now, entries: make(map[int64]*entry)}
+}
+
+// Factory returns the kernel plugin factory.
+func Factory() container.Factory {
+	return func() (container.Component, error) { return NewComponent(New()), nil }
+}
+
+// Matches reports whether e satisfies the template: same struct name
+// (empty template name is a wildcard) and every template field equal in
+// e. Fields absent from the template are wildcards — the JavaSpaces
+// null-field rule mapped onto the wire model.
+func Matches(template, e *wire.Struct) bool {
+	if template == nil {
+		return true
+	}
+	if template.Name != "" && template.Name != e.Name {
+		return false
+	}
+	for _, f := range template.Fields {
+		v, ok := e.Get(f.Name)
+		if !ok || !wire.Equal(v, f.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Write stores a copy-safe reference to value with the given lease and
+// returns the entry ID. Lease 0 (LeaseForever) never expires.
+func (s *Space) Write(value *wire.Struct, lease time.Duration) (int64, error) {
+	if value == nil {
+		return 0, fmt.Errorf("jspaces: cannot write a nil entry")
+	}
+	if err := wire.Check(value); err != nil {
+		return 0, fmt.Errorf("jspaces: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collectLocked()
+	// Offer to blocked waiters first; a taker consumes the entry outright.
+	for _, w := range s.waiters {
+		if w.done || !Matches(w.template, value) {
+			continue
+		}
+		w.done = true
+		w.ch <- value
+		if w.take {
+			s.pruneWaitersLocked()
+			return 0, nil // consumed before it ever hit storage
+		}
+	}
+	s.pruneWaitersLocked()
+	s.seq++
+	e := &entry{id: s.seq, value: value}
+	if lease > 0 {
+		e.expires = s.now().Add(lease)
+	}
+	s.entries[e.id] = e
+	return e.id, nil
+}
+
+// ReadIfExists returns a matching entry without blocking or removing it.
+func (s *Space) ReadIfExists(template *wire.Struct) (*wire.Struct, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collectLocked()
+	if e := s.findLocked(template); e != nil {
+		return e.value, true
+	}
+	return nil, false
+}
+
+// TakeIfExists removes and returns a matching entry without blocking.
+func (s *Space) TakeIfExists(template *wire.Struct) (*wire.Struct, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collectLocked()
+	if e := s.findLocked(template); e != nil {
+		delete(s.entries, e.id)
+		return e.value, true
+	}
+	return nil, false
+}
+
+// Read blocks until an entry matches the template (or the timeout or ctx
+// expires) and returns it without removing it.
+func (s *Space) Read(ctx context.Context, template *wire.Struct, timeout time.Duration) (*wire.Struct, error) {
+	return s.wait(ctx, template, timeout, false)
+}
+
+// Take blocks like Read but removes the matched entry.
+func (s *Space) Take(ctx context.Context, template *wire.Struct, timeout time.Duration) (*wire.Struct, error) {
+	return s.wait(ctx, template, timeout, true)
+}
+
+// ErrTimeout is returned when a blocking Read/Take expires.
+var ErrTimeout = fmt.Errorf("jspaces: operation timed out")
+
+func (s *Space) wait(ctx context.Context, template *wire.Struct, timeout time.Duration, take bool) (*wire.Struct, error) {
+	s.mu.Lock()
+	s.collectLocked()
+	if e := s.findLocked(template); e != nil {
+		if take {
+			delete(s.entries, e.id)
+		}
+		s.mu.Unlock()
+		return e.value, nil
+	}
+	w := &waiter{template: template, take: take, ch: make(chan *wire.Struct, 1)}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case v := <-w.ch:
+		return v, nil
+	case <-timer:
+	case <-ctx.Done():
+	}
+	// Cancelled: mark done under the lock, then drain a possible race
+	// where Write satisfied us concurrently.
+	s.mu.Lock()
+	already := w.done
+	w.done = true
+	s.pruneWaitersLocked()
+	s.mu.Unlock()
+	if already {
+		// Write had already delivered; honour it.
+		v := <-w.ch
+		return v, nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return nil, ErrTimeout
+}
+
+func (s *Space) findLocked(template *wire.Struct) *entry {
+	// Oldest first, for FIFO-ish fairness.
+	var best *entry
+	for _, e := range s.entries {
+		if Matches(template, e.value) && (best == nil || e.id < best.id) {
+			best = e
+		}
+	}
+	return best
+}
+
+// collectLocked drops expired entries.
+func (s *Space) collectLocked() {
+	now := s.now()
+	for id, e := range s.entries {
+		if !e.expires.IsZero() && now.After(e.expires) {
+			delete(s.entries, id)
+		}
+	}
+}
+
+func (s *Space) pruneWaitersLocked() {
+	live := s.waiters[:0]
+	for _, w := range s.waiters {
+		if !w.done {
+			live = append(live, w)
+		}
+	}
+	s.waiters = live
+}
+
+// Count returns the number of live (unexpired) entries matching template.
+func (s *Space) Count(template *wire.Struct) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collectLocked()
+	n := 0
+	for _, e := range s.entries {
+		if Matches(template, e.value) {
+			n++
+		}
+	}
+	return n
+}
+
+// Component adapts a Space to the container component model so the tuple
+// space is reachable through the SOAP binding (structs travel in
+// envelopes).
+type Component struct {
+	space *Space
+}
+
+var _ container.Component = (*Component)(nil)
+
+// NewComponent wraps a space.
+func NewComponent(s *Space) *Component { return &Component{space: s} }
+
+// Space exposes the wrapped space for co-located (local-binding) use.
+func (c *Component) Space() *Space { return c.space }
+
+// Describe implements container.Component.
+func (c *Component) Describe() wsdl.ServiceSpec {
+	entryIn := []wsdl.ParamSpec{{Name: "entry", Type: wire.KindStruct}}
+	tmplIn := []wsdl.ParamSpec{
+		{Name: "template", Type: wire.KindStruct},
+		{Name: "timeoutMs", Type: wire.KindInt64},
+	}
+	found := []wsdl.ParamSpec{
+		{Name: "entry", Type: wire.KindStruct},
+		{Name: "found", Type: wire.KindBool},
+	}
+	return wsdl.ServiceSpec{
+		Name: "TupleSpace",
+		Operations: []wsdl.OpSpec{
+			{Name: "write", Input: append(entryIn, wsdl.ParamSpec{Name: "leaseMs", Type: wire.KindInt64}),
+				Output: []wsdl.ParamSpec{{Name: "id", Type: wire.KindInt64}}},
+			{Name: "read", Input: tmplIn, Output: found},
+			{Name: "take", Input: tmplIn, Output: found},
+			{Name: "count", Input: []wsdl.ParamSpec{{Name: "template", Type: wire.KindStruct}},
+				Output: []wsdl.ParamSpec{{Name: "n", Type: wire.KindInt32}}},
+		},
+	}
+}
+
+// Invoke implements container.Component.
+func (c *Component) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	switch op {
+	case "write":
+		ev, _ := wire.GetArg(args, "entry")
+		entry, ok := ev.(*wire.Struct)
+		if !ok {
+			return nil, fmt.Errorf("jspaces: write requires a struct entry")
+		}
+		var lease time.Duration
+		if lv, ok := wire.GetArg(args, "leaseMs"); ok {
+			if ms, ok := lv.(int64); ok {
+				lease = time.Duration(ms) * time.Millisecond
+			}
+		}
+		id, err := c.space.Write(entry, lease)
+		if err != nil {
+			return nil, err
+		}
+		return wire.Args("id", id), nil
+	case "read", "take":
+		var template *wire.Struct
+		if tv, ok := wire.GetArg(args, "template"); ok {
+			template, _ = tv.(*wire.Struct)
+		}
+		var timeout time.Duration
+		if tv, ok := wire.GetArg(args, "timeoutMs"); ok {
+			if ms, ok := tv.(int64); ok {
+				timeout = time.Duration(ms) * time.Millisecond
+			}
+		}
+		var got *wire.Struct
+		var err error
+		if timeout <= 0 {
+			var found bool
+			if op == "take" {
+				got, found = c.space.TakeIfExists(template)
+			} else {
+				got, found = c.space.ReadIfExists(template)
+			}
+			if !found {
+				return wire.Args("entry", wire.NewStruct(""), "found", false), nil
+			}
+			return wire.Args("entry", got, "found", true), nil
+		}
+		if op == "take" {
+			got, err = c.space.Take(ctx, template, timeout)
+		} else {
+			got, err = c.space.Read(ctx, template, timeout)
+		}
+		if err == ErrTimeout {
+			return wire.Args("entry", wire.NewStruct(""), "found", false), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return wire.Args("entry", got, "found", true), nil
+	case "count":
+		var template *wire.Struct
+		if tv, ok := wire.GetArg(args, "template"); ok {
+			template, _ = tv.(*wire.Struct)
+		}
+		return wire.Args("n", int32(c.space.Count(template))), nil
+	}
+	return nil, fmt.Errorf("jspaces: no such operation %q", op)
+}

@@ -1,0 +1,349 @@
+package jspaces
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/core"
+	"harness2/internal/invoke"
+	"harness2/internal/kernel"
+	"harness2/internal/wire"
+)
+
+func task(name string, args ...any) *wire.Struct {
+	s := wire.NewStruct("Task").Set("name", name)
+	for i := 0; i+1 < len(args); i += 2 {
+		s.Set(args[i].(string), args[i+1])
+	}
+	return s
+}
+
+func TestMatches(t *testing.T) {
+	e := task("render", "frame", int32(7), "prio", int32(1))
+	cases := []struct {
+		tmpl *wire.Struct
+		want bool
+	}{
+		{nil, true},
+		{wire.NewStruct(""), true},
+		{wire.NewStruct("Task"), true},
+		{wire.NewStruct("Job"), false},
+		{wire.NewStruct("Task").Set("name", "render"), true},
+		{wire.NewStruct("Task").Set("name", "encode"), false},
+		{wire.NewStruct("Task").Set("prio", int32(1)), true},
+		{wire.NewStruct("Task").Set("prio", int32(2)), false},
+		{wire.NewStruct("Task").Set("missing", "x"), false},
+		{wire.NewStruct("").Set("frame", int32(7)), true},
+	}
+	for i, c := range cases {
+		if got := Matches(c.tmpl, e); got != c.want {
+			t.Errorf("case %d: Matches = %v", i, got)
+		}
+	}
+}
+
+func TestWriteReadTake(t *testing.T) {
+	s := New()
+	id, err := s.Write(task("render", "frame", int32(1)), LeaseForever)
+	if err != nil || id == 0 {
+		t.Fatalf("write: %v %v", id, err)
+	}
+	if _, err := s.Write(nil, 0); err == nil {
+		t.Fatal("nil write should fail")
+	}
+	bad := wire.NewStruct("T").Set("x", int(5)) // non-wire field
+	if _, err := s.Write(bad, 0); err == nil {
+		t.Fatal("non-wire entry should fail")
+	}
+
+	got, found := s.ReadIfExists(wire.NewStruct("Task"))
+	if !found {
+		t.Fatal("read miss")
+	}
+	name, _ := got.Get("name")
+	if name.(string) != "render" {
+		t.Fatalf("name = %v", name)
+	}
+	// Read does not remove.
+	if s.Count(nil) != 1 {
+		t.Fatalf("count = %d", s.Count(nil))
+	}
+	if _, found := s.TakeIfExists(wire.NewStruct("Task")); !found {
+		t.Fatal("take miss")
+	}
+	if s.Count(nil) != 0 {
+		t.Fatalf("count after take = %d", s.Count(nil))
+	}
+	if _, found := s.TakeIfExists(nil); found {
+		t.Fatal("take from empty space should miss")
+	}
+}
+
+func TestFIFOMatching(t *testing.T) {
+	s := New()
+	for i := int32(0); i < 3; i++ {
+		if _, err := s.Write(task("job", "seq", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := int32(0); want < 3; want++ {
+		got, found := s.TakeIfExists(wire.NewStruct("Task"))
+		if !found {
+			t.Fatal("miss")
+		}
+		seq, _ := got.Get("seq")
+		if seq.(int32) != want {
+			t.Fatalf("seq = %v, want %v (oldest first)", seq, want)
+		}
+	}
+}
+
+func TestBlockingTake(t *testing.T) {
+	s := New()
+	got := make(chan *wire.Struct, 1)
+	go func() {
+		v, err := s.Take(context.Background(), wire.NewStruct("Task"), 5*time.Second)
+		if err != nil {
+			t.Error(err)
+			close(got)
+			return
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the taker block
+	if _, err := s.Write(task("late"), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v == nil {
+			t.Fatal("taker failed")
+		}
+		name, _ := v.Get("name")
+		if name.(string) != "late" {
+			t.Fatalf("name = %v", name)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("taker never woke")
+	}
+	// The taker consumed the entry before storage.
+	if s.Count(nil) != 0 {
+		t.Fatalf("count = %d", s.Count(nil))
+	}
+}
+
+func TestBlockingReadDoesNotConsume(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := s.Read(context.Background(), nil, 5*time.Second); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := s.Write(task("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if s.Count(nil) != 1 {
+		t.Fatalf("read consumed the entry: count = %d", s.Count(nil))
+	}
+}
+
+func TestTimeoutAndCancel(t *testing.T) {
+	s := New()
+	start := time.Now()
+	if _, err := s.Take(context.Background(), nil, 20*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("returned before timeout")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := s.Take(ctx, nil, time.Minute); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	// Cancelled waiters are pruned: a later write stores normally.
+	if _, err := s.Write(task("after"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count(nil) != 1 {
+		t.Fatal("entry lost to a dead waiter")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewWithClock(func() time.Time { return now })
+	if _, err := s.Write(task("short"), 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(task("forever"), LeaseForever); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count(nil) != 2 {
+		t.Fatalf("count = %d", s.Count(nil))
+	}
+	now = now.Add(time.Second)
+	if s.Count(nil) != 1 {
+		t.Fatalf("count after expiry = %d", s.Count(nil))
+	}
+	got, found := s.ReadIfExists(nil)
+	if !found {
+		t.Fatal("forever entry missing")
+	}
+	if name, _ := got.Get("name"); name.(string) != "forever" {
+		t.Fatalf("survivor = %v", name)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	s := New()
+	const items = 200
+	var wg sync.WaitGroup
+	consumed := make(chan int32, items)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, err := s.Take(context.Background(), wire.NewStruct("Task"), 50*time.Millisecond)
+				if err != nil {
+					return // drained
+				}
+				seq, _ := v.Get("seq")
+				consumed <- seq.(int32)
+			}
+		}()
+	}
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < items/4; i++ {
+				if _, err := s.Write(task("job", "seq", int32(p*items/4+i)), 0); err != nil {
+					t.Error(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(consumed)
+	seen := map[int32]bool{}
+	for seq := range consumed {
+		if seen[seq] {
+			t.Fatalf("entry %d consumed twice", seq)
+		}
+		seen[seq] = true
+	}
+	if len(seen) != items {
+		t.Fatalf("consumed %d of %d", len(seen), items)
+	}
+	if s.Count(nil) != 0 {
+		t.Fatalf("space not drained: %d", s.Count(nil))
+	}
+}
+
+func TestComponentSurface(t *testing.T) {
+	k := kernel.New("js-node", container.Config{})
+	k.RegisterPlugin(PluginClass, Factory())
+	if err := k.Load(PluginClass); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	out, err := k.Call(ctx, PluginClass, "write",
+		wire.Args("entry", task("remote", "frame", int32(9)), "leaseMs", int64(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := wire.GetArg(out, "id"); id.(int64) == 0 {
+		t.Fatal("no id")
+	}
+	out, err = k.Call(ctx, PluginClass, "read",
+		wire.Args("template", wire.NewStruct("Task"), "timeoutMs", int64(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := wire.GetArg(out, "found"); !found.(bool) {
+		t.Fatal("read miss")
+	}
+	ev, _ := wire.GetArg(out, "entry")
+	if name, _ := ev.(*wire.Struct).Get("name"); name.(string) != "remote" {
+		t.Fatalf("entry = %v", ev)
+	}
+	out, err = k.Call(ctx, PluginClass, "count", wire.Args("template", wire.NewStruct("Task")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := wire.GetArg(out, "n"); n.(int32) != 1 {
+		t.Fatalf("count = %v", n)
+	}
+	out, err = k.Call(ctx, PluginClass, "take",
+		wire.Args("template", wire.NewStruct("Task"), "timeoutMs", int64(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := wire.GetArg(out, "found"); !found.(bool) {
+		t.Fatal("take miss")
+	}
+	// Timed-out take reports found=false rather than a fault.
+	out, err = k.Call(ctx, PluginClass, "take",
+		wire.Args("template", wire.NewStruct("Task"), "timeoutMs", int64(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := wire.GetArg(out, "found"); found.(bool) {
+		t.Fatal("take should have timed out")
+	}
+	if _, err := k.Call(ctx, PluginClass, "write", wire.Args("entry", "notastruct")); err == nil {
+		t.Fatal("write of non-struct should fail")
+	}
+	if _, err := k.Call(ctx, PluginClass, "bogus", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestComponentOverSOAPBinding(t *testing.T) {
+	// The tuple space's structured entries travel inside SOAP envelopes:
+	// a remote client writes and takes through the HTTP server.
+	node, err := core.NewNode("js-soap", core.NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.Container().RegisterFactory(PluginClass, Factory())
+	if _, _, err := node.Container().Deploy(PluginClass, "space"); err != nil {
+		t.Fatal(err)
+	}
+	p := &invoke.SOAPPort{URL: node.SOAPBase() + "/space"}
+	ctx := context.Background()
+	out, err := p.Invoke(ctx, "write",
+		wire.Args("entry", task("viaSOAP", "frame", int32(3)), "leaseMs", int64(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := wire.GetArg(out, "id"); id.(int64) != 1 {
+		t.Fatalf("id = %v", id)
+	}
+	out, err = p.Invoke(ctx, "take",
+		wire.Args("template", wire.NewStruct("Task").Set("name", "viaSOAP"), "timeoutMs", int64(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := wire.GetArg(out, "found"); !found.(bool) {
+		t.Fatal("take over SOAP missed")
+	}
+	ev, _ := wire.GetArg(out, "entry")
+	frame, _ := ev.(*wire.Struct).Get("frame")
+	if frame.(int32) != 3 {
+		t.Fatalf("frame = %v (struct did not survive the envelope)", frame)
+	}
+}

@@ -1,0 +1,153 @@
+// Package kernel implements the Harness software backplane of Figure 1:
+// a per-node kernel "into which component modules are plugged in", where
+// plugins coordinate to realise distributed-computing functions and may
+// leverage the services of other plugins already loaded in the same
+// kernel (Figure 2).
+//
+// In HARNESS II terms a kernel is a component container specialised for
+// plugins: each plugin class loads at most once per kernel under its class
+// name, dependencies declared at registration load first, and plugins
+// resolve siblings by class through the kernel. The underlying container
+// remains fully visible, so kernel plugins are ordinary web-service
+// components too — describable in WSDL, exposable in registries, and
+// invocable through every binding.
+package kernel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+)
+
+// Errors returned by the kernel.
+var (
+	ErrAlreadyLoaded = errors.New("kernel: plugin already loaded")
+	ErrNotLoaded     = errors.New("kernel: plugin not loaded")
+	ErrNotRegistered = errors.New("kernel: plugin class not registered")
+	ErrCycle         = errors.New("kernel: plugin dependency cycle")
+)
+
+// Kernel is one node's plugin backplane.
+type Kernel struct {
+	name string
+	c    *container.Container
+
+	mu       sync.Mutex
+	requires map[string][]string
+	loading  map[string]bool // cycle detection during dependency loads
+}
+
+// New creates a kernel named name over a fresh container with cfg.
+// The container name is forced to the kernel name so JavaObject locators
+// resolve consistently.
+func New(name string, cfg container.Config) *Kernel {
+	cfg.Name = name
+	return &Kernel{
+		name:     name,
+		c:        container.New(cfg),
+		requires: make(map[string][]string),
+		loading:  make(map[string]bool),
+	}
+}
+
+// Name returns the kernel's node name.
+func (k *Kernel) Name() string { return k.name }
+
+// Container exposes the underlying component container.
+func (k *Kernel) Container() *container.Container { return k.c }
+
+// RegisterPlugin installs a plugin class (its code) without loading it.
+// requires lists plugin classes that must be loaded first — e.g. the
+// hpvmd plugin of Figure 2 requires the message transport, event
+// management, and table lookup plugins.
+func (k *Kernel) RegisterPlugin(class string, f container.Factory, requires ...string) {
+	k.c.RegisterFactory(class, f)
+	k.mu.Lock()
+	k.requires[class] = append([]string(nil), requires...)
+	k.mu.Unlock()
+}
+
+// Load instantiates the plugin class under its class name, loading its
+// declared dependencies first. Loading an already-loaded plugin returns
+// ErrAlreadyLoaded; dependencies that are already loaded are fine.
+func (k *Kernel) Load(class string) error {
+	if _, ok := k.c.Instance(class); ok {
+		return fmt.Errorf("%w: %q", ErrAlreadyLoaded, class)
+	}
+	return k.loadWithDeps(class)
+}
+
+func (k *Kernel) loadWithDeps(class string) error {
+	if _, ok := k.c.Instance(class); ok {
+		return nil
+	}
+	k.mu.Lock()
+	if k.loading[class] {
+		k.mu.Unlock()
+		return fmt.Errorf("%w involving %q", ErrCycle, class)
+	}
+	deps, registered := k.requires[class]
+	if !registered {
+		k.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotRegistered, class)
+	}
+	k.loading[class] = true
+	k.mu.Unlock()
+	defer func() {
+		k.mu.Lock()
+		delete(k.loading, class)
+		k.mu.Unlock()
+	}()
+
+	for _, req := range deps {
+		if err := k.loadWithDeps(req); err != nil {
+			return fmt.Errorf("kernel: loading %q: %w", class, err)
+		}
+	}
+	if _, _, err := k.c.Deploy(class, class); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Unload removes a loaded plugin.
+func (k *Kernel) Unload(class string) error {
+	if _, ok := k.c.Instance(class); !ok {
+		return fmt.Errorf("%w: %q", ErrNotLoaded, class)
+	}
+	return k.c.Undeploy(class)
+}
+
+// Loaded lists loaded plugin classes, sorted.
+func (k *Kernel) Loaded() []string {
+	var out []string
+	for _, in := range k.c.Instances() {
+		out = append(out, in.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Plugin returns a loaded plugin's component for direct (local-binding)
+// use by siblings.
+func (k *Kernel) Plugin(class string) (container.Component, bool) {
+	inst, ok := k.c.Instance(class)
+	if !ok {
+		return nil, false
+	}
+	return inst.Component(), true
+}
+
+// Call invokes an operation on a loaded plugin through the container's
+// dispatch path.
+func (k *Kernel) Call(ctx context.Context, class, op string, args []wire.Arg) ([]wire.Arg, error) {
+	if _, ok := k.c.Instance(class); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotLoaded, class)
+	}
+	return k.c.Invoke(ctx, class, op, args)
+}

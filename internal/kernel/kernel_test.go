@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+func pluginFactory(name string, loadedOrder *[]string) container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: name, Operations: []wsdl.OpSpec{
+				{Name: "ping", Output: []wsdl.ParamSpec{{Name: "who", Type: wire.KindString}}},
+			}},
+			Handlers: map[string]container.OpFunc{
+				"ping": func(context.Context, []wire.Arg) ([]wire.Arg, error) {
+					return wire.Args("who", name), nil
+				},
+			},
+			OnAttach: func(*container.Container) error {
+				if loadedOrder != nil {
+					*loadedOrder = append(*loadedOrder, name)
+				}
+				return nil
+			},
+		}
+	})
+}
+
+func TestLoadUnload(t *testing.T) {
+	k := New("node1", container.Config{})
+	k.RegisterPlugin("p2p", pluginFactory("p2p", nil))
+	if err := k.Load("p2p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Load("p2p"); !errors.Is(err, ErrAlreadyLoaded) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := k.Loaded(); len(got) != 1 || got[0] != "p2p" {
+		t.Fatalf("loaded = %v", got)
+	}
+	out, err := k.Call(context.Background(), "p2p", "ping", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who, _ := wire.GetArg(out, "who"); who.(string) != "p2p" {
+		t.Fatalf("who = %v", who)
+	}
+	if err := k.Unload("p2p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Unload("p2p"); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := k.Call(context.Background(), "p2p", "ping", nil); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadUnregistered(t *testing.T) {
+	k := New("node1", container.Config{})
+	if err := k.Load("ghost"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDependencyOrder(t *testing.T) {
+	// Figure 2: hpvmd requires transport, events and table plugins.
+	var order []string
+	k := New("node1", container.Config{})
+	k.RegisterPlugin("transport", pluginFactory("transport", &order))
+	k.RegisterPlugin("events", pluginFactory("events", &order))
+	k.RegisterPlugin("tables", pluginFactory("tables", &order))
+	k.RegisterPlugin("hpvmd", pluginFactory("hpvmd", &order), "transport", "events", "tables")
+	if err := k.Load("hpvmd"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 || order[3] != "hpvmd" {
+		t.Fatalf("order = %v", order)
+	}
+	if got := k.Loaded(); len(got) != 4 {
+		t.Fatalf("loaded = %v", got)
+	}
+	// Already-loaded dependencies are fine on a second dependent.
+	k.RegisterPlugin("mpi", pluginFactory("mpi", &order), "transport")
+	if err := k.Load("mpi"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitiveDependencies(t *testing.T) {
+	var order []string
+	k := New("n", container.Config{})
+	k.RegisterPlugin("a", pluginFactory("a", &order), "b")
+	k.RegisterPlugin("b", pluginFactory("b", &order), "c")
+	k.RegisterPlugin("c", pluginFactory("c", &order))
+	if err := k.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "c" || order[1] != "b" || order[2] != "a" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDependencyCycle(t *testing.T) {
+	k := New("n", container.Config{})
+	k.RegisterPlugin("a", pluginFactory("a", nil), "b")
+	k.RegisterPlugin("b", pluginFactory("b", nil), "a")
+	if err := k.Load("a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingDependency(t *testing.T) {
+	k := New("n", container.Config{})
+	k.RegisterPlugin("a", pluginFactory("a", nil), "ghost")
+	if err := k.Load("a"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(k.Loaded()) != 0 {
+		t.Fatal("failed load must not leave plugins behind")
+	}
+}
+
+func TestPluginAccessor(t *testing.T) {
+	k := New("n", container.Config{})
+	k.RegisterPlugin("p", pluginFactory("p", nil))
+	if _, ok := k.Plugin("p"); ok {
+		t.Fatal("plugin visible before load")
+	}
+	if err := k.Load("p"); err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := k.Plugin("p")
+	if !ok || comp == nil {
+		t.Fatal("plugin not accessible after load")
+	}
+	if comp.Describe().Name != "p" {
+		t.Fatal("wrong component")
+	}
+	if k.Name() != "n" || k.Container() == nil {
+		t.Fatal("accessors broken")
+	}
+	if k.Container().Name() != "n" {
+		t.Fatal("container must take the kernel name")
+	}
+}

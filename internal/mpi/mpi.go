@@ -1,0 +1,412 @@
+// Package mpi implements the Harness MPI emulation plugin. The paper
+// lists it beside the PVM plugin: "users may first load plugins that
+// emulate distributed computing environments (currently PVM, MPI, and
+// JavaSpaces plugins are available), thereby creating a framework within
+// which their legacy codes may run."
+//
+// Like a real MPI-on-Harness, the emulation leverages the existing
+// substrate instead of reimplementing transport: a World spawns one task
+// per rank through the hpvmd daemons of a router domain (Figure 2's
+// plugin-leveraging pattern) and layers the MPI communicator semantics —
+// rank-addressed point-to-point, barriers, broadcast, scatter/gather,
+// and reductions — on top of PVM's tagged messaging.
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"harness2/internal/pvm"
+	"harness2/internal/wire"
+)
+
+// Errors returned by communicator operations.
+var (
+	ErrRankRange   = errors.New("mpi: rank out of range")
+	ErrWorldActive = errors.New("mpi: world already running")
+)
+
+// AnySource matches any sender rank in Recv.
+const AnySource = -1
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// internal tags reserved by the collectives; user tags must be >= 0 and
+// are offset into a disjoint range.
+const (
+	tagBarrierBase = -1000
+	tagCollective  = -2000
+	userTagBase    = 1 << 16
+)
+
+// RankFunc is the program executed by every rank.
+type RankFunc func(ctx context.Context, comm *Comm) error
+
+// World is a fixed-size MPI job bound to a set of hpvmd daemons.
+type World struct {
+	router  *pvm.Router
+	daemons []*pvm.Daemon
+
+	mu      sync.Mutex
+	running bool
+	seq     int
+}
+
+// NewWorld creates an MPI job factory over the given daemons; ranks are
+// distributed round-robin across them.
+func NewWorld(router *pvm.Router, daemons []*pvm.Daemon) (*World, error) {
+	if len(daemons) == 0 {
+		return nil, fmt.Errorf("mpi: world needs at least one daemon")
+	}
+	return &World{router: router, daemons: daemons}, nil
+}
+
+// Run spawns size ranks executing fn and waits for all of them. The
+// first rank error (if any) is returned after every rank has exited.
+// Worlds are serially reusable but not concurrently runnable.
+func (w *World) Run(size int, fn RankFunc) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: world size must be positive")
+	}
+	w.mu.Lock()
+	if w.running {
+		w.mu.Unlock()
+		return ErrWorldActive
+	}
+	w.running = true
+	w.seq++
+	job := w.seq
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.running = false
+		w.mu.Unlock()
+	}()
+
+	// Spawn one pvm task per rank, round-robin over daemons, collecting
+	// handles so every communicator can address every rank and the world
+	// can wait on each task without racing its exit.
+	tids := make([]pvm.TID, size)
+	tasks := make([]*pvm.Task, size)
+	taskName := fmt.Sprintf("mpi-job-%d", job)
+	for rank := 0; rank < size; rank++ {
+		d := w.daemons[rank%len(w.daemons)]
+		comm := &Comm{world: w, rank: rank, size: size, job: job}
+		d.RegisterTaskFunc(taskName, func(ctx context.Context, self *pvm.Task, args []string) error {
+			// The communicator learns its own task and the rank→TID map
+			// via the bootstrap message (tag 0 is reserved for it).
+			comm.task = self
+			boot, err := self.Recv(pvm.AnySrc, 0)
+			if err != nil {
+				return err
+			}
+			rawTids, err := pvm.UpkDoubleArray(boot, "tids")
+			if err != nil {
+				return err
+			}
+			comm.tids = make([]pvm.TID, len(rawTids))
+			for i, t := range rawTids {
+				comm.tids[i] = pvm.TID(int32(t))
+			}
+			return fn(ctx, comm)
+		})
+		got, err := d.SpawnHandles(taskName, nil, 1)
+		if err != nil {
+			return fmt.Errorf("mpi: spawning rank %d: %w", rank, err)
+		}
+		tasks[rank] = got[0]
+		tids[rank] = got[0].TID
+	}
+
+	// Bootstrap: broadcast the rank table. TIDs are int32; ship them as
+	// doubles (exactly representable) to stay within the numeric wire set.
+	table := make([]float64, size)
+	for i, t := range tids {
+		table[i] = float64(int32(t))
+	}
+	boot := w.daemons[0]
+	boot.RegisterTaskFunc(taskName+"-boot", func(ctx context.Context, self *pvm.Task, args []string) error {
+		for _, tid := range tids {
+			if err := self.Send(tid, 0, []wire.Arg{pvm.PkDoubleArray("tids", table)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if _, err := boot.Spawn(taskName+"-boot", nil, 1); err != nil {
+		return fmt.Errorf("mpi: bootstrap: %w", err)
+	}
+
+	// Wait for completion. A failing rank aborts the whole job
+	// (MPI_Abort semantics): surviving ranks blocked in Recv or
+	// collectives are killed so the world always terminates.
+	type rankExit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan rankExit, size)
+	for rank, t := range tasks {
+		go func(rank int, t *pvm.Task) {
+			exits <- rankExit{rank, t.Wait()}
+		}(rank, t)
+	}
+	var firstErr error
+	for i := 0; i < size; i++ {
+		ex := <-exits
+		if ex.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("mpi: rank %d: %w", ex.rank, ex.err)
+			for _, t := range tasks {
+				t.Kill()
+			}
+		}
+	}
+	return firstErr
+}
+
+// Comm is the per-rank communicator handle (MPI_COMM_WORLD).
+type Comm struct {
+	world *World
+	task  *pvm.Task
+	tids  []pvm.TID
+	rank  int
+	size  int
+	job   int
+	// barrierSeq distinguishes successive barriers and collectives.
+	barrierSeq int
+	collSeq    int
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+func (c *Comm) tidOf(rank int) (pvm.TID, error) {
+	if rank < 0 || rank >= c.size {
+		return 0, fmt.Errorf("%w: %d (size %d)", ErrRankRange, rank, c.size)
+	}
+	return c.tids[rank], nil
+}
+
+func (c *Comm) rankOf(tid pvm.TID) int {
+	for r, t := range c.tids {
+		if t == tid {
+			return r
+		}
+	}
+	return -1
+}
+
+// Message is a received point-to-point message.
+type Message struct {
+	Source int
+	Tag    int
+	Body   []wire.Arg
+}
+
+// Send delivers body to the destination rank with the given tag
+// (MPI_Send). Tags must be non-negative.
+func (c *Comm) Send(dst, tag int, body []wire.Arg) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: user tags must be non-negative")
+	}
+	tid, err := c.tidOf(dst)
+	if err != nil {
+		return err
+	}
+	return c.task.Send(tid, int32(userTagBase+tag), body)
+}
+
+// Recv blocks for a message from src (or AnySource) with tag (or AnyTag)
+// — MPI_Recv.
+func (c *Comm) Recv(src, tag int) (Message, error) {
+	wantSrc := pvm.AnySrc
+	if src != AnySource {
+		tid, err := c.tidOf(src)
+		if err != nil {
+			return Message{}, err
+		}
+		wantSrc = tid
+	}
+	wantTag := pvm.AnyTag
+	if tag != AnyTag {
+		if tag < 0 {
+			return Message{}, fmt.Errorf("mpi: user tags must be non-negative")
+		}
+		wantTag = int32(userTagBase + tag)
+	}
+	m, err := c.task.Recv(wantSrc, wantTag)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{
+		Source: c.rankOf(m.Src),
+		Tag:    int(m.Tag) - userTagBase,
+		Body:   m.Body,
+	}, nil
+}
+
+// Barrier blocks until every rank has entered — MPI_Barrier.
+func (c *Comm) Barrier() error {
+	c.barrierSeq++
+	name := fmt.Sprintf("mpi-%d-barrier-%d", c.job, c.barrierSeq)
+	return c.task.Barrier(name, c.size)
+}
+
+// Bcast distributes root's values to every rank and returns them —
+// MPI_Bcast. All ranks must pass the same root; non-root ranks' body is
+// ignored.
+func (c *Comm) Bcast(root int, body []wire.Arg) ([]wire.Arg, error) {
+	if _, err := c.tidOf(root); err != nil {
+		return nil, err
+	}
+	c.collSeq++
+	tag := int32(tagCollective - c.collSeq)
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.task.Send(c.tids[r], tag, body); err != nil {
+				return nil, err
+			}
+		}
+		return body, nil
+	}
+	m, err := c.task.Recv(c.tids[root], tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Body, nil
+}
+
+// Op is a reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Builtin reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMax Op = math.Max
+	OpMin Op = math.Min
+	OpPro Op = func(a, b float64) float64 { return a * b }
+)
+
+// Reduce folds every rank's value with op at root — MPI_Reduce. Non-root
+// ranks receive 0 and nil error on success.
+func (c *Comm) Reduce(root int, op Op, value float64) (float64, error) {
+	if _, err := c.tidOf(root); err != nil {
+		return 0, err
+	}
+	c.collSeq++
+	tag := int32(tagCollective - c.collSeq)
+	if c.rank != root {
+		err := c.task.Send(c.tids[root], tag, []wire.Arg{pvm.PkDouble("v", value)})
+		return 0, err
+	}
+	acc := value
+	for i := 1; i < c.size; i++ {
+		m, err := c.task.Recv(pvm.AnySrc, tag)
+		if err != nil {
+			return 0, err
+		}
+		v, err := pvm.UpkDouble(m, "v")
+		if err != nil {
+			return 0, err
+		}
+		acc = op(acc, v)
+	}
+	return acc, nil
+}
+
+// AllReduce is Reduce followed by Bcast — MPI_Allreduce.
+func (c *Comm) AllReduce(op Op, value float64) (float64, error) {
+	acc, err := c.Reduce(0, op, value)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.Bcast(0, []wire.Arg{pvm.PkDouble("v", acc)})
+	if err != nil {
+		return 0, err
+	}
+	return pvm.UpkDouble(pvmMessage(out), "v")
+}
+
+// Scatter splits root's data into size equal chunks and delivers the
+// rank-th chunk to each rank — MPI_Scatter. len(data) must be a multiple
+// of Size at root.
+func (c *Comm) Scatter(root int, data []float64) ([]float64, error) {
+	if _, err := c.tidOf(root); err != nil {
+		return nil, err
+	}
+	c.collSeq++
+	tag := int32(tagCollective - c.collSeq)
+	if c.rank == root {
+		if len(data)%c.size != 0 {
+			return nil, fmt.Errorf("mpi: scatter of %d elements across %d ranks", len(data), c.size)
+		}
+		chunk := len(data) / c.size
+		for r := 0; r < c.size; r++ {
+			part := data[r*chunk : (r+1)*chunk]
+			if r == root {
+				continue
+			}
+			if err := c.task.Send(c.tids[r], tag, []wire.Arg{pvm.PkDoubleArray("d", part)}); err != nil {
+				return nil, err
+			}
+		}
+		return append([]float64(nil), data[root*chunk:(root+1)*chunk]...), nil
+	}
+	m, err := c.task.Recv(c.tids[root], tag)
+	if err != nil {
+		return nil, err
+	}
+	return pvm.UpkDoubleArray(m, "d")
+}
+
+// Gather collects every rank's chunk at root in rank order — MPI_Gather.
+// Non-root ranks receive nil on success.
+func (c *Comm) Gather(root int, chunk []float64) ([]float64, error) {
+	if _, err := c.tidOf(root); err != nil {
+		return nil, err
+	}
+	c.collSeq++
+	tag := int32(tagCollective - c.collSeq)
+	if c.rank != root {
+		err := c.task.Send(c.tids[root], tag,
+			[]wire.Arg{pvm.PkInt("rank", int32(c.rank)), pvm.PkDoubleArray("d", chunk)})
+		return nil, err
+	}
+	parts := make([][]float64, c.size)
+	parts[root] = chunk
+	for i := 1; i < c.size; i++ {
+		m, err := c.task.Recv(pvm.AnySrc, tag)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pvm.UpkInt(m, "rank")
+		if err != nil {
+			return nil, err
+		}
+		if int(r) < 0 || int(r) >= c.size {
+			return nil, fmt.Errorf("%w: gathered rank %d", ErrRankRange, r)
+		}
+		part, err := pvm.UpkDoubleArray(m, "d")
+		if err != nil {
+			return nil, err
+		}
+		parts[r] = part
+	}
+	var out []float64
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// pvmMessage adapts a bare arg list to the pvm unpack helpers.
+func pvmMessage(body []wire.Arg) pvm.Message { return pvm.Message{Body: body} }

@@ -1,0 +1,181 @@
+// Package namesvc implements the Harness table-lookup plugin of Figure 2:
+// a hierarchy of named tables mapping string keys to wire values, used by
+// other plugins (notably the PVM emulation's task table) and exposed as an
+// ordinary component so remote parties can read it through any binding.
+package namesvc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// PluginClass is the class name under which the plugin registers.
+const PluginClass = "harness.names"
+
+// Service is the table-lookup service.
+type Service struct {
+	mu     sync.RWMutex
+	tables map[string]map[string]any
+}
+
+var _ container.Component = (*Service)(nil)
+
+// New returns an empty name service.
+func New() *Service {
+	return &Service{tables: make(map[string]map[string]any)}
+}
+
+// Factory returns the plugin factory.
+func Factory() container.Factory {
+	return func() (container.Component, error) { return New(), nil }
+}
+
+// Put stores value under table/key; the value must be a wire type.
+func (s *Service) Put(table, key string, value any) error {
+	if err := wire.Check(value); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		t = make(map[string]any)
+		s.tables[table] = t
+	}
+	t[key] = value
+	return nil
+}
+
+// Get retrieves table/key.
+func (s *Service) Get(table, key string) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, false
+	}
+	v, ok := t[key]
+	return v, ok
+}
+
+// Delete removes table/key; deleting a missing key is a no-op. Empty
+// tables are garbage-collected.
+func (s *Service) Delete(table, key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[table]; ok {
+		delete(t, key)
+		if len(t) == 0 {
+			delete(s.tables, table)
+		}
+	}
+}
+
+// Keys returns the sorted keys of a table.
+func (s *Service) Keys(table string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[table]
+	out := make([]string, 0, len(t))
+	for k := range t {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tables returns the sorted table names.
+func (s *Service) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for k := range s.tables {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CompareAndPut stores value only when the current value equals old
+// (old == nil means "only if absent"), returning whether it stored.
+// This gives co-operating plugins an atomic claim primitive.
+func (s *Service) CompareAndPut(table, key string, old, value any) (bool, error) {
+	if err := wire.Check(value); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		t = make(map[string]any)
+		s.tables[table] = t
+	}
+	cur, exists := t[key]
+	if old == nil {
+		if exists {
+			return false, nil
+		}
+	} else if !exists || !wire.Equal(cur, old) {
+		return false, nil
+	}
+	t[key] = value
+	return true, nil
+}
+
+// Describe implements container.Component.
+func (s *Service) Describe() wsdl.ServiceSpec {
+	kv := []wsdl.ParamSpec{
+		{Name: "table", Type: wire.KindString},
+		{Name: "key", Type: wire.KindString},
+	}
+	return wsdl.ServiceSpec{
+		Name: "NameService",
+		Operations: []wsdl.OpSpec{
+			{Name: "put", Input: append(kv, wsdl.ParamSpec{Name: "value", Type: wire.KindString}),
+				Output: []wsdl.ParamSpec{{Name: "ok", Type: wire.KindBool}}},
+			{Name: "get", Input: kv,
+				Output: []wsdl.ParamSpec{{Name: "value", Type: wire.KindString}, {Name: "found", Type: wire.KindBool}}},
+			{Name: "delete", Input: kv,
+				Output: []wsdl.ParamSpec{{Name: "ok", Type: wire.KindBool}}},
+			{Name: "keys", Input: []wsdl.ParamSpec{{Name: "table", Type: wire.KindString}},
+				Output: []wsdl.ParamSpec{{Name: "keys", Type: wire.KindStringArray}}},
+		},
+	}
+}
+
+// Invoke implements container.Component. The remote surface carries
+// string values only; richer wire values are a local-API affordance.
+func (s *Service) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	tableV, _ := wire.GetArg(args, "table")
+	table, _ := tableV.(string)
+	keyV, _ := wire.GetArg(args, "key")
+	key, _ := keyV.(string)
+	switch op {
+	case "put":
+		valueV, _ := wire.GetArg(args, "value")
+		value, ok := valueV.(string)
+		if !ok {
+			return nil, fmt.Errorf("namesvc: put requires a string value")
+		}
+		if err := s.Put(table, key, value); err != nil {
+			return nil, err
+		}
+		return wire.Args("ok", true), nil
+	case "get":
+		v, found := s.Get(table, key)
+		str, _ := v.(string)
+		return wire.Args("value", str, "found", found), nil
+	case "delete":
+		s.Delete(table, key)
+		return wire.Args("ok", true), nil
+	case "keys":
+		return wire.Args("keys", s.Keys(table)), nil
+	}
+	return nil, fmt.Errorf("namesvc: no such operation %q", op)
+}

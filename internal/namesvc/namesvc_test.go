@@ -1,0 +1,164 @@
+package namesvc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"harness2/internal/wire"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if err := s.Put("tasks", "t1", "node1"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("tasks", "t1")
+	if !ok || v.(string) != "node1" {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+	if _, ok := s.Get("tasks", "missing"); ok {
+		t.Fatal("missing key should miss")
+	}
+	if _, ok := s.Get("notable", "t1"); ok {
+		t.Fatal("missing table should miss")
+	}
+	s.Delete("tasks", "t1")
+	if _, ok := s.Get("tasks", "t1"); ok {
+		t.Fatal("deleted key should miss")
+	}
+	// Empty tables are collected.
+	if got := s.Tables(); len(got) != 0 {
+		t.Fatalf("tables = %v", got)
+	}
+	s.Delete("nope", "x") // no-op must not panic
+}
+
+func TestPutRejectsNonWireValues(t *testing.T) {
+	s := New()
+	if err := s.Put("t", "k", int(5)); err == nil {
+		t.Fatal("plain int is not a wire type")
+	}
+	if err := s.Put("t", "k", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysAndTables(t *testing.T) {
+	s := New()
+	_ = s.Put("b", "z", "1")
+	_ = s.Put("b", "a", "2")
+	_ = s.Put("a", "k", "3")
+	if got := s.Tables(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("tables = %v", got)
+	}
+	if got := s.Keys("b"); len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("keys = %v", got)
+	}
+	if got := s.Keys("nope"); len(got) != 0 {
+		t.Fatalf("keys of missing table = %v", got)
+	}
+}
+
+func TestCompareAndPut(t *testing.T) {
+	s := New()
+	ok, err := s.CompareAndPut("t", "k", nil, "v1")
+	if err != nil || !ok {
+		t.Fatalf("initial claim: %v %v", ok, err)
+	}
+	ok, _ = s.CompareAndPut("t", "k", nil, "v2")
+	if ok {
+		t.Fatal("second only-if-absent claim must fail")
+	}
+	ok, _ = s.CompareAndPut("t", "k", "wrong", "v2")
+	if ok {
+		t.Fatal("wrong expectation must fail")
+	}
+	ok, _ = s.CompareAndPut("t", "k", "v1", "v2")
+	if !ok {
+		t.Fatal("correct expectation must succeed")
+	}
+	v, _ := s.Get("t", "k")
+	if v.(string) != "v2" {
+		t.Fatalf("v = %v", v)
+	}
+	if _, err := s.CompareAndPut("t", "k", nil, int(1)); err == nil {
+		t.Fatal("non-wire value must be rejected")
+	}
+	// CAS on a missing key with a non-nil expectation fails.
+	ok, _ = s.CompareAndPut("t", "nokey", "x", "y")
+	if ok {
+		t.Fatal("CAS on missing key must fail")
+	}
+}
+
+func TestConcurrentClaims(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	wins := make(chan int, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ok, err := s.CompareAndPut("claims", "leader", nil, fmt.Sprintf("w%d", i))
+			if err != nil {
+				t.Error(err)
+			}
+			if ok {
+				wins <- i
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("winners = %d, want exactly 1", n)
+	}
+}
+
+func TestComponentInvoke(t *testing.T) {
+	s := New()
+	ctx := context.Background()
+	if _, err := s.Invoke(ctx, "put", wire.Args("table", "t", "key", "k", "value", "v")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Invoke(ctx, "get", wire.Args("table", "t", "key", "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := wire.GetArg(out, "value")
+	found, _ := wire.GetArg(out, "found")
+	if v.(string) != "v" || !found.(bool) {
+		t.Fatalf("get = %v %v", v, found)
+	}
+	out, _ = s.Invoke(ctx, "keys", wire.Args("table", "t"))
+	if ks, _ := wire.GetArg(out, "keys"); len(ks.([]string)) != 1 {
+		t.Fatalf("keys = %v", ks)
+	}
+	if _, err := s.Invoke(ctx, "delete", wire.Args("table", "t", "key", "k")); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = s.Invoke(ctx, "get", wire.Args("table", "t", "key", "k"))
+	if found, _ := wire.GetArg(out, "found"); found.(bool) {
+		t.Fatal("found after delete")
+	}
+	if _, err := s.Invoke(ctx, "put", wire.Args("table", "t", "key", "k", "value", int32(1))); err == nil {
+		t.Fatal("remote put of non-string should fail")
+	}
+	if _, err := s.Invoke(ctx, "bogus", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := New()
+	spec := s.Describe()
+	if spec.Name != "NameService" || len(spec.Operations) != 4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+}

@@ -1,0 +1,320 @@
+package pvm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"harness2/internal/container"
+	"harness2/internal/events"
+	"harness2/internal/namesvc"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// PluginClass is the kernel class name of the hpvmd plugin.
+const PluginClass = "harness.hpvmd"
+
+// Topics the daemon publishes through the events plugin.
+const (
+	TopicSpawn = "pvm.task.spawn"
+	TopicExit  = "pvm.task.exit"
+)
+
+// taskTable is the namesvc table holding the local task registry.
+const taskTable = "pvm.tasks"
+
+// TaskFunc is the body of a spawned PVM task.
+type TaskFunc func(ctx context.Context, self *Task, args []string) error
+
+// Daemon is the hpvmd plugin: one per kernel.
+type Daemon struct {
+	node    string
+	router  *Router
+	hostIdx int
+
+	// Leveraged sibling plugins (Figure 2), resolved at Attach.
+	events *events.Service
+	names  *namesvc.Service
+
+	mu    sync.Mutex
+	funcs map[string]TaskFunc
+	tasks map[TID]*Task
+}
+
+var (
+	_ container.Component  = (*Daemon)(nil)
+	_ container.Attachable = (*Daemon)(nil)
+	_ container.Detachable = (*Daemon)(nil)
+)
+
+// NewDaemon creates an hpvmd for the given node name in router's domain.
+// It must still be attached (deployed into a kernel) before use.
+func NewDaemon(node string, router *Router) *Daemon {
+	return &Daemon{
+		node:   node,
+		router: router,
+		funcs:  make(map[string]TaskFunc),
+		tasks:  make(map[TID]*Task),
+	}
+}
+
+// Factory returns a kernel plugin factory. Register it with dependencies
+// on the events and namesvc plugin classes:
+//
+//	k.RegisterPlugin(pvm.PluginClass, pvm.Factory(k.Name(), router),
+//	    events.PluginClass, namesvc.PluginClass)
+func Factory(node string, router *Router) container.Factory {
+	return func() (container.Component, error) {
+		return NewDaemon(node, router), nil
+	}
+}
+
+// Attach implements container.Attachable: resolve the leveraged sibling
+// plugins through the local container and register with the router.
+func (d *Daemon) Attach(host *container.Container) error {
+	if inst, ok := host.Instance(events.PluginClass); ok {
+		if svc, ok := inst.Component().(*events.Service); ok {
+			d.events = svc
+		}
+	}
+	if inst, ok := host.Instance(namesvc.PluginClass); ok {
+		if svc, ok := inst.Component().(*namesvc.Service); ok {
+			d.names = svc
+		}
+	}
+	idx, err := d.router.register(d)
+	if err != nil {
+		return err
+	}
+	d.hostIdx = idx
+	return nil
+}
+
+// Detach implements container.Detachable.
+func (d *Daemon) Detach() error {
+	d.mu.Lock()
+	tasks := make([]*Task, 0, len(d.tasks))
+	for _, t := range d.tasks {
+		tasks = append(tasks, t)
+	}
+	d.mu.Unlock()
+	for _, t := range tasks {
+		t.Kill()
+	}
+	d.router.unregister(d.node)
+	return nil
+}
+
+// Node returns the daemon's node name.
+func (d *Daemon) Node() string { return d.node }
+
+// EventsPublished reports how many events the daemon's event plugin has
+// published on topic (zero when no events plugin is attached).
+func (d *Daemon) EventsPublished(topic string) int64 {
+	if d.events == nil {
+		return 0
+	}
+	return d.events.Published(topic)
+}
+
+// RegisterTaskFunc installs a named task body, the analogue of an
+// executable in PVM's ep= path.
+func (d *Daemon) RegisterTaskFunc(name string, fn TaskFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.funcs[name] = fn
+}
+
+// Spawn starts n copies of the named task function, PVM's pvm_spawn. The
+// new TIDs are returned; each task runs in its own goroutine.
+func (d *Daemon) Spawn(name string, args []string, n int) ([]TID, error) {
+	tasks, err := d.SpawnHandles(name, args, n)
+	if err != nil {
+		return nil, err
+	}
+	tids := make([]TID, len(tasks))
+	for i, t := range tasks {
+		tids[i] = t.TID
+	}
+	return tids, nil
+}
+
+// SpawnHandles is Spawn returning the task handles themselves, for
+// callers (like the MPI emulation) that must Wait on tasks without racing
+// task exit against a TID lookup.
+func (d *Daemon) SpawnHandles(name string, args []string, n int) ([]*Task, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pvm: spawn count must be positive")
+	}
+	d.mu.Lock()
+	fn, ok := d.funcs[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pvm: no task function %q", name)
+	}
+	tasks := make([]*Task, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = d.startTask(name, fn, args)
+	}
+	return tasks, nil
+}
+
+func (d *Daemon) startTask(name string, fn TaskFunc, args []string) *Task {
+	tid := d.router.allocTID(d.hostIdx, d.node)
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Task{
+		TID:    tid,
+		Name:   name,
+		daemon: d,
+		ctx:    ctx,
+		cancel: cancel,
+		mbox:   make(chan Message, 256),
+		done:   make(chan struct{}),
+	}
+	d.mu.Lock()
+	d.tasks[tid] = t
+	d.mu.Unlock()
+	if d.names != nil {
+		_ = d.names.Put(taskTable, fmt.Sprintf("%d", tid), name)
+	}
+	if d.events != nil {
+		d.events.Publish(events.Event{Topic: TopicSpawn, Source: d.node,
+			Payload: wire.Args("tid", int32(tid), "name", name)})
+	}
+	go func() {
+		err := fn(ctx, t, args)
+		t.finish(err)
+	}()
+	return t
+}
+
+// taskExited cleans up after a task reaches its terminal state.
+func (d *Daemon) taskExited(t *Task, err error) {
+	d.mu.Lock()
+	delete(d.tasks, t.TID)
+	d.mu.Unlock()
+	d.router.forget(t.TID)
+	if d.names != nil {
+		d.names.Delete(taskTable, fmt.Sprintf("%d", t.TID))
+	}
+	if d.events != nil {
+		status := "ok"
+		if err != nil {
+			status = err.Error()
+		}
+		d.events.Publish(events.Event{Topic: TopicExit, Source: d.node,
+			Payload: wire.Args("tid", int32(t.TID), "status", status)})
+	}
+}
+
+// deliver places msg in the destination task's mailbox.
+func (d *Daemon) deliver(msg Message) error {
+	d.mu.Lock()
+	t, ok := d.tasks[msg.Dst]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: tid %d on %s", ErrNoTask, msg.Dst, d.node)
+	}
+	select {
+	case t.mbox <- msg:
+		return nil
+	case <-t.done:
+		return fmt.Errorf("%w: tid %d", ErrTaskExited, msg.Dst)
+	}
+}
+
+// Task returns a live local task.
+func (d *Daemon) Task(tid TID) (*Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tasks[tid]
+	return t, ok
+}
+
+// LocalTasks lists live local TIDs, sorted.
+func (d *Daemon) LocalTasks() []TID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]TID, 0, len(d.tasks))
+	for tid := range d.tasks {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Describe implements container.Component.
+func (d *Daemon) Describe() wsdl.ServiceSpec {
+	return wsdl.ServiceSpec{
+		Name: "HPvmd",
+		Operations: []wsdl.OpSpec{
+			{Name: "spawn", Input: []wsdl.ParamSpec{
+				{Name: "task", Type: wire.KindString},
+				{Name: "args", Type: wire.KindStringArray},
+				{Name: "count", Type: wire.KindInt32},
+			}, Output: []wsdl.ParamSpec{{Name: "tids", Type: wire.KindInt32Array}}},
+			{Name: "tasks", Output: []wsdl.ParamSpec{{Name: "tids", Type: wire.KindInt32Array}}},
+			{Name: "kill", Input: []wsdl.ParamSpec{{Name: "tid", Type: wire.KindInt32}},
+				Output: []wsdl.ParamSpec{{Name: "ok", Type: wire.KindBool}}},
+			{Name: "config", Output: []wsdl.ParamSpec{{Name: "hosts", Type: wire.KindStringArray}}},
+		},
+	}
+}
+
+// Invoke implements container.Component: the remotely-invocable daemon
+// management surface (pvm_spawn / pvm_tasks / pvm_kill / pvm_config).
+func (d *Daemon) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	switch op {
+	case "spawn":
+		taskV, _ := wire.GetArg(args, "task")
+		task, _ := taskV.(string)
+		count := int32(1)
+		if cv, ok := wire.GetArg(args, "count"); ok {
+			count, _ = cv.(int32)
+		}
+		var argv []string
+		if av, ok := wire.GetArg(args, "args"); ok {
+			argv, _ = av.([]string)
+		}
+		tids, err := d.Spawn(task, argv, int(count))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, len(tids))
+		for i, t := range tids {
+			out[i] = int32(t)
+		}
+		return wire.Args("tids", out), nil
+	case "tasks":
+		local := d.LocalTasks()
+		out := make([]int32, len(local))
+		for i, t := range local {
+			out[i] = int32(t)
+		}
+		return wire.Args("tids", out), nil
+	case "kill":
+		tidV, _ := wire.GetArg(args, "tid")
+		tid, _ := tidV.(int32)
+		t, ok := d.Task(TID(tid))
+		if !ok {
+			return nil, fmt.Errorf("%w: tid %d", ErrNoTask, tid)
+		}
+		t.Kill()
+		return wire.Args("ok", true), nil
+	case "config":
+		return wire.Args("hosts", d.router.Daemons()), nil
+	}
+	return nil, fmt.Errorf("pvm: no such operation %q", op)
+}
+
+// FormatTIDs renders TIDs for diagnostics.
+func FormatTIDs(tids []TID) string {
+	parts := make([]string, len(tids))
+	for i, t := range tids {
+		parts[i] = fmt.Sprintf("t%x", int32(t))
+	}
+	return strings.Join(parts, ",")
+}

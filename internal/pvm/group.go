@@ -1,0 +1,159 @@
+package pvm
+
+import (
+	"fmt"
+	"sort"
+
+	"harness2/internal/wire"
+)
+
+// Group support: the PVM group-server functionality (pvm_joingroup,
+// pvm_gettid, pvm_gsize, pvm_lvgroup, pvm_bcast). The router doubles as
+// the group server, matching PVM 3's pvmgs process; group membership is
+// ordered by join, and each member holds a stable instance number until
+// it leaves (numbers of departed members are reused, per PVM semantics).
+
+type group struct {
+	// members maps instance number -> TID; holes are reusable.
+	members map[int]TID
+	byTID   map[TID]int
+}
+
+// JoinGroup adds tid to the named group and returns its instance number.
+// Joining a group twice returns the existing number.
+func (r *Router) JoinGroup(name string, tid TID) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("pvm: group name must be non-empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tidHome[tid]; !ok {
+		return 0, fmt.Errorf("%w: tid %d", ErrNoTask, tid)
+	}
+	g, ok := r.groups[name]
+	if !ok {
+		g = &group{members: make(map[int]TID), byTID: make(map[TID]int)}
+		r.groups[name] = g
+	}
+	if num, ok := g.byTID[tid]; ok {
+		return num, nil
+	}
+	// Lowest free instance number, per PVM's reuse rule.
+	num := 0
+	for {
+		if _, used := g.members[num]; !used {
+			break
+		}
+		num++
+	}
+	g.members[num] = tid
+	g.byTID[tid] = num
+	return num, nil
+}
+
+// LeaveGroup removes tid from the group.
+func (r *Router) LeaveGroup(name string, tid TID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[name]
+	if !ok {
+		return fmt.Errorf("pvm: no group %q", name)
+	}
+	num, ok := g.byTID[tid]
+	if !ok {
+		return fmt.Errorf("pvm: tid %d not in group %q", tid, name)
+	}
+	delete(g.byTID, tid)
+	delete(g.members, num)
+	if len(g.members) == 0 {
+		delete(r.groups, name)
+	}
+	return nil
+}
+
+// GroupSize returns the group's current member count — pvm_gsize.
+func (r *Router) GroupSize(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.groups[name]; ok {
+		return len(g.members)
+	}
+	return 0
+}
+
+// GroupTID resolves a group instance number to its TID — pvm_gettid.
+func (r *Router) GroupTID(name string, num int) (TID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[name]
+	if !ok {
+		return 0, fmt.Errorf("pvm: no group %q", name)
+	}
+	tid, ok := g.members[num]
+	if !ok {
+		return 0, fmt.Errorf("pvm: group %q has no instance %d", name, num)
+	}
+	return tid, nil
+}
+
+// GroupMembers returns the group's TIDs ordered by instance number.
+func (r *Router) GroupMembers(name string) []TID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[name]
+	if !ok {
+		return nil
+	}
+	nums := make([]int, 0, len(g.members))
+	for n := range g.members {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	out := make([]TID, len(nums))
+	for i, n := range nums {
+		out[i] = g.members[n]
+	}
+	return out
+}
+
+// groupBarriers tracks per-group barrier state keyed by group name.
+// Reuses the router's generic barrier machinery with a reserved prefix.
+var groupBarrierPrefix = "\x00group:"
+
+// GroupBarrier blocks until count members of the named group have
+// entered — pvm_barrier(group, count).
+func (r *Router) GroupBarrier(name string, count int) error {
+	return r.Barrier(groupBarrierPrefix+name, count)
+}
+
+// Task-level group surface.
+
+// JoinGroup enrolls the task in a group and returns its instance number.
+func (t *Task) JoinGroup(name string) (int, error) {
+	return t.daemon.router.JoinGroup(name, t.TID)
+}
+
+// LeaveGroup withdraws the task from a group.
+func (t *Task) LeaveGroup(name string) error {
+	return t.daemon.router.LeaveGroup(name, t.TID)
+}
+
+// GroupSize returns a group's member count.
+func (t *Task) GroupSize(name string) int {
+	return t.daemon.router.GroupSize(name)
+}
+
+// GroupBarrier joins the group barrier with the given party count.
+func (t *Task) GroupBarrier(name string, count int) error {
+	return t.daemon.router.GroupBarrier(name, count)
+}
+
+// BcastGroup sends a tagged message to every group member except the
+// sender — pvm_bcast.
+func (t *Task) BcastGroup(name string, tag int32, body []wire.Arg) error {
+	members := t.daemon.router.GroupMembers(name)
+	if len(members) == 0 {
+		return fmt.Errorf("pvm: no group %q", name)
+	}
+	return t.Mcast(members, tag, body)
+}

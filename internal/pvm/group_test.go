@@ -1,0 +1,248 @@
+package pvm
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"harness2/internal/wire"
+)
+
+func TestGroupJoinLeaveNumbers(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	hold := make(chan struct{})
+	d.RegisterTaskFunc("idle", func(ctx context.Context, self *Task, args []string) error {
+		<-hold
+		return nil
+	})
+	tids, err := d.Spawn("idle", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(hold)
+	r := d.router
+
+	n0, err := r.JoinGroup("workers", tids[0])
+	if err != nil || n0 != 0 {
+		t.Fatalf("n0 = %d, %v", n0, err)
+	}
+	n1, _ := r.JoinGroup("workers", tids[1])
+	n2, _ := r.JoinGroup("workers", tids[2])
+	if n1 != 1 || n2 != 2 {
+		t.Fatalf("numbers = %d %d", n1, n2)
+	}
+	// Re-join returns the same number.
+	again, _ := r.JoinGroup("workers", tids[1])
+	if again != 1 {
+		t.Fatalf("rejoin = %d", again)
+	}
+	if r.GroupSize("workers") != 3 {
+		t.Fatalf("size = %d", r.GroupSize("workers"))
+	}
+	// gettid.
+	tid, err := r.GroupTID("workers", 2)
+	if err != nil || tid != tids[2] {
+		t.Fatalf("gettid = %v %v", tid, err)
+	}
+	// Leave frees the lowest number, which the next join reuses.
+	if err := r.LeaveGroup("workers", tids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.GroupSize("workers") != 2 {
+		t.Fatalf("size after leave = %d", r.GroupSize("workers"))
+	}
+	reused, _ := r.JoinGroup("workers", tids[0])
+	if reused != 0 {
+		t.Fatalf("reused = %d, want 0", reused)
+	}
+	members := r.GroupMembers("workers")
+	if len(members) != 3 || members[0] != tids[0] {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestGroupErrors(t *testing.T) {
+	r := NewRouter(nil)
+	if _, err := r.JoinGroup("", 1); err == nil {
+		t.Fatal("empty group name should fail")
+	}
+	if _, err := r.JoinGroup("g", 999); err == nil {
+		t.Fatal("joining with dead tid should fail")
+	}
+	if err := r.LeaveGroup("nope", 1); err == nil {
+		t.Fatal("leaving unknown group should fail")
+	}
+	if _, err := r.GroupTID("nope", 0); err == nil {
+		t.Fatal("gettid of unknown group should fail")
+	}
+	if r.GroupSize("nope") != 0 {
+		t.Fatal("unknown group size should be 0")
+	}
+	if r.GroupMembers("nope") != nil {
+		t.Fatal("unknown group members should be nil")
+	}
+}
+
+func TestGroupLeaveUnknownMember(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	hold := make(chan struct{})
+	d.RegisterTaskFunc("idle", func(ctx context.Context, self *Task, args []string) error {
+		<-hold
+		return nil
+	})
+	tids, _ := d.Spawn("idle", nil, 2)
+	defer close(hold)
+	if _, err := d.router.JoinGroup("g", tids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.router.LeaveGroup("g", tids[1]); err == nil {
+		t.Fatal("leaving a group one never joined should fail")
+	}
+	// Last member leaving dissolves the group.
+	if err := d.router.LeaveGroup("g", tids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.router.GroupSize("g") != 0 {
+		t.Fatal("group should dissolve")
+	}
+}
+
+func TestGroupBcastAndBarrierAcrossDaemons(t *testing.T) {
+	_, ds := newVM(t, 3, nil)
+	const members = 3
+	var got sync.Map
+	var wg sync.WaitGroup
+	wg.Add(members)
+	for _, d := range ds {
+		d.RegisterTaskFunc("member", func(ctx context.Context, self *Task, args []string) error {
+			defer wg.Done()
+			if _, err := self.JoinGroup("g"); err != nil {
+				return err
+			}
+			// Everyone (members + root) waits until the group is fully
+			// formed before the broadcast.
+			if err := self.GroupBarrier("ready", members+1); err != nil {
+				return err
+			}
+			m, err := self.Recv(AnySrc, 3)
+			if err != nil {
+				return err
+			}
+			v, _ := UpkInt(m, "v")
+			got.Store(self.TID, v)
+			return self.LeaveGroup("g")
+		})
+	}
+	for _, d := range ds {
+		if _, err := d.Spawn("member", nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rootDone := make(chan error, 1)
+	ds[0].RegisterTaskFunc("root", func(ctx context.Context, self *Task, args []string) error {
+		if err := self.GroupBarrier("ready", members+1); err != nil {
+			rootDone <- err
+			return err
+		}
+		if self.GroupSize("g") != members {
+			rootDone <- context.DeadlineExceeded
+			return nil
+		}
+		err := self.BcastGroup("g", 3, []wire.Arg{PkInt("v", 11)})
+		rootDone <- err
+		return err
+	})
+	if _, err := ds[0].Spawn("root", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-rootDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("root timed out")
+	}
+	wg.Wait()
+	count := 0
+	got.Range(func(_, v any) bool {
+		if v.(int32) != 11 {
+			t.Errorf("v = %v", v)
+		}
+		count++
+		return true
+	})
+	if count != members {
+		t.Fatalf("recipients = %d", count)
+	}
+}
+
+func TestBcastToEmptyGroup(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	errs := make(chan error, 1)
+	d.RegisterTaskFunc("b", func(ctx context.Context, self *Task, args []string) error {
+		errs <- self.BcastGroup("nothing", 1, nil)
+		return nil
+	})
+	if _, err := d.Spawn("b", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err == nil {
+		t.Fatal("bcast to unknown group should fail")
+	}
+}
+
+func TestSpawnOnAndRoundRobin(t *testing.T) {
+	router, ds := newVM(t, 3, nil)
+	for _, d := range ds {
+		d.RegisterTaskFunc("w", func(ctx context.Context, self *Task, args []string) error {
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	}
+	// Targeted spawn lands on the named daemon.
+	tids, err := router.SpawnOn("host2", "w", nil, 2)
+	if err != nil || len(tids) != 2 {
+		t.Fatalf("tids=%v err=%v", tids, err)
+	}
+	for _, tid := range tids {
+		if _, ok := ds[2].Task(tid); !ok {
+			t.Fatalf("task %d not on host2", tid)
+		}
+	}
+	if _, err := router.SpawnOn("ghost", "w", nil, 1); err == nil {
+		t.Fatal("unknown node should fail")
+	}
+	// Round-robin placement covers every daemon.
+	rr, err := router.SpawnRoundRobin("w", nil, 6)
+	if err != nil || len(rr) != 6 {
+		t.Fatalf("rr=%v err=%v", rr, err)
+	}
+	for i, d := range ds {
+		n := len(d.LocalTasks())
+		want := 2
+		if i == 2 {
+			want = 4 // the two targeted ones plus round-robin share
+		}
+		if n != want {
+			t.Fatalf("host%d tasks = %d, want %d", i, n, want)
+		}
+	}
+	// Cleanup.
+	for _, d := range ds {
+		for _, tid := range d.LocalTasks() {
+			if tk, ok := d.Task(tid); ok {
+				tk.Kill()
+				_ = tk.Wait()
+			}
+		}
+	}
+	empty := NewRouter(nil)
+	if _, err := empty.SpawnRoundRobin("w", nil, 1); err == nil {
+		t.Fatal("round robin with no daemons should fail")
+	}
+}

@@ -1,0 +1,565 @@
+package pvm
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/events"
+	"harness2/internal/kernel"
+	"harness2/internal/namesvc"
+	"harness2/internal/simnet"
+	"harness2/internal/wire"
+)
+
+// newVM builds n kernels each loading events, namesvc and hpvmd plugins
+// over one router — a miniature Harness virtual machine (Figure 1).
+func newVM(t *testing.T, n int, net *simnet.Network) (*Router, []*Daemon) {
+	t.Helper()
+	router := NewRouter(net)
+	daemons := make([]*Daemon, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("host%d", i)
+		k := kernel.New(name, container.Config{})
+		k.RegisterPlugin(events.PluginClass, events.Factory())
+		k.RegisterPlugin(namesvc.PluginClass, namesvc.Factory())
+		k.RegisterPlugin(PluginClass, Factory(name, router),
+			events.PluginClass, namesvc.PluginClass)
+		if err := k.Load(PluginClass); err != nil {
+			t.Fatal(err)
+		}
+		comp, _ := k.Plugin(PluginClass)
+		daemons[i] = comp.(*Daemon)
+	}
+	return router, daemons
+}
+
+func TestSpawnAndWait(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	ran := make(chan TID, 3)
+	d.RegisterTaskFunc("worker", func(ctx context.Context, self *Task, args []string) error {
+		ran <- self.TID
+		return nil
+	})
+	tids, err := d.Spawn("worker", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 3 {
+		t.Fatalf("tids = %v", tids)
+	}
+	seen := map[TID]bool{}
+	for i := 0; i < 3; i++ {
+		seen[<-ran] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("TIDs not unique")
+	}
+	for _, tid := range tids {
+		if tid.Host() != 0 {
+			t.Fatalf("tid %d host = %d", tid, tid.Host())
+		}
+	}
+}
+
+func TestSpawnErrors(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	if _, err := ds[0].Spawn("ghost", nil, 1); err == nil {
+		t.Fatal("unknown task function should fail")
+	}
+	ds[0].RegisterTaskFunc("w", func(context.Context, *Task, []string) error { return nil })
+	if _, err := ds[0].Spawn("w", nil, 0); err == nil {
+		t.Fatal("zero count should fail")
+	}
+}
+
+func TestLocalSendRecv(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	got := make(chan float64, 1)
+	d.RegisterTaskFunc("recv", func(ctx context.Context, self *Task, args []string) error {
+		m, err := self.Recv(AnySrc, 7)
+		if err != nil {
+			return err
+		}
+		v, err := UpkDouble(m, "x")
+		if err != nil {
+			return err
+		}
+		got <- v
+		return nil
+	})
+	d.RegisterTaskFunc("send", func(ctx context.Context, self *Task, args []string) error {
+		dst, _ := strconv.Atoi(args[0])
+		return self.Send(TID(dst), 7, []wire.Arg{PkDouble("x", 3.5)})
+	})
+	rtids, err := d.Spawn("recv", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Spawn("send", []string{fmt.Sprint(int32(rtids[0]))}, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 3.5 {
+			t.Fatalf("v = %v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receive timed out")
+	}
+}
+
+func TestCrossDaemonMessaging(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	_, ds := newVM(t, 2, net)
+	pong := make(chan Message, 1)
+	ds[0].RegisterTaskFunc("pingpong", func(ctx context.Context, self *Task, args []string) error {
+		m, err := self.Recv(AnySrc, AnyTag)
+		if err != nil {
+			return err
+		}
+		return self.Send(m.Src, m.Tag+1, m.Body)
+	})
+	ds[1].RegisterTaskFunc("driver", func(ctx context.Context, self *Task, args []string) error {
+		dst, _ := strconv.Atoi(args[0])
+		if err := self.Send(TID(dst), 10, []wire.Arg{PkString("msg", "hello")}); err != nil {
+			return err
+		}
+		m, err := self.Recv(TID(dst), 11)
+		if err != nil {
+			return err
+		}
+		pong <- m
+		return nil
+	})
+	serverTids, err := ds[0].Spawn("pingpong", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds[1].Spawn("driver", []string{fmt.Sprint(int32(serverTids[0]))}, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-pong:
+		s, _ := UpkString(m, "msg")
+		if s != "hello" {
+			t.Fatalf("msg = %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pong timed out")
+	}
+	// Cross-host traffic was charged to the fabric (request + reply).
+	if st := net.Stats(); st.Messages != 2 {
+		t.Fatalf("fabric messages = %d, want 2", st.Messages)
+	}
+}
+
+func TestSelectiveRecvBuffersNonMatching(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	results := make(chan []int32, 1)
+	d.RegisterTaskFunc("selective", func(ctx context.Context, self *Task, args []string) error {
+		// Wait for tag 2 first even though tag 1 arrives first.
+		m2, err := self.Recv(AnySrc, 2)
+		if err != nil {
+			return err
+		}
+		m1, err := self.Recv(AnySrc, 1)
+		if err != nil {
+			return err
+		}
+		a, _ := UpkInt(m1, "v")
+		b, _ := UpkInt(m2, "v")
+		results <- []int32{a, b}
+		return nil
+	})
+	d.RegisterTaskFunc("producer", func(ctx context.Context, self *Task, args []string) error {
+		dst, _ := strconv.Atoi(args[0])
+		if err := self.Send(TID(dst), 1, []wire.Arg{PkInt("v", 100)}); err != nil {
+			return err
+		}
+		return self.Send(TID(dst), 2, []wire.Arg{PkInt("v", 200)})
+	})
+	rt, _ := d.Spawn("selective", nil, 1)
+	if _, err := d.Spawn("producer", []string{fmt.Sprint(int32(rt[0]))}, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case vs := <-results:
+		if vs[0] != 100 || vs[1] != 200 {
+			t.Fatalf("vs = %v", vs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("selective recv timed out")
+	}
+}
+
+func TestRecvTimeoutAndProbe(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	done := make(chan error, 1)
+	d.RegisterTaskFunc("t", func(ctx context.Context, self *Task, args []string) error {
+		if self.Probe(AnySrc, AnyTag) {
+			return fmt.Errorf("probe should be empty")
+		}
+		_, err := self.RecvTimeout(AnySrc, AnyTag, 10*time.Millisecond)
+		done <- err
+		return nil
+	})
+	if _, err := d.Spawn("t", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMcastAndBarrier(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	_, ds := newVM(t, 3, net)
+	const parties = 3
+	var counter sync.Map
+	for i, d := range ds {
+		d.RegisterTaskFunc("member", func(ctx context.Context, self *Task, args []string) error {
+			if err := self.Barrier("start", parties+1); err != nil {
+				return err
+			}
+			m, err := self.Recv(AnySrc, 42)
+			if err != nil {
+				return err
+			}
+			v, _ := UpkInt(m, "round")
+			counter.Store(self.TID, v)
+			return self.Barrier("end", parties+1)
+		})
+		_ = i
+	}
+	var members []TID
+	for _, d := range ds {
+		tids, err := d.Spawn("member", nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, tids...)
+	}
+	ds[0].RegisterTaskFunc("root", func(ctx context.Context, self *Task, args []string) error {
+		if err := self.Barrier("start", parties+1); err != nil {
+			return err
+		}
+		if err := self.Mcast(members, 42, []wire.Arg{PkInt("round", 9)}); err != nil {
+			return err
+		}
+		return self.Barrier("end", parties+1)
+	})
+	roots, err := ds[0].Spawn("root", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := ds[0].Task(roots[0])
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	counter.Range(func(_, v any) bool {
+		if v.(int32) != 9 {
+			t.Errorf("round = %v", v)
+		}
+		n++
+		return true
+	})
+	if n != parties {
+		t.Fatalf("members reached = %d", n)
+	}
+}
+
+func TestBarrierCountMismatch(t *testing.T) {
+	r := NewRouter(nil)
+	errs := make(chan error, 1)
+	go func() { errs <- r.Barrier("b", 2) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := r.Barrier("b", 3); err == nil {
+		t.Fatal("count mismatch should fail")
+	}
+	if err := r.Barrier("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Barrier("x", 0); err == nil {
+		t.Fatal("zero count should fail")
+	}
+}
+
+func TestTaskLifecycleEventsAndTable(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	spawnSub := d.events.Subscribe(TopicSpawn, 4)
+	exitSub := d.events.Subscribe(TopicExit, 4)
+	release := make(chan struct{})
+	d.RegisterTaskFunc("w", func(ctx context.Context, self *Task, args []string) error {
+		<-release
+		return nil
+	})
+	tids, _ := d.Spawn("w", nil, 1)
+	ev := <-spawnSub.C
+	if tid, _ := wire.GetArg(ev.Payload, "tid"); tid.(int32) != int32(tids[0]) {
+		t.Fatalf("spawn event tid = %v", tid)
+	}
+	// Task table holds the live task.
+	if v, ok := d.names.Get(taskTable, fmt.Sprintf("%d", tids[0])); !ok || v.(string) != "w" {
+		t.Fatalf("task table = %v %v", v, ok)
+	}
+	close(release)
+	tk, ok := d.Task(tids[0])
+	if ok {
+		_ = tk.Wait()
+	}
+	ev = <-exitSub.C
+	if status, _ := wire.GetArg(ev.Payload, "status"); status.(string) != "ok" {
+		t.Fatalf("exit status = %v", status)
+	}
+	// Table row removed after exit.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, ok := d.names.Get(taskTable, fmt.Sprintf("%d", tids[0])); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("task table row not removed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestKillTask(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	d.RegisterTaskFunc("forever", func(ctx context.Context, self *Task, args []string) error {
+		_, err := self.Recv(AnySrc, AnyTag) // blocks until cancelled
+		return err
+	})
+	tids, _ := d.Spawn("forever", nil, 1)
+	tk, _ := d.Task(tids[0])
+	out, err := d.Invoke(context.Background(), "kill", wire.Args("tid", int32(tids[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := wire.GetArg(out, "ok"); !ok.(bool) {
+		t.Fatal("kill failed")
+	}
+	if err := tk.Wait(); err == nil {
+		t.Fatal("killed task should report an error")
+	}
+	if _, ok := d.Task(tids[0]); ok {
+		t.Fatal("killed task still listed")
+	}
+}
+
+func TestSendToDeadTask(t *testing.T) {
+	_, ds := newVM(t, 1, nil)
+	d := ds[0]
+	d.RegisterTaskFunc("quick", func(context.Context, *Task, []string) error { return nil })
+	d.RegisterTaskFunc("sender", func(ctx context.Context, self *Task, args []string) error {
+		dst, _ := strconv.Atoi(args[0])
+		return self.Send(TID(dst), 1, nil)
+	})
+	tids, _ := d.Spawn("quick", nil, 1)
+	tk, _ := d.Task(tids[0])
+	if tk != nil {
+		_ = tk.Wait()
+	}
+	errs := make(chan error, 1)
+	d.RegisterTaskFunc("s2", func(ctx context.Context, self *Task, args []string) error {
+		errs <- self.Send(tids[0], 1, nil)
+		return nil
+	})
+	if _, err := d.Spawn("s2", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err == nil {
+		t.Fatal("send to dead task should fail")
+	}
+}
+
+func TestDaemonComponentSurface(t *testing.T) {
+	_, ds := newVM(t, 2, nil)
+	d := ds[0]
+	d.RegisterTaskFunc("w", func(ctx context.Context, self *Task, args []string) error {
+		<-self.Context().Done()
+		return nil
+	})
+	ctx := context.Background()
+	out, err := d.Invoke(ctx, "spawn", wire.Args("task", "w", "count", int32(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tids, _ := wire.GetArg(out, "tids")
+	if len(tids.([]int32)) != 2 {
+		t.Fatalf("tids = %v", tids)
+	}
+	out, err = d.Invoke(ctx, "tasks", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := wire.GetArg(out, "tids"); len(got.([]int32)) != 2 {
+		t.Fatalf("tasks = %v", got)
+	}
+	out, err = d.Invoke(ctx, "config", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, _ := wire.GetArg(out, "hosts")
+	if len(hosts.([]string)) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	if _, err := d.Invoke(ctx, "spawn", wire.Args("task", "ghost")); err == nil {
+		t.Fatal("spawn of unknown task should fail")
+	}
+	if _, err := d.Invoke(ctx, "kill", wire.Args("tid", int32(99999))); err == nil {
+		t.Fatal("kill of unknown tid should fail")
+	}
+	if _, err := d.Invoke(ctx, "bogus", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+	for _, tidv := range tids.([]int32) {
+		if _, err := d.Invoke(ctx, "kill", wire.Args("tid", tidv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDetachKillsTasksAndUnregisters(t *testing.T) {
+	router, _ := newVM(t, 1, nil)
+	name := "hostX"
+	k := kernel.New(name, container.Config{})
+	k.RegisterPlugin(events.PluginClass, events.Factory())
+	k.RegisterPlugin(namesvc.PluginClass, namesvc.Factory())
+	k.RegisterPlugin(PluginClass, Factory(name, router), events.PluginClass, namesvc.PluginClass)
+	if err := k.Load(PluginClass); err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := k.Plugin(PluginClass)
+	d := comp.(*Daemon)
+	d.RegisterTaskFunc("f", func(ctx context.Context, self *Task, args []string) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	tids, _ := d.Spawn("f", nil, 2)
+	if err := k.Unload(PluginClass); err != nil {
+		t.Fatal(err)
+	}
+	for _, tid := range tids {
+		if _, _, ok := router.home(tid); ok {
+			t.Fatal("task survived daemon unload")
+		}
+	}
+	hosts := router.Daemons()
+	for _, h := range hosts {
+		if h == name {
+			t.Fatal("daemon still registered after unload")
+		}
+	}
+}
+
+func TestRouterDuplicateDaemon(t *testing.T) {
+	r := NewRouter(nil)
+	d1 := NewDaemon("same", r)
+	if _, err := r.register(d1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDaemon("same", r)
+	if _, err := r.register(d2); err == nil {
+		t.Fatal("duplicate daemon registration should fail")
+	}
+}
+
+func TestFormatTIDs(t *testing.T) {
+	s := FormatTIDs([]TID{1, 2})
+	if s != "t1,t2" {
+		t.Fatalf("s = %q", s)
+	}
+}
+
+func TestRingApplication(t *testing.T) {
+	// A classic PVM ring: token passes around tasks across 4 daemons.
+	net := simnet.New(simnet.LAN)
+	_, ds := newVM(t, 4, net)
+	const rounds = 3
+	result := make(chan int32, 1)
+	for _, d := range ds {
+		d.RegisterTaskFunc("ring", func(ctx context.Context, self *Task, args []string) error {
+			// The coordinator message (tag 0) wires the ring topology.
+			setup, err := self.Recv(AnySrc, 0)
+			if err != nil {
+				return err
+			}
+			next, _ := UpkInt(setup, "next")
+			isRoot, _ := UpkInt(setup, "root")
+			if isRoot == 1 {
+				if err := self.Send(TID(next), 1, []wire.Arg{PkInt("hops", 0)}); err != nil {
+					return err
+				}
+			}
+			for {
+				m, err := self.Recv(AnySrc, AnyTag)
+				if err != nil {
+					return err
+				}
+				if m.Tag == 2 { // shutdown token
+					if isRoot != 1 {
+						_ = self.Send(TID(next), 2, nil)
+					}
+					return nil
+				}
+				hops, _ := UpkInt(m, "hops")
+				if isRoot == 1 && hops >= int32(rounds*len(ds)) {
+					result <- hops
+					return self.Send(TID(next), 2, nil)
+				}
+				if err := self.Send(TID(next), 1, []wire.Arg{PkInt("hops", hops+1)}); err != nil {
+					return err
+				}
+			}
+		})
+	}
+	var tids []TID
+	for _, d := range ds {
+		got, err := d.Spawn("ring", nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, got...)
+	}
+	// Wire the ring.
+	for i, d := range ds {
+		next := tids[(i+1)%len(tids)]
+		root := int32(0)
+		if i == 0 {
+			root = 1
+		}
+		tk, _ := d.Task(tids[i])
+		_ = tk
+		// Send setup via a transient task.
+		d.RegisterTaskFunc("setup", func(ctx context.Context, self *Task, args []string) error {
+			return self.Send(tids[i], 0, []wire.Arg{PkInt("next", int32(next)), PkInt("root", root)})
+		})
+		if _, err := d.Spawn("setup", nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case hops := <-result:
+		if hops < int32(rounds*len(ds)) {
+			t.Fatalf("hops = %d", hops)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ring did not complete")
+	}
+}

@@ -1,0 +1,247 @@
+// Package pvm implements the Harness PVM emulation of Figure 2: an hpvmd
+// plugin per kernel that "emulates the PVM daemon on each host, but
+// leverages process spawning, message transport, general event management,
+// and table lookup from other plugins — both within the same address space
+// (same Harness kernel) as well as in remote Harness kernels".
+//
+// The emulation provides the classic PVM programming surface — spawn,
+// typed tagged message passing with pack/unpack, multicast, barriers —
+// implemented on top of the kernel plugin substrate: the events plugin
+// announces task lifecycle, the namesvc plugin holds the local task table,
+// and the Router is the inter-kernel message transport whose traffic can
+// be charged to a simnet fabric for the E7 overhead experiment.
+package pvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"harness2/internal/simnet"
+	"harness2/internal/wire"
+)
+
+// TID is a PVM task identifier, globally unique within a router domain.
+// Like PVM's, it encodes the host: the upper bits carry the daemon index.
+type TID int32
+
+// tidHostShift positions the daemon index inside a TID.
+const tidHostShift = 18
+
+// Host extracts the daemon index encoded in the TID.
+func (t TID) Host() int { return int(t >> tidHostShift) }
+
+// Message is one PVM message: tagged, typed values from Src to Dst.
+type Message struct {
+	Src  TID
+	Dst  TID
+	Tag  int32
+	Body []wire.Arg
+}
+
+// ByteSize approximates the message's wire footprint.
+func (m Message) ByteSize() int {
+	n := 16
+	for _, a := range m.Body {
+		n += len(a.Name) + wire.ByteSize(a.Value) + 8
+	}
+	return n
+}
+
+// Errors returned by the message layer.
+var (
+	ErrNoTask     = errors.New("pvm: no such task")
+	ErrNoDaemon   = errors.New("pvm: no daemon for host")
+	ErrTaskExited = errors.New("pvm: task has exited")
+)
+
+// Router is the inter-kernel message transport shared by the hpvmd
+// daemons of one virtual machine. It assigns daemon indices and TIDs,
+// maintains the global TID→daemon map, routes messages, and hosts
+// barriers. When a simnet fabric is attached, inter-daemon traffic is
+// charged to it.
+type Router struct {
+	net *simnet.Network
+
+	mu       sync.Mutex
+	daemons  map[string]*Daemon // node name -> daemon
+	order    []string           // daemon registration order (host index)
+	tidHome  map[TID]string     // task -> node name
+	nextSeq  map[int]int32      // per-host TID sequence
+	barriers map[string]*barrier
+	groups   map[string]*group
+}
+
+// NewRouter creates an empty transport domain. net may be nil (no
+// accounting).
+func NewRouter(net *simnet.Network) *Router {
+	return &Router{
+		net:      net,
+		daemons:  make(map[string]*Daemon),
+		tidHome:  make(map[TID]string),
+		nextSeq:  make(map[int]int32),
+		barriers: make(map[string]*barrier),
+		groups:   make(map[string]*group),
+	}
+}
+
+// register admits a daemon and returns its host index.
+func (r *Router) register(d *Daemon) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.daemons[d.node]; ok {
+		return 0, fmt.Errorf("pvm: daemon for node %q already registered", d.node)
+	}
+	r.daemons[d.node] = d
+	r.order = append(r.order, d.node)
+	if r.net != nil {
+		r.net.AddNode(d.node)
+	}
+	return len(r.order) - 1, nil
+}
+
+// unregister withdraws a daemon and forgets its tasks.
+func (r *Router) unregister(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.daemons, node)
+	for tid, home := range r.tidHome {
+		if home == node {
+			delete(r.tidHome, tid)
+		}
+	}
+}
+
+// allocTID mints a fresh TID for a task on host hostIdx at node.
+func (r *Router) allocTID(hostIdx int, node string) TID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSeq[hostIdx]++
+	tid := TID(int32(hostIdx)<<tidHostShift | r.nextSeq[hostIdx])
+	r.tidHome[tid] = node
+	return tid
+}
+
+func (r *Router) forget(tid TID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tidHome, tid)
+}
+
+// home resolves a TID's hosting node.
+func (r *Router) home(tid TID) (string, *Daemon, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, ok := r.tidHome[tid]
+	if !ok {
+		return "", nil, false
+	}
+	d, ok := r.daemons[node]
+	return node, d, ok
+}
+
+// Daemons lists registered node names in registration order.
+func (r *Router) Daemons() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.daemons))
+	for _, n := range r.order {
+		if _, live := r.daemons[n]; live {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Tasks returns every live TID, unordered.
+func (r *Router) Tasks() []TID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TID, 0, len(r.tidHome))
+	for tid := range r.tidHome {
+		out = append(out, tid)
+	}
+	return out
+}
+
+// SpawnOn starts tasks on a specific daemon by node name — pvm_spawn with
+// a where argument. The task function must be registered on that daemon.
+func (r *Router) SpawnOn(node, name string, args []string, n int) ([]TID, error) {
+	r.mu.Lock()
+	d, ok := r.daemons[node]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDaemon, node)
+	}
+	return d.Spawn(name, args, n)
+}
+
+// SpawnRoundRobin distributes n tasks across all registered daemons in
+// registration order — pvm_spawn with PvmTaskDefault placement. Every
+// daemon must have the task function registered.
+func (r *Router) SpawnRoundRobin(name string, args []string, n int) ([]TID, error) {
+	nodes := r.Daemons()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: no daemons registered", ErrNoDaemon)
+	}
+	out := make([]TID, 0, n)
+	for i := 0; i < n; i++ {
+		tids, err := r.SpawnOn(nodes[i%len(nodes)], name, args, 1)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tids...)
+	}
+	return out, nil
+}
+
+// Route delivers msg to its destination task's mailbox, charging the
+// fabric for inter-node hops.
+func (r *Router) Route(fromNode string, msg Message) error {
+	node, d, ok := r.home(msg.Dst)
+	if !ok {
+		return fmt.Errorf("%w: tid %d", ErrNoTask, msg.Dst)
+	}
+	if r.net != nil && fromNode != node {
+		if _, err := r.net.Send(fromNode, node, msg.ByteSize()); err != nil {
+			return fmt.Errorf("pvm: route to %s: %w", node, err)
+		}
+	}
+	return d.deliver(msg)
+}
+
+// barrier is a named rendezvous of a fixed party count.
+type barrier struct {
+	need    int
+	arrived int
+	release chan struct{}
+}
+
+// Barrier blocks the caller until count participants have entered the
+// barrier with the same name, then releases them all. Mismatched counts
+// for the same in-flight barrier are an error.
+func (r *Router) Barrier(name string, count int) error {
+	if count < 1 {
+		return fmt.Errorf("pvm: barrier count must be positive")
+	}
+	r.mu.Lock()
+	b, ok := r.barriers[name]
+	if !ok {
+		b = &barrier{need: count, release: make(chan struct{})}
+		r.barriers[name] = b
+	}
+	if b.need != count {
+		r.mu.Unlock()
+		return fmt.Errorf("pvm: barrier %q count mismatch (%d vs %d)", name, count, b.need)
+	}
+	b.arrived++
+	if b.arrived == b.need {
+		delete(r.barriers, name)
+		close(b.release)
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	<-b.release
+	return nil
+}

@@ -1,0 +1,229 @@
+package pvm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"harness2/internal/wire"
+)
+
+// AnyTag matches any message tag in Recv, like PVM's -1.
+const AnyTag int32 = -1
+
+// AnySrc matches any source task in Recv, like PVM's -1.
+const AnySrc TID = -1
+
+// Task is one running PVM task: the handle passed to its TaskFunc, used
+// for messaging in the classic pvm_send/pvm_recv style.
+type Task struct {
+	TID  TID
+	Name string
+
+	daemon *Daemon
+	ctx    context.Context
+	cancel context.CancelFunc
+	mbox   chan Message
+	done   chan struct{}
+	err    error
+
+	// pending buffers messages drained while matching a selective Recv.
+	pending []Message
+}
+
+// Context returns the task's cancellation context.
+func (t *Task) Context() context.Context { return t.ctx }
+
+// Kill cancels the task.
+func (t *Task) Kill() { t.cancel() }
+
+func (t *Task) finish(err error) {
+	t.err = err
+	close(t.done)
+	t.daemon.taskExited(t, err)
+}
+
+// Wait blocks until the task exits and returns its error.
+func (t *Task) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Send transmits values to dst with the given tag — pvm_send. Values must
+// be wire types.
+func (t *Task) Send(dst TID, tag int32, body []wire.Arg) error {
+	if err := wire.CheckArgs(body); err != nil {
+		return err
+	}
+	return t.daemon.router.Route(t.daemon.node, Message{Src: t.TID, Dst: dst, Tag: tag, Body: body})
+}
+
+// Mcast transmits the same message to several tasks — pvm_mcast. Delivery
+// is best-effort per destination; the first error is returned after all
+// destinations are attempted.
+func (t *Task) Mcast(dsts []TID, tag int32, body []wire.Arg) error {
+	if err := wire.CheckArgs(body); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, dst := range dsts {
+		if dst == t.TID {
+			continue
+		}
+		err := t.daemon.router.Route(t.daemon.node, Message{Src: t.TID, Dst: dst, Tag: tag, Body: body})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ErrTimeout is returned by RecvTimeout when the deadline expires.
+var ErrTimeout = errors.New("pvm: receive timed out")
+
+// Recv blocks for the next message matching src and tag (AnySrc/AnyTag
+// wildcards) — pvm_recv. Non-matching messages are buffered and remain
+// receivable later, preserving arrival order per match set.
+func (t *Task) Recv(src TID, tag int32) (Message, error) {
+	return t.recv(src, tag, nil)
+}
+
+// RecvTimeout is Recv with a deadline — pvm_trecv.
+func (t *Task) RecvTimeout(src TID, tag int32, d time.Duration) (Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return t.recv(src, tag, timer.C)
+}
+
+func match(m Message, src TID, tag int32) bool {
+	if src != AnySrc && m.Src != src {
+		return false
+	}
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	return true
+}
+
+func (t *Task) recv(src TID, tag int32, timeout <-chan time.Time) (Message, error) {
+	// First scan messages buffered by earlier selective receives.
+	for i, m := range t.pending {
+		if match(m, src, tag) {
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	for {
+		select {
+		case m := <-t.mbox:
+			if match(m, src, tag) {
+				return m, nil
+			}
+			t.pending = append(t.pending, m)
+		case <-timeout:
+			return Message{}, ErrTimeout
+		case <-t.ctx.Done():
+			return Message{}, fmt.Errorf("pvm: task %d cancelled: %w", t.TID, t.ctx.Err())
+		}
+	}
+}
+
+// Probe reports whether a matching message is immediately available —
+// pvm_probe. It never blocks.
+func (t *Task) Probe(src TID, tag int32) bool {
+	for _, m := range t.pending {
+		if match(m, src, tag) {
+			return true
+		}
+	}
+	for {
+		select {
+		case m := <-t.mbox:
+			t.pending = append(t.pending, m)
+			if match(m, src, tag) {
+				return true
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// Barrier joins the named rendezvous of count parties — pvm_barrier.
+func (t *Task) Barrier(name string, count int) error {
+	return t.daemon.router.Barrier(name, count)
+}
+
+// Spawn lets a task spawn siblings on its own daemon — pvm_spawn from
+// inside a task.
+func (t *Task) Spawn(name string, args []string, n int) ([]TID, error) {
+	return t.daemon.Spawn(name, args, n)
+}
+
+// Pack helpers: PVM's pvm_pk* family maps onto named wire args. These are
+// thin but keep application code close to the original idiom.
+
+// PkInt packs an int32 under the given name.
+func PkInt(name string, v int32) wire.Arg { return wire.Arg{Name: name, Value: v} }
+
+// PkDouble packs a float64 under the given name.
+func PkDouble(name string, v float64) wire.Arg { return wire.Arg{Name: name, Value: v} }
+
+// PkDoubleArray packs a []float64 under the given name.
+func PkDoubleArray(name string, v []float64) wire.Arg { return wire.Arg{Name: name, Value: v} }
+
+// PkString packs a string under the given name.
+func PkString(name string, v string) wire.Arg { return wire.Arg{Name: name, Value: v} }
+
+// UpkInt unpacks an int32 by name from a message body.
+func UpkInt(m Message, name string) (int32, error) {
+	v, ok := wire.GetArg(m.Body, name)
+	if !ok {
+		return 0, fmt.Errorf("pvm: message has no %q", name)
+	}
+	i, ok := v.(int32)
+	if !ok {
+		return 0, fmt.Errorf("pvm: %q is %T, not int32", name, v)
+	}
+	return i, nil
+}
+
+// UpkDouble unpacks a float64 by name from a message body.
+func UpkDouble(m Message, name string) (float64, error) {
+	v, ok := wire.GetArg(m.Body, name)
+	if !ok {
+		return 0, fmt.Errorf("pvm: message has no %q", name)
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("pvm: %q is %T, not float64", name, v)
+	}
+	return f, nil
+}
+
+// UpkDoubleArray unpacks a []float64 by name from a message body.
+func UpkDoubleArray(m Message, name string) ([]float64, error) {
+	v, ok := wire.GetArg(m.Body, name)
+	if !ok {
+		return nil, fmt.Errorf("pvm: message has no %q", name)
+	}
+	a, ok := v.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("pvm: %q is %T, not []float64", name, v)
+	}
+	return a, nil
+}
+
+// UpkString unpacks a string by name from a message body.
+func UpkString(m Message, name string) (string, error) {
+	v, ok := wire.GetArg(m.Body, name)
+	if !ok {
+		return "", fmt.Errorf("pvm: message has no %q", name)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("pvm: %q is %T, not string", name, v)
+	}
+	return s, nil
+}

@@ -1,0 +1,118 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"harness2/internal/wsdl"
+)
+
+func leasedRegistry(t *testing.T) (*Registry, *time.Time, string) {
+	t.Helper()
+	now := time.Unix(5000, 0)
+	r := NewWithClock(func() time.Time { return now })
+	d, err := wsdl.Generate(wsdl.WSTimeSpec(), wsdl.EndpointSet{SOAPAddress: "http://h/t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &now, d.String()
+}
+
+func TestLeaseExpiryHidesEntry(t *testing.T) {
+	r, now, xml := leasedRegistry(t)
+	key, err := r.PublishLeased(Entry{Name: "Volatile", WSDL: xml}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish(Entry{Name: "Persistent", WSDL: xml}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	*now = now.Add(time.Minute)
+	// All read paths must hide the lapsed entry.
+	if r.Len() != 1 {
+		t.Fatalf("len after expiry = %d", r.Len())
+	}
+	if _, ok := r.Get(key); ok {
+		t.Fatal("Get returned an expired entry")
+	}
+	if got := r.FindByName("Volatile"); len(got) != 0 {
+		t.Fatalf("FindByName = %v", got)
+	}
+	if got := r.List(); len(got) != 1 || got[0].Name != "Persistent" {
+		t.Fatalf("List = %v", got)
+	}
+	got, err := r.FindByQuery("//service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("FindByQuery = %v", got)
+	}
+	// A write sweeps the corpse: republishing under the same name works
+	// and the old key is really gone.
+	if _, err := r.PublishLeased(Entry{Name: "Volatile", WSDL: xml}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Renew(key); err == nil {
+		t.Fatal("renewing an expired key should fail")
+	}
+}
+
+func TestRenewExtendsLease(t *testing.T) {
+	r, now, xml := leasedRegistry(t)
+	key, err := r.PublishLeased(Entry{Name: "V", WSDL: xml}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		*now = now.Add(20 * time.Second)
+		if err := r.Renew(key); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if _, ok := r.Get(key); !ok {
+		t.Fatal("renewed entry should survive")
+	}
+	// Stop renewing: it lapses.
+	*now = now.Add(time.Minute)
+	if _, ok := r.Get(key); ok {
+		t.Fatal("entry should lapse once renewals stop")
+	}
+}
+
+func TestRenewPersistentNoop(t *testing.T) {
+	r, now, xml := leasedRegistry(t)
+	key, err := r.Publish(Entry{Name: "P", WSDL: xml})
+	if err != nil {
+		t.Fatal(err)
+	}
+	*now = now.Add(24 * time.Hour)
+	if err := r.Renew(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(key); !ok {
+		t.Fatal("persistent entry should never lapse")
+	}
+	if err := r.Renew("ghost"); err == nil {
+		t.Fatal("renewing unknown key should fail")
+	}
+}
+
+func TestTModelFindSkipsExpired(t *testing.T) {
+	r, now, _ := leasedRegistry(t)
+	d, _ := wsdl.Generate(wsdl.MatMulSpec(), wsdl.EndpointSet{XDRAddress: "h:1"})
+	if _, err := r.PublishLeased(Entry{Name: "M", WSDL: d.String(),
+		TModels: TModelsFor(d)}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FindByTModel("uddi:harness2:binding:xdr"); len(got) != 1 {
+		t.Fatalf("find = %v", got)
+	}
+	*now = now.Add(time.Hour)
+	if got := r.FindByTModel("uddi:harness2:binding:xdr"); len(got) != 0 {
+		t.Fatalf("expired find = %v", got)
+	}
+}

@@ -1,0 +1,276 @@
+package registry
+
+import (
+	"fmt"
+	"net/http"
+
+	"harness2/internal/soap"
+)
+
+// Server exposes a Registry as a SOAP web service — the registry is
+// itself a full-fledged service, per the paper's "every entity is
+// potentially a public service" principle.
+//
+// Operations: publish, remove, get, findByName, findByQuery.
+type Server struct {
+	reg  *Registry
+	soap *soap.Server
+}
+
+// NewServer wraps reg in a SOAP dispatcher.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, soap: soap.NewServer()}
+	s.soap.Handle("publish", s.publish)
+	s.soap.Handle("remove", s.remove)
+	s.soap.Handle("get", s.get)
+	s.soap.Handle("findByName", s.find(func(arg string) ([]Entry, error) {
+		return reg.FindByName(arg), nil
+	}))
+	s.soap.Handle("findByQuery", s.find(reg.FindByQuery))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.soap.ServeHTTP(w, r)
+}
+
+func param(call *soap.Call, name string) (any, error) {
+	for _, p := range call.Params {
+		if p.Name == name {
+			return p.Value, nil
+		}
+	}
+	return nil, &soap.Fault{Code: "Client", String: fmt.Sprintf("missing parameter %q", name)}
+}
+
+func stringParam(call *soap.Call, name string) (string, error) {
+	v, err := param(call, name)
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", &soap.Fault{Code: "Client", String: fmt.Sprintf("parameter %q must be a string", name)}
+	}
+	return s, nil
+}
+
+func (s *Server) publish(call *soap.Call) ([]soap.Param, error) {
+	e := Entry{}
+	var err error
+	if e.Name, err = stringParam(call, "name"); err != nil {
+		return nil, err
+	}
+	if e.WSDL, err = stringParam(call, "wsdl"); err != nil {
+		return nil, err
+	}
+	if v, err := param(call, "business"); err == nil {
+		e.Business, _ = v.(string)
+	}
+	if v, err := param(call, "key"); err == nil {
+		e.Key, _ = v.(string)
+	}
+	if v, err := param(call, "tmodels"); err == nil {
+		if tms, ok := v.([]string); ok {
+			e.TModels = tms
+		}
+	}
+	key, err := s.reg.Publish(e)
+	if err != nil {
+		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+	}
+	return []soap.Param{{Name: "key", Value: key}}, nil
+}
+
+func (s *Server) remove(call *soap.Call) ([]soap.Param, error) {
+	key, err := stringParam(call, "key")
+	if err != nil {
+		return nil, err
+	}
+	if err := s.reg.Remove(key); err != nil {
+		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+	}
+	return []soap.Param{{Name: "ok", Value: true}}, nil
+}
+
+func (s *Server) get(call *soap.Call) ([]soap.Param, error) {
+	key, err := stringParam(call, "key")
+	if err != nil {
+		return nil, err
+	}
+	e, ok := s.reg.Get(key)
+	if !ok {
+		return nil, &soap.Fault{Code: "Client", String: fmt.Sprintf("no entry %q", key)}
+	}
+	return entryParams(e), nil
+}
+
+func (s *Server) find(fn func(string) ([]Entry, error)) soap.Handler {
+	return func(call *soap.Call) ([]soap.Param, error) {
+		arg, err := stringParam(call, "arg")
+		if err != nil {
+			return nil, err
+		}
+		entries, err := fn(arg)
+		if err != nil {
+			return nil, &soap.Fault{Code: "Client", String: err.Error()}
+		}
+		// Column-wise result encoding: parallel arrays over the matches.
+		keys := make([]string, len(entries))
+		names := make([]string, len(entries))
+		businesses := make([]string, len(entries))
+		wsdls := make([]string, len(entries))
+		for i, e := range entries {
+			keys[i] = e.Key
+			names[i] = e.Name
+			businesses[i] = e.Business
+			wsdls[i] = e.WSDL
+		}
+		return []soap.Param{
+			{Name: "keys", Value: keys},
+			{Name: "names", Value: names},
+			{Name: "businesses", Value: businesses},
+			{Name: "wsdls", Value: wsdls},
+		}, nil
+	}
+}
+
+func entryParams(e Entry) []soap.Param {
+	tms := e.TModels
+	if tms == nil {
+		tms = []string{}
+	}
+	return []soap.Param{
+		{Name: "key", Value: e.Key},
+		{Name: "name", Value: e.Name},
+		{Name: "business", Value: e.Business},
+		{Name: "tmodels", Value: tms},
+		{Name: "wsdl", Value: e.WSDL},
+	}
+}
+
+// Remote is a SOAP client view of a registry server; it satisfies Lookup
+// so callers can swap a co-located Registry for a network one unchanged.
+type Remote struct {
+	Endpoint string
+	Client   soap.Client
+}
+
+var _ Lookup = (*Remote)(nil)
+
+// NewRemote returns a client for the registry at endpoint.
+func NewRemote(endpoint string) *Remote {
+	return &Remote{Endpoint: endpoint}
+}
+
+func (r *Remote) call(method string, params []soap.Param) ([]soap.Param, error) {
+	return r.Client.CallRemote(r.Endpoint, &soap.Call{Method: method, Params: params})
+}
+
+func outParam(out []soap.Param, name string) (any, bool) {
+	for _, p := range out {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Publish publishes an entry through the remote registry.
+func (r *Remote) Publish(e Entry) (string, error) {
+	tms := e.TModels
+	if tms == nil {
+		tms = []string{}
+	}
+	out, err := r.call("publish", []soap.Param{
+		{Name: "name", Value: e.Name},
+		{Name: "wsdl", Value: e.WSDL},
+		{Name: "business", Value: e.Business},
+		{Name: "key", Value: e.Key},
+		{Name: "tmodels", Value: tms},
+	})
+	if err != nil {
+		return "", err
+	}
+	if v, ok := outParam(out, "key"); ok {
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("registry: publish response missing key")
+}
+
+// Remove unpublishes the keyed entry remotely.
+func (r *Remote) Remove(key string) error {
+	_, err := r.call("remove", []soap.Param{{Name: "key", Value: key}})
+	return err
+}
+
+// Get fetches one entry; a missing key yields ok=false.
+func (r *Remote) Get(key string) (Entry, bool) {
+	out, err := r.call("get", []soap.Param{{Name: "key", Value: key}})
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{}
+	if v, ok := outParam(out, "key"); ok {
+		e.Key, _ = v.(string)
+	}
+	if v, ok := outParam(out, "name"); ok {
+		e.Name, _ = v.(string)
+	}
+	if v, ok := outParam(out, "business"); ok {
+		e.Business, _ = v.(string)
+	}
+	if v, ok := outParam(out, "tmodels"); ok {
+		e.TModels, _ = v.([]string)
+	}
+	if v, ok := outParam(out, "wsdl"); ok {
+		e.WSDL, _ = v.(string)
+	}
+	return e, true
+}
+
+func (r *Remote) findRemote(method, arg string) ([]Entry, error) {
+	out, err := r.call(method, []soap.Param{{Name: "arg", Value: arg}})
+	if err != nil {
+		return nil, err
+	}
+	var keys, names, businesses, wsdls []string
+	if v, ok := outParam(out, "keys"); ok {
+		keys, _ = v.([]string)
+	}
+	if v, ok := outParam(out, "names"); ok {
+		names, _ = v.([]string)
+	}
+	if v, ok := outParam(out, "businesses"); ok {
+		businesses, _ = v.([]string)
+	}
+	if v, ok := outParam(out, "wsdls"); ok {
+		wsdls, _ = v.([]string)
+	}
+	n := len(keys)
+	if len(names) != n || len(businesses) != n || len(wsdls) != n {
+		return nil, fmt.Errorf("registry: malformed find response")
+	}
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = Entry{Key: keys[i], Name: names[i], Business: businesses[i], WSDL: wsdls[i]}
+	}
+	return entries, nil
+}
+
+// FindByName queries the remote name index.
+func (r *Remote) FindByName(name string) []Entry {
+	entries, err := r.findRemote("findByName", name)
+	if err != nil {
+		return nil
+	}
+	return entries
+}
+
+// FindByQuery runs a structural XML query remotely.
+func (r *Remote) FindByQuery(query string) ([]Entry, error) {
+	return r.findRemote("findByQuery", query)
+}

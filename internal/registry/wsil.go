@@ -1,0 +1,168 @@
+package registry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"harness2/internal/wsdl"
+	"harness2/internal/xmlq"
+)
+
+// WS-Inspection (WSIL) support. The paper lists WSIL beside UDDI as a
+// lookup-system type ("the type of lookup service used (e.g. UDDI, WSIL,
+// etc.)"): instead of a central registry, each provider serves an
+// inspection document enumerating its services and pointing at their WSDL
+// documents. This file implements the document model, an HTTP publisher
+// for containers, and the client-side fetch.
+
+// WSILNamespace is the WS-Inspection 1.0 namespace.
+const WSILNamespace = "http://schemas.xmlsoap.org/ws/2001/10/inspection/"
+
+// ServiceRef is one entry of an inspection document.
+type ServiceRef struct {
+	// Name is the human-readable service abstract.
+	Name string
+	// Location is the URL of the service's WSDL document.
+	Location string
+}
+
+// WSILDocument renders service references as an inspection document.
+func WSILDocument(refs []ServiceRef) *xmlq.Node {
+	root := xmlq.NewNode("inspection")
+	root.Attrs = append(root.Attrs, xmlq.Attr{Local: "xmlns", Value: WSILNamespace})
+	for _, r := range refs {
+		svc := root.AddNew("service")
+		svc.AddNew("abstract").SetText(r.Name)
+		desc := svc.AddNew("description")
+		desc.SetAttr("referencedNamespace", wsdl.NSWSDL)
+		desc.SetAttr("location", r.Location)
+	}
+	return root
+}
+
+// ParseWSIL extracts service references from an inspection document.
+func ParseWSIL(root *xmlq.Node) ([]ServiceRef, error) {
+	if root.Local != "inspection" {
+		return nil, fmt.Errorf("registry: wsil root is %q, want inspection", root.Local)
+	}
+	var out []ServiceRef
+	for _, svc := range root.ChildrenNamed("service") {
+		ref := ServiceRef{}
+		if a := svc.Child("abstract"); a != nil {
+			ref.Name = a.Text
+		}
+		if d := svc.Child("description"); d != nil {
+			ref.Location = d.AttrOr("location", "")
+		}
+		if ref.Location == "" {
+			return nil, fmt.Errorf("registry: wsil service %q has no description location", ref.Name)
+		}
+		out = append(out, ref)
+	}
+	return out, nil
+}
+
+// WSDLSource enumerates locally hosted services for WSIL publication; the
+// component container implements it.
+type WSDLSource interface {
+	// InspectableServices returns (service name, instance id) pairs the
+	// provider chooses to advertise.
+	InspectableServices() []ServiceRef
+	// WSDLDocument returns the WSDL text for one advertised instance id.
+	WSDLDocument(id string) (string, error)
+}
+
+// WSILHandler serves /inspection.wsil and /wsdl/<instance> for a source,
+// giving every node a registry-free discovery surface.
+type WSILHandler struct {
+	Source WSDLSource
+	// Base is the externally visible base URL used in document locations
+	// (e.g. http://host:8080).
+	Base string
+}
+
+// ServeHTTP implements http.Handler.
+func (h *WSILHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "inspection requires GET", http.StatusMethodNotAllowed)
+		return
+	}
+	path := strings.Trim(r.URL.Path, "/")
+	switch {
+	case path == "inspection.wsil" || path == "":
+		refs := h.Source.InspectableServices()
+		for i := range refs {
+			refs[i].Location = strings.TrimSuffix(h.Base, "/") + "/wsdl/" + refs[i].Location
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		_, _ = io.WriteString(w, WSILDocument(refs).String())
+	case strings.HasPrefix(path, "wsdl/"):
+		id := strings.TrimPrefix(path, "wsdl/")
+		doc, err := h.Source.WSDLDocument(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		_, _ = io.WriteString(w, doc)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+var wsilHTTP = &http.Client{Timeout: 30 * time.Second}
+
+// FetchWSIL retrieves and parses an inspection document.
+func FetchWSIL(url string) ([]ServiceRef, error) {
+	body, err := httpGet(url)
+	if err != nil {
+		return nil, err
+	}
+	root, err := xmlq.ParseString(body)
+	if err != nil {
+		return nil, fmt.Errorf("registry: wsil at %s: %w", url, err)
+	}
+	return ParseWSIL(root)
+}
+
+// DiscoverViaWSIL fetches an inspection document and every WSDL document
+// it references, returning the parsed definitions — decentralized
+// discovery without any registry.
+func DiscoverViaWSIL(url string) ([]*wsdl.Definitions, error) {
+	refs, err := FetchWSIL(url)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*wsdl.Definitions, 0, len(refs))
+	for _, ref := range refs {
+		body, err := httpGet(ref.Location)
+		if err != nil {
+			return nil, fmt.Errorf("registry: wsil reference %q: %w", ref.Name, err)
+		}
+		defs, err := wsdl.ParseString(body)
+		if err != nil {
+			return nil, fmt.Errorf("registry: wsil reference %q: %w", ref.Name, err)
+		}
+		out = append(out, defs)
+	}
+	return out, nil
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := wsilHTTP.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("registry: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("registry: read %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("registry: get %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}

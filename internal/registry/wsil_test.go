@@ -1,0 +1,140 @@
+package registry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"harness2/internal/wsdl"
+	"harness2/internal/xmlq"
+)
+
+func TestWSILDocumentRoundTrip(t *testing.T) {
+	refs := []ServiceRef{
+		{Name: "MatMul", Location: "http://h/wsdl/mm"},
+		{Name: "WSTime", Location: "http://h/wsdl/clock"},
+	}
+	doc := WSILDocument(refs)
+	if doc.Local != "inspection" {
+		t.Fatalf("root = %q", doc.Local)
+	}
+	again, err := xmlq.ParseString(doc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseWSIL(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != refs[0] || got[1] != refs[1] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseWSILErrors(t *testing.T) {
+	if _, err := ParseWSIL(xmlq.NewNode("notinspection")); err == nil {
+		t.Fatal("wrong root should fail")
+	}
+	bad := xmlq.NewNode("inspection")
+	bad.AddNew("service").AddNew("abstract").SetText("x") // no description
+	if _, err := ParseWSIL(bad); err == nil {
+		t.Fatal("missing location should fail")
+	}
+}
+
+// fakeSource serves two synthetic WSDL documents.
+type fakeSource struct{ fail bool }
+
+func (f *fakeSource) InspectableServices() []ServiceRef {
+	return []ServiceRef{{Name: "MatMul", Location: "mm"}, {Name: "WSTime", Location: "clock"}}
+}
+
+func (f *fakeSource) WSDLDocument(id string) (string, error) {
+	if f.fail {
+		return "", fmt.Errorf("no document %q", id)
+	}
+	spec := wsdl.MatMulSpec()
+	if id == "clock" {
+		spec = wsdl.WSTimeSpec()
+	}
+	defs, err := wsdl.Generate(spec, wsdl.EndpointSet{SOAPAddress: "http://h/" + id})
+	if err != nil {
+		return "", err
+	}
+	return defs.String(), nil
+}
+
+func TestWSILHandlerAndDiscovery(t *testing.T) {
+	src := &fakeSource{}
+	var ts *httptest.Server
+	handler := http.NewServeMux()
+	ts = httptest.NewServer(handler)
+	defer ts.Close()
+	wsil := &WSILHandler{Source: src, Base: ts.URL}
+	handler.Handle("/inspection.wsil", wsil)
+	handler.Handle("/wsdl/", wsil)
+
+	refs, err := FetchWSIL(ts.URL + "/inspection.wsil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 || !strings.HasPrefix(refs[0].Location, ts.URL+"/wsdl/") {
+		t.Fatalf("refs = %v", refs)
+	}
+	defsList, err := DiscoverViaWSIL(ts.URL + "/inspection.wsil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defsList) != 2 || defsList[0].Name != "MatMul" || defsList[1].Name != "WSTime" {
+		t.Fatalf("defs = %v", defsList)
+	}
+}
+
+func TestWSILHandlerErrors(t *testing.T) {
+	src := &fakeSource{fail: true}
+	wsil := &WSILHandler{Source: src, Base: "http://x"}
+	ts := httptest.NewServer(wsil)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/wsdl/mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/inspection.wsil", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/bogus/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestDiscoverViaWSILErrors(t *testing.T) {
+	if _, err := DiscoverViaWSIL("http://127.0.0.1:1/inspection.wsil"); err == nil {
+		t.Fatal("unreachable host should fail")
+	}
+	// Inspection doc referencing a dead WSDL location.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := WSILDocument([]ServiceRef{{Name: "x", Location: "http://127.0.0.1:1/wsdl/x"}})
+		_, _ = w.Write([]byte(doc.String()))
+	}))
+	defer ts.Close()
+	if _, err := DiscoverViaWSIL(ts.URL); err == nil {
+		t.Fatal("dead reference should fail")
+	}
+}

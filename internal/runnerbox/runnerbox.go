@@ -1,0 +1,423 @@
+// Package runnerbox implements the lowest HARNESS II abstraction layer,
+// the "Resource Abstraction Layer" of Figure 6: "The runner box defines
+// only the limited functionality required by the Harness system to enroll
+// a computational resource" — run an application and control it, nothing
+// more. Incompatible resource managers (an rsh daemon, a grid resource
+// manager) are modelled behind the single Backend interface so each
+// enrolls as the same runner-box web service.
+//
+// A RunnerBox is itself a container.Component, so it participates in the
+// framework like any other service: discoverable, WSDL-described, and
+// invocable through any binding that carries its (string-typed) operations.
+package runnerbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState int
+
+// Job lifecycle: Queued (waiting for a slot) → Running → one of
+// Done/Failed/Killed.
+const (
+	Queued JobState = iota
+	Running
+	Done
+	Failed
+	Killed
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Killed:
+		return "killed"
+	}
+	return "unknown"
+}
+
+// Command is a runnable registered with a backend — the stand-in for an
+// executable on the resource.
+type Command func(ctx context.Context, args []string) error
+
+// Backend abstracts the concrete resource manager behind a runner box.
+type Backend interface {
+	// Name identifies the backend type (e.g. "local", "rsh", "grid").
+	Name() string
+	// SpawnCost is the modelled cost of starting one process.
+	SpawnCost() time.Duration
+	// Lookup resolves a command name.
+	Lookup(cmd string) (Command, bool)
+	// Slots is the number of jobs the resource runs concurrently;
+	// 0 means unlimited.
+	Slots() int
+}
+
+// LocalBackend runs commands as goroutines with negligible spawn cost,
+// modelling a directly-owned host.
+type LocalBackend struct {
+	mu   sync.RWMutex
+	cmds map[string]Command
+}
+
+// NewLocalBackend returns an empty local backend.
+func NewLocalBackend() *LocalBackend {
+	return &LocalBackend{cmds: make(map[string]Command)}
+}
+
+// Register installs a named command.
+func (b *LocalBackend) Register(name string, cmd Command) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cmds[name] = cmd
+}
+
+// Name implements Backend.
+func (b *LocalBackend) Name() string { return "local" }
+
+// SpawnCost implements Backend.
+func (b *LocalBackend) SpawnCost() time.Duration { return 0 }
+
+// Lookup implements Backend.
+func (b *LocalBackend) Lookup(cmd string) (Command, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, ok := b.cmds[cmd]
+	return c, ok
+}
+
+// Slots implements Backend.
+func (b *LocalBackend) Slots() int { return 0 }
+
+// RshBackend models enrolment through a remote-shell daemon: the same
+// command set as a local backend but with a per-spawn connection cost.
+type RshBackend struct {
+	*LocalBackend
+	Cost time.Duration
+}
+
+// NewRshBackend wraps commands with an rsh-style spawn cost.
+func NewRshBackend(cost time.Duration) *RshBackend {
+	return &RshBackend{LocalBackend: NewLocalBackend(), Cost: cost}
+}
+
+// Name implements Backend.
+func (b *RshBackend) Name() string { return "rsh" }
+
+// SpawnCost implements Backend.
+func (b *RshBackend) SpawnCost() time.Duration { return b.Cost }
+
+// GridBackend models a grid resource manager: queued scheduling with a
+// bounded number of execution slots and a scheduler dispatch cost.
+type GridBackend struct {
+	*LocalBackend
+	Cost      time.Duration
+	SlotCount int
+}
+
+// NewGridBackend returns a backend with the given scheduler cost and slots.
+func NewGridBackend(cost time.Duration, slots int) *GridBackend {
+	return &GridBackend{LocalBackend: NewLocalBackend(), Cost: cost, SlotCount: slots}
+}
+
+// Name implements Backend.
+func (b *GridBackend) Name() string { return "grid" }
+
+// SpawnCost implements Backend.
+func (b *GridBackend) SpawnCost() time.Duration { return b.Cost }
+
+// Slots implements Backend.
+func (b *GridBackend) Slots() int { return b.SlotCount }
+
+// Job is one submitted unit of work.
+type Job struct {
+	ID  string
+	Cmd string
+
+	mu     sync.Mutex
+	state  JobState
+	err    error
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Box is a runner box enrolling one resource.
+type Box struct {
+	backend Backend
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+	// sem gates execution when the backend has bounded slots.
+	sem chan struct{}
+}
+
+// ErrNoJob is returned for operations on unknown job IDs.
+var ErrNoJob = errors.New("runnerbox: no such job")
+
+// ErrNoCommand is returned when the backend cannot resolve a command.
+var ErrNoCommand = errors.New("runnerbox: no such command")
+
+// New enrolls a resource behind backend.
+func New(backend Backend) *Box {
+	b := &Box{backend: backend, jobs: make(map[string]*Job)}
+	if n := backend.Slots(); n > 0 {
+		b.sem = make(chan struct{}, n)
+	}
+	return b
+}
+
+// Backend returns the enrolled backend.
+func (b *Box) Backend() Backend { return b.backend }
+
+// Run submits a command. It returns immediately with a job ID; the job
+// may be Queued until a slot frees. The returned cost is the modelled
+// spawn latency of the backend.
+func (b *Box) Run(cmd string, args []string) (string, time.Duration, error) {
+	fn, ok := b.backend.Lookup(cmd)
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %q", ErrNoCommand, cmd)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b.mu.Lock()
+	b.seq++
+	job := &Job{
+		ID:     fmt.Sprintf("job-%d", b.seq),
+		Cmd:    cmd,
+		state:  Queued,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	b.jobs[job.ID] = job
+	b.mu.Unlock()
+
+	go b.execute(ctx, job, fn, args)
+	return job.ID, b.backend.SpawnCost(), nil
+}
+
+func (b *Box) execute(ctx context.Context, job *Job, fn Command, args []string) {
+	defer close(job.done)
+	if b.sem != nil {
+		select {
+		case b.sem <- struct{}{}:
+			defer func() { <-b.sem }()
+		case <-ctx.Done():
+			job.mu.Lock()
+			job.state = Killed
+			job.err = ctx.Err()
+			job.mu.Unlock()
+			return
+		}
+	}
+	job.mu.Lock()
+	if job.state == Killed {
+		job.mu.Unlock()
+		return
+	}
+	job.state = Running
+	job.mu.Unlock()
+
+	err := fn(ctx, args)
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	switch {
+	case job.state == Killed || errors.Is(err, context.Canceled):
+		job.state = Killed
+		if job.err == nil {
+			job.err = err
+		}
+	case err != nil:
+		job.state = Failed
+		job.err = err
+	default:
+		job.state = Done
+	}
+}
+
+// Job returns a submitted job by ID.
+func (b *Box) Job(id string) (*Job, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j, ok := b.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all job IDs, sorted.
+func (b *Box) Jobs() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.jobs))
+	for id := range b.jobs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kill cancels a job. Killing a finished job is a no-op.
+func (b *Box) Kill(id string) error {
+	j, ok := b.Job(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoJob, id)
+	}
+	j.mu.Lock()
+	if j.state == Queued || j.state == Running {
+		j.state = Killed
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	cancel()
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// terminal error.
+func (b *Box) Wait(id string) error {
+	j, ok := b.Job(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoJob, id)
+	}
+	<-j.done
+	return j.Err()
+}
+
+// Spec is the runner-box service descriptor: the minimum-common-
+// denominator interface of the resource abstraction layer.
+func Spec() wsdl.ServiceSpec {
+	return wsdl.ServiceSpec{
+		Name: "RunnerBox",
+		Operations: []wsdl.OpSpec{
+			{
+				Name: "run",
+				Input: []wsdl.ParamSpec{
+					{Name: "cmd", Type: wire.KindString},
+					{Name: "args", Type: wire.KindStringArray},
+				},
+				Output: []wsdl.ParamSpec{{Name: "job", Type: wire.KindString}},
+			},
+			{
+				Name:   "status",
+				Input:  []wsdl.ParamSpec{{Name: "job", Type: wire.KindString}},
+				Output: []wsdl.ParamSpec{{Name: "state", Type: wire.KindString}},
+			},
+			{
+				Name:   "kill",
+				Input:  []wsdl.ParamSpec{{Name: "job", Type: wire.KindString}},
+				Output: []wsdl.ParamSpec{{Name: "ok", Type: wire.KindBool}},
+			},
+			{
+				Name:   "wait",
+				Input:  []wsdl.ParamSpec{{Name: "job", Type: wire.KindString}},
+				Output: []wsdl.ParamSpec{{Name: "state", Type: wire.KindString}},
+			},
+			{
+				Name:   "list",
+				Output: []wsdl.ParamSpec{{Name: "jobs", Type: wire.KindStringArray}},
+			},
+		},
+	}
+}
+
+// Component adapts the box to the container component model so a runner
+// box can be deployed, described in WSDL, and invoked over SOAP like any
+// other service.
+type Component struct {
+	Box *Box
+}
+
+var _ container.Component = (*Component)(nil)
+
+// Describe implements container.Component.
+func (c *Component) Describe() wsdl.ServiceSpec { return Spec() }
+
+// Invoke implements container.Component.
+func (c *Component) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	switch op {
+	case "run":
+		cmdv, _ := wire.GetArg(args, "cmd")
+		cmd, _ := cmdv.(string)
+		var argv []string
+		if av, ok := wire.GetArg(args, "args"); ok {
+			argv, _ = av.([]string)
+		}
+		id, _, err := c.Box.Run(cmd, argv)
+		if err != nil {
+			return nil, err
+		}
+		return wire.Args("job", id), nil
+	case "status":
+		j, err := c.job(args)
+		if err != nil {
+			return nil, err
+		}
+		return wire.Args("state", j.State().String()), nil
+	case "kill":
+		idv, _ := wire.GetArg(args, "job")
+		id, _ := idv.(string)
+		if err := c.Box.Kill(id); err != nil {
+			return nil, err
+		}
+		return wire.Args("ok", true), nil
+	case "wait":
+		j, err := c.job(args)
+		if err != nil {
+			return nil, err
+		}
+		<-j.done
+		return wire.Args("state", j.State().String()), nil
+	case "list":
+		return wire.Args("jobs", c.Box.Jobs()), nil
+	}
+	return nil, fmt.Errorf("runnerbox: no such operation %q", op)
+}
+
+func (c *Component) job(args []wire.Arg) (*Job, error) {
+	idv, _ := wire.GetArg(args, "job")
+	id, _ := idv.(string)
+	j, ok := c.Box.Job(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoJob, id)
+	}
+	return j, nil
+}
+
+// Factory returns a container factory that deploys a runner-box component
+// over the given box.
+func Factory(box *Box) container.Factory {
+	return func() (container.Component, error) {
+		return &Component{Box: box}, nil
+	}
+}

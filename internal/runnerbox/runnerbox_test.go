@@ -1,0 +1,329 @@
+package runnerbox
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+)
+
+func sleepCmd(d time.Duration) Command {
+	return func(ctx context.Context, args []string) error {
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func TestRunWait(t *testing.T) {
+	be := NewLocalBackend()
+	var ran atomic.Bool
+	be.Register("work", func(ctx context.Context, args []string) error {
+		if len(args) != 2 || args[0] != "a" {
+			t.Errorf("args = %v", args)
+		}
+		ran.Store(true)
+		return nil
+	})
+	box := New(be)
+	id, cost, err := box.Run("work", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("local spawn cost = %v", cost)
+	}
+	if err := box.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("command did not run")
+	}
+	j, ok := box.Job(id)
+	if !ok || j.State() != Done {
+		t.Fatalf("state = %v", j.State())
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	box := New(NewLocalBackend())
+	if _, _, err := box.Run("nope", nil); !errors.Is(err, ErrNoCommand) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	be := NewLocalBackend()
+	be.Register("bad", func(context.Context, []string) error { return errors.New("exit 1") })
+	box := New(be)
+	id, _, _ := box.Run("bad", nil)
+	if err := box.Wait(id); err == nil || !strings.Contains(err.Error(), "exit 1") {
+		t.Fatalf("err = %v", err)
+	}
+	j, _ := box.Job(id)
+	if j.State() != Failed {
+		t.Fatalf("state = %v", j.State())
+	}
+}
+
+func TestKillRunning(t *testing.T) {
+	be := NewLocalBackend()
+	started := make(chan struct{})
+	be.Register("long", func(ctx context.Context, args []string) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	box := New(be)
+	id, _, _ := box.Run("long", nil)
+	<-started
+	if err := box.Kill(id); err != nil {
+		t.Fatal(err)
+	}
+	_ = box.Wait(id)
+	j, _ := box.Job(id)
+	if j.State() != Killed {
+		t.Fatalf("state = %v", j.State())
+	}
+	// Killing again is a no-op.
+	if err := box.Kill(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Kill("ghost"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWaitUnknownJob(t *testing.T) {
+	box := New(NewLocalBackend())
+	if err := box.Wait("ghost"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGridBackendQueuesJobs(t *testing.T) {
+	be := NewGridBackend(time.Millisecond, 1) // single slot
+	release := make(chan struct{})
+	be.Register("hold", func(ctx context.Context, args []string) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	box := New(be)
+	id1, cost, _ := box.Run("hold", nil)
+	if cost != time.Millisecond {
+		t.Fatalf("grid spawn cost = %v", cost)
+	}
+	// Wait until job1 owns the single slot before submitting job2, so the
+	// queueing assertion below is deterministic.
+	deadline := time.Now().Add(time.Second)
+	for {
+		j1, _ := box.Job(id1)
+		if j1.State() == Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job1 never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	id2, _, _ := box.Run("hold", nil)
+	time.Sleep(5 * time.Millisecond)
+	j2, _ := box.Job(id2)
+	if j2.State() != Queued {
+		t.Fatalf("job2 state = %v, want queued (single slot)", j2.State())
+	}
+	close(release)
+	if err := box.Wait(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Wait(id2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillQueuedJob(t *testing.T) {
+	be := NewGridBackend(0, 1)
+	release := make(chan struct{})
+	be.Register("hold", func(ctx context.Context, args []string) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	box := New(be)
+	id1, _, _ := box.Run("hold", nil)
+	// Ensure job1 owns the slot so job2 is genuinely queued when killed.
+	deadline := time.Now().Add(time.Second)
+	for {
+		j1, _ := box.Job(id1)
+		if j1.State() == Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job1 never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	id2, _, _ := box.Run("hold", nil)
+	time.Sleep(5 * time.Millisecond)
+	if err := box.Kill(id2); err != nil {
+		t.Fatal(err)
+	}
+	_ = box.Wait(id2)
+	j2, _ := box.Job(id2)
+	if j2.State() != Killed {
+		t.Fatalf("queued kill state = %v", j2.State())
+	}
+	close(release)
+	_ = box.Wait(id1)
+}
+
+func TestRshBackendCost(t *testing.T) {
+	be := NewRshBackend(3 * time.Millisecond)
+	be.Register("x", sleepCmd(0))
+	box := New(be)
+	_, cost, err := box.Run("x", nil)
+	if err != nil || cost != 3*time.Millisecond {
+		t.Fatalf("cost=%v err=%v", cost, err)
+	}
+	if be.Name() != "rsh" || NewGridBackend(0, 1).Name() != "grid" || NewLocalBackend().Name() != "local" {
+		t.Fatal("backend names broken")
+	}
+}
+
+func TestJobsList(t *testing.T) {
+	be := NewLocalBackend()
+	be.Register("x", sleepCmd(0))
+	box := New(be)
+	for i := 0; i < 3; i++ {
+		id, _, _ := box.Run("x", nil)
+		_ = box.Wait(id)
+	}
+	jobs := box.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	want := map[JobState]string{Queued: "queued", Running: "running", Done: "done", Failed: "failed", Killed: "killed", JobState(9): "unknown"}
+	for s, n := range want {
+		if s.String() != n {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), n)
+		}
+	}
+}
+
+func TestComponentInterface(t *testing.T) {
+	// The runner box enrolls as a web-service component (Figure 6's
+	// resource abstraction layer).
+	be := NewLocalBackend()
+	be.Register("task", sleepCmd(0))
+	box := New(be)
+
+	c := container.New(container.Config{Name: "n"})
+	c.RegisterFactory("RunnerBox", Factory(box))
+	inst, _, err := c.Deploy("RunnerBox", "rb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	out, err := c.Invoke(ctx, inst.ID, "run", wire.Args("cmd", "task", "args", []string{"a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobv, _ := wire.GetArg(out, "job")
+	job := jobv.(string)
+
+	out, err = c.Invoke(ctx, inst.ID, "wait", wire.Args("job", job))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, _ := wire.GetArg(out, "state")
+	if state.(string) != "done" {
+		t.Fatalf("state = %v", state)
+	}
+
+	out, err = c.Invoke(ctx, inst.ID, "status", wire.Args("job", job))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := wire.GetArg(out, "state"); s.(string) != "done" {
+		t.Fatalf("status = %v", s)
+	}
+
+	out, err = c.Invoke(ctx, inst.ID, "list", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := wire.GetArg(out, "jobs")
+	if len(jobs.([]string)) != 1 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+
+	if _, err := c.Invoke(ctx, inst.ID, "status", wire.Args("job", "ghost")); err == nil {
+		t.Fatal("status of unknown job should fail")
+	}
+	if _, err := c.Invoke(ctx, inst.ID, "run", wire.Args("cmd", "ghost")); err == nil {
+		t.Fatal("run of unknown command should fail")
+	}
+
+	out, err = c.Invoke(ctx, inst.ID, "run", wire.Args("cmd", "task"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv, _ := wire.GetArg(out, "job")
+	if _, err := c.Invoke(ctx, inst.ID, "kill", wire.Args("job", jv)); err != nil {
+		t.Fatal(err)
+	}
+	// WSDL generation for the runner box must succeed (string-typed, so
+	// SOAP + JavaObject but never XDR).
+	defs, err := c.WSDLFor(inst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs.PortsByKind(0)) != 0 { // no SOAPBase configured
+		t.Fatal("unexpected soap port")
+	}
+}
+
+func TestConcurrentJobs(t *testing.T) {
+	be := NewLocalBackend()
+	var count atomic.Int64
+	be.Register("inc", func(context.Context, []string) error {
+		count.Add(1)
+		return nil
+	})
+	box := New(be)
+	ids := make([]string, 50)
+	for i := range ids {
+		id, _, err := box.Run("inc", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		if err := box.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count.Load() != 50 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}

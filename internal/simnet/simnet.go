@@ -1,0 +1,278 @@
+// Package simnet provides a deterministic, virtual-time network fabric
+// for protocol experiments. The HARNESS II paper argues about coherency
+// and lookup architectures in terms of message counts and transfer costs
+// ("this approach minimizes network traffic during state changes but
+// introduces overheads for state inquiry"); simnet makes those costs
+// measurable without a physical testbed by accounting every send against
+// a configurable latency/bandwidth model.
+//
+// The fabric is not a packet simulator: protocols run as ordinary Go code
+// and charge each message to the fabric, which returns the modelled
+// delivery delay. Deterministic virtual time keeps experiment output
+// stable across runs and machines, which is what the figure-shape
+// reproduction needs. Fault injection (partitions and probabilistic drop)
+// supports the robustness tests of the DVM layer.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by Send.
+var (
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	ErrPartitioned = errors.New("simnet: nodes are partitioned")
+	ErrDropped     = errors.New("simnet: message dropped")
+)
+
+// LinkConfig models one directionless link class.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is the throughput in bytes per second; zero means
+	// infinite (no serialisation delay).
+	Bandwidth float64
+}
+
+// Transfer returns the modelled one-way delay for a payload of n bytes.
+func (c LinkConfig) Transfer(n int) time.Duration {
+	d := c.Latency
+	if c.Bandwidth > 0 {
+		d += time.Duration(float64(n) / c.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// LAN and WAN are convenience link classes roughly matching the paper's
+// era: a switched-Ethernet cluster link and a wide-area internet path.
+var (
+	LAN = LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 12.5e6} // 100 Mb/s
+	WAN = LinkConfig{Latency: 40 * time.Millisecond, Bandwidth: 1.25e6}  // 10 Mb/s
+)
+
+// Stats aggregates fabric traffic.
+type Stats struct {
+	Messages int
+	Bytes    int64
+	Drops    int
+}
+
+// Network is a set of named nodes joined by configurable links.
+// All methods are safe for concurrent use.
+type Network struct {
+	mu         sync.Mutex
+	def        LinkConfig
+	nodes      map[string]bool
+	links      map[[2]string]LinkConfig
+	partitions map[[2]string]bool
+	dropProb   float64
+	rng        *rand.Rand
+	stats      Stats
+	perNode    map[string]*Stats
+}
+
+// New creates a network whose links default to def.
+func New(def LinkConfig) *Network {
+	return &Network{
+		def:        def,
+		nodes:      make(map[string]bool),
+		links:      make(map[[2]string]LinkConfig),
+		partitions: make(map[[2]string]bool),
+		rng:        rand.New(rand.NewSource(1)),
+		perNode:    make(map[string]*Stats),
+	}
+}
+
+// AddNode registers a node; adding an existing node is a no-op.
+func (n *Network) AddNode(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.nodes[id] {
+		n.nodes[id] = true
+		n.perNode[id] = &Stats{}
+	}
+}
+
+// RemoveNode deregisters a node. Its statistics are retained.
+func (n *Network) RemoveNode(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+}
+
+// Nodes returns the registered node IDs, sorted.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func key(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetLink overrides the link class between a and b (both directions).
+func (n *Network) SetLink(a, b string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[key(a, b)] = cfg
+}
+
+// Partition severs (heal=false restores) connectivity between a and b.
+func (n *Network) Partition(a, b string, broken bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if broken {
+		n.partitions[key(a, b)] = true
+	} else {
+		delete(n.partitions, key(a, b))
+	}
+}
+
+// SetDrop configures probabilistic message loss with a deterministic seed.
+func (n *Network) SetDrop(p float64, seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropProb = p
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// Send charges one message of the given size from a to b and returns its
+// modelled one-way delivery delay. Local (a == b) sends are free and never
+// fail: the paper's localization argument is precisely that co-located
+// components bypass the network.
+func (n *Network) Send(from, to string, bytes int) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.nodes[from] {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if !n.nodes[to] {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if from == to {
+		return 0, nil
+	}
+	if n.partitions[key(from, to)] {
+		return 0, ErrPartitioned
+	}
+	if n.dropProb > 0 && n.rng.Float64() < n.dropProb {
+		n.stats.Drops++
+		n.perNode[from].Drops++
+		return 0, ErrDropped
+	}
+	cfg, ok := n.links[key(from, to)]
+	if !ok {
+		cfg = n.def
+	}
+	n.stats.Messages++
+	n.stats.Bytes += int64(bytes)
+	n.perNode[from].Messages++
+	n.perNode[from].Bytes += int64(bytes)
+	return cfg.Transfer(bytes), nil
+}
+
+// RTT charges a request/response exchange and returns the total modelled
+// round-trip delay.
+func (n *Network) RTT(from, to string, reqBytes, respBytes int) (time.Duration, error) {
+	d1, err := n.Send(from, to, reqBytes)
+	if err != nil {
+		return 0, err
+	}
+	d2, err := n.Send(to, from, respBytes)
+	if err != nil {
+		return d1, err
+	}
+	return d1 + d2, nil
+}
+
+// Broadcast charges one message from from to every target. When parallel
+// is true the modelled elapsed time is the slowest single delivery (the
+// sender overlaps transmissions); otherwise deliveries serialise.
+// Unreachable targets are skipped and reported; the elapsed time covers
+// the successful deliveries only.
+func (n *Network) Broadcast(from string, targets []string, bytes int, parallel bool) (time.Duration, []error) {
+	var elapsed time.Duration
+	var errs []error
+	for _, to := range targets {
+		if to == from {
+			continue
+		}
+		d, err := n.Send(from, to, bytes)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("to %s: %w", to, err))
+			continue
+		}
+		if parallel {
+			if d > elapsed {
+				elapsed = d
+			}
+		} else {
+			elapsed += d
+		}
+	}
+	return elapsed, errs
+}
+
+// Stats returns a snapshot of aggregate traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// NodeStats returns a snapshot of one node's counters.
+func (n *Network) NodeStats(id string) Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.perNode[id]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes all counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+	for id := range n.perNode {
+		n.perNode[id] = &Stats{}
+	}
+}
+
+// Clock is a virtual clock protocols use to accumulate modelled time.
+// It is not safe for concurrent use; each simulated actor owns one.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the accumulated virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward; negative advances are ignored.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock to t if t is later.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}

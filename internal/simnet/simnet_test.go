@@ -1,0 +1,267 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func twoNodeNet() *Network {
+	n := New(LinkConfig{Latency: time.Millisecond, Bandwidth: 1e6})
+	n.AddNode("a")
+	n.AddNode("b")
+	return n
+}
+
+func TestTransferModel(t *testing.T) {
+	cfg := LinkConfig{Latency: time.Millisecond, Bandwidth: 1e6} // 1 MB/s
+	if got := cfg.Transfer(0); got != time.Millisecond {
+		t.Fatalf("zero-byte transfer = %v", got)
+	}
+	// 1e6 bytes at 1 MB/s = 1 s serialisation + 1 ms latency.
+	if got := cfg.Transfer(1e6); got != time.Second+time.Millisecond {
+		t.Fatalf("1MB transfer = %v", got)
+	}
+	inf := LinkConfig{Latency: time.Millisecond}
+	if got := inf.Transfer(1e9); got != time.Millisecond {
+		t.Fatalf("infinite bandwidth transfer = %v", got)
+	}
+}
+
+func TestSendAccounting(t *testing.T) {
+	n := twoNodeNet()
+	d, err := n.Send("a", "b", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond + 500*time.Microsecond
+	if d != want {
+		t.Fatalf("delay = %v, want %v", d, want)
+	}
+	s := n.Stats()
+	if s.Messages != 1 || s.Bytes != 500 {
+		t.Fatalf("stats = %+v", s)
+	}
+	ns := n.NodeStats("a")
+	if ns.Messages != 1 || ns.Bytes != 500 {
+		t.Fatalf("node stats = %+v", ns)
+	}
+	if bs := n.NodeStats("b"); bs.Messages != 0 {
+		t.Fatalf("receiver should not be charged: %+v", bs)
+	}
+}
+
+func TestLocalSendIsFree(t *testing.T) {
+	n := twoNodeNet()
+	d, err := n.Send("a", "a", 1e9)
+	if err != nil || d != 0 {
+		t.Fatalf("local send: d=%v err=%v", d, err)
+	}
+	if s := n.Stats(); s.Messages != 0 || s.Bytes != 0 {
+		t.Fatalf("local send should not be charged: %+v", s)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	n := twoNodeNet()
+	if _, err := n.Send("a", "nope", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Send("nope", "a", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+	n.RemoveNode("b")
+	if _, err := n.Send("a", "b", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("after removal err = %v", err)
+	}
+}
+
+func TestLinkOverride(t *testing.T) {
+	n := twoNodeNet()
+	n.AddNode("c")
+	n.SetLink("a", "c", WAN)
+	fast, _ := n.Send("a", "b", 1000)
+	slow, _ := n.Send("a", "c", 1000)
+	if slow <= fast {
+		t.Fatalf("WAN link (%v) should be slower than default (%v)", slow, fast)
+	}
+	// Overrides are symmetric.
+	slowRev, _ := n.Send("c", "a", 1000)
+	if slowRev != slow {
+		t.Fatalf("asymmetric link: %v vs %v", slowRev, slow)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := twoNodeNet()
+	n.Partition("a", "b", true)
+	if _, err := n.Send("a", "b", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Send("b", "a", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partition must be symmetric: %v", err)
+	}
+	n.Partition("a", "b", false)
+	if _, err := n.Send("a", "b", 1); err != nil {
+		t.Fatalf("healed partition: %v", err)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	n := twoNodeNet()
+	n.SetDrop(1.0, 42)
+	if _, err := n.Send("a", "b", 1); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := n.Stats(); s.Drops != 1 || s.Messages != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Deterministic: same seed, same outcome sequence.
+	n1 := twoNodeNet()
+	n1.SetDrop(0.5, 7)
+	n2 := twoNodeNet()
+	n2.SetDrop(0.5, 7)
+	for i := 0; i < 100; i++ {
+		_, e1 := n1.Send("a", "b", 1)
+		_, e2 := n2.Send("a", "b", 1)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatal("drop sequence not deterministic")
+		}
+	}
+}
+
+func TestRTT(t *testing.T) {
+	n := twoNodeNet()
+	d, err := n.RTT("a", "b", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := n.Send("a", "b", 100)
+	if d != 2*one {
+		t.Fatalf("RTT = %v, want %v", d, 2*one)
+	}
+	if s := n.Stats(); s.Messages != 3 {
+		t.Fatalf("messages = %d", s.Messages)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := New(LinkConfig{Latency: time.Millisecond})
+	for _, id := range []string{"a", "b", "c", "d"} {
+		n.AddNode(id)
+	}
+	n.SetLink("a", "d", WAN)
+	targets := []string{"a", "b", "c", "d"} // includes self, which is skipped
+	par, errs := n.Broadcast("a", targets, 100, true)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if par != WAN.Transfer(100) {
+		t.Fatalf("parallel broadcast = %v, want slowest link %v", par, WAN.Transfer(100))
+	}
+	n.ResetStats()
+	ser, _ := n.Broadcast("a", targets, 100, false)
+	if ser <= par {
+		t.Fatalf("serial broadcast (%v) should exceed parallel (%v)", ser, par)
+	}
+	if s := n.Stats(); s.Messages != 3 {
+		t.Fatalf("broadcast messages = %d, want 3 (self skipped)", s.Messages)
+	}
+}
+
+func TestBroadcastPartialFailure(t *testing.T) {
+	n := New(LinkConfig{Latency: time.Millisecond})
+	for _, id := range []string{"a", "b", "c"} {
+		n.AddNode(id)
+	}
+	n.Partition("a", "c", true)
+	_, errs := n.Broadcast("a", []string{"b", "c"}, 10, true)
+	if len(errs) != 1 || !errors.Is(errs[0], ErrPartitioned) {
+		t.Fatalf("errs = %v", errs)
+	}
+	if s := n.Stats(); s.Messages != 1 {
+		t.Fatalf("messages = %d", s.Messages)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := twoNodeNet()
+	_, _ = n.Send("a", "b", 10)
+	n.ResetStats()
+	if s := n.Stats(); s.Messages != 0 || s.Bytes != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	if s := n.NodeStats("a"); s.Messages != 0 {
+		t.Fatalf("node stats after reset = %+v", s)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	n := New(LinkConfig{})
+	for _, id := range []string{"z", "a", "m", "a"} {
+		n.AddNode(id)
+	}
+	got := n.Nodes()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("nodes = %v", got)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := New(LinkConfig{Latency: time.Microsecond})
+	for _, id := range []string{"a", "b", "c", "d"} {
+		n.AddNode(id)
+	}
+	var wg sync.WaitGroup
+	const per = 200
+	ids := []string{"a", "b", "c", "d"}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(from string) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				_, _ = n.Send(from, ids[j%4], 8)
+			}
+		}(ids[i])
+	}
+	wg.Wait()
+	s := n.Stats()
+	// Each sender hits itself once per 4 sends (free), so 3/4 are charged.
+	want := 4 * per * 3 / 4
+	if s.Messages != want {
+		t.Fatalf("messages = %d, want %d", s.Messages, want)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Millisecond)
+	c.Advance(-time.Hour) // ignored
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("now = %v", c.Now())
+	}
+	c.AdvanceTo(3 * time.Millisecond) // earlier, ignored
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("now = %v", c.Now())
+	}
+	c.AdvanceTo(9 * time.Millisecond)
+	if c.Now() != 9*time.Millisecond {
+		t.Fatalf("now = %v", c.Now())
+	}
+}
+
+func TestPropertyTransferMonotonicInSize(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		cfg := LinkConfig{Latency: time.Millisecond, Bandwidth: 1e6}
+		return cfg.Transfer(x) <= cfg.Transfer(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

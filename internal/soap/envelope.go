@@ -1,0 +1,713 @@
+// Package soap implements the SOAP 1.1 subset that backs the HARNESS II
+// standard binding: RPC-style envelopes, typed parameter encoding, faults,
+// and an HTTP transport.
+//
+// The paper's data-encoding critique concerns exactly this code path:
+// "SOAP, being an XML-based protocol, is suitable mostly for exchanging
+// structured data in reasonably small quantities ... the default BASE64
+// encoding adopted by SOAP for XSD data types introduces unacceptable
+// overheads for scientific data both in terms of the network bandwidth and
+// the encoding/decoding time". The package therefore supports three array
+// encodings — element-wise XML, BASE64-packed, and hex-packed — so the
+// E2 experiment can measure each against the XDR binding.
+package soap
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"harness2/internal/wire"
+	"harness2/internal/xmlq"
+)
+
+// ArrayEncoding selects how numeric arrays are carried inside envelopes.
+type ArrayEncoding int
+
+const (
+	// EncodeBase64 packs the raw big-endian element bytes in BASE64 text,
+	// the default the paper attributes to SOAP toolkits of the era.
+	EncodeBase64 ArrayEncoding = iota
+	// EncodeElementwise writes one XML element per array element,
+	// SOAP-ENC:Array style.
+	EncodeElementwise
+	// EncodeHex packs raw element bytes as hexadecimal text (ablation).
+	EncodeHex
+)
+
+// String names the encoding for reports.
+func (a ArrayEncoding) String() string {
+	switch a {
+	case EncodeBase64:
+		return "base64"
+	case EncodeElementwise:
+		return "elementwise"
+	case EncodeHex:
+		return "hex"
+	}
+	return "unknown"
+}
+
+// Param is a named RPC parameter.
+type Param struct {
+	Name  string
+	Value any
+}
+
+// Header is one SOAP header entry. Headers carry out-of-band context —
+// routing hints, credentials, transaction identity — and the SOAP 1.1
+// mustUnderstand attribute obliges the receiver to fault rather than
+// silently ignore an entry it does not support.
+type Header struct {
+	Name           string
+	Value          any
+	MustUnderstand bool
+	// Actor is the SOAP 1.1 actor URI; empty targets the final receiver.
+	Actor string
+}
+
+// Call is an RPC request: a method within a namespace plus parameters and
+// optional header entries.
+type Call struct {
+	Method    string
+	Namespace string
+	Headers   []Header
+	Params    []Param
+}
+
+// Response carries either return values or a fault.
+type Response struct {
+	Method string // echoed method name with "Response" suffix stripped
+	Params []Param
+	Fault  *Fault
+}
+
+// Fault is a SOAP 1.1 fault element.
+type Fault struct {
+	Code   string // e.g. "Client", "Server"
+	String string // human-readable description
+	Detail string
+}
+
+// Error implements the error interface so faults can flow as Go errors.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// Codec encodes and decodes envelopes with a fixed array encoding.
+// The zero value uses BASE64 array packing.
+type Codec struct {
+	Arrays ArrayEncoding
+}
+
+const (
+	envNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	xsdNS = "http://www.w3.org/2001/XMLSchema"
+	xsiNS = "http://www.w3.org/2001/XMLSchema-instance"
+	encNS = "http://schemas.xmlsoap.org/soap/encoding/"
+)
+
+// EncodeCall serialises an RPC request envelope.
+func (c Codec) EncodeCall(call *Call) ([]byte, error) {
+	var b bytes.Buffer
+	c.writePrologWithHeaders(&b, call.Headers)
+	ns := call.Namespace
+	if ns == "" {
+		ns = "urn:harness2"
+	}
+	fmt.Fprintf(&b, "    <m:%s xmlns:m=%q>\n", call.Method, ns)
+	for _, p := range call.Params {
+		if err := c.writeValue(&b, p.Name, p.Value, 6); err != nil {
+			return nil, fmt.Errorf("soap: encode call %s: %w", call.Method, err)
+		}
+	}
+	fmt.Fprintf(&b, "    </m:%s>\n", call.Method)
+	c.writeEpilog(&b)
+	return b.Bytes(), nil
+}
+
+// EncodeResponse serialises an RPC response envelope for method.
+func (c Codec) EncodeResponse(method string, params []Param) ([]byte, error) {
+	var b bytes.Buffer
+	c.writeProlog(&b)
+	fmt.Fprintf(&b, "    <m:%sResponse xmlns:m=\"urn:harness2\">\n", method)
+	for _, p := range params {
+		if err := c.writeValue(&b, p.Name, p.Value, 6); err != nil {
+			return nil, fmt.Errorf("soap: encode response %s: %w", method, err)
+		}
+	}
+	fmt.Fprintf(&b, "    </m:%sResponse>\n", method)
+	c.writeEpilog(&b)
+	return b.Bytes(), nil
+}
+
+// EncodeFault serialises a fault envelope.
+func (c Codec) EncodeFault(f *Fault) []byte {
+	var b bytes.Buffer
+	c.writeProlog(&b)
+	b.WriteString("    <SOAP-ENV:Fault>\n")
+	fmt.Fprintf(&b, "      <faultcode>SOAP-ENV:%s</faultcode>\n", escape(f.Code))
+	fmt.Fprintf(&b, "      <faultstring>%s</faultstring>\n", escape(f.String))
+	if f.Detail != "" {
+		fmt.Fprintf(&b, "      <detail>%s</detail>\n", escape(f.Detail))
+	}
+	b.WriteString("    </SOAP-ENV:Fault>\n")
+	c.writeEpilog(&b)
+	return b.Bytes()
+}
+
+func (c Codec) writeProlog(b *bytes.Buffer) { c.writePrologWithHeaders(b, nil) }
+
+func (c Codec) writePrologWithHeaders(b *bytes.Buffer, headers []Header) {
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	fmt.Fprintf(b, "<SOAP-ENV:Envelope xmlns:SOAP-ENV=%q xmlns:xsd=%q xmlns:xsi=%q xmlns:SOAP-ENC=%q>\n",
+		envNS, xsdNS, xsiNS, encNS)
+	if len(headers) > 0 {
+		b.WriteString("  <SOAP-ENV:Header>\n")
+		for _, h := range headers {
+			attrs := ""
+			if h.MustUnderstand {
+				attrs += ` SOAP-ENV:mustUnderstand="1"`
+			}
+			if h.Actor != "" {
+				attrs += fmt.Sprintf(" SOAP-ENV:actor=%q", escapeHdr(h.Actor))
+			}
+			if s, ok := h.Value.(string); ok {
+				fmt.Fprintf(b, "    <%s xsi:type=\"xsd:string\"%s>%s</%s>\n",
+					h.Name, attrs, escape(s), h.Name)
+			} else {
+				// Non-string header values reuse the body value encoding,
+				// then splice the attributes into the opening tag.
+				var hb bytes.Buffer
+				if err := c.writeValue(&hb, h.Name, h.Value, 4); err == nil {
+					entry := hb.String()
+					if attrs != "" {
+						entry = strings.Replace(entry, "<"+h.Name+" ", "<"+h.Name+attrs+" ", 1)
+					}
+					b.WriteString(entry)
+				}
+			}
+		}
+		b.WriteString("  </SOAP-ENV:Header>\n")
+	}
+	b.WriteString("  <SOAP-ENV:Body>\n")
+}
+
+func escapeHdr(s string) string { return escape(s) }
+
+func (c Codec) writeEpilog(b *bytes.Buffer) {
+	b.WriteString("  </SOAP-ENV:Body>\n")
+	b.WriteString("</SOAP-ENV:Envelope>\n")
+}
+
+// scalarType maps scalar kinds to xsi:type names.
+func scalarType(k wire.Kind) string {
+	switch k {
+	case wire.KindBool:
+		return "xsd:boolean"
+	case wire.KindInt32:
+		return "xsd:int"
+	case wire.KindInt64:
+		return "xsd:long"
+	case wire.KindFloat32:
+		return "xsd:float"
+	case wire.KindFloat64:
+		return "xsd:double"
+	case wire.KindString:
+		return "xsd:string"
+	case wire.KindBytes:
+		return "xsd:base64Binary"
+	}
+	return ""
+}
+
+func arrayTypeName(elem wire.Kind) string {
+	switch elem {
+	case wire.KindBool:
+		return "xsd:boolean"
+	case wire.KindInt32:
+		return "xsd:int"
+	case wire.KindInt64:
+		return "xsd:long"
+	case wire.KindFloat32:
+		return "xsd:float"
+	case wire.KindFloat64:
+		return "xsd:double"
+	case wire.KindString:
+		return "xsd:string"
+	}
+	return ""
+}
+
+func (c Codec) writeValue(b *bytes.Buffer, name string, v any, indent int) error {
+	if err := wire.Check(v); err != nil {
+		return err
+	}
+	pad := strings.Repeat(" ", indent)
+	k := wire.KindOf(v)
+	switch k {
+	case wire.KindBool:
+		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:boolean\">%t</%s>\n", pad, name, v.(bool), name)
+	case wire.KindInt32:
+		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:int\">%d</%s>\n", pad, name, v.(int32), name)
+	case wire.KindInt64:
+		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:long\">%d</%s>\n", pad, name, v.(int64), name)
+	case wire.KindFloat32:
+		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:float\">%s</%s>\n", pad, name,
+			strconv.FormatFloat(float64(v.(float32)), 'g', -1, 32), name)
+	case wire.KindFloat64:
+		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:double\">%s</%s>\n", pad, name,
+			strconv.FormatFloat(v.(float64), 'g', -1, 64), name)
+	case wire.KindString:
+		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:string\">%s</%s>\n", pad, name, escape(v.(string)), name)
+	case wire.KindBytes:
+		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:base64Binary\">%s</%s>\n", pad, name,
+			base64.StdEncoding.EncodeToString(v.([]byte)), name)
+	case wire.KindStringArray:
+		// String arrays are always element-wise; packing is meaningless.
+		a := v.([]string)
+		fmt.Fprintf(b, "%s<%s xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"xsd:string[%d]\">\n", pad, name, len(a))
+		for _, s := range a {
+			fmt.Fprintf(b, "%s  <item>%s</item>\n", pad, escape(s))
+		}
+		fmt.Fprintf(b, "%s</%s>\n", pad, name)
+	case wire.KindBoolArray, wire.KindInt32Array, wire.KindInt64Array,
+		wire.KindFloat32Array, wire.KindFloat64Array:
+		return c.writeNumericArray(b, name, v, k, pad)
+	case wire.KindStruct:
+		s := v.(*wire.Struct)
+		fmt.Fprintf(b, "%s<%s xsi:type=\"m:%s\">\n", pad, name, s.Name)
+		for _, f := range s.Fields {
+			if err := c.writeValue(b, f.Name, f.Value, indent+2); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(b, "%s</%s>\n", pad, name)
+	default:
+		return fmt.Errorf("soap: cannot encode kind %v", k)
+	}
+	return nil
+}
+
+func (c Codec) writeNumericArray(b *bytes.Buffer, name string, v any, k wire.Kind, pad string) error {
+	n := arrayLen(v)
+	if c.Arrays == EncodeElementwise {
+		fmt.Fprintf(b, "%s<%s xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"%s[%d]\">\n",
+			pad, name, arrayTypeName(k.Elem()), n)
+		writeItems(b, v, pad)
+		fmt.Fprintf(b, "%s</%s>\n", pad, name)
+		return nil
+	}
+	raw := packArray(v)
+	var text string
+	var encName string
+	if c.Arrays == EncodeHex {
+		text = hex.EncodeToString(raw)
+		encName = "hex"
+	} else {
+		text = base64.StdEncoding.EncodeToString(raw)
+		encName = "base64"
+	}
+	fmt.Fprintf(b, "%s<%s xsi:type=\"hns:%s\" enc=%q length=\"%d\">%s</%s>\n",
+		pad, name, k.String(), encName, n, text, name)
+	return nil
+}
+
+func writeItems(b *bytes.Buffer, v any, pad string) {
+	switch a := v.(type) {
+	case []bool:
+		for _, x := range a {
+			fmt.Fprintf(b, "%s  <item>%t</item>\n", pad, x)
+		}
+	case []int32:
+		for _, x := range a {
+			fmt.Fprintf(b, "%s  <item>%d</item>\n", pad, x)
+		}
+	case []int64:
+		for _, x := range a {
+			fmt.Fprintf(b, "%s  <item>%d</item>\n", pad, x)
+		}
+	case []float32:
+		for _, x := range a {
+			fmt.Fprintf(b, "%s  <item>%s</item>\n", pad, strconv.FormatFloat(float64(x), 'g', -1, 32))
+		}
+	case []float64:
+		for _, x := range a {
+			fmt.Fprintf(b, "%s  <item>%s</item>\n", pad, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+	}
+}
+
+func arrayLen(v any) int {
+	switch a := v.(type) {
+	case []bool:
+		return len(a)
+	case []int32:
+		return len(a)
+	case []int64:
+		return len(a)
+	case []float32:
+		return len(a)
+	case []float64:
+		return len(a)
+	case []string:
+		return len(a)
+	}
+	return 0
+}
+
+// packArray serialises numeric array elements as big-endian raw bytes.
+func packArray(v any) []byte {
+	switch a := v.(type) {
+	case []bool:
+		out := make([]byte, len(a))
+		for i, x := range a {
+			if x {
+				out[i] = 1
+			}
+		}
+		return out
+	case []int32:
+		out := make([]byte, 4*len(a))
+		for i, x := range a {
+			binary.BigEndian.PutUint32(out[4*i:], uint32(x))
+		}
+		return out
+	case []int64:
+		out := make([]byte, 8*len(a))
+		for i, x := range a {
+			binary.BigEndian.PutUint64(out[8*i:], uint64(x))
+		}
+		return out
+	case []float32:
+		out := make([]byte, 4*len(a))
+		for i, x := range a {
+			binary.BigEndian.PutUint32(out[4*i:], math.Float32bits(x))
+		}
+		return out
+	case []float64:
+		out := make([]byte, 8*len(a))
+		for i, x := range a {
+			binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
+		}
+		return out
+	}
+	return nil
+}
+
+func unpackArray(kind wire.Kind, raw []byte, n int) (any, error) {
+	switch kind {
+	case wire.KindBoolArray:
+		if len(raw) != n {
+			return nil, fmt.Errorf("soap: bool array length mismatch")
+		}
+		out := make([]bool, n)
+		for i, b := range raw {
+			out[i] = b != 0
+		}
+		return out, nil
+	case wire.KindInt32Array:
+		if len(raw) != 4*n {
+			return nil, fmt.Errorf("soap: int array length mismatch")
+		}
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(binary.BigEndian.Uint32(raw[4*i:]))
+		}
+		return out, nil
+	case wire.KindInt64Array:
+		if len(raw) != 8*n {
+			return nil, fmt.Errorf("soap: long array length mismatch")
+		}
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(binary.BigEndian.Uint64(raw[8*i:]))
+		}
+		return out, nil
+	case wire.KindFloat32Array:
+		if len(raw) != 4*n {
+			return nil, fmt.Errorf("soap: float array length mismatch")
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.BigEndian.Uint32(raw[4*i:]))
+		}
+		return out, nil
+	case wire.KindFloat64Array:
+		if len(raw) != 8*n {
+			return nil, fmt.Errorf("soap: double array length mismatch")
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("soap: cannot unpack kind %v", kind)
+}
+
+func escape(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// DecodeCall parses a request envelope into a Call, including any header
+// entries.
+func (c Codec) DecodeCall(data []byte) (*Call, error) {
+	root, err := c.envelope(data)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.bodyOf(root)
+	if err != nil {
+		return nil, err
+	}
+	if body.Local == "Fault" {
+		return nil, fmt.Errorf("soap: request envelope contains a fault")
+	}
+	call := &Call{Method: body.Local, Namespace: body.Space}
+	if hdr := root.Child("Header"); hdr != nil {
+		for _, hn := range hdr.Children {
+			v, err := c.decodeValue(hn)
+			if err != nil {
+				return nil, fmt.Errorf("soap: header %s: %w", hn.Local, err)
+			}
+			call.Headers = append(call.Headers, Header{
+				Name:           hn.Local,
+				Value:          v,
+				MustUnderstand: hn.AttrOr("mustUnderstand", "") == "1",
+				Actor:          hn.AttrOr("actor", ""),
+			})
+		}
+	}
+	call.Params, err = c.decodeParams(body)
+	if err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+// DecodeResponse parses a response envelope. A fault envelope yields a
+// Response whose Fault field is set (and no error).
+func (c Codec) DecodeResponse(data []byte) (*Response, error) {
+	body, err := c.bodyElement(data)
+	if err != nil {
+		return nil, err
+	}
+	if body.Local == "Fault" {
+		f := &Fault{}
+		if fc := body.Child("faultcode"); fc != nil {
+			f.Code = strings.TrimPrefix(fc.Text, "SOAP-ENV:")
+		}
+		if fs := body.Child("faultstring"); fs != nil {
+			f.String = fs.Text
+		}
+		if d := body.Child("detail"); d != nil {
+			f.Detail = d.Text
+		}
+		return &Response{Fault: f}, nil
+	}
+	resp := &Response{Method: strings.TrimSuffix(body.Local, "Response")}
+	resp.Params, err = c.decodeParams(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c Codec) bodyElement(data []byte) (*xmlq.Node, error) {
+	root, err := c.envelope(data)
+	if err != nil {
+		return nil, err
+	}
+	return c.bodyOf(root)
+}
+
+func (c Codec) envelope(data []byte) (*xmlq.Node, error) {
+	root, err := xmlq.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	if root.Local != "Envelope" {
+		return nil, fmt.Errorf("soap: root element is %q, want Envelope", root.Local)
+	}
+	return root, nil
+}
+
+func (c Codec) bodyOf(root *xmlq.Node) (*xmlq.Node, error) {
+	body := root.Child("Body")
+	if body == nil {
+		return nil, fmt.Errorf("soap: envelope has no Body")
+	}
+	if len(body.Children) != 1 {
+		return nil, fmt.Errorf("soap: Body must contain exactly one element, has %d", len(body.Children))
+	}
+	return body.Children[0], nil
+}
+
+func (c Codec) decodeParams(parent *xmlq.Node) ([]Param, error) {
+	params := make([]Param, 0, len(parent.Children))
+	for _, child := range parent.Children {
+		v, err := c.decodeValue(child)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Name: child.Local, Value: v})
+	}
+	return params, nil
+}
+
+func (c Codec) decodeValue(n *xmlq.Node) (any, error) {
+	xsiType := n.AttrOr("type", "")
+	switch {
+	case xsiType == "xsd:boolean":
+		return strconv.ParseBool(n.Text)
+	case xsiType == "xsd:int":
+		v, err := strconv.ParseInt(n.Text, 10, 32)
+		return int32(v), err
+	case xsiType == "xsd:long":
+		return strconv.ParseInt(n.Text, 10, 64)
+	case xsiType == "xsd:float":
+		v, err := strconv.ParseFloat(n.Text, 32)
+		return float32(v), err
+	case xsiType == "xsd:double":
+		return strconv.ParseFloat(n.Text, 64)
+	case xsiType == "xsd:string" || (xsiType == "" && len(n.Children) == 0):
+		return n.Text, nil
+	case xsiType == "xsd:base64Binary":
+		return base64.StdEncoding.DecodeString(n.Text)
+	case strings.HasSuffix(xsiType, ":Array") || xsiType == "Array":
+		return c.decodeElementwiseArray(n)
+	case strings.HasPrefix(xsiType, "hns:ArrayOf"):
+		return c.decodePackedArray(n, xsiType)
+	case strings.Contains(xsiType, ":"):
+		// Treat any other prefixed type as a struct.
+		return c.decodeStruct(n, xsiType)
+	}
+	return nil, fmt.Errorf("soap: cannot decode element %s with type %q", n.Local, xsiType)
+}
+
+func (c Codec) decodeStruct(n *xmlq.Node, xsiType string) (any, error) {
+	name := xsiType
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[i+1:]
+	}
+	s := wire.NewStruct(name)
+	for _, child := range n.Children {
+		v, err := c.decodeValue(child)
+		if err != nil {
+			return nil, err
+		}
+		s.Set(child.Local, v)
+	}
+	return s, nil
+}
+
+func (c Codec) decodeElementwiseArray(n *xmlq.Node) (any, error) {
+	at := n.AttrOr("arrayType", "")
+	i := strings.IndexByte(at, '[')
+	if i < 0 {
+		return nil, fmt.Errorf("soap: array %s missing arrayType", n.Local)
+	}
+	elemName := at[:i]
+	items := n.ChildrenNamed("item")
+	switch elemName {
+	case "xsd:string":
+		out := make([]string, len(items))
+		for j, it := range items {
+			out[j] = it.Text
+		}
+		return out, nil
+	case "xsd:boolean":
+		out := make([]bool, len(items))
+		for j, it := range items {
+			v, err := strconv.ParseBool(it.Text)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = v
+		}
+		return out, nil
+	case "xsd:int":
+		out := make([]int32, len(items))
+		for j, it := range items {
+			v, err := strconv.ParseInt(it.Text, 10, 32)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = int32(v)
+		}
+		return out, nil
+	case "xsd:long":
+		out := make([]int64, len(items))
+		for j, it := range items {
+			v, err := strconv.ParseInt(it.Text, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = v
+		}
+		return out, nil
+	case "xsd:float":
+		out := make([]float32, len(items))
+		for j, it := range items {
+			v, err := strconv.ParseFloat(it.Text, 32)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = float32(v)
+		}
+		return out, nil
+	case "xsd:double":
+		out := make([]float64, len(items))
+		for j, it := range items {
+			v, err := strconv.ParseFloat(it.Text, 64)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = v
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("soap: unsupported arrayType %q", at)
+}
+
+func (c Codec) decodePackedArray(n *xmlq.Node, xsiType string) (any, error) {
+	kindName := strings.TrimPrefix(xsiType, "hns:")
+	kind := wire.KindByName(kindName)
+	if kind == wire.KindInvalid || !kind.IsArray() {
+		return nil, fmt.Errorf("soap: unknown packed array type %q", xsiType)
+	}
+	length, err := strconv.Atoi(n.AttrOr("length", ""))
+	if err != nil || length < 0 {
+		return nil, fmt.Errorf("soap: packed array %s has bad length attribute", n.Local)
+	}
+	var raw []byte
+	switch n.AttrOr("enc", "") {
+	case "base64":
+		raw, err = base64.StdEncoding.DecodeString(n.Text)
+	case "hex":
+		raw, err = hex.DecodeString(n.Text)
+	default:
+		return nil, fmt.Errorf("soap: packed array %s has unknown enc", n.Local)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("soap: packed array %s: %w", n.Local, err)
+	}
+	return unpackArray(kind, raw, length)
+}
+
+// WriteEnvelope writes data to w. Split out so transports can stream.
+func WriteEnvelope(w io.Writer, data []byte) error {
+	_, err := w.Write(data)
+	return err
+}

@@ -1,0 +1,76 @@
+package soap
+
+import (
+	"math/rand"
+	"testing"
+
+	"harness2/internal/wire"
+)
+
+// TestDecodersNeverPanicOnGarbage feeds random bytes and mutated valid
+// envelopes to both decoders: errors are fine, panics are not.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	c := Codec{}
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(512))
+		r.Read(b)
+		_, _ = c.DecodeCall(b)
+		_, _ = c.DecodeResponse(b)
+	}
+	valid, err := c.EncodeCall(&Call{
+		Method:  "m",
+		Headers: []Header{{Name: "h", Value: "v", MustUnderstand: true}},
+		Params: []Param{
+			{"a", []float64{1, 2}},
+			{"s", wire.NewStruct("T").Set("x", int32(1))},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-byte corruptions of a real envelope.
+	for i := 0; i < len(valid); i += 3 {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x5A
+		_, _ = c.DecodeCall(mut)
+	}
+	// Truncations.
+	for i := 0; i < len(valid); i += 7 {
+		_, _ = c.DecodeCall(valid[:i])
+	}
+}
+
+// TestDecodeCallStructuredAbuse covers hand-crafted hostile envelopes.
+func TestDecodeCallStructuredAbuse(t *testing.T) {
+	c := Codec{}
+	envelope := func(body string) []byte {
+		return []byte(`<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:SOAP-ENC="http://schemas.xmlsoap.org/soap/encoding/">` + body + `</SOAP-ENV:Envelope>`)
+	}
+	abuse := []string{
+		// Packed array with a length far beyond the payload.
+		`<SOAP-ENV:Body><m:f xmlns:m="urn:x"><p xsi:type="hns:ArrayOfDouble" enc="base64" length="1000000">AAAA</p></m:f></SOAP-ENV:Body>`,
+		// Negative length.
+		`<SOAP-ENV:Body><m:f xmlns:m="urn:x"><p xsi:type="hns:ArrayOfDouble" enc="base64" length="-5">AAAA</p></m:f></SOAP-ENV:Body>`,
+		// Deeply nested structs (stack abuse).
+		`<SOAP-ENV:Body><m:f xmlns:m="urn:x">` + nest(200) + `</m:f></SOAP-ENV:Body>`,
+		// Header without a body.
+		`<SOAP-ENV:Header><h xsi:type="xsd:string">x</h></SOAP-ENV:Header>`,
+		// Two bodies.
+		`<SOAP-ENV:Body><a/></SOAP-ENV:Body><SOAP-ENV:Body><b/></SOAP-ENV:Body>`,
+	}
+	for i, b := range abuse {
+		if _, err := c.DecodeCall(envelope(b)); err == nil && i < 2 {
+			t.Errorf("abuse %d should fail", i)
+		}
+	}
+}
+
+func nest(depth int) string {
+	open, close := "", ""
+	for i := 0; i < depth; i++ {
+		open += `<s xsi:type="m:S">`
+		close = `</s>` + close
+	}
+	return open + close
+}

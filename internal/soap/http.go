@@ -1,0 +1,188 @@
+package soap
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler processes one RPC call and returns the output parameters.
+// Returning a *Fault transmits it verbatim; any other error becomes a
+// Server fault.
+type Handler func(call *Call) ([]Param, error)
+
+// Server dispatches SOAP-over-HTTP requests to registered handlers.
+// Dispatch is by SOAPAction header when present, else by the body's
+// method name. It implements http.Handler.
+type Server struct {
+	Codec Codec
+
+	mu         sync.RWMutex
+	handlers   map[string]Handler
+	understood map[string]bool
+}
+
+// NewServer returns an empty dispatcher.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), understood: make(map[string]bool)}
+}
+
+// Understand declares header entry names this server processes. Requests
+// carrying a mustUnderstand header outside this set are refused with a
+// MustUnderstand fault, per SOAP 1.1 §4.2.3.
+func (s *Server) Understand(names ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range names {
+		s.understood[n] = true
+	}
+}
+
+// checkMustUnderstand returns the first offending header name, if any.
+func (s *Server) checkMustUnderstand(call *Call) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, h := range call.Headers {
+		if h.MustUnderstand && !s.understood[h.Name] {
+			return h.Name, false
+		}
+	}
+	return "", true
+}
+
+// Handle registers a handler for the given action (method) name.
+// Registering a name twice replaces the previous handler.
+func (s *Server) Handle(action string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[action] = h
+}
+
+// Remove unregisters an action.
+func (s *Server) Remove(action string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.handlers, action)
+}
+
+// Actions lists registered action names.
+func (s *Server) Actions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for a := range s.handlers {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (s *Server) lookup(action string) (Handler, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.handlers[action]
+	return h, ok
+}
+
+// ServeHTTP implements the SOAP HTTP binding: POST with text/xml body.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "Client", String: "unreadable request body"})
+		return
+	}
+	call, err := s.Codec.DecodeCall(body)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "Client", String: err.Error()})
+		return
+	}
+	if name, ok := s.checkMustUnderstand(call); !ok {
+		s.writeFault(w, &Fault{Code: "MustUnderstand",
+			String: fmt.Sprintf("header %q not understood", name)})
+		return
+	}
+	action := strings.Trim(r.Header.Get("SOAPAction"), `"`)
+	if action == "" {
+		action = call.Method
+	}
+	h, ok := s.lookup(action)
+	if !ok {
+		s.writeFault(w, &Fault{Code: "Client", String: fmt.Sprintf("no such action %q", action)})
+		return
+	}
+	out, err := h(call)
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.writeFault(w, f)
+		} else {
+			s.writeFault(w, &Fault{Code: "Server", String: err.Error()})
+		}
+		return
+	}
+	resp, err := s.Codec.EncodeResponse(call.Method, out)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "Server", String: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(resp)
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	// SOAP 1.1 over HTTP reports faults with a 500 status.
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(s.Codec.EncodeFault(f))
+}
+
+// Client invokes SOAP endpoints over HTTP.
+type Client struct {
+	Codec Codec
+	// HTTP is the underlying client; nil uses a client with a 30 s timeout.
+	HTTP *http.Client
+}
+
+var defaultHTTP = &http.Client{Timeout: 30 * time.Second}
+
+// CallRemote posts call to the endpoint URL and decodes the response.
+// A SOAP fault is returned as a *Fault error.
+func (c *Client) CallRemote(endpoint string, call *Call) ([]Param, error) {
+	data, err := c.Codec.EncodeCall(call)
+	if err != nil {
+		return nil, err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = defaultHTTP
+	}
+	req, err := http.NewRequest(http.MethodPost, endpoint, strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	req.Header.Set("SOAPAction", `"`+call.Method+`"`)
+	httpResp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("soap: post %s: %w", endpoint, err)
+	}
+	defer httpResp.Body.Close()
+	respBody, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("soap: read response: %w", err)
+	}
+	resp, err := c.Codec.DecodeResponse(respBody)
+	if err != nil {
+		return nil, fmt.Errorf("soap: decode response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	if resp.Fault != nil {
+		return nil, resp.Fault
+	}
+	return resp.Params, nil
+}

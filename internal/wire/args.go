@@ -1,0 +1,47 @@
+package wire
+
+// Arg is a named invocation argument — the transport-neutral form shared
+// by every binding. SOAP parameters and XDR call values both convert to
+// and from []Arg at the binding boundary.
+type Arg struct {
+	Name  string
+	Value any
+}
+
+// Args builds an argument list from alternating name/value pairs; it
+// panics on odd argument counts or non-string names, which are programmer
+// errors at call sites.
+func Args(pairs ...any) []Arg {
+	if len(pairs)%2 != 0 {
+		panic("wire.Args: odd number of arguments")
+	}
+	out := make([]Arg, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic("wire.Args: name must be a string")
+		}
+		out = append(out, Arg{Name: name, Value: pairs[i+1]})
+	}
+	return out
+}
+
+// GetArg returns the value of the named argument.
+func GetArg(args []Arg, name string) (any, bool) {
+	for _, a := range args {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// CheckArgs validates every argument value against the wire type system.
+func CheckArgs(args []Arg) error {
+	for _, a := range args {
+		if err := Check(a.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		v    any
+		want Kind
+	}{
+		{true, KindBool},
+		{int32(7), KindInt32},
+		{int64(7), KindInt64},
+		{float32(1.5), KindFloat32},
+		{float64(1.5), KindFloat64},
+		{"hi", KindString},
+		{[]byte{1, 2}, KindBytes},
+		{[]bool{true}, KindBoolArray},
+		{[]int32{1}, KindInt32Array},
+		{[]int64{1}, KindInt64Array},
+		{[]float32{1}, KindFloat32Array},
+		{[]float64{1}, KindFloat64Array},
+		{[]string{"a"}, KindStringArray},
+		{NewStruct("T"), KindStruct},
+		{int(3), KindInvalid},
+		{uint32(3), KindInvalid},
+		{nil, KindInvalid},
+		{map[string]int{}, KindInvalid},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.v); got != c.want {
+			t.Errorf("KindOf(%T) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		if got := KindByName(k.String()); got != k {
+			t.Errorf("KindByName(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindByName("nonsense") != KindInvalid {
+		t.Error("KindByName(nonsense) should be invalid")
+	}
+}
+
+func TestKindNumeric(t *testing.T) {
+	numeric := []Kind{KindInt32, KindInt64, KindFloat32, KindFloat64,
+		KindInt32Array, KindInt64Array, KindFloat32Array, KindFloat64Array,
+		KindBool, KindBoolArray, KindBytes}
+	non := []Kind{KindString, KindStringArray, KindStruct, KindInvalid}
+	for _, k := range numeric {
+		if !k.Numeric() {
+			t.Errorf("%v should be numeric", k)
+		}
+	}
+	for _, k := range non {
+		if k.Numeric() {
+			t.Errorf("%v should not be numeric", k)
+		}
+	}
+}
+
+func TestKindElem(t *testing.T) {
+	cases := map[Kind]Kind{
+		KindBoolArray:    KindBool,
+		KindInt32Array:   KindInt32,
+		KindInt64Array:   KindInt64,
+		KindFloat32Array: KindFloat32,
+		KindFloat64Array: KindFloat64,
+		KindStringArray:  KindString,
+		KindInt32:        KindInvalid,
+		KindStruct:       KindInvalid,
+	}
+	for k, want := range cases {
+		if got := k.Elem(); got != want {
+			t.Errorf("%v.Elem() = %v, want %v", k, got, want)
+		}
+		if want != KindInvalid && !k.IsArray() {
+			t.Errorf("%v should be an array kind", k)
+		}
+	}
+}
+
+func TestStructSetGet(t *testing.T) {
+	s := NewStruct("Point")
+	s.Set("x", float64(1)).Set("y", float64(2))
+	if v, ok := s.Get("x"); !ok || v.(float64) != 1 {
+		t.Fatalf("Get(x) = %v,%v", v, ok)
+	}
+	s.Set("x", float64(9))
+	if v, _ := s.Get("x"); v.(float64) != 9 {
+		t.Fatal("Set should replace existing field")
+	}
+	if len(s.Fields) != 2 {
+		t.Fatalf("want 2 fields, got %d", len(s.Fields))
+	}
+	if _, ok := s.Get("z"); ok {
+		t.Fatal("Get(z) should miss")
+	}
+	names := s.FieldNames()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("FieldNames = %v", names)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	ok := []any{
+		true, int32(1), int64(1), float32(1), float64(1), "s", []byte{1},
+		[]float64{1, 2}, []string{"a"},
+		NewStruct("T").Set("a", int32(1)).Set("b", []float64{1}),
+		NewStruct("Outer").Set("inner", NewStruct("Inner").Set("x", "y")),
+	}
+	for _, v := range ok {
+		if err := Check(v); err != nil {
+			t.Errorf("Check(%T) = %v, want nil", v, err)
+		}
+	}
+	bad := []any{
+		int(1), uint(1), nil, []int{1},
+		NewStruct("T").Set("a", int(1)),                             // bad nested type
+		&Struct{Name: "T", Fields: []Field{{Name: "", Value: "v"}}}, // unnamed field
+		NewStruct("T").Set("inner", NewStruct("I").Set("deep", uint8(1))),
+	}
+	for _, v := range bad {
+		if err := Check(v); err == nil {
+			t.Errorf("Check(%T %v) = nil, want error", v, v)
+		}
+	}
+	dup := &Struct{Name: "D", Fields: []Field{{Name: "a", Value: "1"}, {Name: "a", Value: "2"}}}
+	if err := Check(dup); err == nil {
+		t.Error("Check should reject duplicate field names")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := []struct {
+		v    any
+		want int
+	}{
+		{true, 1},
+		{int32(1), 4},
+		{int64(1), 8},
+		{float32(1), 4},
+		{float64(1), 8},
+		{"abcd", 4},
+		{[]byte{1, 2, 3}, 3},
+		{[]float64{1, 2, 3}, 24},
+		{[]int32{1, 2}, 8},
+		{[]string{"ab", "c"}, 3},
+		{NewStruct("T").Set("a", float64(0)).Set("b", "xy"), 10},
+		{int(1), 0},
+	}
+	for _, c := range cases {
+		if got := ByteSize(c.v); got != c.want {
+			t.Errorf("ByteSize(%T %v) = %d, want %d", c.v, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]float64{1, math.NaN()}, []float64{1, math.NaN()}) {
+		t.Error("NaN arrays should compare equal")
+	}
+	if !Equal(float32(float32(math.NaN())), float32(float32(math.NaN()))) {
+		t.Error("NaN float32 should compare equal")
+	}
+	if Equal(int32(1), int64(1)) {
+		t.Error("different kinds must not be equal")
+	}
+	if Equal([]int32{1}, []int32{1, 2}) {
+		t.Error("different lengths must not be equal")
+	}
+	a := NewStruct("T").Set("x", "1")
+	b := NewStruct("T").Set("x", "1")
+	c := NewStruct("T").Set("x", "2")
+	d := NewStruct("U").Set("x", "1")
+	if !Equal(a, b) || Equal(a, c) || Equal(a, d) {
+		t.Error("struct equality broken")
+	}
+	if !Equal([]string{"a", "b"}, []string{"a", "b"}) || Equal([]string{"a"}, []string{"b"}) {
+		t.Error("string array equality broken")
+	}
+	if !Equal([]byte{1, 2}, []byte{1, 2}) || Equal([]byte{1}, []byte{2}) {
+		t.Error("bytes equality broken")
+	}
+}
+
+func TestZeroCoversAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		z := Zero(k)
+		if z == nil {
+			t.Fatalf("Zero(%v) = nil", k)
+		}
+		if got := KindOf(z); got != k {
+			t.Errorf("KindOf(Zero(%v)) = %v", k, got)
+		}
+		if err := Check(z); err != nil {
+			t.Errorf("Check(Zero(%v)) = %v", k, err)
+		}
+	}
+	if Zero(KindInvalid) != nil {
+		t.Error("Zero(KindInvalid) should be nil")
+	}
+}
+
+// RandomValue generates an arbitrary valid wire value; exported to other
+// packages' tests via this package's test helpers being duplicated there.
+func randomValue(r *rand.Rand, depth int) any {
+	kinds := Kinds()
+	k := kinds[r.Intn(len(kinds))]
+	if k == KindStruct && depth <= 0 {
+		k = KindFloat64
+	}
+	switch k {
+	case KindBool:
+		return r.Intn(2) == 0
+	case KindInt32:
+		return int32(r.Uint32())
+	case KindInt64:
+		return int64(r.Uint64())
+	case KindFloat32:
+		return float32(r.NormFloat64())
+	case KindFloat64:
+		return r.NormFloat64()
+	case KindString:
+		return randString(r)
+	case KindBytes:
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		return b
+	case KindBoolArray:
+		a := make([]bool, r.Intn(16))
+		for i := range a {
+			a[i] = r.Intn(2) == 0
+		}
+		return a
+	case KindInt32Array:
+		a := make([]int32, r.Intn(16))
+		for i := range a {
+			a[i] = int32(r.Uint32())
+		}
+		return a
+	case KindInt64Array:
+		a := make([]int64, r.Intn(16))
+		for i := range a {
+			a[i] = int64(r.Uint64())
+		}
+		return a
+	case KindFloat32Array:
+		a := make([]float32, r.Intn(16))
+		for i := range a {
+			a[i] = float32(r.NormFloat64())
+		}
+		return a
+	case KindFloat64Array:
+		a := make([]float64, r.Intn(16))
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		return a
+	case KindStringArray:
+		a := make([]string, r.Intn(8))
+		for i := range a {
+			a[i] = randString(r)
+		}
+		return a
+	case KindStruct:
+		s := NewStruct("S")
+		n := r.Intn(5)
+		for i := 0; i < n; i++ {
+			s.Set(string(rune('a'+i)), randomValue(r, depth-1))
+		}
+		return s
+	}
+	return float64(0)
+}
+
+func randString(r *rand.Rand) string {
+	letters := []rune("abcdefghijklmnop \t<>&\"'éλ")
+	n := r.Intn(24)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = letters[r.Intn(len(letters))]
+	}
+	return string(out)
+}
+
+func TestPropertyRandomValuesPassCheckAndSelfEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 2)
+		return Check(v) == nil && Equal(v, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyByteSizeNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 2)
+		return ByteSize(v) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

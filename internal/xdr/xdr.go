@@ -1,0 +1,495 @@
+// Package xdr implements the External Data Representation standard
+// (RFC 1832 / RFC 4506) subset needed by the HARNESS II XDR binding:
+// 32/64-bit integers, IEEE single and double floats, booleans, strings,
+// variable-length opaque data, and variable-length arrays of those.
+//
+// The paper's XDR binding "is designed to be limited to the transfer of
+// numerical data. As such, the only type of complex data available is the
+// array" — this package enforces exactly that boundary when used through
+// EncodeValue/DecodeValue, while the lower-level Encoder/Decoder expose
+// the primitive XDR grammar.
+//
+// All quantities are big-endian and padded to 4-byte alignment, per the
+// standard.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"harness2/internal/wire"
+)
+
+// Errors returned by the decoder.
+var (
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	ErrBadBool     = errors.New("xdr: boolean not 0 or 1")
+	ErrTooLarge    = errors.New("xdr: declared length exceeds limit")
+)
+
+// MaxLen bounds any single declared string/opaque/array length to guard
+// against hostile or corrupt length prefixes (256 Mi elements).
+const MaxLen = 1 << 28
+
+// Encoder appends XDR-encoded primitives to an internal buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice is owned by the encoder
+// until Reset is called.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset truncates the buffer for reuse, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes an unsigned hyper integer.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 encodes a hyper integer.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes a boolean as an int32 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Float32 encodes an IEEE 754 single-precision float.
+func (e *Encoder) Float32(v float32) { e.Uint32(math.Float32bits(v)) }
+
+// Float64 encodes an IEEE 754 double-precision float.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Opaque encodes variable-length opaque data: a length word followed by
+// the bytes, zero-padded to a 4-byte boundary.
+func (e *Encoder) Opaque(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	e.pad(len(b))
+}
+
+// String encodes a string as variable-length opaque data.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	e.pad(len(s))
+}
+
+func (e *Encoder) pad(n int) {
+	for n%4 != 0 {
+		e.buf = append(e.buf, 0)
+		n++
+	}
+}
+
+// Int32Array encodes a variable-length array of int32.
+func (e *Encoder) Int32Array(a []int32) {
+	e.Uint32(uint32(len(a)))
+	for _, v := range a {
+		e.Int32(v)
+	}
+}
+
+// Int64Array encodes a variable-length array of hyper.
+func (e *Encoder) Int64Array(a []int64) {
+	e.Uint32(uint32(len(a)))
+	for _, v := range a {
+		e.Int64(v)
+	}
+}
+
+// Float32Array encodes a variable-length array of single floats.
+func (e *Encoder) Float32Array(a []float32) {
+	e.Uint32(uint32(len(a)))
+	for _, v := range a {
+		e.Float32(v)
+	}
+}
+
+// Float64Array encodes a variable-length array of double floats. This is
+// the hot path of the XDR binding; it widens the buffer once then fills.
+func (e *Encoder) Float64Array(a []float64) {
+	e.Uint32(uint32(len(a)))
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, 8*len(a))...)
+	for i, v := range a {
+		binary.BigEndian.PutUint64(e.buf[off+8*i:], math.Float64bits(v))
+	}
+}
+
+// BoolArray encodes a variable-length array of booleans.
+func (e *Encoder) BoolArray(a []bool) {
+	e.Uint32(uint32(len(a)))
+	for _, v := range a {
+		e.Bool(v)
+	}
+}
+
+// StringArray encodes a variable-length array of strings.
+func (e *Encoder) StringArray(a []string) {
+	e.Uint32(uint32(len(a)))
+	for _, v := range a {
+		e.String(v)
+	}
+}
+
+// Decoder consumes XDR primitives from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over buf. The decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes an unsigned hyper integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	if d.Remaining() < 8 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Int64 decodes a hyper integer.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Bool decodes a boolean, rejecting any value other than 0 or 1.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, ErrBadBool
+}
+
+// Float32 decodes a single-precision float.
+func (d *Decoder) Float32() (float32, error) {
+	v, err := d.Uint32()
+	return math.Float32frombits(v), err
+}
+
+// Float64 decodes a double-precision float.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+func (d *Decoder) declaredLen() (int, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if n > MaxLen {
+		return 0, ErrTooLarge
+	}
+	return int(n), nil
+}
+
+// Opaque decodes variable-length opaque data into a fresh slice.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	padded := (n + 3) &^ 3
+	if d.Remaining() < padded {
+		return nil, ErrShortBuffer
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += padded
+	return out, nil
+}
+
+// String decodes a variable-length string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}
+
+// Int32Array decodes a variable-length array of int32.
+func (d *Decoder) Int32Array() ([]int32, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() < 4*n {
+		return nil, ErrShortBuffer
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(d.buf[d.off+4*i:]))
+	}
+	d.off += 4 * n
+	return out, nil
+}
+
+// Int64Array decodes a variable-length array of hyper.
+func (d *Decoder) Int64Array() ([]int64, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() < 8*n {
+		return nil, ErrShortBuffer
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.BigEndian.Uint64(d.buf[d.off+8*i:]))
+	}
+	d.off += 8 * n
+	return out, nil
+}
+
+// Float32Array decodes a variable-length array of single floats.
+func (d *Decoder) Float32Array() ([]float32, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() < 4*n {
+		return nil, ErrShortBuffer
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.BigEndian.Uint32(d.buf[d.off+4*i:]))
+	}
+	d.off += 4 * n
+	return out, nil
+}
+
+// Float64Array decodes a variable-length array of double floats.
+func (d *Decoder) Float64Array() ([]float64, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() < 8*n {
+		return nil, ErrShortBuffer
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off+8*i:]))
+	}
+	d.off += 8 * n
+	return out, nil
+}
+
+// BoolArray decodes a variable-length array of booleans.
+func (d *Decoder) BoolArray() ([]bool, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, n)
+	for i := range out {
+		v, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// StringArray decodes a variable-length array of strings.
+func (d *Decoder) StringArray() ([]string, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		v, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EncodeValue appends a tagged wire value. A one-word kind discriminant
+// precedes the payload so DecodeValue can reconstruct the dynamic type.
+// Only kinds admitted by the XDR binding (wire.Kind.Numeric, i.e. numeric
+// scalars, numeric arrays, booleans and opaque bytes) are accepted.
+func EncodeValue(e *Encoder, v any) error {
+	k := wire.KindOf(v)
+	if !k.Numeric() {
+		return fmt.Errorf("xdr: kind %v not supported by the XDR binding (numeric data and arrays only)", k)
+	}
+	e.Uint32(uint32(k))
+	switch x := v.(type) {
+	case bool:
+		e.Bool(x)
+	case int32:
+		e.Int32(x)
+	case int64:
+		e.Int64(x)
+	case float32:
+		e.Float32(x)
+	case float64:
+		e.Float64(x)
+	case []byte:
+		e.Opaque(x)
+	case []bool:
+		e.BoolArray(x)
+	case []int32:
+		e.Int32Array(x)
+	case []int64:
+		e.Int64Array(x)
+	case []float32:
+		e.Float32Array(x)
+	case []float64:
+		e.Float64Array(x)
+	default:
+		return fmt.Errorf("xdr: unreachable kind %v", k)
+	}
+	return nil
+}
+
+// DecodeValue reads one tagged wire value written by EncodeValue.
+func DecodeValue(d *Decoder) (any, error) {
+	kw, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	k := wire.Kind(kw)
+	switch k {
+	case wire.KindBool:
+		return d.Bool()
+	case wire.KindInt32:
+		return d.Int32()
+	case wire.KindInt64:
+		return d.Int64()
+	case wire.KindFloat32:
+		return d.Float32()
+	case wire.KindFloat64:
+		return d.Float64()
+	case wire.KindBytes:
+		return d.Opaque()
+	case wire.KindBoolArray:
+		return d.BoolArray()
+	case wire.KindInt32Array:
+		return d.Int32Array()
+	case wire.KindInt64Array:
+		return d.Int64Array()
+	case wire.KindFloat32Array:
+		return d.Float32Array()
+	case wire.KindFloat64Array:
+		return d.Float64Array()
+	}
+	return nil, fmt.Errorf("xdr: invalid value tag %d", kw)
+}
+
+// EncodeValues encodes a sequence of tagged values prefixed by a count.
+func EncodeValues(e *Encoder, vs []any) error {
+	e.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		if err := EncodeValue(e, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeValues decodes a counted sequence of tagged values.
+func DecodeValues(d *Decoder) ([]any, error) {
+	n, err := d.declaredLen()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, n)
+	for i := range out {
+		if out[i], err = DecodeValue(d); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteFrame writes a length-prefixed XDR record to w: a 4-byte big-endian
+// payload length followed by the payload. This is the record framing used
+// by the XDR socket binding.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed record from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxLen {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,316 @@
+package xdr
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harness2/internal/wire"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint32(0xDEADBEEF)
+	e.Int32(-5)
+	e.Uint64(0x1122334455667788)
+	e.Int64(-9e15)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float32(3.5)
+	e.Float64(-2.25)
+	e.String("hello")
+	e.Opaque([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 0xDEADBEEF {
+		t.Fatalf("uint32 = %x", v)
+	}
+	if v, _ := d.Int32(); v != -5 {
+		t.Fatalf("int32 = %d", v)
+	}
+	if v, _ := d.Uint64(); v != 0x1122334455667788 {
+		t.Fatalf("uint64 = %x", v)
+	}
+	if v, _ := d.Int64(); v != -9e15 {
+		t.Fatalf("int64 = %d", v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Fatal("bool true")
+	}
+	if v, _ := d.Bool(); v {
+		t.Fatal("bool false")
+	}
+	if v, _ := d.Float32(); v != 3.5 {
+		t.Fatalf("float32 = %v", v)
+	}
+	if v, _ := d.Float64(); v != -2.25 {
+		t.Fatalf("float64 = %v", v)
+	}
+	if v, _ := d.String(); v != "hello" {
+		t.Fatalf("string = %q", v)
+	}
+	if v, _ := d.Opaque(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("opaque = %v", v)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestPadding(t *testing.T) {
+	// RFC 1832: strings/opaque pad to 4-byte alignment with zero bytes.
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder(32)
+		e.String(string(make([]byte, n)))
+		want := 4 + (n+3)&^3
+		if e.Len() != want {
+			t.Errorf("len(enc(string[%d])) = %d, want %d", n, e.Len(), want)
+		}
+		if e.Len()%4 != 0 {
+			t.Errorf("encoding of %d-byte string not 4-aligned", n)
+		}
+	}
+}
+
+func TestKnownEncoding(t *testing.T) {
+	// Verify byte-level layout against hand-computed RFC examples.
+	e := NewEncoder(16)
+	e.Int32(259) // 0x00000103
+	if !bytes.Equal(e.Bytes(), []byte{0, 0, 1, 3}) {
+		t.Fatalf("int32 layout = %v", e.Bytes())
+	}
+	e.Reset()
+	e.String("ab") // len=2, 'a','b', 2 pad
+	if !bytes.Equal(e.Bytes(), []byte{0, 0, 0, 2, 'a', 'b', 0, 0}) {
+		t.Fatalf("string layout = %v", e.Bytes())
+	}
+	e.Reset()
+	e.Float64(1.0) // IEEE double 0x3FF0000000000000
+	if !bytes.Equal(e.Bytes(), []byte{0x3F, 0xF0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatalf("float64 layout = %v", e.Bytes())
+	}
+}
+
+func TestArraysRoundTrip(t *testing.T) {
+	e := NewEncoder(256)
+	i32 := []int32{1, -2, 1 << 30}
+	i64 := []int64{9e17, -9e17}
+	f32 := []float32{1.5, float32(math.NaN())}
+	f64 := []float64{math.Pi, math.Inf(1), math.Inf(-1)}
+	bs := []bool{true, false, true}
+	ss := []string{"", "x", "longer string value"}
+	e.Int32Array(i32)
+	e.Int64Array(i64)
+	e.Float32Array(f32)
+	e.Float64Array(f64)
+	e.BoolArray(bs)
+	e.StringArray(ss)
+
+	d := NewDecoder(e.Bytes())
+	gi32, err := d.Int32Array()
+	if err != nil || !wire.Equal(gi32, i32) {
+		t.Fatalf("int32 array: %v %v", gi32, err)
+	}
+	gi64, err := d.Int64Array()
+	if err != nil || !wire.Equal(gi64, i64) {
+		t.Fatalf("int64 array: %v %v", gi64, err)
+	}
+	gf32, err := d.Float32Array()
+	if err != nil || !wire.Equal(gf32, f32) {
+		t.Fatalf("float32 array: %v %v", gf32, err)
+	}
+	gf64, err := d.Float64Array()
+	if err != nil || !wire.Equal(gf64, f64) {
+		t.Fatalf("float64 array: %v %v", gf64, err)
+	}
+	gbs, err := d.BoolArray()
+	if err != nil || !wire.Equal(gbs, bs) {
+		t.Fatalf("bool array: %v %v", gbs, err)
+	}
+	gss, err := d.StringArray()
+	if err != nil || !wire.Equal(gss, ss) {
+		t.Fatalf("string array: %v %v", gss, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); err != ErrShortBuffer {
+		t.Fatalf("want short buffer, got %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 2}) // bool value 2
+	if _, err := d.Bool(); err != ErrBadBool {
+		t.Fatalf("want bad bool, got %v", err)
+	}
+	d = NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length
+	if _, err := d.Opaque(); err != ErrTooLarge {
+		t.Fatalf("want too large, got %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 8, 1, 2}) // declared 8, only 2 present
+	if _, err := d.Opaque(); err != ErrShortBuffer {
+		t.Fatalf("want short buffer, got %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 4, 0, 0}) // float64 array, truncated
+	if _, err := d.Float64Array(); err != ErrShortBuffer {
+		t.Fatalf("want short buffer, got %v", err)
+	}
+}
+
+func TestEncodeValueRejectsNonNumeric(t *testing.T) {
+	e := NewEncoder(16)
+	for _, v := range []any{"string", []string{"a"}, wire.NewStruct("T"), int(1)} {
+		if err := EncodeValue(e, v); err == nil {
+			t.Errorf("EncodeValue(%T) should fail: XDR binding is numeric-only", v)
+		}
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []any{
+		true, int32(-7), int64(1 << 60), float32(0.5), float64(math.E),
+		[]byte{9, 8, 7}, []bool{true}, []int32{1, 2}, []int64{3},
+		[]float32{1, 2, 3}, []float64{math.Pi},
+	}
+	e := NewEncoder(512)
+	if err := EncodeValues(e, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeValues(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("count %d != %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if !wire.Equal(got[i], vals[i]) {
+			t.Errorf("value %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestDecodeValueBadTag(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(uint32(wire.KindString)) // string tag is not XDR-decodable
+	e.String("x")
+	if _, err := DecodeValue(NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("want error for non-numeric tag")
+	}
+	e.Reset()
+	e.Uint32(999)
+	if _, err := DecodeValue(NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("want error for unknown tag")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, {1, 2, 3, 4, 5}, make([]byte, 4096)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("truncated header should fail")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 9, 1})); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err != ErrTooLarge {
+		t.Fatal("absurd frame length should fail")
+	}
+}
+
+func TestPropertyScalarRoundTrip(t *testing.T) {
+	f := func(i32 int32, i64 int64, f32 float32, f64 float64, b bool, s string, raw []byte) bool {
+		e := NewEncoder(64)
+		e.Int32(i32)
+		e.Int64(i64)
+		e.Float32(f32)
+		e.Float64(f64)
+		e.Bool(b)
+		e.String(s)
+		e.Opaque(raw)
+		d := NewDecoder(e.Bytes())
+		gi32, _ := d.Int32()
+		gi64, _ := d.Int64()
+		gf32, _ := d.Float32()
+		gf64, _ := d.Float64()
+		gb, _ := d.Bool()
+		gs, _ := d.String()
+		graw, err := d.Opaque()
+		if err != nil {
+			return false
+		}
+		return gi32 == i32 && gi64 == i64 &&
+			math.Float32bits(gf32) == math.Float32bits(f32) &&
+			math.Float64bits(gf64) == math.Float64bits(f64) &&
+			gb == b && gs == s && bytes.Equal(graw, raw) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFloat64ArrayRoundTrip(t *testing.T) {
+	f := func(a []float64) bool {
+		e := NewEncoder(8 * len(a))
+		e.Float64Array(a)
+		if e.Len() != 4+8*len(a) {
+			return false // exact size: 4-byte count + 8 bytes per element
+		}
+		got, err := NewDecoder(e.Bytes()).Float64Array()
+		return err == nil && wire.Equal(got, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyValuesNeverPanicOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		d := NewDecoder(b)
+		// Must terminate with a value or an error, never panic.
+		for {
+			if _, err := DecodeValue(d); err != nil {
+				break
+			}
+			if d.Remaining() == 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestDecoderDoesNotAliasInput(t *testing.T) {
+	e := NewEncoder(16)
+	e.Opaque([]byte{1, 2, 3, 4})
+	buf := append([]byte(nil), e.Bytes()...)
+	d := NewDecoder(buf)
+	got, err := d.Opaque()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[4] = 0xEE // mutate source after decode
+	if got[0] != 1 {
+		t.Fatal("decoded opaque must not alias the input buffer")
+	}
+}

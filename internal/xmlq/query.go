@@ -1,0 +1,287 @@
+package xmlq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a compiled path query. Compile once, run against many documents
+// — the registry compiles each inquiry once and evaluates it over every
+// candidate WSDL document.
+type Query struct {
+	src   string
+	steps []step
+	// attr, when non-empty, selects the named attribute of the final
+	// element set instead of the elements themselves.
+	attr string
+}
+
+type step struct {
+	// descendant selects descendant-or-self rather than direct children.
+	descendant bool
+	// name is the element local name to match; "*" matches any element.
+	name string
+	// prefix, when non-empty, additionally constrains the written prefix.
+	prefix string
+	preds  []predicate
+}
+
+type predicate struct {
+	// attribute predicate: [@name='v'] (value check) or [@name] (presence)
+	isAttr bool
+	name   string
+	// hasValue distinguishes presence tests from equality tests.
+	hasValue bool
+	value    string
+}
+
+// Compile parses a path query. See the package comment for the grammar.
+func Compile(src string) (*Query, error) {
+	q := &Query{src: src}
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return nil, fmt.Errorf("xmlq: empty query")
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("xmlq: query must be absolute (start with /): %q", src)
+	}
+	for len(s) > 0 {
+		desc := false
+		if strings.HasPrefix(s, "//") {
+			desc = true
+			s = s[2:]
+		} else if strings.HasPrefix(s, "/") {
+			s = s[1:]
+		} else {
+			return nil, fmt.Errorf("xmlq: expected / in %q", src)
+		}
+		if s == "" {
+			return nil, fmt.Errorf("xmlq: trailing slash in %q", src)
+		}
+		// Terminal attribute selection: .../@attr
+		if strings.HasPrefix(s, "@") {
+			q.attr = s[1:]
+			if q.attr == "" || strings.ContainsAny(q.attr, "/[]") {
+				return nil, fmt.Errorf("xmlq: bad attribute selector in %q", src)
+			}
+			return q, nil
+		}
+		st := step{descendant: desc}
+		// Element name up to '[' or '/'.
+		i := strings.IndexAny(s, "[/")
+		var name string
+		if i < 0 {
+			name, s = s, ""
+		} else if s[i] == '[' {
+			name, s = s[:i], s[i:]
+		} else {
+			name, s = s[:i], s[i:]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("xmlq: empty step in %q", src)
+		}
+		if j := strings.IndexByte(name, ':'); j >= 0 {
+			st.prefix, st.name = name[:j], name[j+1:]
+		} else {
+			st.name = name
+		}
+		// Predicates.
+		for strings.HasPrefix(s, "[") {
+			end := strings.IndexByte(s, ']')
+			if end < 0 {
+				return nil, fmt.Errorf("xmlq: unterminated predicate in %q", src)
+			}
+			body := s[1:end]
+			s = s[end+1:]
+			p, err := parsePredicate(body, src)
+			if err != nil {
+				return nil, err
+			}
+			st.preds = append(st.preds, p)
+		}
+		q.steps = append(q.steps, st)
+	}
+	if len(q.steps) == 0 {
+		return nil, fmt.Errorf("xmlq: no steps in %q", src)
+	}
+	return q, nil
+}
+
+func parsePredicate(body, src string) (predicate, error) {
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return predicate{}, fmt.Errorf("xmlq: empty predicate in %q", src)
+	}
+	p := predicate{}
+	if strings.HasPrefix(body, "@") {
+		p.isAttr = true
+		body = body[1:]
+	}
+	if eq := strings.IndexByte(body, '='); eq >= 0 {
+		p.name = strings.TrimSpace(body[:eq])
+		val := strings.TrimSpace(body[eq+1:])
+		if len(val) < 2 || (val[0] != '\'' && val[0] != '"') || val[len(val)-1] != val[0] {
+			return predicate{}, fmt.Errorf("xmlq: predicate value must be quoted in %q", src)
+		}
+		p.hasValue = true
+		p.value = val[1 : len(val)-1]
+	} else {
+		p.name = body
+	}
+	if p.name == "" {
+		return predicate{}, fmt.Errorf("xmlq: predicate missing name in %q", src)
+	}
+	return p, nil
+}
+
+// String returns the original query source.
+func (q *Query) String() string { return q.src }
+
+// Select returns the element nodes matched by the query, in document
+// order, rooted at root (the root element counts as the first step's
+// candidate, matching the conventional /rootname/... addressing).
+func (q *Query) Select(root *Node) []*Node {
+	if root == nil {
+		return nil
+	}
+	cur := []*Node{}
+	// Step 0 applies to the root element itself.
+	first := q.steps[0]
+	if first.descendant {
+		root.Walk(func(n *Node) bool {
+			if first.match(n) {
+				cur = append(cur, n)
+			}
+			return true
+		})
+	} else if first.match(root) {
+		cur = append(cur, root)
+	}
+	for _, st := range q.steps[1:] {
+		var next []*Node
+		for _, n := range cur {
+			if st.descendant {
+				for _, c := range n.Children {
+					c.Walk(func(d *Node) bool {
+						if st.match(d) {
+							next = append(next, d)
+						}
+						return true
+					})
+				}
+			} else {
+				for _, c := range n.Children {
+					if st.match(c) {
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		cur = dedup(next)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Values evaluates the query and returns string results: attribute values
+// when the query ends in /@attr, otherwise the text content of matched
+// elements.
+func (q *Query) Values(root *Node) []string {
+	nodes := q.Select(root)
+	var out []string
+	for _, n := range nodes {
+		if q.attr != "" {
+			if v, ok := n.Attr(q.attr); ok {
+				out = append(out, v)
+			}
+		} else {
+			out = append(out, n.Text)
+		}
+	}
+	return out
+}
+
+// Matches reports whether the query selects at least one result in root.
+func (q *Query) Matches(root *Node) bool {
+	nodes := q.Select(root)
+	if q.attr == "" {
+		return len(nodes) > 0
+	}
+	for _, n := range nodes {
+		if _, ok := n.Attr(q.attr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (st step) match(n *Node) bool {
+	if st.name != "*" && st.name != n.Local {
+		return false
+	}
+	if st.prefix != "" && st.prefix != n.Prefix {
+		return false
+	}
+	for _, p := range st.preds {
+		if !p.match(n) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p predicate) match(n *Node) bool {
+	if p.isAttr {
+		v, ok := n.Attr(p.name)
+		if !ok {
+			return false
+		}
+		return !p.hasValue || v == p.value
+	}
+	// Child element predicate.
+	for _, c := range n.Children {
+		if c.Local == p.name {
+			if !p.hasValue || c.Text == p.value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func dedup(nodes []*Node) []*Node {
+	seen := make(map[*Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SelectString is a convenience that compiles and evaluates a query,
+// returning the matched nodes. It is intended for tests and one-off
+// lookups; hot paths should Compile once.
+func SelectString(root *Node, query string) ([]*Node, error) {
+	q, err := Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Select(root), nil
+}
+
+// First returns the first node selected by query, or nil.
+func First(root *Node, query string) (*Node, error) {
+	nodes, err := SelectString(root, query)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	return nodes[0], nil
+}
