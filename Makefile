@@ -1,0 +1,45 @@
+# HARNESS II reproduction — build/test/bench entry points.
+# `make ci` is what .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-xdr hbench fuzz ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the whole tree (timing-shape tests skip
+# themselves under the detector's slowdown).
+race:
+	$(GO) test -race ./...
+
+# All Go microbenchmarks with allocation stats.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# The XDR transport benchmarks backing EXPERIMENTS.md E11.
+bench-xdr:
+	$(GO) test -run xxx -bench 'BenchmarkXDRInvoke' -benchmem -benchtime 2s ./internal/invoke/
+	$(GO) test -run xxx -bench . -benchmem -benchtime 2s ./internal/xdr/
+
+# Regenerate the experiment tables (quick parameters; add ARGS=-full).
+hbench:
+	$(GO) run ./cmd/hbench $(ARGS)
+
+# Short fuzz pass over the v2 frame-header and array decoders.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadFrameID -fuzztime 30s ./internal/xdr/
+	$(GO) test -run xxx -fuzz FuzzDecoderArrays -fuzztime 30s ./internal/xdr/
+
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

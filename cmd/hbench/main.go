@@ -1,4 +1,4 @@
-// Command hbench regenerates the HARNESS II experiment tables (E1–E10 in
+// Command hbench regenerates the HARNESS II experiment tables (E1–E11 in
 // DESIGN.md): every figure-scenario and quantified design claim of the
 // paper, printed as aligned text tables.
 //
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exps = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		exps = flag.String("exp", "all", "comma-separated experiment IDs (E1..E11) or 'all'")
 		full = flag.Bool("full", false, "run the full (report-quality) parameter sweeps")
 		list = flag.Bool("list", false, "list experiment IDs and exit")
 	)

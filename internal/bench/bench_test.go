@@ -190,7 +190,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("E99", Params{}); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
-	if got := IDs(); len(got) != 11 || got[0] != "E1" {
+	if got := IDs(); len(got) != 12 || got[0] != "E1" {
 		t.Fatalf("IDs = %v", got)
 	}
 	// E2 through the dispatcher with the quick params (fastest pure-CPU
@@ -242,5 +242,41 @@ func TestNetworkExperimentsEndToEnd(t *testing.T) {
 	}
 	if tb, err := E10Discovery([]int{2}); err != nil || len(tb.Rows) != 2 {
 		t.Fatalf("E10: %v %v", tb, err)
+	}
+	// E11 with tiny sizes: 2 payloads x 3 transports x 2 client counts.
+	if tb, err := E11Concurrency([]int{1, 4}, 20, 256, 4); err != nil || len(tb.Rows) != 12 {
+		t.Fatalf("E11: %v %v", tb, err)
+	}
+}
+
+func TestE11ShapeMuxScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network experiment is slow")
+	}
+	if raceEnabled {
+		t.Skip("timing-shape assertion; the race detector skews scheduling")
+	}
+	// Enough calls for the scaling signal to beat loopback noise.
+	tb, err := E11Concurrency([]int{1, 16}, 150, 256, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index speedup by (transport, clients) for the small payload, where
+	// per-call latency (not wire bandwidth) dominates.
+	speedup := map[string]float64{}
+	for _, row := range tb.Rows {
+		if strings.HasPrefix(row[0], "small") {
+			speedup[row[1]+"/"+row[2]] = parseCell(t, row[7])
+		}
+	}
+	// The multiplexed transport must convert 16 concurrent callers into
+	// real aggregate throughput; the serial port cannot (one call in
+	// flight per connection, so scaling hovers near 1x).
+	if s := speedup["mux/16"]; s < 2 {
+		t.Fatalf("mux speedup at 16 clients = %.2fx, want >= 2x\n%s", s, tb)
+	}
+	if s := speedup["serial/16"]; s > speedup["mux/16"] {
+		t.Fatalf("serial (%v) should not out-scale mux (%v)\n%s",
+			s, speedup["mux/16"], tb)
 	}
 }

@@ -95,7 +95,37 @@ func (p Params) localityJobs() int {
 	return 8
 }
 
-// Run executes one experiment by ID (E1–E9).
+func (p Params) xdrClients() []int {
+	if p.Full {
+		return []int{1, 4, 16, 64}
+	}
+	return []int{1, 4, 16}
+}
+
+func (p Params) xdrSmallCalls() int {
+	if p.Full {
+		return 400
+	}
+	return 150
+}
+
+// xdrArrayLen is the float64 element count of the E11 large payload:
+// 1 MiB on the wire for Full runs, 64 KiB for quick runs.
+func (p Params) xdrArrayLen() int {
+	if p.Full {
+		return 1 << 17
+	}
+	return 1 << 13
+}
+
+func (p Params) xdrArrayCalls() int {
+	if p.Full {
+		return 16
+	}
+	return 6
+}
+
+// Run executes one experiment by ID (E1–E11).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -120,13 +150,16 @@ func Run(id string, p Params) (*Table, error) {
 		return E9Locality(p.localityN(), p.localityJobs())
 	case "E10":
 		return E10Discovery(p.discoveryCounts())
+	case "E11":
+		return E11Concurrency(p.xdrClients(), p.xdrSmallCalls(),
+			p.xdrArrayLen(), p.xdrArrayCalls())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

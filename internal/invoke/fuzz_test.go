@@ -22,10 +22,11 @@ func TestXDRRequestDecoderNeverPanics(t *testing.T) {
 		_, _, _, _ = decodeRequest(b)
 	}
 	// Structured-prefix corruption: take a valid frame and flip bytes.
-	valid, err := encodeRequest("inst", "op", wire.Args("a", []float64{1, 2, 3}))
-	if err != nil {
+	e := xdr.NewEncoder(64)
+	if err := encodeRequest(e, "inst", "op", wire.Args("a", []float64{1, 2, 3})); err != nil {
 		t.Fatal(err)
 	}
+	valid := e.Bytes()
 	for i := 0; i < len(valid); i++ {
 		mut := append([]byte(nil), valid...)
 		mut[i] ^= 0xFF
@@ -41,10 +42,11 @@ func TestXDRResponseDecoderNeverPanics(t *testing.T) {
 		r.Read(b)
 		_, _ = decodeResponse(b)
 	}
-	valid, err := encodeResponse(wire.Args("x", int64(1)))
-	if err != nil {
+	e := xdr.NewEncoder(64)
+	if err := encodeResponse(e, wire.Args("x", int64(1))); err != nil {
 		t.Fatal(err)
 	}
+	valid := e.Bytes()
 	for i := 0; i < len(valid); i++ {
 		mut := append([]byte(nil), valid...)
 		mut[i] ^= 0xFF

@@ -272,23 +272,48 @@ func TestXDRDialPerCall(t *testing.T) {
 }
 
 func TestXDRReconnectAfterServerRestart(t *testing.T) {
-	h := newHost(t)
-	_, defs := h.deploy(t, "Counter", "c1")
-	ref := defs.PortsByKind(wsdl.BindXDR)
-	p := NewXDRPort(ref[0].Port.Address, "c1", false)
-	defer p.Close()
-	ctx := context.Background()
-	if _, err := p.Invoke(ctx, "inc", wire.Args("by", int64(1))); err != nil {
-		t.Fatal(err)
-	}
-	// Kill the pooled connection server-side; next call must retry.
-	h.xdr.mu.Lock()
-	for conn := range h.xdr.conns {
-		_ = conn.Close()
-	}
-	h.xdr.mu.Unlock()
-	if _, err := p.Invoke(ctx, "inc", wire.Args("by", int64(1))); err != nil {
-		t.Fatalf("retry after peer close failed: %v", err)
+	// After the server drops a pooled connection, the port must recover
+	// on a fresh connection without ever double-invoking: either the dead
+	// connection is detected before sending (transparent), or the call
+	// surfaces an error and the *next* call succeeds. The counter proves
+	// exactly one server-side increment per successful call.
+	for _, mode := range []XDRMode{XDRModeMux, XDRModeSerial} {
+		t.Run(mode.String(), func(t *testing.T) {
+			h := newHost(t)
+			_, defs := h.deploy(t, "Counter", mode.String())
+			ref := defs.PortsByKind(wsdl.BindXDR)
+			p := NewXDRPortMode(ref[0].Port.Address, mode.String(), mode)
+			defer p.Close()
+			ctx := context.Background()
+			if _, err := p.Invoke(ctx, "inc", wire.Args("by", int64(1))); err != nil {
+				t.Fatal(err)
+			}
+			// Kill the pooled connection server-side.
+			h.xdr.mu.Lock()
+			for conn := range h.xdr.conns {
+				_ = conn.Close()
+			}
+			h.xdr.mu.Unlock()
+			var successes int64 = 1 // the call before the kill
+			var lastTotal int64
+			for attempt := 0; attempt < 10; attempt++ {
+				out, err := p.Invoke(ctx, "inc", wire.Args("by", int64(1)))
+				if err != nil {
+					continue // ambiguous-outcome error is acceptable once
+				}
+				successes++
+				total, _ := wire.GetArg(out, "total")
+				lastTotal = total.(int64)
+				break
+			}
+			if lastTotal == 0 {
+				t.Fatal("port never recovered after peer close")
+			}
+			if lastTotal != successes {
+				t.Fatalf("total = %d after %d successful calls (silent retry double-invoked?)",
+					lastTotal, successes)
+			}
+		})
 	}
 }
 

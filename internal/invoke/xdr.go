@@ -1,11 +1,16 @@
 package invoke
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
+	"time"
 
 	"harness2/internal/container"
 	"harness2/internal/wire"
@@ -13,7 +18,10 @@ import (
 	"harness2/internal/xdr"
 )
 
-// The XDR binding wire protocol. Each frame is an xdr.WriteFrame record.
+// The XDR binding wire protocol. Each frame is an xdr record — a v1
+// [len][payload] record for legacy serial connections, or a v2
+// [len][request-id][payload] record on multiplexed connections (see
+// internal/xdr/frame.go for the framing and version negotiation).
 //
 // Request:  string instance; string op; uint32 nargs;
 //           nargs × (string name, tagged value)
@@ -26,10 +34,37 @@ import (
 // exist to "mimic the behavior of the RMI daemon to select the actual
 // target component".
 
+// xdrBufSize sizes the per-connection buffered reader/writer: one flush
+// per frame means one write syscall for any frame that fits.
+const xdrBufSize = 32 << 10
+
+// XDRServerOption configures NewXDRServer.
+type XDRServerOption func(*XDRServer)
+
+// WithXDRWorkers bounds the v2 dispatch worker pool: at most n request
+// frames execute concurrently across all multiplexed connections. Values
+// < 1 are ignored.
+func WithXDRWorkers(n int) XDRServerOption {
+	return func(s *XDRServer) {
+		if n >= 1 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
 // XDRServer serves the XDR socket binding for a container's instances.
+// It speaks both wire protocol versions, auto-detected per connection:
+// v1 connections are served strictly sequentially (the protocol has no
+// request IDs, so ordering is the contract); v2 connections dispatch
+// every request frame to a bounded worker pool so one slow invocation
+// cannot head-of-line-block the connection.
 type XDRServer struct {
 	c  *container.Container
 	ln net.Listener
+
+	sem       chan struct{} // bounds concurrently executing v2 requests
+	closeCtx  context.Context
+	closeStop context.CancelFunc
 
 	mu     sync.Mutex
 	closed bool
@@ -39,15 +74,31 @@ type XDRServer struct {
 
 // NewXDRServer starts an XDR listener on addr (e.g. "127.0.0.1:0") that
 // dispatches to instances of c.
-func NewXDRServer(c *container.Container, addr string) (*XDRServer, error) {
+func NewXDRServer(c *container.Container, addr string, opts ...XDRServerOption) (*XDRServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("invoke: xdr listen: %w", err)
 	}
-	s := &XDRServer{c: c, ln: ln, conns: make(map[net.Conn]bool)}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &XDRServer{
+		c: c, ln: ln, conns: make(map[net.Conn]bool),
+		sem:      make(chan struct{}, defaultXDRWorkers()),
+		closeCtx: ctx, closeStop: cancel,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+func defaultXDRWorkers() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
 }
 
 // Addr returns the listener's address.
@@ -68,7 +119,8 @@ func (s *XDRServer) target() *container.Container {
 	return s.c
 }
 
-// Close stops the listener and all open connections.
+// Close stops the listener and all open connections, then waits for
+// in-flight handlers to drain.
 func (s *XDRServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -81,6 +133,7 @@ func (s *XDRServer) Close() error {
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
+	s.closeStop()
 	s.wg.Wait()
 	return err
 }
@@ -105,6 +158,9 @@ func (s *XDRServer) acceptLoop() {
 	}
 }
 
+// serveConn sniffs the protocol version from the first word of the
+// stream: MagicV2 opens a multiplexed session; any legal v1 frame length
+// (always < MagicV2, by construction) starts a legacy sequential session.
 func (s *XDRServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -113,32 +169,172 @@ func (s *XDRServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	for {
-		frame, err := xdr.ReadFrame(conn)
-		if err != nil {
-			return // EOF or broken connection ends the session
+	br := bufio.NewReaderSize(conn, xdrBufSize)
+	var first [4]byte
+	if _, err := io.ReadFull(br, first[:]); err != nil {
+		return
+	}
+	word := binary.BigEndian.Uint32(first[:])
+	if word == xdr.MagicV2 {
+		s.serveV2(conn, br)
+		return
+	}
+	s.serveV1(conn, br, word)
+}
+
+// serveV1 is the legacy path: one frame in, one frame out, in order.
+func (s *XDRServer) serveV1(conn net.Conn, br *bufio.Reader, firstLen uint32) {
+	bw := bufio.NewWriterSize(conn, xdrBufSize)
+	frame, err := xdr.ReadFramePooledAfterLen(br, firstLen)
+	for err == nil {
+		resp := s.handleFrame(frame, false)
+		xdr.PutFrameBuf(frame)
+		if werr := xdr.WriteFrame(bw, resp.Bytes()); werr == nil {
+			err = bw.Flush()
+		} else {
+			err = werr
 		}
-		resp := s.handleFrame(frame)
-		if err := xdr.WriteFrame(conn, resp); err != nil {
+		xdr.PutEncoder(resp)
+		if err != nil {
 			return
 		}
+		frame, err = xdr.ReadFramePooled(br)
 	}
 }
 
-func (s *XDRServer) handleFrame(frame []byte) []byte {
+// v2task is one request frame awaiting a worker.
+type v2task struct {
+	id    uint64
+	frame []byte
+}
+
+// serveV2 is the multiplexed path: request frames are handed to a pool
+// of persistent per-connection workers (bounded globally by s.sem) and
+// responses are written back — tagged with the request ID they answer —
+// as they complete, in any order. Persistent workers, rather than a
+// goroutine per frame, keep their grown stacks across requests; per-call
+// goroutine spawn and stack-copy churn would otherwise dominate the
+// profile at high request rates.
+//
+// Workers buffer their response frames and a dedicated flusher goroutine
+// commits them: after each wakeup it yields once so every worker that is
+// already runnable appends its frame first, then the whole burst leaves
+// in one write syscall (the dominant per-call cost on a fast network).
+// An isolated response still flushes with only a scheduler yield of
+// extra latency. See muxConn.flushLoop for the client-side twin.
+func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
+	bw := bufio.NewWriterSize(conn, xdrBufSize)
+	var wmu sync.Mutex // serializes response frames on the shared writer
+	flushKick := make(chan struct{}, 1)
+	flushDone := make(chan struct{})
+	kick := func() {
+		select {
+		case flushKick <- struct{}{}:
+		default:
+		}
+	}
+	go func() { // flusher
+		for {
+			select {
+			case <-flushDone:
+				return
+			case <-flushKick:
+			}
+			runtime.Gosched() // let runnable workers append their frames
+			select {
+			case <-flushKick: // collapse kicks that arrived while yielding
+			default:
+			}
+			wmu.Lock()
+			var err error
+			if bw.Buffered() > 0 {
+				err = bw.Flush()
+			}
+			wmu.Unlock()
+			if err != nil {
+				_ = conn.Close() // unblocks the read loop below
+				return
+			}
+		}
+	}()
+
+	nw := cap(s.sem)
+	tasks := make(chan v2task, nw)
+	var workers sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for t := range tasks {
+				s.sem <- struct{}{} // global bound across connections
+				resp := s.handleFrame(t.frame, true)
+				xdr.PutFrameBuf(t.frame)
+				frame, err := resp.FrameBytes(t.id)
+				if err == nil {
+					wmu.Lock()
+					_, err = bw.Write(frame)
+					wmu.Unlock()
+				}
+				xdr.PutEncoder(resp)
+				<-s.sem
+				if err != nil {
+					_ = conn.Close() // unblocks the read loop below
+					continue         // keep draining queued tasks
+				}
+				kick()
+			}
+		}()
+	}
+
+	for {
+		id, frame, err := xdr.ReadFrameID(br)
+		if err != nil {
+			break
+		}
+		tasks <- v2task{id: id, frame: frame} // blocks when workers saturate
+	}
+	close(tasks)
+	workers.Wait()
+	// Stop the flusher and commit anything it had not flushed yet (the
+	// last worker's kick may still be sitting in the channel). The
+	// deferred conn.Close in serveConn runs after this.
+	close(flushDone)
+	wmu.Lock()
+	if bw.Buffered() > 0 {
+		_ = bw.Flush()
+	}
+	wmu.Unlock()
+}
+
+// handleFrame decodes one request, invokes it, and encodes the response
+// into a pooled encoder the caller must release with xdr.PutEncoder.
+// With reserveHeader the encoder is primed for Encoder.FrameBytes (the
+// v2 path). The request frame is fully copied out by decodeRequest, so
+// the caller may release it as soon as handleFrame returns.
+func (s *XDRServer) handleFrame(frame []byte, reserveHeader bool) *xdr.Encoder {
+	e := xdr.GetEncoder()
+	if reserveHeader {
+		e.ReserveFrameHeader()
+	}
+	fault := func(err error) *xdr.Encoder {
+		e.Reset()
+		if reserveHeader {
+			e.ReserveFrameHeader()
+		}
+		return encodeFault(e, err)
+	}
 	instance, op, args, err := decodeRequest(frame)
 	if err != nil {
-		return encodeFault(err)
+		return fault(err)
 	}
-	out, err := s.target().Invoke(context.Background(), instance, op, args)
+	out, err := s.target().Invoke(s.closeCtx, instance, op, args)
 	if err != nil {
-		return encodeFault(err)
+		return fault(err)
 	}
-	resp, err := encodeResponse(out)
-	if err != nil {
-		return encodeFault(err)
+	if err := encodeResponse(e, out); err != nil {
+		return fault(err)
 	}
-	return resp
+	return e
 }
 
 func decodeRequest(frame []byte) (instance, op string, args []wire.Arg, err error) {
@@ -153,7 +349,7 @@ func decodeRequest(frame []byte) (instance, op string, args []wire.Arg, err erro
 	if err != nil {
 		return "", "", nil, err
 	}
-	if n > 1<<16 {
+	if n > xdr.MaxArgs {
 		return "", "", nil, errors.New("invoke: absurd argument count")
 	}
 	args = make([]wire.Arg, n)
@@ -168,38 +364,41 @@ func decodeRequest(frame []byte) (instance, op string, args []wire.Arg, err erro
 	return instance, op, args, nil
 }
 
-func encodeRequest(instance, op string, args []wire.Arg) ([]byte, error) {
-	e := xdr.NewEncoder(64)
+func encodeRequest(e *xdr.Encoder, instance, op string, args []wire.Arg) error {
+	if len(args) > xdr.MaxArgs {
+		return errors.New("invoke: absurd argument count")
+	}
 	e.String(instance)
 	e.String(op)
 	e.Uint32(uint32(len(args)))
 	for _, a := range args {
 		e.String(a.Name)
 		if err := xdr.EncodeValue(e, a.Value); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return e.Bytes(), nil
+	return nil
 }
 
-func encodeResponse(out []wire.Arg) ([]byte, error) {
-	e := xdr.NewEncoder(64)
+func encodeResponse(e *xdr.Encoder, out []wire.Arg) error {
+	if len(out) > xdr.MaxArgs {
+		return errors.New("invoke: absurd result count")
+	}
 	e.Uint32(0)
 	e.Uint32(uint32(len(out)))
 	for _, a := range out {
 		e.String(a.Name)
 		if err := xdr.EncodeValue(e, a.Value); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return e.Bytes(), nil
+	return nil
 }
 
-func encodeFault(err error) []byte {
-	e := xdr.NewEncoder(64)
+func encodeFault(e *xdr.Encoder, err error) *xdr.Encoder {
 	e.Uint32(1)
 	e.String(err.Error())
-	return e.Bytes()
+	return e
 }
 
 func decodeResponse(frame []byte) ([]wire.Arg, error) {
@@ -219,7 +418,7 @@ func decodeResponse(frame []byte) ([]wire.Arg, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n > 1<<16 {
+	if n > xdr.MaxArgs {
 		return nil, errors.New("invoke: absurd result count")
 	}
 	out := make([]wire.Arg, n)
@@ -234,85 +433,216 @@ func decodeResponse(frame []byte) ([]wire.Arg, error) {
 	return out, nil
 }
 
-// XDRPort is the client side of the XDR socket binding. By default it
-// keeps one TCP connection open across calls; DialPerCall reconnects for
-// every invocation (the E3 ablation quantifying connection reuse).
-type XDRPort struct {
-	addr        string
-	instance    string
-	dialPerCall bool
+// XDRMode selects the wire behavior of an XDRPort.
+type XDRMode int
 
-	mu   sync.Mutex
+const (
+	// XDRModeMux (the default) multiplexes many concurrent in-flight
+	// calls over one shared v2 connection.
+	XDRModeMux XDRMode = iota
+	// XDRModeSerial keeps one pooled v1 connection with a single call in
+	// flight — the pre-multiplexing behavior, kept as the E11 baseline
+	// and for wire compatibility with v1-only servers.
+	XDRModeSerial
+	// XDRModeDialPerCall reconnects (v1) for every invocation — the E3
+	// ablation quantifying connection reuse.
+	XDRModeDialPerCall
+)
+
+func (m XDRMode) String() string {
+	switch m {
+	case XDRModeMux:
+		return "mux"
+	case XDRModeSerial:
+		return "serial"
+	case XDRModeDialPerCall:
+		return "dial-per-call"
+	}
+	return fmt.Sprintf("XDRMode(%d)", int(m))
+}
+
+// countingWriter counts bytes that reached the underlying writer. The
+// retry logic uses it to tell "nothing of this request hit the wire"
+// (safe to resend) from "the frame was partially written" (resending
+// could invoke a non-idempotent operation twice).
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += n
+	return n, err
+}
+
+// XDRPort is the client side of the XDR socket binding. In the default
+// multiplexed mode it keeps one shared v2 connection over which any
+// number of goroutines may Invoke concurrently; each call is tagged with
+// a request ID and a demultiplexing goroutine routes responses back to
+// their callers, so calls pipeline instead of serializing on round
+// trips. See XDRMode for the legacy behaviors.
+type XDRPort struct {
+	addr     string
+	instance string
+	mode     XDRMode
+
+	mu sync.Mutex
+	mc *muxConn // XDRModeMux
+
+	// Serial (v1) connection state. A non-nil conn is always "pooled":
+	// a connection that failed mid-call is dropped, so anything that
+	// survives to the next Invoke completed its previous exchange.
 	conn net.Conn
+	cw   *countingWriter
+	bw   *bufio.Writer
+	br   *bufio.Reader
 }
 
 var _ Port = (*XDRPort)(nil)
 
 // NewXDRPort returns a port bound to the XDR endpoint at addr targeting
-// the given instance.
+// the given instance. dialPerCall selects XDRModeDialPerCall; otherwise
+// the port is multiplexed (XDRModeMux).
 func NewXDRPort(addr, instance string, dialPerCall bool) *XDRPort {
-	return &XDRPort{addr: addr, instance: instance, dialPerCall: dialPerCall}
+	mode := XDRModeMux
+	if dialPerCall {
+		mode = XDRModeDialPerCall
+	}
+	return NewXDRPortMode(addr, instance, mode)
 }
 
-// Invoke implements Port.
+// NewXDRPortMode returns a port with an explicit wire mode.
+func NewXDRPortMode(addr, instance string, mode XDRMode) *XDRPort {
+	return &XDRPort{addr: addr, instance: instance, mode: mode}
+}
+
+// Mode reports the port's wire mode.
+func (p *XDRPort) Mode() XDRMode { return p.mode }
+
+// Invoke implements Port. It is safe for concurrent use; in XDRModeMux
+// concurrent calls share one connection without serializing on each
+// other's round trips.
 func (p *XDRPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
-	req, err := encodeRequest(p.instance, op, args)
-	if err != nil {
+	if p.mode == XDRModeMux {
+		return p.invokeMux(ctx, op, args)
+	}
+	return p.invokeSerial(ctx, op, args)
+}
+
+// invokeSerial is the v1 path: the port mutex is held across the whole
+// exchange, so one call is in flight at a time.
+func (p *XDRPort) invokeSerial(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	e := xdr.GetEncoder()
+	defer xdr.PutEncoder(e)
+	if err := encodeRequest(e, p.instance, op, args); err != nil {
 		return nil, err
 	}
+	req := e.Bytes()
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	conn, err := p.connLocked(ctx)
-	if err != nil {
-		return nil, err
-	}
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = conn.SetDeadline(deadline)
-	}
-	frame, err := p.exchange(conn, req)
-	if err != nil {
-		// One transparent retry on a fresh connection covers the case of
-		// a pooled connection closed by the peer between calls.
-		p.dropLocked()
-		conn, cerr := p.connLocked(ctx)
-		if cerr != nil {
+	for attempt := 0; ; attempt++ {
+		fresh := p.conn == nil
+		if err := p.connLocked(ctx); err != nil {
 			return nil, err
 		}
-		if frame, err = p.exchange(conn, req); err != nil {
+		if !fresh && p.staleLocked() {
+			// The pooled connection was closed by the peer while idle
+			// (e.g. a server restart). Nothing has been sent yet, so
+			// replacing it is transparent and cannot double-invoke.
 			p.dropLocked()
+			if err := p.connLocked(ctx); err != nil {
+				return nil, err
+			}
+			fresh = true
+		}
+		// Always arm the deadline from this call's context — a zero
+		// deadline clears any deadline a previous call left behind, so a
+		// pooled connection can never inherit a stale timeout.
+		deadline, _ := ctx.Deadline()
+		_ = p.conn.SetDeadline(deadline)
+
+		p.cw.n = 0
+		frame, err := p.exchangeLocked(req)
+		if err != nil {
+			wroteNothing := p.cw.n == 0
+			p.dropLocked()
+			// Transparent retry is restricted to the case where the
+			// *first write* on a pooled (reused) connection failed: no
+			// byte of the request reached the wire, so resending cannot
+			// invoke a non-idempotent operation twice. Mid-frame write
+			// failures and response-side errors are surfaced instead —
+			// the server may already have executed the call.
+			if !fresh && wroteNothing && attempt == 0 {
+				continue
+			}
 			return nil, fmt.Errorf("invoke: xdr call %s: %w", op, err)
 		}
+		if p.mode == XDRModeDialPerCall {
+			p.dropLocked()
+		}
+		out, derr := decodeResponse(frame)
+		xdr.PutFrameBuf(frame)
+		return out, derr
 	}
-	if p.dialPerCall {
-		p.dropLocked()
-	}
-	return decodeResponse(frame)
 }
 
-func (p *XDRPort) exchange(conn net.Conn, req []byte) ([]byte, error) {
-	if err := xdr.WriteFrame(conn, req); err != nil {
+func (p *XDRPort) exchangeLocked(req []byte) ([]byte, error) {
+	if err := xdr.WriteFrame(p.bw, req); err != nil {
 		return nil, err
 	}
-	return xdr.ReadFrame(conn)
+	if err := p.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return xdr.ReadFramePooled(p.br)
 }
 
-func (p *XDRPort) connLocked(ctx context.Context) (net.Conn, error) {
+func (p *XDRPort) connLocked(ctx context.Context) error {
 	if p.conn != nil {
-		return p.conn, nil
+		return nil
 	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", p.addr)
 	if err != nil {
-		return nil, fmt.Errorf("invoke: xdr dial %s: %w", p.addr, err)
+		return fmt.Errorf("invoke: xdr dial %s: %w", p.addr, err)
 	}
 	p.conn = conn
-	return conn, nil
+	p.cw = &countingWriter{w: conn}
+	p.bw = bufio.NewWriterSize(p.cw, xdrBufSize)
+	p.br = bufio.NewReaderSize(conn, xdrBufSize)
+	return nil
+}
+
+// staleLocked probes a pooled connection for a peer close with a
+// non-blocking read: a FIN/RST that arrived while the connection sat idle
+// is detected *before* the request is sent, which is the only moment a
+// replacement is provably safe.
+func (p *XDRPort) staleLocked() bool {
+	if p.br.Buffered() > 0 {
+		return true // response bytes with no call in flight: desynced
+	}
+	_ = p.conn.SetReadDeadline(time.Unix(1, 0)) // already expired
+	var scratch [1]byte
+	n, err := p.conn.Read(scratch[:])
+	_ = p.conn.SetReadDeadline(time.Time{})
+	if n > 0 {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false // nothing readable: the healthy idle state
+	}
+	return true // EOF, reset, or any other read failure
 }
 
 func (p *XDRPort) dropLocked() {
 	if p.conn != nil {
 		_ = p.conn.Close()
 		p.conn = nil
+		p.cw = nil
+		p.bw = nil
+		p.br = nil
 	}
 }
 
@@ -327,5 +657,9 @@ func (p *XDRPort) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.dropLocked()
+	if p.mc != nil {
+		p.mc.shutdown(errors.New("invoke: xdr port closed"))
+		p.mc = nil
+	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package invoke
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"harness2/internal/container"
+	"harness2/internal/wire"
+)
+
+func benchXDRHost(b *testing.B) *XDRServer {
+	b.Helper()
+	c := container.New(container.Config{Name: "bench"})
+	c.RegisterFactory("MatMul", matmulImpl())
+	c.RegisterFactory("Counter", counterImpl())
+	if _, _, err := c.Deploy("MatMul", "mm"); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.Deploy("Counter", "c1"); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewXDRServer(c, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+var benchModes = []XDRMode{XDRModeSerial, XDRModeMux}
+
+// BenchmarkXDRInvokeSmall measures one small (two-int64) call on a
+// single connection — the per-call frame/encode floor of the binding —
+// for the legacy serial transport and the multiplexed v2 transport.
+func BenchmarkXDRInvokeSmall(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			srv := benchXDRHost(b)
+			p := NewXDRPortMode(srv.Addr(), "c1", mode)
+			defer p.Close()
+			args := wire.Args("by", int64(1))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Invoke(ctx, "inc", args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkXDRInvokeArray1MB measures a 1 MiB []float64 echo through the
+// full client+server path: the numeric-array bulk encode/decode fast
+// path plus frame-buffer pooling.
+func BenchmarkXDRInvokeArray1MB(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			srv := benchXDRHost(b)
+			p := NewXDRPortMode(srv.Addr(), "mm", mode)
+			defer p.Close()
+			n := 1 << 17 // 128k doubles = 1 MiB
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(i)
+			}
+			args := wire.Args("mata", data, "matb", data)
+			ctx := context.Background()
+			b.SetBytes(int64(8 * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Invoke(ctx, "getResult", args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchXDRConcurrent drives `clients` goroutines over one shared port.
+func benchXDRConcurrent(b *testing.B, mode XDRMode, clients int) {
+	srv := benchXDRHost(b)
+	p := NewXDRPortMode(srv.Addr(), "c1", mode)
+	defer p.Close()
+	args := wire.Args("by", int64(1))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / clients
+	if per == 0 {
+		per = 1
+	}
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := p.Invoke(ctx, "inc", args); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkXDRInvokeConcurrent is the E11 companion: aggregate
+// throughput of one shared port under concurrent callers. The serial
+// transport admits one call in flight, so ns/op stays flat; the
+// multiplexed transport pipelines calls and batches frames per syscall,
+// so ns/op falls as concurrency grows.
+func BenchmarkXDRInvokeConcurrent(b *testing.B) {
+	for _, mode := range benchModes {
+		for _, clients := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode, clients), func(b *testing.B) {
+				benchXDRConcurrent(b, mode, clients)
+			})
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package xdr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The codec benchmarks document the bulk big-endian fast paths: numeric
+// arrays are block-converted into a pre-grown buffer on encode and
+// decoded by sub-slicing one bounds-checked region, instead of
+// element-at-a-time append/read loops.
+
+func BenchmarkEncodeFloat64Array(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(i)
+			}
+			e := NewEncoder(8*n + 16)
+			b.SetBytes(int64(8 * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Reset()
+				e.Float64Array(data)
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeFloat64Array(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(i)
+			}
+			e := NewEncoder(8*n + 16)
+			e.Float64Array(data)
+			buf := e.Bytes()
+			b.SetBytes(int64(8 * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := NewDecoder(buf)
+				if _, err := d.Float64Array(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeInt32Array(b *testing.B) {
+	n := 10000
+	data := make([]int32, n)
+	for i := range data {
+		data[i] = int32(i)
+	}
+	e := NewEncoder(4*n + 16)
+	b.SetBytes(int64(4 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Int32Array(data)
+	}
+}
+
+func BenchmarkEncodeFloat32Array(b *testing.B) {
+	n := 10000
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	e := NewEncoder(4*n + 16)
+	b.SetBytes(int64(4 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Float32Array(data)
+	}
+}

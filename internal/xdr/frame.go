@@ -1,0 +1,197 @@
+package xdr
+
+import (
+	"encoding/binary"
+	"io"
+	"sync"
+)
+
+// Wire protocol versions of the XDR socket binding.
+//
+// v1 (legacy): a connection is a sequence of records, each
+//
+//	[4-byte big-endian payload length][payload]
+//
+// with strict request/response alternation — one call in flight per
+// connection.
+//
+// v2 (multiplexed): the client opens the stream with the MagicV2 word,
+// after which every frame (in both directions) carries a request ID:
+//
+//	[4-byte big-endian payload length][8-byte big-endian request id][payload]
+//
+// Responses echo the request ID of the call they answer and may arrive in
+// any order, so many calls can be pipelined over one connection.
+//
+// Version negotiation costs nothing on the wire: MaxLen < MagicV2, so the
+// first word of a connection is unambiguous — a legal v1 frame length can
+// never collide with the magic, and a server can keep serving v1 clients
+// on the same port.
+
+// MagicV2 is the v2 stream preamble ("HXD2"). It deliberately exceeds
+// MaxLen so no v1 frame-length word can be mistaken for it.
+const MagicV2 uint32 = 0x48584432
+
+// MaxArgs bounds the declared argument/result count of one XDR-binding
+// call, on both the encode and decode sides. Like MaxLen it guards
+// against hostile or corrupt count prefixes.
+const MaxArgs = 1 << 16
+
+// maxPooledBuf caps the capacity of buffers retained by the frame and
+// encoder pools; anything larger is left to the garbage collector so one
+// huge call cannot pin memory forever.
+const maxPooledBuf = 32 << 20
+
+// frameBufPool recycles frame payload buffers across reads.
+var frameBufPool = sync.Pool{}
+
+// GetFrameBuf returns a length-n byte slice, reusing pooled capacity when
+// possible. Pair with PutFrameBuf once the frame is fully decoded.
+func GetFrameBuf(n int) []byte {
+	if v := frameBufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutFrameBuf returns a buffer obtained from GetFrameBuf (or ReadFrameID /
+// ReadFramePooled) to the pool. The caller must not touch b afterwards:
+// decoded values never alias the frame (the decoder copies), so releasing
+// after decode is safe.
+func PutFrameBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:cap(b)]
+	frameBufPool.Put(&b)
+}
+
+// encoderPool recycles Encoders across encode calls.
+var encoderPool = sync.Pool{
+	New: func() any { return NewEncoder(256) },
+}
+
+// GetEncoder returns a reset Encoder from the pool.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an Encoder to the pool. The bytes previously
+// returned by e.Bytes() must no longer be referenced.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledBuf {
+		return
+	}
+	encoderPool.Put(e)
+}
+
+// WriteMagicV2 writes the v2 stream preamble. Clients send it once,
+// immediately after connecting, before the first v2 frame.
+func WriteMagicV2(w io.Writer) error {
+	var word [4]byte
+	binary.BigEndian.PutUint32(word[:], MagicV2)
+	_, err := w.Write(word[:])
+	return err
+}
+
+// WriteFrameID writes one v2 frame: length word, request ID, payload.
+// Callers that care about syscall count should hand in a *bufio.Writer
+// and flush once per frame — header and payload then coalesce into a
+// single write on the socket.
+func WriteFrameID(w io.Writer, id uint64, payload []byte) error {
+	if len(payload) > MaxLen {
+		return ErrTooLarge
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// frameHeaderLen is the size of a v2 frame header: 4-byte length word
+// plus 8-byte request ID.
+const frameHeaderLen = 12
+
+// ReserveFrameHeader appends space for a v2 frame header to a fresh
+// encoder. Encode the payload after it, then seal the frame with
+// FrameBytes — header and payload then live in one contiguous buffer
+// that reaches the socket in a single Write, with no per-frame header
+// allocation (a stack [12]byte escapes when passed through io.Writer).
+func (e *Encoder) ReserveFrameHeader() {
+	_ = e.grow(frameHeaderLen)
+}
+
+// FrameBytes patches the reserved header with the payload length and
+// request ID and returns the complete wire frame. The encoder must have
+// been primed with ReserveFrameHeader before the payload was encoded.
+func (e *Encoder) FrameBytes(id uint64) ([]byte, error) {
+	n := len(e.buf) - frameHeaderLen
+	if n < 0 {
+		return nil, ErrShortBuffer // header was never reserved
+	}
+	if n > MaxLen {
+		return nil, ErrTooLarge
+	}
+	binary.BigEndian.PutUint32(e.buf[0:4], uint32(n))
+	binary.BigEndian.PutUint64(e.buf[4:12], id)
+	return e.buf, nil
+}
+
+// ReadFrameID reads one v2 frame. The returned payload comes from the
+// frame pool; release it with PutFrameBuf when fully decoded.
+func ReadFrameID(r io.Reader) (id uint64, payload []byte, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxLen {
+		return 0, nil, ErrTooLarge
+	}
+	id = binary.BigEndian.Uint64(hdr[4:12])
+	payload = GetFrameBuf(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutFrameBuf(payload)
+		return 0, nil, err
+	}
+	return id, payload, nil
+}
+
+// ReadFramePooled reads one v1 record like ReadFrame but into a pooled
+// buffer; release with PutFrameBuf when fully decoded.
+func ReadFramePooled(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	return readBody(r, binary.BigEndian.Uint32(hdr[:]))
+}
+
+// ReadFramePooledAfterLen finishes a v1 record read whose length word has
+// already been consumed — the server's version-sniffing path, where the
+// first word of a connection turned out to be a v1 length rather than
+// MagicV2.
+func ReadFramePooledAfterLen(r io.Reader, n uint32) ([]byte, error) {
+	return readBody(r, n)
+}
+
+func readBody(r io.Reader, n uint32) ([]byte, error) {
+	if n > MaxLen {
+		return nil, ErrTooLarge
+	}
+	payload := GetFrameBuf(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutFrameBuf(payload)
+		return nil, err
+	}
+	return payload, nil
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"harness2/internal/wire"
 )
@@ -108,27 +109,43 @@ func (e *Encoder) pad(n int) {
 	}
 }
 
-// Int32Array encodes a variable-length array of int32.
+// grow widens the buffer by n bytes in one step and returns the
+// sub-slice to fill — the block fast path shared by the numeric array
+// encoders, replacing per-element append (and its repeated capacity
+// checks) with a single capacity check and a tight fill loop.
+func (e *Encoder) grow(n int) []byte {
+	off := len(e.buf)
+	e.buf = slices.Grow(e.buf, n)[:off+n]
+	return e.buf[off : off+n : off+n]
+}
+
+// Int32Array encodes a variable-length array of int32 with a single
+// buffer grow and block big-endian conversion.
 func (e *Encoder) Int32Array(a []int32) {
 	e.Uint32(uint32(len(a)))
-	for _, v := range a {
-		e.Int32(v)
+	dst := e.grow(4 * len(a))
+	for i, v := range a {
+		binary.BigEndian.PutUint32(dst[4*i:], uint32(v))
 	}
 }
 
-// Int64Array encodes a variable-length array of hyper.
+// Int64Array encodes a variable-length array of hyper with a single
+// buffer grow and block big-endian conversion.
 func (e *Encoder) Int64Array(a []int64) {
 	e.Uint32(uint32(len(a)))
-	for _, v := range a {
-		e.Int64(v)
+	dst := e.grow(8 * len(a))
+	for i, v := range a {
+		binary.BigEndian.PutUint64(dst[8*i:], uint64(v))
 	}
 }
 
-// Float32Array encodes a variable-length array of single floats.
+// Float32Array encodes a variable-length array of single floats with a
+// single buffer grow and block big-endian conversion.
 func (e *Encoder) Float32Array(a []float32) {
 	e.Uint32(uint32(len(a)))
-	for _, v := range a {
-		e.Float32(v)
+	dst := e.grow(4 * len(a))
+	for i, v := range a {
+		binary.BigEndian.PutUint32(dst[4*i:], math.Float32bits(v))
 	}
 }
 
@@ -136,18 +153,22 @@ func (e *Encoder) Float32Array(a []float32) {
 // the hot path of the XDR binding; it widens the buffer once then fills.
 func (e *Encoder) Float64Array(a []float64) {
 	e.Uint32(uint32(len(a)))
-	off := len(e.buf)
-	e.buf = append(e.buf, make([]byte, 8*len(a))...)
+	dst := e.grow(8 * len(a))
 	for i, v := range a {
-		binary.BigEndian.PutUint64(e.buf[off+8*i:], math.Float64bits(v))
+		binary.BigEndian.PutUint64(dst[8*i:], math.Float64bits(v))
 	}
 }
 
 // BoolArray encodes a variable-length array of booleans.
 func (e *Encoder) BoolArray(a []bool) {
 	e.Uint32(uint32(len(a)))
-	for _, v := range a {
-		e.Bool(v)
+	dst := e.grow(4 * len(a))
+	for i, v := range a {
+		var w uint32
+		if v {
+			w = 1
+		}
+		binary.BigEndian.PutUint32(dst[4*i:], w)
 	}
 }
 
@@ -263,20 +284,32 @@ func (d *Decoder) String() (string, error) {
 	return string(b), err
 }
 
+// array carves the next elemSize*n bytes out of the frame in one bounds
+// check, so the per-element conversion loops below run against a single
+// sub-slice — the block decode path mirroring Encoder.grow.
+func (d *Decoder) array(n, elemSize int) ([]byte, error) {
+	if d.Remaining() < elemSize*n {
+		return nil, ErrShortBuffer
+	}
+	src := d.buf[d.off : d.off+elemSize*n : d.off+elemSize*n]
+	d.off += elemSize * n
+	return src, nil
+}
+
 // Int32Array decodes a variable-length array of int32.
 func (d *Decoder) Int32Array() ([]int32, error) {
 	n, err := d.declaredLen()
 	if err != nil {
 		return nil, err
 	}
-	if d.Remaining() < 4*n {
-		return nil, ErrShortBuffer
+	src, err := d.array(n, 4)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int32, n)
 	for i := range out {
-		out[i] = int32(binary.BigEndian.Uint32(d.buf[d.off+4*i:]))
+		out[i] = int32(binary.BigEndian.Uint32(src[4*i:]))
 	}
-	d.off += 4 * n
 	return out, nil
 }
 
@@ -286,14 +319,14 @@ func (d *Decoder) Int64Array() ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d.Remaining() < 8*n {
-		return nil, ErrShortBuffer
+	src, err := d.array(n, 8)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int64, n)
 	for i := range out {
-		out[i] = int64(binary.BigEndian.Uint64(d.buf[d.off+8*i:]))
+		out[i] = int64(binary.BigEndian.Uint64(src[8*i:]))
 	}
-	d.off += 8 * n
 	return out, nil
 }
 
@@ -303,14 +336,14 @@ func (d *Decoder) Float32Array() ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d.Remaining() < 4*n {
-		return nil, ErrShortBuffer
+	src, err := d.array(n, 4)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float32, n)
 	for i := range out {
-		out[i] = math.Float32frombits(binary.BigEndian.Uint32(d.buf[d.off+4*i:]))
+		out[i] = math.Float32frombits(binary.BigEndian.Uint32(src[4*i:]))
 	}
-	d.off += 4 * n
 	return out, nil
 }
 
@@ -320,14 +353,14 @@ func (d *Decoder) Float64Array() ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d.Remaining() < 8*n {
-		return nil, ErrShortBuffer
+	src, err := d.array(n, 8)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off+8*i:]))
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(src[8*i:]))
 	}
-	d.off += 8 * n
 	return out, nil
 }
 
