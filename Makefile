@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-xdr hbench fuzz ci clean
+.PHONY: all build vet lint test race cover bench bench-xdr hbench fuzz ci clean
 
 all: build
 
@@ -13,8 +13,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Fetched on demand (needs network); CI runs
+# the same pinned version.
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
+
 test:
 	$(GO) test ./...
+
+# Coverage profile plus the per-package summary CI publishes.
+cover:
+	$(GO) test -cover -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Race-detector pass over the whole tree (timing-shape tests skip
 # themselves under the detector's slowdown).

@@ -23,6 +23,7 @@ import (
 	"harness2/internal/registry"
 	"harness2/internal/simnet"
 	"harness2/internal/soap"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 	"harness2/internal/xdr"
@@ -540,6 +541,64 @@ func BenchmarkE4_RemoteDeployViaManager(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Invoke(ctx, "deploy",
 			wire.Args("class", "WSTime", "id", fmt.Sprintf("w%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: telemetry overhead ----------------------------------------------
+
+// BenchmarkE12_Disabled proves the observability off-switch is free: with
+// telemetry.Disabled(), every instrument is a nil handle and each hot-path
+// call is a single nil-receiver branch — a few nanoseconds, zero
+// allocations. This is the number that justifies leaving instrumentation
+// compiled into every layer.
+func BenchmarkE12_Disabled(b *testing.B) {
+	reg := telemetry.Disabled()
+	c := reg.Counter("bench_e12_counter")
+	h := reg.Histogram("bench_e12_hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.ObserveSince(h.Start())
+	}
+}
+
+// BenchmarkE12_Enabled is the paired measurement with live instruments:
+// an atomic counter increment plus a full histogram timer (two clock
+// reads and a bucketed observe).
+func BenchmarkE12_Enabled(b *testing.B) {
+	reg := telemetry.New()
+	c := reg.Counter("bench_e12_counter")
+	h := reg.Histogram("bench_e12_hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.ObserveSince(h.Start())
+	}
+}
+
+// BenchmarkE12_InvokeDisabled / Enabled measure the end-to-end cost of the
+// instrumented local dispatch path, the worst-case stack for overhead.
+func BenchmarkE12_InvokeDisabled(b *testing.B) { benchE12Invoke(b, telemetry.Disabled()) }
+func BenchmarkE12_InvokeEnabled(b *testing.B)  { benchE12Invoke(b, telemetry.New()) }
+
+func benchE12Invoke(b *testing.B, reg *telemetry.Registry) {
+	b.Helper()
+	c := container.New(container.Config{Name: "e12bench", Telemetry: reg})
+	core.RegisterBuiltins(c)
+	inst, _, err := c.Deploy("WSTime", "t1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &invoke.LocalPort{Container: c, Instance: inst.ID, Telemetry: reg}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke(ctx, "getTime", nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
-// Command hbench regenerates the HARNESS II experiment tables (E1–E11 in
+// Command hbench regenerates the HARNESS II experiment tables (E1–E12 in
 // DESIGN.md): every figure-scenario and quantified design claim of the
-// paper, printed as aligned text tables.
+// paper, plus the telemetry-overhead audit (E12), printed as aligned text
+// tables.
 //
 // Usage:
 //
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exps = flag.String("exp", "all", "comma-separated experiment IDs (E1..E11) or 'all'")
+		exps = flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
 		full = flag.Bool("full", false, "run the full (report-quality) parameter sweeps")
 		list = flag.Bool("list", false, "list experiment IDs and exit")
 	)

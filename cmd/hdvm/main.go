@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -22,6 +23,7 @@ import (
 	"harness2/internal/core"
 	"harness2/internal/dvm"
 	"harness2/internal/simnet"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 )
 
@@ -33,6 +35,7 @@ func main() {
 		link      = flag.String("link", "lan", "fabric link class: lan | wan")
 		deploys   = flag.String("deploy", "MatMul=2,WSTime=1", "class=count pairs to deploy round-robin")
 		query     = flag.String("query", "MatMul", "service name to look up from every node")
+		status    = flag.Bool("status", false, "dump the telemetry snapshot (counters, gauges, histograms, spans) before exit")
 	)
 	flag.Parse()
 
@@ -119,6 +122,15 @@ func main() {
 	st := net.Stats()
 	fmt.Printf("hdvm: fabric traffic: %d messages, %s; modelled coherency time %s\n",
 		st.Messages, byteCount(st.Bytes), d.VirtualTime())
+
+	if *status {
+		// The S27 snapshot view: every instrument the run charged to the
+		// process-default registry, including the per-op coherency series.
+		fmt.Println("hdvm: telemetry snapshot:")
+		if err := telemetry.Or(nil).WriteSnapshot(os.Stdout); err != nil {
+			log.Fatalf("hdvm: snapshot: %v", err)
+		}
+	}
 }
 
 func byteCount(n int64) string {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,10 +19,15 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"harness2/internal/container"
 	"harness2/internal/core"
+	"harness2/internal/dvm"
+	"harness2/internal/invoke"
 	"harness2/internal/registry"
+	"harness2/internal/simnet"
+	"harness2/internal/wire"
 )
 
 func main() {
@@ -32,6 +38,7 @@ func main() {
 		regURL   = flag.String("registry", "", "SOAP registry endpoint (empty = private node)")
 		manage   = flag.Bool("manage", true, "deploy the remote-management component")
 		printDoc = flag.Bool("wsdl", false, "print each instance's WSDL document")
+		prime    = flag.Bool("prime", true, "run startup self-invocations so /metrics exposes every instrument family")
 	)
 	flag.Parse()
 
@@ -55,6 +62,7 @@ func main() {
 	}
 
 	fmt.Printf("hnode: %s soap=%s xdr=%s\n", node.Name(), node.SOAPBase(), node.XDRAddr())
+	fmt.Printf("hnode: metrics at %s/metrics\n", strings.TrimSuffix(node.SOAPBase(), "/services"))
 	for _, class := range strings.Split(*deploy, ",") {
 		class = strings.TrimSpace(class)
 		if class == "" {
@@ -82,8 +90,62 @@ func main() {
 		}
 	}
 
+	if *prime {
+		primeMetrics(node)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("hnode: shutting down")
+}
+
+// primeMetrics exercises every observability surface once, so a freshly
+// started node's /metrics already carries the per-binding invoke latency
+// families and the DVM coherency counters rather than an empty page: one
+// self-invocation of MatMul.getResult through each advertised binding
+// (MatMul is numeric, so it exposes all four — WSTime's string result
+// would exclude XDR), and one enroll/deploy/lookup round-trip through a
+// two-member DVM (the node plus a shadow peer on a simulated LAN fabric).
+func primeMetrics(node *core.Node) {
+	c := node.Container()
+	var id string
+	for _, in := range c.Instances() {
+		if in.Class == "MatMul" {
+			id = in.ID
+			break
+		}
+	}
+	if id != "" {
+		if defs, err := c.WSDLFor(id); err == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			args := wire.Args("mata", []float64{1}, "matb", []float64{1}, "n", int32(1))
+			ports := invoke.OpenAll(defs, invoke.Options{
+				LocalContainers: []*container.Container{c},
+			})
+			for _, p := range ports {
+				_, _ = p.Invoke(ctx, "getResult", args)
+				_ = p.Close()
+			}
+			fmt.Printf("hnode: primed %d invoke bindings\n", len(ports))
+		}
+	}
+
+	peer := container.New(container.Config{Name: node.Name() + "-peer"})
+	core.RegisterBuiltins(peer)
+	d := dvm.New(node.Name(), dvm.NewFullSync(simnet.New(simnet.LAN)))
+	if err := d.AddNode(c); err != nil {
+		return
+	}
+	if err := d.AddNode(peer); err != nil {
+		return
+	}
+	if _, err := d.Deploy(peer.Name(), "WSTime", "wstime-peer"); err != nil {
+		return
+	}
+	if _, err := d.Lookup(node.Name(), dvm.Query{Service: "WSTime"}); err != nil {
+		return
+	}
+	fmt.Printf("hnode: primed dvm coherency metrics (%s)\n", d.Coherency().Name())
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"harness2/internal/registry"
+	"harness2/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +34,14 @@ func main() {
 		log.Fatalf("hregistry: %v", err)
 	}
 	fmt.Printf("hregistry: serving SOAP registry at http://%s/\n", ln.Addr())
+	fmt.Printf("hregistry: metrics at http://%s/metrics\n", ln.Addr())
+	mux := http.NewServeMux()
+	// The observability plane (telemetry S27): find/publish latency and
+	// the live-lease gauge land in the process-default registry.
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Or(nil)))
+	mux.Handle("/", registry.NewServer(reg))
 	srv := &http.Server{
-		Handler:           registry.NewServer(reg),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.Serve(ln))

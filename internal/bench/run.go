@@ -125,7 +125,21 @@ func (p Params) xdrArrayCalls() int {
 	return 6
 }
 
-// Run executes one experiment by ID (E1–E11).
+func (p Params) telemetryReps() int {
+	if p.Full {
+		return 2_000_000
+	}
+	return 200_000
+}
+
+func (p Params) telemetryInvokeReps() int {
+	if p.Full {
+		return 200_000
+	}
+	return 20_000
+}
+
+// Run executes one experiment by ID (E1–E12).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -153,13 +167,15 @@ func Run(id string, p Params) (*Table, error) {
 	case "E11":
 		return E11Concurrency(p.xdrClients(), p.xdrSmallCalls(),
 			p.xdrArrayLen(), p.xdrArrayCalls())
+	case "E12":
+		return E12TelemetryOverhead(p.telemetryReps(), p.telemetryInvokeReps())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"harness2/internal/registry"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 )
@@ -180,6 +181,9 @@ type Config struct {
 	XDRAddr string
 	// Policy is the deployment cost model; zero value means Lightweight.
 	Policy DeployPolicy
+	// Telemetry selects the metrics registry; nil falls back to the
+	// process default, telemetry.Disabled() switches instrumentation off.
+	Telemetry *telemetry.Registry
 }
 
 // LifecycleEvent describes one container state change, delivered to
@@ -200,6 +204,16 @@ type LifecycleListener func(LifecycleEvent)
 type Container struct {
 	cfg Config
 
+	// met bundles the lifecycle instrument set (telemetry S27). All
+	// handles are nil-safe, so a container configured with
+	// telemetry.Disabled() pays a branch per event and nothing else.
+	met struct {
+		live    *telemetry.Gauge        // currently deployed instances
+		invokes *telemetry.Counter      // operations dispatched locally
+		lifeNs  *telemetry.HistogramVec // op: deploy, start, stop, migrate
+		events  *telemetry.CounterVec   // lifecycle event kinds
+	}
+
 	mu        sync.RWMutex
 	factories map[string]Factory
 	instances map[string]*Instance
@@ -215,11 +229,21 @@ func New(cfg Config) *Container {
 	if cfg.Policy.Name == "" {
 		cfg.Policy = Lightweight
 	}
-	return &Container{
+	c := &Container{
 		cfg:       cfg,
 		factories: make(map[string]Factory),
 		instances: make(map[string]*Instance),
 	}
+	tel := telemetry.Or(cfg.Telemetry)
+	tel.Help("harness_container_instances", "deployed instances by container")
+	tel.Help("harness_container_invocations_total", "operations dispatched by container")
+	tel.Help("harness_container_lifecycle_ns", "lifecycle operation latency by container and op")
+	tel.Help("harness_container_lifecycle_events_total", "lifecycle events by container and kind")
+	c.met.live = tel.Gauge("harness_container_instances", "container", cfg.Name)
+	c.met.invokes = tel.Counter("harness_container_invocations_total", "container", cfg.Name)
+	c.met.lifeNs = tel.HistogramVec("harness_container_lifecycle_ns", "op", "container", cfg.Name)
+	c.met.events = tel.CounterVec("harness_container_lifecycle_events_total", "kind", "container", cfg.Name)
+	return c
 }
 
 // Name returns the container's name-space identifier.
@@ -239,6 +263,7 @@ func (c *Container) notify(kind, id, class string) {
 	c.mu.RLock()
 	listeners := append([]LifecycleListener(nil), c.listeners...)
 	c.mu.RUnlock()
+	c.met.events.With(kind).Inc()
 	ev := LifecycleEvent{Kind: kind, ID: id, Class: class}
 	for _, fn := range listeners {
 		fn(ev)
@@ -268,6 +293,8 @@ func (c *Container) Classes() []string {
 // when empty) and returns the instance plus the modelled deployment cost
 // under the container's policy.
 func (c *Container) Deploy(class, id string) (*Instance, time.Duration, error) {
+	depHist := c.met.lifeNs.With("deploy")
+	depStart := depHist.Start()
 	c.mu.Lock()
 	f, ok := c.factories[class]
 	if !ok {
@@ -314,6 +341,8 @@ func (c *Container) Deploy(class, id string) (*Instance, time.Duration, error) {
 	if policy.Sleep && policy.Cost() > 0 {
 		time.Sleep(policy.Cost())
 	}
+	c.met.live.Inc()
+	depHist.ObserveSince(depStart)
 	c.notify("deploy", id, class)
 	return inst, policy.Cost(), nil
 }
@@ -336,6 +365,7 @@ func (c *Container) Undeploy(id string) error {
 	for reg, key := range pubs {
 		_ = reg.Remove(key)
 	}
+	c.met.live.Dec()
 	c.notify("undeploy", id, inst.Class)
 	if d, ok := comp.(Detachable); ok && comp != nil {
 		return d.Detach()
@@ -402,6 +432,7 @@ func (c *Container) Invoke(ctx context.Context, id, op string, args []wire.Arg) 
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoInstance, id)
 	}
+	c.met.invokes.Inc()
 	return inst.invoke(ctx, op, args)
 }
 
@@ -434,6 +465,12 @@ func (c *Container) Stop(id string) error { return c.setStatus(id, Stopped) }
 func (c *Container) Start(id string) error { return c.setStatus(id, Running) }
 
 func (c *Container) setStatus(id string, s Status) error {
+	kind := "start"
+	if s == Stopped {
+		kind = "stop"
+	}
+	h := c.met.lifeNs.With(kind)
+	start := h.Start()
 	inst, ok := c.Instance(id)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoInstance, id)
@@ -441,10 +478,7 @@ func (c *Container) setStatus(id string, s Status) error {
 	inst.mu.Lock()
 	inst.status = s
 	inst.mu.Unlock()
-	kind := "start"
-	if s == Stopped {
-		kind = "stop"
-	}
+	h.ObserveSince(start)
 	c.notify(kind, id, inst.Class)
 	return nil
 }

@@ -45,6 +45,11 @@ func Migrate(c *Container, id string, dst *Container) error {
 	if c == dst {
 		return fmt.Errorf("container: migration target is the source container")
 	}
+	// The stop-and-copy window is charged to the source container: that is
+	// where the service is unavailable.
+	h := c.met.lifeNs.With("migrate")
+	start := h.Start()
+	defer h.ObserveSince(start)
 	inst, ok := c.Instance(id)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoInstance, id)

@@ -18,6 +18,7 @@ import (
 	"harness2/internal/invoke"
 	"harness2/internal/registry"
 	"harness2/internal/soap"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 )
@@ -33,6 +34,10 @@ type NodeOptions struct {
 	// DisableSOAP / DisableXDR suppress the respective endpoints.
 	DisableSOAP bool
 	DisableXDR  bool
+	// Telemetry selects the metrics registry for the node's container,
+	// bindings, and /metrics endpoint; nil falls back to the process
+	// default, telemetry.Disabled() switches instrumentation off.
+	Telemetry *telemetry.Registry
 }
 
 // Node is a running HARNESS II host: a container plus its live bindings.
@@ -68,10 +73,11 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 		n.restBase = "http://" + ln.Addr().String() + "/rest"
 	}
 	cfg := container.Config{
-		Name:     name,
-		SOAPBase: n.soapBase,
-		HTTPBase: n.restBase,
-		Policy:   opts.Policy,
+		Name:      name,
+		SOAPBase:  n.soapBase,
+		HTTPBase:  n.restBase,
+		Policy:    opts.Policy,
+		Telemetry: opts.Telemetry,
 	}
 	// The XDR server needs the container, and the container's advertised
 	// XDR address needs the server's port: create the container with an
@@ -79,7 +85,7 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 	// container is cheap; no instances exist yet.
 	c := container.New(cfg)
 	if !opts.DisableXDR {
-		xs, err := invoke.NewXDRServer(c, "127.0.0.1:0")
+		xs, err := invoke.NewXDRServer(c, "127.0.0.1:0", invoke.WithXDRTelemetry(opts.Telemetry))
 		if err != nil {
 			if n.httpLn != nil {
 				_ = n.httpLn.Close()
@@ -95,11 +101,14 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 	n.c = c
 	if n.httpLn != nil {
 		mux := http.NewServeMux()
-		mux.Handle("/services/", &invoke.SOAPHandler{Container: c, Codec: opts.Codec})
-		mux.Handle("/rest/", http.StripPrefix("/rest/", &invoke.HTTPGetHandler{Container: c}))
+		mux.Handle("/services/", &invoke.SOAPHandler{Container: c, Codec: opts.Codec, Telemetry: opts.Telemetry})
+		mux.Handle("/rest/", http.StripPrefix("/rest/", &invoke.HTTPGetHandler{Container: c, Telemetry: opts.Telemetry}))
 		wsil := &registry.WSILHandler{Source: c, Base: "http://" + n.httpLn.Addr().String()}
 		mux.Handle("/inspection.wsil", wsil)
 		mux.Handle("/wsdl/", wsil)
+		// The observability plane (telemetry S27): Prometheus text
+		// exposition for everything charged to this node's registry.
+		mux.Handle("/metrics", telemetry.Handler(telemetry.Or(opts.Telemetry)))
 		n.httpSrv = &http.Server{
 			Handler:           mux,
 			ReadHeaderTimeout: 10 * time.Second,

@@ -8,6 +8,8 @@ import (
 
 	"harness2/internal/container"
 	"harness2/internal/invoke"
+	"harness2/internal/simnet"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 )
 
@@ -19,6 +21,22 @@ import (
 type DVM struct {
 	name string
 	coh  Coherency
+	tel  *telemetry.Registry
+	fab  *simnet.Network // the strategy's fabric, when it exposes one
+
+	// met is the coherency instrument set (telemetry S27): per-op message
+	// and byte counts sampled as fabric Stats() deltas, per-op modelled
+	// latency, the membership gauge, and the eviction counter. Every
+	// handle is nil-safe.
+	met struct {
+		ops       *telemetry.CounterVec
+		msgs      *telemetry.CounterVec
+		bytes     *telemetry.CounterVec
+		virtNs    *telemetry.HistogramVec
+		members   *telemetry.Gauge
+		evictions *telemetry.Counter
+	}
+	lastStats simnet.Stats // guarded by mu; last sampled fabric counters
 
 	mu      sync.RWMutex
 	members map[string]*container.Container
@@ -30,7 +48,38 @@ type DVM struct {
 // New creates a DVM with the given symbolic name (unique in the Harness
 // name space, per the paper) and coherency strategy.
 func New(name string, coh Coherency) *DVM {
-	return &DVM{name: name, coh: coh, members: make(map[string]*container.Container)}
+	d := &DVM{name: name, coh: coh, members: make(map[string]*container.Container)}
+	if f, ok := coh.(fabric); ok {
+		d.fab = f.Fabric()
+	}
+	d.initMetrics()
+	return d
+}
+
+// SetTelemetry selects the DVM's metrics registry; call it before any
+// traffic flows. Nil falls back to the process default,
+// telemetry.Disabled() switches instrumentation off.
+func (d *DVM) SetTelemetry(r *telemetry.Registry) {
+	d.tel = r
+	d.initMetrics()
+}
+
+func (d *DVM) initMetrics() {
+	tel := telemetry.Or(d.tel)
+	tel.Help("harness_dvm_coherency_ops_total", "coherency operations by dvm, strategy and op")
+	tel.Help("harness_dvm_coherency_messages_total", "fabric messages attributed to coherency ops")
+	tel.Help("harness_dvm_coherency_bytes_total", "fabric bytes attributed to coherency ops")
+	tel.Help("harness_dvm_coherency_latency_ns", "modelled coherency latency by op")
+	tel.Help("harness_dvm_members", "enrolled member nodes by dvm")
+	tel.Help("harness_dvm_evictions_total", "members evicted by failure detection")
+	strategy := d.coh.Name()
+	fixed := []string{"dvm", d.name, "strategy", strategy}
+	d.met.ops = tel.CounterVec("harness_dvm_coherency_ops_total", "op", fixed...)
+	d.met.msgs = tel.CounterVec("harness_dvm_coherency_messages_total", "op", fixed...)
+	d.met.bytes = tel.CounterVec("harness_dvm_coherency_bytes_total", "op", fixed...)
+	d.met.virtNs = tel.HistogramVec("harness_dvm_coherency_latency_ns", "op", fixed...)
+	d.met.members = tel.Gauge("harness_dvm_members", fixed...)
+	d.met.evictions = tel.Counter("harness_dvm_evictions_total", fixed...)
 }
 
 // Name returns the DVM's symbolic name.
@@ -46,10 +95,42 @@ func (d *DVM) VirtualTime() time.Duration {
 	return d.virtual
 }
 
-func (d *DVM) charge(t time.Duration) {
+// chargeOp accrues the modelled coherency latency of one operation and
+// attributes the fabric traffic it generated (sampled as a Stats() delta
+// since the previous operation) to the op's metric series. Sampling
+// deltas at the DVM keeps the three coherency strategies free of
+// instrumentation code. Negative deltas — a concurrent ResetStats — are
+// clamped to zero.
+func (d *DVM) chargeOp(op string, t time.Duration) {
+	var dm int
+	var db int64
 	d.mu.Lock()
 	d.virtual += t
+	if d.fab != nil {
+		st := d.fab.Stats()
+		dm = st.Messages - d.lastStats.Messages
+		db = st.Bytes - d.lastStats.Bytes
+		d.lastStats = st
+		if dm < 0 {
+			dm = 0
+		}
+		if db < 0 {
+			db = 0
+		}
+	}
 	d.mu.Unlock()
+	d.met.ops.With(op).Inc()
+	d.met.msgs.With(op).Add(uint64(dm))
+	d.met.bytes.With(op).Add(uint64(db))
+	d.met.virtNs.With(op).ObserveDuration(t)
+}
+
+// memberCount refreshes the membership gauge.
+func (d *DVM) memberCount() {
+	d.mu.RLock()
+	n := len(d.members)
+	d.mu.RUnlock()
+	d.met.members.Set(int64(n))
 }
 
 // AddNode enrolls a container as a DVM member.
@@ -63,12 +144,13 @@ func (d *DVM) AddNode(c *container.Container) error {
 	d.members[name] = c
 	d.mu.Unlock()
 	t, err := d.coh.AddNode(name)
-	d.charge(t)
+	d.chargeOp("node-add", t)
 	if err != nil {
 		d.mu.Lock()
 		delete(d.members, name)
 		d.mu.Unlock()
 	}
+	d.memberCount()
 	return err
 }
 
@@ -82,7 +164,8 @@ func (d *DVM) RemoveNode(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownMember, name)
 	}
 	t, err := d.coh.RemoveNode(name)
-	d.charge(t)
+	d.chargeOp("node-remove", t)
+	d.memberCount()
 	return err
 }
 
@@ -118,7 +201,7 @@ func (d *DVM) Deploy(node, class, id string) (*container.Instance, error) {
 		entry.WSDL = defs.String()
 	}
 	t, err := d.coh.Apply(node, Event{Kind: ServiceAdd, Node: node, Entry: entry})
-	d.charge(t)
+	d.chargeOp("service-add", t)
 	if err != nil {
 		// Roll the deployment back so the table and reality agree.
 		_ = c.Undeploy(inst.ID)
@@ -140,7 +223,7 @@ func (d *DVM) Undeploy(node, id string) error {
 		Kind: ServiceRemove, Node: node,
 		Entry: ServiceEntry{Node: node, Instance: id},
 	})
-	d.charge(t)
+	d.chargeOp("service-remove", t)
 	return err
 }
 
@@ -148,7 +231,7 @@ func (d *DVM) Undeploy(node, id string) error {
 // strategy's consistency/traffic trade-off.
 func (d *DVM) Lookup(node string, q Query) ([]ServiceEntry, error) {
 	entries, t, err := d.coh.Query(node, q)
-	d.charge(t)
+	d.chargeOp("query", t)
 	return entries, err
 }
 
@@ -186,7 +269,7 @@ func (d *DVM) Port(fromNode string, q Query) (invoke.Port, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMember, e.Node)
 	}
-	return &invoke.LocalPort{Container: host, Instance: e.Instance}, nil
+	return &invoke.LocalPort{Container: host, Instance: e.Instance, Telemetry: d.tel}, nil
 }
 
 // Migrate moves a stateful instance between member nodes, updating the
@@ -213,7 +296,7 @@ func (d *DVM) Migrate(fromNode, id, toNode string) error {
 	}
 	t, err := d.coh.Apply(fromNode, Event{Kind: ServiceRemove, Node: fromNode,
 		Entry: ServiceEntry{Node: fromNode, Instance: id}})
-	d.charge(t)
+	d.chargeOp("migrate", t)
 	if err != nil {
 		return err
 	}
@@ -222,7 +305,7 @@ func (d *DVM) Migrate(fromNode, id, toNode string) error {
 		entry.WSDL = defs.String()
 	}
 	t, err = d.coh.Apply(toNode, Event{Kind: ServiceAdd, Node: toNode, Entry: entry})
-	d.charge(t)
+	d.chargeOp("migrate", t)
 	return err
 }
 

@@ -96,21 +96,25 @@ type Evicter interface {
 // full-synchrony scheme accepts this in exchange for simplicity.
 func (d *DVM) EvictFailed(monitor string, det *Detector) ([]string, error) {
 	suspects, cost := det.Sweep(monitor)
-	d.charge(cost)
+	d.chargeOp("probe", cost)
 	for _, s := range suspects {
 		d.mu.Lock()
 		delete(d.members, s)
 		d.mu.Unlock()
+		d.met.evictions.Inc()
+		d.memberCount()
 		if ev, ok := d.coh.(Evicter); ok {
 			t, err := ev.Evict(monitor, s)
-			d.charge(t)
+			d.chargeOp("evict", t)
 			if err != nil {
 				return suspects, err
 			}
 			continue
 		}
-		if _, err := d.coh.RemoveNode(s); err != nil {
+		if t, err := d.coh.RemoveNode(s); err != nil {
 			return suspects, err
+		} else {
+			d.chargeOp("evict", t)
 		}
 	}
 	return suspects, nil

@@ -3,6 +3,7 @@ package invoke
 import (
 	"math/rand"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,6 +53,47 @@ func TestXDRResponseDecoderNeverPanics(t *testing.T) {
 		mut[i] ^= 0xFF
 		_, _ = decodeResponse(mut)
 	}
+}
+
+// FuzzParseLocalAddress fuzzes the JavaObject locator parser. Invariants:
+// never panic; on success both components are non-empty, the container
+// name holds no separator, and the locator reassembles byte-for-byte
+// (the parser splits at the *first* '/', so the instance keeps any rest).
+func FuzzParseLocalAddress(f *testing.F) {
+	for _, seed := range []string{
+		"local:node1/m1",         // the canonical form
+		"local:node1/m1/extra",   // instance keeps trailing segments
+		"local:",                 // nothing after the scheme
+		"local:onlycontainer",    // no separator
+		"local:/inst",            // empty container
+		"local:c/",               // empty instance
+		"http://host/x",          // wrong scheme
+		"",                       // empty input
+		"LOCAL:node1/m1",         // scheme is case-sensitive
+		"local:a//b",             // empty-looking middle
+		"local:ünïcode/instance", // non-ASCII survives
+		"local:c/i\x00withnul",   // control bytes are data, not errors
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, addr string) {
+		c, i, err := ParseLocalAddress(addr)
+		if err != nil {
+			if c != "" || i != "" {
+				t.Fatalf("error with non-zero results: %q %q", c, i)
+			}
+			return
+		}
+		if c == "" || i == "" {
+			t.Fatalf("success with empty component: container=%q instance=%q", c, i)
+		}
+		if strings.ContainsRune(c, '/') {
+			t.Fatalf("container %q contains separator", c)
+		}
+		if got := "local:" + c + "/" + i; got != addr {
+			t.Fatalf("reassembly %q != input %q", got, addr)
+		}
+	})
 }
 
 // TestXDRServerSurvivesGarbageConnections throws raw garbage at a live

@@ -9,9 +9,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"harness2/internal/container"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 	"harness2/internal/xmlq"
@@ -39,6 +41,17 @@ import (
 // HTTPGetHandler serves the HTTP GET binding for a container's instances.
 type HTTPGetHandler struct {
 	Container *container.Container
+	// Telemetry selects the metrics registry; nil falls back to the
+	// process default, telemetry.Disabled() switches instrumentation off.
+	Telemetry *telemetry.Registry
+
+	minit sync.Once
+	m     bindingMetrics
+}
+
+func (h *HTTPGetHandler) metrics() *bindingMetrics {
+	h.minit.Do(func() { h.m = newBindingMetrics(telemetry.Or(h.Telemetry), "http-server") })
+	return &h.m
 }
 
 // ServeHTTP implements http.Handler.
@@ -68,7 +81,10 @@ func (h *HTTPGetHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	m := h.metrics()
+	hist, start := m.begin(op)
 	out, err := h.Container.Invoke(r.Context(), instance, op, args)
+	m.done(op, hist, start, err)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -289,14 +305,36 @@ type HTTPPort struct {
 	URL string
 	// HTTP is the underlying client; nil uses a 30 s-timeout default.
 	HTTP *http.Client
+	// Telemetry selects the metrics registry; nil falls back to the
+	// process default, telemetry.Disabled() switches instrumentation off.
+	Telemetry *telemetry.Registry
+
+	minit sync.Once
+	m     bindingMetrics
 }
 
 var _ Port = (*HTTPPort)(nil)
 
 var defaultHTTPGet = &http.Client{Timeout: 30 * time.Second}
 
+func (p *HTTPPort) metrics() *bindingMetrics {
+	p.minit.Do(func() { p.m = newBindingMetrics(telemetry.Or(p.Telemetry), "http") })
+	return &p.m
+}
+
 // Invoke implements Port.
 func (p *HTTPPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	m := p.metrics()
+	h, start := m.begin(op)
+	ctx, sp := telemetry.Or(p.Telemetry).ChildSpan(ctx, "invoke.http")
+	out, err := p.invoke(ctx, op, args)
+	sp.SetError(err)
+	sp.End()
+	m.done(op, h, start, err)
+	return out, err
+}
+
+func (p *HTTPPort) invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
 	q := url.Values{}
 	for _, a := range args {
 		k := wire.KindOf(a.Value)

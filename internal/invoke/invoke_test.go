@@ -373,7 +373,23 @@ func TestParseLocalAddress(t *testing.T) {
 	if err != nil || c != "node1" || i != "m1" {
 		t.Fatalf("got %q %q %v", c, i, err)
 	}
-	for _, bad := range []string{"http://x", "local:", "local:onlycontainer", "local:/inst", "local:c/"} {
+	// The instance keeps everything after the first separator.
+	c, i, err = ParseLocalAddress("local:n/a/b")
+	if err != nil || c != "n" || i != "a/b" {
+		t.Fatalf("got %q %q %v", c, i, err)
+	}
+	for _, bad := range []string{
+		"http://x",            // wrong scheme
+		"",                    // empty
+		"local",               // scheme without colon
+		"Local:node1/m1",      // scheme is case-sensitive
+		" local:node1/m1",     // leading whitespace is not trimmed
+		"local:",              // nothing after scheme
+		"local:onlycontainer", // no separator
+		"local:/inst",         // empty container
+		"local:c/",            // empty instance
+		"local:/",             // both empty
+	} {
 		if _, _, err := ParseLocalAddress(bad); err == nil {
 			t.Errorf("ParseLocalAddress(%q) should fail", bad)
 		}

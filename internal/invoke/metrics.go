@@ -1,0 +1,92 @@
+package invoke
+
+import (
+	"io"
+	"time"
+
+	"harness2/internal/telemetry"
+)
+
+// This file holds the invocation framework's instrument sets (telemetry
+// S27). Every port kind and server handler records the same per-binding
+// family trio — call count, error count, latency histogram, keyed by
+// operation — plus the XDR binding's wire-level extras: bytes on the
+// wire in each direction, the multiplexed in-flight depth, and the
+// flusher's batch size. All handles are nil-safe, so a port configured
+// with telemetry.Disabled() pays one branch per operation and nothing
+// else (proven by E12 / BenchmarkE12_Disabled).
+
+// bindingMetrics is the per-binding instrument set: calls, errors and
+// latency per operation, with the binding name as a fixed label.
+type bindingMetrics struct {
+	calls *telemetry.CounterVec
+	errs  *telemetry.CounterVec
+	lat   *telemetry.HistogramVec
+}
+
+// newBindingMetrics resolves the invoke family trio on r for one binding.
+// A disabled registry yields nil vecs, which hand out nil children.
+func newBindingMetrics(r *telemetry.Registry, binding string) bindingMetrics {
+	r.Help("harness_invoke_calls_total", "invocations by binding and operation")
+	r.Help("harness_invoke_errors_total", "failed invocations by binding and operation")
+	r.Help("harness_invoke_latency_ns", "invocation latency by binding and operation")
+	return bindingMetrics{
+		calls: r.CounterVec("harness_invoke_calls_total", "op", "binding", binding),
+		errs:  r.CounterVec("harness_invoke_errors_total", "op", "binding", binding),
+		lat:   r.HistogramVec("harness_invoke_latency_ns", "op", "binding", binding),
+	}
+}
+
+// begin opens one timed call: it resolves the op's latency histogram and
+// starts its timer. On the disabled path the histogram is nil and Start
+// skips the clock call entirely.
+func (m *bindingMetrics) begin(op string) (*telemetry.Histogram, time.Time) {
+	h := m.lat.With(op)
+	return h, h.Start()
+}
+
+// done closes one timed call begun with begin.
+func (m *bindingMetrics) done(op string, h *telemetry.Histogram, start time.Time, err error) {
+	h.ObserveSince(start)
+	m.calls.With(op).Inc()
+	if err != nil {
+		m.errs.With(op).Inc()
+	}
+}
+
+// xdrWireMetrics is the XDR binding's wire-level instrument set, shared
+// by the client port and the server with a distinguishing role label.
+type xdrWireMetrics struct {
+	tx, rx     *telemetry.Counter   // bytes that reached / left the socket
+	inflight   *telemetry.Gauge     // v2: registered, unanswered requests
+	flushBatch *telemetry.Histogram // v2: bytes committed per flush syscall
+}
+
+func newXDRWireMetrics(r *telemetry.Registry, role string) xdrWireMetrics {
+	r.Help("harness_xdr_tx_bytes_total", "bytes written to XDR sockets by role")
+	r.Help("harness_xdr_rx_bytes_total", "bytes read from XDR sockets by role")
+	r.Help("harness_xdr_mux_inflight", "v2 requests awaiting a response by role")
+	r.Help("harness_xdr_mux_flush_batch_bytes", "bytes per v2 flush syscall by role")
+	return xdrWireMetrics{
+		tx:         r.Counter("harness_xdr_tx_bytes_total", "role", role),
+		rx:         r.Counter("harness_xdr_rx_bytes_total", "role", role),
+		inflight:   r.Gauge("harness_xdr_mux_inflight", "role", role),
+		flushBatch: r.Histogram("harness_xdr_mux_flush_batch_bytes", "role", role),
+	}
+}
+
+// countingReader mirrors countingWriter on the receive side: it feeds the
+// rx byte counter without a per-connection mutex (the counter is atomic,
+// and a nil counter is a branch).
+type countingReader struct {
+	r  io.Reader
+	rx *telemetry.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.rx.Add(uint64(n))
+	}
+	return n, err
+}

@@ -13,9 +13,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"harness2/internal/container"
 	"harness2/internal/soap"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 )
@@ -37,13 +39,37 @@ type Port interface {
 type LocalPort struct {
 	Container *container.Container
 	Instance  string
+	// Telemetry selects the metrics registry; nil falls back to the
+	// process default, telemetry.Disabled() switches instrumentation off.
+	Telemetry *telemetry.Registry
+
+	minit sync.Once
+	m     bindingMetrics
 }
 
 var _ Port = (*LocalPort)(nil)
 
-// Invoke implements Port.
+func (p *LocalPort) metrics() *bindingMetrics {
+	p.minit.Do(func() { p.m = newBindingMetrics(telemetry.Or(p.Telemetry), "local") })
+	return &p.m
+}
+
+// Invoke implements Port. It honours an already-cancelled context before
+// dispatching: the local path has no I/O to fail on, so without this
+// check a cancelled caller would still execute the operation — unlike
+// every network binding, which surfaces ctx errors from the transport.
 func (p *LocalPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
-	return p.Container.Invoke(ctx, p.Instance, op, args)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := p.metrics()
+	h, start := m.begin(op)
+	ctx, sp := telemetry.Or(p.Telemetry).ChildSpan(ctx, "invoke.local")
+	out, err := p.Container.Invoke(ctx, p.Instance, op, args)
+	sp.SetError(err)
+	sp.End()
+	m.done(op, h, start, err)
+	return out, err
 }
 
 // Kind implements Port.
@@ -61,17 +87,42 @@ type SOAPPort struct {
 	Client soap.Client
 	// Headers are attached to every outgoing call (context propagation).
 	Headers []soap.Header
+	// Telemetry selects the metrics registry; nil falls back to the
+	// process default, telemetry.Disabled() switches instrumentation off.
+	Telemetry *telemetry.Registry
+
+	minit sync.Once
+	m     bindingMetrics
 }
 
 var _ Port = (*SOAPPort)(nil)
 
-// Invoke implements Port.
+func (p *SOAPPort) metrics() *bindingMetrics {
+	p.minit.Do(func() { p.m = newBindingMetrics(telemetry.Or(p.Telemetry), "soap") })
+	return &p.m
+}
+
+// Invoke implements Port. When the caller's context carries a trace, the
+// hop is recorded as a child span and the trace identity crosses the wire
+// in an h2:Trace header entry, so the server's span becomes this span's
+// child — Figure 6's layered call path reconstructed end to end.
 func (p *SOAPPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	m := p.metrics()
+	h, start := m.begin(op)
+	_, sp := telemetry.Or(p.Telemetry).ChildSpan(ctx, "invoke.soap")
+	headers := p.Headers
+	if sc := sp.Context(); sc.Valid() {
+		headers = append(append(make([]soap.Header, 0, len(p.Headers)+1), p.Headers...),
+			soap.Header{Name: telemetry.TraceHeaderName, Value: sc.String()})
+	}
 	params := make([]soap.Param, len(args))
 	for i, a := range args {
 		params[i] = soap.Param{Name: a.Name, Value: a.Value}
 	}
-	out, err := p.Client.CallRemote(p.URL, &soap.Call{Method: op, Params: params, Headers: p.Headers})
+	out, err := p.Client.CallRemote(p.URL, &soap.Call{Method: op, Params: params, Headers: headers})
+	sp.SetError(err)
+	sp.End()
+	m.done(op, h, start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +154,10 @@ type Options struct {
 	DialPerCall bool
 	// Forbid excludes binding kinds from selection.
 	Forbid []wsdl.BindingKind
+	// Telemetry selects the metrics registry for opened ports; nil falls
+	// back to the process default, telemetry.Disabled() switches
+	// instrumentation off.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) forbidden(k wsdl.BindingKind) bool {
@@ -189,14 +244,16 @@ func openPort(ref wsdl.PortRef, opts Options) (Port, error) {
 		if _, ok := c.Instance(inst); !ok {
 			return nil, nil
 		}
-		return &LocalPort{Container: c, Instance: inst}, nil
+		return &LocalPort{Container: c, Instance: inst, Telemetry: opts.Telemetry}, nil
 	case wsdl.BindXDR:
 		inst := instanceFromDefs(ref)
-		return NewXDRPort(ref.Port.Address, inst, opts.DialPerCall), nil
+		p := NewXDRPort(ref.Port.Address, inst, opts.DialPerCall)
+		p.SetTelemetry(opts.Telemetry)
+		return p, nil
 	case wsdl.BindSOAP:
-		return &SOAPPort{URL: ref.Port.Address, Client: soap.Client{Codec: opts.Codec}}, nil
+		return &SOAPPort{URL: ref.Port.Address, Client: soap.Client{Codec: opts.Codec}, Telemetry: opts.Telemetry}, nil
 	case wsdl.BindHTTP:
-		return &HTTPPort{URL: ref.Port.Address}, nil
+		return &HTTPPort{URL: ref.Port.Address, Telemetry: opts.Telemetry}, nil
 	}
 	return nil, fmt.Errorf("invoke: unknown binding kind %v", ref.Binding.Kind)
 }

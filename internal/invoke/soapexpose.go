@@ -6,9 +6,11 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"harness2/internal/container"
 	"harness2/internal/soap"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 )
 
@@ -21,6 +23,42 @@ type SOAPHandler struct {
 	// Understood lists header entry names the handler processes; any
 	// other mustUnderstand header is refused with a MustUnderstand fault.
 	Understood []string
+	// Telemetry selects the metrics registry; nil falls back to the
+	// process default, telemetry.Disabled() switches instrumentation off.
+	Telemetry *telemetry.Registry
+
+	minit sync.Once
+	m     bindingMetrics
+}
+
+func (h *SOAPHandler) metrics() *bindingMetrics {
+	h.minit.Do(func() { h.m = newBindingMetrics(telemetry.Or(h.Telemetry), "soap-server") })
+	return &h.m
+}
+
+// isTraceHeader recognises the h2:Trace header entry in the forms XML
+// decoding may surface it: the prefixed wire name, the bare local name
+// (when the decoder resolves the namespace prefix away), or any other
+// prefix bound to the same local name.
+func isTraceHeader(name string) bool {
+	return name == telemetry.TraceHeaderName ||
+		name == "Trace" || strings.HasSuffix(name, ":Trace")
+}
+
+// traceContext lifts an incoming h2:Trace header into ctx, so the span
+// opened for the server-side invocation continues the caller's trace.
+func traceContext(ctx context.Context, headers []soap.Header) context.Context {
+	for _, hd := range headers {
+		if !isTraceHeader(hd.Name) {
+			continue
+		}
+		if v, ok := hd.Value.(string); ok {
+			if sc, ok := telemetry.ParseTraceHeader(v); ok {
+				return telemetry.ContextWith(ctx, sc)
+			}
+		}
+	}
+	return ctx
 }
 
 // ServeHTTP implements http.Handler.
@@ -57,7 +95,14 @@ func (h *SOAPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	for j, p := range call.Params {
 		args[j] = wire.Arg{Name: p.Name, Value: p.Value}
 	}
-	out, err := h.Container.Invoke(r.Context(), instance, call.Method, args)
+	m := h.metrics()
+	hist, start := m.begin(call.Method)
+	ctx := traceContext(r.Context(), call.Headers)
+	ctx, sp := telemetry.Or(h.Telemetry).ChildSpan(ctx, "soap.server")
+	out, err := h.Container.Invoke(ctx, instance, call.Method, args)
+	sp.SetError(err)
+	sp.End()
+	m.done(call.Method, hist, start, err)
 	if err != nil {
 		h.fault(w, &soap.Fault{Code: "Server", String: err.Error()})
 		return
@@ -76,6 +121,9 @@ func (h *SOAPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *SOAPHandler) understands(name string) bool {
+	if isTraceHeader(name) {
+		return true // the telemetry plane always processes trace headers
+	}
 	for _, u := range h.Understood {
 		if u == name {
 			return true

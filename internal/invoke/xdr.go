@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"harness2/internal/container"
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 	"harness2/internal/xdr"
@@ -52,6 +53,13 @@ func WithXDRWorkers(n int) XDRServerOption {
 	}
 }
 
+// WithXDRTelemetry selects the server's metrics registry; nil falls back
+// to the process default, telemetry.Disabled() switches instrumentation
+// off.
+func WithXDRTelemetry(r *telemetry.Registry) XDRServerOption {
+	return func(s *XDRServer) { s.tel = r }
+}
+
 // XDRServer serves the XDR socket binding for a container's instances.
 // It speaks both wire protocol versions, auto-detected per connection:
 // v1 connections are served strictly sequentially (the protocol has no
@@ -61,6 +69,10 @@ func WithXDRWorkers(n int) XDRServerOption {
 type XDRServer struct {
 	c  *container.Container
 	ln net.Listener
+
+	tel *telemetry.Registry
+	m   bindingMetrics
+	wm  xdrWireMetrics
 
 	sem       chan struct{} // bounds concurrently executing v2 requests
 	closeCtx  context.Context
@@ -88,6 +100,9 @@ func NewXDRServer(c *container.Container, addr string, opts ...XDRServerOption) 
 	for _, opt := range opts {
 		opt(s)
 	}
+	reg := telemetry.Or(s.tel)
+	s.m = newBindingMetrics(reg, "xdr-server")
+	s.wm = newXDRWireMetrics(reg, "server")
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -169,7 +184,7 @@ func (s *XDRServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	br := bufio.NewReaderSize(conn, xdrBufSize)
+	br := bufio.NewReaderSize(&countingReader{r: conn, rx: s.wm.rx}, xdrBufSize)
 	var first [4]byte
 	if _, err := io.ReadFull(br, first[:]); err != nil {
 		return
@@ -184,7 +199,7 @@ func (s *XDRServer) serveConn(conn net.Conn) {
 
 // serveV1 is the legacy path: one frame in, one frame out, in order.
 func (s *XDRServer) serveV1(conn net.Conn, br *bufio.Reader, firstLen uint32) {
-	bw := bufio.NewWriterSize(conn, xdrBufSize)
+	bw := bufio.NewWriterSize(&countingWriter{w: conn, tx: s.wm.tx}, xdrBufSize)
 	frame, err := xdr.ReadFramePooledAfterLen(br, firstLen)
 	for err == nil {
 		resp := s.handleFrame(frame, false)
@@ -223,7 +238,7 @@ type v2task struct {
 // An isolated response still flushes with only a scheduler yield of
 // extra latency. See muxConn.flushLoop for the client-side twin.
 func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
-	bw := bufio.NewWriterSize(conn, xdrBufSize)
+	bw := bufio.NewWriterSize(&countingWriter{w: conn, tx: s.wm.tx}, xdrBufSize)
 	var wmu sync.Mutex // serializes response frames on the shared writer
 	flushKick := make(chan struct{}, 1)
 	flushDone := make(chan struct{})
@@ -247,8 +262,9 @@ func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
 			}
 			wmu.Lock()
 			var err error
-			if bw.Buffered() > 0 {
+			if n := bw.Buffered(); n > 0 {
 				err = bw.Flush()
+				s.wm.flushBatch.Observe(uint64(n))
 			}
 			wmu.Unlock()
 			if err != nil {
@@ -327,7 +343,9 @@ func (s *XDRServer) handleFrame(frame []byte, reserveHeader bool) *xdr.Encoder {
 	if err != nil {
 		return fault(err)
 	}
+	h, start := s.m.begin(op)
 	out, err := s.target().Invoke(s.closeCtx, instance, op, args)
+	s.m.done(op, h, start, err)
 	if err != nil {
 		return fault(err)
 	}
@@ -464,15 +482,20 @@ func (m XDRMode) String() string {
 // countingWriter counts bytes that reached the underlying writer. The
 // retry logic uses it to tell "nothing of this request hit the wire"
 // (safe to resend) from "the frame was partially written" (resending
-// could invoke a non-idempotent operation twice).
+// could invoke a non-idempotent operation twice). It doubles as the
+// tx-bytes instrumentation point: tx is a nil-safe telemetry counter.
 type countingWriter struct {
-	w io.Writer
-	n int
+	w  io.Writer
+	n  int
+	tx *telemetry.Counter
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.n += n
+	if n > 0 {
+		cw.tx.Add(uint64(n))
+	}
 	return n, err
 }
 
@@ -486,6 +509,11 @@ type XDRPort struct {
 	addr     string
 	instance string
 	mode     XDRMode
+
+	tel   *telemetry.Registry
+	minit sync.Once
+	m     bindingMetrics
+	wm    xdrWireMetrics
 
 	mu sync.Mutex
 	mc *muxConn // XDRModeMux
@@ -520,14 +548,38 @@ func NewXDRPortMode(addr, instance string, mode XDRMode) *XDRPort {
 // Mode reports the port's wire mode.
 func (p *XDRPort) Mode() XDRMode { return p.mode }
 
+// SetTelemetry selects the port's metrics registry; it must be called
+// before the first Invoke (openPort does). Nil falls back to the process
+// default, telemetry.Disabled() switches instrumentation off.
+func (p *XDRPort) SetTelemetry(r *telemetry.Registry) { p.tel = r }
+
+func (p *XDRPort) metrics() *bindingMetrics {
+	p.minit.Do(func() {
+		r := telemetry.Or(p.tel)
+		p.m = newBindingMetrics(r, "xdr")
+		p.wm = newXDRWireMetrics(r, "client")
+	})
+	return &p.m
+}
+
 // Invoke implements Port. It is safe for concurrent use; in XDRModeMux
 // concurrent calls share one connection without serializing on each
 // other's round trips.
 func (p *XDRPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	m := p.metrics()
+	h, start := m.begin(op)
+	ctx, sp := telemetry.Or(p.tel).ChildSpan(ctx, "invoke.xdr")
+	var out []wire.Arg
+	var err error
 	if p.mode == XDRModeMux {
-		return p.invokeMux(ctx, op, args)
+		out, err = p.invokeMux(ctx, op, args)
+	} else {
+		out, err = p.invokeSerial(ctx, op, args)
 	}
-	return p.invokeSerial(ctx, op, args)
+	sp.SetError(err)
+	sp.End()
+	m.done(op, h, start, err)
+	return out, err
 }
 
 // invokeSerial is the v1 path: the port mutex is held across the whole
@@ -608,9 +660,9 @@ func (p *XDRPort) connLocked(ctx context.Context) error {
 		return fmt.Errorf("invoke: xdr dial %s: %w", p.addr, err)
 	}
 	p.conn = conn
-	p.cw = &countingWriter{w: conn}
+	p.cw = &countingWriter{w: conn, tx: p.wm.tx}
 	p.bw = bufio.NewWriterSize(p.cw, xdrBufSize)
-	p.br = bufio.NewReaderSize(conn, xdrBufSize)
+	p.br = bufio.NewReaderSize(&countingReader{r: conn, rx: p.wm.rx}, xdrBufSize)
 	return nil
 }
 

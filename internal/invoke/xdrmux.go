@@ -34,6 +34,7 @@ type muxConn struct {
 	conn net.Conn
 	cw   *countingWriter
 	bw   *bufio.Writer
+	wm   xdrWireMetrics // nil-safe handles; zero value is fully inert
 
 	wmu         sync.Mutex    // serializes request frames (and the write deadline)
 	deadlineSet bool          // guarded by wmu: a write deadline is armed
@@ -51,17 +52,18 @@ type muxConn struct {
 // dialMux opens a v2 connection: TCP connect plus the MagicV2 preamble,
 // which is buffered so it coalesces with the first request frame into a
 // single write syscall.
-func dialMux(ctx context.Context, addr string) (*muxConn, error) {
+func dialMux(ctx context.Context, addr string, wm xdrWireMetrics) (*muxConn, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("invoke: xdr dial %s: %w", addr, err)
 	}
-	cw := &countingWriter{w: conn}
+	cw := &countingWriter{w: conn, tx: wm.tx}
 	mc := &muxConn{
 		conn:      conn,
 		cw:        cw,
 		bw:        bufio.NewWriterSize(cw, xdrBufSize),
+		wm:        wm,
 		pending:   make(map[uint64]chan muxResult),
 		flushKick: make(chan struct{}, 1),
 		done:      make(chan struct{}),
@@ -108,8 +110,9 @@ func (mc *muxConn) flushLoop() {
 		}
 		mc.wmu.Lock()
 		var err error
-		if mc.bw.Buffered() > 0 {
+		if n := mc.bw.Buffered(); n > 0 {
 			err = mc.bw.Flush()
+			mc.wm.flushBatch.Observe(uint64(n))
 		}
 		mc.wmu.Unlock()
 		if err != nil {
@@ -122,7 +125,7 @@ func (mc *muxConn) flushLoop() {
 // readLoop demultiplexes response frames to their waiting calls until
 // the connection dies, then fails every call still pending.
 func (mc *muxConn) readLoop() {
-	br := bufio.NewReaderSize(mc.conn, xdrBufSize)
+	br := bufio.NewReaderSize(&countingReader{r: mc.conn, rx: mc.wm.rx}, xdrBufSize)
 	for {
 		id, frame, err := xdr.ReadFrameID(br)
 		if err != nil {
@@ -134,6 +137,7 @@ func (mc *muxConn) readLoop() {
 		delete(mc.pending, id)
 		mc.mu.Unlock()
 		if ok {
+			mc.wm.inflight.Dec()
 			ch <- muxResult{frame: frame} // buffered: never blocks
 		} else {
 			// The caller abandoned the call (ctx cancellation). The
@@ -150,6 +154,9 @@ func (mc *muxConn) shutdown(err error) {
 	if mc.err == nil {
 		mc.err = err
 		close(mc.done)
+		if n := len(mc.pending); n > 0 {
+			mc.wm.inflight.Add(-int64(n))
+		}
 		for id, ch := range mc.pending {
 			delete(mc.pending, id)
 			ch <- muxResult{err: err}
@@ -178,6 +185,7 @@ func (mc *muxConn) register() (uint64, chan muxResult, error) {
 	}
 	mc.nextID++
 	mc.pending[mc.nextID] = ch
+	mc.wm.inflight.Inc()
 	return mc.nextID, ch, nil
 }
 
@@ -185,7 +193,10 @@ func (mc *muxConn) register() (uint64, chan muxResult, error) {
 // raced in first it is drained and released, keeping the pool tight.
 func (mc *muxConn) deregister(id uint64, ch chan muxResult) {
 	mc.mu.Lock()
-	delete(mc.pending, id)
+	if _, present := mc.pending[id]; present {
+		delete(mc.pending, id)
+		mc.wm.inflight.Dec()
+	}
 	mc.mu.Unlock()
 	select {
 	case res := <-ch:
@@ -313,7 +324,7 @@ func (p *XDRPort) muxConnLocked(ctx context.Context) (*muxConn, error) {
 	if p.mc != nil {
 		return p.mc, nil
 	}
-	mc, err := dialMux(ctx, p.addr)
+	mc, err := dialMux(ctx, p.addr, p.wm)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"harness2/internal/telemetry"
+)
+
+// TestRegistryMetrics checks the S27 registry instrument set: per-op
+// latency histograms, the live-entry and live-lease gauges, and the
+// lease-expiration counter.
+func TestRegistryMetrics(t *testing.T) {
+	reg := telemetry.New()
+	clock := time.Unix(1000, 0)
+	r := NewWithClock(func() time.Time { return clock })
+	r.SetTelemetry(reg)
+
+	w, _ := matmulWSDL(t)
+	if _, err := r.Publish(Entry{Name: "Persistent", WSDL: w}); err != nil {
+		t.Fatal(err)
+	}
+	key, err := r.PublishLeased(Entry{Name: "Volatile", WSDL: w}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FindByName("Volatile"); len(got) != 1 {
+		t.Fatalf("FindByName = %d entries", len(got))
+	}
+	if _, ok := r.Get(key); !ok {
+		t.Fatal("Get failed")
+	}
+
+	lat := reg.HistogramVec("harness_registry_op_latency_ns", "op")
+	for op, want := range map[string]uint64{"publish": 2, "find-name": 1, "get": 1} {
+		if got := lat.With(op).Count(); got != want {
+			t.Errorf("latency count for %s = %d, want %d", op, got, want)
+		}
+	}
+	if g := reg.Gauge("harness_registry_entries").Value(); g != 2 {
+		t.Fatalf("entries gauge = %d, want 2", g)
+	}
+	if g := reg.Gauge("harness_registry_leases").Value(); g != 1 {
+		t.Fatalf("leases gauge = %d, want 1", g)
+	}
+
+	// Expire the lease: the next mutating op collects it.
+	clock = clock.Add(time.Minute)
+	if _, err := r.Publish(Entry{Name: "Another", WSDL: w}); err != nil {
+		t.Fatal(err)
+	}
+	if c := reg.Counter("harness_registry_lease_expirations_total").Value(); c != 1 {
+		t.Fatalf("expirations = %d, want 1", c)
+	}
+	if g := reg.Gauge("harness_registry_leases").Value(); g != 0 {
+		t.Fatalf("leases gauge after expiry = %d, want 0", g)
+	}
+	if g := reg.Gauge("harness_registry_entries").Value(); g != 2 {
+		t.Fatalf("entries gauge after expiry = %d, want 2", g)
+	}
+}

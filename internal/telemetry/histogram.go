@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets bounds the power-of-two bucket array. Bucket i holds
+// observations v with bits.Len64(v) == i, i.e. v ∈ [2^(i-1), 2^i);
+// bucket 0 holds v == 0 and the last bucket absorbs everything larger.
+// 48 buckets cover 1 ns .. ~1.6 days when observing nanoseconds, and
+// 1 B .. 128 TiB when observing byte counts.
+const histBuckets = 48
+
+// Histogram is a lock-free, allocation-free histogram with power-of-two
+// buckets. Observe is a pair of atomic adds plus a bit-length — cheap
+// enough to sit on every invocation path. The nil Histogram is a valid
+// no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (2^i − 1);
+// the final bucket is unbounded.
+func BucketBound(i int) uint64 {
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps to
+// zero).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Start returns the timestamp to later pass to ObserveSince. On the nil
+// Histogram it returns the zero time without consulting the clock, so a
+// disabled timer costs one branch.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return nowFunc()
+}
+
+// ObserveSince records the elapsed time since start (from Start). A zero
+// start — the disabled path — records nothing.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.ObserveDuration(nowFunc().Sub(start))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts:
+// it returns the upper bound of the bucket containing the q·count-th
+// observation — an upper estimate with power-of-two resolution.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// nonEmptyBuckets returns (index, cumulative count) rows for exposition:
+// every bucket up to and including the highest non-empty one.
+func (h *Histogram) nonEmptyBuckets() (idx []int, cum []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	highest := -1
+	counts := make([]uint64, histBuckets)
+	for i := 0; i < histBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			highest = i
+		}
+	}
+	if highest < 0 {
+		return nil, nil
+	}
+	var c uint64
+	for i := 0; i <= highest; i++ {
+		c += counts[i]
+		if counts[i] > 0 {
+			idx = append(idx, i)
+			cum = append(cum, c)
+		}
+	}
+	return idx, cum
+}

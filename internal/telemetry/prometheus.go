@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): `# HELP` / `# TYPE` lines per
+// family, histogram `_bucket{le=...}` / `_sum` / `_count` expansion, and
+// deterministic family/label ordering so output is diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	metrics := r.snapshot()
+	var helpFor map[string]string
+	if r.Enabled() {
+		r.mu.RLock()
+		helpFor = make(map[string]string, len(r.help))
+		for k, v := range r.help {
+			helpFor[k] = v
+		}
+		r.mu.RUnlock()
+	}
+	lastFamily := ""
+	for _, m := range metrics {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if h := helpFor[m.name]; h != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, h)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typeName(m.kind))
+		}
+		switch m.kind {
+		case kindCounter:
+			writeSample(bw, m.name, m.labels, "", fmt.Sprintf("%d", m.c.Value()))
+		case kindGauge:
+			writeSample(bw, m.name, m.labels, "", fmt.Sprintf("%d", m.g.Value()))
+		case kindHistogram:
+			idx, cum := m.h.nonEmptyBuckets()
+			for i, bi := range idx {
+				le := fmt.Sprintf(`le="%d"`, BucketBound(bi))
+				writeSample(bw, m.name+"_bucket", m.labels, le, fmt.Sprintf("%d", cum[i]))
+			}
+			writeSample(bw, m.name+"_bucket", m.labels, `le="+Inf"`, fmt.Sprintf("%d", m.h.Count()))
+			writeSample(bw, m.name+"_sum", m.labels, "", fmt.Sprintf("%d", m.h.Sum()))
+			writeSample(bw, m.name+"_count", m.labels, "", fmt.Sprintf("%d", m.h.Count()))
+		}
+	}
+	return bw.Flush()
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// writeSample emits one `name{labels,extra} value` line.
+func writeSample(w io.Writer, name, labels, extra, value string) {
+	switch {
+	case labels == "" && extra == "":
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	case labels == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, extra, value)
+	case extra == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	default:
+		fmt.Fprintf(w, "%s{%s,%s} %s\n", name, labels, extra, value)
+	}
+}
+
+// Handler returns the /metrics endpoint for r: Prometheus text format
+// over GET.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "metrics endpoint requires GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// WriteSnapshot renders a compact human-readable dump: every counter and
+// gauge, histogram mean/p50/p99, and the most recent spans — the
+// `hdvm status` view.
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		label := m.name
+		if m.labels != "" {
+			label += "{" + m.labels + "}"
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%-70s %d\n", label, m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%-70s %d\n", label, m.g.Value())
+		case kindHistogram:
+			fmt.Fprintf(bw, "%-70s n=%d mean=%.0f p50≤%d p99≤%d\n",
+				label, m.h.Count(), m.h.Mean(), m.h.Quantile(0.5), m.h.Quantile(0.99))
+		}
+	}
+	spans := r.RecentSpans()
+	if len(spans) > 0 {
+		fmt.Fprintf(bw, "recent spans (%d):\n", len(spans))
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		for _, s := range spans {
+			status := "ok"
+			if s.Err != "" {
+				status = "err: " + s.Err
+			}
+			fmt.Fprintf(bw, "  %016x/%016x parent=%016x %-24s %12v %s\n",
+				s.TraceID, s.SpanID, s.ParentID, s.Name, s.Duration, status)
+		}
+	}
+	return bw.Flush()
+}

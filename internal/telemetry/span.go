@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceHeaderName is the SOAP header entry that carries trace identity
+// across SOAP hops: `<h2:Trace>` with a "traceID-spanID" hex value. It
+// rides the S26 header machinery; receivers that do not understand it
+// ignore it (mustUnderstand is never set on telemetry headers).
+const TraceHeaderName = "h2:Trace"
+
+// SpanContext is the propagated trace identity: which trace a request
+// belongs to and which span is its parent on this hop.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
+// String renders the wire form "16hex-16hex".
+func (sc SpanContext) String() string {
+	return fmt.Sprintf("%016x-%016x", sc.TraceID, sc.SpanID)
+}
+
+// ParseTraceHeader parses the wire form produced by String. It accepts
+// exactly "16hex-16hex"; anything else reports ok=false.
+func ParseTraceHeader(s string) (SpanContext, bool) {
+	if len(s) != 33 || s[16] != '-' {
+		return SpanContext{}, false
+	}
+	tid, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sid, err := strconv.ParseUint(s[17:], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: tid, SpanID: sid}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+type traceCtxKey struct{}
+
+// ContextWith returns ctx carrying the given trace identity.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, sc)
+}
+
+// FromContext extracts the trace identity carried by ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(traceCtxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// idSource is a lock-protected PRNG for span/trace IDs; crypto-strength
+// identity is not needed for correlation, determinism-per-process is
+// harmless, and the stdlib-only constraint rules out heavier schemes.
+var idSource = struct {
+	sync.Mutex
+	r *rand.Rand
+}{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+func newID() uint64 {
+	idSource.Lock()
+	defer idSource.Unlock()
+	for {
+		if id := idSource.r.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// Span is one timed operation within a trace. The nil Span is a valid
+// no-op, so callers can unconditionally defer End.
+type Span struct {
+	r      *Registry
+	name   string
+	sc     SpanContext
+	parent uint64
+	start  time.Time
+	err    error
+}
+
+// SpanRecord is a finished span as kept in the registry's ring.
+type SpanRecord struct {
+	Name     string
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	Start    time.Time
+	Duration time.Duration
+	Err      string
+}
+
+// spanRingCap bounds the finished-span ring: enough for a status
+// snapshot, small enough to never matter.
+const spanRingCap = 256
+
+type spanRing struct {
+	mu   sync.Mutex
+	buf  [spanRingCap]SpanRecord
+	next int
+	n    int
+}
+
+func (sr *spanRing) add(rec SpanRecord) {
+	sr.mu.Lock()
+	sr.buf[sr.next] = rec
+	sr.next = (sr.next + 1) % spanRingCap
+	if sr.n < spanRingCap {
+		sr.n++
+	}
+	sr.mu.Unlock()
+}
+
+func (sr *spanRing) snapshot() []SpanRecord {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]SpanRecord, 0, sr.n)
+	for i := 0; i < sr.n; i++ {
+		out = append(out, sr.buf[(sr.next-sr.n+i+spanRingCap)%spanRingCap])
+	}
+	return out
+}
+
+// StartSpan opens a span named name under the trace carried by ctx (a
+// fresh trace when ctx carries none) and returns a derived context in
+// which the new span is the parent — so nested StartSpan calls, local or
+// across SOAP hops, build a tree. Disabled registries return ctx
+// unchanged and a nil Span.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !r.Enabled() {
+		return ctx, nil
+	}
+	parent, _ := FromContext(ctx)
+	sc := SpanContext{TraceID: parent.TraceID, SpanID: newID()}
+	if sc.TraceID == 0 {
+		sc.TraceID = newID()
+	}
+	s := &Span{r: r, name: name, sc: sc, parent: parent.SpanID, start: nowFunc()}
+	return ContextWith(ctx, sc), s
+}
+
+// ChildSpan opens a span only when ctx already carries a trace identity —
+// the per-hop instrumentation used on invocation hot paths. Untraced
+// traffic (the overwhelmingly common case) pays one context lookup and no
+// ID generation, so the global ID source never becomes a contention point;
+// traced requests get a child span exactly as StartSpan would build one.
+func (r *Registry) ChildSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !r.Enabled() {
+		return ctx, nil
+	}
+	if _, ok := FromContext(ctx); !ok {
+		return ctx, nil
+	}
+	return r.StartSpan(ctx, name)
+}
+
+// Context returns the span's trace identity (zero for the nil Span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetError marks the span failed; the error surfaces in the record.
+func (s *Span) SetError(err error) {
+	if s != nil && err != nil {
+		s.err = err
+	}
+}
+
+// End finishes the span: its duration feeds the registry's
+// harness_span_duration_ns histogram (labelled by span name) and the
+// record joins the recent-spans ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := nowFunc().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.r.Histogram("harness_span_duration_ns", "span", s.name).Observe(uint64(d))
+	rec := SpanRecord{
+		Name: s.name, TraceID: s.sc.TraceID, SpanID: s.sc.SpanID,
+		ParentID: s.parent, Start: s.start, Duration: d,
+	}
+	if s.err != nil {
+		rec.Err = s.err.Error()
+		s.r.Counter("harness_span_errors_total", "span", s.name).Inc()
+	}
+	s.r.spans.add(rec)
+}
+
+// RecentSpans returns the registry's ring of finished spans, oldest
+// first.
+func (r *Registry) RecentSpans() []SpanRecord {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.spans.snapshot()
+}

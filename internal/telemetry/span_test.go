@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpanContextWireForm(t *testing.T) {
+	sc := SpanContext{TraceID: 0xdeadbeef, SpanID: 0x1234}
+	s := sc.String()
+	if len(s) != 33 || !strings.Contains(s, "-") {
+		t.Fatalf("wire form = %q", s)
+	}
+	got, ok := ParseTraceHeader(s)
+	if !ok || got != sc {
+		t.Fatalf("round trip = %+v ok=%v", got, ok)
+	}
+	for _, bad := range []string{
+		"", "zz", s[:32], s + "0",
+		strings.Replace(s, "-", "_", 1),
+		"000000000000zzzz-0000000000001234",
+		"00000000deadbeef-zzzz000000001234",
+		"0000000000000000-0000000000000000", // zero IDs are invalid
+	} {
+		if _, ok := ParseTraceHeader(bad); ok {
+			t.Fatalf("ParseTraceHeader(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpanTreeAcrossContexts(t *testing.T) {
+	r := New()
+	ctx, root := r.StartSpan(context.Background(), "client")
+	rootSC := root.Context()
+	if !rootSC.Valid() {
+		t.Fatal("root span has no identity")
+	}
+	carried, ok := FromContext(ctx)
+	if !ok || carried != rootSC {
+		t.Fatalf("ctx carries %+v, want %+v", carried, rootSC)
+	}
+
+	// Simulate the SOAP hop: serialize, parse on the server side, and
+	// continue the trace there.
+	wire := carried.String()
+	remote, ok := ParseTraceHeader(wire)
+	if !ok {
+		t.Fatal("header did not parse")
+	}
+	serverCtx := ContextWith(context.Background(), remote)
+	_, server := r.StartSpan(serverCtx, "server")
+	server.End()
+	root.End()
+
+	recs := r.RecentSpans()
+	if len(recs) != 2 {
+		t.Fatalf("spans = %d, want 2", len(recs))
+	}
+	var srv, cli SpanRecord
+	for _, rec := range recs {
+		switch rec.Name {
+		case "server":
+			srv = rec
+		case "client":
+			cli = rec
+		}
+	}
+	if srv.TraceID != cli.TraceID {
+		t.Fatalf("trace split: server=%x client=%x", srv.TraceID, cli.TraceID)
+	}
+	if srv.ParentID != cli.SpanID {
+		t.Fatalf("server parent = %x, want client span %x", srv.ParentID, cli.SpanID)
+	}
+	if cli.ParentID != 0 {
+		t.Fatalf("client parent = %x, want 0 (root)", cli.ParentID)
+	}
+}
+
+func TestSpanErrorsAndMetrics(t *testing.T) {
+	r := New()
+	_, sp := r.StartSpan(context.Background(), "failing")
+	sp.SetError(errors.New("boom"))
+	sp.End()
+	if got := r.Counter("harness_span_errors_total", "span", "failing").Value(); got != 1 {
+		t.Fatalf("span error counter = %d", got)
+	}
+	if got := r.Histogram("harness_span_duration_ns", "span", "failing").Count(); got != 1 {
+		t.Fatalf("span duration count = %d", got)
+	}
+	recs := r.RecentSpans()
+	if len(recs) != 1 || recs[0].Err != "boom" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestSpanRingBounded(t *testing.T) {
+	r := New()
+	for i := 0; i < spanRingCap+10; i++ {
+		_, sp := r.StartSpan(context.Background(), "s")
+		sp.End()
+	}
+	if n := len(r.RecentSpans()); n != spanRingCap {
+		t.Fatalf("ring kept %d, want %d", n, spanRingCap)
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import "sync"
+
+// The Vec types are pre-bound metric families with one variable label —
+// the per-operation dimension of the invoke/coherency instrumentation.
+// They cache the label-value → handle mapping behind an RWMutex so the
+// steady state is one read-locked map hit, and they are nil-safe: a Vec
+// obtained from a disabled registry is nil, With on a nil Vec returns a
+// nil handle, and every operation on a nil handle is a branch.
+
+// CounterVec is a counter family keyed by one variable label.
+type CounterVec struct {
+	r     *Registry
+	name  string
+	label string
+	fixed []string // fixed label pairs appended to every child
+
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// CounterVec returns a counter family: name with one variable label plus
+// optional fixed label pairs.
+func (r *Registry) CounterVec(name, label string, fixedPairs ...string) *CounterVec {
+	if !r.Enabled() {
+		return nil
+	}
+	return &CounterVec{r: r, name: name, label: label, fixed: fixedPairs, m: make(map[string]*Counter)}
+}
+
+// With returns the child counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
+	c = v.r.Counter(v.name, pairs...)
+	v.mu.Lock()
+	if have, ok := v.m[value]; ok {
+		c = have
+	} else {
+		v.m[value] = c
+	}
+	v.mu.Unlock()
+	return c
+}
+
+// GaugeVec is a gauge family keyed by one variable label.
+type GaugeVec struct {
+	r     *Registry
+	name  string
+	label string
+	fixed []string
+
+	mu sync.RWMutex
+	m  map[string]*Gauge
+}
+
+// GaugeVec returns a gauge family: name with one variable label plus
+// optional fixed label pairs.
+func (r *Registry) GaugeVec(name, label string, fixedPairs ...string) *GaugeVec {
+	if !r.Enabled() {
+		return nil
+	}
+	return &GaugeVec{r: r, name: name, label: label, fixed: fixedPairs, m: make(map[string]*Gauge)}
+}
+
+// With returns the child gauge for the given label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g := v.m[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
+	g = v.r.Gauge(v.name, pairs...)
+	v.mu.Lock()
+	if have, ok := v.m[value]; ok {
+		g = have
+	} else {
+		v.m[value] = g
+	}
+	v.mu.Unlock()
+	return g
+}
+
+// HistogramVec is a histogram family keyed by one variable label.
+type HistogramVec struct {
+	r     *Registry
+	name  string
+	label string
+	fixed []string
+
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// HistogramVec returns a histogram family: name with one variable label
+// plus optional fixed label pairs.
+func (r *Registry) HistogramVec(name, label string, fixedPairs ...string) *HistogramVec {
+	if !r.Enabled() {
+		return nil
+	}
+	return &HistogramVec{r: r, name: name, label: label, fixed: fixedPairs, m: make(map[string]*Histogram)}
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.m[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
+	h = v.r.Histogram(v.name, pairs...)
+	v.mu.Lock()
+	if have, ok := v.m[value]; ok {
+		h = have
+	} else {
+		v.m[value] = h
+	}
+	v.mu.Unlock()
+	return h
+}
