@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-xdr hbench fuzz ci clean
+.PHONY: all build vet lint test race cover bench bench-xdr hbench fuzz chaos-smoke ci clean
 
 all: build
 
@@ -44,12 +44,19 @@ bench-xdr:
 hbench:
 	$(GO) run ./cmd/hbench $(ARGS)
 
-# Short fuzz pass over the v2 frame-header and array decoders.
+# Short fuzz pass over the v2 frame-header and array decoders, plus the
+# chaos spec parser and resilience policy validators.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadFrameID -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzDecoderArrays -fuzztime 30s ./internal/xdr/
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 30s ./internal/resilience/chaos/
+	$(GO) test -run xxx -fuzz FuzzPolicyOptions -fuzztime 30s ./internal/resilience/
 
-ci: vet build race
+# The deterministic chaos sweep at CI smoke size (seconds).
+chaos-smoke:
+	$(GO) run ./cmd/hbench -exp E13,E13b -short
+
+ci: vet build race chaos-smoke
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"harness2/internal/bench"
 	"harness2/internal/container"
@@ -21,6 +22,8 @@ import (
 	"harness2/internal/namesvc"
 	"harness2/internal/pvm"
 	"harness2/internal/registry"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/simnet"
 	"harness2/internal/soap"
 	"harness2/internal/telemetry"
@@ -599,6 +602,100 @@ func benchE12Invoke(b *testing.B, reg *telemetry.Registry) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Invoke(ctx, "getTime", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: resilience plane overhead ----------------------------------------
+
+// e13BenchPort is a minimal in-memory Port: the measurements below isolate
+// the resilience plumbing (nil-policy branch, enabled policy loop, chaos
+// hook) from any transport cost.
+type e13BenchPort struct{ out []wire.Arg }
+
+func (p *e13BenchPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	return p.out, nil
+}
+func (p *e13BenchPort) Kind() wsdl.BindingKind { return wsdl.BindXDR }
+func (p *e13BenchPort) Endpoint() string       { return "bench" }
+func (p *e13BenchPort) Close() error           { return nil }
+
+func benchE13Invoke(b *testing.B, port invoke.Port) {
+	b.Helper()
+	ctx := context.Background()
+	args := wire.Args("by", int64(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := port.Invoke(ctx, "getResult", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13_PortBare is the baseline: the raw in-memory port.
+func BenchmarkE13_PortBare(b *testing.B) {
+	benchE13Invoke(b, &e13BenchPort{out: wire.Args("ok", int64(1))})
+}
+
+// BenchmarkE13_PortNilPolicy is the acceptance gate for the disabled
+// path: a ResilientPort without a policy must add one branch — a few
+// nanoseconds, zero allocations — over the bare port.
+func BenchmarkE13_PortNilPolicy(b *testing.B) {
+	p, err := invoke.NewResilientPort(nil, &e13BenchPort{out: wire.Args("ok", int64(1))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchE13Invoke(b, p)
+}
+
+// BenchmarkE13_PortPolicyEnabled measures the full policy loop on the
+// success path (budget context, breaker gate, one attempt, bookkeeping)
+// with no faults injected.
+func BenchmarkE13_PortPolicyEnabled(b *testing.B) {
+	pol, err := resilience.New(
+		resilience.WithMaxAttempts(3),
+		resilience.WithBreaker(5, time.Second),
+		resilience.WithTelemetry(telemetry.Disabled()),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := invoke.NewResilientPort(pol, &e13BenchPort{out: wire.Args("ok", int64(1))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchE13Invoke(b, p)
+}
+
+// BenchmarkE13_ChaosNilInjector is the other disabled hot path: the nil
+// *chaos.Injector hook compiled into every transport.
+func BenchmarkE13_ChaosNilInjector(b *testing.B) {
+	var inj *chaos.Injector
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inj.Apply(ctx, "xdr", "getResult", "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13_ChaosEvalMiss prices an armed injector whose rule matches
+// the site but never draws a fault (prob 0): the per-call cost of keeping
+// chaos enabled in a steady-state run.
+func BenchmarkE13_ChaosEvalMiss(b *testing.B) {
+	inj, err := chaos.New(1, chaos.Rule{Binding: "xdr", Kind: chaos.FaultError, Prob: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inj.Apply(ctx, "xdr", "getResult", "bench"); err != nil {
 			b.Fatal(err)
 		}
 	}

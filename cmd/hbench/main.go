@@ -8,6 +8,7 @@
 //	hbench                  # run every experiment with quick parameters
 //	hbench -exp E2,E5       # selected experiments
 //	hbench -full            # report-quality sweeps (slower)
+//	hbench -short           # CI smoke sizes (seconds)
 //	hbench -list            # list experiment IDs
 package main
 
@@ -22,9 +23,10 @@ import (
 
 func main() {
 	var (
-		exps = flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
-		full = flag.Bool("full", false, "run the full (report-quality) parameter sweeps")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
+		exps  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E13) or 'all'")
+		full  = flag.Bool("full", false, "run the full (report-quality) parameter sweeps")
+		short = flag.Bool("short", false, "run CI smoke-sized sweeps (wins over -full)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -38,7 +40,7 @@ func main() {
 	if *exps != "all" {
 		ids = strings.Split(*exps, ",")
 	}
-	p := bench.Params{Full: *full}
+	p := bench.Params{Full: *full, Short: *short}
 	failed := false
 	for _, id := range ids {
 		id = strings.TrimSpace(id)

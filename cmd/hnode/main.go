@@ -26,6 +26,8 @@ import (
 	"harness2/internal/dvm"
 	"harness2/internal/invoke"
 	"harness2/internal/registry"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/simnet"
 	"harness2/internal/wire"
 )
@@ -39,10 +41,31 @@ func main() {
 		manage   = flag.Bool("manage", true, "deploy the remote-management component")
 		printDoc = flag.Bool("wsdl", false, "print each instance's WSDL document")
 		prime    = flag.Bool("prime", true, "run startup self-invocations so /metrics exposes every instrument family")
+
+		// Resilience plane (S28): admission control + fault injection.
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent invocations before shedding (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "admission queue depth beyond the in-flight limit")
+		queueWait   = flag.Duration("queue-wait", 0, "max time a queued invocation waits before shedding")
+		chaosSpec   = flag.String("chaos", "", `chaos rule spec, e.g. "error:0.1@container" or "latency:0.05:20ms" (empty = off)`)
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos schedule")
 	)
 	flag.Parse()
 
-	node, err := core.NewNode(*name, core.NodeOptions{Addr: *addr})
+	opts := core.NodeOptions{Addr: *addr}
+	if *maxInflight > 0 {
+		opts.Admission = resilience.NewLimiter(*maxInflight, *maxQueue, *queueWait)
+		fmt.Printf("hnode: admission control: %d in flight, %d queued (wait %v)\n",
+			*maxInflight, *maxQueue, *queueWait)
+	}
+	if *chaosSpec != "" {
+		inj, err := chaos.NewFromSpec(*chaosSeed, *chaosSpec)
+		if err != nil {
+			log.Fatalf("hnode: -chaos: %v", err)
+		}
+		opts.Chaos = inj
+		fmt.Printf("hnode: chaos armed (seed %d): %s\n", *chaosSeed, *chaosSpec)
+	}
+	node, err := core.NewNode(*name, opts)
 	if err != nil {
 		log.Fatalf("hnode: %v", err)
 	}

@@ -190,7 +190,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("E99", Params{}); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
-	if got := IDs(); len(got) != 13 || got[0] != "E1" {
+	if got := IDs(); len(got) != 15 || got[0] != "E1" {
 		t.Fatalf("IDs = %v", got)
 	}
 	// E2 through the dispatcher with the quick params (fastest pure-CPU
@@ -219,6 +219,49 @@ func TestE5bShapeKInterpolates(t *testing.T) {
 		if v < 0 {
 			t.Fatalf("k=%s msgs/op = %v", k, v)
 		}
+	}
+}
+
+func TestE13ShapePoliciesRestoreAvailability(t *testing.T) {
+	// One 20% fault-rate sweep: unprotected availability must crater while
+	// every policy configuration rides through the same fault schedule.
+	tb, err := E13FaultSweep([]float64{0.2}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	success := map[string]float64{}
+	p99 := map[string]time.Duration{}
+	for _, row := range tb.Rows {
+		success[row[1]] = parseCell(t, strings.TrimSuffix(row[2], "%"))
+		p99[row[1]] = parseDur(t, row[3])
+	}
+	if s := success["none"]; s > 90 {
+		t.Fatalf("no-policy success = %.1f%%, want <= 90%%\n%s", s, tb)
+	}
+	for _, pol := range []string{"retry", "retry+breaker", "retry+breaker+hedge"} {
+		if s := success[pol]; s < 99 {
+			t.Fatalf("%s success = %.1f%%, want >= 99%%\n%s", pol, s, tb)
+		}
+	}
+	// Hedging must beat the 10ms latency-fault tail that retry alone eats.
+	if !raceEnabled && p99["retry+breaker+hedge"] >= p99["retry"] {
+		t.Fatalf("hedged p99 %v should undercut retry-only p99 %v\n%s",
+			p99["retry+breaker+hedge"], p99["retry"], tb)
+	}
+}
+
+func TestE13bShapeDisabledPathFree(t *testing.T) {
+	tb, err := E13bDisabledOverhead(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The delegation-overhead row: zero extra allocations is a hard
+	// contract (timing is asserted loosely; CI machines vary).
+	if got := tb.Rows[2][2]; got != "0" {
+		t.Fatalf("delegation allocs/op = %q, want 0\n%s", got, tb)
 	}
 }
 

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"harness2/internal/invoke"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
+	"harness2/internal/telemetry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// E13FaultSweep measures availability and tail latency under injected
+// faults (S28): a two-rung failover ladder (flaky XDR primary, healthy
+// SOAP secondary) is driven through a deterministic chaos schedule at
+// swept fault rates, once per policy configuration. The design claims
+// under test:
+//
+//   - with no policy, availability degrades roughly linearly with the
+//     fault rate (every primary fault is a failed call);
+//   - retries alone recover unsent/idempotent faults at the cost of
+//     extra tries and a latency tail (backoff + re-execution);
+//   - adding a breaker sheds the flaky rung after its threshold, cutting
+//     wasted tries;
+//   - adding hedging races the secondary after a short delay, restoring
+//     the p99 that latency faults on the primary would otherwise set.
+//
+// The injected mix at rate f on the primary: error faults (unsent) with
+// probability f, partial writes (transient, maybe-executed) at f/2, and
+// 10 ms latency spikes at f. The latency spike is sized an order of
+// magnitude above the hedge delay so the race outcome reflects the
+// policy, not OS timer granularity. The schedule is a pure function of
+// the seed, so every (rate, policy) cell replays the identical fault
+// sequence.
+func E13FaultSweep(rates []float64, calls int) (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: "Resilience under injected faults: availability and p99 per policy",
+		Note: fmt.Sprintf("%d idempotent calls/cell, 2-rung ladder (flaky xdr > healthy soap), seeded chaos on the primary",
+			calls),
+		Columns: []string{"fault rate", "policy", "success", "p99", "tries/call"},
+	}
+
+	type config struct {
+		name string
+		mk   func() (*resilience.Policy, error)
+	}
+	base := func(extra ...resilience.Option) (*resilience.Policy, error) {
+		opts := []resilience.Option{
+			resilience.WithMaxAttempts(4),
+			resilience.WithBackoff(50*time.Microsecond, 500*time.Microsecond),
+			resilience.WithTelemetry(telemetry.Disabled()),
+		}
+		return resilience.New(append(opts, extra...)...)
+	}
+	configs := []config{
+		{"none", func() (*resilience.Policy, error) { return nil, nil }},
+		{"retry", func() (*resilience.Policy, error) { return base() }},
+		{"retry+breaker", func() (*resilience.Policy, error) {
+			return base(resilience.WithBreaker(5, 20*time.Millisecond))
+		}},
+		{"retry+breaker+hedge", func() (*resilience.Policy, error) {
+			return base(
+				resilience.WithBreaker(5, 20*time.Millisecond),
+				resilience.WithHedging(time.Millisecond, 2))
+		}},
+	}
+
+	for _, rate := range rates {
+		for _, cfg := range configs {
+			policy, err := cfg.mk()
+			if err != nil {
+				return nil, err
+			}
+			ok, p99, tries, err := e13Cell(rate, calls, policy)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%.0f%%", rate*100), cfg.name,
+				fmt.Sprintf("%.1f%%", 100*float64(ok)/float64(calls)),
+				FmtDur(p99),
+				fmt.Sprintf("%.2f", float64(tries)/float64(calls)))
+		}
+	}
+	return t, nil
+}
+
+// e13Cell replays the seeded fault schedule against a fresh ladder under
+// one policy and returns successes, the p99 call latency and the total
+// number of port invocations (tries) the policy spent.
+func e13Cell(rate float64, calls int, policy *resilience.Policy) (ok int, p99 time.Duration, tries int64, err error) {
+	var rules []chaos.Rule
+	if rate > 0 {
+		rules = []chaos.Rule{
+			{Binding: "bench", Endpoint: "flaky", Kind: chaos.FaultError, Prob: rate},
+			{Binding: "bench", Endpoint: "flaky", Kind: chaos.FaultPartialWrite, Prob: rate / 2},
+			{Binding: "bench", Endpoint: "flaky", Kind: chaos.FaultLatency, Prob: rate, Latency: 10 * time.Millisecond},
+		}
+	}
+	inj, err := chaos.New(13, rules...) // fixed seed: identical schedule per cell
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	primary := &e13Port{kind: wsdl.BindXDR, ep: "flaky", inj: inj}
+	secondary := &e13Port{kind: wsdl.BindSOAP, ep: "healthy", inj: inj}
+	port, err := invoke.NewResilientPort(policy, primary, secondary)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer port.Close()
+
+	ctx := context.Background()
+	durations := make([]time.Duration, 0, calls)
+	for i := 0; i < calls; i++ {
+		start := time.Now()
+		// getResult is idempotent by name, so retries, failover and
+		// hedging are all in play.
+		_, callErr := port.Invoke(ctx, "getResult", wire.Args("i", int64(i)))
+		durations = append(durations, time.Since(start))
+		if callErr == nil {
+			ok++
+		}
+	}
+	sort.Slice(durations, func(a, b int) bool { return durations[a] < durations[b] })
+	p99 = durations[len(durations)*99/100]
+	tries = atomic.LoadInt64(&primary.calls) + atomic.LoadInt64(&secondary.calls)
+	return ok, p99, tries, nil
+}
+
+// E13bDisabledOverhead is the nil-policy acceptance gate: a ResilientPort
+// with no policy must cost one branch over the bare port — single-digit
+// nanoseconds and zero allocations — so the resilience plane can stay
+// compiled into every remote path.
+func E13bDisabledOverhead(reps int) (*Table, error) {
+	t := &Table{
+		ID:      "E13b",
+		Title:   "Resilience disabled path: bare port vs nil-policy ResilientPort",
+		Note:    "the nil-policy delegation must cost <10ns and 0 allocs over the bare port",
+		Columns: []string{"path", "ns/op", "allocs/op"},
+	}
+	bare := &e13Port{kind: wsdl.BindXDR, ep: "bare"}
+	wrapped, err := invoke.NewResilientPort(nil, &e13Port{kind: wsdl.BindXDR, ep: "wrapped"})
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	args := wire.Args("i", int64(0))
+
+	bareNs, bareAllocs := measureOverhead(reps, func() {
+		if _, err := bare.Invoke(ctx, "getResult", args); err != nil {
+			panic(err)
+		}
+	})
+	wrapNs, wrapAllocs := measureOverhead(reps, func() {
+		if _, err := wrapped.Invoke(ctx, "getResult", args); err != nil {
+			panic(err)
+		}
+	})
+	t.AddRow("bare port", fmtNs(bareNs), fmtAllocs(bareAllocs))
+	t.AddRow("nil-policy ResilientPort", fmtNs(wrapNs), fmtAllocs(wrapAllocs))
+	t.AddRow("delegation overhead", fmtNs(wrapNs-bareNs), fmtAllocs(wrapAllocs-bareAllocs))
+	return t, nil
+}
+
+// e13Port is an in-memory Port whose only behaviour is the chaos hook:
+// it isolates the policy machinery from transport cost so the sweep
+// measures policies, not sockets.
+type e13Port struct {
+	kind  wsdl.BindingKind
+	ep    string
+	inj   *chaos.Injector
+	calls int64
+}
+
+var _ invoke.Port = (*e13Port)(nil)
+
+func (p *e13Port) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	atomic.AddInt64(&p.calls, 1)
+	if err := p.inj.Apply(ctx, "bench", op, p.ep); err != nil {
+		return nil, err
+	}
+	return wire.Args("from", p.ep), nil
+}
+
+func (p *e13Port) Kind() wsdl.BindingKind { return p.kind }
+func (p *e13Port) Endpoint() string       { return p.ep }
+func (p *e13Port) Close() error           { return nil }

@@ -9,6 +9,9 @@ import (
 // Full widens the sweeps for report-quality output.
 type Params struct {
 	Full bool
+	// Short shrinks every sweep to a CI smoke size: seconds, not minutes.
+	// It wins over Full.
+	Short bool
 }
 
 func (p Params) encodingSizes() []int {
@@ -139,7 +142,38 @@ func (p Params) telemetryInvokeReps() int {
 	return 20_000
 }
 
-// Run executes one experiment by ID (E1–E12).
+// resilienceRates is the E13 fault-rate sweep.
+func (p Params) resilienceRates() []float64 {
+	if p.Short {
+		return []float64{0, 0.1, 0.3}
+	}
+	return []float64{0, 0.1, 0.2, 0.3}
+}
+
+// resilienceCalls is the per-cell call count of the E13 sweep. The cap
+// is modest because un-hedged latency faults cost real wall time.
+func (p Params) resilienceCalls() int {
+	if p.Short {
+		return 80
+	}
+	if p.Full {
+		return 1000
+	}
+	return 400
+}
+
+// resilienceOverheadReps sizes the E13b disabled-path measurement.
+func (p Params) resilienceOverheadReps() int {
+	if p.Short {
+		return 20_000
+	}
+	if p.Full {
+		return 2_000_000
+	}
+	return 200_000
+}
+
+// Run executes one experiment by ID (E1–E13).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -169,13 +203,17 @@ func Run(id string, p Params) (*Table, error) {
 			p.xdrArrayLen(), p.xdrArrayCalls())
 	case "E12":
 		return E12TelemetryOverhead(p.telemetryReps(), p.telemetryInvokeReps())
+	case "E13":
+		return E13FaultSweep(p.resilienceRates(), p.resilienceCalls())
+	case "E13b":
+		return E13bDisabledOverhead(p.resilienceOverheadReps())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E12", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

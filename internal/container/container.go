@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"harness2/internal/registry"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
@@ -184,6 +186,16 @@ type Config struct {
 	// Telemetry selects the metrics registry; nil falls back to the
 	// process default, telemetry.Disabled() switches instrumentation off.
 	Telemetry *telemetry.Registry
+	// Admission, when non-nil, bounds concurrent invocations across every
+	// binding that dispatches into this container: excess requests are
+	// shed with the distinguished Overloaded fault (S28). Nil admits
+	// everything at the cost of one branch.
+	Admission *resilience.Limiter
+	// Chaos, when non-nil, injects deterministic faults at the dispatch
+	// boundary — site ("container", op, instanceID) — so every binding
+	// that reaches this container is exercised by the same schedule. Nil
+	// costs one branch (S28).
+	Chaos *chaos.Injector
 }
 
 // LifecycleEvent describes one container state change, delivered to
@@ -431,6 +443,14 @@ func (c *Container) Invoke(ctx context.Context, id, op string, args []wire.Arg) 
 	inst, ok := c.Instance(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	release, err := c.cfg.Admission.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := c.cfg.Chaos.Apply(ctx, "container", op, id); err != nil {
+		return nil, err
 	}
 	c.met.invokes.Inc()
 	return inst.invoke(ctx, op, args)

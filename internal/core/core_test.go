@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -13,6 +14,8 @@ import (
 	"harness2/internal/container"
 	"harness2/internal/invoke"
 	"harness2/internal/registry"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 )
@@ -409,4 +412,79 @@ func accumFactory() container.Factory {
 			},
 		}
 	})
+}
+
+// TestNodeResilienceOptions: the S28 knobs on NodeOptions reach the
+// dispatch boundary — a chaos rule at the container site faults local
+// invocations deterministically, and an admission limiter sheds the
+// second concurrent call with the Overloaded fault.
+func TestNodeResilienceOptions(t *testing.T) {
+	inj, err := chaos.NewFromSpec(1, "error:1@container#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode("chaotic", NodeOptions{
+		DisableSOAP: true, DisableXDR: true,
+		Chaos:     inj,
+		Admission: resilience.NewLimiter(1, 0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	RegisterBuiltins(n.Container())
+	inst, _, err := n.Container().Deploy("WSTime", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// The one-shot chaos rule kills the first dispatch with an unsent
+	// fault; the second goes through.
+	if _, err := n.Container().Invoke(ctx, inst.ID, "getTime", nil); err == nil {
+		t.Fatal("first dispatch should fault")
+	} else if !resilience.IsUnsent(err) {
+		t.Fatalf("chaos fault not marked unsent: %v", err)
+	}
+	if _, err := n.Container().Invoke(ctx, inst.ID, "getTime", nil); err != nil {
+		t.Fatalf("second dispatch: %v", err)
+	}
+	if fired := inj.Fired(); len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("chaos fired = %v", fired)
+	}
+
+	// Admission: hold the single slot with a blocked call, then prove the
+	// next one is shed as Overloaded.
+	blocked := make(chan struct{})
+	unblock := make(chan struct{})
+	n.Container().RegisterFactory("Blocker", container.FuncFactory(func() *container.FuncComponent {
+		return &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: "Blocker", Operations: []wsdl.OpSpec{
+				{Name: "block", Output: []wsdl.ParamSpec{{Name: "ok", Type: wire.KindInt64}}},
+			}},
+			Handlers: map[string]container.OpFunc{
+				"block": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+					close(blocked)
+					<-unblock
+					return wire.Args("ok", int64(1)), nil
+				},
+			},
+		}
+	}))
+	b, _, err := n.Container().Deploy("Blocker", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.Container().Invoke(ctx, b.ID, "block", nil)
+		done <- err
+	}()
+	<-blocked
+	if _, err := n.Container().Invoke(ctx, inst.ID, "getTime", nil); !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("expected Overloaded shed, got %v", err)
+	}
+	close(unblock)
+	if err := <-done; err != nil {
+		t.Fatalf("admitted call: %v", err)
+	}
 }

@@ -17,6 +17,8 @@ import (
 	"harness2/internal/container"
 	"harness2/internal/invoke"
 	"harness2/internal/registry"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/soap"
 	"harness2/internal/telemetry"
 	"harness2/internal/wire"
@@ -38,6 +40,13 @@ type NodeOptions struct {
 	// bindings, and /metrics endpoint; nil falls back to the process
 	// default, telemetry.Disabled() switches instrumentation off.
 	Telemetry *telemetry.Registry
+	// Admission, when non-nil, bounds concurrent invocations across every
+	// binding of this node; excess requests are shed with the Overloaded
+	// fault (S28). Nil admits everything.
+	Admission *resilience.Limiter
+	// Chaos, when non-nil, injects deterministic faults at the node's
+	// dispatch boundary (S28); nil costs one branch.
+	Chaos *chaos.Injector
 }
 
 // Node is a running HARNESS II host: a container plus its live bindings.
@@ -78,6 +87,8 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 		HTTPBase:  n.restBase,
 		Policy:    opts.Policy,
 		Telemetry: opts.Telemetry,
+		Admission: opts.Admission,
+		Chaos:     opts.Chaos,
 	}
 	// The XDR server needs the container, and the container's advertised
 	// XDR address needs the server's port: create the container with an

@@ -1,11 +1,13 @@
 package dvm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"harness2/internal/resilience"
 	"harness2/internal/simnet"
 )
 
@@ -34,9 +36,46 @@ type Coherency interface {
 // participating nodes. All system events are synchronously distributed to
 // maintain coherency." Updates broadcast; queries are free local reads.
 
+// cohNet bundles a strategy's fabric with an optional resilience policy.
+// Every distribution send goes through rtt: with a policy attached, a
+// dropped fabric message is retried with backoff before the coherency
+// operation gives up — event application is idempotent (set/delete table
+// rows), so re-delivery is safe. Partitions are NOT retried: simnet's
+// ErrPartitioned does not classify transient, so a severed link fails
+// fast and is left to failure detection. The nil-policy path is one
+// branch, per the repo's nil-safety idiom.
+type cohNet struct {
+	net    *simnet.Network
+	policy *resilience.Policy
+}
+
+// Fabric exposes the strategy's network for failure detection.
+func (cn *cohNet) Fabric() *simnet.Network { return cn.net }
+
+// SetResilience attaches (nil detaches) the retry policy for
+// distribution sends; call it before traffic flows.
+func (cn *cohNet) SetResilience(p *resilience.Policy) { cn.policy = p }
+
+// rtt charges one request/response exchange, retried under the policy.
+// The returned duration sums the modelled cost of every attempt: retries
+// are not free, they are accounted as extra coherency latency.
+func (cn *cohNet) rtt(op, from, to string, reqBytes, respBytes int) (time.Duration, error) {
+	if cn.policy == nil {
+		return cn.net.RTT(from, to, reqBytes, respBytes)
+	}
+	var total time.Duration
+	_, err := cn.policy.Do(context.Background(), from+"->"+to, op, true,
+		func(ctx context.Context) (any, error) {
+			d, rerr := cn.net.RTT(from, to, reqBytes, respBytes)
+			total += d
+			return nil, rerr
+		})
+	return total, err
+}
+
 // FullSync implements the replicated-state strategy.
 type FullSync struct {
-	net *simnet.Network
+	cohNet
 
 	mu     sync.RWMutex
 	stores map[string]*store
@@ -46,14 +85,11 @@ var _ Coherency = (*FullSync)(nil)
 
 // NewFullSync creates the strategy over the given fabric.
 func NewFullSync(net *simnet.Network) *FullSync {
-	return &FullSync{net: net, stores: make(map[string]*store)}
+	return &FullSync{cohNet: cohNet{net: net}, stores: make(map[string]*store)}
 }
 
 // Name implements Coherency.
 func (f *FullSync) Name() string { return "full-sync" }
-
-// Fabric exposes the strategy's network for failure detection.
-func (f *FullSync) Fabric() *simnet.Network { return f.net }
 
 // AddNode implements Coherency: the join event itself is synchronously
 // distributed to existing members.
@@ -104,7 +140,7 @@ func (f *FullSync) Apply(node string, ev Event) (time.Duration, error) {
 	var worst time.Duration
 	size := ev.ByteSize()
 	for n, st := range others {
-		rtt, err := f.net.RTT(node, n, size, ackBytes)
+		rtt, err := f.rtt("coherency.distribute", node, n, size, ackBytes)
 		if err != nil {
 			return worst, fmt.Errorf("dvm: full-sync distribution to %s: %w", n, err)
 		}
@@ -146,7 +182,7 @@ func (f *FullSync) Members() []string {
 
 // Decentralized implements the query-on-demand strategy.
 type Decentralized struct {
-	net *simnet.Network
+	cohNet
 
 	mu     sync.RWMutex
 	stores map[string]*store
@@ -156,14 +192,11 @@ var _ Coherency = (*Decentralized)(nil)
 
 // NewDecentralized creates the strategy over the given fabric.
 func NewDecentralized(net *simnet.Network) *Decentralized {
-	return &Decentralized{net: net, stores: make(map[string]*store)}
+	return &Decentralized{cohNet: cohNet{net: net}, stores: make(map[string]*store)}
 }
 
 // Name implements Coherency.
 func (d *Decentralized) Name() string { return "decentralized" }
-
-// Fabric exposes the strategy's network for failure detection.
-func (d *Decentralized) Fabric() *simnet.Network { return d.net }
 
 // AddNode implements Coherency: membership changes cost nothing — nodes
 // learn of each other through the coherency domain's shared membership.
@@ -225,7 +258,7 @@ func (d *Decentralized) Query(node string, q Query) ([]ServiceEntry, time.Durati
 		for _, e := range res {
 			respBytes += e.ByteSize()
 		}
-		rtt, err := d.net.RTT(node, n, q.ByteSize(), respBytes)
+		rtt, err := d.rtt("coherency.query", node, n, q.ByteSize(), respBytes)
 		if err != nil {
 			// Unreachable nodes simply contribute nothing, mirroring a
 			// best-effort spanning query over a faulty fabric.
@@ -259,8 +292,8 @@ func (d *Decentralized) Members() []string {
 // Hybrid implements neighbourhood synchrony with inter-neighbourhood
 // spanning queries. Nodes join neighbourhoods of at most K in join order.
 type Hybrid struct {
-	net *simnet.Network
-	K   int
+	cohNet
+	K int
 
 	mu     sync.RWMutex
 	stores map[string]*store
@@ -277,14 +310,12 @@ func NewHybrid(net *simnet.Network, k int) *Hybrid {
 	if k < 1 {
 		k = 1
 	}
-	return &Hybrid{net: net, K: k, stores: make(map[string]*store), hood: make(map[string]int)}
+	return &Hybrid{cohNet: cohNet{net: net}, K: k,
+		stores: make(map[string]*store), hood: make(map[string]int)}
 }
 
 // Name implements Coherency.
 func (h *Hybrid) Name() string { return fmt.Sprintf("hybrid-k%d", h.K) }
-
-// Fabric exposes the strategy's network for failure detection.
-func (h *Hybrid) Fabric() *simnet.Network { return h.net }
 
 // AddNode implements Coherency.
 func (h *Hybrid) AddNode(node string) (time.Duration, error) {
@@ -360,7 +391,7 @@ func (h *Hybrid) Apply(node string, ev Event) (time.Duration, error) {
 	local.apply(ev)
 	var worst time.Duration
 	for n, st := range peerStores {
-		rtt, err := h.net.RTT(node, n, ev.ByteSize(), ackBytes)
+		rtt, err := h.rtt("coherency.distribute", node, n, ev.ByteSize(), ackBytes)
 		if err != nil {
 			return worst, fmt.Errorf("dvm: hybrid distribution to %s: %w", n, err)
 		}
@@ -404,7 +435,7 @@ func (h *Hybrid) Query(node string, q Query) ([]ServiceEntry, time.Duration, err
 		for _, e := range res {
 			respBytes += e.ByteSize()
 		}
-		rtt, err := h.net.RTT(node, r.name, q.ByteSize(), respBytes)
+		rtt, err := h.rtt("coherency.query", node, r.name, q.ByteSize(), respBytes)
 		if err != nil {
 			continue
 		}
@@ -464,7 +495,7 @@ func (f *FullSync) Evict(byNode, deadNode string) (time.Duration, error) {
 	by.apply(ev)
 	var worst time.Duration
 	for n, st := range others {
-		rtt, err := f.net.RTT(byNode, n, ev.ByteSize(), ackBytes)
+		rtt, err := f.rtt("coherency.evict", byNode, n, ev.ByteSize(), ackBytes)
 		if err != nil {
 			return worst, fmt.Errorf("dvm: eviction broadcast to %s: %w", n, err)
 		}
@@ -530,7 +561,7 @@ func (h *Hybrid) Evict(byNode, deadNode string) (time.Duration, error) {
 			st.apply(ev)
 			continue
 		}
-		rtt, err := h.net.RTT(byNode, n, ev.ByteSize(), ackBytes)
+		rtt, err := h.rtt("coherency.evict", byNode, n, ev.ByteSize(), ackBytes)
 		if err != nil {
 			return worst, fmt.Errorf("dvm: eviction notice to %s: %w", n, err)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"harness2/internal/container"
 	"harness2/internal/invoke"
+	"harness2/internal/resilience"
 	"harness2/internal/simnet"
 	"harness2/internal/telemetry"
 	"harness2/internal/wire"
@@ -62,6 +63,24 @@ func New(name string, coh Coherency) *DVM {
 func (d *DVM) SetTelemetry(r *telemetry.Registry) {
 	d.tel = r
 	d.initMetrics()
+}
+
+// resilient is implemented by coherency strategies whose distribution
+// sends can be governed by a resilience policy (the three shipped
+// strategies all qualify via cohNet).
+type resilient interface {
+	SetResilience(*resilience.Policy)
+}
+
+// SetResilience attaches a retry policy to the coherency strategy's
+// distribution sends: dropped fabric messages are re-sent with backoff
+// instead of failing the whole broadcast, and the retries surface in the
+// policy's own telemetry. Call before traffic flows; nil detaches. The
+// call is a no-op for strategies that do not expose the hook.
+func (d *DVM) SetResilience(p *resilience.Policy) {
+	if r, ok := d.coh.(resilient); ok {
+		r.SetResilience(p)
+	}
 }
 
 func (d *DVM) initMetrics() {

@@ -1,0 +1,217 @@
+package dvm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/resilience"
+	"harness2/internal/simnet"
+	"harness2/internal/telemetry"
+)
+
+func testDVMPolicy(t *testing.T, reg *telemetry.Registry) *resilience.Policy {
+	t.Helper()
+	p, err := resilience.New(
+		resilience.WithMaxAttempts(5),
+		resilience.WithBackoff(time.Microsecond, 10*time.Microsecond),
+		resilience.WithTelemetry(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPartitionEvictAndRejoin is the DVM robustness regression across all
+// three coherency strategies: a partitioned member is evicted from the
+// unified name space, and on heal it rejoins cleanly — no duplicate
+// membership, the membership gauge returns to its pre-partition value,
+// and its redeployed services are visible again from other nodes.
+func TestPartitionEvictAndRejoin(t *testing.T) {
+	for _, mk := range []func(*simnet.Network) Coherency{
+		func(n *simnet.Network) Coherency { return NewFullSync(n) },
+		func(n *simnet.Network) Coherency { return NewDecentralized(n) },
+		func(n *simnet.Network) Coherency { return NewHybrid(n, 2) },
+	} {
+		net := simnet.New(simnet.LAN)
+		coh := mk(net)
+		name := coh.Name()
+		reg := telemetry.New()
+		d := New("part", coh)
+		d.SetTelemetry(reg)
+		d.SetResilience(testDVMPolicy(t, reg))
+
+		nodes := make([]*container.Container, 4)
+		for i := range nodes {
+			nodes[i] = newNode(fmt.Sprintf("n%d", i))
+			if err := d.AddNode(nodes[i]); err != nil {
+				t.Fatalf("[%s] add n%d: %v", name, i, err)
+			}
+		}
+		if _, err := d.Deploy("n1", "Echo", "survivor"); err != nil {
+			t.Fatalf("[%s] %v", name, err)
+		}
+		if _, err := d.Deploy("n3", "Echo", "victim"); err != nil {
+			t.Fatalf("[%s] %v", name, err)
+		}
+		fixed := []string{"dvm", "part", "strategy", name}
+		gauge := reg.Gauge("harness_dvm_members", fixed...)
+		preMembers := gauge.Value()
+		if preMembers != 4 {
+			t.Fatalf("[%s] pre-partition gauge = %d", name, preMembers)
+		}
+
+		// Partition n3 from every other member; the monitor's sweep must
+		// evict it and purge its services everywhere.
+		for i := 0; i < 3; i++ {
+			net.Partition(fmt.Sprintf("n%d", i), "n3", true)
+		}
+		evicted, err := d.EvictFailed("n0", NewDetector(d, 3))
+		if err != nil {
+			t.Fatalf("[%s] evict: %v", name, err)
+		}
+		if len(evicted) != 1 || evicted[0] != "n3" {
+			t.Fatalf("[%s] evicted = %v", name, evicted)
+		}
+		if got := d.Nodes(); len(got) != 3 {
+			t.Fatalf("[%s] members after evict = %v", name, got)
+		}
+		if gauge.Value() != 3 {
+			t.Fatalf("[%s] gauge after evict = %d", name, gauge.Value())
+		}
+		if ev := reg.Counter("harness_dvm_evictions_total", fixed...).Value(); ev != 1 {
+			t.Fatalf("[%s] evictions counter = %d", name, ev)
+		}
+		entries, err := d.Lookup("n0", Query{Service: "Echo"})
+		if err != nil {
+			t.Fatalf("[%s] lookup: %v", name, err)
+		}
+		if len(entries) != 1 || entries[0].Node != "n1" {
+			t.Fatalf("[%s] post-evict entries = %v", name, entries)
+		}
+
+		// Heal and rejoin: the evicted node re-enrolls under its old name.
+		for i := 0; i < 3; i++ {
+			net.Partition(fmt.Sprintf("n%d", i), "n3", false)
+		}
+		if err := d.AddNode(nodes[3]); err != nil {
+			t.Fatalf("[%s] rejoin: %v", name, err)
+		}
+		got := d.Nodes()
+		if len(got) != 4 {
+			t.Fatalf("[%s] members after rejoin = %v", name, got)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("[%s] duplicate member %q after rejoin", name, n)
+			}
+			seen[n] = true
+		}
+		if gauge.Value() != preMembers {
+			t.Fatalf("[%s] gauge after rejoin = %d, want %d", name, gauge.Value(), preMembers)
+		}
+		// A second enrolment under the same name must still be refused.
+		if err := d.AddNode(nodes[3]); err == nil {
+			t.Fatalf("[%s] duplicate enrolment accepted", name)
+		}
+		if gauge.Value() != preMembers {
+			t.Fatalf("[%s] gauge after refused enrolment = %d", name, gauge.Value())
+		}
+		// The rejoined node's services re-enter the unified name space.
+		if _, err := d.Deploy("n3", "Echo", "reborn"); err != nil {
+			t.Fatalf("[%s] redeploy: %v", name, err)
+		}
+		entries, err = d.Lookup("n0", Query{Service: "Echo"})
+		if err != nil {
+			t.Fatalf("[%s] lookup after rejoin: %v", name, err)
+		}
+		hosts := map[string]bool{}
+		for _, e := range entries {
+			hosts[e.Node] = true
+		}
+		if len(entries) != 2 || !hosts["n1"] || !hosts["n3"] {
+			t.Fatalf("[%s] post-rejoin entries = %v", name, entries)
+		}
+	}
+}
+
+// TestCoherencyBroadcastRetriesDroppedMessage: with a resilience policy
+// attached, a dropped distribution message is re-sent instead of failing
+// the whole deploy. The seeded drop sequence (p=0.62, seed 1) drops the
+// first send and passes the second, so the outcome is deterministic.
+func TestCoherencyBroadcastRetriesDroppedMessage(t *testing.T) {
+	setup := func() (*DVM, *simnet.Network) {
+		net := simnet.New(simnet.LAN)
+		d := New("retry", NewFullSync(net))
+		d.SetTelemetry(telemetry.Disabled())
+		for i := 0; i < 2; i++ {
+			if err := d.AddNode(newNode(fmt.Sprintf("n%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d, net
+	}
+
+	// Without a policy the dropped broadcast fails the deploy.
+	d, net := setup()
+	net.SetDrop(0.62, 1)
+	if _, err := d.Deploy("n0", "Echo", "e1"); err == nil {
+		t.Fatal("deploy should fail when the broadcast message drops")
+	} else if !errors.Is(err, simnet.ErrDropped) {
+		t.Fatalf("err = %v", err)
+	}
+
+	// With a policy the re-sent message lands and the deploy succeeds.
+	d, net = setup()
+	reg := telemetry.New()
+	d.SetResilience(testDVMPolicy(t, reg))
+	net.SetDrop(0.62, 1)
+	if _, err := d.Deploy("n0", "Echo", "e1"); err != nil {
+		t.Fatalf("deploy with policy: %v", err)
+	}
+	entries, err := d.Lookup("n1", Query{Service: "Echo"})
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("replica lookup = %v, %v", entries, err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(),
+		`harness_resilience_retries_total{op="coherency.distribute"} 1`) {
+		t.Fatalf("retry not recorded:\n%s", b.String())
+	}
+}
+
+// TestCoherencyPartitionFailsFast: a severed link is not a transient
+// fault — the policy must not burn its retry budget on it.
+func TestCoherencyPartitionFailsFast(t *testing.T) {
+	net := simnet.New(simnet.LAN)
+	d := New("fastfail", NewFullSync(net))
+	d.SetTelemetry(telemetry.Disabled())
+	reg := telemetry.New()
+	d.SetResilience(testDVMPolicy(t, reg))
+	for i := 0; i < 2; i++ {
+		if err := d.AddNode(newNode(fmt.Sprintf("n%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Partition("n0", "n1", true)
+	if _, err := d.Deploy("n0", "Echo", "e1"); err == nil {
+		t.Fatal("deploy across a partition should fail")
+	} else if !errors.Is(err, simnet.ErrPartitioned) {
+		t.Fatalf("err = %v", err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "harness_resilience_retries_total") {
+		t.Fatalf("partition was retried:\n%s", b.String())
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"harness2/internal/container"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
@@ -44,6 +46,10 @@ type HTTPGetHandler struct {
 	// Telemetry selects the metrics registry; nil falls back to the
 	// process default, telemetry.Disabled() switches instrumentation off.
 	Telemetry *telemetry.Registry
+	// Limiter, when non-nil, applies admission control: shed requests are
+	// answered 503 with the Overloaded token so clients classify them as
+	// retryable-elsewhere.
+	Limiter *resilience.Limiter
 
 	minit sync.Once
 	m     bindingMetrics
@@ -81,9 +87,15 @@ func (h *HTTPGetHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	release, err := h.Limiter.Acquire(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	m := h.metrics()
 	hist, start := m.begin(op)
 	out, err := h.Container.Invoke(r.Context(), instance, op, args)
+	release()
 	m.done(op, hist, start, err)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -308,6 +320,9 @@ type HTTPPort struct {
 	// Telemetry selects the metrics registry; nil falls back to the
 	// process default, telemetry.Disabled() switches instrumentation off.
 	Telemetry *telemetry.Registry
+	// Chaos, when non-nil, injects deterministic faults before the wire
+	// call (experiment E13). The nil injector costs one branch.
+	Chaos *chaos.Injector
 
 	minit sync.Once
 	m     bindingMetrics
@@ -324,6 +339,9 @@ func (p *HTTPPort) metrics() *bindingMetrics {
 
 // Invoke implements Port.
 func (p *HTTPPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	if err := p.Chaos.Apply(ctx, "http", op, p.URL); err != nil {
+		return nil, err
+	}
 	m := p.metrics()
 	h, start := m.begin(op)
 	ctx, sp := telemetry.Or(p.Telemetry).ChildSpan(ctx, "invoke.http")

@@ -16,6 +16,8 @@ import (
 	"sync"
 
 	"harness2/internal/container"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/soap"
 	"harness2/internal/telemetry"
 	"harness2/internal/wire"
@@ -42,6 +44,9 @@ type LocalPort struct {
 	// Telemetry selects the metrics registry; nil falls back to the
 	// process default, telemetry.Disabled() switches instrumentation off.
 	Telemetry *telemetry.Registry
+	// Chaos, when non-nil, injects deterministic faults before dispatch
+	// (experiment E13). The nil injector costs one branch.
+	Chaos *chaos.Injector
 
 	minit sync.Once
 	m     bindingMetrics
@@ -60,6 +65,9 @@ func (p *LocalPort) metrics() *bindingMetrics {
 // every network binding, which surfaces ctx errors from the transport.
 func (p *LocalPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Chaos.Apply(ctx, "local", op, p.Instance); err != nil {
 		return nil, err
 	}
 	m := p.metrics()
@@ -90,6 +98,9 @@ type SOAPPort struct {
 	// Telemetry selects the metrics registry; nil falls back to the
 	// process default, telemetry.Disabled() switches instrumentation off.
 	Telemetry *telemetry.Registry
+	// Chaos, when non-nil, injects deterministic faults before the wire
+	// call (experiment E13). The nil injector costs one branch.
+	Chaos *chaos.Injector
 
 	minit sync.Once
 	m     bindingMetrics
@@ -107,6 +118,9 @@ func (p *SOAPPort) metrics() *bindingMetrics {
 // in an h2:Trace header entry, so the server's span becomes this span's
 // child — Figure 6's layered call path reconstructed end to end.
 func (p *SOAPPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	if err := p.Chaos.Apply(ctx, "soap", op, p.URL); err != nil {
+		return nil, err
+	}
 	m := p.metrics()
 	h, start := m.begin(op)
 	_, sp := telemetry.Or(p.Telemetry).ChildSpan(ctx, "invoke.soap")
@@ -158,6 +172,12 @@ type Options struct {
 	// back to the process default, telemetry.Disabled() switches
 	// instrumentation off.
 	Telemetry *telemetry.Registry
+	// Chaos, when non-nil, is attached to every opened port so its rules
+	// can inject deterministic faults at each client transport (E13).
+	Chaos *chaos.Injector
+	// Policy, when non-nil, is applied by DialResilient: the opened ports
+	// become the failover ladder of a ResilientPort. Plain Dial ignores it.
+	Policy *resilience.Policy
 }
 
 func (o Options) forbidden(k wsdl.BindingKind) bool {
@@ -244,16 +264,17 @@ func openPort(ref wsdl.PortRef, opts Options) (Port, error) {
 		if _, ok := c.Instance(inst); !ok {
 			return nil, nil
 		}
-		return &LocalPort{Container: c, Instance: inst, Telemetry: opts.Telemetry}, nil
+		return &LocalPort{Container: c, Instance: inst, Telemetry: opts.Telemetry, Chaos: opts.Chaos}, nil
 	case wsdl.BindXDR:
 		inst := instanceFromDefs(ref)
 		p := NewXDRPort(ref.Port.Address, inst, opts.DialPerCall)
 		p.SetTelemetry(opts.Telemetry)
+		p.SetChaos(opts.Chaos)
 		return p, nil
 	case wsdl.BindSOAP:
-		return &SOAPPort{URL: ref.Port.Address, Client: soap.Client{Codec: opts.Codec}, Telemetry: opts.Telemetry}, nil
+		return &SOAPPort{URL: ref.Port.Address, Client: soap.Client{Codec: opts.Codec}, Telemetry: opts.Telemetry, Chaos: opts.Chaos}, nil
 	case wsdl.BindHTTP:
-		return &HTTPPort{URL: ref.Port.Address, Telemetry: opts.Telemetry}, nil
+		return &HTTPPort{URL: ref.Port.Address, Telemetry: opts.Telemetry, Chaos: opts.Chaos}, nil
 	}
 	return nil, fmt.Errorf("invoke: unknown binding kind %v", ref.Binding.Kind)
 }

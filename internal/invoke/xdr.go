@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"harness2/internal/container"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
@@ -60,6 +62,14 @@ func WithXDRTelemetry(r *telemetry.Registry) XDRServerOption {
 	return func(s *XDRServer) { s.tel = r }
 }
 
+// WithXDRLimiter installs server-side admission control: requests beyond
+// the limiter's bounds are refused with the distinguished Overloaded
+// fault before the container executes them. A nil limiter admits
+// everything.
+func WithXDRLimiter(l *resilience.Limiter) XDRServerOption {
+	return func(s *XDRServer) { s.limiter = l }
+}
+
 // XDRServer serves the XDR socket binding for a container's instances.
 // It speaks both wire protocol versions, auto-detected per connection:
 // v1 connections are served strictly sequentially (the protocol has no
@@ -70,9 +80,10 @@ type XDRServer struct {
 	c  *container.Container
 	ln net.Listener
 
-	tel *telemetry.Registry
-	m   bindingMetrics
-	wm  xdrWireMetrics
+	tel     *telemetry.Registry
+	limiter *resilience.Limiter // admission control; nil admits everything
+	m       bindingMetrics
+	wm      xdrWireMetrics
 
 	sem       chan struct{} // bounds concurrently executing v2 requests
 	closeCtx  context.Context
@@ -343,8 +354,16 @@ func (s *XDRServer) handleFrame(frame []byte, reserveHeader bool) *xdr.Encoder {
 	if err != nil {
 		return fault(err)
 	}
+	release, err := s.limiter.Acquire(s.closeCtx)
+	if err != nil {
+		// Shed before execution: the fault message carries the Overloaded
+		// token so clients classify it as retryable-elsewhere across the
+		// string-typed wire.
+		return fault(err)
+	}
 	h, start := s.m.begin(op)
 	out, err := s.target().Invoke(s.closeCtx, instance, op, args)
+	release()
 	s.m.done(op, h, start, err)
 	if err != nil {
 		return fault(err)
@@ -511,6 +530,7 @@ type XDRPort struct {
 	mode     XDRMode
 
 	tel   *telemetry.Registry
+	chaos *chaos.Injector
 	minit sync.Once
 	m     bindingMetrics
 	wm    xdrWireMetrics
@@ -553,6 +573,11 @@ func (p *XDRPort) Mode() XDRMode { return p.mode }
 // default, telemetry.Disabled() switches instrumentation off.
 func (p *XDRPort) SetTelemetry(r *telemetry.Registry) { p.tel = r }
 
+// SetChaos attaches a fault injector evaluated before each wire call; it
+// must be set before the first Invoke (openPort does). Nil disables
+// injection at the cost of one branch.
+func (p *XDRPort) SetChaos(in *chaos.Injector) { p.chaos = in }
+
 func (p *XDRPort) metrics() *bindingMetrics {
 	p.minit.Do(func() {
 		r := telemetry.Or(p.tel)
@@ -566,6 +591,9 @@ func (p *XDRPort) metrics() *bindingMetrics {
 // concurrent calls share one connection without serializing on each
 // other's round trips.
 func (p *XDRPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	if err := p.chaos.Apply(ctx, "xdr", op, p.addr); err != nil {
+		return nil, err
+	}
 	m := p.metrics()
 	h, start := m.begin(op)
 	ctx, sp := telemetry.Or(p.tel).ChildSpan(ctx, "invoke.xdr")
@@ -597,7 +625,9 @@ func (p *XDRPort) invokeSerial(ctx context.Context, op string, args []wire.Arg) 
 	for attempt := 0; ; attempt++ {
 		fresh := p.conn == nil
 		if err := p.connLocked(ctx); err != nil {
-			return nil, err
+			// A dial failure provably never sent the request: mark it so
+			// resilience policies may retry even non-idempotent operations.
+			return nil, resilience.MarkUnsent(err)
 		}
 		if !fresh && p.staleLocked() {
 			// The pooled connection was closed by the peer while idle
@@ -605,7 +635,7 @@ func (p *XDRPort) invokeSerial(ctx context.Context, op string, args []wire.Arg) 
 			// replacing it is transparent and cannot double-invoke.
 			p.dropLocked()
 			if err := p.connLocked(ctx); err != nil {
-				return nil, err
+				return nil, resilience.MarkUnsent(err)
 			}
 			fresh = true
 		}
@@ -629,7 +659,13 @@ func (p *XDRPort) invokeSerial(ctx context.Context, op string, args []wire.Arg) 
 			if !fresh && wroteNothing && attempt == 0 {
 				continue
 			}
-			return nil, fmt.Errorf("invoke: xdr call %s: %w", op, err)
+			werr := fmt.Errorf("invoke: xdr call %s: %w", op, err)
+			if wroteNothing {
+				// No byte of the request reached the wire: resending is
+				// provably safe, so let policies retry non-idempotent ops.
+				return nil, resilience.MarkUnsent(werr)
+			}
+			return nil, werr
 		}
 		if p.mode == XDRModeDialPerCall {
 			p.dropLocked()

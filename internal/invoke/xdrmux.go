@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harness2/internal/resilience"
 	"harness2/internal/wire"
 	"harness2/internal/xdr"
 )
@@ -265,7 +266,8 @@ func (p *XDRPort) invokeMux(ctx context.Context, op string, args []wire.Arg) ([]
 	for redials := 0; ; {
 		mc, err := p.muxConnLocked(ctx)
 		if err != nil {
-			return nil, err
+			// Dial failure: provably unsent, safe to retry at any level.
+			return nil, resilience.MarkUnsent(err)
 		}
 		id, ch, err := mc.register()
 		if err != nil {
@@ -274,7 +276,7 @@ func (p *XDRPort) invokeMux(ctx context.Context, op string, args []wire.Arg) ([]
 			if redials++; redials <= maxRedials {
 				continue
 			}
-			return nil, fmt.Errorf("invoke: xdr call %s: %w", op, err)
+			return nil, resilience.MarkUnsent(fmt.Errorf("invoke: xdr call %s: %w", op, err))
 		}
 		wroteAny, err := mc.writeRequest(ctx, id, e)
 		if err != nil {
@@ -289,7 +291,14 @@ func (p *XDRPort) invokeMux(ctx context.Context, op string, args []wire.Arg) ([]
 				resent = true
 				continue
 			}
-			return nil, fmt.Errorf("invoke: xdr call %s: %w", op, err)
+			werr := fmt.Errorf("invoke: xdr call %s: %w", op, err)
+			if !wroteAny {
+				// Zero bytes reached the wire: the request provably never
+				// left this process, so higher-level policies may retry it
+				// even for non-idempotent operations.
+				return nil, resilience.MarkUnsent(werr)
+			}
+			return nil, werr
 		}
 		select {
 		case res := <-ch:

@@ -1,0 +1,132 @@
+package registry
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// LeaseHolder is the publication surface a lease keeper needs; it is
+// satisfied by both *Registry (co-located) and *Remote (network), so a
+// component keeps its registration alive the same way wherever the
+// registry runs.
+type LeaseHolder interface {
+	PublishLeased(e Entry, lease time.Duration) (string, error)
+	Renew(key string) error
+}
+
+var (
+	_ LeaseHolder = (*Registry)(nil)
+	_ LeaseHolder = (*Remote)(nil)
+)
+
+// LeaseKeeper keeps one leased registration alive: it publishes the entry
+// once, then renews it every Interval until stopped. A failed renewal is
+// retried on the next tick (the holder's own resilience policy handles
+// in-call retries); if the registry reports the lease lapsed ("no entry"),
+// the keeper re-publishes under the same key — keyed publication is
+// idempotent, so recovery after an outage longer than the lease is
+// automatic and produces no duplicate entries.
+type LeaseKeeper struct {
+	holder   LeaseHolder
+	entry    Entry
+	lease    time.Duration
+	interval time.Duration
+
+	mu          sync.Mutex
+	key         string
+	renewals    int
+	failures    int
+	republishes int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// KeepLease publishes e with the given lease and starts a renewal loop
+// ticking every interval. The initial publication is synchronous: an
+// error here means the registration never existed and no keeper runs.
+func KeepLease(h LeaseHolder, e Entry, lease, interval time.Duration) (*LeaseKeeper, error) {
+	key, err := h.PublishLeased(e, lease)
+	if err != nil {
+		return nil, err
+	}
+	e.Key = key
+	k := &LeaseKeeper{
+		holder:   h,
+		entry:    e,
+		lease:    lease,
+		interval: interval,
+		key:      key,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go k.loop()
+	return k, nil
+}
+
+// Key returns the registration key assigned at publication.
+func (k *LeaseKeeper) Key() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.key
+}
+
+// Stats reports renewal-loop counters: successful renewals, failed
+// renewal attempts, and re-publications after a lapsed lease.
+func (k *LeaseKeeper) Stats() (renewals, failures, republishes int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.renewals, k.failures, k.republishes
+}
+
+// Stop halts the renewal loop and waits for it to exit. The registration
+// itself is left to lapse at its lease expiry.
+func (k *LeaseKeeper) Stop() {
+	select {
+	case <-k.stop:
+	default:
+		close(k.stop)
+	}
+	<-k.done
+}
+
+func (k *LeaseKeeper) loop() {
+	defer close(k.done)
+	t := time.NewTicker(k.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-k.stop:
+			return
+		case <-t.C:
+			k.tick()
+		}
+	}
+}
+
+// lapsed recognises the registry's "no entry" renewal failure, which may
+// arrive wrapped or flattened into a SOAP fault string.
+func lapsed(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no entry")
+}
+
+func (k *LeaseKeeper) tick() {
+	err := k.holder.Renew(k.Key())
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err == nil {
+		k.renewals++
+		return
+	}
+	k.failures++
+	if !lapsed(err) {
+		return // transient: try again next tick
+	}
+	// The lease expired (e.g. an outage outlasted it): re-publish under
+	// the same key so consumers observe one continuous registration.
+	if key, perr := k.holder.PublishLeased(k.entry, k.lease); perr == nil {
+		k.key = key
+		k.republishes++
+	}
+}

@@ -1,0 +1,217 @@
+package registry
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"harness2/internal/resilience"
+	"harness2/internal/telemetry"
+)
+
+// restartableServer is an HTTP front end whose listener can be killed and
+// re-opened on the same address, simulating a registry process restart.
+type restartableServer struct {
+	t       *testing.T
+	addr    string
+	handler http.Handler
+	srv     *http.Server
+	done    chan struct{}
+}
+
+func startRestartable(t *testing.T, handler http.Handler) *restartableServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &restartableServer{t: t, addr: ln.Addr().String(), handler: handler}
+	rs.serve(ln)
+	return rs
+}
+
+func (rs *restartableServer) serve(ln net.Listener) {
+	rs.srv = &http.Server{Handler: rs.handler}
+	rs.done = make(chan struct{})
+	go func() {
+		defer close(rs.done)
+		_ = rs.srv.Serve(ln)
+	}()
+}
+
+// kill closes the listener and every live connection.
+func (rs *restartableServer) kill() {
+	_ = rs.srv.Close()
+	<-rs.done
+}
+
+// restart re-listens on the original address. The OS may briefly hold the
+// port, so the bind is retried.
+func (rs *restartableServer) restart() {
+	rs.t.Helper()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", rs.addr)
+		if err == nil {
+			rs.serve(ln)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rs.t.Fatalf("re-listen on %s: %v", rs.addr, err)
+}
+
+// TestLeaseSurvivesRegistryOutage is the resilience regression for the
+// lease-renewal path: a registry server is killed mid-lease and restarted
+// before the lease lapses. The renewal loop, running through a resilience
+// policy, must ride out the outage — the entry never expires and is never
+// re-published, so consumers observe one continuous registration.
+func TestLeaseSurvivesRegistryOutage(t *testing.T) {
+	reg := New()
+	rs := startRestartable(t, NewServer(reg))
+	defer rs.kill()
+
+	policy, err := resilience.New(
+		resilience.WithMaxAttempts(4),
+		resilience.WithBackoff(5*time.Millisecond, 40*time.Millisecond),
+		resilience.WithTelemetry(telemetry.Disabled()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := NewRemote("http://" + rs.addr)
+	remote.Policy = policy
+
+	xml := wstimeWSDL(t)
+	const lease = 2 * time.Second
+	keeper, err := KeepLease(remote, Entry{Name: "Fluid", WSDL: xml}, lease, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keeper.Stop()
+	key := keeper.Key()
+	if _, ok := reg.Get(key); !ok {
+		t.Fatal("leased entry missing after publish")
+	}
+
+	// Let a few renewals land, then take the registry down for an outage
+	// that is long against the renew interval but short against the lease.
+	time.Sleep(200 * time.Millisecond)
+	rs.kill()
+	time.Sleep(500 * time.Millisecond)
+	rs.restart()
+
+	// After recovery, renewals must resume and keep the entry alive well
+	// past where the lease would have lapsed without them.
+	deadline := time.Now().Add(lease + lease/2)
+	for time.Now().Before(deadline) {
+		if _, ok := reg.Get(key); !ok {
+			t.Fatal("leased entry expired during/after registry outage")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	renewals, failures, republishes := keeper.Stats()
+	if renewals == 0 {
+		t.Fatal("no successful renewals recorded")
+	}
+	if republishes != 0 {
+		t.Fatalf("entry was re-published %d times; lease should never have lapsed", republishes)
+	}
+	t.Logf("renewals=%d failures=%d republishes=%d", renewals, failures, republishes)
+	if e, ok := reg.Get(key); !ok || e.Name != "Fluid" {
+		t.Fatalf("final get = %+v ok=%v", e, ok)
+	}
+}
+
+// TestLeaseKeeperRepublishesAfterLapse covers the recovery path the
+// outage test must avoid: when an outage outlasts the lease, the keeper
+// re-publishes under the same key instead of leaking a dead registration.
+func TestLeaseKeeperRepublishesAfterLapse(t *testing.T) {
+	reg := New()
+	xml := wstimeWSDL(t)
+	keeper, err := KeepLease(reg, Entry{Name: "Lazarus", WSDL: xml}, 40*time.Millisecond, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keeper.Stop()
+	key := keeper.Key()
+
+	// Force a lapse by removing the entry out from under the keeper —
+	// the next renewal sees "no entry" and must re-publish.
+	if err := reg.Remove(key); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, republishes := keeper.Stats(); republishes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("keeper never re-published after lapse")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	e, ok := reg.Get(key)
+	if !ok || e.Name != "Lazarus" || e.Key != key {
+		t.Fatalf("re-published entry = %+v ok=%v (want same key %q)", e, ok, key)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("len = %d; republish must not duplicate", reg.Len())
+	}
+}
+
+// steppedClock is a mutex-guarded manual clock safe to advance from the
+// test goroutine while server handler goroutines read it.
+type steppedClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *steppedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *steppedClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TestRemoteLeaseRoundTrip exercises publishLeased/renew over the SOAP
+// wire against a clock-stepped registry.
+func TestRemoteLeaseRoundTrip(t *testing.T) {
+	clk := &steppedClock{now: time.Unix(9000, 0)}
+	reg := NewWithClock(clk.Now)
+	rs := startRestartable(t, NewServer(reg))
+	defer rs.kill()
+	remote := NewRemote("http://" + rs.addr)
+
+	xml := wstimeWSDL(t)
+	key, err := remote.PublishLeased(Entry{Name: "V", WSDL: xml}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(20 * time.Second)
+	if err := remote.Renew(key); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(20 * time.Second)
+	if _, ok := remote.Get(key); !ok {
+		t.Fatal("renewed entry should survive")
+	}
+	clk.Advance(time.Minute)
+	if err := remote.Renew(key); err == nil {
+		t.Fatal("renewing a lapsed entry should fail over the wire")
+	}
+	if _, ok := remote.Get(key); ok {
+		t.Fatal("lapsed entry should be gone")
+	}
+	if err := remote.Renew("ghost"); err == nil {
+		t.Fatal("renewing unknown key should fail")
+	}
+}

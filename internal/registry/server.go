@@ -1,9 +1,12 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"time"
 
+	"harness2/internal/resilience"
 	"harness2/internal/soap"
 )
 
@@ -11,7 +14,8 @@ import (
 // itself a full-fledged service, per the paper's "every entity is
 // potentially a public service" principle.
 //
-// Operations: publish, remove, get, findByName, findByQuery.
+// Operations: publish, publishLeased, renew, remove, get, findByName,
+// findByQuery.
 type Server struct {
 	reg  *Registry
 	soap *soap.Server
@@ -21,6 +25,8 @@ type Server struct {
 func NewServer(reg *Registry) *Server {
 	s := &Server{reg: reg, soap: soap.NewServer()}
 	s.soap.Handle("publish", s.publish)
+	s.soap.Handle("publishLeased", s.publishLeased)
+	s.soap.Handle("renew", s.renew)
 	s.soap.Handle("remove", s.remove)
 	s.soap.Handle("get", s.get)
 	s.soap.Handle("findByName", s.find(func(arg string) ([]Entry, error) {
@@ -56,14 +62,35 @@ func stringParam(call *soap.Call, name string) (string, error) {
 	return s, nil
 }
 
-func (s *Server) publish(call *soap.Call) ([]soap.Param, error) {
+// int64Param reads an integer parameter tolerating the numeric Go types
+// a decoded SOAP value may surface as (int64, int32, int, float64).
+func int64Param(call *soap.Call, name string) (int64, error) {
+	v, err := param(call, name)
+	if err != nil {
+		return 0, err
+	}
+	switch n := v.(type) {
+	case int64:
+		return n, nil
+	case int32:
+		return int64(n), nil
+	case int:
+		return int64(n), nil
+	case float64:
+		return int64(n), nil
+	}
+	return 0, &soap.Fault{Code: "Client", String: fmt.Sprintf("parameter %q must be an integer", name)}
+}
+
+// decodeEntry reads the shared publish parameter set into an Entry.
+func decodeEntry(call *soap.Call) (Entry, error) {
 	e := Entry{}
 	var err error
 	if e.Name, err = stringParam(call, "name"); err != nil {
-		return nil, err
+		return e, err
 	}
 	if e.WSDL, err = stringParam(call, "wsdl"); err != nil {
-		return nil, err
+		return e, err
 	}
 	if v, err := param(call, "business"); err == nil {
 		e.Business, _ = v.(string)
@@ -76,11 +103,49 @@ func (s *Server) publish(call *soap.Call) ([]soap.Param, error) {
 			e.TModels = tms
 		}
 	}
+	return e, nil
+}
+
+func (s *Server) publish(call *soap.Call) ([]soap.Param, error) {
+	e, err := decodeEntry(call)
+	if err != nil {
+		return nil, err
+	}
 	key, err := s.reg.Publish(e)
 	if err != nil {
 		return nil, &soap.Fault{Code: "Client", String: err.Error()}
 	}
 	return []soap.Param{{Name: "key", Value: key}}, nil
+}
+
+func (s *Server) publishLeased(call *soap.Call) ([]soap.Param, error) {
+	e, err := decodeEntry(call)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := int64Param(call, "leaseMs")
+	if err != nil {
+		return nil, err
+	}
+	if ms < 0 {
+		return nil, &soap.Fault{Code: "Client", String: "leaseMs must be non-negative"}
+	}
+	key, err := s.reg.PublishLeased(e, time.Duration(ms)*time.Millisecond)
+	if err != nil {
+		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+	}
+	return []soap.Param{{Name: "key", Value: key}}, nil
+}
+
+func (s *Server) renew(call *soap.Call) ([]soap.Param, error) {
+	key, err := stringParam(call, "key")
+	if err != nil {
+		return nil, err
+	}
+	if err := s.reg.Renew(key); err != nil {
+		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+	}
+	return []soap.Param{{Name: "ok", Value: true}}, nil
 }
 
 func (s *Server) remove(call *soap.Call) ([]soap.Param, error) {
@@ -155,6 +220,11 @@ func entryParams(e Entry) []soap.Param {
 type Remote struct {
 	Endpoint string
 	Client   soap.Client
+	// Policy, when non-nil, runs every call through the resilience plane:
+	// transient transport failures (including registry restarts) are
+	// retried with backoff for idempotent operations, and per-endpoint
+	// breakers stop hammering a dead registry. nil disables all of it.
+	Policy *resilience.Policy
 }
 
 var _ Lookup = (*Remote)(nil)
@@ -164,8 +234,23 @@ func NewRemote(endpoint string) *Remote {
 	return &Remote{Endpoint: endpoint}
 }
 
-func (r *Remote) call(method string, params []soap.Param) ([]soap.Param, error) {
-	return r.Client.CallRemote(r.Endpoint, &soap.Call{Method: method, Params: params})
+// call performs one SOAP exchange, routed through the resilience policy
+// when one is configured. Lookup methods carry no context, so policy
+// executions run against context.Background(): the policy's own attempt
+// timeouts and retry budget still bound the call.
+func (r *Remote) call(method string, idempotent bool, params []soap.Param) ([]soap.Param, error) {
+	if r.Policy == nil {
+		return r.Client.CallRemote(r.Endpoint, &soap.Call{Method: method, Params: params})
+	}
+	out, err := r.Policy.Do(context.Background(), r.Endpoint, "registry."+method, idempotent,
+		func(ctx context.Context) (any, error) {
+			return r.Client.CallRemote(r.Endpoint, &soap.Call{Method: method, Params: params})
+		})
+	if err != nil {
+		return nil, err
+	}
+	res, _ := out.([]soap.Param)
+	return res, nil
 }
 
 func outParam(out []soap.Param, name string) (any, bool) {
@@ -177,39 +262,70 @@ func outParam(out []soap.Param, name string) (any, bool) {
 	return nil, false
 }
 
-// Publish publishes an entry through the remote registry.
-func (r *Remote) Publish(e Entry) (string, error) {
+func entryCallParams(e Entry) []soap.Param {
 	tms := e.TModels
 	if tms == nil {
 		tms = []string{}
 	}
-	out, err := r.call("publish", []soap.Param{
+	return []soap.Param{
 		{Name: "name", Value: e.Name},
 		{Name: "wsdl", Value: e.WSDL},
 		{Name: "business", Value: e.Business},
 		{Name: "key", Value: e.Key},
 		{Name: "tmodels", Value: tms},
-	})
-	if err != nil {
-		return "", err
 	}
+}
+
+func keyResult(out []soap.Param, op string) (string, error) {
 	if v, ok := outParam(out, "key"); ok {
 		if s, ok := v.(string); ok {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("registry: publish response missing key")
+	return "", fmt.Errorf("registry: %s response missing key", op)
+}
+
+// Publish publishes an entry through the remote registry. A keyed publish
+// is idempotent (re-publication overwrites), so the policy may retry it;
+// an unkeyed publish is retried only when the request provably never
+// reached the server.
+func (r *Remote) Publish(e Entry) (string, error) {
+	out, err := r.call("publish", e.Key != "", entryCallParams(e))
+	if err != nil {
+		return "", err
+	}
+	return keyResult(out, "publish")
+}
+
+// PublishLeased publishes an entry with a lease through the remote
+// registry; it expires unless renewed via Renew.
+func (r *Remote) PublishLeased(e Entry, lease time.Duration) (string, error) {
+	params := append(entryCallParams(e),
+		soap.Param{Name: "leaseMs", Value: lease.Milliseconds()})
+	out, err := r.call("publishLeased", e.Key != "", params)
+	if err != nil {
+		return "", err
+	}
+	return keyResult(out, "publishLeased")
+}
+
+// Renew extends the keyed entry's lease remotely. Renewal is idempotent:
+// re-arming an already-renewed lease is harmless, so the policy retries
+// it through transient registry outages.
+func (r *Remote) Renew(key string) error {
+	_, err := r.call("renew", true, []soap.Param{{Name: "key", Value: key}})
+	return err
 }
 
 // Remove unpublishes the keyed entry remotely.
 func (r *Remote) Remove(key string) error {
-	_, err := r.call("remove", []soap.Param{{Name: "key", Value: key}})
+	_, err := r.call("remove", false, []soap.Param{{Name: "key", Value: key}})
 	return err
 }
 
 // Get fetches one entry; a missing key yields ok=false.
 func (r *Remote) Get(key string) (Entry, bool) {
-	out, err := r.call("get", []soap.Param{{Name: "key", Value: key}})
+	out, err := r.call("get", true, []soap.Param{{Name: "key", Value: key}})
 	if err != nil {
 		return Entry{}, false
 	}
@@ -233,7 +349,7 @@ func (r *Remote) Get(key string) (Entry, bool) {
 }
 
 func (r *Remote) findRemote(method, arg string) ([]Entry, error) {
-	out, err := r.call(method, []soap.Param{{Name: "arg", Value: arg}})
+	out, err := r.call(method, true, []soap.Param{{Name: "arg", Value: arg}})
 	if err != nil {
 		return nil, err
 	}

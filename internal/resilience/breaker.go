@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every request (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses every request until the cooldown elapses: the
+	// endpoint failed threshold consecutive times, so hammering it only
+	// wastes the caller's budget and the server's recovery headroom.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe; its outcome decides
+	// between closing (success) and re-opening (failure).
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer; the names label telemetry series.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker is a per-endpoint circuit breaker. The zero value is not ready;
+// use NewBreaker. A nil *Breaker is a valid no-op that admits everything
+// — the policy hands out nil breakers when breakers are not configured,
+// keeping the disabled path a single branch.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	// onTransition, when set, observes every state change (telemetry).
+	// It is called without the lock held.
+	onTransition func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and half-opens after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// State reports the current state (after lazily applying the cooldown
+// transition). The nil breaker reports BreakerClosed.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request may be sent now. In the open state the
+// cooldown is checked: once elapsed, the breaker half-opens and admits a
+// single probe; concurrent callers are refused until the probe reports.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	var transition func()
+	allowed := false
+	switch b.state {
+	case BreakerClosed:
+		allowed = true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			transition = b.setStateLocked(BreakerHalfOpen)
+			b.probing = true
+			allowed = true
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+	return allowed
+}
+
+// Report records the outcome of an admitted request. Failures whose kind
+// is the caller's own cancellation do not count against the endpoint.
+func (b *Breaker) Report(err error) {
+	if b == nil {
+		return
+	}
+	if err != nil && Classify(err) == KindCanceled {
+		return // the caller gave up; says nothing about the endpoint
+	}
+	b.mu.Lock()
+	var transition func()
+	switch {
+	case err == nil:
+		b.fails = 0
+		if b.state != BreakerClosed {
+			transition = b.setStateLocked(BreakerClosed)
+		}
+		b.probing = false
+	case b.state == BreakerHalfOpen:
+		// The probe failed: back to open, cooldown restarts.
+		transition = b.setStateLocked(BreakerOpen)
+		b.openedAt = b.now()
+		b.probing = false
+	case b.state == BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			transition = b.setStateLocked(BreakerOpen)
+			b.openedAt = b.now()
+		}
+	}
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+}
+
+// setStateLocked changes state and returns the deferred notification
+// callback (run outside the lock). Callers hold b.mu.
+func (b *Breaker) setStateLocked(to BreakerState) func() {
+	from := b.state
+	b.state = to
+	if b.onTransition == nil || from == to {
+		return nil
+	}
+	cb := b.onTransition
+	return func() { cb(from, to) }
+}

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// clockAt returns a breaker with a mutable test clock.
+func breakerAt(threshold int, cooldown time.Duration) (*Breaker, *time.Time) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(threshold, cooldown)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestNilBreaker(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	b.Report(errors.New("x")) // must not panic
+	if b.State() != BreakerClosed {
+		t.Fatal("nil breaker reports closed")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b, now := breakerAt(3, time.Second)
+	if b.State() != BreakerClosed {
+		t.Fatal("new breaker must be closed")
+	}
+	// Two failures: still closed (threshold 3).
+	b.Report(errors.New("f1"))
+	b.Report(errors.New("f2"))
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("below threshold must stay closed")
+	}
+	// A success resets the streak.
+	b.Report(nil)
+	b.Report(errors.New("f1"))
+	b.Report(errors.New("f2"))
+	if b.State() != BreakerClosed {
+		t.Fatal("success must reset the failure streak")
+	}
+	// Third consecutive failure opens.
+	b.Report(errors.New("f3"))
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold reached must open")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse")
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed must admit the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller must be refused while the probe is in flight")
+	}
+	// Probe fails: reopen, cooldown restarts.
+	b.Report(errors.New("probe failed"))
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe must reopen")
+	}
+	// Second probe succeeds: closed again.
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe must be admitted")
+	}
+	b.Report(nil)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe must close")
+	}
+}
+
+func TestBreakerIgnoresCallerCancellation(t *testing.T) {
+	b, _ := breakerAt(1, time.Second)
+	b.Report(context.Canceled)
+	b.Report(context.DeadlineExceeded)
+	if b.State() != BreakerClosed {
+		t.Fatal("caller cancellation must not count against the endpoint")
+	}
+}
+
+func TestBreakerTransitionCallback(t *testing.T) {
+	b, now := breakerAt(1, time.Second)
+	type tr struct{ from, to BreakerState }
+	var seen []tr
+	b.onTransition = func(from, to BreakerState) { seen = append(seen, tr{from, to}) }
+
+	b.Report(errors.New("f")) // closed -> open
+	*now = now.Add(time.Second)
+	b.Allow()     // open -> half-open
+	b.Report(nil) // half-open -> closed
+	want := []tr{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" ||
+		BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("breaker state names are telemetry labels; do not change casually")
+	}
+}

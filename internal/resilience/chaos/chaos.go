@@ -1,0 +1,314 @@
+// Package chaos is the deterministic fault injector of the resilience
+// plane (S28): seeded error, latency, hang and partial-write rules keyed
+// by binding, operation and endpoint, hooked into the invoke transports
+// and the simnet fabric so every policy in internal/resilience is
+// provable under injected faults (experiment E13).
+//
+// Determinism is the design contract: the decision for the n-th call at a
+// given (rule, site) is a pure function of the injector seed, the rule
+// index, the site key and n — not of goroutine interleaving across sites
+// or of any global RNG. The same rule spec and seed therefore yield an
+// identical fault schedule on every run, which is what lets chaos tests
+// assert exact outcomes and lets E13 sweep fault rates reproducibly.
+//
+// A nil *Injector is a valid no-op whose per-call cost is one branch and
+// zero allocations, so the hooks stay compiled into every transport.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"harness2/internal/resilience"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// FaultError fails the call before any byte is sent; the error is
+	// marked Unsent, so retry policies engage even for non-idempotent
+	// operations — exactly like a connect refusal.
+	FaultError Kind = iota
+	// FaultLatency delays the call by the rule's Latency, honouring the
+	// context deadline, then lets it proceed.
+	FaultLatency
+	// FaultHang blocks until the caller's context ends (or, when the
+	// rule carries a Latency, at most that long) and then fails with a
+	// transient timeout-like error. This is the stuck-server case that
+	// motivates per-attempt timeouts and hedging.
+	FaultHang
+	// FaultPartialWrite fails the call as if the connection died after
+	// part of the request reached the wire: the error is transient but
+	// NOT marked Unsent, so policies retry it only for idempotent
+	// operations — the server may have executed the call.
+	FaultPartialWrite
+)
+
+// String implements fmt.Stringer; the names double as spec keywords.
+func (k Kind) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultLatency:
+		return "latency"
+	case FaultHang:
+		return "hang"
+	case FaultPartialWrite:
+		return "partial"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rule is one injection rule. Binding, Op and Endpoint select the calls
+// it applies to: "*" (or empty) matches anything, a trailing "*" matches
+// by prefix, anything else matches exactly.
+type Rule struct {
+	Binding  string
+	Op       string
+	Endpoint string
+	Kind     Kind
+	// Prob is the per-call fault probability in [0, 1].
+	Prob float64
+	// Latency is the injected delay (FaultLatency) or the hang bound
+	// (FaultHang; zero hangs until the context ends).
+	Latency time.Duration
+	// Count, when positive, caps how many faults the rule injects
+	// in total; afterwards the rule is inert.
+	Count int
+}
+
+// Validate checks a rule's fields.
+func (r Rule) Validate() error {
+	if !(r.Prob >= 0 && r.Prob <= 1) { // inverted form also rejects NaN
+		return fmt.Errorf("chaos: probability %v out of [0,1]", r.Prob)
+	}
+	if r.Latency < 0 {
+		return fmt.Errorf("chaos: negative latency %v", r.Latency)
+	}
+	if r.Count < 0 {
+		return fmt.Errorf("chaos: negative count %d", r.Count)
+	}
+	switch r.Kind {
+	case FaultError, FaultLatency, FaultHang, FaultPartialWrite:
+	default:
+		return fmt.Errorf("chaos: unknown fault kind %d", int(r.Kind))
+	}
+	if r.Kind == FaultLatency && r.Latency == 0 {
+		return fmt.Errorf("chaos: latency rule needs a duration")
+	}
+	return nil
+}
+
+// String renders the rule in spec syntax (see Parse).
+func (r Rule) String() string {
+	s := fmt.Sprintf("%s:%g", r.Kind, r.Prob)
+	if r.Latency > 0 {
+		s += ":" + r.Latency.String()
+	}
+	s += "@" + orStar(r.Binding) + "/" + orStar(r.Op) + "/" + orStar(r.Endpoint)
+	if r.Count > 0 {
+		s += fmt.Sprintf("#%d", r.Count)
+	}
+	return s
+}
+
+func orStar(s string) string {
+	if s == "" {
+		return "*"
+	}
+	return s
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind    Kind
+	Latency time.Duration
+	// Rule indexes the matched rule in the injector's rule list.
+	Rule int
+}
+
+// Injector evaluates rules deterministically. Safe for concurrent use.
+type Injector struct {
+	seed  uint64
+	rules []Rule
+
+	mu    sync.Mutex
+	seq   map[siteKey]uint64 // per-(rule, site) call sequence numbers
+	fired []int              // per-rule injected-fault counts
+}
+
+type siteKey struct {
+	rule                  int
+	binding, op, endpoint string
+}
+
+// New builds an injector from validated rules. A zero-rule injector is
+// legal and never faults.
+func New(seed int64, rules ...Rule) (*Injector, error) {
+	for i, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("rule %d: %w", i, err)
+		}
+	}
+	return &Injector{
+		seed:  uint64(seed),
+		rules: append([]Rule(nil), rules...),
+		seq:   make(map[siteKey]uint64),
+		fired: make([]int, len(rules)),
+	}, nil
+}
+
+// NewFromSpec parses spec (see Parse) and builds the injector.
+func NewFromSpec(seed int64, spec string) (*Injector, error) {
+	rules, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rules...)
+}
+
+// Rules returns a copy of the injector's rule list.
+func (in *Injector) Rules() []Rule {
+	if in == nil {
+		return nil
+	}
+	return append([]Rule(nil), in.rules...)
+}
+
+// Fired reports how many faults each rule has injected so far.
+func (in *Injector) Fired() []int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]int(nil), in.fired...)
+}
+
+// match implements the rule selector: "*"/empty matches all, a trailing
+// '*' matches by prefix, else exact.
+func match(pattern, s string) bool {
+	if pattern == "" || pattern == "*" {
+		return true
+	}
+	if n := len(pattern); pattern[n-1] == '*' {
+		prefix := pattern[:n-1]
+		return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+	}
+	return pattern == s
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer; it turns the
+// (seed, rule, site, seq) tuple into an i.i.d.-looking stream without any
+// shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes a string into the decision key.
+func fnv1a(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// decide returns the deterministic uniform draw in [0,1) for the n-th
+// call of rule ri at the given site.
+func (in *Injector) decide(ri int, binding, op, endpoint string, n uint64) float64 {
+	h := uint64(14695981039346656037)
+	h = fnv1a(h, binding)
+	h ^= 0xff
+	h = fnv1a(h, op)
+	h ^= 0xff
+	h = fnv1a(h, endpoint)
+	x := splitmix64(in.seed ^ h ^ (uint64(ri) << 56) ^ n)
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Eval decides whether this call faults. The first matching rule that
+// draws a fault wins; rules are consulted in order. The nil injector
+// never faults.
+func (in *Injector) Eval(binding, op, endpoint string) (Fault, bool) {
+	if in == nil || len(in.rules) == 0 {
+		return Fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.rules {
+		if !match(r.Binding, binding) || !match(r.Op, op) || !match(r.Endpoint, endpoint) {
+			continue
+		}
+		if r.Count > 0 && in.fired[i] >= r.Count {
+			continue
+		}
+		k := siteKey{rule: i, binding: binding, op: op, endpoint: endpoint}
+		n := in.seq[k]
+		in.seq[k] = n + 1
+		if r.Prob <= 0 {
+			continue
+		}
+		if r.Prob >= 1 || in.decide(i, binding, op, endpoint, n) < r.Prob {
+			in.fired[i]++
+			return Fault{Kind: r.Kind, Latency: r.Latency, Rule: i}, true
+		}
+	}
+	return Fault{}, false
+}
+
+// Apply evaluates the call site and applies any injected fault: latency
+// faults sleep (honouring ctx) and return nil; error, hang and
+// partial-write faults return the corresponding classified error. The nil
+// injector returns nil after a single branch — the disabled hot path.
+func (in *Injector) Apply(ctx context.Context, binding, op, endpoint string) error {
+	if in == nil {
+		return nil
+	}
+	f, ok := in.Eval(binding, op, endpoint)
+	if !ok {
+		return nil
+	}
+	switch f.Kind {
+	case FaultError:
+		return resilience.MarkUnsent(fmt.Errorf("chaos: injected %s fault at %s/%s/%s",
+			f.Kind, binding, op, endpoint))
+	case FaultLatency:
+		return sleepCtx(ctx, f.Latency)
+	case FaultHang:
+		if f.Latency > 0 {
+			if err := sleepCtx(ctx, f.Latency); err != nil {
+				return err
+			}
+			return resilience.MarkTransient(fmt.Errorf("chaos: injected hang timed out at %s/%s/%s",
+				binding, op, endpoint))
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	case FaultPartialWrite:
+		return resilience.MarkTransient(fmt.Errorf("chaos: injected partial write at %s/%s/%s",
+			binding, op, endpoint))
+	}
+	return nil
+}
+
+// sleepCtx sleeps d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

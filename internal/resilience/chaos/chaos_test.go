@@ -1,0 +1,320 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"harness2/internal/resilience"
+)
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Eval("b", "o", "e"); ok {
+		t.Fatal("nil injector must not fault")
+	}
+	if err := in.Apply(context.Background(), "b", "o", "e"); err != nil {
+		t.Fatalf("nil injector Apply: %v", err)
+	}
+	if in.Rules() != nil || in.Fired() != nil {
+		t.Fatal("nil injector introspection must return nil")
+	}
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	// Same seed + spec => identical fault schedule, call by call.
+	const spec = "error:0.3@xdr;latency:0.5:1ms@soap/ping"
+	schedule := func(seed int64) []string {
+		in, err := NewFromSpec(seed, spec)
+		if err != nil {
+			t.Fatalf("NewFromSpec: %v", err)
+		}
+		var s []string
+		for i := 0; i < 200; i++ {
+			f, ok := in.Eval("xdr", "get", "n1")
+			s = append(s, fmt.Sprintf("%v/%v", f.Kind, ok))
+			f, ok = in.Eval("soap", "ping", "n2")
+			s = append(s, fmt.Sprintf("%v/%v", f.Kind, ok))
+		}
+		return s
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: schedule diverged (%s vs %s)", i, a[i], b[i])
+		}
+	}
+	// A different seed must (overwhelmingly) produce a different schedule.
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 400-call schedules")
+	}
+}
+
+func TestInjectorScheduleIndependentOfInterleaving(t *testing.T) {
+	// The per-site schedule must not depend on how calls at *other* sites
+	// interleave with it: run site A alone, then run A interleaved with B,
+	// and compare A's schedule.
+	in1, _ := NewFromSpec(7, "error:0.4")
+	var alone []bool
+	for i := 0; i < 100; i++ {
+		_, ok := in1.Eval("xdr", "get", "a")
+		alone = append(alone, ok)
+	}
+	in2, _ := NewFromSpec(7, "error:0.4")
+	var mixed []bool
+	for i := 0; i < 100; i++ {
+		in2.Eval("soap", "put", "b") // interleaved traffic at another site
+		_, ok := in2.Eval("xdr", "get", "a")
+		mixed = append(mixed, ok)
+	}
+	for i := range alone {
+		if alone[i] != mixed[i] {
+			t.Fatalf("call %d: site-A schedule changed under interleaving", i)
+		}
+	}
+}
+
+func TestInjectorFaultRate(t *testing.T) {
+	in, _ := NewFromSpec(1, "error:0.2")
+	faults := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, ok := in.Eval("xdr", "get", fmt.Sprintf("call-%d", i%7)); ok {
+			faults++
+		}
+	}
+	rate := float64(faults) / n
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("empirical fault rate %.3f far from 0.2", rate)
+	}
+}
+
+func TestInjectorMatchSelectors(t *testing.T) {
+	in, err := New(1,
+		Rule{Binding: "xdr", Op: "get*", Endpoint: "n1", Kind: FaultError, Prob: 1},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hit := func(b, o, e string) bool { _, ok := in.Eval(b, o, e); return ok }
+	if !hit("xdr", "get", "n1") || !hit("xdr", "getAll", "n1") {
+		t.Fatal("exact + prefix match must fault")
+	}
+	if hit("soap", "get", "n1") || hit("xdr", "put", "n1") || hit("xdr", "get", "n2") {
+		t.Fatal("non-matching selector must not fault")
+	}
+}
+
+func TestInjectorCountCap(t *testing.T) {
+	in, _ := NewFromSpec(1, "error:1#3")
+	faults := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := in.Eval("b", "o", "e"); ok {
+			faults++
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("faults = %d, want count cap 3", faults)
+	}
+	if fired := in.Fired(); len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("Fired = %v, want [3]", fired)
+	}
+}
+
+func TestInjectorFirstMatchWins(t *testing.T) {
+	in, _ := NewFromSpec(1, "latency:1:1ms@*/get;error:1")
+	f, ok := in.Eval("xdr", "get", "e")
+	if !ok || f.Kind != FaultLatency || f.Rule != 0 {
+		t.Fatalf("get: fault=%+v ok=%v, want rule 0 latency", f, ok)
+	}
+	f, ok = in.Eval("xdr", "put", "e")
+	if !ok || f.Kind != FaultError || f.Rule != 1 {
+		t.Fatalf("put: fault=%+v ok=%v, want rule 1 error", f, ok)
+	}
+}
+
+func TestApplyErrorIsUnsent(t *testing.T) {
+	in, _ := NewFromSpec(1, "error:1")
+	err := in.Apply(context.Background(), "b", "o", "e")
+	if err == nil || !resilience.IsUnsent(err) {
+		t.Fatalf("error fault must be unsent-transient, got %v", err)
+	}
+	if k := resilience.Classify(err); k != resilience.KindTransient {
+		t.Fatalf("Classify = %v, want transient", k)
+	}
+}
+
+func TestApplyPartialWriteNotUnsent(t *testing.T) {
+	in, _ := NewFromSpec(1, "partial:1")
+	err := in.Apply(context.Background(), "b", "o", "e")
+	if err == nil || resilience.IsUnsent(err) {
+		t.Fatalf("partial write must NOT be unsent, got %v", err)
+	}
+	if k := resilience.Classify(err); k != resilience.KindTransient {
+		t.Fatalf("Classify = %v, want transient", k)
+	}
+}
+
+func TestApplyLatencyDelaysThenSucceeds(t *testing.T) {
+	in, _ := NewFromSpec(1, "latency:1:10ms")
+	start := time.Now()
+	if err := in.Apply(context.Background(), "b", "o", "e"); err != nil {
+		t.Fatalf("latency fault must not error: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency fault returned after %v, want >= 10ms", d)
+	}
+}
+
+func TestApplyHangHonoursContext(t *testing.T) {
+	in, _ := NewFromSpec(1, "hang:1")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := in.Apply(ctx, "b", "o", "e")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unbounded hang must end with the context, got %v", err)
+	}
+}
+
+func TestApplyBoundedHang(t *testing.T) {
+	in, _ := NewFromSpec(1, "hang:1:5ms")
+	err := in.Apply(context.Background(), "b", "o", "e")
+	if err == nil || resilience.Classify(err) != resilience.KindTransient {
+		t.Fatalf("bounded hang must fail transient, got %v", err)
+	}
+}
+
+func TestInjectorConcurrentSafety(t *testing.T) {
+	in, _ := NewFromSpec(3, "error:0.5")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			site := fmt.Sprintf("site-%d", g)
+			for i := 0; i < 500; i++ {
+				in.Eval("xdr", "get", site)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRuleValidate(t *testing.T) {
+	bad := []Rule{
+		{Kind: FaultError, Prob: -0.1},
+		{Kind: FaultError, Prob: 1.1},
+		{Kind: FaultError, Prob: 0.5, Latency: -1},
+		{Kind: FaultError, Prob: 0.5, Count: -1},
+		{Kind: Kind(99), Prob: 0.5},
+		{Kind: FaultLatency, Prob: 0.5}, // latency rule needs a duration
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid rule accepted: %+v", i, r)
+		}
+	}
+	if err := (Rule{Kind: FaultHang, Prob: 0.5}).Validate(); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+	if _, err := New(0, Rule{Kind: FaultError, Prob: 2}); err == nil {
+		t.Error("New must validate rules")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"error:0.1",
+		"latency:1:5ms@xdr",
+		"hang:0.05:100ms@soap/ping",
+		"partial:0.2@*/set/*#3",
+		"error:0.3@xdr/get/n*; latency:0.5:2ms",
+	}
+	for _, spec := range specs {
+		rules, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		// Rule.String must itself re-parse to the same rules.
+		for _, r := range rules {
+			back, err := Parse(r.String())
+			if err != nil {
+				t.Fatalf("re-Parse(%q): %v", r.String(), err)
+			}
+			if len(back) != 1 || back[0] != r {
+				t.Fatalf("round trip %q: got %+v, want %+v", r.String(), back, r)
+			}
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	rules, err := Parse("error:0.5")
+	if err != nil || len(rules) != 1 {
+		t.Fatalf("Parse: %v %v", rules, err)
+	}
+	r := rules[0]
+	if r.Binding != "" || r.Op != "" || r.Endpoint != "" || r.Count != 0 {
+		t.Fatalf("omitted selector must default to match-all: %+v", r)
+	}
+	// Empty and blank specs are legal no-ops.
+	for _, s := range []string{"", "  ", ";;", " ; "} {
+		rules, err := Parse(s)
+		if err != nil || len(rules) != 0 {
+			t.Fatalf("Parse(%q) = %v, %v; want empty", s, rules, err)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"bogus:0.5",           // unknown kind
+		"error",               // missing probability
+		"error:x",             // bad probability
+		"error:1.5",           // out of range
+		"error:0.5:huh",       // bad latency
+		"error:0.5:1ms:extra", // too many parts
+		"latency:0.5",         // latency without duration
+		"error:0.5@a/b/c/d",   // too many site components
+		"error:0.5#0",         // zero count
+		"error:0.5#-1",        // negative count
+		"error:0.5#x",         // non-numeric count
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): invalid spec accepted", spec)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on malformed spec")
+		}
+	}()
+	MustParse("bogus:1")
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		FaultError: "error", FaultLatency: "latency",
+		FaultHang: "hang", FaultPartialWrite: "partial",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("kind %d: String = %q, want %q (spec keyword)", int(k), k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the two contracts of the spec parser (satellite of
+// ISSUE 3): it never panics on arbitrary input, and anything it accepts is
+// a valid rule list whose String form re-parses to the same rules.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"error:0.1",
+		"latency:1:5ms@xdr",
+		"hang:0.05:100ms@soap/ping",
+		"partial:0.2@*/set/*#3",
+		"error:0.3@xdr/get/n*; latency:0.5:2ms",
+		"error:0.5#2;;",
+		"bogus:1",
+		"error:1.5",
+		":::@///###",
+		"latency:0.5",
+		"error:NaN",
+		"error:-0",
+		"error:1e-3@a*/b*/c*#9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := Parse(spec) // must not panic
+		if err != nil {
+			return
+		}
+		for _, r := range rules {
+			// Accepted rules must be valid...
+			if verr := r.Validate(); verr != nil {
+				t.Fatalf("Parse(%q) accepted invalid rule %+v: %v", spec, r, verr)
+			}
+			// ...and usable: building an injector from them must work.
+		}
+		if _, err := New(1, rules...); err != nil {
+			t.Fatalf("Parse(%q) produced rules New rejects: %v", spec, err)
+		}
+		// Round trip through the canonical form. NaN probabilities are the
+		// only value a float parse could admit that breaks equality; the
+		// validator rejects them via the range check, so this holds.
+		for _, r := range rules {
+			back, err := Parse(r.String())
+			if err != nil || len(back) != 1 {
+				t.Fatalf("canonical form %q of %q does not re-parse: %v", r.String(), spec, err)
+			}
+			if !strings.EqualFold(back[0].String(), r.String()) {
+				t.Fatalf("round trip drifted: %q -> %q", r.String(), back[0].String())
+			}
+		}
+	})
+}

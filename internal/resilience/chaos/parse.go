@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse turns a chaos spec string into a rule list. The grammar, one rule
+// per semicolon-separated clause (blank clauses are skipped):
+//
+//	rule    := kind ":" prob [":" latency] ["@" site] ["#" count]
+//	kind    := "error" | "latency" | "hang" | "partial"
+//	prob    := float in [0, 1]
+//	latency := Go duration (e.g. "5ms")
+//	site    := binding "/" op "/" endpoint   (each "*", a prefix "x*", or exact;
+//	           trailing components may be omitted and default to "*")
+//	count   := positive integer cap on injected faults
+//
+// Examples:
+//
+//	error:0.1                      // 10% of all calls fail before sending
+//	latency:1:5ms@xdr              // every XDR call gains 5ms
+//	hang:0.05:100ms@soap/ping      // 5% of SOAP pings hang for 100ms
+//	partial:0.2@*/set/*#3          // at most 3 partial-write faults on "set"
+//
+// Rules are evaluated in spec order; the first matching rule that draws a
+// fault wins. Parse never panics on malformed input — it returns an error
+// describing the offending clause (the fuzz target asserts this).
+func Parse(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r, err := parseRule(clause)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: rule %q: %w", clause, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// MustParse is Parse for compile-time-constant specs; it panics on error.
+func MustParse(spec string) []Rule {
+	rules, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return rules
+}
+
+func parseRule(clause string) (Rule, error) {
+	var r Rule
+
+	// Split off the optional "#count" suffix first.
+	body := clause
+	if i := strings.LastIndexByte(body, '#'); i >= 0 {
+		n, err := strconv.Atoi(strings.TrimSpace(body[i+1:]))
+		if err != nil || n <= 0 {
+			return r, fmt.Errorf("bad count %q", body[i+1:])
+		}
+		r.Count = n
+		body = body[:i]
+	}
+
+	// Split off the optional "@site" selector.
+	if i := strings.IndexByte(body, '@'); i >= 0 {
+		if err := parseSite(body[i+1:], &r); err != nil {
+			return r, err
+		}
+		body = body[:i]
+	}
+
+	// What remains is kind:prob[:latency].
+	parts := strings.Split(body, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return r, fmt.Errorf("want kind:prob[:latency], got %q", body)
+	}
+	kind, err := parseKind(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return r, err
+	}
+	r.Kind = kind
+	prob, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return r, fmt.Errorf("bad probability %q", parts[1])
+	}
+	r.Prob = prob
+	if len(parts) == 3 {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return r, fmt.Errorf("bad latency %q", parts[2])
+		}
+		r.Latency = d
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// parseSite fills the binding/op/endpoint selector from "b/o/e"; trailing
+// components may be omitted and default to "*" (empty pattern).
+func parseSite(site string, r *Rule) error {
+	parts := strings.Split(site, "/")
+	if len(parts) > 3 {
+		return fmt.Errorf("site %q has more than binding/op/endpoint", site)
+	}
+	set := func(dst *string, s string) {
+		s = strings.TrimSpace(s)
+		if s == "*" {
+			s = ""
+		}
+		*dst = s
+	}
+	if len(parts) > 0 {
+		set(&r.Binding, parts[0])
+	}
+	if len(parts) > 1 {
+		set(&r.Op, parts[1])
+	}
+	if len(parts) > 2 {
+		set(&r.Endpoint, parts[2])
+	}
+	return nil
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "error":
+		return FaultError, nil
+	case "latency":
+		return FaultLatency, nil
+	case "hang":
+		return FaultHang, nil
+	case "partial":
+		return FaultPartialWrite, nil
+	}
+	return 0, fmt.Errorf("unknown fault kind %q", s)
+}

@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"harness2/internal/telemetry"
+)
+
+// Limiter is server-side admission control: a hard concurrency limit plus
+// a bounded wait queue with a maximum queueing delay. Requests beyond
+// both bounds are shed immediately with ErrOverloaded — the distinguished
+// fault clients classify as retryable-elsewhere — which keeps an
+// overloaded container's latency bounded instead of letting its queue
+// grow without limit (the paper's containers run on shared, oversubscribed
+// grid nodes; shedding is what makes "overloaded" a recoverable state).
+//
+// A nil *Limiter admits everything at the cost of one branch, following
+// the telemetry plane's nil-safety idiom, so admission control can stay
+// compiled into every server binding permanently.
+type Limiter struct {
+	sem      chan struct{}
+	maxQueue int64
+	maxWait  time.Duration
+	queued   atomic.Int64
+
+	met limiterMetrics
+}
+
+// NewLimiter builds a limiter admitting maxConcurrent requests at once,
+// queueing at most maxQueue more for up to maxWait each. maxConcurrent
+// < 1 is clamped to 1; maxQueue < 0 to 0; maxWait <= 0 means queued
+// requests wait only for their caller's context.
+func NewLimiter(maxConcurrent, maxQueue int, maxWait time.Duration) *Limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+		maxWait:  maxWait,
+	}
+}
+
+// SetTelemetry labels and registers the limiter's instrument set on r
+// under the given server name (e.g. "xdr-server"). Call before traffic.
+func (l *Limiter) SetTelemetry(r *telemetry.Registry, server string) *Limiter {
+	if l != nil {
+		l.met = newLimiterMetrics(telemetry.Or(r), server)
+	}
+	return l
+}
+
+// Acquire admits the request or sheds it. On success the returned release
+// must be called exactly once when the request finishes. On shed the
+// error is ErrOverloaded (possibly wrapped); release is nil.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	// Fast path: a free slot.
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted()
+		return l.release, nil
+	default:
+	}
+	// Saturated: join the bounded queue or shed.
+	if q := l.queued.Add(1); q > l.maxQueue {
+		l.queued.Add(-1)
+		l.met.shed.Inc()
+		return nil, ErrOverloaded
+	}
+	l.met.queueDepth.Inc()
+	defer func() {
+		l.queued.Add(-1)
+		l.met.queueDepth.Dec()
+	}()
+
+	var timeout <-chan time.Time
+	if l.maxWait > 0 {
+		t := time.NewTimer(l.maxWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted()
+		return l.release, nil
+	case <-timeout:
+		l.met.shed.Inc()
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		l.met.shed.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) admitted() {
+	l.met.admitted.Inc()
+	l.met.inflight.Inc()
+}
+
+func (l *Limiter) release() {
+	<-l.sem
+	l.met.inflight.Dec()
+}
+
+// InFlight reports the number of admitted, unfinished requests.
+func (l *Limiter) InFlight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.sem)
+}
+
+// Queued reports the number of requests waiting for admission.
+func (l *Limiter) Queued() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.queued.Load())
+}

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"harness2/internal/telemetry"
+)
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	release, err := l.Acquire(context.Background())
+	if err != nil || release == nil {
+		t.Fatalf("nil limiter: release-nil=%v err=%v", release == nil, err)
+	}
+	release()
+	if l.InFlight() != 0 || l.Queued() != 0 {
+		t.Fatal("nil limiter reports zero")
+	}
+}
+
+func TestLimiterConcurrencyBound(t *testing.T) {
+	l := NewLimiter(2, 0, 0)
+	r1, err1 := l.Acquire(context.Background())
+	r2, err2 := l.Acquire(context.Background())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("first two acquisitions failed: %v %v", err1, err2)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	// Third is shed immediately: no queue configured.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	r1()
+	if got := l.InFlight(); got != 1 {
+		t.Fatalf("InFlight after release = %d, want 1", got)
+	}
+	// A slot freed: admission resumes.
+	r3, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r3()
+	r2()
+}
+
+func TestLimiterQueueAdmitsWhenFreed(t *testing.T) {
+	l := NewLimiter(1, 1, time.Second)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	admitted := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := l.Acquire(context.Background())
+		admitted <- err
+		if err == nil {
+			r()
+		}
+	}()
+	// Wait for the goroutine to join the queue, then free the slot.
+	for i := 0; l.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if l.Queued() != 1 {
+		t.Fatalf("Queued = %d, want 1", l.Queued())
+	}
+	r1()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued request should be admitted: %v", err)
+	}
+	wg.Wait()
+}
+
+func TestLimiterQueueOverflowSheds(t *testing.T) {
+	l := NewLimiter(1, 1, time.Second)
+	r1, _ := l.Acquire(context.Background())
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan struct{})
+	go func() {
+		close(queued)
+		l.Acquire(ctx) // occupies the single queue slot until ctx ends
+	}()
+	<-queued
+	for i := 0; l.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: next caller is shed without waiting.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded on full queue, got %v", err)
+	}
+}
+
+func TestLimiterMaxWaitSheds(t *testing.T) {
+	l := NewLimiter(1, 4, 5*time.Millisecond)
+	r1, _ := l.Acquire(context.Background())
+	defer r1()
+	start := time.Now()
+	_, err := l.Acquire(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded after maxWait, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("maxWait did not bound queueing delay")
+	}
+}
+
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 4, 0)
+	r1, _ := l.Acquire(context.Background())
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestLimiterClamps(t *testing.T) {
+	l := NewLimiter(0, -1, 0)
+	r, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("clamped limiter must admit one: %v", err)
+	}
+	defer r()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("clamped queue 0 must shed: %v", err)
+	}
+}
+
+func TestLimiterTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	l := NewLimiter(1, 0, 0).SetTelemetry(reg, "test-server")
+	r1, _ := l.Acquire(context.Background())
+	l.Acquire(context.Background()) // shed
+	r1()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`harness_admission_admitted_total{server="test-server"} 1`,
+		`harness_admission_shed_total{server="test-server"} 1`,
+		`harness_admission_inflight{server="test-server"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry missing %q in:\n%s", want, text)
+		}
+	}
+}

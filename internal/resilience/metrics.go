@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"harness2/internal/telemetry"
+)
+
+// This file holds the resilience plane's instrument sets (telemetry S27).
+// Every retry, hedge launch, hedge win, breaker transition, breaker
+// refusal and shed request emits a series here; all handles are nil-safe,
+// so a policy built over telemetry.Disabled() pays a branch per event.
+
+// policyMetrics is the client-side instrument set shared by every policy
+// execution path.
+type policyMetrics struct {
+	retries     *telemetry.CounterVec // op: re-attempts after a failure
+	successes   *telemetry.CounterVec // op
+	failures    *telemetry.CounterVec // op x kind: terminal-or-not attempt failures
+	exhausteds  *telemetry.CounterVec // op: Execute gave up
+	hedges      *telemetry.CounterVec // op: secondary racers launched
+	hedgeWins   *telemetry.CounterVec // op: a secondary racer won
+	refusals    *telemetry.CounterVec // op: breaker refused an attempt
+	transitions *telemetry.CounterVec // endpoint x to-state
+	openGauge   *telemetry.Gauge      // breakers currently open
+}
+
+func newPolicyMetrics(r *telemetry.Registry) policyMetrics {
+	r.Help("harness_resilience_retries_total", "re-attempts after a failed attempt by op")
+	r.Help("harness_resilience_success_total", "policy executions that returned success by op")
+	r.Help("harness_resilience_attempt_failures_total", "failed attempts by op and error kind")
+	r.Help("harness_resilience_exhausted_total", "policy executions that gave up by op")
+	r.Help("harness_resilience_hedges_total", "hedged (secondary) attempts launched by op")
+	r.Help("harness_resilience_hedge_wins_total", "hedged attempts that won the race by op")
+	r.Help("harness_resilience_breaker_refusals_total", "attempts refused by an open breaker by op")
+	r.Help("harness_resilience_breaker_transitions_total", "breaker state changes by endpoint and new state")
+	r.Help("harness_resilience_breakers_open", "circuit breakers currently open")
+	return policyMetrics{
+		retries:     r.CounterVec("harness_resilience_retries_total", "op"),
+		successes:   r.CounterVec("harness_resilience_success_total", "op"),
+		failures:    r.CounterVec("harness_resilience_attempt_failures_total", "op_kind"),
+		exhausteds:  r.CounterVec("harness_resilience_exhausted_total", "op"),
+		hedges:      r.CounterVec("harness_resilience_hedges_total", "op"),
+		hedgeWins:   r.CounterVec("harness_resilience_hedge_wins_total", "op"),
+		refusals:    r.CounterVec("harness_resilience_breaker_refusals_total", "op"),
+		transitions: r.CounterVec("harness_resilience_breaker_transitions_total", "endpoint_state"),
+		openGauge:   r.Gauge("harness_resilience_breakers_open"),
+	}
+}
+
+func (m *policyMetrics) retry(op string) { m.retries.With(op).Inc() }
+func (m *policyMetrics) hedge(op string) { m.hedges.With(op).Inc() }
+func (m *policyMetrics) hedgeWin(op string) {
+	m.hedgeWins.With(op).Inc()
+}
+func (m *policyMetrics) breakerRefusal(op string) { m.refusals.With(op).Inc() }
+func (m *policyMetrics) exhausted(op string)      { m.exhausteds.With(op).Inc() }
+
+func (m *policyMetrics) success(op string, attempt int) {
+	m.successes.With(op).Inc()
+}
+
+func (m *policyMetrics) failure(op string, kind ErrorKind) {
+	m.failures.With(op + "|" + kind.String()).Inc()
+}
+
+// breakerTransition records a state change and maintains the open-breaker
+// gauge.
+func (m *policyMetrics) breakerTransition(endpoint string, from, to BreakerState) {
+	m.transitions.With(endpoint + "|" + to.String()).Inc()
+	if to == BreakerOpen {
+		m.openGauge.Inc()
+	} else if from == BreakerOpen {
+		m.openGauge.Dec()
+	}
+}
+
+// limiterMetrics is the server-side admission-control instrument set.
+type limiterMetrics struct {
+	admitted   *telemetry.Counter
+	shed       *telemetry.Counter
+	inflight   *telemetry.Gauge
+	queueDepth *telemetry.Gauge
+}
+
+func newLimiterMetrics(r *telemetry.Registry, server string) limiterMetrics {
+	r.Help("harness_admission_admitted_total", "requests admitted by server")
+	r.Help("harness_admission_shed_total", "requests shed (Overloaded) by server")
+	r.Help("harness_admission_inflight", "admitted requests currently executing by server")
+	r.Help("harness_admission_queue_depth", "requests waiting for admission by server")
+	return limiterMetrics{
+		admitted:   r.Counter("harness_admission_admitted_total", "server", server),
+		shed:       r.Counter("harness_admission_shed_total", "server", server),
+		inflight:   r.Gauge("harness_admission_inflight", "server", server),
+		queueDepth: r.Gauge("harness_admission_queue_depth", "server", server),
+	}
+}

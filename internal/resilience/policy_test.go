@@ -1,0 +1,421 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harness2/internal/telemetry"
+)
+
+// testPolicy builds a policy with a no-op sleep (tests never wait out real
+// backoffs) and a disabled registry.
+func testPolicy(t *testing.T, opts ...Option) *Policy {
+	t.Helper()
+	base := []Option{
+		WithSeed(1),
+		WithTelemetry(telemetry.Disabled()),
+		WithSleep(func(ctx context.Context, d time.Duration) error { return ctx.Err() }),
+	}
+	p, err := New(append(base, opts...)...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := [][]Option{
+		{WithMaxAttempts(0)},
+		{WithMaxAttempts(101)},
+		{WithBackoff(0, time.Second)},
+		{WithBackoff(time.Second, time.Millisecond)},
+		{WithAttemptTimeout(-1)},
+		{WithBudget(0)},
+		{WithBudget(-time.Second)},
+		{WithBreaker(0, time.Second)},
+		{WithBreaker(3, 0)},
+		{WithHedging(-1, 2)},
+		{WithHedging(0, 1)},
+		{WithSleep(nil)},
+		{WithClock(nil)},
+		{nil},
+	}
+	for i, opts := range bad {
+		if _, err := New(opts...); err == nil {
+			t.Errorf("case %d: invalid option accepted", i)
+		}
+	}
+	if _, err := New(WithMaxAttempts(5), WithBackoff(time.Millisecond, time.Second),
+		WithAttemptTimeout(0), WithBudget(time.Second), WithBreaker(1, time.Millisecond),
+		WithHedging(0, 2), WithSeed(7)); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestNilPolicyPassThrough(t *testing.T) {
+	var p *Policy
+	calls := 0
+	out, err := p.Execute(context.Background(), "op", false, Target{ID: "a", Do: func(ctx context.Context) (any, error) {
+		calls++
+		return 42, nil
+	}})
+	if err != nil || out != 42 || calls != 1 {
+		t.Fatalf("nil policy: out=%v err=%v calls=%d", out, err, calls)
+	}
+	// Nil policy surfaces errors untouched, exactly once.
+	boom := errors.New("boom")
+	calls = 0
+	_, err = p.Do(context.Background(), "a", "op", true, func(ctx context.Context) (any, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("nil policy error path: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestExecuteNoTargets(t *testing.T) {
+	p := testPolicy(t)
+	if _, err := p.Execute(context.Background(), "op", true); err == nil {
+		t.Fatal("want error for empty target list")
+	}
+}
+
+func TestRetryTransientIdempotent(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(3))
+	calls := 0
+	out, err := p.Do(context.Background(), "ep", "op", true, func(ctx context.Context) (any, error) {
+		calls++
+		if calls < 3 {
+			return nil, MarkTransient(errors.New("flaky"))
+		}
+		return "ok", nil
+	})
+	if err != nil || out != "ok" || calls != 3 {
+		t.Fatalf("out=%v err=%v calls=%d", out, err, calls)
+	}
+}
+
+func TestNoRetryTransientNonIdempotent(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(5))
+	calls := 0
+	_, err := p.Do(context.Background(), "ep", "op", false, func(ctx context.Context) (any, error) {
+		calls++
+		return nil, MarkTransient(errors.New("maybe executed"))
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("non-idempotent transient must not retry: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryUnsentNonIdempotent(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(3))
+	calls := 0
+	out, err := p.Do(context.Background(), "ep", "op", false, func(ctx context.Context) (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, MarkUnsent(errors.New("connect refused"))
+		}
+		return "ok", nil
+	})
+	if err != nil || out != "ok" || calls != 2 {
+		t.Fatalf("unsent must retry even non-idempotent: out=%v err=%v calls=%d", out, err, calls)
+	}
+}
+
+func TestNoRetryPermanent(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(5))
+	calls := 0
+	_, err := p.Do(context.Background(), "ep", "op", true, func(ctx context.Context) (any, error) {
+		calls++
+		return nil, MarkPermanent(errors.New("bad request"))
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("permanent must not retry: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestExhaustedAnnotatesAttempts(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(4))
+	_, err := p.Do(context.Background(), "ep", "op", true, func(ctx context.Context) (any, error) {
+		return nil, MarkTransient(errors.New("down"))
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 4 attempts") {
+		t.Fatalf("want attempt annotation, got %v", err)
+	}
+}
+
+func TestFailoverElsewhere(t *testing.T) {
+	// Overloaded on the first rung must advance to the second.
+	p := testPolicy(t, WithMaxAttempts(3))
+	var aCalls, bCalls int
+	out, err := p.Execute(context.Background(), "op", false,
+		Target{ID: "a", Do: func(ctx context.Context) (any, error) {
+			aCalls++
+			return nil, ErrOverloaded
+		}},
+		Target{ID: "b", Do: func(ctx context.Context) (any, error) {
+			bCalls++
+			return "from-b", nil
+		}},
+	)
+	if err != nil || out != "from-b" || aCalls != 1 || bCalls != 1 {
+		t.Fatalf("out=%v err=%v a=%d b=%d", out, err, aCalls, bCalls)
+	}
+}
+
+func TestBreakerOpensAndRefuses(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := testPolicy(t,
+		WithMaxAttempts(1),
+		WithBreaker(2, time.Second),
+		WithClock(func() time.Time { return now }),
+	)
+	fail := func(ctx context.Context) (any, error) {
+		return nil, MarkTransient(errors.New("down"))
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Do(context.Background(), "ep", "op", true, fail); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	if st := p.BreakerFor("ep").State(); st != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", st)
+	}
+	// While open, the single target is refused without calling Do.
+	calls := 0
+	_, err := p.Do(context.Background(), "ep", "op", true, func(ctx context.Context) (any, error) {
+		calls++
+		return nil, nil
+	})
+	if !errors.Is(err, ErrBreakerOpen) || calls != 0 {
+		t.Fatalf("open breaker: err=%v calls=%d", err, calls)
+	}
+	// After cooldown the half-open probe succeeds and closes the breaker.
+	now = now.Add(2 * time.Second)
+	out, err := p.Do(context.Background(), "ep", "op", true, func(ctx context.Context) (any, error) {
+		return "recovered", nil
+	})
+	if err != nil || out != "recovered" {
+		t.Fatalf("probe: out=%v err=%v", out, err)
+	}
+	if st := p.BreakerFor("ep").State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+}
+
+func TestBreakerFailoverToHealthyEndpoint(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := testPolicy(t,
+		WithMaxAttempts(2),
+		WithBreaker(1, time.Minute),
+		WithClock(func() time.Time { return now }),
+	)
+	// Open a's breaker.
+	p.breaker("a").Report(errors.New("down"))
+	if st := p.BreakerFor("a").State(); st != BreakerOpen {
+		t.Fatalf("setup: a = %v, want open", st)
+	}
+	var aCalls, bCalls int
+	out, err := p.Execute(context.Background(), "op", false,
+		Target{ID: "a", Do: func(ctx context.Context) (any, error) { aCalls++; return nil, errors.New("x") }},
+		Target{ID: "b", Do: func(ctx context.Context) (any, error) { bCalls++; return "b", nil }},
+	)
+	if err != nil || out != "b" || aCalls != 0 || bCalls != 1 {
+		t.Fatalf("out=%v err=%v a=%d b=%d", out, err, aCalls, bCalls)
+	}
+}
+
+func TestBudgetStopsRetries(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(50), WithBudget(20*time.Millisecond))
+	calls := 0
+	start := time.Now()
+	_, err := p.Do(context.Background(), "ep", "op", true, func(ctx context.Context) (any, error) {
+		calls++
+		select { // burn the budget inside the attempt
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+		return nil, MarkTransient(errors.New("down"))
+	})
+	if err == nil {
+		t.Fatal("want budget failure")
+	}
+	if !errors.Is(err, ErrBudgetExhausted) && Classify(err) != KindCanceled {
+		t.Fatalf("want budget/deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget did not bound wall time: %v (%d calls)", elapsed, calls)
+	}
+	if calls >= 50 {
+		t.Fatalf("budget did not stop retries: %d calls", calls)
+	}
+}
+
+func TestAttemptTimeoutReclassifiedTransient(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(2), WithAttemptTimeout(10*time.Millisecond))
+	calls := 0
+	out, err := p.Do(context.Background(), "ep", "op", true, func(ctx context.Context) (any, error) {
+		calls++
+		if calls == 1 { // hang past the per-attempt deadline
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return "ok", nil
+	})
+	if err != nil || out != "ok" || calls != 2 {
+		t.Fatalf("attempt timeout must retry: out=%v err=%v calls=%d", out, err, calls)
+	}
+}
+
+func TestCallerCancellationNotRetried(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(5))
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := p.Do(ctx, "ep", "op", true, func(ctx context.Context) (any, error) {
+		calls++
+		cancel()
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("caller cancel must not retry: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestHedgingWins(t *testing.T) {
+	// Primary hangs; the hedge (rung 2) answers. The race must return the
+	// hedge's result without waiting for the primary.
+	p := testPolicy(t, WithMaxAttempts(1), WithHedging(time.Millisecond, 2))
+	released := make(chan struct{})
+	out, err := p.Execute(context.Background(), "op", true,
+		Target{ID: "slow", Do: func(ctx context.Context) (any, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-released:
+				return "slow", nil
+			}
+		}},
+		Target{ID: "fast", Do: func(ctx context.Context) (any, error) {
+			return "fast", nil
+		}},
+	)
+	close(released)
+	if err != nil || out != "fast" {
+		t.Fatalf("out=%v err=%v, want fast win", out, err)
+	}
+}
+
+func TestHedgingPrimaryWinUnderDelay(t *testing.T) {
+	// The primary answers before the hedge delay: the second rung is never
+	// launched.
+	p := testPolicy(t, WithMaxAttempts(1), WithHedging(time.Hour, 2))
+	var hedged atomic.Int32
+	out, err := p.Execute(context.Background(), "op", true,
+		Target{ID: "a", Do: func(ctx context.Context) (any, error) { return "a", nil }},
+		Target{ID: "b", Do: func(ctx context.Context) (any, error) {
+			hedged.Add(1)
+			return "b", nil
+		}},
+	)
+	if err != nil || out != "a" || hedged.Load() != 0 {
+		t.Fatalf("out=%v err=%v hedged=%d", out, err, hedged.Load())
+	}
+}
+
+func TestHedgingNotUsedForNonIdempotent(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(1), WithHedging(0, 2))
+	var bCalls atomic.Int32
+	out, err := p.Execute(context.Background(), "op", false,
+		Target{ID: "a", Do: func(ctx context.Context) (any, error) { return "a", nil }},
+		Target{ID: "b", Do: func(ctx context.Context) (any, error) { bCalls.Add(1); return "b", nil }},
+	)
+	if err != nil || out != "a" || bCalls.Load() != 0 {
+		t.Fatalf("non-idempotent must not hedge: out=%v err=%v b=%d", out, err, bCalls.Load())
+	}
+}
+
+func TestHedgingFailedRacerLaunchesNextImmediately(t *testing.T) {
+	// Rung 1 fails elsewhere-retryable: rung 2 must launch without waiting
+	// out the (infinite) hedge delay.
+	p := testPolicy(t, WithMaxAttempts(1), WithHedging(time.Hour, 2))
+	out, err := p.Execute(context.Background(), "op", true,
+		Target{ID: "a", Do: func(ctx context.Context) (any, error) {
+			return nil, ErrOverloaded
+		}},
+		Target{ID: "b", Do: func(ctx context.Context) (any, error) { return "b", nil }},
+	)
+	if err != nil || out != "b" {
+		t.Fatalf("out=%v err=%v, want failover to b", out, err)
+	}
+}
+
+func TestHedgingAllFail(t *testing.T) {
+	p := testPolicy(t, WithMaxAttempts(1), WithHedging(0, 3))
+	boom := MarkPermanent(errors.New("boom"))
+	_, err := p.Execute(context.Background(), "op", true,
+		Target{ID: "a", Do: func(ctx context.Context) (any, error) { return nil, boom }},
+		Target{ID: "b", Do: func(ctx context.Context) (any, error) { return nil, boom }},
+	)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want propagated failure, got %v", err)
+	}
+}
+
+func TestBackoffEnvelope(t *testing.T) {
+	p := testPolicy(t, WithBackoff(time.Millisecond, 8*time.Millisecond))
+	for attempt := 0; attempt < 20; attempt++ {
+		ceil := time.Millisecond << uint(attempt)
+		if ceil > 8*time.Millisecond || ceil <= 0 {
+			ceil = 8 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			if d := p.backoff(attempt); d < 0 || d > ceil {
+				t.Fatalf("attempt %d: backoff %v outside [0,%v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestPolicyTelemetry(t *testing.T) {
+	r := telemetry.New()
+	p, err := New(
+		WithTelemetry(r),
+		WithMaxAttempts(3),
+		WithSeed(1),
+		WithSleep(func(ctx context.Context, d time.Duration) error { return ctx.Err() }),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	calls := 0
+	if _, err := p.Do(context.Background(), "ep", "ping", true, func(ctx context.Context) (any, error) {
+		calls++
+		if calls < 2 {
+			return nil, MarkTransient(errors.New("flaky"))
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`harness_resilience_retries_total{op="ping"} 1`,
+		`harness_resilience_success_total{op="ping"} 1`,
+		`harness_resilience_attempt_failures_total{op_kind="ping|transient"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry missing %q in:\n%s", want, text)
+		}
+	}
+}

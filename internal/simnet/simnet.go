@@ -21,6 +21,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"harness2/internal/resilience/chaos"
 )
 
 // Errors returned by Send.
@@ -72,6 +74,7 @@ type Network struct {
 	partitions map[[2]string]bool
 	dropProb   float64
 	rng        *rand.Rand
+	chaos      *chaos.Injector
 	stats      Stats
 	perNode    map[string]*Stats
 }
@@ -150,6 +153,17 @@ func (n *Network) SetDrop(p float64, seed int64) {
 	n.rng = rand.New(rand.NewSource(seed))
 }
 
+// SetChaos attaches a deterministic fault injector to the fabric. Rules
+// are evaluated per message with site ("simnet", from-node, to-node):
+// error, hang and partial faults drop the message (counted in Stats) and
+// latency faults add their duration to the modelled delivery delay. A nil
+// injector (the default) costs one branch per send.
+func (n *Network) SetChaos(in *chaos.Injector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chaos = in
+}
+
 // Send charges one message of the given size from a to b and returns its
 // modelled one-way delivery delay. Local (a == b) sends are free and never
 // fail: the paper's localization argument is precisely that co-located
@@ -174,6 +188,20 @@ func (n *Network) Send(from, to string, bytes int) (time.Duration, error) {
 		n.perNode[from].Drops++
 		return 0, ErrDropped
 	}
+	var chaosDelay time.Duration
+	if f, ok := n.chaos.Eval("simnet", from, to); ok {
+		switch f.Kind {
+		case chaos.FaultLatency:
+			// Virtual time: the injected latency joins the modelled delay.
+			chaosDelay = f.Latency
+		default:
+			// error/hang/partial all manifest as a lost message in a
+			// virtual-time fabric.
+			n.stats.Drops++
+			n.perNode[from].Drops++
+			return 0, ErrDropped
+		}
+	}
 	cfg, ok := n.links[key(from, to)]
 	if !ok {
 		cfg = n.def
@@ -182,7 +210,7 @@ func (n *Network) Send(from, to string, bytes int) (time.Duration, error) {
 	n.stats.Bytes += int64(bytes)
 	n.perNode[from].Messages++
 	n.perNode[from].Bytes += int64(bytes)
-	return cfg.Transfer(bytes), nil
+	return cfg.Transfer(bytes) + chaosDelay, nil
 }
 
 // RTT charges a request/response exchange and returns the total modelled
