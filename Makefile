@@ -44,11 +44,13 @@ bench-xdr:
 hbench:
 	$(GO) run ./cmd/hbench $(ARGS)
 
-# Short fuzz pass over the v2 frame-header and array decoders, plus the
-# chaos spec parser and resilience policy validators.
+# Short fuzz pass over the v2 frame-header and array decoders, the SOAP
+# fast-vs-DOM differential, the chaos spec parser, and the resilience
+# policy validators.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadFrameID -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzDecoderArrays -fuzztime 30s ./internal/xdr/
+	$(GO) test -run xxx -fuzz FuzzFastDecodeDifferential -fuzztime 30s ./internal/soap/
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 30s ./internal/resilience/chaos/
 	$(GO) test -run xxx -fuzz FuzzPolicyOptions -fuzztime 30s ./internal/resilience/
 

@@ -700,3 +700,84 @@ func BenchmarkE13_ChaosEvalMiss(b *testing.B) {
 		}
 	}
 }
+
+// --- E14: SOAP fast path and discovery cache -------------------------------
+
+// benchE14Decode prices one packed-base64 envelope decode at n doubles.
+func benchE14Decode(b *testing.B, n int, disableFast bool) {
+	data := bench.RandDoubles(n, 14)
+	codec := soap.Codec{Arrays: soap.EncodeBase64, DisableFastPath: disableFast}
+	buf, err := codec.EncodeCall(&soap.Call{Method: "put",
+		Params: []soap.Param{{Name: "vals", Value: data}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.DecodeCall(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14_DecodeFast100k(b *testing.B) { benchE14Decode(b, 100_000, false) }
+func BenchmarkE14_DecodeDOM100k(b *testing.B)  { benchE14Decode(b, 100_000, true) }
+func BenchmarkE14_DecodeFast1M(b *testing.B)   { benchE14Decode(b, 1_000_000, false) }
+func BenchmarkE14_DecodeDOM1M(b *testing.B)    { benchE14Decode(b, 1_000_000, true) }
+
+// BenchmarkE14_EncodePooled prices the append-based encode path with
+// pooled buffers: the steady state should be allocation-free.
+func BenchmarkE14_EncodePooled(b *testing.B) {
+	data := bench.RandDoubles(10000, 14)
+	codec := soap.Codec{Arrays: soap.EncodeBase64}
+	call := &soap.Call{Method: "put", Params: []soap.Param{{Name: "vals", Value: data}}}
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := soap.AcquireBuffer()
+		out, err := codec.AppendCall(*buf, call)
+		if err != nil {
+			b.Fatal(err)
+		}
+		*buf = out[:0]
+		soap.ReleaseBuffer(buf)
+	}
+}
+
+// BenchmarkE14_CacheHit measures a warm discovery-cache probe; _CacheDisabled
+// the pass-through branch a ttl=0 cache adds over its source.
+func BenchmarkE14_CacheHit(b *testing.B) {
+	reg := registry.New()
+	key, err := reg.Publish(registry.Entry{Name: "svc", WSDL: "<definitions/>"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := registry.NewCache(reg, time.Hour)
+	c.Get(key)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkE14_CacheDisabled(b *testing.B) {
+	reg := registry.New()
+	key, err := reg.Publish(registry.Entry{Name: "svc", WSDL: "<definitions/>"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := registry.NewCache(reg, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

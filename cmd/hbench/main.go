@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E13) or 'all'")
+		exps  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E14) or 'all'")
 		full  = flag.Bool("full", false, "run the full (report-quality) parameter sweeps")
 		short = flag.Bool("short", false, "run CI smoke-sized sweeps (wins over -full)")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")

@@ -38,6 +38,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:0", "SOAP listen address")
 		deploy   = flag.String("deploy", "MatMul,WSTime,LinSolve", "comma-separated component classes to deploy")
 		regURL   = flag.String("registry", "", "SOAP registry endpoint (empty = private node)")
+		cacheTTL = flag.Duration("discovery-ttl", 30*time.Second, "client-side discovery cache TTL for registry lookups (0 disables caching)")
 		manage   = flag.Bool("manage", true, "deploy the remote-management component")
 		printDoc = flag.Bool("wsdl", false, "print each instance's WSDL document")
 		prime    = flag.Bool("prime", true, "run startup self-invocations so /metrics exposes every instrument family")
@@ -82,6 +83,13 @@ func main() {
 	var lookup registry.Lookup
 	if *regURL != "" {
 		lookup = registry.NewRemote(*regURL)
+		if *cacheTTL > 0 {
+			// Memoize discovery reads so steady-state lookups skip the
+			// SOAP round trip; TTLs are clamped to registration leases
+			// and writes through the cache invalidate it (DESIGN.md S29).
+			lookup = registry.NewCache(lookup, *cacheTTL)
+			fmt.Printf("hnode: discovery cache on (ttl %v)\n", *cacheTTL)
+		}
 	}
 
 	fmt.Printf("hnode: %s soap=%s xdr=%s\n", node.Name(), node.SOAPBase(), node.XDRAddr())

@@ -173,7 +173,18 @@ func (p Params) resilienceOverheadReps() int {
 	return 200_000
 }
 
-// Run executes one experiment by ID (E1–E13).
+// fastpathSizes sizes the E14 decode sweep (doubles per envelope).
+func (p Params) fastpathSizes() []int {
+	if p.Short {
+		return []int{1000, 10000}
+	}
+	if p.Full {
+		return []int{100, 1000, 10000, 100000, 1000000}
+	}
+	return []int{1000, 100000, 1000000}
+}
+
+// Run executes one experiment by ID (E1–E14).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -207,13 +218,15 @@ func Run(id string, p Params) (*Table, error) {
 		return E13FaultSweep(p.resilienceRates(), p.resilienceCalls())
 	case "E13b":
 		return E13bDisabledOverhead(p.resilienceOverheadReps())
+	case "E14":
+		return E14FastPath(p.fastpathSizes())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

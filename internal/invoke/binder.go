@@ -1,0 +1,183 @@
+package invoke
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// Binder memoizes the whole client-side discovery pipeline: registry
+// FindByName, WSDL parse, and port dial. Without it every logical call
+// through a name pays a registry round trip plus an XML parse before any
+// payload moves; with it a warm call is a map probe away from its open,
+// keep-alive port — the paper's "after discovery the lookup service is
+// out of the loop", applied to the whole bind chain.
+//
+// Bindings are reused for TTL, clamped to the service entry's
+// LeaseRemaining so a port bound to a volatile registration is rebound
+// no later than the lease under which it was discovered. Any invocation
+// error invalidates the binding (the port is closed and the next call
+// rediscovers), so a service that moved or died is re-resolved at the
+// price of one failed call. TTL <= 0 disables caching: each call
+// discovers, dials, and closes its own port.
+type Binder struct {
+	// Lookup resolves service names; typically a *registry.Cache over a
+	// Remote, but any Lookup works.
+	Lookup registry.Lookup
+	// Opts configures port selection and dialing.
+	Opts Options
+	// TTL bounds binding reuse; 0 disables caching.
+	TTL time.Duration
+	// Clock is injectable for tests; nil uses time.Now.
+	Clock func() time.Time
+
+	mu    sync.Mutex
+	ports map[string]*binding
+}
+
+type binding struct {
+	done    chan struct{}
+	port    Port
+	err     error
+	expires time.Time
+}
+
+func (b *Binder) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+// bind runs the full discovery pipeline for one service name, trying
+// each discovered entry until one dials.
+func (b *Binder) bind(service string) (Port, time.Duration, error) {
+	entries := b.Lookup.FindByName(service)
+	if len(entries) == 0 {
+		return nil, 0, fmt.Errorf("invoke: no service %q in registry", service)
+	}
+	var firstErr error
+	for _, e := range entries {
+		defs, err := wsdl.ParseString(e.WSDL)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("invoke: entry %s: %w", e.Key, err)
+			}
+			continue
+		}
+		p, err := Dial(defs, b.Opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return p, e.LeaseRemaining, nil
+	}
+	return nil, 0, firstErr
+}
+
+// Port returns an open port for the named service, rebinding on a miss,
+// after expiry, or after an invalidation. With TTL <= 0 the caller owns
+// the returned port and must Close it.
+func (b *Binder) Port(service string) (Port, error) {
+	if b.TTL <= 0 {
+		p, _, err := b.bind(service)
+		return p, err
+	}
+	for {
+		b.mu.Lock()
+		if b.ports == nil {
+			b.ports = make(map[string]*binding)
+		}
+		s := b.ports[service]
+		if s == nil {
+			s = &binding{done: make(chan struct{})}
+			b.ports[service] = s
+			b.mu.Unlock()
+			func() {
+				defer close(s.done)
+				var lease time.Duration
+				s.port, lease, s.err = b.bind(service)
+				if s.err == nil {
+					ttl := b.TTL
+					if lease > 0 && lease < ttl {
+						ttl = lease
+					}
+					s.expires = b.now().Add(ttl)
+				}
+				// Errors keep a zero expiry: never served to later callers.
+			}()
+			return s.port, s.err
+		}
+		b.mu.Unlock()
+		<-s.done
+		if b.now().Before(s.expires) {
+			return s.port, s.err
+		}
+		b.mu.Lock()
+		if b.ports[service] == s {
+			delete(b.ports, service)
+		}
+		b.mu.Unlock()
+		if s.port != nil {
+			_ = s.port.Close()
+		}
+	}
+}
+
+// Invalidate drops the cached binding for service, closing its port. The
+// next call rediscovers. In-flight calls on the old port may fail; their
+// own error handling re-invalidates harmlessly.
+func (b *Binder) Invalidate(service string) {
+	b.mu.Lock()
+	s := b.ports[service]
+	delete(b.ports, service)
+	b.mu.Unlock()
+	if s == nil {
+		return
+	}
+	<-s.done
+	if s.port != nil {
+		_ = s.port.Close()
+	}
+}
+
+// Close drops every cached binding.
+func (b *Binder) Close() error {
+	b.mu.Lock()
+	ports := b.ports
+	b.ports = nil
+	b.mu.Unlock()
+	for _, s := range ports {
+		<-s.done
+		if s.port != nil {
+			_ = s.port.Close()
+		}
+	}
+	return nil
+}
+
+// Invoke resolves service and invokes op on its bound port. Any error —
+// transport fault or service fault — invalidates the binding so the next
+// call rediscovers; a moved or restarted service costs one failed call.
+func (b *Binder) Invoke(ctx context.Context, service, op string, args []wire.Arg) ([]wire.Arg, error) {
+	p, err := b.Port(service)
+	if err != nil {
+		return nil, err
+	}
+	if b.TTL <= 0 {
+		defer func() { _ = p.Close() }()
+		return p.Invoke(ctx, op, args)
+	}
+	out, err := p.Invoke(ctx, op, args)
+	if err != nil {
+		b.Invalidate(service)
+	}
+	return out, err
+}

@@ -1,20 +1,21 @@
 package invoke
 
 import (
+	"bytes"
 	"context"
 	"encoding/base64"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"harness2/internal/container"
 	"harness2/internal/resilience"
 	"harness2/internal/resilience/chaos"
+	"harness2/internal/soap"
 	"harness2/internal/telemetry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
@@ -101,13 +102,17 @@ func (h *HTTPGetHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	doc, err := responseDoc(op, out)
+	buf := soap.AcquireBuffer()
+	defer soap.ReleaseBuffer(buf)
+	doc, err := appendResponseDoc(*buf, op, out)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	*buf = doc[:0]
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	_, _ = io.WriteString(w, doc)
+	w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+	_, _ = w.Write(doc)
 }
 
 func findOp(spec wsdl.ServiceSpec, op string) *wsdl.OpSpec {
@@ -229,27 +234,152 @@ func parseScalar(k wire.Kind, s string) (any, error) {
 	return nil, fmt.Errorf("unsupported scalar kind %v", k)
 }
 
-// responseDoc renders output args as the binding's XML response.
-func responseDoc(op string, out []wire.Arg) (string, error) {
-	root := xmlq.NewNode("response")
-	root.SetAttr("op", op)
+// appendResponseDoc renders output args as the binding's XML response,
+// appending into dst. The output is byte-identical to the historical
+// xmlq.Node renderer (two-space indentation, self-closed empty elements,
+// %q-quoted attributes) but allocation-free for scalar payloads: values
+// are formatted with strconv.Append* and opaque bytes BASE64-encoded in
+// place with AppendEncode instead of EncodeToString.
+func appendResponseDoc(dst []byte, op string, out []wire.Arg) ([]byte, error) {
+	dst = append(dst, "<response"...)
+	dst = appendDocAttr(dst, "op", op)
+	if len(out) == 0 {
+		return append(dst, "/>\n"...), nil
+	}
+	dst = append(dst, ">\n"...)
 	for _, a := range out {
 		k := wire.KindOf(a.Value)
 		if k == wire.KindInvalid || k == wire.KindStruct {
-			return "", fmt.Errorf("invoke: http binding cannot encode %q (%T)", a.Name, a.Value)
+			return nil, fmt.Errorf("invoke: http binding cannot encode %q (%T)", a.Name, a.Value)
 		}
-		n := root.AddNew("out")
-		n.SetAttr("name", a.Name)
-		n.SetAttr("type", k.String())
+		dst = append(dst, "  <out"...)
+		dst = appendDocAttr(dst, "name", a.Name)
+		dst = appendDocAttr(dst, "type", k.String())
 		if k.IsArray() {
-			for _, item := range textItems(a.Value) {
-				n.AddNew("item").SetText(item)
-			}
+			dst = appendDocItems(dst, a.Value)
+			continue
+		}
+		mark := len(dst)
+		dst = append(dst, '>')
+		dst = appendDocScalar(dst, a.Value)
+		if len(dst) == mark+1 {
+			// Empty text renders as a self-closed element, as the DOM did.
+			dst = append(dst[:mark], "/>\n"...)
 		} else {
-			n.SetText(scalarText(a.Value))
+			dst = append(dst, "</out>\n"...)
 		}
 	}
-	return root.String(), nil
+	return append(dst, "</response>\n"...), nil
+}
+
+// docAttrEsc mirrors xmlq's attribute escaping (&, <, and the quote).
+var docAttrEsc = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+func appendDocAttr(dst []byte, name, val string) []byte {
+	dst = append(dst, ' ')
+	dst = append(dst, name...)
+	dst = append(dst, '=')
+	if strings.ContainsAny(val, `&<"`) {
+		val = docAttrEsc.Replace(val)
+	}
+	return strconv.AppendQuote(dst, val)
+}
+
+func appendDocEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+func appendDocScalar(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case bool:
+		return strconv.AppendBool(dst, x)
+	case int32:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case float32:
+		return strconv.AppendFloat(dst, float64(x), 'g', -1, 32)
+	case float64:
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	case string:
+		return appendDocEscaped(dst, x)
+	case []byte:
+		return base64.StdEncoding.AppendEncode(dst, x)
+	}
+	return fmt.Appendf(dst, "%v", v)
+}
+
+func appendDocItems(dst []byte, v any) []byte {
+	n := 0
+	switch a := v.(type) {
+	case []bool:
+		n = len(a)
+	case []int32:
+		n = len(a)
+	case []int64:
+		n = len(a)
+	case []float32:
+		n = len(a)
+	case []float64:
+		n = len(a)
+	case []string:
+		n = len(a)
+	}
+	if n == 0 {
+		return append(dst, "/>\n"...)
+	}
+	dst = append(dst, ">\n"...)
+	appendItem := func(dst []byte, f func([]byte) []byte) []byte {
+		mark := len(dst)
+		dst = append(dst, "    <item>"...)
+		body := len(dst)
+		dst = f(dst)
+		if len(dst) == body {
+			dst = append(dst[:mark], "    <item/>\n"...)
+		} else {
+			dst = append(dst, "</item>\n"...)
+		}
+		return dst
+	}
+	switch a := v.(type) {
+	case []bool:
+		for _, x := range a {
+			dst = appendItem(dst, func(d []byte) []byte { return strconv.AppendBool(d, x) })
+		}
+	case []int32:
+		for _, x := range a {
+			dst = appendItem(dst, func(d []byte) []byte { return strconv.AppendInt(d, int64(x), 10) })
+		}
+	case []int64:
+		for _, x := range a {
+			dst = appendItem(dst, func(d []byte) []byte { return strconv.AppendInt(d, x, 10) })
+		}
+	case []float32:
+		for _, x := range a {
+			dst = appendItem(dst, func(d []byte) []byte { return strconv.AppendFloat(d, float64(x), 'g', -1, 32) })
+		}
+	case []float64:
+		for _, x := range a {
+			dst = appendItem(dst, func(d []byte) []byte { return strconv.AppendFloat(d, x, 'g', -1, 64) })
+		}
+	case []string:
+		for _, x := range a {
+			dst = appendItem(dst, func(d []byte) []byte { return appendDocEscaped(d, x) })
+		}
+	}
+	return append(dst, "  </out>\n"...)
 }
 
 func scalarText(v any) string {
@@ -330,7 +460,9 @@ type HTTPPort struct {
 
 var _ Port = (*HTTPPort)(nil)
 
-var defaultHTTPGet = &http.Client{Timeout: 30 * time.Second}
+// defaultHTTPGet shares soap.Transport's keep-alive pool so GET-binding
+// and SOAP traffic to the same kernel reuse one set of connections.
+var defaultHTTPGet = soap.SharedHTTP
 
 func (p *HTTPPort) metrics() *bindingMetrics {
 	p.minit.Do(func() { p.m = newBindingMetrics(telemetry.Or(p.Telemetry), "http") })
@@ -384,7 +516,10 @@ func (p *HTTPPort) invoke(ctx context.Context, op string, args []wire.Arg) ([]wi
 		return nil, fmt.Errorf("invoke: http get %s: %w", u, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	bodyBuf := soap.AcquireBuffer()
+	defer soap.ReleaseBuffer(bodyBuf)
+	body, err := soap.AppendReadAll(*bodyBuf, resp.Body, resp.ContentLength)
+	*bodyBuf = body[:0]
 	if err != nil {
 		return nil, fmt.Errorf("invoke: read response: %w", err)
 	}
@@ -392,11 +527,29 @@ func (p *HTTPPort) invoke(ctx context.Context, op string, args []wire.Arg) ([]wi
 		return nil, fmt.Errorf("invoke: http binding %s: %s: %s",
 			op, resp.Status, strings.TrimSpace(string(body)))
 	}
+	// Parsed args never alias body, so the deferred release is safe.
 	return parseResponseDoc(body)
 }
 
+// errDocComplex reports a response outside the streaming parser's subset;
+// the caller retries on the DOM path, which is authoritative for both
+// unusual-but-valid documents and error reporting.
+var errDocComplex = errors.New("invoke: response outside fast-parse subset")
+
+// parseResponseDoc decodes the binding's XML response, preferring the
+// allocation-light streaming parser and falling back to the DOM for
+// anything surprising (comments, foreign children, rich entities, or any
+// malformed document, so errors keep their historical text).
 func parseResponseDoc(body []byte) ([]wire.Arg, error) {
-	root, err := xmlq.ParseString(string(body))
+	out, err := fastParseResponseDoc(body)
+	if !errors.Is(err, errDocComplex) {
+		return out, err
+	}
+	return domParseResponseDoc(body)
+}
+
+func domParseResponseDoc(body []byte) ([]wire.Arg, error) {
+	root, err := xmlq.Parse(bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("invoke: http binding response: %w", err)
 	}
@@ -437,3 +590,285 @@ func (p *HTTPPort) Endpoint() string { return p.URL }
 
 // Close implements Port.
 func (p *HTTPPort) Close() error { return nil }
+
+// docParser is the pooled state behind fastParseResponseDoc: a streaming
+// scanner plus a text-accumulation scratch buffer.
+type docParser struct {
+	sc   xmlq.Scanner
+	text []byte
+}
+
+var docParsers = sync.Pool{New: func() any { return new(docParser) }}
+
+// fastParseResponseDoc is the streaming counterpart of
+// domParseResponseDoc. It handles exactly the documents the server's
+// appendResponseDoc emits (plus whitespace/PI noise) and reports
+// errDocComplex for everything else, including malformed input — the DOM
+// retry then reproduces the historical behaviour and error text, so the
+// two paths can never disagree on a decoded result.
+func fastParseResponseDoc(body []byte) ([]wire.Arg, error) {
+	d := docParsers.Get().(*docParser)
+	out, err := d.parse(body)
+	d.sc.Reset(nil)
+	if cap(d.text) > 1<<16 {
+		d.text = nil
+	}
+	clear(d.text[:cap(d.text)])
+	d.text = d.text[:0]
+	docParsers.Put(d)
+	return out, err
+}
+
+func (d *docParser) parse(body []byte) ([]wire.Arg, error) {
+	d.sc.Reset(body)
+	root, err := d.nextContent(false)
+	if err != nil {
+		return nil, err
+	}
+	if root.Kind != xmlq.TokStart || string(root.Name) != "response" {
+		return nil, errDocComplex
+	}
+	var out []wire.Arg
+	if !root.SelfClose {
+		for {
+			t, err := d.sc.Next()
+			if err != nil {
+				return nil, errDocComplex
+			}
+			if t.Kind == xmlq.TokText {
+				// The DOM ignores free text at this level, but would
+				// validate any entities in it; fall back when they appear.
+				if xmlq.HasAmp(t.Text) {
+					return nil, errDocComplex
+				}
+				continue
+			}
+			if t.Kind == xmlq.TokEnd {
+				if string(t.Name) != "response" {
+					return nil, errDocComplex
+				}
+				break
+			}
+			if t.Kind != xmlq.TokStart || string(t.Name) != "out" {
+				return nil, errDocComplex
+			}
+			arg, err := d.outElem(t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, arg)
+		}
+	}
+	// Only whitespace (and skipped PIs) may trail the document.
+	if _, err := d.nextContent(true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// nextContent skips whitespace-only text. With wantEOF it insists the
+// stream is exhausted; otherwise it returns the first structural token.
+func (d *docParser) nextContent(wantEOF bool) (xmlq.RawToken, error) {
+	for {
+		t, err := d.sc.Next()
+		if err != nil {
+			return t, errDocComplex
+		}
+		switch t.Kind {
+		case xmlq.TokText:
+			if xmlq.HasAmp(t.Text) || len(xmlq.TrimSpaceBytes(t.Text)) != 0 {
+				return t, errDocComplex
+			}
+		case xmlq.TokEOF:
+			if wantEOF {
+				return t, nil
+			}
+			return t, errDocComplex
+		default:
+			if wantEOF {
+				return t, errDocComplex
+			}
+			return t, nil
+		}
+	}
+}
+
+// outElem decodes one <out> element from its start tag through its end tag.
+func (d *docParser) outElem(open xmlq.RawToken) (wire.Arg, error) {
+	var nameAttr, typAttr []byte
+	haveName, haveType := false, false
+	for _, a := range open.Attrs {
+		switch string(xmlq.LocalName(a.Name)) {
+		case "name":
+			if !haveName {
+				nameAttr, haveName = a.Value, true
+			}
+		case "type":
+			if !haveType {
+				typAttr, haveType = a.Value, true
+			}
+		}
+	}
+	// Entity-bearing attribute values are legal but rare; let the DOM
+	// handle their unescaping.
+	if xmlq.HasAmp(nameAttr) || xmlq.HasAmp(typAttr) {
+		return wire.Arg{}, errDocComplex
+	}
+	k := wire.KindByName(string(typAttr))
+	if k == wire.KindInvalid {
+		return wire.Arg{}, errDocComplex // DOM reports the unknown type
+	}
+	var v any
+	var err error
+	switch {
+	case open.SelfClose && k.IsArray():
+		v, err = coerceArray(k, nil)
+	case open.SelfClose:
+		v, err = parseScalar(k, "")
+	case k.IsArray():
+		v, err = d.itemValues(k)
+	default:
+		var txt []byte
+		txt, err = d.leafText("out")
+		if err == nil {
+			v, err = parseScalar(k, string(txt))
+		}
+	}
+	if err != nil {
+		// Either a surprise in the markup or a value parse error; the DOM
+		// pass reproduces the historical wrapped error for the latter.
+		return wire.Arg{}, errDocComplex
+	}
+	return wire.Arg{Name: string(nameAttr), Value: v}, nil
+}
+
+// leafText accumulates the per-run-trimmed text of a leaf element and
+// consumes its end tag, mirroring the DOM's text semantics (each raw run
+// is unescaped then trimmed, runs concatenate). Child elements, non-ASCII
+// expansions, and bad entities defer to the DOM.
+func (d *docParser) leafText(want string) ([]byte, error) {
+	d.text = d.text[:0]
+	for {
+		t, err := d.sc.Next()
+		if err != nil {
+			return nil, errDocComplex
+		}
+		switch t.Kind {
+		case xmlq.TokText:
+			start := len(d.text)
+			if xmlq.HasAmp(t.Text) {
+				d.text, err = xmlq.AppendUnescaped(d.text, t.Text)
+				if err != nil {
+					return nil, errDocComplex
+				}
+				for _, c := range d.text[start:] {
+					if c >= 0x80 {
+						// Unicode-aware trimming could diverge; punt.
+						return nil, errDocComplex
+					}
+				}
+			} else {
+				d.text = append(d.text, t.Text...)
+			}
+			trimmed := xmlq.TrimSpaceBytes(d.text[start:])
+			n := copy(d.text[start:], trimmed)
+			d.text = d.text[:start+n]
+		case xmlq.TokEnd:
+			if string(t.Name) != want {
+				return nil, errDocComplex
+			}
+			return d.text, nil
+		default:
+			return nil, errDocComplex
+		}
+	}
+}
+
+// itemValues decodes the <item> children of an array-typed <out> into the
+// same typed slice coerceArray would build.
+func (d *docParser) itemValues(k wire.Kind) (any, error) {
+	elem := k.Elem()
+	var (
+		bools   []bool
+		ints    []int32
+		longs   []int64
+		floats  []float32
+		doubles []float64
+		strs    []string
+	)
+	switch k {
+	case wire.KindBoolArray:
+		bools = make([]bool, 0)
+	case wire.KindInt32Array:
+		ints = make([]int32, 0)
+	case wire.KindInt64Array:
+		longs = make([]int64, 0)
+	case wire.KindFloat32Array:
+		floats = make([]float32, 0)
+	case wire.KindFloat64Array:
+		doubles = make([]float64, 0)
+	case wire.KindStringArray:
+		// coerceArray leaves an item-less string array nil; match it.
+	default:
+		return nil, errDocComplex
+	}
+	for {
+		t, err := d.sc.Next()
+		if err != nil {
+			return nil, errDocComplex
+		}
+		switch t.Kind {
+		case xmlq.TokText:
+			if xmlq.HasAmp(t.Text) {
+				return nil, errDocComplex
+			}
+		case xmlq.TokStart:
+			if string(t.Name) != "item" {
+				return nil, errDocComplex
+			}
+			var txt []byte
+			if !t.SelfClose {
+				if txt, err = d.leafText("item"); err != nil {
+					return nil, err
+				}
+			}
+			v, err := parseScalar(elem, string(txt))
+			if err != nil {
+				return nil, errDocComplex // DOM reports the parse error
+			}
+			switch x := v.(type) {
+			case bool:
+				bools = append(bools, x)
+			case int32:
+				ints = append(ints, x)
+			case int64:
+				longs = append(longs, x)
+			case float32:
+				floats = append(floats, x)
+			case float64:
+				doubles = append(doubles, x)
+			case string:
+				strs = append(strs, x)
+			}
+		case xmlq.TokEnd:
+			if string(t.Name) != "out" {
+				return nil, errDocComplex
+			}
+			switch k {
+			case wire.KindBoolArray:
+				return bools, nil
+			case wire.KindInt32Array:
+				return ints, nil
+			case wire.KindInt64Array:
+				return longs, nil
+			case wire.KindFloat32Array:
+				return floats, nil
+			case wire.KindFloat64Array:
+				return doubles, nil
+			}
+			return strs, nil
+		default:
+			return nil, errDocComplex
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package invoke
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"harness2/internal/wire"
+)
+
+// allArgs covers every kind the GET binding can carry.
+var allArgs = []wire.Arg{
+	{Name: "b", Value: true},
+	{Name: "i", Value: int32(-42)},
+	{Name: "l", Value: int64(1 << 40)},
+	{Name: "f", Value: float32(2.5)},
+	{Name: "d", Value: 3.14159},
+	{Name: "s", Value: "hello <world> & more"},
+	{Name: "raw", Value: []byte{0, 1, 2, 255}},
+	{Name: "bools", Value: []bool{true, false}},
+	{Name: "ints", Value: []int32{1, -2, 3}},
+	{Name: "longs", Value: []int64{4, 5}},
+	{Name: "floats", Value: []float32{0.5, -1.5}},
+	{Name: "doubles", Value: []float64{1e300, -2e-300, 0}},
+	{Name: "strs", Value: []string{"a", "b & c", ""}},
+	{Name: "empty", Value: ""},
+	{Name: "emptyArr", Value: []float64{}},
+}
+
+func argsEqual(a, b []wire.Arg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !wire.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAppendResponseDocMatchesDOMParser checks the append-based encoder
+// round-trips through both parsers identically.
+func TestAppendResponseDocMatchesDOMParser(t *testing.T) {
+	doc, err := appendResponseDoc(nil, "op", allArgs)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	fast, ferr := fastParseResponseDoc(doc)
+	if errors.Is(ferr, errDocComplex) {
+		t.Fatalf("own output fell back to DOM:\n%s", doc)
+	}
+	if ferr != nil {
+		t.Fatalf("fast parse: %v", ferr)
+	}
+	dom, derr := domParseResponseDoc(doc)
+	if derr != nil {
+		t.Fatalf("dom parse: %v", derr)
+	}
+	if !argsEqual(fast, dom) {
+		t.Fatalf("fast=%v dom=%v", fast, dom)
+	}
+}
+
+// TestFastParseResponseDocDifferential feeds tricky documents to both
+// parsers: wherever the fast path does not defer, results must agree.
+func TestFastParseResponseDocDifferential(t *testing.T) {
+	docs := []string{
+		`<response op="x"/>`,
+		"<response op=\"x\">\n  <out name=\"v\" type=\"double\">1.5</out>\n</response>\n",
+		`<response><out name="v" type="int">7</out></response>`,
+		`<response><out type="int">7</out></response>`,                  // missing name
+		`<response><out name="v" type="nosuch">7</out></response>`,      // unknown type
+		`<response><out name="v" type="int">x</out></response>`,         // parse error
+		`<response><out name="v" type="int"><!-- c -->7</out></response>`,
+		`<response><out name="s" type="string">a &amp; b</out></response>`,
+		`<response><out name="s" type="string"> padded  </out></response>`,
+		`<response><out name="s" type="string"/></response>`,
+		`<response><out name="a" type="ArrayOfString"/></response>`,
+		`<response><out name="a" type="ArrayOfInt"><item>1</item><item> 2 </item></out></response>`,
+		`<response><out name="a" type="ArrayOfInt"><item/><item>2</item></out></response>`, // empty item errors
+		`<response><out name="a" type="ArrayOfDouble"><item>1</item>stray<item>2</item></out></response>`,
+		`<response><out name="raw" type="bytes">AAEC</out></response>`,
+		`<response>loose text<out name="v" type="bool">true</out></response>`,
+		`<wrong op="x"/>`,
+		`<response:ns op="x"/>`,
+		`<response><unknown/></response>`,
+		`<response><out name="v" type="string">caf&#233;</out></response>`, // non-ASCII expansion
+		`<response><out name="v" type="string">a<?pi?>b</out></response>`,  // two runs concat
+		`not xml at all`,
+		`<response><out name="v" type="string">bad &entity;</out></response>`,
+		`<?xml version="1.0"?>` + "\n" + `<response op="x"><out name="v" type="long">9</out></response>` + "\n",
+	}
+	for _, doc := range docs {
+		fast, ferr := fastParseResponseDoc([]byte(doc))
+		if errors.Is(ferr, errDocComplex) {
+			continue // deferred to the DOM; nothing to compare
+		}
+		dom, derr := domParseResponseDoc([]byte(doc))
+		if (ferr != nil) != (derr != nil) {
+			t.Errorf("%s:\nfast err=%v dom err=%v", doc, ferr, derr)
+			continue
+		}
+		if ferr == nil && !argsEqual(fast, dom) {
+			t.Errorf("%s:\nfast=%#v\ndom=%#v", doc, fast, dom)
+		}
+	}
+}
+
+// TestFastParseStringArrayNilMatchesDOM pins the corner where coerceArray
+// returns a nil string slice for an item-less array.
+func TestFastParseStringArrayNilMatchesDOM(t *testing.T) {
+	doc := []byte(`<response><out name="a" type="ArrayOfString"/></response>`)
+	fast, err := fastParseResponseDoc(doc)
+	if err != nil {
+		t.Fatalf("fast: %v", err)
+	}
+	dom, err := domParseResponseDoc(doc)
+	if err != nil {
+		t.Fatalf("dom: %v", err)
+	}
+	if !reflect.DeepEqual(fast, dom) {
+		t.Fatalf("fast=%#v dom=%#v", fast, dom)
+	}
+}
+
+// TestResponseDocScalarEncodeAllocFree is the regression gate for the
+// base64/strconv append conversion: encoding a scalar-only response into
+// a pre-sized buffer must not allocate.
+func TestResponseDocScalarEncodeAllocFree(t *testing.T) {
+	args := []wire.Arg{
+		{Name: "d", Value: 3.14},
+		{Name: "n", Value: int64(123456)},
+		{Name: "ok", Value: true},
+		{Name: "raw", Value: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Name: "s", Value: "plain text"},
+	}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := appendResponseDoc(buf, "op", args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("appendResponseDoc scalar path allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkResponseDocEncodeScalars(b *testing.B) {
+	args := []wire.Arg{
+		{Name: "d", Value: 3.14},
+		{Name: "n", Value: int64(123456)},
+		{Name: "raw", Value: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := appendResponseDoc(buf, "op", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseResponseDoc(b *testing.B) {
+	doc, err := appendResponseDoc(nil, "op", []wire.Arg{
+		{Name: "d", Value: 3.14},
+		{Name: "vals", Value: []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fastParseResponseDoc(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dom", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := domParseResponseDoc(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -3,8 +3,8 @@ package invoke
 import (
 	"context"
 	"fmt"
-	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -79,7 +79,10 @@ func (h *SOAPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.fault(w, &soap.Fault{Code: "Client", String: "no instance in request path"})
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	bodyBuf := soap.AcquireBuffer()
+	defer soap.ReleaseBuffer(bodyBuf)
+	body, err := soap.AppendReadAll(*bodyBuf, r.Body, r.ContentLength)
+	*bodyBuf = body[:0]
 	if err != nil {
 		h.fault(w, &soap.Fault{Code: "Client", String: "unreadable request body"})
 		return
@@ -122,12 +125,16 @@ func (h *SOAPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	for j, a := range out {
 		params[j] = soap.Param{Name: a.Name, Value: a.Value}
 	}
-	resp, err := h.Codec.EncodeResponse(call.Method, params)
+	respBuf := soap.AcquireBuffer()
+	defer soap.ReleaseBuffer(respBuf)
+	resp, err := h.Codec.AppendResponse(*respBuf, call.Method, params)
 	if err != nil {
 		h.fault(w, &soap.Fault{Code: "Server", String: err.Error()})
 		return
 	}
+	*respBuf = resp[:0]
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
 	_, _ = w.Write(resp)
 }
 
@@ -144,9 +151,14 @@ func (h *SOAPHandler) understands(name string) bool {
 }
 
 func (h *SOAPHandler) fault(w http.ResponseWriter, f *soap.Fault) {
+	buf := soap.AcquireBuffer()
+	defer soap.ReleaseBuffer(buf)
+	data := h.Codec.AppendFault(*buf, f)
+	*buf = data[:0]
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(http.StatusInternalServerError)
-	_, _ = w.Write(h.Codec.EncodeFault(f))
+	_, _ = w.Write(data)
 }
 
 // CallOperation is a convenience wrapper invoking one named operation on a

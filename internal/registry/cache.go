@@ -1,0 +1,230 @@
+package registry
+
+import (
+	"sync"
+	"time"
+
+	"harness2/internal/telemetry"
+)
+
+// Cache wraps a Lookup with client-side discovery memoization. The paper
+// is explicit that after discovery "the lookup service is out of the
+// loop"; in practice clients re-resolve names far more often than
+// registrations change, and against a Remote registry every resolution
+// is a SOAP round trip. The cache keeps read results (Get, FindByName,
+// FindByQuery) for a TTL so steady-state discovery is a map probe.
+//
+// Three properties keep cached descriptions honest:
+//
+//   - the TTL is clamped to the shortest LeaseRemaining among the cached
+//     entries, so a volatile registration is never served beyond the
+//     lease under which the registry promised it;
+//   - writes through the cache (Publish, Remove) invalidate everything,
+//     since a registration change can alter any query's result;
+//   - concurrent misses for the same key are collapsed into one upstream
+//     call (singleflight), so a cold popular name costs one round trip.
+//
+// A zero or negative TTL disables caching entirely: every call passes
+// straight through at the cost of a single branch. Cached result slices
+// are shared between callers and must be treated as read-only.
+type Cache struct {
+	src Lookup
+	ttl time.Duration
+	now func() time.Time
+	tel *telemetry.Registry
+
+	hits, misses *telemetry.Counter
+
+	mu      sync.Mutex
+	gets    map[string]*cacheSlot
+	names   map[string]*cacheSlot
+	queries map[string]*cacheSlot
+}
+
+// cacheSlot holds one memoized lookup result. done closes when the slot
+// is filled; a slot past its expiry is evicted and refetched.
+type cacheSlot struct {
+	done    chan struct{}
+	expires time.Time
+
+	entry   Entry // Get
+	ok      bool
+	entries []Entry // FindByName / FindByQuery
+	err     error
+}
+
+var _ Lookup = (*Cache)(nil)
+
+// NewCache returns a cache over src holding read results for ttl
+// (clamped per-result to lease lifetimes). ttl <= 0 disables caching.
+func NewCache(src Lookup, ttl time.Duration) *Cache {
+	return NewCacheWithClock(src, ttl, time.Now)
+}
+
+// NewCacheWithClock is NewCache with an injectable clock for
+// deterministic expiry tests.
+func NewCacheWithClock(src Lookup, ttl time.Duration, now func() time.Time) *Cache {
+	c := &Cache{
+		src:     src,
+		ttl:     ttl,
+		now:     now,
+		gets:    make(map[string]*cacheSlot),
+		names:   make(map[string]*cacheSlot),
+		queries: make(map[string]*cacheSlot),
+	}
+	c.initMetrics()
+	return c
+}
+
+// SetTelemetry selects the cache's metrics registry; nil falls back to
+// the process default, telemetry.Disabled() switches instrumentation off.
+func (c *Cache) SetTelemetry(t *telemetry.Registry) {
+	c.tel = t
+	c.initMetrics()
+}
+
+func (c *Cache) initMetrics() {
+	tel := telemetry.Or(c.tel)
+	tel.Help("harness_discovery_cache_total", "discovery cache lookups by result")
+	c.hits = tel.Counter("harness_discovery_cache_total", "result", "hit")
+	c.misses = tel.Counter("harness_discovery_cache_total", "result", "miss")
+}
+
+// cached returns the live slot for key, filling it via fill on a miss.
+// fill runs outside the cache lock (it is a network call for Remote
+// sources); concurrent misses wait on the filling goroutine's slot.
+func (c *Cache) cached(m map[string]*cacheSlot, key string, fill func(*cacheSlot)) *cacheSlot {
+	for {
+		c.mu.Lock()
+		s := m[key]
+		if s == nil {
+			s = &cacheSlot{done: make(chan struct{})}
+			m[key] = s
+			c.mu.Unlock()
+			c.misses.Inc()
+			func() {
+				defer close(s.done)
+				fill(s)
+			}()
+			return s
+		}
+		c.mu.Unlock()
+		<-s.done
+		if c.now().Before(s.expires) {
+			c.hits.Inc()
+			return s
+		}
+		// Expired (or an uncached error): evict if still current, retry.
+		c.mu.Lock()
+		if m[key] == s {
+			delete(m, key)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// expiry computes a result's deadline: now+TTL, clamped to the shortest
+// live lease so cached state dies no later than its registration.
+func (c *Cache) expiry(minLease time.Duration) time.Time {
+	ttl := c.ttl
+	if minLease > 0 && minLease < ttl {
+		ttl = minLease
+	}
+	return c.now().Add(ttl)
+}
+
+func minLease(entries []Entry) time.Duration {
+	var min time.Duration
+	for _, e := range entries {
+		if e.LeaseRemaining > 0 && (min == 0 || e.LeaseRemaining < min) {
+			min = e.LeaseRemaining
+		}
+	}
+	return min
+}
+
+// Get returns the cached entry for key, consulting the source on a miss
+// or after expiry. Missing keys are cached too (negative caching), so a
+// busy poller cannot hammer the registry for a name that is not there.
+func (c *Cache) Get(key string) (Entry, bool) {
+	if c.ttl <= 0 {
+		return c.src.Get(key)
+	}
+	s := c.cached(c.gets, key, func(s *cacheSlot) {
+		s.entry, s.ok = c.src.Get(key)
+		s.expires = c.expiry(s.entry.LeaseRemaining)
+	})
+	return s.entry, s.ok
+}
+
+// FindByName returns the cached name-index result.
+func (c *Cache) FindByName(name string) []Entry {
+	if c.ttl <= 0 {
+		return c.src.FindByName(name)
+	}
+	s := c.cached(c.names, name, func(s *cacheSlot) {
+		s.entries = c.src.FindByName(name)
+		s.expires = c.expiry(minLease(s.entries))
+	})
+	return s.entries
+}
+
+// FindByQuery returns the cached structural-query result. Errors are
+// returned but not cached: the next caller retries the source.
+func (c *Cache) FindByQuery(query string) ([]Entry, error) {
+	if c.ttl <= 0 {
+		return c.src.FindByQuery(query)
+	}
+	s := c.cached(c.queries, query, func(s *cacheSlot) {
+		s.entries, s.err = c.src.FindByQuery(query)
+		if s.err == nil {
+			s.expires = c.expiry(minLease(s.entries))
+		}
+		// On error s.expires stays zero: already expired, never served
+		// to a later caller.
+	})
+	return s.entries, s.err
+}
+
+// Publish writes through to the source and invalidates the cache: a new
+// or revised registration can change any cached result.
+func (c *Cache) Publish(e Entry) (string, error) {
+	key, err := c.src.Publish(e)
+	if err == nil {
+		c.InvalidateAll()
+	}
+	return key, err
+}
+
+// Remove writes through to the source and invalidates the cache.
+func (c *Cache) Remove(key string) error {
+	err := c.src.Remove(key)
+	if err == nil {
+		c.InvalidateAll()
+	}
+	return err
+}
+
+// InvalidateKey drops the cached Get result for one key.
+func (c *Cache) InvalidateKey(key string) {
+	c.mu.Lock()
+	delete(c.gets, key)
+	c.mu.Unlock()
+}
+
+// InvalidateName drops the cached FindByName result for one name.
+func (c *Cache) InvalidateName(name string) {
+	c.mu.Lock()
+	delete(c.names, name)
+	c.mu.Unlock()
+}
+
+// InvalidateAll empties the cache; in-flight fills complete but only
+// their direct waiters observe the results.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	clear(c.gets)
+	clear(c.names)
+	clear(c.queries)
+	c.mu.Unlock()
+}

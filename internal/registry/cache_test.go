@@ -1,0 +1,234 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingLookup is a Lookup stub that counts upstream calls and lets
+// tests control results.
+type countingLookup struct {
+	mu      sync.Mutex
+	gets    int32
+	finds   int32
+	queries int32
+	entries map[string]Entry
+	byName  map[string][]Entry
+	queryFn func(string) ([]Entry, error)
+	// block, when non-nil, is received from inside FindByName so tests
+	// can hold concurrent callers inside one upstream call.
+	block chan struct{}
+}
+
+func (c *countingLookup) Publish(e Entry) (string, error) { return e.Key, nil }
+func (c *countingLookup) Remove(key string) error         { return nil }
+
+func (c *countingLookup) Get(key string) (Entry, bool) {
+	atomic.AddInt32(&c.gets, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *countingLookup) FindByName(name string) []Entry {
+	atomic.AddInt32(&c.finds, 1)
+	if c.block != nil {
+		<-c.block
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byName[name]
+}
+
+func (c *countingLookup) FindByQuery(q string) ([]Entry, error) {
+	atomic.AddInt32(&c.queries, 1)
+	if c.queryFn != nil {
+		return c.queryFn(q)
+	}
+	return nil, nil
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	src := &countingLookup{entries: map[string]Entry{"k": {Key: "k", Name: "svc"}}}
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	c := NewCacheWithClock(src, time.Minute, clock)
+
+	for i := 0; i < 5; i++ {
+		if e, ok := c.Get("k"); !ok || e.Key != "k" {
+			t.Fatalf("get %d: %v %v", i, e, ok)
+		}
+	}
+	if n := atomic.LoadInt32(&src.gets); n != 1 {
+		t.Fatalf("expected 1 upstream get within TTL, got %d", n)
+	}
+	now = now.Add(time.Minute + time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("get after expiry")
+	}
+	if n := atomic.LoadInt32(&src.gets); n != 2 {
+		t.Fatalf("expected refetch after TTL, got %d upstream gets", n)
+	}
+}
+
+func TestCacheLeaseClampsTTL(t *testing.T) {
+	src := &countingLookup{byName: map[string][]Entry{
+		"svc": {{Key: "k", Name: "svc", LeaseRemaining: 10 * time.Second}},
+	}}
+	now := time.Unix(0, 0)
+	c := NewCacheWithClock(src, time.Hour, func() time.Time { return now })
+
+	c.FindByName("svc")
+	now = now.Add(9 * time.Second)
+	c.FindByName("svc")
+	if n := atomic.LoadInt32(&src.finds); n != 1 {
+		t.Fatalf("within lease: want 1 upstream find, got %d", n)
+	}
+	// Past the lease but far inside the nominal TTL: must refetch.
+	now = now.Add(2 * time.Second)
+	c.FindByName("svc")
+	if n := atomic.LoadInt32(&src.finds); n != 2 {
+		t.Fatalf("lease expiry must invalidate despite TTL; got %d upstream finds", n)
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	src := &countingLookup{
+		entries: map[string]Entry{"k": {Key: "k", Name: "svc"}},
+		byName:  map[string][]Entry{"svc": {{Key: "k", Name: "svc"}}},
+	}
+	c := NewCacheWithClock(src, time.Hour, func() time.Time { return time.Unix(0, 0) })
+
+	c.Get("k")
+	c.FindByName("svc")
+	c.InvalidateKey("k")
+	c.Get("k")
+	if n := atomic.LoadInt32(&src.gets); n != 2 {
+		t.Fatalf("InvalidateKey: want 2 upstream gets, got %d", n)
+	}
+	c.InvalidateName("svc")
+	c.FindByName("svc")
+	if n := atomic.LoadInt32(&src.finds); n != 2 {
+		t.Fatalf("InvalidateName: want 2 upstream finds, got %d", n)
+	}
+	// Writes through the cache clear everything.
+	if _, err := c.Publish(Entry{Key: "k2", Name: "svc"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Get("k")
+	c.FindByName("svc")
+	if atomic.LoadInt32(&src.gets) != 3 || atomic.LoadInt32(&src.finds) != 3 {
+		t.Fatalf("publish must invalidate: gets=%d finds=%d",
+			atomic.LoadInt32(&src.gets), atomic.LoadInt32(&src.finds))
+	}
+}
+
+func TestCacheQueryErrorsNotCached(t *testing.T) {
+	fail := true
+	src := &countingLookup{queryFn: func(q string) ([]Entry, error) {
+		if fail {
+			return nil, fmt.Errorf("registry down")
+		}
+		return []Entry{{Key: "k"}}, nil
+	}}
+	c := NewCacheWithClock(src, time.Hour, func() time.Time { return time.Unix(0, 0) })
+
+	if _, err := c.FindByQuery("//q"); err == nil {
+		t.Fatal("expected error")
+	}
+	fail = false
+	got, err := c.FindByQuery("//q")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("error must not be cached: %v %v", got, err)
+	}
+	if n := atomic.LoadInt32(&src.queries); n != 2 {
+		t.Fatalf("want 2 upstream queries, got %d", n)
+	}
+	// The successful result is cached.
+	c.FindByQuery("//q")
+	if n := atomic.LoadInt32(&src.queries); n != 2 {
+		t.Fatalf("success must be cached, got %d upstream queries", n)
+	}
+}
+
+// TestCacheSingleflight holds the upstream inside one FindByName while a
+// crowd of goroutines misses on the same name: exactly one upstream call
+// may happen.
+func TestCacheSingleflight(t *testing.T) {
+	src := &countingLookup{
+		byName: map[string][]Entry{"svc": {{Key: "k", Name: "svc"}}},
+		block:  make(chan struct{}),
+	}
+	c := NewCacheWithClock(src, time.Hour, time.Now)
+
+	const callers = 32
+	var wg sync.WaitGroup
+	results := make([][]Entry, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.FindByName("svc")
+		}(i)
+	}
+	// Let the losers queue up behind the filling goroutine, then release.
+	for atomic.LoadInt32(&src.finds) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(src.block)
+	wg.Wait()
+	if n := atomic.LoadInt32(&src.finds); n != 1 {
+		t.Fatalf("singleflight violated: %d upstream finds", n)
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0].Key != "k" {
+			t.Fatalf("caller %d got %v", i, r)
+		}
+	}
+}
+
+func TestCacheDisabledPassesThrough(t *testing.T) {
+	src := &countingLookup{entries: map[string]Entry{"k": {Key: "k"}}}
+	c := NewCache(src, 0)
+	for i := 0; i < 3; i++ {
+		c.Get("k")
+	}
+	if n := atomic.LoadInt32(&src.gets); n != 3 {
+		t.Fatalf("ttl=0 must not cache: got %d upstream gets", n)
+	}
+}
+
+// BenchmarkDiscoveryCache measures the steady-state hit path and the
+// pass-through overhead of a disabled cache — the two numbers the E14
+// gate watches.
+func BenchmarkDiscoveryCache(b *testing.B) {
+	src := &countingLookup{entries: map[string]Entry{"k": {Key: "k", Name: "svc"}}}
+	b.Run("hit", func(b *testing.B) {
+		c := NewCacheWithClock(src, time.Hour, time.Now)
+		c.Get("k")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Get("k")
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		c := NewCache(src, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Get("k")
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Get("k")
+		}
+	})
+}

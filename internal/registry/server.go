@@ -186,17 +186,20 @@ func (s *Server) find(fn func(string) ([]Entry, error)) soap.Handler {
 		names := make([]string, len(entries))
 		businesses := make([]string, len(entries))
 		wsdls := make([]string, len(entries))
+		leases := make([]int64, len(entries))
 		for i, e := range entries {
 			keys[i] = e.Key
 			names[i] = e.Name
 			businesses[i] = e.Business
 			wsdls[i] = e.WSDL
+			leases[i] = e.LeaseRemaining.Milliseconds()
 		}
 		return []soap.Param{
 			{Name: "keys", Value: keys},
 			{Name: "names", Value: names},
 			{Name: "businesses", Value: businesses},
 			{Name: "wsdls", Value: wsdls},
+			{Name: "leases", Value: leases},
 		}, nil
 	}
 }
@@ -212,6 +215,7 @@ func entryParams(e Entry) []soap.Param {
 		{Name: "business", Value: e.Business},
 		{Name: "tmodels", Value: tms},
 		{Name: "wsdl", Value: e.WSDL},
+		{Name: "leaseMs", Value: e.LeaseRemaining.Milliseconds()},
 	}
 }
 
@@ -345,7 +349,28 @@ func (r *Remote) Get(key string) (Entry, bool) {
 	if v, ok := outParam(out, "wsdl"); ok {
 		e.WSDL, _ = v.(string)
 	}
+	// Older servers omit leaseMs; tolerate its absence and any numeric type.
+	if v, ok := outParam(out, "leaseMs"); ok {
+		if ms, ok := asInt64(v); ok {
+			e.LeaseRemaining = time.Duration(ms) * time.Millisecond
+		}
+	}
 	return e, true
+}
+
+// asInt64 reads the numeric Go types a decoded SOAP value may surface as.
+func asInt64(v any) (int64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case int32:
+		return int64(n), true
+	case int:
+		return int64(n), true
+	case float64:
+		return int64(n), true
+	}
+	return 0, false
 }
 
 func (r *Remote) findRemote(method, arg string) ([]Entry, error) {
@@ -366,6 +391,12 @@ func (r *Remote) findRemote(method, arg string) ([]Entry, error) {
 	if v, ok := outParam(out, "wsdls"); ok {
 		wsdls, _ = v.([]string)
 	}
+	// The leases column is newer than the core four; tolerate servers
+	// that omit it (entries then read as persistent).
+	var leases []int64
+	if v, ok := outParam(out, "leases"); ok {
+		leases, _ = v.([]int64)
+	}
 	n := len(keys)
 	if len(names) != n || len(businesses) != n || len(wsdls) != n {
 		return nil, fmt.Errorf("registry: malformed find response")
@@ -373,6 +404,9 @@ func (r *Remote) findRemote(method, arg string) ([]Entry, error) {
 	entries := make([]Entry, n)
 	for i := 0; i < n; i++ {
 		entries[i] = Entry{Key: keys[i], Name: names[i], Business: businesses[i], WSDL: wsdls[i]}
+		if i < len(leases) {
+			entries[i].LeaseRemaining = time.Duration(leases[i]) * time.Millisecond
+		}
 	}
 	return entries, nil
 }

@@ -10,20 +10,31 @@
 // the encoding/decoding time". The package therefore supports three array
 // encodings — element-wise XML, BASE64-packed, and hex-packed — so the
 // E2 experiment can measure each against the XDR binding.
+//
+// Two data planes exist per direction (experiment E14). Encoding is
+// append-based: envelopes are built directly into (pooled) byte slices
+// with in-place BASE64/hex encoding of packed arrays, no intermediate
+// strings or DOM. Decoding first attempts a streaming scan of the common
+// RPC envelope shape (fastdecode.go) and falls back to the xmlq DOM
+// parser for anything outside that subset — comments, CDATA, exotic
+// namespaces, non-ASCII content — so the fast path takes the hot traffic
+// while the DOM path keeps full-grammar correctness.
 package soap
 
 import (
 	"bytes"
 	"encoding/base64"
-	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
+	"sync"
 
+	"harness2/internal/telemetry"
 	"harness2/internal/wire"
+	"harness2/internal/xdr"
 	"harness2/internal/xmlq"
 )
 
@@ -101,9 +112,12 @@ func (f *Fault) Error() string {
 }
 
 // Codec encodes and decodes envelopes with a fixed array encoding.
-// The zero value uses BASE64 array packing.
+// The zero value uses BASE64 array packing and the streaming decoder.
 type Codec struct {
 	Arrays ArrayEncoding
+	// DisableFastPath forces every decode through the DOM parser —
+	// the E14 ablation switch, also used by the differential tests.
+	DisableFastPath bool
 }
 
 const (
@@ -113,97 +127,225 @@ const (
 	encNS = "http://schemas.xmlsoap.org/soap/encoding/"
 )
 
+// Envelope buffer pool: CallRemote, the HTTP handlers, and hot encode
+// loops reuse envelope-sized buffers instead of allocating one per call.
+// Buffers above the cap are dropped rather than pooled so one huge array
+// payload does not pin memory forever.
+const maxPooledBuffer = 16 << 20
+
+var bufferPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// AcquireBuffer returns a reusable byte slice (length 0) from the
+// package pool. Release it with ReleaseBuffer when the encoded bytes
+// are no longer referenced.
+func AcquireBuffer() *[]byte {
+	b := bufferPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// ReleaseBuffer returns a buffer obtained from AcquireBuffer.
+func ReleaseBuffer(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuffer {
+		return
+	}
+	bufferPool.Put(b)
+}
+
+// scratchPool holds raw-byte scratch for packed-array encode/decode.
+var scratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// decode-path telemetry (S27): how much traffic the streaming decoder
+// takes versus the DOM fallback.
+var (
+	decodeFast     *telemetry.Counter
+	decodeFallback *telemetry.Counter
+)
+
+func init() {
+	r := telemetry.Default()
+	r.Help("harness_soap_decode_total", "SOAP envelope decodes by path (fast scan vs DOM fallback)")
+	decodeFast = r.Counter("harness_soap_decode_total", "path", "fast")
+	decodeFallback = r.Counter("harness_soap_decode_total", "path", "dom")
+}
+
 // EncodeCall serialises an RPC request envelope.
 func (c Codec) EncodeCall(call *Call) ([]byte, error) {
-	var b bytes.Buffer
-	c.writePrologWithHeaders(&b, call.Headers)
+	return c.AppendCall(make([]byte, 0, c.sizeHintCall(call)), call)
+}
+
+// AppendCall appends an RPC request envelope to dst and returns the
+// extended slice — the allocation-free encode path when dst comes from
+// AcquireBuffer.
+func (c Codec) AppendCall(dst []byte, call *Call) ([]byte, error) {
+	dst = c.appendPrologWithHeaders(dst, call.Headers)
 	ns := call.Namespace
 	if ns == "" {
 		ns = "urn:harness2"
 	}
-	fmt.Fprintf(&b, "    <m:%s xmlns:m=%q>\n", call.Method, ns)
+	dst = append(dst, "    <m:"...)
+	dst = append(dst, call.Method...)
+	dst = append(dst, " xmlns:m="...)
+	dst = strconv.AppendQuote(dst, ns)
+	dst = append(dst, ">\n"...)
+	var err error
 	for _, p := range call.Params {
-		if err := c.writeValue(&b, p.Name, p.Value, 6); err != nil {
+		if dst, err = c.appendValue(dst, p.Name, p.Value, 6); err != nil {
 			return nil, fmt.Errorf("soap: encode call %s: %w", call.Method, err)
 		}
 	}
-	fmt.Fprintf(&b, "    </m:%s>\n", call.Method)
-	c.writeEpilog(&b)
-	return b.Bytes(), nil
+	dst = append(dst, "    </m:"...)
+	dst = append(dst, call.Method...)
+	dst = append(dst, ">\n"...)
+	return c.appendEpilog(dst), nil
 }
 
 // EncodeResponse serialises an RPC response envelope for method.
 func (c Codec) EncodeResponse(method string, params []Param) ([]byte, error) {
-	var b bytes.Buffer
-	c.writeProlog(&b)
-	fmt.Fprintf(&b, "    <m:%sResponse xmlns:m=\"urn:harness2\">\n", method)
+	return c.AppendResponse(make([]byte, 0, c.sizeHintParams(params)), method, params)
+}
+
+// AppendResponse appends an RPC response envelope to dst.
+func (c Codec) AppendResponse(dst []byte, method string, params []Param) ([]byte, error) {
+	dst = c.appendProlog(dst)
+	dst = append(dst, "    <m:"...)
+	dst = append(dst, method...)
+	dst = append(dst, `Response xmlns:m="urn:harness2">`...)
+	dst = append(dst, '\n')
+	var err error
 	for _, p := range params {
-		if err := c.writeValue(&b, p.Name, p.Value, 6); err != nil {
+		if dst, err = c.appendValue(dst, p.Name, p.Value, 6); err != nil {
 			return nil, fmt.Errorf("soap: encode response %s: %w", method, err)
 		}
 	}
-	fmt.Fprintf(&b, "    </m:%sResponse>\n", method)
-	c.writeEpilog(&b)
-	return b.Bytes(), nil
+	dst = append(dst, "    </m:"...)
+	dst = append(dst, method...)
+	dst = append(dst, "Response>\n"...)
+	return c.appendEpilog(dst), nil
 }
 
 // EncodeFault serialises a fault envelope.
 func (c Codec) EncodeFault(f *Fault) []byte {
-	var b bytes.Buffer
-	c.writeProlog(&b)
-	b.WriteString("    <SOAP-ENV:Fault>\n")
-	fmt.Fprintf(&b, "      <faultcode>SOAP-ENV:%s</faultcode>\n", escape(f.Code))
-	fmt.Fprintf(&b, "      <faultstring>%s</faultstring>\n", escape(f.String))
-	if f.Detail != "" {
-		fmt.Fprintf(&b, "      <detail>%s</detail>\n", escape(f.Detail))
-	}
-	b.WriteString("    </SOAP-ENV:Fault>\n")
-	c.writeEpilog(&b)
-	return b.Bytes()
+	return c.AppendFault(make([]byte, 0, 512), f)
 }
 
-func (c Codec) writeProlog(b *bytes.Buffer) { c.writePrologWithHeaders(b, nil) }
+// AppendFault appends a fault envelope to dst.
+func (c Codec) AppendFault(dst []byte, f *Fault) []byte {
+	dst = c.appendProlog(dst)
+	dst = append(dst, "    <SOAP-ENV:Fault>\n      <faultcode>SOAP-ENV:"...)
+	dst = appendEscaped(dst, f.Code)
+	dst = append(dst, "</faultcode>\n      <faultstring>"...)
+	dst = appendEscaped(dst, f.String)
+	dst = append(dst, "</faultstring>\n"...)
+	if f.Detail != "" {
+		dst = append(dst, "      <detail>"...)
+		dst = appendEscaped(dst, f.Detail)
+		dst = append(dst, "</detail>\n"...)
+	}
+	dst = append(dst, "    </SOAP-ENV:Fault>\n"...)
+	return c.appendEpilog(dst)
+}
 
-func (c Codec) writePrologWithHeaders(b *bytes.Buffer, headers []Header) {
-	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
-	fmt.Fprintf(b, "<SOAP-ENV:Envelope xmlns:SOAP-ENV=%q xmlns:xsd=%q xmlns:xsi=%q xmlns:SOAP-ENC=%q>\n",
-		envNS, xsdNS, xsiNS, encNS)
-	if len(headers) > 0 {
-		b.WriteString("  <SOAP-ENV:Header>\n")
-		for _, h := range headers {
-			attrs := ""
-			if h.MustUnderstand {
-				attrs += ` SOAP-ENV:mustUnderstand="1"`
+// sizeHintCall estimates the envelope size so the one allocation the
+// non-pooled entry points make is usually the only one.
+func (c Codec) sizeHintCall(call *Call) int {
+	n := 512 + 64*len(call.Headers)
+	for _, h := range call.Headers {
+		if s, ok := h.Value.(string); ok {
+			n += len(s)
+		}
+	}
+	return n + c.sizeHintValues(call.Params)
+}
+
+func (c Codec) sizeHintParams(params []Param) int {
+	return 512 + c.sizeHintValues(params)
+}
+
+func (c Codec) sizeHintValues(params []Param) int {
+	n := 0
+	for _, p := range params {
+		switch v := p.Value.(type) {
+		case string:
+			n += len(v) + 64
+		case []byte:
+			n += base64.StdEncoding.EncodedLen(len(v)) + 64
+		case []string:
+			for _, s := range v {
+				n += len(s) + 16
 			}
-			if h.Actor != "" {
-				attrs += fmt.Sprintf(" SOAP-ENV:actor=%q", escapeHdr(h.Actor))
-			}
-			if s, ok := h.Value.(string); ok {
-				fmt.Fprintf(b, "    <%s xsi:type=\"xsd:string\"%s>%s</%s>\n",
-					h.Name, attrs, escape(s), h.Name)
-			} else {
-				// Non-string header values reuse the body value encoding,
-				// then splice the attributes into the opening tag.
-				var hb bytes.Buffer
-				if err := c.writeValue(&hb, h.Name, h.Value, 4); err == nil {
-					entry := hb.String()
-					if attrs != "" {
-						entry = strings.Replace(entry, "<"+h.Name+" ", "<"+h.Name+attrs+" ", 1)
-					}
-					b.WriteString(entry)
+			n += 128
+		default:
+			if raw := xdr.RawSize(v); raw >= 0 {
+				switch c.Arrays {
+				case EncodeElementwise:
+					n += raw*4 + 128
+				case EncodeHex:
+					n += raw*2 + 96
+				default:
+					n += base64.StdEncoding.EncodedLen(raw) + 96
 				}
+			} else {
+				n += 96
 			}
 		}
-		b.WriteString("  </SOAP-ENV:Header>\n")
 	}
-	b.WriteString("  <SOAP-ENV:Body>\n")
+	return n
 }
 
-func escapeHdr(s string) string { return escape(s) }
+const prologText = `<?xml version="1.0" encoding="UTF-8"?>` + "\n" +
+	`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + envNS + `" xmlns:xsd="` + xsdNS +
+	`" xmlns:xsi="` + xsiNS + `" xmlns:SOAP-ENC="` + encNS + `">` + "\n"
 
-func (c Codec) writeEpilog(b *bytes.Buffer) {
-	b.WriteString("  </SOAP-ENV:Body>\n")
-	b.WriteString("</SOAP-ENV:Envelope>\n")
+func (c Codec) appendProlog(dst []byte) []byte {
+	dst = append(dst, prologText...)
+	return append(dst, "  <SOAP-ENV:Body>\n"...)
+}
+
+func (c Codec) appendPrologWithHeaders(dst []byte, headers []Header) []byte {
+	if len(headers) == 0 {
+		return c.appendProlog(dst)
+	}
+	dst = append(dst, prologText...)
+	dst = append(dst, "  <SOAP-ENV:Header>\n"...)
+	for _, h := range headers {
+		attrs := ""
+		if h.MustUnderstand {
+			attrs += ` SOAP-ENV:mustUnderstand="1"`
+		}
+		if h.Actor != "" {
+			attrs += " SOAP-ENV:actor=" + strconv.Quote(escape(h.Actor))
+		}
+		if s, ok := h.Value.(string); ok {
+			dst = append(dst, "    <"...)
+			dst = append(dst, h.Name...)
+			dst = append(dst, ` xsi:type="xsd:string"`...)
+			dst = append(dst, attrs...)
+			dst = append(dst, '>')
+			dst = appendEscaped(dst, s)
+			dst = append(dst, "</"...)
+			dst = append(dst, h.Name...)
+			dst = append(dst, ">\n"...)
+			continue
+		}
+		// Non-string header values reuse the body value encoding, then
+		// splice the attributes into the opening tag (cold path).
+		hb, err := c.appendValue(nil, h.Name, h.Value, 4)
+		if err != nil {
+			continue
+		}
+		entry := string(hb)
+		if attrs != "" {
+			entry = strings.Replace(entry, "<"+h.Name+" ", "<"+h.Name+attrs+" ", 1)
+		}
+		dst = append(dst, entry...)
+	}
+	dst = append(dst, "  </SOAP-ENV:Header>\n  <SOAP-ENV:Body>\n"...)
+	return dst
+}
+
+func (c Codec) appendEpilog(dst []byte) []byte {
+	return append(dst, "  </SOAP-ENV:Body>\n</SOAP-ENV:Envelope>\n"...)
 }
 
 // scalarType maps scalar kinds to xsi:type names.
@@ -245,103 +387,197 @@ func arrayTypeName(elem wire.Kind) string {
 	return ""
 }
 
-func (c Codec) writeValue(b *bytes.Buffer, name string, v any, indent int) error {
-	if err := wire.Check(v); err != nil {
-		return err
+const padSpaces = "                                                                "
+
+// appendPad appends n spaces.
+func appendPad(dst []byte, n int) []byte {
+	for n > len(padSpaces) {
+		dst = append(dst, padSpaces...)
+		n -= len(padSpaces)
 	}
-	pad := strings.Repeat(" ", indent)
+	return append(dst, padSpaces[:n]...)
+}
+
+// appendScalarOpen writes `<name xsi:type="typ">` at the given indent.
+func appendScalarOpen(dst []byte, name, typ string, indent int) []byte {
+	dst = appendPad(dst, indent)
+	dst = append(dst, '<')
+	dst = append(dst, name...)
+	dst = append(dst, ` xsi:type="`...)
+	dst = append(dst, typ...)
+	dst = append(dst, `">`...)
+	return dst
+}
+
+func appendClose(dst []byte, name string) []byte {
+	dst = append(dst, "</"...)
+	dst = append(dst, name...)
+	dst = append(dst, ">\n"...)
+	return dst
+}
+
+func (c Codec) appendValue(dst []byte, name string, v any, indent int) ([]byte, error) {
+	if err := wire.Check(v); err != nil {
+		return dst, err
+	}
 	k := wire.KindOf(v)
 	switch k {
 	case wire.KindBool:
-		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:boolean\">%t</%s>\n", pad, name, v.(bool), name)
+		dst = appendScalarOpen(dst, name, "xsd:boolean", indent)
+		dst = strconv.AppendBool(dst, v.(bool))
+		return appendClose(dst, name), nil
 	case wire.KindInt32:
-		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:int\">%d</%s>\n", pad, name, v.(int32), name)
+		dst = appendScalarOpen(dst, name, "xsd:int", indent)
+		dst = strconv.AppendInt(dst, int64(v.(int32)), 10)
+		return appendClose(dst, name), nil
 	case wire.KindInt64:
-		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:long\">%d</%s>\n", pad, name, v.(int64), name)
+		dst = appendScalarOpen(dst, name, "xsd:long", indent)
+		dst = strconv.AppendInt(dst, v.(int64), 10)
+		return appendClose(dst, name), nil
 	case wire.KindFloat32:
-		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:float\">%s</%s>\n", pad, name,
-			strconv.FormatFloat(float64(v.(float32)), 'g', -1, 32), name)
+		dst = appendScalarOpen(dst, name, "xsd:float", indent)
+		dst = strconv.AppendFloat(dst, float64(v.(float32)), 'g', -1, 32)
+		return appendClose(dst, name), nil
 	case wire.KindFloat64:
-		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:double\">%s</%s>\n", pad, name,
-			strconv.FormatFloat(v.(float64), 'g', -1, 64), name)
+		dst = appendScalarOpen(dst, name, "xsd:double", indent)
+		dst = strconv.AppendFloat(dst, v.(float64), 'g', -1, 64)
+		return appendClose(dst, name), nil
 	case wire.KindString:
-		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:string\">%s</%s>\n", pad, name, escape(v.(string)), name)
+		dst = appendScalarOpen(dst, name, "xsd:string", indent)
+		dst = appendEscaped(dst, v.(string))
+		return appendClose(dst, name), nil
 	case wire.KindBytes:
-		fmt.Fprintf(b, "%s<%s xsi:type=\"xsd:base64Binary\">%s</%s>\n", pad, name,
-			base64.StdEncoding.EncodeToString(v.([]byte)), name)
+		dst = appendScalarOpen(dst, name, "xsd:base64Binary", indent)
+		dst = base64.StdEncoding.AppendEncode(dst, v.([]byte))
+		return appendClose(dst, name), nil
 	case wire.KindStringArray:
 		// String arrays are always element-wise; packing is meaningless.
 		a := v.([]string)
-		fmt.Fprintf(b, "%s<%s xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"xsd:string[%d]\">\n", pad, name, len(a))
+		dst = appendPad(dst, indent)
+		dst = append(dst, '<')
+		dst = append(dst, name...)
+		dst = append(dst, ` xsi:type="SOAP-ENC:Array" SOAP-ENC:arrayType="xsd:string[`...)
+		dst = strconv.AppendInt(dst, int64(len(a)), 10)
+		dst = append(dst, `]">`...)
+		dst = append(dst, '\n')
 		for _, s := range a {
-			fmt.Fprintf(b, "%s  <item>%s</item>\n", pad, escape(s))
+			dst = appendPad(dst, indent+2)
+			dst = append(dst, "<item>"...)
+			dst = appendEscaped(dst, s)
+			dst = append(dst, "</item>\n"...)
 		}
-		fmt.Fprintf(b, "%s</%s>\n", pad, name)
+		dst = appendPad(dst, indent)
+		return appendClose(dst, name), nil
 	case wire.KindBoolArray, wire.KindInt32Array, wire.KindInt64Array,
 		wire.KindFloat32Array, wire.KindFloat64Array:
-		return c.writeNumericArray(b, name, v, k, pad)
+		return c.appendNumericArray(dst, name, v, k, indent), nil
 	case wire.KindStruct:
 		s := v.(*wire.Struct)
-		fmt.Fprintf(b, "%s<%s xsi:type=\"m:%s\">\n", pad, name, s.Name)
+		dst = appendPad(dst, indent)
+		dst = append(dst, '<')
+		dst = append(dst, name...)
+		dst = append(dst, ` xsi:type="m:`...)
+		dst = append(dst, s.Name...)
+		dst = append(dst, `">`...)
+		dst = append(dst, '\n')
+		var err error
 		for _, f := range s.Fields {
-			if err := c.writeValue(b, f.Name, f.Value, indent+2); err != nil {
-				return err
+			if dst, err = c.appendValue(dst, f.Name, f.Value, indent+2); err != nil {
+				return dst, err
 			}
 		}
-		fmt.Fprintf(b, "%s</%s>\n", pad, name)
-	default:
-		return fmt.Errorf("soap: cannot encode kind %v", k)
+		dst = appendPad(dst, indent)
+		return appendClose(dst, name), nil
 	}
-	return nil
+	return dst, fmt.Errorf("soap: cannot encode kind %v", k)
 }
 
-func (c Codec) writeNumericArray(b *bytes.Buffer, name string, v any, k wire.Kind, pad string) error {
+func (c Codec) appendNumericArray(dst []byte, name string, v any, k wire.Kind, indent int) []byte {
 	n := arrayLen(v)
 	if c.Arrays == EncodeElementwise {
-		fmt.Fprintf(b, "%s<%s xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"%s[%d]\">\n",
-			pad, name, arrayTypeName(k.Elem()), n)
-		writeItems(b, v, pad)
-		fmt.Fprintf(b, "%s</%s>\n", pad, name)
-		return nil
+		dst = appendPad(dst, indent)
+		dst = append(dst, '<')
+		dst = append(dst, name...)
+		dst = append(dst, ` xsi:type="SOAP-ENC:Array" SOAP-ENC:arrayType="`...)
+		dst = append(dst, arrayTypeName(k.Elem())...)
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(n), 10)
+		dst = append(dst, `]">`...)
+		dst = append(dst, '\n')
+		dst = appendItems(dst, v, indent)
+		dst = appendPad(dst, indent)
+		return appendClose(dst, name)
 	}
-	raw := packArray(v)
-	var text string
-	var encName string
+	dst = appendPad(dst, indent)
+	dst = append(dst, '<')
+	dst = append(dst, name...)
+	dst = append(dst, ` xsi:type="hns:`...)
+	dst = append(dst, k.String()...)
+	dst = append(dst, `" enc="`...)
 	if c.Arrays == EncodeHex {
-		text = hex.EncodeToString(raw)
-		encName = "hex"
+		dst = append(dst, `hex" length="`...)
 	} else {
-		text = base64.StdEncoding.EncodeToString(raw)
-		encName = "base64"
+		dst = append(dst, `base64" length="`...)
 	}
-	fmt.Fprintf(b, "%s<%s xsi:type=\"hns:%s\" enc=%q length=\"%d\">%s</%s>\n",
-		pad, name, k.String(), encName, n, text, name)
-	return nil
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	dst = append(dst, `">`...)
+	// Pack the raw big-endian element bytes into pooled scratch (the
+	// XDR bulk loops), then text-encode them in place into dst — no
+	// intermediate string, no full-copy EncodeToString.
+	scratch := scratchPool.Get().(*[]byte)
+	raw := xdr.AppendRaw((*scratch)[:0], v)
+	if c.Arrays == EncodeHex {
+		dst = hex.AppendEncode(dst, raw)
+	} else {
+		dst = base64.StdEncoding.AppendEncode(dst, raw)
+	}
+	*scratch = raw
+	if cap(raw) <= maxPooledBuffer {
+		scratchPool.Put(scratch)
+	}
+	return appendClose(dst, name)
 }
 
-func writeItems(b *bytes.Buffer, v any, pad string) {
+func appendItems(dst []byte, v any, indent int) []byte {
+	const open, close = "<item>", "</item>\n"
 	switch a := v.(type) {
 	case []bool:
 		for _, x := range a {
-			fmt.Fprintf(b, "%s  <item>%t</item>\n", pad, x)
+			dst = appendPad(dst, indent+2)
+			dst = append(dst, open...)
+			dst = strconv.AppendBool(dst, x)
+			dst = append(dst, close...)
 		}
 	case []int32:
 		for _, x := range a {
-			fmt.Fprintf(b, "%s  <item>%d</item>\n", pad, x)
+			dst = appendPad(dst, indent+2)
+			dst = append(dst, open...)
+			dst = strconv.AppendInt(dst, int64(x), 10)
+			dst = append(dst, close...)
 		}
 	case []int64:
 		for _, x := range a {
-			fmt.Fprintf(b, "%s  <item>%d</item>\n", pad, x)
+			dst = appendPad(dst, indent+2)
+			dst = append(dst, open...)
+			dst = strconv.AppendInt(dst, x, 10)
+			dst = append(dst, close...)
 		}
 	case []float32:
 		for _, x := range a {
-			fmt.Fprintf(b, "%s  <item>%s</item>\n", pad, strconv.FormatFloat(float64(x), 'g', -1, 32))
+			dst = appendPad(dst, indent+2)
+			dst = append(dst, open...)
+			dst = strconv.AppendFloat(dst, float64(x), 'g', -1, 32)
+			dst = append(dst, close...)
 		}
 	case []float64:
 		for _, x := range a {
-			fmt.Fprintf(b, "%s  <item>%s</item>\n", pad, strconv.FormatFloat(x, 'g', -1, 64))
+			dst = appendPad(dst, indent+2)
+			dst = append(dst, open...)
+			dst = strconv.AppendFloat(dst, x, 'g', -1, 64)
+			dst = append(dst, close...)
 		}
 	}
+	return dst
 }
 
 func arrayLen(v any) int {
@@ -362,107 +598,64 @@ func arrayLen(v any) int {
 	return 0
 }
 
-// packArray serialises numeric array elements as big-endian raw bytes.
-func packArray(v any) []byte {
-	switch a := v.(type) {
-	case []bool:
-		out := make([]byte, len(a))
-		for i, x := range a {
-			if x {
-				out[i] = 1
-			}
-		}
-		return out
-	case []int32:
-		out := make([]byte, 4*len(a))
-		for i, x := range a {
-			binary.BigEndian.PutUint32(out[4*i:], uint32(x))
-		}
-		return out
-	case []int64:
-		out := make([]byte, 8*len(a))
-		for i, x := range a {
-			binary.BigEndian.PutUint64(out[8*i:], uint64(x))
-		}
-		return out
-	case []float32:
-		out := make([]byte, 4*len(a))
-		for i, x := range a {
-			binary.BigEndian.PutUint32(out[4*i:], math.Float32bits(x))
-		}
-		return out
-	case []float64:
-		out := make([]byte, 8*len(a))
-		for i, x := range a {
-			binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
-		}
-		return out
+// unpackArray decodes packed big-endian element bytes through the shared
+// XDR bulk loops.
+func unpackArray(kind wire.Kind, raw []byte, n int) (any, error) {
+	v, err := xdr.UnpackRaw(kind, raw, n)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
 	}
-	return nil
+	return v, nil
 }
 
-func unpackArray(kind wire.Kind, raw []byte, n int) (any, error) {
-	switch kind {
-	case wire.KindBoolArray:
-		if len(raw) != n {
-			return nil, fmt.Errorf("soap: bool array length mismatch")
-		}
-		out := make([]bool, n)
-		for i, b := range raw {
-			out[i] = b != 0
-		}
-		return out, nil
-	case wire.KindInt32Array:
-		if len(raw) != 4*n {
-			return nil, fmt.Errorf("soap: int array length mismatch")
-		}
-		out := make([]int32, n)
-		for i := range out {
-			out[i] = int32(binary.BigEndian.Uint32(raw[4*i:]))
-		}
-		return out, nil
-	case wire.KindInt64Array:
-		if len(raw) != 8*n {
-			return nil, fmt.Errorf("soap: long array length mismatch")
-		}
-		out := make([]int64, n)
-		for i := range out {
-			out[i] = int64(binary.BigEndian.Uint64(raw[8*i:]))
-		}
-		return out, nil
-	case wire.KindFloat32Array:
-		if len(raw) != 4*n {
-			return nil, fmt.Errorf("soap: float array length mismatch")
-		}
-		out := make([]float32, n)
-		for i := range out {
-			out[i] = math.Float32frombits(binary.BigEndian.Uint32(raw[4*i:]))
-		}
-		return out, nil
-	case wire.KindFloat64Array:
-		if len(raw) != 8*n {
-			return nil, fmt.Errorf("soap: double array length mismatch")
-		}
-		out := make([]float64, n)
-		for i := range out {
-			out[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
-		}
-		return out, nil
+// appendEscaped appends s with the markup-significant characters
+// escaped, matching the historical escape() exactly.
+func appendEscaped(dst []byte, s string) []byte {
+	if !strings.ContainsAny(s, "&<>") {
+		return append(dst, s...)
 	}
-	return nil, fmt.Errorf("soap: cannot unpack kind %v", kind)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
 }
 
 func escape(s string) string {
 	if !strings.ContainsAny(s, "&<>") {
 		return s
 	}
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+	return string(appendEscaped(nil, s))
 }
 
 // DecodeCall parses a request envelope into a Call, including any header
-// entries.
+// entries. The streaming scanner handles the common envelope shape; any
+// input outside its subset is retried through the DOM parser.
 func (c Codec) DecodeCall(data []byte) (*Call, error) {
+	if !c.DisableFastPath {
+		call, err := fastDecodeCall(data)
+		if err == nil {
+			decodeFast.Inc()
+			return call, nil
+		}
+		if !errors.Is(err, errFallback) {
+			decodeFast.Inc()
+			return nil, err
+		}
+		decodeFallback.Inc()
+	}
+	return c.domDecodeCall(data)
+}
+
+func (c Codec) domDecodeCall(data []byte) (*Call, error) {
 	root, err := c.envelope(data)
 	if err != nil {
 		return nil, err
@@ -497,8 +690,25 @@ func (c Codec) DecodeCall(data []byte) (*Call, error) {
 }
 
 // DecodeResponse parses a response envelope. A fault envelope yields a
-// Response whose Fault field is set (and no error).
+// Response whose Fault field is set (and no error). Like DecodeCall it
+// scans first and falls back to the DOM parser outside the subset.
 func (c Codec) DecodeResponse(data []byte) (*Response, error) {
+	if !c.DisableFastPath {
+		resp, err := fastDecodeResponse(data)
+		if err == nil {
+			decodeFast.Inc()
+			return resp, nil
+		}
+		if !errors.Is(err, errFallback) {
+			decodeFast.Inc()
+			return nil, err
+		}
+		decodeFallback.Inc()
+	}
+	return c.domDecodeResponse(data)
+}
+
+func (c Codec) domDecodeResponse(data []byte) (*Response, error) {
 	body, err := c.bodyElement(data)
 	if err != nil {
 		return nil, err

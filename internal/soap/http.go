@@ -1,12 +1,17 @@
 package soap
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"harness2/internal/telemetry"
 )
 
 // Handler processes one RPC call and returns the output parameters.
@@ -92,11 +97,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	bodyBuf := AcquireBuffer()
+	defer ReleaseBuffer(bodyBuf)
+	body, err := AppendReadAll(*bodyBuf, r.Body, r.ContentLength)
+	*bodyBuf = body[:0]
 	if err != nil {
 		s.writeFault(w, &Fault{Code: "Client", String: "unreadable request body"})
 		return
 	}
+	srvRecvBytes.Add(uint64(len(body)))
+	// Decoded calls never alias the request buffer, so it can be pooled
+	// as soon as DecodeCall returns.
 	call, err := s.Codec.DecodeCall(body)
 	if err != nil {
 		s.writeFault(w, &Fault{Code: "Client", String: err.Error()})
@@ -125,44 +136,118 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp, err := s.Codec.EncodeResponse(call.Method, out)
+	respBuf := AcquireBuffer()
+	defer ReleaseBuffer(respBuf)
+	resp, err := s.Codec.AppendResponse(*respBuf, call.Method, out)
 	if err != nil {
 		s.writeFault(w, &Fault{Code: "Server", String: err.Error()})
 		return
 	}
+	*respBuf = resp[:0]
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(resp)
+	srvSentBytes.Add(uint64(len(resp)))
 }
 
 func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	buf := AcquireBuffer()
+	defer ReleaseBuffer(buf)
+	data := s.Codec.AppendFault(*buf, f)
+	*buf = data[:0]
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	// SOAP 1.1 over HTTP reports faults with a 500 status.
 	w.WriteHeader(http.StatusInternalServerError)
-	_, _ = w.Write(s.Codec.EncodeFault(f))
+	_, _ = w.Write(data)
+	srvSentBytes.Add(uint64(len(data)))
 }
 
 // Client invokes SOAP endpoints over HTTP.
 type Client struct {
 	Codec Codec
-	// HTTP is the underlying client; nil uses a client with a 30 s timeout.
+	// HTTP is the underlying client; nil uses SharedHTTP.
 	HTTP *http.Client
 }
 
-var defaultHTTP = &http.Client{Timeout: 30 * time.Second}
+// Transport is the tuned shared http.Transport for all HARNESS SOAP and
+// HTTP-GET traffic. Connection keep-alive matters here: kernel RPC is
+// many small calls to a handful of peer DVMs, so the default transport's
+// two idle conns per host serializes concurrent callers behind fresh
+// TCP (and TLS) handshakes. The pool is sized for a DVM-wide fan-out.
+var Transport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          512,
+	MaxIdleConnsPerHost:   128,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: time.Second,
+	ForceAttemptHTTP2:     true,
+}
+
+// SharedHTTP is the default client used by every HARNESS HTTP binding
+// (SOAP RPC, HTTP-GET binding, registry client) so that they share one
+// keep-alive connection pool.
+var SharedHTTP = &http.Client{Transport: Transport, Timeout: 30 * time.Second}
+
+// Wire-volume counters, split by side of the connection.
+var (
+	cliSentBytes, cliRecvBytes *telemetry.Counter
+	srvSentBytes, srvRecvBytes *telemetry.Counter
+)
+
+func init() {
+	r := telemetry.Default()
+	r.Help("harness_soap_wire_bytes_total", "SOAP envelope bytes moved over HTTP")
+	cliSentBytes = r.Counter("harness_soap_wire_bytes_total", "side", "client", "dir", "sent")
+	cliRecvBytes = r.Counter("harness_soap_wire_bytes_total", "side", "client", "dir", "recv")
+	srvSentBytes = r.Counter("harness_soap_wire_bytes_total", "side", "server", "dir", "sent")
+	srvRecvBytes = r.Counter("harness_soap_wire_bytes_total", "side", "server", "dir", "recv")
+}
+
+// AppendReadAll reads r to EOF, appending into dst (reset to length 0 by
+// the caller); sizeHint, when positive, pre-grows dst so that a body with
+// an accurate Content-Length reads in one allocation-free pass.
+func AppendReadAll(dst []byte, r io.Reader, sizeHint int64) ([]byte, error) {
+	if sizeHint > 0 && int64(cap(dst)) < sizeHint+1 && sizeHint < 1<<30 {
+		grown := make([]byte, 0, sizeHint+1)
+		dst = append(grown, dst...)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
 
 // CallRemote posts call to the endpoint URL and decodes the response.
 // A SOAP fault is returned as a *Fault error.
 func (c *Client) CallRemote(endpoint string, call *Call) ([]Param, error) {
-	data, err := c.Codec.EncodeCall(call)
+	reqBuf := AcquireBuffer()
+	defer ReleaseBuffer(reqBuf)
+	data, err := c.Codec.AppendCall(*reqBuf, call)
 	if err != nil {
 		return nil, err
 	}
+	*reqBuf = data[:0]
 	httpc := c.HTTP
 	if httpc == nil {
-		httpc = defaultHTTP
+		httpc = SharedHTTP
 	}
-	req, err := http.NewRequest(http.MethodPost, endpoint, strings.NewReader(string(data)))
+	req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("soap: %w", err)
 	}
@@ -173,10 +258,16 @@ func (c *Client) CallRemote(endpoint string, call *Call) ([]Param, error) {
 		return nil, fmt.Errorf("soap: post %s: %w", endpoint, err)
 	}
 	defer httpResp.Body.Close()
-	respBody, err := io.ReadAll(httpResp.Body)
+	cliSentBytes.Add(uint64(len(data)))
+	respBuf := AcquireBuffer()
+	defer ReleaseBuffer(respBuf)
+	respBody, err := AppendReadAll(*respBuf, httpResp.Body, httpResp.ContentLength)
+	*respBuf = respBody[:0]
 	if err != nil {
 		return nil, fmt.Errorf("soap: read response: %w", err)
 	}
+	cliRecvBytes.Add(uint64(len(respBody)))
+	// Decoded responses never alias respBody, so the deferred release is safe.
 	resp, err := c.Codec.DecodeResponse(respBody)
 	if err != nil {
 		return nil, fmt.Errorf("soap: decode response (HTTP %d): %w", httpResp.StatusCode, err)

@@ -1,0 +1,124 @@
+package xdr
+
+// raw.go exposes the bulk numeric-array codec loops (the block fast
+// paths behind the XDR array encoders) without the XDR length prefix,
+// so other wire formats — notably the SOAP packed-array encoding, which
+// carries the same big-endian element bytes in BASE64 text — reuse one
+// set of tuned pack/unpack loops instead of growing their own.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"harness2/internal/wire"
+)
+
+// RawSize returns the packed byte length of a supported numeric array
+// value, or -1 when v is not a packable array.
+func RawSize(v any) int {
+	switch a := v.(type) {
+	case []bool:
+		return len(a)
+	case []int32:
+		return 4 * len(a)
+	case []int64:
+		return 8 * len(a)
+	case []float32:
+		return 4 * len(a)
+	case []float64:
+		return 8 * len(a)
+	}
+	return -1
+}
+
+// AppendRaw appends the big-endian raw element bytes of a numeric array
+// (no length prefix, no padding) to dst and returns the extended slice.
+// Unsupported values append nothing.
+func AppendRaw(dst []byte, v any) []byte {
+	switch a := v.(type) {
+	case []bool:
+		off := len(dst)
+		dst = append(dst, make([]byte, len(a))...)
+		out := dst[off:]
+		for i, x := range a {
+			if x {
+				out[i] = 1
+			}
+		}
+	case []int32:
+		for _, x := range a {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(x))
+		}
+	case []int64:
+		for _, x := range a {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(x))
+		}
+	case []float32:
+		for _, x := range a {
+			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(x))
+		}
+	case []float64:
+		for _, x := range a {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(x))
+		}
+	}
+	return dst
+}
+
+// UnpackRaw decodes n big-endian elements of the given array kind from
+// raw (which must be exactly the packed size) into a freshly allocated
+// typed slice — the inverse of AppendRaw.
+func UnpackRaw(kind wire.Kind, raw []byte, n int) (any, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("xdr: negative raw array length")
+	}
+	switch kind {
+	case wire.KindBoolArray:
+		if len(raw) != n {
+			return nil, fmt.Errorf("xdr: bool array length mismatch")
+		}
+		out := make([]bool, n)
+		for i, b := range raw {
+			out[i] = b != 0
+		}
+		return out, nil
+	case wire.KindInt32Array:
+		if len(raw) != 4*n {
+			return nil, fmt.Errorf("xdr: int array length mismatch")
+		}
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(binary.BigEndian.Uint32(raw[4*i:]))
+		}
+		return out, nil
+	case wire.KindInt64Array:
+		if len(raw) != 8*n {
+			return nil, fmt.Errorf("xdr: long array length mismatch")
+		}
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(binary.BigEndian.Uint64(raw[8*i:]))
+		}
+		return out, nil
+	case wire.KindFloat32Array:
+		if len(raw) != 4*n {
+			return nil, fmt.Errorf("xdr: float array length mismatch")
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.BigEndian.Uint32(raw[4*i:]))
+		}
+		return out, nil
+	case wire.KindFloat64Array:
+		if len(raw) != 8*n {
+			return nil, fmt.Errorf("xdr: double array length mismatch")
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("xdr: cannot unpack kind %v", kind)
+}
