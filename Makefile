@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-xdr hbench fuzz chaos-smoke ci clean
+.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 hbench fuzz chaos-smoke ci clean
 
 all: build
 
@@ -40,17 +40,26 @@ bench-xdr:
 	$(GO) test -run xxx -bench 'BenchmarkXDRInvoke' -benchmem -benchtime 2s ./internal/invoke/
 	$(GO) test -run xxx -bench . -benchmem -benchtime 2s ./internal/xdr/
 
+# The S30 data-plane gate and tables: zero-copy codec vs portable
+# ablation and shm rings vs XDR loopback (EXPERIMENTS.md E16).
+bench-e16:
+	E16_GATE=1 $(GO) test -run TestE16Gate -v ./internal/bench/
+	$(GO) run ./cmd/hbench -exp E16
+
 # Regenerate the experiment tables (quick parameters; add ARGS=-full).
 hbench:
 	$(GO) run ./cmd/hbench $(ARGS)
 
-# Short fuzz pass over the v2 frame-header and array decoders, the SOAP
-# fast-vs-DOM differential, the chaos spec parser, and the resilience
-# policy validators.
+# Short fuzz pass over the v2 frame-header and array decoders, the
+# zero-copy-vs-portable codec differential, the SOAP fast-vs-DOM
+# differential, the shm ring record framing, the chaos spec parser, and
+# the resilience policy validators.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadFrameID -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzDecoderArrays -fuzztime 30s ./internal/xdr/
+	$(GO) test -run xxx -fuzz FuzzXDRZeroCopyDifferential -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzFastDecodeDifferential -fuzztime 30s ./internal/soap/
+	$(GO) test -run xxx -fuzz FuzzShmRingRecord -fuzztime 30s ./internal/shmring/
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 30s ./internal/resilience/chaos/
 	$(GO) test -run xxx -fuzz FuzzPolicyOptions -fuzztime 30s ./internal/resilience/
 

@@ -1,7 +1,7 @@
-// Command hbench regenerates the HARNESS II experiment tables (E1–E12 in
+// Command hbench regenerates the HARNESS II experiment tables (E1–E16 in
 // DESIGN.md): every figure-scenario and quantified design claim of the
-// paper, plus the telemetry-overhead audit (E12), printed as aligned text
-// tables.
+// paper, plus the plane audits (telemetry E12, resilience E13, SOAP fast
+// path E14, data plane E16), printed as aligned text tables.
 //
 // Usage:
 //

@@ -40,7 +40,7 @@ func main() {
 		wsilURL = flag.String("wsil", "", "WSIL inspection document URL")
 		service = flag.String("service", "", "service name to discover")
 		op      = flag.String("op", "", "operation to invoke (empty: just print the WSDL)")
-		binding = flag.String("binding", "auto", "binding preference: auto | soap | xdr | http")
+		binding = flag.String("binding", "auto", "binding preference: auto | soap | xdr | shm | http")
 		timeout = flag.Duration("timeout", 30*time.Second, "invocation timeout")
 	)
 	var rawArgs argList
@@ -60,11 +60,13 @@ func main() {
 	switch *binding {
 	case "auto":
 	case "soap":
-		opts.Forbid = []wsdl.BindingKind{wsdl.BindXDR, wsdl.BindHTTP, wsdl.BindJavaObject}
+		opts.Forbid = []wsdl.BindingKind{wsdl.BindXDR, wsdl.BindShm, wsdl.BindHTTP, wsdl.BindJavaObject}
 	case "xdr":
-		opts.Forbid = []wsdl.BindingKind{wsdl.BindSOAP, wsdl.BindHTTP, wsdl.BindJavaObject}
+		opts.Forbid = []wsdl.BindingKind{wsdl.BindSOAP, wsdl.BindShm, wsdl.BindHTTP, wsdl.BindJavaObject}
+	case "shm":
+		opts.Forbid = []wsdl.BindingKind{wsdl.BindSOAP, wsdl.BindXDR, wsdl.BindHTTP, wsdl.BindJavaObject}
 	case "http":
-		opts.Forbid = []wsdl.BindingKind{wsdl.BindSOAP, wsdl.BindXDR, wsdl.BindJavaObject}
+		opts.Forbid = []wsdl.BindingKind{wsdl.BindSOAP, wsdl.BindXDR, wsdl.BindShm, wsdl.BindJavaObject}
 	default:
 		log.Fatalf("hclient: unknown binding %q", *binding)
 	}

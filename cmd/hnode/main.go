@@ -42,6 +42,7 @@ func main() {
 		manage   = flag.Bool("manage", true, "deploy the remote-management component")
 		printDoc = flag.Bool("wsdl", false, "print each instance's WSDL document")
 		prime    = flag.Bool("prime", true, "run startup self-invocations so /metrics exposes every instrument family")
+		noShm    = flag.Bool("no-shm", false, "do not expose the same-host shared-memory binding")
 
 		// Resilience plane (S28): admission control + fault injection.
 		maxInflight = flag.Int("max-inflight", 0, "max concurrent invocations before shedding (0 = unlimited)")
@@ -52,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := core.NodeOptions{Addr: *addr}
+	opts := core.NodeOptions{Addr: *addr, DisableShm: *noShm}
 	if *maxInflight > 0 {
 		opts.Admission = resilience.NewLimiter(*maxInflight, *maxQueue, *queueWait)
 		fmt.Printf("hnode: admission control: %d in flight, %d queued (wait %v)\n",
@@ -92,7 +93,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("hnode: %s soap=%s xdr=%s\n", node.Name(), node.SOAPBase(), node.XDRAddr())
+	fmt.Printf("hnode: %s soap=%s xdr=%s shm=%s\n", node.Name(), node.SOAPBase(), node.XDRAddr(), node.ShmAddr())
 	fmt.Printf("hnode: metrics at %s/metrics\n", strings.TrimSuffix(node.SOAPBase(), "/services"))
 	for _, class := range strings.Split(*deploy, ",") {
 		class = strings.TrimSpace(class)
@@ -135,8 +136,9 @@ func main() {
 // started node's /metrics already carries the per-binding invoke latency
 // families and the DVM coherency counters rather than an empty page: one
 // self-invocation of MatMul.getResult through each advertised binding
-// (MatMul is numeric, so it exposes all four — WSTime's string result
-// would exclude XDR), and one enroll/deploy/lookup round-trip through a
+// (MatMul is numeric, so it exposes every binding including XDR and shm —
+// WSTime's string result would exclude both), and one enroll/deploy/lookup
+// round-trip through a
 // two-member DVM (the node plus a shadow peer on a simulated LAN fabric).
 func primeMetrics(node *core.Node) {
 	c := node.Container()

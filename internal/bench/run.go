@@ -184,7 +184,29 @@ func (p Params) fastpathSizes() []int {
 	return []int{1000, 100000, 1000000}
 }
 
-// Run executes one experiment by ID (E1–E14).
+// e16ArrayCalls is the per-trial call count of the E16 invoke stage.
+// Larger than E11's array counts: the shm segment needs enough calls
+// to wrap the ring and fault in every page before the steady state
+// the best-of-three trials are after.
+func (p Params) e16ArrayCalls() int {
+	if p.Full {
+		return 200
+	}
+	return 80
+}
+
+// zerocopySizes sizes the E16 codec sweep (doubles per array).
+func (p Params) zerocopySizes() []int {
+	if p.Short {
+		return []int{512, 8192}
+	}
+	if p.Full {
+		return []int{64, 512, 8192, 131072, 1 << 20}
+	}
+	return []int{512, 8192, 131072}
+}
+
+// Run executes one experiment by ID (E1–E16).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -220,13 +242,16 @@ func Run(id string, p Params) (*Table, error) {
 		return E13bDisabledOverhead(p.resilienceOverheadReps())
 	case "E14":
 		return E14FastPath(p.fastpathSizes())
+	case "E16":
+		return E16DataPlane(p.zerocopySizes(), p.xdrSmallCalls(),
+			p.xdrArrayLen(), p.e16ArrayCalls())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

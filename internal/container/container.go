@@ -181,6 +181,10 @@ type Config struct {
 	// XDRAddr is the advertised host:port of the XDR socket endpoint;
 	// empty disables XDR advertising.
 	XDRAddr string
+	// ShmAddr is the advertised shared-memory handshake address
+	// (shm:<hostname>:<socket path>); empty disables shm advertising.
+	// Like XDR, the binding is offered only for numeric-only services.
+	ShmAddr string
 	// Policy is the deployment cost model; zero value means Lightweight.
 	Policy DeployPolicy
 	// Telemetry selects the metrics registry; nil falls back to the
@@ -525,6 +529,9 @@ func (c *Container) WSDLFor(id string) (*wsdl.Definitions, error) {
 	}
 	if c.cfg.XDRAddr != "" && numericOnly(inst.spec) {
 		eps.XDRAddress = c.cfg.XDRAddr
+	}
+	if c.cfg.ShmAddr != "" && numericOnly(inst.spec) {
+		eps.ShmAddress = c.cfg.ShmAddr
 	}
 	return wsdl.Generate(inst.spec, eps)
 }

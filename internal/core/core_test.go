@@ -341,7 +341,7 @@ func TestStatefulAcrossBindingsEndToEnd(t *testing.T) {
 	}
 	defsList, _ := f.Discover("Accum")
 	ports := invoke.OpenAll(defsList[0], invoke.Options{})
-	if len(ports) != 3 { // XDR + SOAP + HTTP GET (numeric service), no local
+	if len(ports) != 4 { // shm + XDR + SOAP + HTTP GET (numeric service), no local
 		t.Fatalf("ports = %d", len(ports))
 	}
 	ctx := context.Background()
@@ -355,7 +355,7 @@ func TestStatefulAcrossBindingsEndToEnd(t *testing.T) {
 		last = s.(float64)
 		_ = p.Close()
 	}
-	if last != 4.5 {
+	if last != 6 {
 		t.Fatalf("sum = %v", last)
 	}
 }

@@ -33,9 +33,12 @@ type NodeOptions struct {
 	Policy container.DeployPolicy
 	// Codec configures SOAP array encoding on the server side.
 	Codec soap.Codec
-	// DisableSOAP / DisableXDR suppress the respective endpoints.
+	// DisableSOAP / DisableXDR / DisableShm suppress the respective
+	// endpoints. The shm endpoint is additionally skipped — without error
+	// — on platforms where shared-memory segments are unsupported.
 	DisableSOAP bool
 	DisableXDR  bool
+	DisableShm  bool
 	// Telemetry selects the metrics registry for the node's container,
 	// bindings, and /metrics endpoint; nil falls back to the process
 	// default, telemetry.Disabled() switches instrumentation off.
@@ -56,10 +59,12 @@ type Node struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 	xdrSrv  *invoke.XDRServer
+	shmSrv  *invoke.ShmServer
 
 	soapBase string
 	restBase string
 	xdrAddr  string
+	shmAddr  string
 
 	closeOnce sync.Once
 	closeErr  error
@@ -90,10 +95,10 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 		Admission: opts.Admission,
 		Chaos:     opts.Chaos,
 	}
-	// The XDR server needs the container, and the container's advertised
-	// XDR address needs the server's port: create the container with an
-	// empty XDR address first, then re-create with the final config. The
-	// container is cheap; no instances exist yet.
+	// The XDR and shm servers need the container, and the container's
+	// advertised addresses need the servers' endpoints: create the
+	// container with empty addresses first, then re-create with the final
+	// config. The container is cheap; no instances exist yet.
 	c := container.New(cfg)
 	if !opts.DisableXDR {
 		xs, err := invoke.NewXDRServer(c, "127.0.0.1:0", invoke.WithXDRTelemetry(opts.Telemetry))
@@ -106,8 +111,24 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 		n.xdrSrv = xs
 		n.xdrAddr = xs.Addr()
 		cfg.XDRAddr = n.xdrAddr
+	}
+	if !opts.DisableShm {
+		// Best-effort: on platforms without mmap segments the node simply
+		// does not advertise the shm rung; clients fall back to XDR.
+		if ss, err := invoke.NewShmServer(c, "", invoke.WithShmTelemetry(opts.Telemetry)); err == nil {
+			n.shmSrv = ss
+			n.shmAddr = ss.Addr()
+			cfg.ShmAddr = n.shmAddr
+		}
+	}
+	if cfg.XDRAddr != "" || cfg.ShmAddr != "" {
 		c = container.New(cfg)
-		xs.Retarget(c)
+		if n.xdrSrv != nil {
+			n.xdrSrv.Retarget(c)
+		}
+		if n.shmSrv != nil {
+			n.shmSrv.Retarget(c)
+		}
 	}
 	n.c = c
 	if n.httpLn != nil {
@@ -145,6 +166,9 @@ func (n *Node) RESTBase() string { return n.restBase }
 // XDRAddr returns the advertised XDR endpoint (may be empty).
 func (n *Node) XDRAddr() string { return n.xdrAddr }
 
+// ShmAddr returns the advertised shared-memory endpoint (may be empty).
+func (n *Node) ShmAddr() string { return n.shmAddr }
+
 // Close shuts down the node's listeners.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
@@ -155,6 +179,11 @@ func (n *Node) Close() error {
 		}
 		if n.xdrSrv != nil {
 			if err := n.xdrSrv.Close(); err != nil && n.closeErr == nil {
+				n.closeErr = err
+			}
+		}
+		if n.shmSrv != nil {
+			if err := n.shmSrv.Close(); err != nil && n.closeErr == nil {
 				n.closeErr = err
 			}
 		}

@@ -198,9 +198,11 @@ func (o Options) localContainer(name string) *container.Container {
 	return nil
 }
 
-// preference orders binding kinds cheapest-first for selection.
+// preference orders binding kinds cheapest-first for selection: local
+// in-process access, then the same-host shared-memory ring, then the
+// XDR socket, then the XML transports.
 var preference = []wsdl.BindingKind{
-	wsdl.BindJavaObject, wsdl.BindXDR, wsdl.BindSOAP, wsdl.BindHTTP,
+	wsdl.BindJavaObject, wsdl.BindShm, wsdl.BindXDR, wsdl.BindSOAP, wsdl.BindHTTP,
 }
 
 // Dial selects and opens the cheapest usable port for the service
@@ -265,6 +267,28 @@ func openPort(ref wsdl.PortRef, opts Options) (Port, error) {
 			return nil, nil
 		}
 		return &LocalPort{Container: c, Instance: inst, Telemetry: opts.Telemetry, Chaos: opts.Chaos}, nil
+	case wsdl.BindShm:
+		host, _, err := ParseShmAddress(ref.Port.Address)
+		if err != nil {
+			return nil, err
+		}
+		if !sameHost(host) {
+			return nil, nil // different machine; not an error, just unusable
+		}
+		p, err := NewShmPort(ref.Port.Address, instanceFromDefs(ref))
+		if err != nil {
+			return nil, err
+		}
+		p.SetTelemetry(opts.Telemetry)
+		p.SetChaos(opts.Chaos)
+		// Negotiate at dial time: if the handshake fails (server gone,
+		// platform without mmap), the binding is unusable and selection
+		// falls through to XDR.
+		if err := p.Connect(context.Background()); err != nil {
+			_ = p.Close()
+			return nil, nil
+		}
+		return p, nil
 	case wsdl.BindXDR:
 		inst := instanceFromDefs(ref)
 		p := NewXDRPort(ref.Port.Address, inst, opts.DialPerCall)

@@ -1,0 +1,645 @@
+package invoke
+
+// The shared-memory binding: the fourth rung of the binding ladder,
+// between in-process JavaObject access and the XDR socket binding. It
+// carries exactly the XDR request/response records of the socket binding
+// (decodeRequest/encodeResponse — the wire contract is shared), but over
+// a pair of mmap'd SPSC rings (internal/shmring) instead of a TCP
+// connection, eliminating the syscall-per-exchange and kernel buffer
+// copies that dominate same-host XDR round trips.
+//
+// Rendezvous is a unix-domain socket: the advertised address is
+// shm:<hostname>:<socket path>. A client that shares the host connects,
+// and the server creates a fresh per-connection segment in /dev/shm and
+// sends its path and the server's generation stamp down the socket. The
+// socket then goes quiet and serves as same-host proof (connecting at
+// all requires the shared filesystem) and as the liveness channel: when
+// either process dies, the peer's read returns and the segment is
+// closed, unblocking every ring waiter. A server restart mints a new
+// generation; a port that knew the old one refuses the new segment with
+// ErrStaleShmGeneration, which invalidates stale Binder mappings.
+//
+// Dial-time negotiation is soft everywhere: a hostname mismatch, an
+// unsupported platform, or a failed handshake makes openPort report the
+// shm port unusable (not an error), so Dial falls through to XDR.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
+	"harness2/internal/shmring"
+	"harness2/internal/telemetry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+	"harness2/internal/xdr"
+)
+
+// ErrStaleShmGeneration reports a shm handshake whose generation stamp
+// differs from the one the port bound to: the server restarted behind
+// the same socket path. The error is marked unsent (the request never
+// left the client), so resilience policies may retry, and it propagates
+// through Binder.Invoke's invalidate-on-error path so the stale binding
+// is dropped and rebound.
+var ErrStaleShmGeneration = errors.New("invoke: shm endpoint generation changed (server restarted)")
+
+// ShmAddrPrefix starts every advertised shm endpoint address.
+const ShmAddrPrefix = "shm:"
+
+// ShmAddr builds the advertised address for a handshake socket on this
+// host.
+func ShmAddr(hostname, sockPath string) string {
+	return ShmAddrPrefix + hostname + ":" + sockPath
+}
+
+// ParseShmAddress splits shm:<hostname>:<socket path>.
+func ParseShmAddress(addr string) (hostname, sockPath string, err error) {
+	rest, ok := strings.CutPrefix(addr, ShmAddrPrefix)
+	if !ok {
+		return "", "", fmt.Errorf("invoke: %q is not a shm address", addr)
+	}
+	i := strings.IndexByte(rest, ':')
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", fmt.Errorf("invoke: malformed shm address %q", addr)
+	}
+	return rest[:i], rest[i+1:], nil
+}
+
+// sameHost reports whether the advertised shm address names this machine.
+func sameHost(hostname string) bool {
+	hn, err := os.Hostname()
+	return err == nil && hn == hostname
+}
+
+var shmSockSeq atomic.Uint64
+
+// ShmServerOption configures NewShmServer.
+type ShmServerOption func(*ShmServer)
+
+// WithShmTelemetry selects the server's metrics registry; nil falls back
+// to the process default.
+func WithShmTelemetry(r *telemetry.Registry) ShmServerOption {
+	return func(s *ShmServer) { s.tel = r }
+}
+
+// WithShmLimiter installs server-side admission control, shared with the
+// other bindings' servers.
+func WithShmLimiter(l *resilience.Limiter) ShmServerOption {
+	return func(s *ShmServer) { s.limiter = l }
+}
+
+// WithShmWorkers bounds concurrently executing requests across all
+// segments. Values < 1 are ignored.
+func WithShmWorkers(n int) ShmServerOption {
+	return func(s *ShmServer) {
+		if n >= 1 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithShmRingBytes sizes each direction's ring for new segments.
+func WithShmRingBytes(n int) ShmServerOption {
+	return func(s *ShmServer) {
+		if n > 0 {
+			s.ringBytes = n
+		}
+	}
+}
+
+// ShmServer serves the shared-memory binding for a container's
+// instances: a handshake listener plus one shmring segment and worker
+// loop per connected client.
+type ShmServer struct {
+	c          *container.Container
+	ln         net.Listener
+	sockPath   string
+	hostname   string
+	generation uint64
+	ringBytes  int
+
+	tel     *telemetry.Registry
+	limiter *resilience.Limiter
+	m       bindingMetrics
+
+	sem       chan struct{}
+	closeCtx  context.Context
+	closeStop context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]*shmring.Segment
+	wg     sync.WaitGroup
+}
+
+// NewShmServer starts a shm handshake listener for container c. An empty
+// sockPath picks a fresh socket in the segment directory. On platforms
+// without mmap support it returns an error; callers advertise the
+// binding only when the server started.
+func NewShmServer(c *container.Container, sockPath string, opts ...ShmServerOption) (*ShmServer, error) {
+	if !shmring.Supported() {
+		return nil, errors.New("invoke: shm binding unsupported on this platform")
+	}
+	if sockPath == "" {
+		sockPath = filepath.Join(shmring.SegmentDir(),
+			fmt.Sprintf("h2shm-%d-%d.sock", os.Getpid(), shmSockSeq.Add(1)))
+	}
+	_ = os.Remove(sockPath) // a previous incarnation's socket is dead by definition
+	ln, err := net.Listen("unix", sockPath)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: shm listen: %w", err)
+	}
+	hostname, err := os.Hostname()
+	if err != nil {
+		hostname = "localhost"
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &ShmServer{
+		c: c, ln: ln, sockPath: sockPath, hostname: hostname,
+		// The generation stamp must differ across restarts of the same
+		// socket path; wall-clock nanoseconds at startup do.
+		generation: uint64(time.Now().UnixNano()) | 1,
+		ringBytes:  shmring.DefaultRingBytes,
+		sem:        make(chan struct{}, defaultXDRWorkers()),
+		closeCtx:   ctx, closeStop: cancel,
+		conns: make(map[net.Conn]*shmring.Segment),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.m = newBindingMetrics(telemetry.Or(s.tel), "shm-server")
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the advertised endpoint address (shm:<host>:<socket>).
+func (s *ShmServer) Addr() string { return ShmAddr(s.hostname, s.sockPath) }
+
+// SockPath returns the handshake socket path.
+func (s *ShmServer) SockPath() string { return s.sockPath }
+
+// Generation returns the server's incarnation stamp.
+func (s *ShmServer) Generation() uint64 { return s.generation }
+
+// Retarget points the server at a different container (node bootstrap;
+// see XDRServer.Retarget).
+func (s *ShmServer) Retarget(c *container.Container) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c = c
+}
+
+func (s *ShmServer) target() *container.Container {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// Close stops the listener and all segments, then waits for in-flight
+// handlers to drain.
+func (s *ShmServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn, seg := range s.conns {
+		_ = seg.Close()
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.closeStop()
+	s.wg.Wait()
+	_ = os.Remove(s.sockPath)
+	return err
+}
+
+func (s *ShmServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn owns one client: create the segment, hand its path over the
+// socket, then serve ring records until the segment closes (client
+// disconnect, server Close, or ring poisoning).
+func (s *ShmServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	seg, err := shmring.Create("", s.ringBytes, s.generation)
+	if err != nil {
+		return
+	}
+	defer seg.Close()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = seg
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	e := xdr.GetEncoder()
+	e.String(seg.Path())
+	e.Uint64(s.generation)
+	err = xdr.WriteFrame(conn, e.Bytes())
+	xdr.PutEncoder(e)
+	if err != nil {
+		return
+	}
+
+	// Liveness watcher: the handshake socket carries no further data, so
+	// a read returns only when the client goes away — then the segment is
+	// closed, unblocking the ring loops below.
+	go func() {
+		var b [1]byte
+		for {
+			if _, err := conn.Read(b[:]); err != nil {
+				break
+			}
+		}
+		_ = seg.Close()
+	}()
+
+	s.serveSegment(seg)
+}
+
+type shmTask struct {
+	id    uint64
+	frame []byte
+}
+
+// serveSegment is the shm twin of XDRServer.serveV2: request records
+// fan out to a worker pool (bounded globally by s.sem) and responses
+// return on the B ring in completion order, tagged with their request
+// id. No flusher is needed — a ring write is its own commit.
+func (s *ShmServer) serveSegment(seg *shmring.Segment) {
+	var wmu sync.Mutex // serializes producers on the SPSC response ring
+	nw := cap(s.sem)
+	tasks := make(chan shmTask, nw)
+	var workers sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for t := range tasks {
+				s.sem <- struct{}{}
+				resp := s.handleRecord(t.frame)
+				xdr.PutFrameBuf(t.frame)
+				wmu.Lock()
+				err := seg.B.WriteRecord(t.id, resp.Bytes())
+				wmu.Unlock()
+				xdr.PutEncoder(resp)
+				<-s.sem
+				if err != nil {
+					_ = seg.Close() // unblocks the read loop below
+				}
+			}
+		}()
+	}
+	for {
+		// Each record needs its own buffer (workers hold them
+		// concurrently); the frame pool recycles them across requests.
+		id, payload, err := seg.A.ReadRecord(xdr.GetFrameBuf(0))
+		if err != nil {
+			break
+		}
+		tasks <- shmTask{id: id, frame: payload}
+	}
+	close(tasks)
+	workers.Wait()
+}
+
+// handleRecord decodes one request, invokes it, and encodes the response
+// into a pooled encoder the caller must release — the same contract as
+// XDRServer.handleFrame, minus the frame header (the ring record carries
+// the id).
+func (s *ShmServer) handleRecord(frame []byte) *xdr.Encoder {
+	e := xdr.GetEncoder()
+	fault := func(err error) *xdr.Encoder {
+		e.Reset()
+		return encodeFault(e, err)
+	}
+	instance, op, args, err := decodeRequest(frame)
+	if err != nil {
+		return fault(err)
+	}
+	release, err := s.limiter.Acquire(s.closeCtx)
+	if err != nil {
+		return fault(err)
+	}
+	h, start := s.m.begin(op)
+	out, err := s.target().Invoke(s.closeCtx, instance, op, args)
+	release()
+	s.m.done(op, h, start, err)
+	if err != nil {
+		return fault(err)
+	}
+	if err := encodeResponse(e, out); err != nil {
+		return fault(err)
+	}
+	return e
+}
+
+type shmReply struct {
+	frame []byte
+	err   error
+}
+
+// ShmPort is the client side of the shared-memory binding. Like the
+// multiplexed XDRPort it supports any number of concurrent Invokes: each
+// call tags its request record with an id and a demultiplexing goroutine
+// routes response records back to their callers.
+type ShmPort struct {
+	addr     string // advertised shm:<host>:<socket> address
+	sockPath string
+	instance string
+
+	tel   *telemetry.Registry
+	chaos *chaos.Injector
+	minit sync.Once
+	m     bindingMetrics
+
+	nextID atomic.Uint64
+
+	mu         sync.Mutex // connection lifecycle
+	conn       net.Conn
+	seg        *shmring.Segment
+	generation uint64 // pinned at first handshake; 0 = not yet bound
+	closed     bool
+
+	wmu sync.Mutex // serializes producers on the SPSC request ring
+
+	cmu   sync.Mutex
+	calls map[uint64]chan shmReply
+}
+
+var _ Port = (*ShmPort)(nil)
+
+// NewShmPort returns an unconnected port for the advertised shm address,
+// targeting the given instance. The first Invoke (or an explicit
+// Connect) performs the handshake.
+func NewShmPort(addr, instance string) (*ShmPort, error) {
+	_, sockPath, err := ParseShmAddress(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ShmPort{addr: addr, sockPath: sockPath, instance: instance,
+		calls: make(map[uint64]chan shmReply)}, nil
+}
+
+// SetTelemetry selects the port's metrics registry; it must be called
+// before the first Invoke (openPort does).
+func (p *ShmPort) SetTelemetry(r *telemetry.Registry) { p.tel = r }
+
+// SetChaos attaches a fault injector evaluated before each call; it must
+// be set before the first Invoke (openPort does).
+func (p *ShmPort) SetChaos(in *chaos.Injector) { p.chaos = in }
+
+func (p *ShmPort) metrics() *bindingMetrics {
+	p.minit.Do(func() { p.m = newBindingMetrics(telemetry.Or(p.tel), "shm") })
+	return &p.m
+}
+
+// Connect performs the handshake eagerly so Dial can fall back to XDR
+// when the shm endpoint is unreachable.
+func (p *ShmPort) Connect(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.segmentLocked(ctx)
+	return err
+}
+
+// Generation returns the server incarnation the port is bound to, or 0
+// before the first handshake.
+func (p *ShmPort) Generation() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.generation
+}
+
+// segmentLocked returns a live segment, handshaking (or re-handshaking
+// after a connection loss) as needed. A re-handshake that reaches a
+// different server incarnation fails with ErrStaleShmGeneration rather
+// than silently rebinding: the caller's Binder owns rediscovery.
+func (p *ShmPort) segmentLocked(ctx context.Context) (*shmring.Segment, error) {
+	if p.closed {
+		return nil, errors.New("invoke: shm port closed")
+	}
+	if p.seg != nil && !p.seg.Closed() {
+		return p.seg, nil
+	}
+	p.dropLocked()
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "unix", p.sockPath)
+	if err != nil {
+		return nil, fmt.Errorf("invoke: shm dial %s: %w", p.sockPath, err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetReadDeadline(deadline)
+	}
+	frame, err := xdr.ReadFramePooled(bufio.NewReaderSize(conn, 256))
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("invoke: shm handshake: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	dec := xdr.NewDecoder(frame)
+	segPath, err := dec.String()
+	var gen uint64
+	if err == nil {
+		gen, err = dec.Uint64()
+	}
+	xdr.PutFrameBuf(frame)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("invoke: shm handshake: %w", err)
+	}
+	if p.generation != 0 && gen != p.generation {
+		_ = conn.Close()
+		return nil, fmt.Errorf("invoke: shm rebind %s: %w", p.sockPath, ErrStaleShmGeneration)
+	}
+	seg, err := shmring.Open(segPath, gen)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("invoke: shm attach: %w", err)
+	}
+	p.conn = conn
+	p.seg = seg
+	p.generation = gen
+
+	// Liveness watcher: a dead server surfaces as socket EOF; closing the
+	// segment unblocks the demux loop and any writer stuck on a full ring.
+	go func() {
+		var b [1]byte
+		for {
+			if _, err := conn.Read(b[:]); err != nil {
+				break
+			}
+		}
+		_ = seg.Close()
+	}()
+	go p.demux(seg)
+	return seg, nil
+}
+
+// demux routes response records to their waiting callers. On segment
+// close every pending call fails: the request may or may not have
+// executed, so the error is NOT marked unsent.
+func (p *ShmPort) demux(seg *shmring.Segment) {
+	var buf []byte
+	for {
+		id, payload, err := seg.B.ReadRecord(buf)
+		if err != nil {
+			p.failPending(errors.New("invoke: shm connection lost"))
+			return
+		}
+		p.cmu.Lock()
+		ch := p.calls[id]
+		delete(p.calls, id)
+		p.cmu.Unlock()
+		if ch == nil {
+			buf = payload // caller gave up (ctx cancel); reuse the buffer
+			continue
+		}
+		buf = nil
+		ch <- shmReply{frame: payload}
+	}
+}
+
+func (p *ShmPort) failPending(err error) {
+	p.cmu.Lock()
+	calls := p.calls
+	p.calls = make(map[uint64]chan shmReply)
+	p.cmu.Unlock()
+	for _, ch := range calls {
+		ch <- shmReply{err: err}
+	}
+}
+
+// Invoke implements Port; safe for concurrent use.
+func (p *ShmPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	if err := p.chaos.Apply(ctx, "shm", op, p.addr); err != nil {
+		return nil, err
+	}
+	m := p.metrics()
+	h, start := m.begin(op)
+	_, sp := telemetry.Or(p.tel).ChildSpan(ctx, "invoke.shm")
+	out, err := p.invoke(ctx, op, args)
+	sp.SetError(err)
+	sp.End()
+	m.done(op, h, start, err)
+	return out, err
+}
+
+func (p *ShmPort) invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
+	p.mu.Lock()
+	seg, err := p.segmentLocked(ctx)
+	p.mu.Unlock()
+	if err != nil {
+		// Nothing was sent: dial, handshake, and generation failures all
+		// happen before the request record exists.
+		return nil, resilience.MarkUnsent(err)
+	}
+
+	e := xdr.GetEncoder()
+	if err := encodeRequest(e, p.instance, op, args); err != nil {
+		xdr.PutEncoder(e)
+		return nil, err
+	}
+	id := p.nextID.Add(1)
+	ch := make(chan shmReply, 1)
+	p.cmu.Lock()
+	p.calls[id] = ch
+	p.cmu.Unlock()
+
+	p.wmu.Lock()
+	err = seg.A.WriteRecord(id, e.Bytes())
+	p.wmu.Unlock()
+	xdr.PutEncoder(e)
+	if err != nil {
+		p.cmu.Lock()
+		delete(p.calls, id)
+		p.cmu.Unlock()
+		// WriteRecord publishes a record atomically: an error means no
+		// part of the request became visible to the server.
+		return nil, resilience.MarkUnsent(fmt.Errorf("invoke: shm call %s: %w", op, err))
+	}
+
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, fmt.Errorf("invoke: shm call %s: %w", op, r.err)
+		}
+		out, derr := decodeResponse(r.frame)
+		xdr.PutFrameBuf(r.frame)
+		return out, derr
+	case <-ctx.Done():
+		p.cmu.Lock()
+		delete(p.calls, id)
+		p.cmu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Kind implements Port.
+func (p *ShmPort) Kind() wsdl.BindingKind { return wsdl.BindShm }
+
+// Endpoint implements Port.
+func (p *ShmPort) Endpoint() string { return p.addr }
+
+func (p *ShmPort) dropLocked() {
+	if p.seg != nil {
+		_ = p.seg.Close()
+		p.seg = nil
+	}
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// Close implements Port.
+func (p *ShmPort) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.dropLocked()
+	p.mu.Unlock()
+	p.failPending(errors.New("invoke: shm port closed"))
+	return nil
+}

@@ -247,9 +247,11 @@ type v2task struct {
 // already runnable appends its frame first, then the whole burst leaves
 // in one write syscall (the dominant per-call cost on a fast network).
 // An isolated response still flushes with only a scheduler yield of
-// extra latency. See muxConn.flushLoop for the client-side twin.
+// extra latency, and a bulk response skips the coalescing copy entirely
+// — frameWriter sends it vectored with whatever is already buffered.
+// See muxConn.flushLoop for the client-side twin.
 func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
-	bw := bufio.NewWriterSize(&countingWriter{w: conn, tx: s.wm.tx}, xdrBufSize)
+	fw := newFrameWriter(conn, s.wm)
 	var wmu sync.Mutex // serializes response frames on the shared writer
 	flushKick := make(chan struct{}, 1)
 	flushDone := make(chan struct{})
@@ -273,9 +275,8 @@ func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
 			}
 			wmu.Lock()
 			var err error
-			if n := bw.Buffered(); n > 0 {
-				err = bw.Flush()
-				s.wm.flushBatch.Observe(uint64(n))
+			if fw.Buffered() > 0 {
+				err = fw.Flush()
 			}
 			wmu.Unlock()
 			if err != nil {
@@ -299,7 +300,7 @@ func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
 				frame, err := resp.FrameBytes(t.id)
 				if err == nil {
 					wmu.Lock()
-					_, err = bw.Write(frame)
+					_, err = fw.Write(frame)
 					wmu.Unlock()
 				}
 				xdr.PutEncoder(resp)
@@ -327,8 +328,8 @@ func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
 	// deferred conn.Close in serveConn runs after this.
 	close(flushDone)
 	wmu.Lock()
-	if bw.Buffered() > 0 {
-		_ = bw.Flush()
+	if fw.Buffered() > 0 {
+		_ = fw.Flush()
 	}
 	wmu.Unlock()
 }

@@ -34,7 +34,7 @@ type muxResult struct {
 type muxConn struct {
 	conn net.Conn
 	cw   *countingWriter
-	bw   *bufio.Writer
+	fw   *frameWriter
 	wm   xdrWireMetrics // nil-safe handles; zero value is fully inert
 
 	wmu         sync.Mutex    // serializes request frames (and the write deadline)
@@ -59,17 +59,17 @@ func dialMux(ctx context.Context, addr string, wm xdrWireMetrics) (*muxConn, err
 	if err != nil {
 		return nil, fmt.Errorf("invoke: xdr dial %s: %w", addr, err)
 	}
-	cw := &countingWriter{w: conn, tx: wm.tx}
+	fw := newFrameWriter(conn, wm)
 	mc := &muxConn{
 		conn:      conn,
-		cw:        cw,
-		bw:        bufio.NewWriterSize(cw, xdrBufSize),
+		cw:        fw.cw,
+		fw:        fw,
 		wm:        wm,
 		pending:   make(map[uint64]chan muxResult),
 		flushKick: make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
-	if err := xdr.WriteMagicV2(mc.bw); err != nil {
+	if err := xdr.WriteMagicV2(mc.fw); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
@@ -111,9 +111,8 @@ func (mc *muxConn) flushLoop() {
 		}
 		mc.wmu.Lock()
 		var err error
-		if n := mc.bw.Buffered(); n > 0 {
-			err = mc.bw.Flush()
-			mc.wm.flushBatch.Observe(uint64(n))
+		if mc.fw.Buffered() > 0 {
+			err = mc.fw.Flush()
 		}
 		mc.wmu.Unlock()
 		if err != nil {
@@ -216,10 +215,10 @@ func (mc *muxConn) wasReused() bool { return mc.reused.Load() }
 
 // writeRequest seals the request encoder into a frame for id, buffers
 // it, and schedules a flush. It reports whether any byte of the frame
-// reached the socket (a frame larger than the buffer is written through
-// immediately), which gates the caller's retry decision. Flush errors
-// for fully-buffered frames surface through the per-call response
-// channel when flushLoop shuts the connection down.
+// reached the socket (a large frame leaves immediately as a vectored
+// write; see frameWriter), which gates the caller's retry decision.
+// Flush errors for fully-buffered frames surface through the per-call
+// response channel when flushLoop shuts the connection down.
 func (mc *muxConn) writeRequest(ctx context.Context, id uint64, e *xdr.Encoder) (wroteAny bool, err error) {
 	frame, err := e.FrameBytes(id)
 	if err != nil {
@@ -240,7 +239,7 @@ func (mc *muxConn) writeRequest(ctx context.Context, id uint64, e *xdr.Encoder) 
 		mc.deadlineSet = false
 	}
 	mc.cw.n = 0
-	_, err = mc.bw.Write(frame)
+	_, err = mc.fw.Write(frame)
 	wroteAny = mc.cw.n > 0
 	mc.wmu.Unlock()
 	if err == nil {

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package shmring
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrUnsupported reports that mmap-backed segments are unavailable on
+// this platform; the shm binding is skipped and callers fall back to
+// the XDR socket binding.
+var ErrUnsupported = errors.New("shmring: mmap segments unsupported on this platform")
+
+// Supported reports whether mmap-backed segments work on this platform.
+func Supported() bool { return false }
+
+// SegmentDir returns the directory that would hold segment files.
+func SegmentDir() string { return os.TempDir() }
+
+// Create is unavailable; heap-backed NewPair still works for tests.
+func Create(dir string, ringBytes int, generation uint64) (*Segment, error) {
+	return nil, ErrUnsupported
+}
+
+// Open is unavailable on this platform.
+func Open(path string, wantGeneration uint64) (*Segment, error) {
+	return nil, ErrUnsupported
+}

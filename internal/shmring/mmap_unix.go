@@ -1,0 +1,107 @@
+//go:build unix
+
+package shmring
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Supported reports whether mmap-backed segments work on this platform.
+func Supported() bool { return true }
+
+// SegmentDir returns the directory for segment backing files: /dev/shm
+// when present (memory-backed tmpfs on Linux), else the OS temp dir.
+func SegmentDir() string {
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}
+
+func mapFile(f *os.File, size int) ([]byte, func(), error) {
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shmring: mmap: %w", err)
+	}
+	return mem, func() { _ = syscall.Munmap(mem) }, nil
+}
+
+// Create makes a new mmap-backed segment in dir (SegmentDir() when
+// empty). The server creates one segment per accepted connection,
+// stamps it with its incarnation generation, and sends the path to the
+// client over the handshake socket. The backing file is unlinked on
+// Close; a crashed server leaves it for tmpfs to reclaim at unmount or
+// for the next incarnation's stale sweep.
+func Create(dir string, ringBytes int, generation uint64) (*Segment, error) {
+	if dir == "" {
+		dir = SegmentDir()
+	}
+	f, err := os.CreateTemp(dir, "h2shm-*")
+	if err != nil {
+		return nil, fmt.Errorf("shmring: create segment: %w", err)
+	}
+	size := SegmentSize(ringBytes)
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("shmring: size segment: %w", err)
+	}
+	mem, unmap, err := mapFile(f, size)
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	s, err := initSegment(mem, ringBytes, generation)
+	if err != nil {
+		unmap()
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	s.path = f.Name()
+	path := f.Name()
+	s.cleanup = func() {
+		unmap()
+		f.Close()
+		os.Remove(path)
+	}
+	return s, nil
+}
+
+// Open attaches to a segment created by a server on this host. A
+// non-zero wantGeneration must match the stamp in the segment header;
+// a mismatch means the path belongs to a different server incarnation
+// (ErrWrongGeneration), which callers surface to the binder so the
+// stale mapping is dropped.
+func Open(path string, wantGeneration uint64) (*Segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shmring: open segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shmring: stat segment: %w", err)
+	}
+	mem, unmap, err := mapFile(f, int(fi.Size()))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := attachSegment(mem, wantGeneration)
+	if err != nil {
+		unmap()
+		f.Close()
+		return nil, err
+	}
+	s.path = path
+	s.cleanup = func() {
+		unmap()
+		f.Close()
+	}
+	return s, nil
+}

@@ -1,0 +1,58 @@
+//go:build linux
+
+package shmring
+
+import (
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Blocked-side parking via futex on the ring counters themselves. The
+// counters live in the shared mapping, so FUTEX_WAIT/FUTEX_WAKE must use
+// the shared (non-PRIVATE) forms: the waiter and the waker may be
+// different processes mapping the same /dev/shm page.
+//
+// The protocol cannot lose a wakeup for long: wakers only syscall when
+// the waiter counter is non-zero (so the streaming fast path never
+// enters the kernel), waiters re-check the condition after registering,
+// and every wait carries a timeout, so even a wake that races ahead of
+// its wait costs at most one timeout interval.
+
+const (
+	futexWaitOp = 0 // FUTEX_WAIT, shared form
+	futexWakeOp = 1 // FUTEX_WAKE, shared form
+)
+
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// waitWord returns the address of the low-order 32 bits of a counter —
+// the bits that change on every advance, and the word futex operates on.
+func waitWord(w *atomic.Uint64) *uint32 {
+	p := unsafe.Pointer(w)
+	if !hostLittleEndian {
+		p = unsafe.Add(p, 4)
+	}
+	return (*uint32)(p)
+}
+
+// osWait blocks until the low word of w changes from the low word of
+// seen, a wake arrives, or d elapses. Spurious returns are fine; callers
+// loop on the real condition.
+func osWait(w *atomic.Uint64, seen uint64, d time.Duration) {
+	ts := syscall.NsecToTimespec(int64(d))
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(waitWord(w))), futexWaitOp,
+		uintptr(uint32(seen)), uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// osWake wakes every waiter parked on w's low word.
+func osWake(w *atomic.Uint64) {
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(waitWord(w))), futexWakeOp,
+		uintptr(^uint32(0)>>1), 0, 0, 0)
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package shmring
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Portable parking: short sleeps with the caller's escalating interval.
+// Wakes are implicit — a sleeping waiter re-checks the condition when
+// its interval expires — so osWake has nothing to do.
+
+func osWait(w *atomic.Uint64, seen uint64, d time.Duration) {
+	time.Sleep(d)
+}
+
+func osWake(w *atomic.Uint64) {}

@@ -37,6 +37,10 @@ type EndpointSet struct {
 	// are all text-encodable (no structs) may advertise it.
 	HTTPAddress string
 	XDRAddress  string // e.g. host:9010
+	// ShmAddress locates the shared-memory handshake socket for same-host
+	// clients: shm:<hostname>:<socket path>. The hostname lets a client on
+	// a different machine reject the port without touching the filesystem.
+	ShmAddress string
 	// LocalAddress locates the JavaObject port: local:<container>/<instance>.
 	LocalAddress string
 	// Class names the implementing component type for the JavaObject
@@ -120,6 +124,18 @@ func Generate(spec ServiceSpec, eps EndpointSet) (*Definitions, error) {
 			Name:    spec.Name + "XDRPort",
 			Binding: b.Name,
 			Address: eps.XDRAddress,
+		})
+	}
+	if eps.ShmAddress != "" {
+		if err := checkNumericOnly(spec); err != nil {
+			return nil, err
+		}
+		b := Binding{Name: spec.Name + "ShmBinding", Type: pt.Name, Kind: BindShm}
+		d.Bindings = append(d.Bindings, b)
+		svc.Ports = append(svc.Ports, Port{
+			Name:    spec.Name + "ShmPort",
+			Binding: b.Name,
+			Address: eps.ShmAddress,
 		})
 	}
 	if eps.LocalAddress != "" {

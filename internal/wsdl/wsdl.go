@@ -12,7 +12,11 @@
 //     container ("the binding not only defines the object type but also a
 //     specific instance");
 //   - XDR — the HARNESS II extension binding that delivers numerical data
-//     on direct socket-level connections in XDR encoding.
+//     on direct socket-level connections in XDR encoding;
+//   - Shm — a further extension binding for co-located processes: the
+//     same XDR-encoded records carried over a shared-memory ring pair
+//     instead of a socket, usable only when client and server share a
+//     host (see internal/shmring).
 //
 // The package also implements the paper's `wsdlgen`/`servicegen` tooling
 // equivalent: Generate produces a complete WSDL definition from a Go
@@ -38,6 +42,7 @@ const (
 	BindHTTP                          // HTTP GET (urlEncoded)
 	BindXDR                           // XDR over direct socket
 	BindJavaObject                    // in-process instance access
+	BindShm                           // XDR records over a same-host shared-memory ring
 )
 
 // String returns the binding kind's WSDL extension element prefix.
@@ -51,6 +56,8 @@ func (k BindingKind) String() string {
 		return "xdr"
 	case BindJavaObject:
 		return "java"
+	case BindShm:
+		return "shm"
 	}
 	return "unknown"
 }
@@ -241,7 +248,9 @@ func (d *Definitions) Validate() error {
 		if pt == nil {
 			return fmt.Errorf("wsdl: binding %q references unknown port type %q", b.Name, b.Type)
 		}
-		if b.Kind == BindXDR {
+		if b.Kind == BindXDR || b.Kind == BindShm {
+			// The shm binding carries the same XDR-encoded records, so it
+			// inherits the XDR binding's numeric-only restriction.
 			for _, op := range pt.Operations {
 				for _, msgName := range []string{op.Input, op.Output} {
 					if msgName == "" {
@@ -249,8 +258,8 @@ func (d *Definitions) Validate() error {
 					}
 					for _, part := range d.Message(msgName).Parts {
 						if !part.Type.Numeric() {
-							return fmt.Errorf("wsdl: XDR binding %q cannot carry non-numeric part %q (%v) of message %q",
-								b.Name, part.Name, part.Type, msgName)
+							return fmt.Errorf("wsdl: %v binding %q cannot carry non-numeric part %q (%v) of message %q",
+								b.Kind, b.Name, part.Name, part.Type, msgName)
 						}
 					}
 				}
@@ -277,6 +286,7 @@ const (
 	NSHTTP = "http://schemas.xmlsoap.org/wsdl/http/"
 	NSJava = "urn:harness2:wsdl:java"
 	NSXDR  = "urn:harness2:wsdl:xdr"
+	NSShm  = "urn:harness2:wsdl:shm"
 	NSXSD  = "http://www.w3.org/2001/XMLSchema"
 )
 
@@ -294,6 +304,7 @@ func (d *Definitions) Node() *xmlq.Node {
 		xmlq.Attr{Space: "xmlns", Local: "http", Value: NSHTTP},
 		xmlq.Attr{Space: "xmlns", Local: "java", Value: NSJava},
 		xmlq.Attr{Space: "xmlns", Local: "xdr", Value: NSXDR},
+		xmlq.Attr{Space: "xmlns", Local: "shm", Value: NSShm},
 		xmlq.Attr{Space: "xmlns", Local: "xsd", Value: NSXSD},
 	)
 	for _, m := range d.Messages {
@@ -346,6 +357,8 @@ func (d *Definitions) Node() *xmlq.Node {
 			}
 		case BindXDR:
 			bn.AddNew("xdr:binding").SetAttr("transport", "socket")
+		case BindShm:
+			bn.AddNew("shm:binding").SetAttr("transport", "shared-memory")
 		}
 	}
 	for _, s := range d.Services {
@@ -420,6 +433,8 @@ func Parse(root *xmlq.Node) (*Definitions, error) {
 			b.Instance = ext.AttrOr("instance", "")
 		case "xdr":
 			b.Kind = BindXDR
+		case "shm":
+			b.Kind = BindShm
 		default:
 			return nil, fmt.Errorf("wsdl: binding %q has unknown extension prefix %q", b.Name, ext.Prefix)
 		}

@@ -4,12 +4,15 @@ package xdr
 // paths behind the XDR array encoders) without the XDR length prefix,
 // so other wire formats — notably the SOAP packed-array encoding, which
 // carries the same big-endian element bytes in BASE64 text — reuse one
-// set of tuned pack/unpack loops instead of growing their own.
+// set of tuned pack/unpack loops instead of growing their own. On
+// capable hosts the loops take the same zero-copy word-swap kernels as
+// the Encoder/Decoder array paths (zerocopy.go).
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"harness2/internal/wire"
 )
@@ -34,33 +37,58 @@ func RawSize(v any) int {
 
 // AppendRaw appends the big-endian raw element bytes of a numeric array
 // (no length prefix, no padding) to dst and returns the extended slice.
-// Unsupported values append nothing.
+// Unsupported values append nothing. Like the length-prefixed encoders,
+// it grows dst once and block-converts.
 func AppendRaw(dst []byte, v any) []byte {
+	size := RawSize(v)
+	if size <= 0 {
+		return dst
+	}
+	off := len(dst)
+	dst = slices.Grow(dst, size)[:off+size]
+	out := dst[off:]
+	zc := ZeroCopyEnabled()
 	switch a := v.(type) {
 	case []bool:
-		off := len(dst)
-		dst = append(dst, make([]byte, len(a))...)
-		out := dst[off:]
+		for i := range out {
+			out[i] = 0
+		}
 		for i, x := range a {
 			if x {
 				out[i] = 1
 			}
 		}
 	case []int32:
-		for _, x := range a {
-			dst = binary.BigEndian.AppendUint32(dst, uint32(x))
+		if zc {
+			swapPut32(out, i32words(a))
+			break
+		}
+		for i, x := range a {
+			binary.BigEndian.PutUint32(out[4*i:], uint32(x))
 		}
 	case []int64:
-		for _, x := range a {
-			dst = binary.BigEndian.AppendUint64(dst, uint64(x))
+		if zc {
+			swapPut64(out, i64words(a))
+			break
+		}
+		for i, x := range a {
+			binary.BigEndian.PutUint64(out[8*i:], uint64(x))
 		}
 	case []float32:
-		for _, x := range a {
-			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(x))
+		if zc {
+			swapPut32(out, f32words(a))
+			break
+		}
+		for i, x := range a {
+			binary.BigEndian.PutUint32(out[4*i:], math.Float32bits(x))
 		}
 	case []float64:
-		for _, x := range a {
-			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(x))
+		if zc {
+			swapPut64(out, f64words(a))
+			break
+		}
+		for i, x := range a {
+			binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
 		}
 	}
 	return dst
@@ -68,11 +96,13 @@ func AppendRaw(dst []byte, v any) []byte {
 
 // UnpackRaw decodes n big-endian elements of the given array kind from
 // raw (which must be exactly the packed size) into a freshly allocated
-// typed slice — the inverse of AppendRaw.
+// typed slice — the inverse of AppendRaw. The declared count passes the
+// same CheckLen guard as every length prefix in the package.
 func UnpackRaw(kind wire.Kind, raw []byte, n int) (any, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("xdr: negative raw array length")
+	if err := CheckLen(n); err != nil {
+		return nil, fmt.Errorf("xdr: raw array of %d elements: %w", n, err)
 	}
+	zc := ZeroCopyEnabled()
 	switch kind {
 	case wire.KindBoolArray:
 		if len(raw) != n {
@@ -88,6 +118,10 @@ func UnpackRaw(kind wire.Kind, raw []byte, n int) (any, error) {
 			return nil, fmt.Errorf("xdr: int array length mismatch")
 		}
 		out := make([]int32, n)
+		if zc {
+			swapGet32(i32words(out), raw)
+			return out, nil
+		}
 		for i := range out {
 			out[i] = int32(binary.BigEndian.Uint32(raw[4*i:]))
 		}
@@ -97,6 +131,10 @@ func UnpackRaw(kind wire.Kind, raw []byte, n int) (any, error) {
 			return nil, fmt.Errorf("xdr: long array length mismatch")
 		}
 		out := make([]int64, n)
+		if zc {
+			swapGet64(i64words(out), raw)
+			return out, nil
+		}
 		for i := range out {
 			out[i] = int64(binary.BigEndian.Uint64(raw[8*i:]))
 		}
@@ -106,6 +144,10 @@ func UnpackRaw(kind wire.Kind, raw []byte, n int) (any, error) {
 			return nil, fmt.Errorf("xdr: float array length mismatch")
 		}
 		out := make([]float32, n)
+		if zc {
+			swapGet32(f32words(out), raw)
+			return out, nil
+		}
 		for i := range out {
 			out[i] = math.Float32frombits(binary.BigEndian.Uint32(raw[4*i:]))
 		}
@@ -115,6 +157,10 @@ func UnpackRaw(kind wire.Kind, raw []byte, n int) (any, error) {
 			return nil, fmt.Errorf("xdr: double array length mismatch")
 		}
 		out := make([]float64, n)
+		if zc {
+			swapGet64(f64words(out), raw)
+			return out, nil
+		}
 		for i := range out {
 			out[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
 		}

@@ -35,6 +35,19 @@ var (
 // against hostile or corrupt length prefixes (256 Mi elements).
 const MaxLen = 1 << 28
 
+// CheckLen is the one guard every declared element count passes through,
+// on both sides of the wire: the decoder's length prefixes, EncodeValue's
+// outgoing array/opaque/string lengths, and the raw.go bulk helpers all
+// funnel here, so the overflow rules cannot drift apart again. It rejects
+// negative counts and anything above MaxLen — which also proves the count
+// fits a uint32, making the uint32(n) length-word conversions lossless.
+func CheckLen(n int) error {
+	if n < 0 || n > MaxLen {
+		return ErrTooLarge
+	}
+	return nil
+}
+
 // Encoder appends XDR-encoded primitives to an internal buffer.
 // The zero value is ready to use.
 type Encoder struct {
@@ -120,40 +133,62 @@ func (e *Encoder) grow(n int) []byte {
 }
 
 // Int32Array encodes a variable-length array of int32 with a single
-// buffer grow and block big-endian conversion.
+// buffer grow and block big-endian conversion (zero-copy word swap on
+// capable hosts).
 func (e *Encoder) Int32Array(a []int32) {
 	e.Uint32(uint32(len(a)))
 	dst := e.grow(4 * len(a))
+	if ZeroCopyEnabled() {
+		swapPut32(dst, i32words(a))
+		return
+	}
 	for i, v := range a {
 		binary.BigEndian.PutUint32(dst[4*i:], uint32(v))
 	}
 }
 
 // Int64Array encodes a variable-length array of hyper with a single
-// buffer grow and block big-endian conversion.
+// buffer grow and block big-endian conversion (zero-copy word swap on
+// capable hosts).
 func (e *Encoder) Int64Array(a []int64) {
 	e.Uint32(uint32(len(a)))
 	dst := e.grow(8 * len(a))
+	if ZeroCopyEnabled() {
+		swapPut64(dst, i64words(a))
+		return
+	}
 	for i, v := range a {
 		binary.BigEndian.PutUint64(dst[8*i:], uint64(v))
 	}
 }
 
 // Float32Array encodes a variable-length array of single floats with a
-// single buffer grow and block big-endian conversion.
+// single buffer grow and block big-endian conversion (zero-copy word swap
+// on capable hosts).
 func (e *Encoder) Float32Array(a []float32) {
 	e.Uint32(uint32(len(a)))
 	dst := e.grow(4 * len(a))
+	if ZeroCopyEnabled() {
+		swapPut32(dst, f32words(a))
+		return
+	}
 	for i, v := range a {
 		binary.BigEndian.PutUint32(dst[4*i:], math.Float32bits(v))
 	}
 }
 
 // Float64Array encodes a variable-length array of double floats. This is
-// the hot path of the XDR binding; it widens the buffer once then fills.
+// the hot path of the XDR binding; it widens the buffer once then fills —
+// on capable hosts by reinterpreting the array's backing store and
+// byte-swapping whole words (zerocopy.go), with the element loop kept as
+// the portable fallback.
 func (e *Encoder) Float64Array(a []float64) {
 	e.Uint32(uint32(len(a)))
 	dst := e.grow(8 * len(a))
+	if ZeroCopyEnabled() {
+		swapPut64(dst, f64words(a))
+		return
+	}
 	for i, v := range a {
 		binary.BigEndian.PutUint64(dst[8*i:], math.Float64bits(v))
 	}
@@ -256,8 +291,8 @@ func (d *Decoder) declaredLen() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if n > MaxLen {
-		return 0, ErrTooLarge
+	if err := CheckLen(int(n)); err != nil {
+		return 0, err
 	}
 	return int(n), nil
 }
@@ -297,7 +332,14 @@ func (d *Decoder) array(n, elemSize int) ([]byte, error) {
 }
 
 // Int32Array decodes a variable-length array of int32.
-func (d *Decoder) Int32Array() ([]int32, error) {
+func (d *Decoder) Int32Array() ([]int32, error) { return d.Int32ArrayInto(nil) }
+
+// Int32ArrayInto decodes an int32 array into dst, reusing its capacity
+// when it suffices and allocating only otherwise; it returns dst resliced
+// to the decoded length. The decode-into variants let steady-state
+// callers (pooled buffers, preallocated workspaces) take arrays off the
+// wire with zero allocations.
+func (d *Decoder) Int32ArrayInto(dst []int32) ([]int32, error) {
 	n, err := d.declaredLen()
 	if err != nil {
 		return nil, err
@@ -306,15 +348,26 @@ func (d *Decoder) Int32Array() ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(binary.BigEndian.Uint32(src[4*i:]))
+	if cap(dst) < n {
+		dst = make([]int32, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	if ZeroCopyEnabled() {
+		swapGet32(i32words(dst), src)
+		return dst, nil
+	}
+	for i := range dst {
+		dst[i] = int32(binary.BigEndian.Uint32(src[4*i:]))
+	}
+	return dst, nil
 }
 
 // Int64Array decodes a variable-length array of hyper.
-func (d *Decoder) Int64Array() ([]int64, error) {
+func (d *Decoder) Int64Array() ([]int64, error) { return d.Int64ArrayInto(nil) }
+
+// Int64ArrayInto is the decode-into variant of Int64Array; see
+// Int32ArrayInto for the contract.
+func (d *Decoder) Int64ArrayInto(dst []int64) ([]int64, error) {
 	n, err := d.declaredLen()
 	if err != nil {
 		return nil, err
@@ -323,15 +376,26 @@ func (d *Decoder) Int64Array() ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = int64(binary.BigEndian.Uint64(src[8*i:]))
+	if cap(dst) < n {
+		dst = make([]int64, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	if ZeroCopyEnabled() {
+		swapGet64(i64words(dst), src)
+		return dst, nil
+	}
+	for i := range dst {
+		dst[i] = int64(binary.BigEndian.Uint64(src[8*i:]))
+	}
+	return dst, nil
 }
 
 // Float32Array decodes a variable-length array of single floats.
-func (d *Decoder) Float32Array() ([]float32, error) {
+func (d *Decoder) Float32Array() ([]float32, error) { return d.Float32ArrayInto(nil) }
+
+// Float32ArrayInto is the decode-into variant of Float32Array; see
+// Int32ArrayInto for the contract.
+func (d *Decoder) Float32ArrayInto(dst []float32) ([]float32, error) {
 	n, err := d.declaredLen()
 	if err != nil {
 		return nil, err
@@ -340,15 +404,27 @@ func (d *Decoder) Float32Array() ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.BigEndian.Uint32(src[4*i:]))
+	if cap(dst) < n {
+		dst = make([]float32, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	if ZeroCopyEnabled() {
+		swapGet32(f32words(dst), src)
+		return dst, nil
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.BigEndian.Uint32(src[4*i:]))
+	}
+	return dst, nil
 }
 
 // Float64Array decodes a variable-length array of double floats.
-func (d *Decoder) Float64Array() ([]float64, error) {
+func (d *Decoder) Float64Array() ([]float64, error) { return d.Float64ArrayInto(nil) }
+
+// Float64ArrayInto is the decode-into variant of Float64Array — the hot
+// path of the XDR binding taken with a pooled destination; see
+// Int32ArrayInto for the contract.
+func (d *Decoder) Float64ArrayInto(dst []float64) ([]float64, error) {
 	n, err := d.declaredLen()
 	if err != nil {
 		return nil, err
@@ -357,11 +433,18 @@ func (d *Decoder) Float64Array() ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.BigEndian.Uint64(src[8*i:]))
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	if ZeroCopyEnabled() {
+		swapGet64(f64words(dst), src)
+		return dst, nil
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.BigEndian.Uint64(src[8*i:]))
+	}
+	return dst, nil
 }
 
 // BoolArray decodes a variable-length array of booleans.
@@ -402,10 +485,37 @@ func (d *Decoder) StringArray() ([]string, error) {
 // precedes the payload so DecodeValue can reconstruct the dynamic type.
 // Only kinds admitted by the XDR binding (wire.Kind.Numeric, i.e. numeric
 // scalars, numeric arrays, booleans and opaque bytes) are accepted.
+// elemCount returns the element count of a variable-length wire value,
+// or 0 for scalars — the encode-side input to CheckLen.
+func elemCount(v any) int {
+	switch x := v.(type) {
+	case []byte:
+		return len(x)
+	case []bool:
+		return len(x)
+	case []int32:
+		return len(x)
+	case []int64:
+		return len(x)
+	case []float32:
+		return len(x)
+	case []float64:
+		return len(x)
+	}
+	return 0
+}
+
 func EncodeValue(e *Encoder, v any) error {
 	k := wire.KindOf(v)
 	if !k.Numeric() {
 		return fmt.Errorf("xdr: kind %v not supported by the XDR binding (numeric data and arrays only)", k)
+	}
+	// The encoder must refuse what the decoder would: an array beyond
+	// MaxLen would be rejected by every peer (and beyond 2^32 its length
+	// word would silently truncate), so the one shared guard runs here
+	// before any bytes are produced.
+	if err := CheckLen(elemCount(v)); err != nil {
+		return fmt.Errorf("xdr: %v of %d elements: %w", k, elemCount(v), err)
 	}
 	e.Uint32(uint32(k))
 	switch x := v.(type) {

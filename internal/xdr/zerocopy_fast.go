@@ -1,0 +1,11 @@
+//go:build amd64 || arm64
+
+package xdr
+
+// hostZeroCopyCapable marks architectures where the zero-copy numeric
+// codec is sound: little-endian byte order (so XDR's big-endian wire
+// format is one byte swap away from the in-memory representation) and
+// hardware-tolerated unaligned word access (frame payloads sit at
+// arbitrary 4-byte offsets, so the word loops read and write uint64s at
+// addresses that are not 8-byte aligned).
+const hostZeroCopyCapable = true

@@ -1,0 +1,9 @@
+//go:build !amd64 && !arm64
+
+package xdr
+
+// hostZeroCopyCapable is false on architectures that are big-endian or
+// fault on unaligned word access; every array codec call takes the
+// portable element loop instead. The differential fuzz target holds the
+// two paths byte-equivalent, so the choice is invisible on the wire.
+const hostZeroCopyCapable = false

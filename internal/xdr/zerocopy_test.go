@@ -1,0 +1,239 @@
+package xdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"harness2/internal/wire"
+)
+
+// withZeroCopy runs fn with the zero-copy fast paths forced to the given
+// setting and restores the previous setting afterwards.
+func withZeroCopy(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	prev := SetZeroCopy(on)
+	defer SetZeroCopy(prev)
+	fn()
+}
+
+// TestZeroCopyMatchesPortableEncode holds the fast and portable array
+// encoders byte-equivalent on a deterministic sweep of sizes, including
+// the special values (NaN payloads, infinities, signed zero) where a
+// bit-level divergence would be invisible to a value comparison.
+func TestZeroCopyMatchesPortableEncode(t *testing.T) {
+	if !hostZeroCopyCapable {
+		t.Skip("host has no zero-copy fast path")
+	}
+	specials := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		math.NaN(), math.Float64frombits(0x7ff8_dead_beef_0001), math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 63, 64, 65, 1024} {
+		f64 := make([]float64, n)
+		f32 := make([]float32, n)
+		i64 := make([]int64, n)
+		i32 := make([]int32, n)
+		for i := range f64 {
+			f64[i] = specials[i%len(specials)] * float64(i+1)
+			f32[i] = float32(f64[i])
+			i64[i] = int64(i*0x0123_4567_89ab) - int64(n)
+			i32[i] = int32(i*0x1234_567) - int32(n)
+		}
+		var fast, portable []byte
+		encode := func() []byte {
+			e := NewEncoder(64)
+			e.Float64Array(f64)
+			e.Float32Array(f32)
+			e.Int64Array(i64)
+			e.Int32Array(i32)
+			raw := AppendRaw(nil, f64)
+			raw = AppendRaw(raw, f32)
+			raw = AppendRaw(raw, i64)
+			raw = AppendRaw(raw, i32)
+			return append(e.Bytes(), raw...)
+		}
+		withZeroCopy(t, true, func() { fast = encode() })
+		withZeroCopy(t, false, func() { portable = encode() })
+		if !bytes.Equal(fast, portable) {
+			t.Fatalf("n=%d: fast and portable encodings differ", n)
+		}
+	}
+}
+
+// TestZeroCopyMatchesPortableDecode drives the same wire bytes through
+// both decode implementations and requires bit-identical results.
+func TestZeroCopyMatchesPortableDecode(t *testing.T) {
+	if !hostZeroCopyCapable {
+		t.Skip("host has no zero-copy fast path")
+	}
+	e := NewEncoder(64)
+	f64 := []float64{1.5, math.NaN(), math.Inf(-1), -0.0, 1e300}
+	i32 := []int32{-1, 0, 1, math.MaxInt32, math.MinInt32}
+	e.Float64Array(f64)
+	e.Int32Array(i32)
+	data := e.Bytes()
+
+	decode := func() ([]float64, []int32) {
+		d := NewDecoder(data)
+		a, err := d.Float64Array()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Int32Array()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	var fa []float64
+	var fb []int32
+	var pa []float64
+	var pb []int32
+	withZeroCopy(t, true, func() { fa, fb = decode() })
+	withZeroCopy(t, false, func() { pa, pb = decode() })
+	if !wire.Equal(fa, pa) || !wire.Equal(fb, pb) {
+		t.Fatal("fast and portable decodes differ")
+	}
+	for i := range fa {
+		if math.Float64bits(fa[i]) != math.Float64bits(pa[i]) {
+			t.Fatalf("element %d: bit patterns differ", i)
+		}
+	}
+}
+
+// TestDecodeIntoReusesCapacity checks the decode-into contract: a
+// destination with enough capacity is reused in place (no allocation),
+// an undersized one is replaced.
+func TestDecodeIntoReusesCapacity(t *testing.T) {
+	e := NewEncoder(64)
+	want := []float64{1, 2, 3, 4}
+	e.Float64Array(want)
+	data := e.Bytes()
+
+	dst := make([]float64, 0, 16)
+	d := NewDecoder(data)
+	got, err := d.Float64ArrayInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("decode-into did not reuse caller capacity")
+	}
+
+	// Undersized destination: must grow, still correct.
+	d = NewDecoder(data)
+	got, err = d.Float64ArrayInto(make([]float64, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.Equal(got, want) {
+		t.Fatalf("grown decode got %v want %v", got, want)
+	}
+
+	// Steady state after the first call is allocation-free.
+	allocs := testing.AllocsPerRun(100, func() {
+		d := NewDecoder(data)
+		if _, err := d.Float64ArrayInto(got); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode-into allocated %.1f times per run", allocs)
+	}
+}
+
+// TestEncodeArraysZeroAlloc pins the zero-copy claim the E16 gate
+// measures: array encoding into a pre-grown encoder performs no
+// allocations.
+func TestEncodeArraysZeroAlloc(t *testing.T) {
+	a := make([]float64, 512)
+	for i := range a {
+		a[i] = float64(i) * 1.000001
+	}
+	e := NewEncoder(8 * len(a) * 2)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		e.Float64Array(a)
+	})
+	if allocs != 0 {
+		t.Fatalf("encode allocated %.1f times per run", allocs)
+	}
+}
+
+// TestCheckLen pins the unified length guard shared by the length-prefix
+// decoder, the value encoder, and the raw unpacker (satellite of S30:
+// previously xdr.go and raw.go each had their own partial check).
+func TestCheckLen(t *testing.T) {
+	for _, n := range []int{0, 1, MaxLen} {
+		if err := CheckLen(n); err != nil {
+			t.Fatalf("CheckLen(%d) = %v", n, err)
+		}
+	}
+	for _, n := range []int{-1, MaxLen + 1, math.MaxInt} {
+		if err := CheckLen(n); err == nil {
+			t.Fatalf("CheckLen(%d) accepted", n)
+		}
+	}
+
+	// Decode side: a declared length just over the guard is rejected
+	// before any allocation happens.
+	e := NewEncoder(8)
+	e.Uint32(uint32(MaxLen + 1))
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Float64Array(); err == nil {
+		t.Fatal("oversized declared length accepted by decoder")
+	}
+
+	// Raw side: UnpackRaw shares the same guard.
+	if _, err := UnpackRaw(wire.KindFloat64Array, nil, MaxLen+1); err == nil {
+		t.Fatal("oversized count accepted by UnpackRaw")
+	}
+	if _, err := UnpackRaw(wire.KindFloat64Array, nil, -1); err == nil {
+		t.Fatal("negative count accepted by UnpackRaw")
+	}
+}
+
+// TestRawRoundTripBothPaths round-trips AppendRaw/UnpackRaw under both
+// implementations.
+func TestRawRoundTripBothPaths(t *testing.T) {
+	values := []any{
+		[]bool{true, false, true},
+		[]int32{-5, 0, 5, math.MinInt32},
+		[]int64{-5e12, 0, 5e12},
+		[]float32{1.5, float32(math.Inf(1)), -0},
+		[]float64{math.NaN(), 2.5, -1e300},
+	}
+	for _, on := range []bool{true, false} {
+		withZeroCopy(t, on, func() {
+			for _, v := range values {
+				raw := AppendRaw(nil, v)
+				k := wire.KindOf(v)
+				got, err := UnpackRaw(k, raw, reflectLen(v))
+				if err != nil {
+					t.Fatalf("zc=%v kind=%v: %v", on, k, err)
+				}
+				if !wire.Equal(got, v) {
+					t.Fatalf("zc=%v kind=%v: got %v want %v", on, k, got, v)
+				}
+			}
+		})
+	}
+}
+
+func reflectLen(v any) int {
+	switch a := v.(type) {
+	case []bool:
+		return len(a)
+	case []int32:
+		return len(a)
+	case []int64:
+		return len(a)
+	case []float32:
+		return len(a)
+	case []float64:
+		return len(a)
+	}
+	return 0
+}
