@@ -322,6 +322,15 @@ func (s *ShmServer) serveSegment(seg *shmring.Segment) {
 				xdr.PutFrameBuf(t.frame)
 				wmu.Lock()
 				err := seg.B.WriteRecord(t.id, resp.Bytes())
+				if errors.Is(err, shmring.ErrTooLarge) {
+					// An oversized response faults its one call; closing the
+					// segment would fail every other in-flight call too.
+					f := xdr.GetEncoder()
+					encodeFault(f, fmt.Errorf("invoke: shm response %d bytes exceeds the %d-byte record limit",
+						resp.Len(), shmring.MaxRecordBytes))
+					err = seg.B.WriteRecord(t.id, f.Bytes())
+					xdr.PutEncoder(f)
+				}
 				wmu.Unlock()
 				xdr.PutEncoder(resp)
 				<-s.sem
@@ -380,6 +389,71 @@ type shmReply struct {
 	err   error
 }
 
+// shmConn is one attached segment plus the pending-call map of the
+// Invokes routed through it. Scoping the map per connection (not per
+// port) means a demux goroutine left over from a replaced segment can
+// only ever fail the calls that were actually in flight on its own
+// segment — never fresh calls registered after a re-handshake.
+type shmConn struct {
+	seg *shmring.Segment
+
+	mu    sync.Mutex
+	calls map[uint64]chan shmReply
+	err   error // set once the connection is dead; rejects registration
+}
+
+// register enrolls a call awaiting a response record, unless the
+// connection already failed.
+func (c *shmConn) register(id uint64, ch chan shmReply) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.calls[id] = ch
+	return nil
+}
+
+// take removes and returns the waiter for id, or nil if the caller gave
+// up (context cancellation) or the connection already failed.
+func (c *shmConn) take(id uint64) chan shmReply {
+	c.mu.Lock()
+	ch := c.calls[id]
+	delete(c.calls, id)
+	c.mu.Unlock()
+	return ch
+}
+
+// drop abandons a pending call (cancelled context, failed write).
+func (c *shmConn) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.calls, id)
+	c.mu.Unlock()
+}
+
+// fail marks the connection dead and delivers err to every pending
+// call. Idempotent: the first failure wins and later calls see c.err
+// at registration time instead.
+func (c *shmConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	calls := c.calls
+	c.calls = nil
+	c.mu.Unlock()
+	for _, ch := range calls {
+		ch <- shmReply{err: err}
+	}
+}
+
+// pending reports the number of calls awaiting responses (tests).
+func (c *shmConn) pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.calls)
+}
+
 // ShmPort is the client side of the shared-memory binding. Like the
 // multiplexed XDRPort it supports any number of concurrent Invokes: each
 // call tags its request record with an id and a demultiplexing goroutine
@@ -398,14 +472,11 @@ type ShmPort struct {
 
 	mu         sync.Mutex // connection lifecycle
 	conn       net.Conn
-	seg        *shmring.Segment
-	generation uint64 // pinned at first handshake; 0 = not yet bound
+	cur        *shmConn // live segment + its pending calls; nil before dial
+	generation uint64   // pinned at first handshake; 0 = not yet bound
 	closed     bool
 
 	wmu sync.Mutex // serializes producers on the SPSC request ring
-
-	cmu   sync.Mutex
-	calls map[uint64]chan shmReply
 }
 
 var _ Port = (*ShmPort)(nil)
@@ -418,8 +489,7 @@ func NewShmPort(addr, instance string) (*ShmPort, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ShmPort{addr: addr, sockPath: sockPath, instance: instance,
-		calls: make(map[uint64]chan shmReply)}, nil
+	return &ShmPort{addr: addr, sockPath: sockPath, instance: instance}, nil
 }
 
 // SetTelemetry selects the port's metrics registry; it must be called
@@ -452,16 +522,17 @@ func (p *ShmPort) Generation() uint64 {
 	return p.generation
 }
 
-// segmentLocked returns a live segment, handshaking (or re-handshaking
-// after a connection loss) as needed. A re-handshake that reaches a
-// different server incarnation fails with ErrStaleShmGeneration rather
-// than silently rebinding: the caller's Binder owns rediscovery.
-func (p *ShmPort) segmentLocked(ctx context.Context) (*shmring.Segment, error) {
+// segmentLocked returns a live connection, handshaking (or
+// re-handshaking after a connection loss) as needed. A re-handshake
+// that reaches a different server incarnation fails with
+// ErrStaleShmGeneration rather than silently rebinding: the caller's
+// Binder owns rediscovery.
+func (p *ShmPort) segmentLocked(ctx context.Context) (*shmConn, error) {
 	if p.closed {
 		return nil, errors.New("invoke: shm port closed")
 	}
-	if p.seg != nil && !p.seg.Closed() {
-		return p.seg, nil
+	if p.cur != nil && !p.cur.seg.Closed() {
+		return p.cur, nil
 	}
 	p.dropLocked()
 
@@ -499,8 +570,9 @@ func (p *ShmPort) segmentLocked(ctx context.Context) (*shmring.Segment, error) {
 		_ = conn.Close()
 		return nil, fmt.Errorf("invoke: shm attach: %w", err)
 	}
+	c := &shmConn{seg: seg, calls: make(map[uint64]chan shmReply)}
 	p.conn = conn
-	p.seg = seg
+	p.cur = c
 	p.generation = gen
 
 	// Liveness watcher: a dead server surfaces as socket EOF; closing the
@@ -514,41 +586,30 @@ func (p *ShmPort) segmentLocked(ctx context.Context) (*shmring.Segment, error) {
 		}
 		_ = seg.Close()
 	}()
-	go p.demux(seg)
-	return seg, nil
+	go demux(c)
+	return c, nil
 }
 
-// demux routes response records to their waiting callers. On segment
-// close every pending call fails: the request may or may not have
-// executed, so the error is NOT marked unsent.
-func (p *ShmPort) demux(seg *shmring.Segment) {
+// demux routes response records to the connection's waiting callers.
+// On segment close every call pending ON THIS CONNECTION fails: the
+// request may or may not have executed, so the error is NOT marked
+// unsent. Calls registered against a successor segment after a
+// re-handshake live in that segment's own shmConn and are untouched.
+func demux(c *shmConn) {
 	var buf []byte
 	for {
-		id, payload, err := seg.B.ReadRecord(buf)
+		id, payload, err := c.seg.B.ReadRecord(buf)
 		if err != nil {
-			p.failPending(errors.New("invoke: shm connection lost"))
+			c.fail(errors.New("invoke: shm connection lost"))
 			return
 		}
-		p.cmu.Lock()
-		ch := p.calls[id]
-		delete(p.calls, id)
-		p.cmu.Unlock()
+		ch := c.take(id)
 		if ch == nil {
 			buf = payload // caller gave up (ctx cancel); reuse the buffer
 			continue
 		}
 		buf = nil
 		ch <- shmReply{frame: payload}
-	}
-}
-
-func (p *ShmPort) failPending(err error) {
-	p.cmu.Lock()
-	calls := p.calls
-	p.calls = make(map[uint64]chan shmReply)
-	p.cmu.Unlock()
-	for _, ch := range calls {
-		ch <- shmReply{err: err}
 	}
 }
 
@@ -569,7 +630,7 @@ func (p *ShmPort) Invoke(ctx context.Context, op string, args []wire.Arg) ([]wir
 
 func (p *ShmPort) invoke(ctx context.Context, op string, args []wire.Arg) ([]wire.Arg, error) {
 	p.mu.Lock()
-	seg, err := p.segmentLocked(ctx)
+	c, err := p.segmentLocked(ctx)
 	p.mu.Unlock()
 	if err != nil {
 		// Nothing was sent: dial, handshake, and generation failures all
@@ -584,20 +645,22 @@ func (p *ShmPort) invoke(ctx context.Context, op string, args []wire.Arg) ([]wir
 	}
 	id := p.nextID.Add(1)
 	ch := make(chan shmReply, 1)
-	p.cmu.Lock()
-	p.calls[id] = ch
-	p.cmu.Unlock()
+	if err := c.register(id, ch); err != nil {
+		xdr.PutEncoder(e)
+		// The connection died before the request record existed.
+		return nil, resilience.MarkUnsent(fmt.Errorf("invoke: shm call %s: %w", op, err))
+	}
 
 	p.wmu.Lock()
-	err = seg.A.WriteRecord(id, e.Bytes())
+	err = c.seg.A.WriteRecord(id, e.Bytes())
 	p.wmu.Unlock()
 	xdr.PutEncoder(e)
 	if err != nil {
-		p.cmu.Lock()
-		delete(p.calls, id)
-		p.cmu.Unlock()
-		// WriteRecord publishes a record atomically: an error means no
-		// part of the request became visible to the server.
+		c.drop(id)
+		// A WriteRecord error can only be the segment closing (or an
+		// absurdly oversized record that never started): the server's
+		// reader stops at the same close and a partially streamed record
+		// is never delivered, so the request did not execute.
 		return nil, resilience.MarkUnsent(fmt.Errorf("invoke: shm call %s: %w", op, err))
 	}
 
@@ -610,9 +673,7 @@ func (p *ShmPort) invoke(ctx context.Context, op string, args []wire.Arg) ([]wir
 		xdr.PutFrameBuf(r.frame)
 		return out, derr
 	case <-ctx.Done():
-		p.cmu.Lock()
-		delete(p.calls, id)
-		p.cmu.Unlock()
+		c.drop(id)
 		return nil, ctx.Err()
 	}
 }
@@ -624,9 +685,9 @@ func (p *ShmPort) Kind() wsdl.BindingKind { return wsdl.BindShm }
 func (p *ShmPort) Endpoint() string { return p.addr }
 
 func (p *ShmPort) dropLocked() {
-	if p.seg != nil {
-		_ = p.seg.Close()
-		p.seg = nil
+	if p.cur != nil {
+		_ = p.cur.seg.Close()
+		p.cur = nil
 	}
 	if p.conn != nil {
 		_ = p.conn.Close()
@@ -638,8 +699,11 @@ func (p *ShmPort) dropLocked() {
 func (p *ShmPort) Close() error {
 	p.mu.Lock()
 	p.closed = true
+	c := p.cur
 	p.dropLocked()
 	p.mu.Unlock()
-	p.failPending(errors.New("invoke: shm port closed"))
+	if c != nil {
+		c.fail(errors.New("invoke: shm port closed"))
+	}
 	return nil
 }

@@ -94,6 +94,92 @@ func TestDialPrefersShmOverXDR(t *testing.T) {
 	}
 }
 
+// TestShmLargeArgsExceedRingCapacity: same-host calls whose XDR record
+// exceeds the ring capacity (1MiB by default — e.g. E3's full-ladder
+// 384x384 MatMul at ~2.3MB of args) must stream through the rings in
+// chunks, not fail with shmring.ErrTooLarge. Both directions stream
+// here: the request carries two 2MiB arrays and the response one.
+func TestShmLargeArgsExceedRingCapacity(t *testing.T) {
+	h := newShmHost(t, "")
+	defs := h.deploy(t, "MatMul", "m1")
+	p, err := Dial(defs, Options{Telemetry: telemetry.Disabled()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Kind() != wsdl.BindShm {
+		t.Fatalf("kind = %v, want shm", p.Kind())
+	}
+	const n = 1 << 18 // 256Ki float64s = 2MiB per array
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = float64(i), 2
+	}
+	out, err := p.Invoke(context.Background(), "getResult",
+		wire.Args("mata", a, "matb", b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := wire.GetArg(out, "result")
+	got := v.([]float64)
+	if len(got) != n || got[1] != 2 || got[n-1] != float64(n-1)*2 {
+		t.Fatalf("result: len=%d", len(got))
+	}
+	// The connection must still be healthy for ordinary calls behind the
+	// streamed one.
+	if _, err := p.Invoke(context.Background(), "getResult",
+		wire.Args("mata", []float64{1}, "matb", []float64{3})); err != nil {
+		t.Fatalf("small call after streamed call: %v", err)
+	}
+}
+
+// TestShmStaleDemuxCannotFailFreshCalls: pending-call maps are scoped
+// per segment, so a demux goroutine from a replaced (closed) segment
+// firing late can only fail calls that were in flight on its own
+// segment — never fresh calls registered after the re-handshake.
+func TestShmStaleDemuxCannotFailFreshCalls(t *testing.T) {
+	h := newShmHost(t, "")
+	defs := h.deploy(t, "Counter", "c1")
+	p, err := Dial(defs, Options{Telemetry: telemetry.Disabled()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Invoke(context.Background(), "inc", wire.Args("by", int64(1))); err != nil {
+		t.Fatal(err)
+	}
+	sp := p.(*ShmPort)
+	sp.mu.Lock()
+	old := sp.cur
+	sp.mu.Unlock()
+	// Kill the first segment; the next invoke re-handshakes onto a new
+	// one (same server incarnation, so no generation error).
+	_ = old.seg.Close()
+	if _, err := p.Invoke(context.Background(), "inc", wire.Args("by", int64(1))); err != nil {
+		t.Fatalf("invoke after segment loss: %v", err)
+	}
+	sp.mu.Lock()
+	cur := sp.cur
+	sp.mu.Unlock()
+	if cur == old {
+		t.Fatal("expected a fresh connection after segment loss")
+	}
+	// A call pending on the new connection must survive the old
+	// connection's (possibly delayed) demux failure path.
+	ch := make(chan shmReply, 1)
+	if err := cur.register(99999, ch); err != nil {
+		t.Fatal(err)
+	}
+	old.fail(errors.New("stale demux firing late"))
+	select {
+	case r := <-ch:
+		t.Fatalf("fresh call failed by stale demux: %v", r.err)
+	default:
+	}
+	cur.drop(99999)
+}
+
 // TestShmFaultsPropagate: a server-side fault must come back as an error
 // on the caller, not poison the connection for later calls.
 func TestShmFaultsPropagate(t *testing.T) {
@@ -366,11 +452,15 @@ func TestShmCancelledCallersDoNotLeakPendingEntries(t *testing.T) {
 	wg.Wait()
 	close(release) // drain the server-side handlers
 
+	p.mu.Lock()
+	sc := p.cur
+	p.mu.Unlock()
+	if sc == nil {
+		t.Fatal("no live shm connection after invokes")
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		p.cmu.Lock()
-		n := len(p.calls)
-		p.cmu.Unlock()
+		n := sc.pending()
 		if n == 0 {
 			break
 		}

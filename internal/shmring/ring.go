@@ -53,10 +53,18 @@ const (
 	ringHeaderSize = 128 // head and tail on separate cache lines
 	recordHeader   = 12  // u32 length + u64 id
 
-	// DefaultRingBytes sizes each direction's ring. 1MiB holds a full
-	// 128Ki-element float64 argument with room to spare and keeps the
-	// whole segment (~2MiB) cheap to create per connection.
+	// DefaultRingBytes sizes each direction's ring. 1MiB publishes a
+	// 64Ki-element float64 argument (plus record header and request
+	// envelope) in a single store and keeps the whole segment (~2MiB)
+	// cheap to create per connection; larger records are not limited by
+	// it — they stream through the ring in chunks (see WriteRecord).
 	DefaultRingBytes = 1 << 20
+
+	// MaxRecordBytes bounds a single record's payload. Records larger
+	// than the ring stream through it in chunks, so the bound is not a
+	// capacity limit; it exists to catch corrupt length words before
+	// they turn into giant allocations on the read side.
+	MaxRecordBytes = 1 << 27
 
 	spinCount    = 256
 	parkDelay    = 20 * time.Microsecond
@@ -67,8 +75,8 @@ var (
 	// ErrClosed reports an operation on a ring whose segment has been
 	// closed by either side.
 	ErrClosed = errors.New("shmring: closed")
-	// ErrTooLarge reports a record that cannot ever fit in the ring.
-	ErrTooLarge = errors.New("shmring: record exceeds ring capacity")
+	// ErrTooLarge reports a record whose payload exceeds MaxRecordBytes.
+	ErrTooLarge = errors.New("shmring: record exceeds MaxRecordBytes")
 	// ErrBadSegment reports a segment whose header fails validation.
 	ErrBadSegment = errors.New("shmring: bad segment")
 	// ErrWrongGeneration reports an attach against a segment created by
@@ -297,19 +305,10 @@ func (r *Ring) copyOut(pos uint64, p []byte) {
 	}
 }
 
-// WriteRecord appends one [length|id|payload] record, blocking (spin
-// then park) until the consumer has freed enough space. It returns
-// ErrClosed once the segment is closed and ErrTooLarge for payloads
-// that can never fit.
-func (r *Ring) WriteRecord(id uint64, payload []byte) error {
-	need := uint64(recordHeader + len(payload))
-	if need > uint64(len(r.data)) {
-		return ErrTooLarge
-	}
-	if !r.life.enter() {
-		return ErrClosed
-	}
-	defer r.life.exit()
+// waitSpace blocks (spin then park) until at least need free bytes are
+// available, or the segment closes. need must not exceed the ring
+// capacity.
+func (r *Ring) waitSpace(need uint64) error {
 	delay := parkDelay
 	for i := 0; r.free() < need; i++ {
 		if r.closed.Load() != 0 {
@@ -337,50 +336,36 @@ func (r *Ring) WriteRecord(id uint64, payload []byte) error {
 	if r.closed.Load() != 0 {
 		return ErrClosed
 	}
-	tail := r.tail.Load()
-	var hdr [recordHeader]byte
-	*(*uint32)(unsafe.Pointer(&hdr[0])) = uint32(len(payload))
-	*(*uint64)(unsafe.Pointer(&hdr[4])) = id
-	r.copyIn(tail, hdr[:])
-	r.copyIn(tail+recordHeader, payload)
-	// Release-publish: the counter store makes the record bytes visible
-	// to the consumer's acquire load. Only a parked reader costs a
-	// syscall; a hot one never registers.
-	r.tail.Store(tail + need)
-	if r.dataWaiters.Load() != 0 {
-		osWake(r.tail)
-	}
 	return nil
 }
 
-// ReadRecord removes the next record, blocking until one arrives. The
-// payload is appended into buf (reusing its capacity) and returned;
-// callers pass the previous return value back in for an allocation-free
-// steady state. After the peer closes the segment, buffered records
-// drain first, then ReadRecord returns io.EOF; after this side's own
-// Close it returns ErrClosed immediately.
-func (r *Ring) ReadRecord(buf []byte) (id uint64, payload []byte, err error) {
-	if !r.life.enter() {
-		return 0, nil, ErrClosed
-	}
-	defer r.life.exit()
+// waitData blocks until at least need buffered bytes are available.
+// After the segment closes, whatever the producer already published
+// drains first; a cleanly empty ring then reports io.EOF and a partial
+// tail shorter than need reports io.ErrUnexpectedEOF (the peer died
+// mid-record).
+func (r *Ring) waitData(need uint64) error {
 	delay := parkDelay
-	for i := 0; r.tail.Load() == r.head.Load(); i++ {
+	for i := 0; r.tail.Load()-r.head.Load() < need; i++ {
 		if r.closed.Load() != 0 {
-			// Closed and drained (data is checked before the flag, and
-			// producers never publish after setting it).
-			if r.tail.Load() != r.head.Load() {
+			// Data is re-checked after the flag: producers never publish
+			// after setting it, so this is the final word.
+			avail := r.tail.Load() - r.head.Load()
+			if avail >= need {
 				break
 			}
-			return 0, nil, io.EOF
+			if avail > 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return io.EOF
 		}
 		if i < spinCount {
 			runtime.Gosched()
 			continue
 		}
-		// Park on tail; mirrors the WriteRecord space wait.
+		// Park on tail; mirrors the waitSpace parking protocol.
 		r.dataWaiters.Add(1)
-		if seen := r.tail.Load(); r.tail.Load() == r.head.Load() && r.closed.Load() == 0 {
+		if seen := r.tail.Load(); r.tail.Load()-r.head.Load() < need && r.closed.Load() == 0 {
 			osWait(r.tail, seen, delay)
 			if delay < maxParkDelay {
 				delay *= 2
@@ -388,13 +373,99 @@ func (r *Ring) ReadRecord(buf []byte) (id uint64, payload []byte, err error) {
 		}
 		r.dataWaiters.Add(^uint32(0))
 	}
+	return nil
+}
+
+// publish release-stores tail, making the bytes before it visible to
+// the consumer's acquire load, and wakes a parked reader. Only a parked
+// reader costs a syscall; a hot one never registers.
+func (r *Ring) publish(tail uint64) {
+	r.tail.Store(tail)
+	if r.dataWaiters.Load() != 0 {
+		osWake(r.tail)
+	}
+}
+
+// consume advances head past read bytes and wakes a writer parked on a
+// full ring; the mirror of publish.
+func (r *Ring) consume(head uint64) {
+	r.head.Store(head)
+	if r.spaceWaiters.Load() != 0 {
+		osWake(r.head)
+	}
+}
+
+// WriteRecord appends one [length|id|payload] record, blocking (spin
+// then park) while the consumer frees space. A record that fits the
+// ring is published atomically — a single tail store after all bytes
+// are in place; a larger record streams through in chunks, the
+// consumer draining concurrently. It returns ErrClosed once the
+// segment is closed and ErrTooLarge beyond MaxRecordBytes.
+func (r *Ring) WriteRecord(id uint64, payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return ErrTooLarge
+	}
+	if !r.life.enter() {
+		return ErrClosed
+	}
+	defer r.life.exit()
+	var hdr [recordHeader]byte
+	*(*uint32)(unsafe.Pointer(&hdr[0])) = uint32(len(payload))
+	*(*uint64)(unsafe.Pointer(&hdr[4])) = id
+	need := uint64(recordHeader + len(payload))
+	if need <= uint64(len(r.data)) {
+		if err := r.waitSpace(need); err != nil {
+			return err
+		}
+		tail := r.tail.Load()
+		r.copyIn(tail, hdr[:])
+		r.copyIn(tail+recordHeader, payload)
+		r.publish(tail + need)
+		return nil
+	}
+	// Streaming path: the record exceeds the ring capacity, so each
+	// chunk is published as soon as it is in place and the reader
+	// consumes concurrently, freeing space for the next. An error can
+	// only be the segment closing, which stops the reader at the same
+	// point — a partially streamed record is never delivered.
+	tail := r.tail.Load()
+	for _, part := range [2][]byte{hdr[:], payload} {
+		for len(part) > 0 {
+			if err := r.waitSpace(1); err != nil {
+				return err
+			}
+			n := min(uint64(len(part)), r.free())
+			r.copyIn(tail, part[:n])
+			tail += n
+			r.publish(tail)
+			part = part[n:]
+		}
+	}
+	return nil
+}
+
+// ReadRecord removes the next record, blocking until one arrives. The
+// payload is appended into buf (reusing its capacity) and returned;
+// callers pass the previous return value back in for an allocation-free
+// steady state. Records wider than the ring are drained in chunks as
+// the producer streams them. After the peer closes the segment,
+// buffered records drain first, then ReadRecord returns io.EOF (or
+// io.ErrUnexpectedEOF mid-record); after this side's own Close it
+// returns ErrClosed immediately.
+func (r *Ring) ReadRecord(buf []byte) (id uint64, payload []byte, err error) {
+	if !r.life.enter() {
+		return 0, nil, ErrClosed
+	}
+	defer r.life.exit()
+	if err := r.waitData(recordHeader); err != nil {
+		return 0, nil, err
+	}
 	head := r.head.Load()
 	var hdr [recordHeader]byte
 	r.copyOut(head, hdr[:])
 	n := int(*(*uint32)(unsafe.Pointer(&hdr[0])))
 	id = *(*uint64)(unsafe.Pointer(&hdr[4]))
-	if uint64(recordHeader+n) > uint64(len(r.data)) ||
-		uint64(recordHeader+n) > r.tail.Load()-head {
+	if n > MaxRecordBytes {
 		// A corrupt length word means the peer scribbled outside the
 		// protocol; poison the segment rather than read garbage.
 		r.closed.Store(1)
@@ -406,7 +477,28 @@ func (r *Ring) ReadRecord(buf []byte) (id uint64, payload []byte, err error) {
 		buf = make([]byte, n)
 	}
 	payload = buf[:n]
-	r.copyOut(head+recordHeader, payload)
-	r.head.Store(head + uint64(recordHeader+n))
+	if avail := r.tail.Load() - head; uint64(recordHeader+n) <= avail {
+		// The whole record is published: one copy, one head advance.
+		r.copyOut(head+recordHeader, payload)
+		r.consume(head + uint64(recordHeader+n))
+		return id, payload, nil
+	}
+	// The producer is streaming a record wider than what is buffered;
+	// drain it in chunks, each consume freeing space for the next
+	// publish (essential once the record exceeds the ring capacity).
+	r.consume(head + recordHeader)
+	for copied := 0; copied < n; {
+		if err := r.waitData(1); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF // peer died mid-record
+			}
+			return 0, nil, err
+		}
+		head = r.head.Load()
+		chunk := min(uint64(n-copied), r.tail.Load()-head)
+		r.copyOut(head, payload[copied:copied+int(chunk)])
+		copied += int(chunk)
+		r.consume(head + chunk)
+	}
 	return id, payload, nil
 }

@@ -140,14 +140,77 @@ func TestCloseUnblocksAndDrains(t *testing.T) {
 	}
 }
 
+// TestRecordLargerThanRing is the regression for oversized records: a
+// record wider than the ring must stream through in chunks rather than
+// fail with ErrTooLarge (which used to make same-host calls with
+// >ring-capacity payloads permanently fail, since Dial auto-prefers
+// shm). The reader drains concurrently, freeing space for the writer.
+func TestRecordLargerThanRing(t *testing.T) {
+	creator, peer, err := NewPair(1<<8, 1) // 256-byte ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer creator.Close()
+	payload := make([]byte, 1<<14) // 64x the ring capacity
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		if err := peer.A.WriteRecord(77, payload); err != nil {
+			t.Errorf("streamed write: %v", err)
+		}
+		// A small record behind the streamed one must still round-trip.
+		if err := peer.A.WriteRecord(78, []byte("after")); err != nil {
+			t.Errorf("write after stream: %v", err)
+		}
+	}()
+	id, got, err := creator.A.ReadRecord(nil)
+	if err != nil || id != 77 || !bytes.Equal(got, payload) {
+		t.Fatalf("streamed read: id=%d len=%d err=%v", id, len(got), err)
+	}
+	id, got, err = creator.A.ReadRecord(got)
+	if err != nil || id != 78 || string(got) != "after" {
+		t.Fatalf("read after stream: id=%d err=%v", id, err)
+	}
+}
+
+// TestOversizedRecordRejected: only payloads beyond MaxRecordBytes are
+// refused (the slice is never touched, so the allocation stays lazy).
 func TestOversizedRecordRejected(t *testing.T) {
 	creator, _, err := NewPair(1<<8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer creator.Close()
-	if err := creator.B.WriteRecord(1, make([]byte, 1<<8)); !errors.Is(err, ErrTooLarge) {
+	if err := creator.B.WriteRecord(1, make([]byte, MaxRecordBytes+1)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("got %v", err)
+	}
+}
+
+// TestCloseMidStreamReportsTruncation: a segment closed while a record
+// is mid-stream must surface an error on the reader, not hang or
+// deliver a short record.
+func TestCloseMidStreamReportsTruncation(t *testing.T) {
+	creator, peer, err := NewPair(1<<8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer creator.Close()
+	writerDone := make(chan error, 1)
+	go func() {
+		writerDone <- peer.A.WriteRecord(5, make([]byte, 1<<13))
+	}()
+	// Wait until the header is surely published, then close with the
+	// writer still blocked on space.
+	if err := creator.A.waitData(recordHeader); err != nil {
+		t.Fatal(err)
+	}
+	peer.Close()
+	if err := <-writerDone; !errors.Is(err, ErrClosed) {
+		t.Fatalf("mid-stream writer: %v", err)
+	}
+	if _, _, err := creator.A.ReadRecord(nil); err == nil {
+		t.Fatal("truncated stream delivered without error")
 	}
 }
 
