@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 hbench fuzz chaos-smoke ci clean
+.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 bench-e17 hbench fuzz chaos-smoke churn-smoke ci clean
 
 all: build
 
@@ -46,14 +46,22 @@ bench-e16:
 	E16_GATE=1 $(GO) test -run TestE16Gate -v ./internal/bench/
 	$(GO) run ./cmd/hbench -exp E16
 
+# The S31 registry-cluster gate and tables: routed-find p99 vs the
+# single-node owner-shard read at 10^5 entries, plus kill/join churn
+# (EXPERIMENTS.md E17).
+bench-e17:
+	E17_GATE=1 $(GO) test -run TestE17Gate -v ./internal/bench/
+	$(GO) run ./cmd/hbench -exp E17
+
 # Regenerate the experiment tables (quick parameters; add ARGS=-full).
 hbench:
 	$(GO) run ./cmd/hbench $(ARGS)
 
 # Short fuzz pass over the v2 frame-header and array decoders, the
 # zero-copy-vs-portable codec differential, the SOAP fast-vs-DOM
-# differential, the shm ring record framing, the chaos spec parser, and
-# the resilience policy validators.
+# differential, the shm ring record framing, the chaos spec parser, the
+# resilience policy validators, the cluster gossip digest codec, and the
+# ring rebalance planner.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadFrameID -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzDecoderArrays -fuzztime 30s ./internal/xdr/
@@ -62,12 +70,20 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzShmRingRecord -fuzztime 30s ./internal/shmring/
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 30s ./internal/resilience/chaos/
 	$(GO) test -run xxx -fuzz FuzzPolicyOptions -fuzztime 30s ./internal/resilience/
+	$(GO) test -run xxx -fuzz FuzzGossipDigest -fuzztime 30s ./internal/registry/cluster/
+	$(GO) test -run xxx -fuzz FuzzRingPlan -fuzztime 30s ./internal/registry/cluster/
 
 # The deterministic chaos sweep at CI smoke size (seconds).
 chaos-smoke:
 	$(GO) run ./cmd/hbench -exp E13,E13b -short
 
-ci: vet build race chaos-smoke
+# The cluster churn smoke: kill one of three peers (and absorb a
+# joiner) at a small entry population, asserting zero failed finds.
+churn-smoke:
+	$(GO) test -run TestE17ChurnSmoke -v ./internal/bench/
+	$(GO) test -race ./internal/registry/cluster/
+
+ci: vet build race chaos-smoke churn-smoke
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@ import (
 	"harness2/internal/container"
 	"harness2/internal/core"
 	"harness2/internal/invoke"
+	"harness2/internal/registry"
 	"harness2/internal/wire"
 	"harness2/internal/wsdl"
 )
@@ -19,8 +20,13 @@ type host struct {
 	node *core.Node
 }
 
-func newHost() (*host, error) {
-	fw := core.NewFramework(nil)
+func newHost() (*host, error) { return newHostWith(nil) }
+
+// newHostWith builds the host on a caller-supplied lookup plane (nil: a
+// fresh in-process registry) — E17 re-runs the E1 amortization loop with
+// a registry-cluster node here.
+func newHostWith(lookup registry.Lookup) (*host, error) {
+	fw := core.NewFramework(lookup)
 	node, err := fw.AddNode("bench-node", core.NodeOptions{})
 	if err != nil {
 		return nil, err

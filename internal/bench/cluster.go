@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/registry/cluster"
+	"harness2/internal/soap"
+	"harness2/internal/telemetry"
+	"harness2/internal/wsdl"
+)
+
+// E17 — registry cluster (S31): sharded lookup plane vs single node.
+//
+// The experiment fills one registry and a 3-peer R=2 cluster with the
+// same entry population, measures read-path percentiles on both, then
+// drives churn (kill one peer, join a fourth) and measures detection,
+// rebalance cost, and availability — the paper's registry front door at
+// "grid" scale instead of one mutex-guarded process.
+
+// e17Entries sizes the entry population.
+func (p Params) e17Entries() int {
+	if p.Short {
+		return 2_000
+	}
+	if p.Full {
+		return 100_000
+	}
+	return 20_000
+}
+
+// e17Reads is the per-metric sampled read count.
+func (p Params) e17Reads() int {
+	if p.Short {
+		return 500
+	}
+	if p.Full {
+		return 5_000
+	}
+	return 2_000
+}
+
+// e17WSDL builds the one WSDL document shared by every generated entry:
+// the publish path validates each document, and at 10⁵ entries distinct
+// documents would make fill time dominate the experiment.
+func e17WSDL() (string, error) {
+	defs, err := wsdl.Generate(wsdl.ServiceSpec{
+		Name: "ClusterSvc",
+		Operations: []wsdl.OpSpec{{
+			Name:   "run",
+			Input:  []wsdl.ParamSpec{{Name: "x", Type: wireKindDoubleArray}},
+			Output: []wsdl.ParamSpec{{Name: "y", Type: wireKindDoubleArray}},
+		}},
+	}, wsdl.EndpointSet{
+		SOAPAddress: "http://host:8080/services/cluster",
+		XDRAddress:  "host:9010",
+	})
+	if err != nil {
+		return "", err
+	}
+	return defs.String(), nil
+}
+
+func e17Name(i int) string { return fmt.Sprintf("Svc%d", i) }
+
+// percentiles returns (p50, p99) of the sample set.
+func percentiles(ds []time.Duration) (p50, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)*50/100], ds[len(ds)*99/100]
+}
+
+// sample measures fn once per selected index, spreading reads across the
+// population with a fixed stride. A forced collection first keeps the
+// fill phase's garbage from landing as GC pauses inside the percentiles.
+func sample(n, population int, fn func(i int)) []time.Duration {
+	runtime.GC()
+	ds := make([]time.Duration, 0, n)
+	stride := population / n
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n; i++ {
+		idx := (i * stride) % population
+		start := time.Now()
+		fn(idx)
+		ds = append(ds, time.Since(start))
+	}
+	return ds
+}
+
+// e17Cluster builds an in-process simnet cluster.
+func e17Cluster(peers, replicas int) (*cluster.MemNet, []*cluster.Node) {
+	net := cluster.NewMemNet()
+	var seed []cluster.PeerState
+	for i := 1; i <= peers; i++ {
+		seed = append(seed, cluster.PeerState{
+			ID:   fmt.Sprintf("n%d", i),
+			Addr: fmt.Sprintf("addr%d", i),
+		})
+	}
+	nodes := make([]*cluster.Node, peers)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(cluster.Config{
+			ID:        seed[i].ID,
+			Addr:      seed[i].Addr,
+			Seed:      seed,
+			Replicas:  replicas,
+			DeadAfter: time.Millisecond, // churn phases drive time via Step
+			Caller:    net,
+			Telemetry: telemetry.Disabled(),
+		})
+		net.Register(seed[i].Addr, nodes[i].HandlePeer)
+	}
+	return net, nodes
+}
+
+// E17Result carries the machine-readable outcome for the perf gate:
+// the routed cluster find p99 is compared against the single-node
+// owner-shard read at transport parity — the same name-index read
+// through one peer RPC with no ring routing (SingleFindP99) — and
+// churn must lose zero finds.
+type E17Result struct {
+	SingleGetP99    time.Duration
+	SingleFindP99   time.Duration
+	ClusterFindP99  time.Duration
+	KillFailedFinds int
+	JoinFailedFinds int
+	KillMoved       uint64
+	JoinMoved       uint64
+	KillRebalance   time.Duration
+	JoinRebalance   time.Duration
+}
+
+// E17ClusterBench runs the experiment and returns both the table and the
+// gate result.
+func E17ClusterBench(entries, reads int) (*Table, *E17Result, error) {
+	t := &Table{
+		ID:    "E17",
+		Title: "Registry cluster: sharded lookup plane vs single node (simnet)",
+		Note: fmt.Sprintf("%d entries, %d sampled reads; 3-peer R=2 consistent-hash ring over in-memory transport",
+			entries, reads),
+		Columns: []string{"topology", "op", "p50", "p99", "note"},
+	}
+	res := &E17Result{}
+	xml, err := e17WSDL()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- single node baseline -----------------------------------------
+	reg := registry.New()
+	keys := make([]string, entries)
+	for i := 0; i < entries; i++ {
+		k, err := reg.Publish(registry.Entry{Name: e17Name(i), Key: e17Name(i) + "::k", WSDL: xml})
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = k
+	}
+	ds := sample(reads, entries, func(i int) { reg.Get(keys[i]) })
+	p50, p99 := percentiles(ds)
+	res.SingleGetP99 = p99
+	t.AddRow("single", "get", FmtDur(p50), FmtDur(p99), "owner-shard baseline")
+	ds = sample(reads, entries, func(i int) { reg.FindByName(e17Name(i)) })
+	p50, p99 = percentiles(ds)
+	t.AddRow("single", "findByName", FmtDur(p50), FmtDur(p99), "indexed, in-process")
+
+	// --- 3-peer cluster ------------------------------------------------
+	net, nodes := e17Cluster(3, 2)
+
+	// Transport-parity baseline: the same single-node store read through
+	// one peer RPC (marshal, dispatch, unmarshal) with no ring routing —
+	// what "the single-node owner-shard read" costs a remote client, and
+	// the denominator of the perf gate. The solo node shares the filled
+	// single-node store.
+	solo := cluster.NewNode(cluster.Config{
+		ID: "solo", Addr: "solo",
+		Replicas:  1,
+		DeadAfter: time.Millisecond,
+		Caller:    net,
+		Store:     reg,
+		Telemetry: telemetry.Disabled(),
+	})
+	net.Register("solo", solo.HandlePeer)
+	ds = sample(reads, entries, func(i int) {
+		out, err := net.Call(context.Background(), "solo", cluster.OpFindName,
+			[]soap.Param{{Name: "arg", Value: e17Name(i)}})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := registry.UnmarshalEntries(out); err != nil {
+			panic(err)
+		}
+	})
+	p50, p99 = percentiles(ds)
+	res.SingleFindP99 = p99
+	t.AddRow("single", "findByName (via RPC)", FmtDur(p50), FmtDur(p99), "owner-shard read, one hop")
+	for i := 0; i < entries; i++ {
+		if _, err := nodes[i%3].Publish(registry.Entry{
+			Name: e17Name(i), Key: e17Name(i) + "::k", WSDL: xml,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Owner-shard read: each read from a node that owns the key.
+	owner := func(i int) *cluster.Node {
+		for _, n := range nodes {
+			if n.IsLocalOwner(keys[i]) {
+				return n
+			}
+		}
+		return nodes[0]
+	}
+	nonOwner := func(i int) *cluster.Node {
+		for _, n := range nodes {
+			if !n.IsLocalOwner(keys[i]) {
+				return n
+			}
+		}
+		return nodes[0]
+	}
+	ds = sample(reads, entries, func(i int) { owner(i).Get(keys[i]) })
+	p50, p99 = percentiles(ds)
+	t.AddRow("3-peer R=2", "get (owner shard)", FmtDur(p50), FmtDur(p99), "read-your-writes")
+	ds = sample(reads, entries, func(i int) { nonOwner(i).Get(keys[i]) })
+	p50, p99 = percentiles(ds)
+	t.AddRow("3-peer R=2", "get (remote shard)", FmtDur(p50), FmtDur(p99), "one peer hop")
+	ds = sample(reads, entries, func(i int) { nonOwner(i).FindByName(e17Name(i)) })
+	p50, p99 = percentiles(ds)
+	res.ClusterFindP99 = p99
+	t.AddRow("3-peer R=2", "findByName (routed)", FmtDur(p50), FmtDur(p99),
+		FmtRatio(ratio(p99, res.SingleFindP99))+" vs owner-shard RPC read")
+
+	// Scatter-gather structural query: touches every shard; priced at a
+	// handful of repetitions because each one scans the whole population.
+	qReps := 5
+	ds = sample(qReps, entries, func(i int) {
+		nodes[i%3].FindByQuery("//binding/soap:binding")
+	})
+	p50, p99 = percentiles(ds)
+	t.AddRow("3-peer R=2", "findByQuery (scatter)", FmtDur(p50), FmtDur(p99),
+		fmt.Sprintf("full scan, %d reps", qReps))
+
+	// --- E1 re-grown at cluster scale ----------------------------------
+	// The Figure 3 amortization claim with the lookup plane sharded: a
+	// real service is deployed and published into the 10⁵-entry cluster,
+	// discovery routes through a non-owner peer, and — as in E1 — the
+	// cluster drops out of the loop after binding, so per-call cost
+	// converges to the bare invocation regardless of registry topology.
+	var off *cluster.Node
+	for _, nd := range nodes {
+		if !nd.IsLocalOwner("WSTime") {
+			off = nd
+			break
+		}
+	}
+	h, err := newHostWith(off)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer h.close()
+	if _, err := h.publish("WSTime", "clock"); err != nil {
+		return nil, nil, err
+	}
+	ctx := context.Background()
+	for _, calls := range []int{1, 100, 1000} {
+		start := time.Now()
+		defsList, err := h.fw.Discover("WSTime")
+		if err != nil || len(defsList) == 0 {
+			return nil, nil, fmt.Errorf("bench: cluster discover failed: %v", err)
+		}
+		port, err := h.fw.DialRemote(defsList[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := time.Since(start)
+		per := timeIt(calls, func() {
+			if _, err := port.Invoke(ctx, "getTime", nil); err != nil {
+				panic(err)
+			}
+		})
+		port.Close()
+		totalPerCall := (setup + per*time.Duration(calls)) / time.Duration(calls)
+		t.AddRow("3-peer R=2", fmt.Sprintf("E1: discover + %d calls", calls),
+			FmtDur(per), "-",
+			fmt.Sprintf("setup %s, total %s/call", FmtDur(setup), FmtDur(totalPerCall)))
+	}
+
+	// --- churn: kill one peer ------------------------------------------
+	victim := nodes[2]
+	net.Kill(victim.Addr())
+	survivors := nodes[:2]
+	movedBefore := survivors[0].Stats().Moved + survivors[1].Stats().Moved
+	start := time.Now()
+	for rounds := 0; rounds < 16; rounds++ {
+		for _, n := range survivors {
+			n.Step(context.Background())
+		}
+		if survivors[0].Ring().Len() == 2 && survivors[1].Ring().Len() == 2 {
+			break
+		}
+		// Let the suspicion age past DeadAfter before the next round.
+		time.Sleep(2 * time.Millisecond)
+	}
+	res.KillRebalance = time.Since(start)
+	res.KillMoved = survivors[0].Stats().Moved + survivors[1].Stats().Moved - movedBefore
+	for i := 0; i < entries; i++ {
+		if _, ok, err := survivors[i%2].GetErr(keys[i]); !ok || err != nil {
+			res.KillFailedFinds++
+		}
+	}
+	t.AddRow("3-peer churn", "kill 1 peer", FmtDur(res.KillRebalance), "-",
+		fmt.Sprintf("%d entries re-replicated, %d failed finds", res.KillMoved, res.KillFailedFinds))
+
+	// --- churn: join a peer --------------------------------------------
+	joiner := cluster.NewNode(cluster.Config{
+		ID: "n4", Addr: "addr4",
+		Seed: []cluster.PeerState{
+			{ID: survivors[0].ID(), Addr: survivors[0].Addr()},
+			{ID: survivors[1].ID(), Addr: survivors[1].Addr()},
+		},
+		Replicas:  2,
+		DeadAfter: time.Millisecond,
+		Caller:    net,
+		Telemetry: telemetry.Disabled(),
+	})
+	net.Register("addr4", joiner.HandlePeer)
+	all := []*cluster.Node{survivors[0], survivors[1], joiner}
+	movedBefore = all[0].Stats().Moved + all[1].Stats().Moved + all[2].Stats().Moved
+	start = time.Now()
+	for rounds := 0; rounds < 16; rounds++ {
+		for _, n := range all {
+			n.Step(context.Background())
+		}
+		if all[0].Ring().Len() == 3 && all[1].Ring().Len() == 3 && all[2].Ring().Len() == 3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res.JoinRebalance = time.Since(start)
+	res.JoinMoved = all[0].Stats().Moved + all[1].Stats().Moved + all[2].Stats().Moved - movedBefore
+	for i := 0; i < entries; i++ {
+		if _, ok, err := all[i%3].GetErr(keys[i]); !ok || err != nil {
+			res.JoinFailedFinds++
+		}
+	}
+	t.AddRow("3-peer churn", "join 1 peer", FmtDur(res.JoinRebalance), "-",
+		fmt.Sprintf("%d entries handed off, %d failed finds", res.JoinMoved, res.JoinFailedFinds))
+	return t, res, nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// E17Cluster is the Run entry point.
+func E17Cluster(entries, reads int) (*Table, error) {
+	t, _, err := E17ClusterBench(entries, reads)
+	return t, err
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE17Gate is the CI regression gate over the S31 registry cluster,
+// run at the ISSUE's 10⁵-entry scale when E17_GATE=1 (CI exports it).
+// Availability is absolute — churn must lose zero finds in every trial —
+// while the latency ratio takes the best of three trials, the same
+// scheduler-noise hedge as the E16 gate: the routed cluster find p99
+// must stay within 2x the single-node owner-shard read of the same
+// name index.
+func TestE17Gate(t *testing.T) {
+	if os.Getenv("E17_GATE") == "" {
+		t.Skip("set E17_GATE=1 to run the cluster gate")
+	}
+	const entries, reads = 100_000, 5_000
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		_, res, err := E17ClusterBench(entries, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.KillFailedFinds != 0 || res.JoinFailedFinds != 0 {
+			t.Fatalf("trial %d: churn lost finds: kill=%d join=%d",
+				trial, res.KillFailedFinds, res.JoinFailedFinds)
+		}
+		if res.KillMoved == 0 || res.JoinMoved == 0 {
+			t.Fatalf("trial %d: rebalance moved nothing (kill=%d join=%d); churn did not exercise handoff",
+				trial, res.KillMoved, res.JoinMoved)
+		}
+		r := ratio(res.ClusterFindP99, res.SingleFindP99)
+		if best == 0 || r < best {
+			best = r
+		}
+		if best <= 2.0 {
+			break // gate met; skip the remaining trials
+		}
+	}
+	if best > 2.0 {
+		t.Errorf("cluster find p99 is %.2fx the single-node owner-shard read; gate is 2x", best)
+	}
+}
+
+// TestE17ChurnSmoke is the always-on churn check: a 3-peer R=2 cluster
+// must survive killing one peer — and absorbing a joiner — with zero
+// failed finds, at a population small enough for every `go test` run.
+func TestE17ChurnSmoke(t *testing.T) {
+	_, res, err := E17ClusterBench(2_000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KillFailedFinds != 0 {
+		t.Errorf("%d finds failed after killing one of three peers", res.KillFailedFinds)
+	}
+	if res.JoinFailedFinds != 0 {
+		t.Errorf("%d finds failed after a peer joined", res.JoinFailedFinds)
+	}
+	if res.KillMoved == 0 || res.JoinMoved == 0 {
+		t.Errorf("churn moved no entries (kill=%d join=%d)", res.KillMoved, res.JoinMoved)
+	}
+}

@@ -142,6 +142,31 @@ func E6Lookup(nodeCounts []int) *Table {
 			t.AddRow(FmtInt(n), "centralized", FmtInt(regStats.Messages), FmtDur(regLat),
 				FmtInt(discStats.Messages), FmtDur(discLat))
 		}
+		// Sharded: the S31 registry cluster — a 3-peer consistent-hash
+		// ring with R=2 replication. Registration costs the round trip to
+		// the owning shard plus one replication round trip to its ring
+		// successor; discovery routes to the owner shard in one round trip
+		// (only structural queries scatter). Same per-op asymptotics as
+		// centralized, but no single point of failure and a third of the
+		// per-shard load.
+		{
+			net := simnet.New(simnet.LAN)
+			for i := 0; i < 3; i++ {
+				net.AddNode(fmt.Sprintf("shard%d", i))
+			}
+			for i := 0; i < n; i++ {
+				net.AddNode(fmt.Sprintf("n%d", i))
+			}
+			regLat, _ := net.RTT("n0", "shard0", entryBytes, 64)
+			replLat, _ := net.RTT("shard0", "shard1", entryBytes, 64)
+			regLat += replLat
+			regStats := net.Stats()
+			net.ResetStats()
+			discLat, _ := net.RTT("n1", "shard2", 128, entryBytes)
+			discStats := net.Stats()
+			t.AddRow(FmtInt(n), "sharded (3-peer R=2)", FmtInt(regStats.Messages), FmtDur(regLat),
+				FmtInt(discStats.Messages), FmtDur(discLat))
+		}
 		// Decentralized and hybrid reuse the DVM coherency machinery with
 		// a one-service workload: registration is Apply, discovery Query.
 		for _, mk := range []func(*simnet.Network) dvm.Coherency{

@@ -206,7 +206,7 @@ func (p Params) zerocopySizes() []int {
 	return []int{512, 8192, 131072}
 }
 
-// Run executes one experiment by ID (E1–E16).
+// Run executes one experiment by ID (E1–E17).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -245,13 +245,15 @@ func Run(id string, p Params) (*Table, error) {
 	case "E16":
 		return E16DataPlane(p.zerocopySizes(), p.xdrSmallCalls(),
 			p.xdrArrayLen(), p.e16ArrayCalls())
+	case "E17":
+		return E17Cluster(p.e17Entries(), p.e17Reads())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E17", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

@@ -55,9 +55,20 @@ func (b *Binder) now() time.Time {
 }
 
 // bind runs the full discovery pipeline for one service name, trying
-// each discovered entry until one dials.
+// each discovered entry until one dials. Through a checked lookup, an
+// unreachable registry surfaces as a distinct "registry unavailable"
+// error rather than the misleading "no service" an empty result reads
+// as — the caller can retry an outage, while a missing name needs a fix.
 func (b *Binder) bind(service string) (Port, time.Duration, error) {
-	entries := b.Lookup.FindByName(service)
+	var entries []registry.Entry
+	if cl, ok := b.Lookup.(registry.CheckedLookup); ok {
+		var err error
+		if entries, err = cl.FindByNameErr(service); err != nil {
+			return nil, 0, fmt.Errorf("invoke: resolving %q: %w", service, err)
+		}
+	} else {
+		entries = b.Lookup.FindByName(service)
+	}
 	if len(entries) == 0 {
 		return nil, 0, fmt.Errorf("invoke: no service %q in registry", service)
 	}

@@ -53,7 +53,19 @@ type cacheSlot struct {
 	err     error
 }
 
-var _ Lookup = (*Cache)(nil)
+var (
+	_ Lookup        = (*Cache)(nil)
+	_ CheckedLookup = (*Cache)(nil)
+)
+
+// checked returns the source's checked-lookup view when it has one, so
+// the cache can tell an authoritative miss from an outage. A plain
+// Lookup source never reports outages; its answers are taken as
+// authoritative, exactly as before.
+func (c *Cache) checked() (CheckedLookup, bool) {
+	cl, ok := c.src.(CheckedLookup)
+	return cl, ok
+}
 
 // NewCache returns a cache over src holding read results for ttl
 // (clamped per-result to lease lifetimes). ttl <= 0 disables caching.
@@ -144,29 +156,67 @@ func minLease(entries []Entry) time.Duration {
 }
 
 // Get returns the cached entry for key, consulting the source on a miss
-// or after expiry. Missing keys are cached too (negative caching), so a
-// busy poller cannot hammer the registry for a name that is not there.
+// or after expiry. Authoritative misses are cached too (negative
+// caching), so a busy poller cannot hammer the registry for a name that
+// is not there — but a failure to REACH the registry is never cached:
+// negative-caching an outage would hide every registration behind one
+// dropped packet for a full TTL.
 func (c *Cache) Get(key string) (Entry, bool) {
+	e, ok, _ := c.GetErr(key)
+	return e, ok
+}
+
+// GetErr is Get through the source's checked view: an authoritative miss
+// returns (ok=false, err=nil) and is cached; an unreachable registry
+// returns an error wrapping ErrUnavailable and the slot expires
+// immediately, so the next caller retries the source.
+func (c *Cache) GetErr(key string) (Entry, bool, error) {
+	fill := func() (Entry, bool, error) {
+		if cl, ok := c.checked(); ok {
+			return cl.GetErr(key)
+		}
+		e, ok := c.src.Get(key)
+		return e, ok, nil
+	}
 	if c.ttl <= 0 {
-		return c.src.Get(key)
+		return fill()
 	}
 	s := c.cached(c.gets, key, func(s *cacheSlot) {
-		s.entry, s.ok = c.src.Get(key)
-		s.expires = c.expiry(s.entry.LeaseRemaining)
+		s.entry, s.ok, s.err = fill()
+		if s.err == nil {
+			s.expires = c.expiry(s.entry.LeaseRemaining)
+		}
+		// On error s.expires stays zero: served to direct waiters only,
+		// never to a later caller.
 	})
-	return s.entry, s.ok
+	return s.entry, s.ok, s.err
 }
 
 // FindByName returns the cached name-index result.
 func (c *Cache) FindByName(name string) []Entry {
+	es, _ := c.FindByNameErr(name)
+	return es
+}
+
+// FindByNameErr is FindByName through the source's checked view; like
+// GetErr, only authoritative results (including empty ones) are cached.
+func (c *Cache) FindByNameErr(name string) ([]Entry, error) {
+	fill := func() ([]Entry, error) {
+		if cl, ok := c.checked(); ok {
+			return cl.FindByNameErr(name)
+		}
+		return c.src.FindByName(name), nil
+	}
 	if c.ttl <= 0 {
-		return c.src.FindByName(name)
+		return fill()
 	}
 	s := c.cached(c.names, name, func(s *cacheSlot) {
-		s.entries = c.src.FindByName(name)
-		s.expires = c.expiry(minLease(s.entries))
+		s.entries, s.err = fill()
+		if s.err == nil {
+			s.expires = c.expiry(minLease(s.entries))
+		}
 	})
-	return s.entries
+	return s.entries, s.err
 }
 
 // FindByQuery returns the cached structural-query result. Errors are

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// FuzzGossipDigest hardens the membership codec: DecodeDigest must never
+// panic on arbitrary bytes, and every digest it accepts must re-encode
+// canonically (decode∘encode∘decode is the identity).
+func FuzzGossipDigest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{'G', 1, 0})
+	f.Add(EncodeDigest([]PeerState{
+		{ID: "n1", Addr: "host1:80", Incarnation: 3, State: StateAlive},
+		{ID: "n2", Addr: "host2:80", Incarnation: 9, State: StateDead},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		peers, err := DecodeDigest(data)
+		if err != nil {
+			return
+		}
+		re := EncodeDigest(peers)
+		peers2, err := DecodeDigest(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted digest failed: %v", err)
+		}
+		if !reflect.DeepEqual(peers, peers2) {
+			t.Fatalf("decode∘encode not identity: %+v vs %+v", peers, peers2)
+		}
+		if !bytes.Equal(re, EncodeDigest(peers2)) {
+			t.Fatal("encoding not canonical")
+		}
+		// Merging any accepted digest must leave the table consistent.
+		m := NewMembership("self", nil, 1, nil)
+		m.Merge(peers)
+		if _, ok := m.Get("self"); !ok {
+			t.Fatal("merge evicted self")
+		}
+	})
+}
+
+// FuzzRingPlan proves the rebalance planner's no-loss/no-double-ownership
+// invariant for arbitrary peer-set deltas: for any old and new peer sets
+// and any key, (oldOwners \ Drops) ∪ Adds equals exactly the new owner
+// set, owners stay distinct, and the plan never adds an existing owner.
+func FuzzRingPlan(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(1), "WSTime", uint8(2))
+	f.Add(uint8(1), uint8(0), uint8(5), "a::b", uint8(3))
+	f.Fuzz(func(t *testing.T, oldMask, addMask, dropMask uint8, key string, replicas uint8) {
+		r := int(replicas%4) + 1
+		var oldPeers, newPeers []string
+		for i := 0; i < 8; i++ {
+			id := fmt.Sprintf("peer-%d", i)
+			inOld := oldMask&(1<<i) != 0
+			inNew := (inOld && dropMask&(1<<i) == 0) || (!inOld && addMask&(1<<i) != 0)
+			if inOld {
+				oldPeers = append(oldPeers, id)
+			}
+			if inNew {
+				newPeers = append(newPeers, id)
+			}
+		}
+		oldRing := BuildRing(oldPeers, 8)
+		newRing := BuildRing(newPeers, 8)
+		oldOwners := oldRing.Owners(key, r)
+		newOwners := newRing.Owners(key, r)
+		if len(newOwners) > r || len(oldOwners) > r {
+			t.Fatalf("owner list longer than replicas")
+		}
+		distinct(t, oldOwners)
+		distinct(t, newOwners)
+		if want := min(r, len(newPeers)); len(newOwners) != want {
+			t.Fatalf("new owners = %v, want %d of %v", newOwners, want, newPeers)
+		}
+		pl := PlanMove(oldRing, newRing, key, r)
+		got := map[string]bool{}
+		for _, p := range oldOwners {
+			got[p] = true
+		}
+		for _, p := range pl.Drops {
+			if !got[p] {
+				t.Fatalf("plan drops non-owner %s", p)
+			}
+			delete(got, p)
+		}
+		for _, p := range pl.Adds {
+			if got[p] {
+				t.Fatalf("plan adds existing owner %s (double ownership)", p)
+			}
+			got[p] = true
+		}
+		want := map[string]bool{}
+		for _, p := range newOwners {
+			want[p] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("entry lost or misplaced: plan %+v turns %v into %v, want %v",
+				pl, oldOwners, got, want)
+		}
+	})
+}
+
+func distinct(t *testing.T, owners []string) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %s in %v", o, owners)
+		}
+		seen[o] = true
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a peer's liveness state in the membership protocol.
+type State uint8
+
+const (
+	// StateAlive: the peer acks (or gossip recently vouched for it).
+	StateAlive State = iota
+	// StateSuspect: a probe failed; the peer stays in the ring (its
+	// shards are still addressed, tried after alive owners) until the
+	// suspicion either ages into death or is refuted by a higher
+	// incarnation.
+	StateSuspect
+	// StateDead: the suspicion timed out. The peer leaves the ring,
+	// which triggers rebalance and entry handoff.
+	StateDead
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// PeerState is one row of the gossip digest: a peer's identity, its
+// client/peer-RPC endpoint, and the (incarnation, state) pair that
+// orders rumours about it. Higher incarnations always win; within an
+// incarnation a worse state wins (dead > suspect > alive), the standard
+// SWIM merge rule that lets a live peer refute its own suspicion by
+// bumping its incarnation.
+type PeerState struct {
+	ID          string
+	Addr        string
+	Incarnation uint64
+	State       State
+}
+
+// supersedes reports whether a beats b under the SWIM ordering.
+func supersedes(a, b PeerState) bool {
+	if a.Incarnation != b.Incarnation {
+		return a.Incarnation > b.Incarnation
+	}
+	return a.State > b.State
+}
+
+// Digest codec: a compact length-prefixed binary layout, fuzzed for
+// decode robustness (FuzzGossipDigest). Layout:
+//
+//	'G' version(1) uvarint(count) then per peer:
+//	uvarint(len) id-bytes, uvarint(len) addr-bytes,
+//	uvarint(incarnation), state-byte
+const (
+	digestMagic   = 'G'
+	digestVersion = 1
+	// maxDigestPeers and maxDigestString bound decoding so a hostile or
+	// corrupt digest cannot allocate unboundedly.
+	maxDigestPeers  = 1 << 12
+	maxDigestString = 1 << 10
+)
+
+// EncodeDigest renders peer states in the gossip wire layout, sorted by
+// ID so equal memberships encode identically.
+func EncodeDigest(peers []PeerState) []byte {
+	ps := append([]PeerState(nil), peers...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+	buf := make([]byte, 0, 2+len(ps)*24)
+	buf = append(buf, digestMagic, digestVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(ps)))
+	for _, p := range ps {
+		buf = binary.AppendUvarint(buf, uint64(len(p.ID)))
+		buf = append(buf, p.ID...)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Addr)))
+		buf = append(buf, p.Addr...)
+		buf = binary.AppendUvarint(buf, p.Incarnation)
+		buf = append(buf, byte(p.State))
+	}
+	return buf
+}
+
+// DecodeDigest parses a gossip digest, validating every bound; it never
+// panics on arbitrary input.
+func DecodeDigest(data []byte) ([]PeerState, error) {
+	if len(data) < 2 || data[0] != digestMagic {
+		return nil, fmt.Errorf("cluster: not a gossip digest")
+	}
+	if data[1] != digestVersion {
+		return nil, fmt.Errorf("cluster: unsupported digest version %d", data[1])
+	}
+	rest := data[2:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > maxDigestPeers {
+		return nil, fmt.Errorf("cluster: bad digest count")
+	}
+	rest = rest[n:]
+	readString := func() (string, error) {
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || l > maxDigestString || uint64(len(rest)-n) < l {
+			return "", fmt.Errorf("cluster: truncated digest string")
+		}
+		s := string(rest[n : n+int(l)])
+		rest = rest[n+int(l):]
+		return s, nil
+	}
+	out := make([]PeerState, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var p PeerState
+		var err error
+		if p.ID, err = readString(); err != nil {
+			return nil, err
+		}
+		if p.Addr, err = readString(); err != nil {
+			return nil, err
+		}
+		inc, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("cluster: truncated incarnation")
+		}
+		rest = rest[n:]
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("cluster: truncated state")
+		}
+		if rest[0] > byte(StateDead) {
+			return nil, fmt.Errorf("cluster: unknown state %d", rest[0])
+		}
+		p.Incarnation = inc
+		p.State = State(rest[0])
+		rest = rest[1:]
+		if p.ID == "" {
+			return nil, fmt.Errorf("cluster: digest peer without ID")
+		}
+		// Enforce the encoder's canonical order: strictly increasing
+		// IDs. This also rejects duplicate rows for one peer.
+		if len(out) > 0 && out[len(out)-1].ID >= p.ID {
+			return nil, fmt.Errorf("cluster: digest not in canonical order")
+		}
+		out = append(out, p)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing digest bytes", len(rest))
+	}
+	return out, nil
+}
+
+// Membership is the SWIM-flavoured peer table: it merges gossip rumours
+// under the incarnation order, turns failed probes into suspicions, ages
+// suspicions into deaths, and refutes rumours about the local peer by
+// bumping its incarnation. All methods are safe for concurrent use; time
+// is injectable so churn tests run deterministically.
+type Membership struct {
+	self string
+	now  func() time.Time
+	// deadAfter ages a suspicion into death; a failed probe suspects
+	// immediately (the probe's own timeout is the grace period).
+	deadAfter time.Duration
+
+	mu      sync.Mutex
+	peers   map[string]*memberInfo
+	rrOrder []string // round-robin probe order (sorted IDs)
+	rrNext  int
+}
+
+type memberInfo struct {
+	state       PeerState
+	suspectedAt time.Time
+}
+
+// NewMembership builds a table seeded with the given peers (all alive),
+// self among them. deadAfter is the suspicion timeout driving ring
+// eviction.
+func NewMembership(self string, seed []PeerState, deadAfter time.Duration, now func() time.Time) *Membership {
+	if now == nil {
+		now = time.Now
+	}
+	m := &Membership{
+		self:      self,
+		now:       now,
+		deadAfter: deadAfter,
+		peers:     make(map[string]*memberInfo),
+	}
+	for _, p := range seed {
+		m.peers[p.ID] = &memberInfo{state: p}
+	}
+	if _, ok := m.peers[self]; !ok {
+		m.peers[self] = &memberInfo{state: PeerState{ID: self}}
+	}
+	m.rebuildOrderLocked()
+	return m
+}
+
+func (m *Membership) rebuildOrderLocked() {
+	m.rrOrder = m.rrOrder[:0]
+	for id := range m.peers {
+		if id != m.self {
+			m.rrOrder = append(m.rrOrder, id)
+		}
+	}
+	sort.Strings(m.rrOrder)
+}
+
+// Digest snapshots every known peer state (including dead peers, so the
+// rumour of a death spreads rather than resurrecting via stale rows).
+func (m *Membership) Digest() []PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerState, 0, len(m.peers))
+	for _, p := range m.peers {
+		out = append(out, p.state)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Self returns the local peer's current state row.
+func (m *Membership) Self() PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peers[m.self].state
+}
+
+// Get returns one peer's state.
+func (m *Membership) Get(id string) (PeerState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return PeerState{}, false
+	}
+	return p.state, true
+}
+
+// Members returns the ring-eligible peers (alive and suspect), sorted by
+// ID. Suspects stay in the ring: eviction waits for the timeout so a
+// slow peer is not rebalanced away on one dropped probe.
+func (m *Membership) Members() []PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerState, 0, len(m.peers))
+	for _, p := range m.peers {
+		if p.state.State != StateDead {
+			out = append(out, p.state)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Counts reports the peer-count per state for the ring gauges.
+func (m *Membership) Counts() (alive, suspect, dead int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		switch p.state.State {
+		case StateAlive:
+			alive++
+		case StateSuspect:
+			suspect++
+		case StateDead:
+			dead++
+		}
+	}
+	return
+}
+
+// NextTarget returns the next probe/gossip target in round-robin order,
+// skipping dead peers; ok=false when no live remote peer exists.
+func (m *Membership) NextTarget() (PeerState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < len(m.rrOrder); i++ {
+		id := m.rrOrder[m.rrNext%len(m.rrOrder)]
+		m.rrNext++
+		if p, ok := m.peers[id]; ok && p.state.State != StateDead {
+			return p.state, true
+		}
+	}
+	return PeerState{}, false
+}
+
+// MarkAlive records a successful exchange with id.
+func (m *Membership) MarkAlive(id string) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok || p.state.State == StateAlive {
+		return false
+	}
+	// A direct ack outranks rumour: adopt the peer's liveness at its
+	// current incarnation. (A dead peer must re-join with a higher
+	// incarnation; a direct ack proves it is back, so accept it too.)
+	p.state.State = StateAlive
+	p.suspectedAt = time.Time{}
+	return true
+}
+
+// MarkFailed records a failed probe of id, moving it to suspect (or
+// keeping an existing suspicion aging).
+func (m *Membership) MarkFailed(id string) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok || id == m.self || p.state.State != StateAlive {
+		return false
+	}
+	p.state.State = StateSuspect
+	p.suspectedAt = m.now()
+	return true
+}
+
+// Merge folds a received digest into the table under the SWIM order and
+// returns whether ring-relevant state changed. Rumours about self that
+// would demote it are refuted by bumping the local incarnation.
+func (m *Membership) Merge(digest []PeerState) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	added := false
+	for _, in := range digest {
+		if in.ID == m.self {
+			self := m.peers[m.self]
+			if in.State != StateAlive && in.Incarnation >= self.state.Incarnation {
+				// Refute: out-rumour the rumour.
+				self.state.Incarnation = in.Incarnation + 1
+				self.state.State = StateAlive
+				changed = true
+			}
+			continue
+		}
+		cur, ok := m.peers[in.ID]
+		if !ok {
+			m.peers[in.ID] = &memberInfo{state: in}
+			if in.State == StateSuspect {
+				m.peers[in.ID].suspectedAt = m.now()
+			}
+			added = true
+			changed = changed || in.State != StateDead
+			continue
+		}
+		if supersedes(in, cur.state) {
+			ringRelevant := (cur.state.State == StateDead) != (in.State == StateDead)
+			if in.State == StateSuspect && cur.state.State != StateSuspect {
+				cur.suspectedAt = m.now()
+			}
+			if in.State == StateAlive {
+				cur.suspectedAt = time.Time{}
+			}
+			cur.state = in
+			changed = changed || ringRelevant
+		}
+	}
+	if added {
+		m.rebuildOrderLocked()
+	}
+	return changed
+}
+
+// Tick ages suspicions: any peer suspect for longer than deadAfter is
+// declared dead. Returns whether ring membership changed.
+func (m *Membership) Tick() (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	for _, p := range m.peers {
+		if p.state.State == StateSuspect && now.Sub(p.suspectedAt) >= m.deadAfter {
+			p.state.State = StateDead
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// steppedClock is a manually-advanced time source.
+type steppedClock struct{ t time.Time }
+
+func newClock() *steppedClock                { return &steppedClock{t: time.Unix(1700000000, 0)} }
+func (c *steppedClock) Now() time.Time       { return c.t }
+func (c *steppedClock) Step(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestDigestRoundTrip(t *testing.T) {
+	in := []PeerState{
+		{ID: "n2", Addr: "host2:80", Incarnation: 7, State: StateSuspect},
+		{ID: "n1", Addr: "host1:80", Incarnation: 0, State: StateAlive},
+		{ID: "n3", Addr: "", Incarnation: 42, State: StateDead},
+	}
+	out, err := DecodeDigest(EncodeDigest(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PeerState{in[1], in[0], in[2]} // sorted by ID
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("roundtrip = %+v, want %+v", out, want)
+	}
+}
+
+func TestDigestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{'X', 1},
+		{'G', 9},
+		{'G', 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // huge count
+		EncodeDigest([]PeerState{{ID: "a", State: StateAlive}})[:5],          // truncated
+		append(EncodeDigest([]PeerState{{ID: "a"}}), 0),                      // trailing byte
+		{'G', 1, 1, 3, 'b', 'a', 'd', 0, 0, 3},                               // unknown state 3
+	}
+	for i, c := range cases {
+		if _, err := DecodeDigest(c); err == nil {
+			t.Fatalf("case %d: garbage decoded without error", i)
+		}
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	alive := PeerState{ID: "x", Incarnation: 1, State: StateAlive}
+	suspect := PeerState{ID: "x", Incarnation: 1, State: StateSuspect}
+	newerAlive := PeerState{ID: "x", Incarnation: 2, State: StateAlive}
+	if !supersedes(suspect, alive) {
+		t.Fatal("same incarnation: worse state must win")
+	}
+	if !supersedes(newerAlive, suspect) {
+		t.Fatal("higher incarnation must win")
+	}
+	if supersedes(alive, suspect) {
+		t.Fatal("alive must not beat suspect at same incarnation")
+	}
+}
+
+func seedPeers() []PeerState {
+	return []PeerState{
+		{ID: "n1", Addr: "a1"},
+		{ID: "n2", Addr: "a2"},
+		{ID: "n3", Addr: "a3"},
+	}
+}
+
+func TestMembershipSuspectToDead(t *testing.T) {
+	clk := newClock()
+	m := NewMembership("n1", seedPeers(), 3*time.Second, clk.Now)
+	if !m.MarkFailed("n2") {
+		t.Fatal("MarkFailed should change state")
+	}
+	if m.Tick() {
+		t.Fatal("suspicion should not age instantly")
+	}
+	if got := len(m.Members()); got != 3 {
+		t.Fatalf("suspect peer must stay ring-eligible, members=%d", got)
+	}
+	clk.Step(3 * time.Second)
+	if !m.Tick() {
+		t.Fatal("suspicion should age into death")
+	}
+	if got := len(m.Members()); got != 2 {
+		t.Fatalf("dead peer must leave the ring, members=%d", got)
+	}
+	a, s, d := m.Counts()
+	if a != 2 || s != 0 || d != 1 {
+		t.Fatalf("counts = %d/%d/%d", a, s, d)
+	}
+}
+
+func TestMembershipRefutesRumourAboutSelf(t *testing.T) {
+	clk := newClock()
+	m := NewMembership("n1", seedPeers(), time.Second, clk.Now)
+	before := m.Self().Incarnation
+	m.Merge([]PeerState{{ID: "n1", Addr: "a1", Incarnation: before, State: StateSuspect}})
+	self := m.Self()
+	if self.State != StateAlive || self.Incarnation <= before {
+		t.Fatalf("self = %+v; rumour not refuted", self)
+	}
+}
+
+func TestMembershipMergePrecedence(t *testing.T) {
+	clk := newClock()
+	m := NewMembership("n1", seedPeers(), time.Second, clk.Now)
+	// A dead rumour at the same incarnation wins.
+	if !m.Merge([]PeerState{{ID: "n2", Addr: "a2", State: StateDead}}) {
+		t.Fatal("death rumour should change the ring")
+	}
+	// A stale alive rumour at the same incarnation does not resurrect.
+	m.Merge([]PeerState{{ID: "n2", Addr: "a2", State: StateAlive}})
+	if p, _ := m.Get("n2"); p.State != StateDead {
+		t.Fatalf("stale rumour resurrected n2: %+v", p)
+	}
+	// A higher incarnation does: the peer rejoined.
+	m.Merge([]PeerState{{ID: "n2", Addr: "a2", Incarnation: 1, State: StateAlive}})
+	if p, _ := m.Get("n2"); p.State != StateAlive {
+		t.Fatalf("rejoin not accepted: %+v", p)
+	}
+	// Unknown peers are learned.
+	m.Merge([]PeerState{{ID: "n4", Addr: "a4", State: StateAlive}})
+	if got := len(m.Members()); got != 4 {
+		t.Fatalf("members after join = %d", got)
+	}
+}
+
+func TestNextTargetSkipsDead(t *testing.T) {
+	clk := newClock()
+	m := NewMembership("n1", seedPeers(), time.Second, clk.Now)
+	m.Merge([]PeerState{{ID: "n2", Addr: "a2", State: StateDead}})
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		p, ok := m.NextTarget()
+		if !ok {
+			t.Fatal("expected a live target")
+		}
+		seen[p.ID]++
+	}
+	if seen["n2"] != 0 {
+		t.Fatal("dead peer probed")
+	}
+	if seen["n3"] != 6 {
+		t.Fatalf("round-robin skewed: %v", seen)
+	}
+}
+
+func TestMarkAliveRevivesDirectAck(t *testing.T) {
+	clk := newClock()
+	m := NewMembership("n1", seedPeers(), time.Second, clk.Now)
+	m.MarkFailed("n3")
+	if !m.MarkAlive("n3") {
+		t.Fatal("ack should clear suspicion")
+	}
+	clk.Step(2 * time.Second)
+	if m.Tick() {
+		t.Fatal("cleared suspicion must not age into death")
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/telemetry"
+)
+
+// ownerMovesToJoiner finds a service name whose primary owner is fromID
+// in a {n1,n2} ring but toID once n3 joins — the deterministic setup for
+// mid-lease ownership-change tests.
+func ownerMovesToJoiner(t *testing.T, fromID, toID string) string {
+	t.Helper()
+	before := BuildRing([]string{"n1", "n2"}, 0)
+	after := BuildRing([]string{"n1", "n2", "n3"}, 0)
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("MovingSvc%d", i)
+		if before.Owner(name) == fromID && after.Owner(name) == toID {
+			return name
+		}
+	}
+	t.Fatal("no service name moves between the chosen owners")
+	return ""
+}
+
+// TestRemoteRenewFollowsOwnershipRedirect pins a Remote to a peer that
+// is not the key's primary owner and checks a renewal still lands: the
+// non-owner answers with a Redirect fault and the Remote follows it.
+func TestRemoteRenewFollowsOwnershipRedirect(t *testing.T) {
+	nodes, _ := httpCluster(t, 3, 1) // R=1: exactly one owner per key
+	xml := testWSDL(t)
+	key, err := nodes[0].PublishLeased(registry.Entry{Name: "WSTime", WSDL: xml}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owner, nonOwner *Node
+	for _, n := range nodes {
+		if n.IsLocalOwner(key) {
+			owner = n
+		} else if nonOwner == nil {
+			nonOwner = n
+		}
+	}
+	if owner == nil || nonOwner == nil {
+		t.Fatal("cluster has no owner/non-owner split")
+	}
+	if _, ok := nonOwner.Store().Get(key); ok {
+		t.Fatal("non-owner unexpectedly holds the entry at R=1")
+	}
+	rem := registry.NewRemote(nonOwner.Addr())
+	// The non-owner's local store cannot renew this key; success proves
+	// the Redirect fault was followed to the owner.
+	if err := rem.Renew(key); err != nil {
+		t.Fatalf("renew via non-owner endpoint: %v", err)
+	}
+}
+
+// TestLeaseKeeperSurvivesOwnerChange is the satellite regression: a
+// LeaseKeeper renewing against one fixed endpoint must keep its entry
+// alive when a cluster join moves the key's ownership mid-lease — the
+// stale peer redirects each renewal to the new owner.
+func TestLeaseKeeperSurvivesOwnerChange(t *testing.T) {
+	name := ownerMovesToJoiner(t, "n1", "n3")
+	nodes, _ := httpCluster(t, 2, 1)
+	xml := testWSDL(t)
+
+	rem := registry.NewRemote(nodes[0].Addr()) // pinned to n1 forever
+	keeper, err := registry.KeepLease(rem,
+		registry.Entry{Name: name, WSDL: xml}, 900*time.Millisecond, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keeper.Stop()
+	key := keeper.Key()
+	if !nodes[0].IsLocalOwner(key) {
+		t.Fatalf("precondition: n1 should own %q before the join", key)
+	}
+
+	// A third peer joins and takes over the key's arc.
+	s3 := startJoiner(t, "n3", nodes)
+	all := append(append([]*Node(nil), nodes...), s3)
+	for round := 0; round < 3; round++ {
+		for _, n := range all {
+			n.Step(context.Background())
+		}
+	}
+	if owner, _ := nodes[0].OwnerAddr(key); owner != s3.Addr() {
+		t.Fatalf("ownership did not move to the joiner: owner=%s", owner)
+	}
+
+	// Let several renewal ticks cross the new topology.
+	time.Sleep(1200 * time.Millisecond)
+	renewals, _, republishes := keeper.Stats()
+	if republishes != 0 {
+		t.Fatalf("lease lapsed and was re-published %d times; redirect not followed", republishes)
+	}
+	if renewals < 3 {
+		t.Fatalf("only %d renewals in 1.2s", renewals)
+	}
+	// The entry is alive on the new owner, with a running lease.
+	e, ok := s3.Store().Get(key)
+	if !ok || e.LeaseRemaining <= 0 {
+		t.Fatalf("entry on new owner: ok=%v lease=%v", ok, e.LeaseRemaining)
+	}
+}
+
+// startJoiner starts one more HTTP cluster node seeded with the
+// existing peers, for join tests.
+func startJoiner(t *testing.T, id string, peers []*Node) *Node {
+	t.Helper()
+	srv := httptest.NewUnstartedServer(nil)
+	addr := "http://" + srv.Listener.Addr().String()
+	var seed []PeerState
+	for _, p := range peers {
+		seed = append(seed, PeerState{ID: p.ID(), Addr: p.Addr()})
+	}
+	n := NewNode(Config{
+		ID:        id,
+		Addr:      addr,
+		Seed:      seed,
+		Replicas:  peers[0].cfg.Replicas,
+		DeadAfter: 3 * time.Second,
+		Caller:    &HTTPCaller{},
+		Telemetry: telemetry.Disabled(),
+	})
+	srv.Config.Handler = NewServer(n)
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return n
+}

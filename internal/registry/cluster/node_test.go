@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/telemetry"
+	"harness2/internal/wsdl"
+)
+
+func testWSDL(t testing.TB) string {
+	t.Helper()
+	d, err := wsdl.Generate(wsdl.WSTimeSpec(), wsdl.EndpointSet{
+		SOAPAddress: "http://host:8080/time",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.String()
+}
+
+// testCluster builds n in-process nodes over a shared MemNet and a
+// shared stepped clock: a deterministic simnet cluster.
+func testCluster(t testing.TB, n, replicas int) (*MemNet, []*Node, *steppedClock) {
+	t.Helper()
+	clk := newClock()
+	net := NewMemNet()
+	var seed []PeerState
+	for i := 1; i <= n; i++ {
+		seed = append(seed, PeerState{ID: fmt.Sprintf("n%d", i), Addr: fmt.Sprintf("addr%d", i)})
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(Config{
+			ID:        seed[i].ID,
+			Addr:      seed[i].Addr,
+			Seed:      seed,
+			Replicas:  replicas,
+			DeadAfter: 3 * time.Second,
+			Clock:     clk.Now,
+			Caller:    net,
+			Telemetry: telemetry.Disabled(),
+		})
+		node := nodes[i]
+		net.Register(seed[i].Addr, node.HandlePeer)
+	}
+	return net, nodes, clk
+}
+
+// copies counts which stores hold key.
+func copies(nodes []*Node, key string) []string {
+	var held []string
+	for _, n := range nodes {
+		if _, ok := n.Store().Get(key); ok {
+			held = append(held, n.ID())
+		}
+	}
+	return held
+}
+
+func TestClusterPublishGetFindAnyNode(t *testing.T) {
+	_, nodes, _ := testCluster(t, 3, 2)
+	xml := testWSDL(t)
+	key, err := nodes[0].Publish(registry.Entry{Name: "WSTime", Business: "b", WSDL: xml})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RingKey(key) != "WSTime" {
+		t.Fatalf("cluster key %q does not embed the name", key)
+	}
+	for _, n := range nodes {
+		e, ok, err := n.GetErr(key)
+		if err != nil || !ok || e.Name != "WSTime" {
+			t.Fatalf("node %s: get = %+v ok=%v err=%v", n.ID(), e, ok, err)
+		}
+		es, err := n.FindByNameErr("WSTime")
+		if err != nil || len(es) != 1 || es[0].Key != key {
+			t.Fatalf("node %s: find = %v err=%v", n.ID(), es, err)
+		}
+	}
+	if held := copies(nodes, key); len(held) != 2 {
+		t.Fatalf("entry on %v, want exactly 2 stores", held)
+	}
+}
+
+func TestClusterCallerKeyRewrittenToRoute(t *testing.T) {
+	_, nodes, _ := testCluster(t, 3, 2)
+	xml := testWSDL(t)
+	key, err := nodes[1].Publish(registry.Entry{Name: "WSTime", Key: "mykey", WSDL: xml})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "WSTime::mykey" {
+		t.Fatalf("key = %q, want WSTime::mykey", key)
+	}
+	// Re-publication under the same caller key must overwrite, not duplicate.
+	key2, err := nodes[2].Publish(registry.Entry{Name: "WSTime", Key: "mykey", Business: "v2", WSDL: xml})
+	if err != nil || key2 != key {
+		t.Fatalf("re-publish: key=%q err=%v", key2, err)
+	}
+	for _, n := range nodes {
+		if es, _ := n.FindByNameErr("WSTime"); len(es) != 1 || es[0].Business != "v2" {
+			t.Fatalf("node %s sees %v", n.ID(), es)
+		}
+	}
+}
+
+func TestClusterFindByQueryScatterDedup(t *testing.T) {
+	_, nodes, _ := testCluster(t, 3, 2)
+	xml := testWSDL(t)
+	keys := map[string]bool{}
+	for i := 0; i < 12; i++ {
+		k, err := nodes[i%3].Publish(registry.Entry{Name: fmt.Sprintf("Svc%d", i), WSDL: xml})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[k] = true
+	}
+	for _, n := range nodes {
+		es, err := n.FindByQuery("//service")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != len(keys) {
+			t.Fatalf("node %s: scatter returned %d entries, want %d (replicas not deduped?)",
+				n.ID(), len(es), len(keys))
+		}
+		seen := map[string]bool{}
+		for _, e := range es {
+			if seen[e.Key] {
+				t.Fatalf("duplicate key %q in scatter result", e.Key)
+			}
+			seen[e.Key] = true
+		}
+	}
+}
+
+func TestClusterRemoveEverywhere(t *testing.T) {
+	_, nodes, _ := testCluster(t, 3, 2)
+	key, err := nodes[0].Publish(registry.Entry{Name: "WSTime", WSDL: testWSDL(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[2].Remove(key); err != nil {
+		t.Fatal(err)
+	}
+	if held := copies(nodes, key); len(held) != 0 {
+		t.Fatalf("entry still on %v after remove", held)
+	}
+}
+
+func TestClusterLeaseExpiresOnReplicas(t *testing.T) {
+	_, nodes, clk := testCluster(t, 3, 2)
+	key, err := nodes[0].PublishLeased(registry.Entry{Name: "WSTime", WSDL: testWSDL(t)}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Step(6 * time.Second)
+	for _, n := range nodes {
+		if _, ok := n.Store().Get(key); ok {
+			t.Fatalf("lease did not expire on %s", n.ID())
+		}
+	}
+}
+
+func TestClusterRenewRefreshesReplicas(t *testing.T) {
+	_, nodes, clk := testCluster(t, 3, 2)
+	key, err := nodes[0].PublishLeased(registry.Entry{Name: "WSTime", WSDL: testWSDL(t)}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		clk.Step(3 * time.Second)
+		// Renew through a node that may not own the key: it forwards.
+		if err := nodes[i%3].Renew(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if held := copies(nodes, key); len(held) != 2 {
+		t.Fatalf("after renewals, entry on %v, want 2 stores", held)
+	}
+}
+
+// stepAll drives one gossip round on every node.
+func stepAll(nodes []*Node, skip map[string]bool) {
+	for _, n := range nodes {
+		if skip[n.ID()] {
+			continue
+		}
+		n.Step(context.Background())
+	}
+}
+
+// TestClusterSurvivesPeerDeath is the churn acceptance test: a 3-peer
+// R=2 cluster keeps every entry findable and every live lease alive
+// through the death of any single peer.
+func TestClusterSurvivesPeerDeath(t *testing.T) {
+	for victim := 0; victim < 3; victim++ {
+		victim := victim
+		t.Run(fmt.Sprintf("kill-n%d", victim+1), func(t *testing.T) {
+			net, nodes, clk := testCluster(t, 3, 2)
+			xml := testWSDL(t)
+			var keys []string
+			for i := 0; i < 20; i++ {
+				k, err := nodes[i%3].PublishLeased(
+					registry.Entry{Name: fmt.Sprintf("Svc%d", i), WSDL: xml}, time.Hour)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys = append(keys, k)
+			}
+			dead := nodes[victim].ID()
+			net.Kill(nodes[victim].Addr())
+			skip := map[string]bool{dead: true}
+			// Probes fail → suspect; age past DeadAfter → dead → rebalance.
+			stepAll(nodes, skip)
+			stepAll(nodes, skip)
+			clk.Step(4 * time.Second)
+			stepAll(nodes, skip)
+			stepAll(nodes, skip)
+			survivors := make([]*Node, 0, 2)
+			for _, n := range nodes {
+				if n.ID() != dead {
+					survivors = append(survivors, n)
+					if n.Ring().Len() != 2 {
+						t.Fatalf("node %s ring has %d peers, want 2", n.ID(), n.Ring().Len())
+					}
+				}
+			}
+			// Zero failed finds and zero lost leases, from every survivor.
+			for i, k := range keys {
+				name := fmt.Sprintf("Svc%d", i)
+				for _, n := range survivors {
+					if e, ok, err := n.GetErr(k); err != nil || !ok {
+						t.Fatalf("get %q via %s: ok=%v err=%v e=%+v", k, n.ID(), ok, err, e)
+					}
+					if es, err := n.FindByNameErr(name); err != nil || len(es) != 1 {
+						t.Fatalf("find %q via %s: %v err=%v", name, n.ID(), es, err)
+					}
+					if err := n.Renew(k); err != nil {
+						t.Fatalf("renew %q via %s: %v", k, n.ID(), err)
+					}
+				}
+				// Handoff restored R=2 among survivors.
+				held := 0
+				for _, n := range survivors {
+					if _, ok := n.Store().Get(k); ok {
+						held++
+					}
+				}
+				if held != 2 {
+					t.Fatalf("key %q on %d survivor stores, want 2", k, held)
+				}
+			}
+			// Scatter queries tolerate the dead peer too.
+			for _, n := range survivors {
+				es, err := n.FindByQuery("//service")
+				if err != nil || len(es) != len(keys) {
+					t.Fatalf("findByQuery via %s: %d entries err=%v", n.ID(), len(es), err)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterJoinRebalances grows a 2-peer cluster to 3 and checks the
+// new peer takes ownership of its arcs without losing any entry.
+func TestClusterJoinRebalances(t *testing.T) {
+	net, nodes, clk := testCluster(t, 2, 2)
+	xml := testWSDL(t)
+	var keys []string
+	for i := 0; i < 30; i++ {
+		k, err := nodes[i%2].Publish(registry.Entry{Name: fmt.Sprintf("Svc%d", i), WSDL: xml})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	joined := NewNode(Config{
+		ID: "n3", Addr: "addr3",
+		Seed:      []PeerState{{ID: "n1", Addr: "addr1"}, {ID: "n2", Addr: "addr2"}},
+		Replicas:  2,
+		DeadAfter: 3 * time.Second,
+		Clock:     clk.Now,
+		Caller:    net,
+		Telemetry: telemetry.Disabled(),
+	})
+	net.Register("addr3", joined.HandlePeer)
+	all := append(append([]*Node(nil), nodes...), joined)
+	for round := 0; round < 3; round++ {
+		stepAll(all, nil)
+	}
+	for _, n := range all {
+		if n.Ring().Len() != 3 {
+			t.Fatalf("node %s ring has %d peers after join", n.ID(), n.Ring().Len())
+		}
+	}
+	owns := 0
+	for _, k := range keys {
+		if held := copies(all, k); len(held) != 2 {
+			t.Fatalf("key %q on stores %v after join, want exactly 2", k, held)
+		}
+		for _, n := range all {
+			if _, ok, err := n.GetErr(k); err != nil || !ok {
+				t.Fatalf("get %q via %s after join: ok=%v err=%v", k, n.ID(), ok, err)
+			}
+		}
+		if joined.Ring().IsOwner(RingKey(k), "n3", 2) {
+			owns++
+		}
+	}
+	if owns == 0 {
+		t.Fatal("joined peer owns no keys; ring did not rebalance")
+	}
+}
+
+// TestClusterGetMissAuthoritative: a miss from a reachable owner is not
+// an error, while an unreachable whole owner group is ErrUnavailable.
+func TestClusterGetMissVsUnavailable(t *testing.T) {
+	net, nodes, _ := testCluster(t, 3, 2)
+	if _, ok, err := nodes[0].GetErr("Ghost::nope"); ok || err != nil {
+		t.Fatalf("miss: ok=%v err=%v, want authoritative miss", ok, err)
+	}
+	// Find a key owned by neither replica on nodes[i]: kill both owners
+	// before any gossip round, so the reader still routes to them.
+	key := "Ghost::nope"
+	var reader *Node
+	for _, n := range nodes {
+		if !n.IsLocalOwner(key) {
+			reader = n
+		}
+	}
+	if reader == nil {
+		t.Skip("key owned everywhere at R=2 on 3 nodes")
+	}
+	for _, n := range nodes {
+		if n != reader {
+			net.Kill(n.Addr())
+		}
+	}
+	if _, ok, err := reader.GetErr(key); ok || !errors.Is(err, registry.ErrUnavailable) {
+		t.Fatalf("outage: ok=%v err=%v, want ErrUnavailable", ok, err)
+	}
+}

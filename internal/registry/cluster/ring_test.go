@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnersStableAndDistinct(t *testing.T) {
+	r := BuildRing([]string{"a", "b", "c"}, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("svc-%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("owners(%q) = %v", key, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("duplicate owner for %q: %v", key, owners)
+		}
+		if got := r.Owners(key, 2); !reflect.DeepEqual(got, owners) {
+			t.Fatalf("owners not stable: %v vs %v", got, owners)
+		}
+		if r.Owner(key) != owners[0] {
+			t.Fatalf("Owner != Owners[0]")
+		}
+		if !r.IsOwner(key, owners[1], 2) || r.IsOwner(key, "nobody", 2) {
+			t.Fatal("IsOwner misreports")
+		}
+	}
+}
+
+func TestRingOrderIndependent(t *testing.T) {
+	a := BuildRing([]string{"a", "b", "c"}, 16)
+	b := BuildRing([]string{"c", "a", "b", "a"}, 16)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if !reflect.DeepEqual(a.Owners(key, 3), b.Owners(key, 3)) {
+			t.Fatalf("ring depends on input order for %q", key)
+		}
+	}
+}
+
+func TestRingFewerPeersThanReplicas(t *testing.T) {
+	r := BuildRing([]string{"only"}, 8)
+	if got := r.Owners("x", 3); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("owners = %v", got)
+	}
+	var empty *Ring
+	if empty.Owners("x", 2) != nil {
+		t.Fatal("nil ring should return nil owners")
+	}
+	if BuildRing(nil, 8).Owner("x") != "" {
+		t.Fatal("empty ring should have no owner")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"p1", "p2", "p3", "p4", "p5"}
+	r := BuildRing(peers, 0)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("service-%d", i))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if share < 0.08 || share > 0.40 {
+			t.Fatalf("peer %s owns %.1f%% of keys; ring badly unbalanced: %v",
+				p, share*100, counts)
+		}
+	}
+}
+
+// TestRingPlanInvariant is the deterministic core of FuzzRingPlan:
+// applying a move plan to the old owner set yields exactly the new one.
+func TestRingPlanInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	all := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 200; trial++ {
+		oldN := 1 + rng.Intn(len(all))
+		newN := 1 + rng.Intn(len(all))
+		oldPeers := append([]string(nil), all[:oldN]...)
+		newPeers := append([]string(nil), all[len(all)-newN:]...)
+		oldRing := BuildRing(oldPeers, 16)
+		newRing := BuildRing(newPeers, 16)
+		key := fmt.Sprintf("svc-%d", trial)
+		const replicas = 2
+		pl := PlanMove(oldRing, newRing, key, replicas)
+		got := map[string]bool{}
+		for _, p := range oldRing.Owners(key, replicas) {
+			got[p] = true
+		}
+		for _, p := range pl.Drops {
+			delete(got, p)
+		}
+		for _, p := range pl.Adds {
+			if got[p] {
+				t.Fatalf("plan adds existing owner %s", p)
+			}
+			got[p] = true
+		}
+		want := map[string]bool{}
+		for _, p := range newRing.Owners(key, replicas) {
+			want[p] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("plan %+v: applied=%v want=%v", pl, got, want)
+		}
+	}
+}
+
+func TestRingKey(t *testing.T) {
+	cases := map[string]string{
+		"WSTime::n1-7":  "WSTime",
+		"WSTime":        "WSTime",
+		"a::b::c":       "a",
+		"::x":           "",
+		"plain-key-123": "plain-key-123",
+	}
+	for in, want := range cases {
+		if got := RingKey(in); got != want {
+			t.Fatalf("RingKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

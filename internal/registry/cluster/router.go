@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
+	"harness2/internal/soap"
+)
+
+// Router is the cluster-aware client: a registry.Lookup / LeaseHolder /
+// CheckedLookup over multiple bootstrap endpoints. Any cluster node can
+// answer any operation (it forwards or redirects internally), so the
+// router's job is availability, not placement: it remembers which
+// endpoint answered last, fails over to the next on an unavailability
+// error, and can refresh its endpoint list from the cluster's own
+// membership — so a client bootstrapped with one seed address survives
+// that seed's death once it has refreshed. registry.Cache and
+// invoke.Binder compose over it unchanged.
+type Router struct {
+	// Policy and Chaos are handed to each per-endpoint Remote; see
+	// registry.Remote.
+	Policy *resilience.Policy
+	Chaos  *chaos.Injector
+	Client soap.Client
+
+	mu        sync.Mutex
+	endpoints []string
+	cur       int
+	remotes   map[string]*registry.Remote
+}
+
+var (
+	_ registry.Lookup        = (*Router)(nil)
+	_ registry.LeaseHolder   = (*Router)(nil)
+	_ registry.CheckedLookup = (*Router)(nil)
+)
+
+// NewRouter returns a router bootstrapped with the given endpoints.
+func NewRouter(endpoints ...string) *Router {
+	return &Router{
+		endpoints: append([]string(nil), endpoints...),
+		remotes:   make(map[string]*registry.Remote),
+	}
+}
+
+// Endpoints returns the router's current endpoint list.
+func (r *Router) Endpoints() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.endpoints...)
+}
+
+// remote returns (building on demand) the Remote for one endpoint.
+func (r *Router) remote(endpoint string) *registry.Remote {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rem, ok := r.remotes[endpoint]
+	if !ok {
+		rem = &registry.Remote{Endpoint: endpoint, Client: r.Client, Policy: r.Policy, Chaos: r.Chaos}
+		r.remotes[endpoint] = rem
+	}
+	return rem
+}
+
+// failover reports whether err warrants trying the next endpoint: the
+// registry was unreachable, as opposed to answering authoritatively.
+func failover(err error) bool {
+	if errors.Is(err, registry.ErrUnavailable) {
+		return true
+	}
+	// Renew/Remove/Publish surface transport failures as plain errors;
+	// an authoritative answer always arrives as a SOAP fault.
+	var f *soap.Fault
+	return !errors.As(err, &f)
+}
+
+// do runs fn against each endpoint starting from the last-good one,
+// failing over on unavailability and sticking with the endpoint that
+// answers. Authoritative errors (SOAP faults) return immediately.
+func (r *Router) do(fn func(rem *registry.Remote) error) error {
+	r.mu.Lock()
+	eps := append([]string(nil), r.endpoints...)
+	start := r.cur
+	r.mu.Unlock()
+	if len(eps) == 0 {
+		return fmt.Errorf("%w: router has no endpoints", registry.ErrUnavailable)
+	}
+	var lastErr error
+	for i := 0; i < len(eps); i++ {
+		idx := (start + i) % len(eps)
+		err := fn(r.remote(eps[idx]))
+		if err == nil || !failover(err) {
+			r.mu.Lock()
+			r.cur = idx
+			r.mu.Unlock()
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: all endpoints failed", registry.ErrUnavailable)
+	}
+	return lastErr
+}
+
+// Refresh asks the cluster for its current membership and replaces the
+// endpoint list with the live peers' addresses. Call it periodically (or
+// after failures) so the bootstrap list tracks churn.
+func (r *Router) Refresh(ctx context.Context) error {
+	return r.do(func(rem *registry.Remote) error {
+		out, err := r.Client.CallRemote(rem.Endpoint, &soap.Call{Method: opMembers})
+		if err != nil {
+			return fmt.Errorf("%w: members %s: %v", registry.ErrUnavailable, rem.Endpoint, err)
+		}
+		var addrs []string
+		if v, ok := outParam(out, "addrs"); ok {
+			addrs, _ = v.([]string)
+		}
+		addrs = dedupNonEmpty(addrs)
+		if len(addrs) == 0 {
+			return fmt.Errorf("%w: members %s: empty membership", registry.ErrUnavailable, rem.Endpoint)
+		}
+		r.mu.Lock()
+		r.endpoints = addrs
+		r.cur = 0
+		r.mu.Unlock()
+		return nil
+	})
+}
+
+func dedupNonEmpty(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, v := range in {
+		if v != "" && (i == 0 || v != in[i-1]) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Publish implements registry.Lookup.
+func (r *Router) Publish(e registry.Entry) (string, error) {
+	return r.PublishLeased(e, 0)
+}
+
+// PublishLeased implements registry.LeaseHolder.
+func (r *Router) PublishLeased(e registry.Entry, lease time.Duration) (string, error) {
+	var key string
+	err := r.do(func(rem *registry.Remote) error {
+		var err error
+		if lease > 0 {
+			key, err = rem.PublishLeased(e, lease)
+		} else {
+			key, err = rem.Publish(e)
+		}
+		return err
+	})
+	return key, err
+}
+
+// Renew implements registry.LeaseHolder.
+func (r *Router) Renew(key string) error {
+	return r.do(func(rem *registry.Remote) error { return rem.Renew(key) })
+}
+
+// Remove implements registry.Lookup.
+func (r *Router) Remove(key string) error {
+	return r.do(func(rem *registry.Remote) error { return rem.Remove(key) })
+}
+
+// Get implements registry.Lookup.
+func (r *Router) Get(key string) (registry.Entry, bool) {
+	e, ok, _ := r.GetErr(key)
+	return e, ok
+}
+
+// GetErr implements registry.CheckedLookup.
+func (r *Router) GetErr(key string) (registry.Entry, bool, error) {
+	var e registry.Entry
+	var found bool
+	err := r.do(func(rem *registry.Remote) error {
+		var err error
+		e, found, err = rem.GetErr(key)
+		return err
+	})
+	return e, found, err
+}
+
+// FindByName implements registry.Lookup.
+func (r *Router) FindByName(name string) []registry.Entry {
+	es, _ := r.FindByNameErr(name)
+	return es
+}
+
+// FindByNameErr implements registry.CheckedLookup.
+func (r *Router) FindByNameErr(name string) ([]registry.Entry, error) {
+	var es []registry.Entry
+	err := r.do(func(rem *registry.Remote) error {
+		var err error
+		es, err = rem.FindByNameErr(name)
+		return err
+	})
+	return es, err
+}
+
+// FindByQuery implements registry.Lookup.
+func (r *Router) FindByQuery(query string) ([]registry.Entry, error) {
+	var es []registry.Entry
+	err := r.do(func(rem *registry.Remote) error {
+		var err error
+		es, err = rem.FindByQuery(query)
+		return err
+	})
+	return es, err
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/resilience/chaos"
+	"harness2/internal/telemetry"
+)
+
+// httpCluster spins up n cluster nodes as real HTTP SOAP servers wired
+// to each other over an HTTPCaller — the multi-process topology, in one
+// test process.
+func httpCluster(t *testing.T, n, replicas int) ([]*Node, []*httptest.Server) {
+	t.Helper()
+	caller := &HTTPCaller{}
+	// Allocate listeners first so every node knows every address.
+	servers := make([]*httptest.Server, n)
+	for i := range servers {
+		servers[i] = httptest.NewUnstartedServer(nil)
+	}
+	seed := make([]PeerState, n)
+	for i := range seed {
+		seed[i] = PeerState{
+			ID:   fmt.Sprintf("n%d", i+1),
+			Addr: "http://" + servers[i].Listener.Addr().String(),
+		}
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(Config{
+			ID:        seed[i].ID,
+			Addr:      seed[i].Addr,
+			Seed:      seed,
+			Replicas:  replicas,
+			DeadAfter: 3 * time.Second,
+			Caller:    caller,
+			Telemetry: telemetry.Disabled(),
+		})
+		servers[i].Config.Handler = NewServer(nodes[i])
+		servers[i].Start()
+		t.Cleanup(servers[i].Close)
+	}
+	return nodes, servers
+}
+
+func TestRouterFailsOverAcrossEndpoints(t *testing.T) {
+	nodes, servers := httpCluster(t, 3, 2)
+	xml := testWSDL(t)
+	router := NewRouter(nodes[0].Addr(), nodes[1].Addr(), nodes[2].Addr())
+	key, err := router.PublishLeased(registry.Entry{Name: "WSTime", Business: "b"}, 0)
+	_ = key
+	if err == nil {
+		t.Fatal("publish without WSDL should fail (authoritative, no failover)")
+	}
+	key, err = router.Publish(registry.Entry{Name: "WSTime", WSDL: xml})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok, err := router.GetErr(key); err != nil || !ok || e.Name != "WSTime" {
+		t.Fatalf("get = %+v ok=%v err=%v", e, ok, err)
+	}
+	// Kill the first endpoint: the router must fail over silently.
+	servers[0].Close()
+	if es, err := router.FindByNameErr("WSTime"); err != nil || len(es) != 1 {
+		t.Fatalf("find after endpoint death: %v err=%v", es, err)
+	}
+	// An authoritative miss via the surviving endpoints stays a miss.
+	if _, ok, err := router.GetErr("Ghost::x"); ok || err != nil {
+		t.Fatalf("miss: ok=%v err=%v", ok, err)
+	}
+	if err := router.Renew(key); err != nil {
+		t.Fatalf("renew after failover: %v", err)
+	}
+	if err := router.Remove(key); err != nil {
+		t.Fatalf("remove after failover: %v", err)
+	}
+	if es, err := router.FindByNameErr("WSTime"); err != nil || len(es) != 0 {
+		t.Fatalf("find after remove: %v err=%v", es, err)
+	}
+}
+
+func TestRouterRefreshLearnsMembership(t *testing.T) {
+	nodes, _ := httpCluster(t, 3, 2)
+	// Bootstrapped with one seed only.
+	router := NewRouter(nodes[1].Addr())
+	if err := router.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(router.Endpoints()); got != 3 {
+		t.Fatalf("endpoints after refresh = %d (%v), want 3", got, router.Endpoints())
+	}
+}
+
+func TestRouterAllEndpointsDown(t *testing.T) {
+	router := NewRouter("http://127.0.0.1:1", "http://127.0.0.1:2")
+	if _, _, err := router.GetErr("k"); err == nil {
+		t.Fatal("expected unavailability error")
+	}
+	empty := NewRouter()
+	if _, _, err := empty.GetErr("k"); err == nil {
+		t.Fatal("expected error from endpoint-less router")
+	}
+}
+
+// TestRouterThroughCacheNeverNegativeCachesOutage wires the full client
+// stack — Cache over Router over a live cluster with a chaos-injected
+// transient outage — and checks the one failed lookup never turns into
+// a cached "not found": the SAME cache instance sees the entry on the
+// very next call.
+func TestRouterThroughCacheNeverNegativeCachesOutage(t *testing.T) {
+	nodes, _ := httpCluster(t, 1, 1)
+	key, err := nodes[0].Publish(registry.Entry{Name: "WSTime", WSDL: testWSDL(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := chaos.NewFromSpec(1, "error:1@registry/get/*#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewRouter(nodes[0].Addr())
+	router.Chaos = inj
+	cache := registry.NewCache(router, time.Hour)
+	// First call: the injected fault kills the only endpoint's attempt;
+	// the cache must surface the outage, not store a miss.
+	if _, ok, err := cache.GetErr(key); ok || err == nil {
+		t.Fatalf("during outage: ok=%v err=%v, want error", ok, err)
+	}
+	// Second call, same cache: the chaos budget is spent, the lookup
+	// succeeds — proving the outage was not negative-cached.
+	if _, ok, err := cache.GetErr(key); !ok || err != nil {
+		t.Fatalf("after recovery: ok=%v err=%v", ok, err)
+	}
+	// And plain Get reports the cached entry, not a stale miss.
+	if _, ok := cache.Get(key); !ok {
+		t.Fatal("entry invisible through cache after recovery")
+	}
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"harness2/internal/registry"
+	"harness2/internal/soap"
+)
+
+// NewServer exposes a cluster node over SOAP: the full public registry
+// surface (publish, get, find…, served by the node's routing layer so
+// any peer can answer for any key), the peer-RPC operations, and a
+// redirect-mode renew — a renewal sent to a non-owner answers with a
+// Redirect fault naming the current owner, which registry.Remote
+// follows, so LeaseKeeper renewals keep landing on the owning shard as
+// the ring rebalances under them.
+func NewServer(n *Node) *registry.Server {
+	s := registry.NewBackendServer(n)
+	for _, op := range []string{
+		opPublish, opReplicate, opGet, opFindName, opFindQuery,
+		opRenew, opRemove, opRemoveReplica, opGossip, opMembers,
+	} {
+		op := op
+		s.HandleExtra(op, func(call *soap.Call) ([]soap.Param, error) {
+			return n.HandlePeer(context.Background(), op, call.Params)
+		})
+	}
+	s.HandleExtra("renew", func(call *soap.Call) ([]soap.Param, error) {
+		v, ok := callParam(call, "key")
+		key, _ := v.(string)
+		if !ok || key == "" {
+			return nil, &soap.Fault{Code: "Client", String: `missing parameter "key"`}
+		}
+		if !n.isLocalPrimary(RingKey(key)) {
+			if addr, ok := n.OwnerAddr(key); ok && addr != n.cfg.Addr {
+				return nil, &soap.Fault{
+					Code:   registry.FaultCodeRedirect,
+					String: fmt.Sprintf("renew %q: owner is %s", key, addr),
+					Detail: addr,
+				}
+			}
+		}
+		if err := n.renewLocal(key); err != nil {
+			return nil, clientFault(err)
+		}
+		return []soap.Param{{Name: "ok", Value: true}}, nil
+	})
+	return s
+}
+
+func callParam(call *soap.Call, name string) (any, bool) {
+	return paramsValue(call.Params, name)
+}

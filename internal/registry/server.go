@@ -2,38 +2,85 @@ package registry
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"harness2/internal/resilience"
+	"harness2/internal/resilience/chaos"
 	"harness2/internal/soap"
 )
 
-// Server exposes a Registry as a SOAP web service — the registry is
-// itself a full-fledged service, per the paper's "every entity is
+// Backend is the operation surface Server exposes over SOAP. The
+// in-process *Registry satisfies it, and so does a cluster node routing
+// each operation to its owning shard — the server wiring is identical
+// either way.
+type Backend interface {
+	Lookup
+	PublishLeased(e Entry, lease time.Duration) (string, error)
+	Renew(key string) error
+}
+
+// RedirectError reports that the receiving peer does not own the key and
+// names the peer that does. The SOAP server maps it to a fault with Code
+// "Redirect" whose Detail carries the owner endpoint; Remote follows it.
+type RedirectError struct {
+	// Owner is the endpoint URL of the owning peer.
+	Owner string
+	// Key is the entry key the redirect is about.
+	Key string
+}
+
+// Error implements the error interface.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("registry: not the owner of %q; owner at %s", e.Key, e.Owner)
+}
+
+// FaultCodeRedirect is the SOAP fault code carrying ownership redirects.
+const FaultCodeRedirect = "Redirect"
+
+// Server exposes a registry Backend as a SOAP web service — the registry
+// is itself a full-fledged service, per the paper's "every entity is
 // potentially a public service" principle.
 //
 // Operations: publish, publishLeased, renew, remove, get, findByName,
-// findByQuery.
+// findByQuery; cluster peers add peer-RPC operations via HandleExtra.
 type Server struct {
-	reg  *Registry
+	reg  Backend
 	soap *soap.Server
 }
 
 // NewServer wraps reg in a SOAP dispatcher.
-func NewServer(reg *Registry) *Server {
-	s := &Server{reg: reg, soap: soap.NewServer()}
+func NewServer(reg *Registry) *Server { return NewBackendServer(reg) }
+
+// NewBackendServer wraps any Backend (a local registry or a cluster
+// node) in a SOAP dispatcher.
+func NewBackendServer(b Backend) *Server {
+	s := &Server{reg: b, soap: soap.NewServer()}
 	s.soap.Handle("publish", s.publish)
 	s.soap.Handle("publishLeased", s.publishLeased)
 	s.soap.Handle("renew", s.renew)
 	s.soap.Handle("remove", s.remove)
 	s.soap.Handle("get", s.get)
 	s.soap.Handle("findByName", s.find(func(arg string) ([]Entry, error) {
-		return reg.FindByName(arg), nil
+		// The checked read lets a cluster backend report an unreachable
+		// shard group as a Server fault instead of an empty result.
+		if cl, ok := b.(CheckedLookup); ok {
+			return cl.FindByNameErr(arg)
+		}
+		return b.FindByName(arg), nil
 	}))
-	s.soap.Handle("findByQuery", s.find(reg.FindByQuery))
+	s.soap.Handle("findByQuery", s.find(b.FindByQuery))
 	return s
+}
+
+// HandleExtra registers an additional SOAP action on the server —
+// cluster peers hang their peer-RPC surface (replicate, gossip, handoff,
+// members) off the same dispatcher the client operations use.
+func (s *Server) HandleExtra(action string, h soap.Handler) {
+	s.soap.Handle(action, h)
 }
 
 // ServeHTTP implements http.Handler.
@@ -106,6 +153,21 @@ func decodeEntry(call *soap.Call) (Entry, error) {
 	return e, nil
 }
 
+// opFault maps a backend error onto the SOAP fault taxonomy: ownership
+// redirects keep their owner endpoint in Detail, reachability failures
+// become Server faults (the client must not read them as "not there"),
+// everything else is a Client fault.
+func opFault(err error) error {
+	var rd *RedirectError
+	if errors.As(err, &rd) {
+		return &soap.Fault{Code: FaultCodeRedirect, String: err.Error(), Detail: rd.Owner}
+	}
+	if errors.Is(err, ErrUnavailable) {
+		return &soap.Fault{Code: "Server", String: err.Error()}
+	}
+	return &soap.Fault{Code: "Client", String: err.Error()}
+}
+
 func (s *Server) publish(call *soap.Call) ([]soap.Param, error) {
 	e, err := decodeEntry(call)
 	if err != nil {
@@ -113,7 +175,7 @@ func (s *Server) publish(call *soap.Call) ([]soap.Param, error) {
 	}
 	key, err := s.reg.Publish(e)
 	if err != nil {
-		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+		return nil, opFault(err)
 	}
 	return []soap.Param{{Name: "key", Value: key}}, nil
 }
@@ -132,7 +194,7 @@ func (s *Server) publishLeased(call *soap.Call) ([]soap.Param, error) {
 	}
 	key, err := s.reg.PublishLeased(e, time.Duration(ms)*time.Millisecond)
 	if err != nil {
-		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+		return nil, opFault(err)
 	}
 	return []soap.Param{{Name: "key", Value: key}}, nil
 }
@@ -143,7 +205,7 @@ func (s *Server) renew(call *soap.Call) ([]soap.Param, error) {
 		return nil, err
 	}
 	if err := s.reg.Renew(key); err != nil {
-		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+		return nil, opFault(err)
 	}
 	return []soap.Param{{Name: "ok", Value: true}}, nil
 }
@@ -154,7 +216,7 @@ func (s *Server) remove(call *soap.Call) ([]soap.Param, error) {
 		return nil, err
 	}
 	if err := s.reg.Remove(key); err != nil {
-		return nil, &soap.Fault{Code: "Client", String: err.Error()}
+		return nil, opFault(err)
 	}
 	return []soap.Param{{Name: "ok", Value: true}}, nil
 }
@@ -164,7 +226,21 @@ func (s *Server) get(call *soap.Call) ([]soap.Param, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, ok := s.reg.Get(key)
+	// Prefer the checked read so a cluster backend's "shard unreachable"
+	// surfaces as a Server fault, not as a spurious "no entry".
+	var (
+		e  Entry
+		ok bool
+	)
+	if cl, isChecked := s.reg.(CheckedLookup); isChecked {
+		var gerr error
+		e, ok, gerr = cl.GetErr(key)
+		if gerr != nil {
+			return nil, opFault(gerr)
+		}
+	} else {
+		e, ok = s.reg.Get(key)
+	}
 	if !ok {
 		return nil, &soap.Fault{Code: "Client", String: fmt.Sprintf("no entry %q", key)}
 	}
@@ -179,29 +255,90 @@ func (s *Server) find(fn func(string) ([]Entry, error)) soap.Handler {
 		}
 		entries, err := fn(arg)
 		if err != nil {
-			return nil, &soap.Fault{Code: "Client", String: err.Error()}
+			return nil, opFault(err)
 		}
-		// Column-wise result encoding: parallel arrays over the matches.
-		keys := make([]string, len(entries))
-		names := make([]string, len(entries))
-		businesses := make([]string, len(entries))
-		wsdls := make([]string, len(entries))
-		leases := make([]int64, len(entries))
-		for i, e := range entries {
-			keys[i] = e.Key
-			names[i] = e.Name
-			businesses[i] = e.Business
-			wsdls[i] = e.WSDL
-			leases[i] = e.LeaseRemaining.Milliseconds()
-		}
-		return []soap.Param{
-			{Name: "keys", Value: keys},
-			{Name: "names", Value: names},
-			{Name: "businesses", Value: businesses},
-			{Name: "wsdls", Value: wsdls},
-			{Name: "leases", Value: leases},
-		}, nil
+		return MarshalEntries(entries), nil
 	}
+}
+
+// MarshalEntries renders a find result in the column-wise wire encoding
+// (parallel arrays over the matches), shared by the public find
+// operations and the cluster peer RPCs.
+func MarshalEntries(entries []Entry) []soap.Param {
+	keys := make([]string, len(entries))
+	names := make([]string, len(entries))
+	businesses := make([]string, len(entries))
+	wsdls := make([]string, len(entries))
+	leases := make([]int64, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+		names[i] = e.Name
+		businesses[i] = e.Business
+		wsdls[i] = e.WSDL
+		leases[i] = e.LeaseRemaining.Milliseconds()
+	}
+	return []soap.Param{
+		{Name: "keys", Value: keys},
+		{Name: "names", Value: names},
+		{Name: "businesses", Value: businesses},
+		{Name: "wsdls", Value: wsdls},
+		{Name: "leases", Value: leases},
+	}
+}
+
+// UnmarshalEntries reads the column-wise find encoding back into
+// entries, tolerating servers that omit the (newer) leases column.
+func UnmarshalEntries(out []soap.Param) ([]Entry, error) {
+	var keys, names, businesses, wsdls []string
+	if v, ok := outParam(out, "keys"); ok {
+		keys, _ = v.([]string)
+	}
+	if v, ok := outParam(out, "names"); ok {
+		names, _ = v.([]string)
+	}
+	if v, ok := outParam(out, "businesses"); ok {
+		businesses, _ = v.([]string)
+	}
+	if v, ok := outParam(out, "wsdls"); ok {
+		wsdls, _ = v.([]string)
+	}
+	var leases []int64
+	if v, ok := outParam(out, "leases"); ok {
+		leases, _ = v.([]int64)
+	}
+	n := len(keys)
+	if len(names) != n || len(businesses) != n || len(wsdls) != n {
+		return nil, fmt.Errorf("registry: malformed find response")
+	}
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = Entry{Key: keys[i], Name: names[i], Business: businesses[i], WSDL: wsdls[i]}
+		if i < len(leases) {
+			entries[i].LeaseRemaining = time.Duration(leases[i]) * time.Millisecond
+		}
+	}
+	return entries, nil
+}
+
+// MarshalEntry renders one entry (including its lease remaining, as
+// leaseMs) as the row-wise parameter set get responses and cluster
+// replication RPCs share.
+func MarshalEntry(e Entry) []soap.Param { return entryParams(e) }
+
+// UnmarshalEntry reads the parameter set produced by MarshalEntry or by
+// a publish request; a leaseMs parameter, when present, lands in
+// LeaseRemaining.
+func UnmarshalEntry(call *soap.Call) (Entry, error) {
+	e, err := decodeEntry(call)
+	if err != nil {
+		return e, err
+	}
+	if v, perr := param(call, "leaseMs"); perr == nil {
+		if ms, ok := asInt64(v); ok {
+			e.LeaseRemaining = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return e, nil
 }
 
 func entryParams(e Entry) []soap.Param {
@@ -229,26 +366,55 @@ type Remote struct {
 	// retried with backoff for idempotent operations, and per-endpoint
 	// breakers stop hammering a dead registry. nil disables all of it.
 	Policy *resilience.Policy
+	// Chaos, when non-nil, evaluates the fault injector before every
+	// call at site ("registry", method, endpoint) — the hook outage and
+	// cluster tests use to fail exactly the Nth lookup. nil costs one
+	// branch.
+	Chaos *chaos.Injector
 }
 
 var _ Lookup = (*Remote)(nil)
+var _ CheckedLookup = (*Remote)(nil)
 
 // NewRemote returns a client for the registry at endpoint.
 func NewRemote(endpoint string) *Remote {
 	return &Remote{Endpoint: endpoint}
 }
 
+// maxRedirectHops bounds ownership-redirect following so two confused
+// peers cannot bounce a client forever mid-rebalance.
+const maxRedirectHops = 3
+
 // call performs one SOAP exchange, routed through the resilience policy
-// when one is configured. Lookup methods carry no context, so policy
-// executions run against context.Background(): the policy's own attempt
-// timeouts and retry budget still bound the call.
+// when one is configured, following cluster ownership redirects. Lookup
+// methods carry no context, so policy executions run against
+// context.Background(): the policy's own attempt timeouts and retry
+// budget still bound the call.
 func (r *Remote) call(method string, idempotent bool, params []soap.Param) ([]soap.Param, error) {
-	if r.Policy == nil {
-		return r.Client.CallRemote(r.Endpoint, &soap.Call{Method: method, Params: params})
+	endpoint := r.Endpoint
+	for hop := 0; ; hop++ {
+		out, err := r.callEndpoint(endpoint, method, idempotent, params)
+		if f := (*soap.Fault)(nil); errors.As(err, &f) && f.Code == FaultCodeRedirect &&
+			f.Detail != "" && hop < maxRedirectHops {
+			// The receiving peer no longer owns the key (the ring moved
+			// under us); retry against the owner it named.
+			endpoint = f.Detail
+			continue
+		}
+		return out, err
 	}
-	out, err := r.Policy.Do(context.Background(), r.Endpoint, "registry."+method, idempotent,
+}
+
+func (r *Remote) callEndpoint(endpoint, method string, idempotent bool, params []soap.Param) ([]soap.Param, error) {
+	if err := r.Chaos.Apply(context.Background(), "registry", method, endpoint); err != nil {
+		return nil, err
+	}
+	if r.Policy == nil {
+		return r.Client.CallRemote(endpoint, &soap.Call{Method: method, Params: params})
+	}
+	out, err := r.Policy.Do(context.Background(), endpoint, "registry."+method, idempotent,
 		func(ctx context.Context) (any, error) {
-			return r.Client.CallRemote(r.Endpoint, &soap.Call{Method: method, Params: params})
+			return r.Client.CallRemote(endpoint, &soap.Call{Method: method, Params: params})
 		})
 	if err != nil {
 		return nil, err
@@ -327,11 +493,38 @@ func (r *Remote) Remove(key string) error {
 	return err
 }
 
-// Get fetches one entry; a missing key yields ok=false.
+// notFoundFault recognises the server's authoritative "no entry" answer,
+// which arrives as a Client fault; anything else — transport failure,
+// Server fault, decode error — is NOT an authoritative miss.
+func notFoundFault(err error) bool {
+	var f *soap.Fault
+	return errors.As(err, &f) && f.Code == "Client" && strings.Contains(f.String, "no entry")
+}
+
+// Get fetches one entry; a missing key yields ok=false. A transport
+// failure also yields ok=false — use GetErr to tell the two apart.
 func (r *Remote) Get(key string) (Entry, bool) {
+	e, ok, _ := r.GetErr(key)
+	return e, ok
+}
+
+// GetErr fetches one entry, distinguishing an authoritative miss
+// (ok=false, err=nil) from a failure to reach the registry (err wraps
+// ErrUnavailable) — the distinction that keeps caches from
+// negative-caching an outage.
+func (r *Remote) GetErr(key string) (Entry, bool, error) {
 	out, err := r.call("get", true, []soap.Param{{Name: "key", Value: key}})
 	if err != nil {
-		return Entry{}, false
+		if notFoundFault(err) {
+			return Entry{}, false, nil
+		}
+		var f *soap.Fault
+		if errors.As(err, &f) && f.Code == "Client" {
+			// Any other Client fault is an authoritative rejection of
+			// the request itself, not an outage.
+			return Entry{}, false, err
+		}
+		return Entry{}, false, fmt.Errorf("%w: get %s: %v", ErrUnavailable, r.Endpoint, err)
 	}
 	e := Entry{}
 	if v, ok := outParam(out, "key"); ok {
@@ -355,7 +548,7 @@ func (r *Remote) Get(key string) (Entry, bool) {
 			e.LeaseRemaining = time.Duration(ms) * time.Millisecond
 		}
 	}
-	return e, true
+	return e, true, nil
 }
 
 // asInt64 reads the numeric Go types a decoded SOAP value may surface as.
@@ -376,48 +569,32 @@ func asInt64(v any) (int64, bool) {
 func (r *Remote) findRemote(method, arg string) ([]Entry, error) {
 	out, err := r.call(method, true, []soap.Param{{Name: "arg", Value: arg}})
 	if err != nil {
-		return nil, err
-	}
-	var keys, names, businesses, wsdls []string
-	if v, ok := outParam(out, "keys"); ok {
-		keys, _ = v.([]string)
-	}
-	if v, ok := outParam(out, "names"); ok {
-		names, _ = v.([]string)
-	}
-	if v, ok := outParam(out, "businesses"); ok {
-		businesses, _ = v.([]string)
-	}
-	if v, ok := outParam(out, "wsdls"); ok {
-		wsdls, _ = v.([]string)
-	}
-	// The leases column is newer than the core four; tolerate servers
-	// that omit it (entries then read as persistent).
-	var leases []int64
-	if v, ok := outParam(out, "leases"); ok {
-		leases, _ = v.([]int64)
-	}
-	n := len(keys)
-	if len(names) != n || len(businesses) != n || len(wsdls) != n {
-		return nil, fmt.Errorf("registry: malformed find response")
-	}
-	entries := make([]Entry, n)
-	for i := 0; i < n; i++ {
-		entries[i] = Entry{Key: keys[i], Name: names[i], Business: businesses[i], WSDL: wsdls[i]}
-		if i < len(leases) {
-			entries[i].LeaseRemaining = time.Duration(leases[i]) * time.Millisecond
+		var f *soap.Fault
+		if errors.As(err, &f) && f.Code == "Client" {
+			// Authoritative server-side rejection (e.g. a bad query).
+			return nil, err
 		}
+		return nil, fmt.Errorf("%w: %s %s: %v", ErrUnavailable, method, r.Endpoint, err)
 	}
-	return entries, nil
+	return UnmarshalEntries(out)
 }
 
-// FindByName queries the remote name index.
+// FindByName queries the remote name index. A transport failure yields
+// nil, indistinguishable from an empty result — use FindByNameErr to
+// tell the two apart.
 func (r *Remote) FindByName(name string) []Entry {
-	entries, err := r.findRemote("findByName", name)
+	entries, err := r.FindByNameErr(name)
 	if err != nil {
 		return nil
 	}
 	return entries
+}
+
+// FindByNameErr queries the remote name index, distinguishing an empty
+// result from a failure to reach the registry (err wraps
+// ErrUnavailable).
+func (r *Remote) FindByNameErr(name string) ([]Entry, error) {
+	return r.findRemote("findByName", name)
 }
 
 // FindByQuery runs a structural XML query remotely.
