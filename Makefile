@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 bench-e17 hbench fuzz chaos-smoke churn-smoke ci clean
+.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 bench-e17 bench-e18 hbench fuzz chaos-smoke churn-smoke fleet-smoke ci clean
 
 all: build
 
@@ -53,6 +53,13 @@ bench-e17:
 	E17_GATE=1 $(GO) test -run TestE17Gate -v ./internal/bench/
 	$(GO) run ./cmd/hbench -exp E17
 
+# The S32 fleet gate and tables: time-to-N-serving plus recovery-after-
+# kill latency against the restart-backoff bound, with zero failed finds
+# during recovery (EXPERIMENTS.md E18).
+bench-e18:
+	E18_GATE=1 $(GO) test -run TestE18Gate -v ./internal/bench/
+	$(GO) run ./cmd/hbench -exp E18
+
 # Regenerate the experiment tables (quick parameters; add ARGS=-full).
 hbench:
 	$(GO) run ./cmd/hbench $(ARGS)
@@ -61,7 +68,7 @@ hbench:
 # zero-copy-vs-portable codec differential, the SOAP fast-vs-DOM
 # differential, the shm ring record framing, the chaos spec parser, the
 # resilience policy validators, the cluster gossip digest codec, and the
-# ring rebalance planner.
+# ring rebalance planner, and the fleet deployment-descriptor grammar.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadFrameID -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzDecoderArrays -fuzztime 30s ./internal/xdr/
@@ -72,6 +79,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzPolicyOptions -fuzztime 30s ./internal/resilience/
 	$(GO) test -run xxx -fuzz FuzzGossipDigest -fuzztime 30s ./internal/registry/cluster/
 	$(GO) test -run xxx -fuzz FuzzRingPlan -fuzztime 30s ./internal/registry/cluster/
+	$(GO) test -run xxx -fuzz FuzzParseDescriptor -fuzztime 30s ./internal/fleet/
 
 # The deterministic chaos sweep at CI smoke size (seconds).
 chaos-smoke:
@@ -83,7 +91,14 @@ churn-smoke:
 	$(GO) test -run TestE17ChurnSmoke -v ./internal/bench/
 	$(GO) test -race ./internal/registry/cluster/
 
-ci: vet build race chaos-smoke churn-smoke
+# The fleet smoke: a daemon supervising real HARNESS II nodes over the
+# HTTP control protocol; kill one mid-traffic and assert automatic
+# restart, re-enrollment, and lease recovery with zero failed finds.
+fleet-smoke:
+	$(GO) test -run 'TestE18FleetSmoke|TestE18RecoverySmoke' -v -count=1 ./internal/bench/
+	$(GO) test -race ./internal/fleet/
+
+ci: vet build race chaos-smoke churn-smoke fleet-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,365 @@
+// Command hfleet is the HARNESS II deployment daemon and its control
+// client (S32).
+//
+// Daemon mode — supervise a fleet of runner boxes and serve the control
+// protocol:
+//
+//	hfleet -control 127.0.0.1:8970 -boxes "left:local,right:local:slots=4:zone=eu"
+//
+// Each spawned unit is a full HARNESS II node (SOAP/XDR/shm listeners,
+// builtins installed) whose components are lease-published into the
+// registry named by -registry or by the deploy descriptor. Killed or
+// crashed units restart automatically with backoff and republish under
+// their previous keys.
+//
+// Client mode — talk to a running daemon (pick exactly one action):
+//
+//	hfleet -connect 127.0.0.1:8970 -deploy web.hfd   # or "-" for stdin
+//	hfleet -connect 127.0.0.1:8970 -status
+//	hfleet -connect 127.0.0.1:8970 -attach web-1
+//	hfleet -connect 127.0.0.1:8970 -kill web-1
+//	hfleet -connect 127.0.0.1:8970 -stop web-1 | -stop-deployment web
+//	hfleet -connect 127.0.0.1:8970 -drain left
+//	hfleet -connect 127.0.0.1:8970 -upgrade web -deploy web-v2.hfd
+//	hfleet -connect 127.0.0.1:8970 -tail
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/fleet"
+	"harness2/internal/registry"
+	"harness2/internal/runnerbox"
+	"harness2/internal/telemetry"
+)
+
+func main() {
+	var (
+		// Daemon mode.
+		control  = flag.String("control", "127.0.0.1:8970", "control listen address (daemon mode)")
+		boxes    = flag.String("boxes", "box0:local", "comma-separated runner boxes: name:backend[:k=v[:k=v...]] (backends: local, rsh, grid; options: slots=N, cost=DUR, plus free-form labels)")
+		regURL   = flag.String("registry", "", "SOAP registry endpoint units publish into (descriptors may override)")
+		lease    = flag.Duration("lease", fleet.DefaultLease, "default registration lease for spawned units")
+		renew    = flag.Duration("renew", 0, "default lease renewal interval (0 = lease/4)")
+		daemonNm = flag.String("name", "hfleet", "daemon name (event source, telemetry label)")
+		noShm    = flag.Bool("no-shm", false, "spawn units without the shared-memory binding")
+
+		// Client mode.
+		connect  = flag.String("connect", "", "daemon control endpoint; presence selects client mode")
+		deploy   = flag.String("deploy", "", "descriptor file to deploy (\"-\" reads stdin); in daemon mode, deployed at startup")
+		wait     = flag.Int("wait", 0, "with -deploy: block until N units serve (0 = all)")
+		status   = flag.Bool("status", false, "print the fleet state")
+		attach   = flag.String("attach", "", "unit to attach to: endpoints + event history")
+		since    = flag.Int64("since", 0, "with -attach/-tail: replay events after this sequence number")
+		kill     = flag.String("kill", "", "unit to kill abruptly (daemon restarts it)")
+		stop     = flag.String("stop", "", "unit to stop gracefully (deregistered, not restarted)")
+		stopDep  = flag.String("stop-deployment", "", "deployment to stop gracefully")
+		drain    = flag.String("drain", "", "box to drain (relocate units, live-migrating state)")
+		upgrade  = flag.String("upgrade", "", "deployment to roll to the -deploy descriptor")
+		tailFlag = flag.Bool("tail", false, "follow the fleet event log")
+	)
+	flag.Parse()
+
+	if *connect != "" {
+		runClient(*connect, clientArgs{
+			deploy: *deploy, wait: *wait, status: *status, attach: *attach,
+			since: *since, kill: *kill, stop: *stop, stopDep: *stopDep,
+			drain: *drain, upgrade: *upgrade, tail: *tailFlag,
+		})
+		return
+	}
+	runDaemon(*control, *boxes, *regURL, *lease, *renew, *daemonNm, *noShm, *deploy, *wait)
+}
+
+func runDaemon(control, boxSpecs, regURL string, lease, renew time.Duration, name string, noShm bool, deployFile string, waitN int) {
+	tel := telemetry.New()
+	var reg container.LeasedRegistry
+	if regURL != "" {
+		reg = registry.NewRemote(regURL)
+	}
+	sup, err := fleet.New(fleet.Config{
+		Name: name,
+		Launcher: fleet.NewNodeLauncher(fleet.NodeLauncherConfig{
+			Registry:   reg,
+			Lease:      lease,
+			Renew:      renew,
+			Telemetry:  tel,
+			DisableShm: noShm,
+		}),
+		Telemetry: tel,
+	})
+	if err != nil {
+		log.Fatalf("hfleet: %v", err)
+	}
+	infos, err := parseBoxes(boxSpecs)
+	if err != nil {
+		log.Fatalf("hfleet: -boxes: %v", err)
+	}
+	for _, info := range infos {
+		if err := sup.Enroll(info); err != nil {
+			log.Fatalf("hfleet: enroll %s: %v", info.Name, err)
+		}
+		fmt.Printf("hfleet: enrolled box %s (backend %s, slots %d, labels %v)\n",
+			info.Name, info.Backend, info.Slots, info.Labels)
+	}
+	srv, err := fleet.NewServer(sup, control, tel)
+	if err != nil {
+		log.Fatalf("hfleet: %v", err)
+	}
+	fmt.Printf("hfleet: control protocol at %s (metrics at %s/metrics)\n", srv.URL(), srv.URL())
+
+	if deployFile != "" {
+		text, err := readDescriptor(deployFile)
+		if err != nil {
+			log.Fatalf("hfleet: -deploy: %v", err)
+		}
+		d, err := fleet.ParseDescriptor(text)
+		if err != nil {
+			log.Fatalf("hfleet: -deploy: %v", err)
+		}
+		ids, err := sup.Deploy(d)
+		if err != nil {
+			log.Fatalf("hfleet: deploy %s: %v", d.Name, err)
+		}
+		n := waitN
+		if n <= 0 {
+			n = len(ids)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if err := sup.WaitServing(ctx, d.Name, n); err != nil {
+			log.Fatalf("hfleet: waiting for %s: %v", d.Name, err)
+		}
+		cancel()
+		fmt.Printf("hfleet: deployment %s serving %d units: %s\n", d.Name, n, strings.Join(ids, " "))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("hfleet: shutting down (graceful stop of all units)")
+	_ = srv.Close()
+	_ = sup.Close()
+}
+
+// parseBoxes parses "name:backend[:k=v...]" specs. Unknown k=v pairs
+// become labels the descriptors can constrain on.
+func parseBoxes(specs string) ([]fleet.BoxInfo, error) {
+	var out []fleet.BoxInfo
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		info := fleet.BoxInfo{Name: parts[0], Backend: "local"}
+		if len(parts) > 1 && parts[1] != "" {
+			info.Backend = parts[1]
+		}
+		var cost time.Duration
+		slots := 0
+		for _, opt := range parts[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("box %s: option %q wants k=v", info.Name, opt)
+			}
+			switch k {
+			case "slots":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("box %s: slots %q: %v", info.Name, v, err)
+				}
+				slots = n
+			case "cost":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("box %s: cost %q: %v", info.Name, v, err)
+				}
+				cost = d
+			default:
+				if info.Labels == nil {
+					info.Labels = map[string]string{}
+				}
+				info.Labels[k] = v
+			}
+		}
+		var backend runnerbox.Backend
+		switch info.Backend {
+		case "local":
+			backend = runnerbox.NewLocalBackend()
+		case "rsh":
+			backend = runnerbox.NewRshBackend(cost)
+		case "grid":
+			backend = runnerbox.NewGridBackend(cost, slots)
+		default:
+			return nil, fmt.Errorf("box %s: unknown backend %q", info.Name, info.Backend)
+		}
+		info.Slots = slots
+		info.Box = runnerbox.New(backend)
+		out = append(out, info)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no boxes specified")
+	}
+	return out, nil
+}
+
+func readDescriptor(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(io.LimitReader(os.Stdin, 1<<20))
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+type clientArgs struct {
+	deploy  string
+	wait    int
+	status  bool
+	attach  string
+	since   int64
+	kill    string
+	stop    string
+	stopDep string
+	drain   string
+	upgrade string
+	tail    bool
+}
+
+func runClient(endpoint string, a clientArgs) {
+	cl := fleet.NewClient(endpoint)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	switch {
+	case a.upgrade != "":
+		if a.deploy == "" {
+			log.Fatal("hfleet: -upgrade needs -deploy with the new descriptor")
+		}
+		text, err := readDescriptor(a.deploy)
+		if err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		if err := cl.Upgrade(ctx, a.upgrade, text); err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		fmt.Printf("hfleet: rolled %s\n", a.upgrade)
+	case a.deploy != "":
+		text, err := readDescriptor(a.deploy)
+		if err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		dep, units, err := cl.Deploy(ctx, text, orAll(a.wait))
+		if err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		fmt.Printf("hfleet: deployed %s: %s\n", dep, strings.Join(units, " "))
+	case a.status:
+		st, err := cl.State(ctx)
+		if err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		printState(st)
+	case a.attach != "":
+		ust, evs, err := cl.Attach(ctx, a.attach, a.since)
+		if err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		fmt.Printf("%s  %s  box=%s gen=%d restarts=%d\n",
+			ust.ID, ust.State, ust.Box, ust.Generation, ust.Restarts)
+		for _, k := range sortedKeys(ust.Endpoints) {
+			fmt.Printf("  %s = %s\n", k, ust.Endpoints[k])
+		}
+		for _, ev := range evs {
+			printEvent(ev)
+		}
+	case a.kill != "":
+		if err := cl.Kill(ctx, a.kill); err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		fmt.Printf("hfleet: killed %s (the daemon will restart it)\n", a.kill)
+	case a.stop != "":
+		if err := cl.StopUnit(ctx, a.stop); err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		fmt.Printf("hfleet: stopped %s\n", a.stop)
+	case a.stopDep != "":
+		if err := cl.StopDeployment(ctx, a.stopDep); err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		fmt.Printf("hfleet: stopped deployment %s\n", a.stopDep)
+	case a.drain != "":
+		if err := cl.Drain(ctx, a.drain); err != nil {
+			log.Fatalf("hfleet: %v", err)
+		}
+		fmt.Printf("hfleet: drained %s\n", a.drain)
+	case a.tail:
+		since := a.since
+		for {
+			evs, _, err := cl.Log(ctx, since)
+			if err != nil {
+				log.Fatalf("hfleet: %v", err)
+			}
+			for _, ev := range evs {
+				printEvent(ev)
+				since = ev.Seq
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+	default:
+		log.Fatal("hfleet: client mode needs one of -deploy, -status, -attach, -kill, -stop, -stop-deployment, -drain, -upgrade, -tail")
+	}
+}
+
+func orAll(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n
+}
+
+func printState(st fleet.FleetState) {
+	fmt.Printf("daemon %s (log seq %d)\n", st.Daemon, st.LogSeq)
+	for _, b := range st.Boxes {
+		drain := ""
+		if b.Draining {
+			drain = " DRAINING"
+		}
+		fmt.Printf("box %-12s backend=%-5s slots=%d labels=%v units=%v%s\n",
+			b.Name, b.Backend, b.Slots, b.Labels, b.Units, drain)
+	}
+	for _, d := range st.Deployments {
+		fmt.Printf("deployment %s version=%q replicas=%d components=%v\n",
+			d.Name, d.Version, d.Replicas, d.Components)
+		for _, u := range d.Units {
+			fmt.Printf("  %-12s %-10s box=%-12s gen=%d restarts=%d %s\n",
+				u.ID, u.State, u.Box, u.Generation, u.Restarts, u.LastErr)
+		}
+	}
+}
+
+func printEvent(ev fleet.Event) {
+	fmt.Printf("%6d  %s  %-8s %s/%s box=%s %s %s\n",
+		ev.Seq, ev.Time.Format("15:04:05.000"), ev.Kind,
+		ev.Deployment, ev.Unit, ev.Box, ev.Detail, ev.Err)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -39,6 +39,8 @@ func main() {
 		deploy   = flag.String("deploy", "MatMul,WSTime,LinSolve", "comma-separated component classes to deploy")
 		regURL   = flag.String("registry", "", "SOAP registry endpoint (empty = private node)")
 		cacheTTL = flag.Duration("discovery-ttl", 30*time.Second, "client-side discovery cache TTL for registry lookups (0 disables caching)")
+		leaseDur = flag.Duration("lease", 0, "registration lease TTL; a crashed node's entries expire instead of dangling (0 = persistent registration)")
+		leaseRen = flag.Duration("lease-renew", 0, "lease renewal interval (0 = lease/4)")
 		manage   = flag.Bool("manage", true, "deploy the remote-management component")
 		printDoc = flag.Bool("wsdl", false, "print each instance's WSDL document")
 		prime    = flag.Bool("prime", true, "run startup self-invocations so /metrics exposes every instrument family")
@@ -82,8 +84,14 @@ func main() {
 	}
 
 	var lookup registry.Lookup
+	var leased container.LeasedRegistry
 	if *regURL != "" {
-		lookup = registry.NewRemote(*regURL)
+		remote := registry.NewRemote(*regURL)
+		lookup = remote
+		if *leaseDur > 0 {
+			leased = remote
+			fmt.Printf("hnode: leased registrations (ttl %v)\n", *leaseDur)
+		}
 		if *cacheTTL > 0 {
 			// Memoize discovery reads so steady-state lookups skip the
 			// SOAP round trip; TTLs are clamped to registration leases
@@ -109,7 +117,7 @@ func main() {
 			log.Fatalf("hnode: wsdl %s: %v", inst.ID, err)
 		}
 		if lookup != nil {
-			key, err := node.Container().Expose(inst.ID, lookup)
+			key, err := publishInstance(node.Container(), inst.ID, lookup, leased, *leaseDur, *leaseRen)
 			if err != nil {
 				log.Fatalf("hnode: publish %s: %v", inst.ID, err)
 			}
@@ -129,7 +137,39 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("hnode: shutting down")
+	// Graceful shutdown: deregister everywhere and release leases so the
+	// registry never serves this node's endpoints after it is gone. (A
+	// crash skips this — that is what leases are for.)
+	n := releaseRegistrations(node.Container())
+	fmt.Printf("hnode: shutting down (released %d registrations)\n", n)
+}
+
+// publishInstance registers one instance in the lookup service: leased
+// when lease > 0 (the keeper renews until shutdown), persistent
+// otherwise.
+func publishInstance(c *container.Container, id string, lookup registry.Lookup, leased container.LeasedRegistry, lease, renew time.Duration) (string, error) {
+	if leased != nil && lease > 0 {
+		if renew <= 0 || renew >= lease {
+			renew = lease / 4
+		}
+		return c.ExposeLeased(id, leased, lease, renew)
+	}
+	return c.Expose(id, lookup)
+}
+
+// releaseRegistrations withdraws every published instance from every
+// registry it was exposed in, stopping lease keepers; it returns the
+// number of registrations released.
+func releaseRegistrations(c *container.Container) int {
+	total := 0
+	for _, inst := range c.Instances() {
+		n, err := c.UnexposeEverywhere(inst.ID)
+		if err != nil {
+			fmt.Printf("hnode: release %s: %v\n", inst.ID, err)
+		}
+		total += n
+	}
+	return total
 }
 
 // primeMetrics exercises every observability surface once, so a freshly

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/core"
+	"harness2/internal/registry"
+)
+
+// TestShutdownReleasesRegistrations is the regression test for the
+// SIGTERM path: a node that published both persistent and leased
+// registrations must withdraw every one of them on graceful shutdown —
+// previously entries were simply abandoned, so a politely terminated
+// node kept answering discovery until an operator cleaned up.
+func TestShutdownReleasesRegistrations(t *testing.T) {
+	c := container.New(container.Config{Name: "n1"})
+	core.RegisterBuiltins(c)
+	persistent := registry.New()
+	leasedReg := registry.New()
+
+	inst1, _, err := c.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, _, err := c.Deploy("WSTime", "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One persistent, one leased — the two hnode publication modes.
+	if _, err := publishInstance(c, inst1.ID, persistent, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := publishInstance(c, inst2.ID, leasedReg, leasedReg, time.Second, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if persistent.Len() != 1 || leasedReg.Len() != 1 {
+		t.Fatalf("published %d persistent, %d leased; want 1 each", persistent.Len(), leasedReg.Len())
+	}
+	key2 := "n1::" + inst2.ID
+	if e, ok := leasedReg.Get(key2); !ok || e.LeaseRemaining <= 0 {
+		t.Fatalf("leased entry = %+v ok=%v, want live lease at deterministic key", e, ok)
+	}
+
+	if n := releaseRegistrations(c); n != 2 {
+		t.Fatalf("released %d registrations, want 2", n)
+	}
+	if persistent.Len() != 0 {
+		t.Fatal("persistent registration left behind after shutdown")
+	}
+	if leasedReg.Len() != 0 {
+		t.Fatal("leased registration left behind after shutdown (lease keeper not stopped)")
+	}
+	// Idempotent: a second release finds nothing.
+	if n := releaseRegistrations(c); n != 0 {
+		t.Fatalf("second release withdrew %d registrations, want 0", n)
+	}
+}
+
+// TestPublishInstanceLeaseRenewal: the leased mode outlives its TTL
+// while the node runs (the keeper renews), unlike a lease left to lapse.
+func TestPublishInstanceLeaseRenewal(t *testing.T) {
+	c := container.New(container.Config{Name: "n2"})
+	core.RegisterBuiltins(c)
+	reg := registry.New()
+	inst, _, err := c.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := publishInstance(c, inst.ID, reg, reg, 60*time.Millisecond, 15*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(180 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if reg.Len() != 1 {
+			t.Fatal("leased registration lapsed while the node was alive")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := releaseRegistrations(c); n != 1 {
+		t.Fatalf("released %d, want 1", n)
+	}
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"harness2/internal/fleet"
+	"harness2/internal/registry"
+	"harness2/internal/runnerbox"
+	"harness2/internal/telemetry"
+)
+
+// E18 — fleet control plane: automated deployment and crash recovery
+// (S32). Two curves on a deterministic slice (listener-free sim units, a
+// fixed spawn cost standing in for component fetch + container start):
+//
+//   - time-to-N-nodes-serving: one target descriptor asking for N
+//     replicas, measured from Deploy to the Nth unit serving (spawns run
+//     concurrently across boxes, so the curve should stay nearly flat);
+//   - recovery-after-kill: a supervised unit is killed abruptly,
+//     measured from the kill to the restarted unit serving again. The
+//     killed unit's leased registration dangles until the restart
+//     republishes over it, so a find polled throughout recovery must
+//     never fail — the zero-failed-finds column is the availability
+//     claim, the restart-backoff bound the latency claim.
+
+// e18SpawnDelay is the modelled instantiation cost of one sim unit.
+const e18SpawnDelay = 2 * time.Millisecond
+
+// e18Restart is the recovery policy under test; RecoveryBound derives
+// from it.
+var e18Restart = fleet.RestartPolicy{Backoff: 5 * time.Millisecond, Max: 40 * time.Millisecond, Limit: 8}
+
+// E18Result carries the machine-readable outcome for the gate.
+type E18Result struct {
+	// TimeToServing maps replica count N to the Deploy→N-serving time.
+	TimeToServing map[int]time.Duration
+	// RecoveryP50/RecoveryMax summarise the kill→serving-again samples.
+	RecoveryP50 time.Duration
+	RecoveryMax time.Duration
+	// FailedFinds counts registry misses observed while recoveries were
+	// in flight; the lease-recovery design requires zero.
+	FailedFinds int
+	// RecoveryBound is the acceptance ceiling for one recovery: the
+	// worst-case restart backoff plus the modelled spawn cost.
+	RecoveryBound time.Duration
+	// Kills is the number of recovery samples taken.
+	Kills int
+}
+
+func e18Boxes(sup *fleet.Supervisor, n int) error {
+	for i := 0; i < n; i++ {
+		if err := sup.Enroll(fleet.BoxInfo{
+			Name: fmt.Sprintf("box-%d", i),
+			Box:  runnerbox.New(runnerbox.NewLocalBackend()),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func e18Descriptor(replicas int) fleet.Descriptor {
+	return fleet.Descriptor{
+		Name:       "e18",
+		Replicas:   replicas,
+		Components: []string{fleet.CounterClass},
+		Lease:      30 * time.Second, // long: recovery must replace, not expire
+		Restart:    e18Restart,
+	}
+}
+
+// E18FleetBench runs the experiment and returns both the table and the
+// gate result.
+func E18FleetBench(ns []int, kills int) (*Table, *E18Result, error) {
+	t := &Table{
+		ID:    "E18",
+		Title: "Fleet deployment daemon: time-to-N-serving and crash recovery (deterministic slice)",
+		Note: fmt.Sprintf("sim units with %s spawn cost over 4 local boxes; restart policy backoff=%s max=%s",
+			e18SpawnDelay, e18Restart.Backoff, e18Restart.Max),
+		Columns: []string{"phase", "metric", "value", "note"},
+	}
+	res := &E18Result{
+		TimeToServing: make(map[int]time.Duration),
+		RecoveryBound: e18Restart.Bound() + e18SpawnDelay,
+		Kills:         kills,
+	}
+
+	// --- time-to-N-serving curve ---------------------------------------
+	for _, n := range ns {
+		reg := registry.New()
+		sup, err := fleet.New(fleet.Config{
+			Launcher: fleet.NewSimLauncher(&fleet.SimLauncherConfig{
+				Registry: reg, SpawnDelay: e18SpawnDelay,
+			}),
+			Telemetry: telemetry.Disabled(),
+			Seed:      7,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e18Boxes(sup, 4); err != nil {
+			return nil, nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		start := time.Now()
+		if _, err := sup.Deploy(e18Descriptor(n)); err != nil {
+			cancel()
+			return nil, nil, err
+		}
+		if err := sup.WaitServing(ctx, "e18", n); err != nil {
+			cancel()
+			return nil, nil, err
+		}
+		el := time.Since(start)
+		cancel()
+		res.TimeToServing[n] = el
+		t.AddRow("deploy", fmt.Sprintf("time-to-%d-serving", n), FmtDur(el),
+			fmt.Sprintf("%d leased registrations live", reg.Len()))
+		if err := sup.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// --- recovery-after-kill -------------------------------------------
+	reg := registry.New()
+	sup, err := fleet.New(fleet.Config{
+		Launcher: fleet.NewSimLauncher(&fleet.SimLauncherConfig{
+			Registry: reg, SpawnDelay: e18SpawnDelay,
+		}),
+		Telemetry: telemetry.Disabled(),
+		Seed:      7,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sup.Close()
+	if err := e18Boxes(sup, 2); err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	ids, err := sup.Deploy(e18Descriptor(4))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sup.WaitServing(ctx, "e18", 4); err != nil {
+		return nil, nil, err
+	}
+	entries := reg.Len()
+
+	samples := make([]time.Duration, 0, kills)
+	for k := 0; k < kills; k++ {
+		victim := ids[k%len(ids)]
+		key := victim + "::" + "fleetcounter"
+		before, _, err := sup.Attach(victim, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		start := time.Now()
+		if err := sup.Kill(victim); err != nil {
+			return nil, nil, err
+		}
+		// Poll the find path throughout the outage: the dangling lease
+		// must keep answering until the restart replaces it.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, ok := reg.Get(key); !ok {
+				res.FailedFinds++
+			}
+			st, _, err := sup.Attach(victim, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			if st.State == "serving" && st.Restarts > before.Restarts {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, nil, fmt.Errorf("bench: unit %s never recovered from kill %d", victim, k)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		samples = append(samples, time.Since(start))
+	}
+	res.RecoveryP50, res.RecoveryMax = percentiles(samples)
+	if n := reg.Len(); n != entries {
+		return nil, nil, fmt.Errorf("bench: registry grew from %d to %d entries across recoveries (duplicated leases)", entries, n)
+	}
+	t.AddRow("recover", "kill-to-serving p50", FmtDur(res.RecoveryP50),
+		fmt.Sprintf("%d kills across 4 units", kills))
+	t.AddRow("recover", "kill-to-serving max", FmtDur(res.RecoveryMax),
+		fmt.Sprintf("bound %s (restart backoff + spawn)", FmtDur(res.RecoveryBound)))
+	t.AddRow("recover", "failed finds during recovery", fmt.Sprintf("%d", res.FailedFinds),
+		"dangling lease answers until the restart republishes")
+	t.AddRow("recover", "leased entries after recoveries", fmt.Sprintf("%d", reg.Len()),
+		"replaced in place, never duplicated")
+	return t, res, nil
+}
+
+// E18Fleet adapts the bench to the Run switch.
+func E18Fleet(ns []int, kills int) (*Table, error) {
+	t, _, err := E18FleetBench(ns, kills)
+	return t, err
+}

@@ -206,7 +206,26 @@ func (p Params) zerocopySizes() []int {
 	return []int{512, 8192, 131072}
 }
 
-// Run executes one experiment by ID (E1–E17).
+// e18Ns is the replica-count sweep of the E18 time-to-serving curve.
+func (p Params) e18Ns() []int {
+	if p.Short {
+		return []int{2, 8}
+	}
+	return []int{2, 8, 32}
+}
+
+// e18Kills is the number of recovery samples E18 takes.
+func (p Params) e18Kills() int {
+	if p.Short {
+		return 3
+	}
+	if p.Full {
+		return 10
+	}
+	return 5
+}
+
+// Run executes one experiment by ID (E1–E18).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -247,13 +266,15 @@ func Run(id string, p Params) (*Table, error) {
 			p.xdrArrayLen(), p.e16ArrayCalls())
 	case "E17":
 		return E17Cluster(p.e17Entries(), p.e17Reads())
+	case "E18":
+		return E18Fleet(p.e18Ns(), p.e18Kills())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E17", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E17", "E18", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

@@ -106,8 +106,11 @@ type Instance struct {
 	// published maps registry identity (pointer) to the entry key so the
 	// container can unpublish on exposure changes and undeployment.
 	published map[registry.Lookup]string
-	deployed  time.Time
-	invokes   int64
+	// keepers holds the lease-renewal loops of leased registrations
+	// (ExposeLeased); stopped on Unexpose/Undeploy.
+	keepers  map[registry.Lookup]*registry.LeaseKeeper
+	deployed time.Time
+	invokes  int64
 }
 
 // Status returns the instance lifecycle state.
@@ -349,6 +352,7 @@ func (c *Container) Deploy(class, id string) (*Instance, time.Duration, error) {
 		component: comp,
 		spec:      comp.Describe(),
 		published: make(map[registry.Lookup]string),
+		keepers:   make(map[registry.Lookup]*registry.LeaseKeeper),
 		deployed:  time.Now(),
 	}
 	c.mu.Lock()
@@ -376,8 +380,16 @@ func (c *Container) Undeploy(id string) error {
 	inst.mu.Lock()
 	pubs := inst.published
 	inst.published = map[registry.Lookup]string{}
+	keepers := inst.keepers
+	inst.keepers = map[registry.Lookup]*registry.LeaseKeeper{}
 	comp := inst.component
 	inst.mu.Unlock()
+	for reg, k := range keepers {
+		k.Stop()
+		// The keeper's key may have changed across re-publications; prefer
+		// its current view over the one recorded at exposure time.
+		pubs[reg] = k.Key()
+	}
 	for reg, key := range pubs {
 		_ = reg.Remove(key)
 	}
@@ -619,8 +631,54 @@ func (c *Container) Expose(id string, reg registry.Lookup) (string, error) {
 	return key, nil
 }
 
+// LeasedRegistry is a lookup service that also supports leased
+// publication — satisfied by both the in-process *registry.Registry and
+// the SOAP *registry.Remote, so leased exposure works wherever the
+// registry runs.
+type LeasedRegistry interface {
+	registry.Lookup
+	registry.LeaseHolder
+}
+
+// ExposeLeased publishes an instance's WSDL into reg under a lease and
+// keeps the registration alive with a LeaseKeeper until Unexpose or
+// Undeploy, which stop the renewal loop and remove the entry — releasing
+// the lease instead of letting it dangle until expiry. The registration
+// key is derived from the container and instance identity, so a restarted
+// host re-publishing the same instance replaces its dangling predecessor
+// rather than duplicating it.
+func (c *Container) ExposeLeased(id string, reg LeasedRegistry, lease, interval time.Duration) (string, error) {
+	inst, ok := c.Instance(id)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	defs, err := c.WSDLFor(id)
+	if err != nil {
+		return "", err
+	}
+	keeper, err := registry.KeepLease(reg, registry.Entry{
+		Key:      c.cfg.Name + "::" + inst.ID,
+		Business: c.cfg.Name,
+		Name:     inst.spec.Name,
+		TModels:  registry.TModelsFor(defs),
+		WSDL:     defs.String(),
+	}, lease, interval)
+	if err != nil {
+		return "", err
+	}
+	key := keeper.Key()
+	inst.mu.Lock()
+	inst.Exposure = Public
+	inst.published[reg] = key
+	inst.keepers[reg] = keeper
+	inst.mu.Unlock()
+	c.notify("expose", id, inst.Class)
+	return key, nil
+}
+
 // Unexpose withdraws an instance from reg; when no registrations remain
-// the instance reverts to Private.
+// the instance reverts to Private. A leased exposure's renewal loop is
+// stopped and its lease released.
 func (c *Container) Unexpose(id string, reg registry.Lookup) error {
 	inst, ok := c.Instance(id)
 	if !ok {
@@ -629,6 +687,8 @@ func (c *Container) Unexpose(id string, reg registry.Lookup) error {
 	inst.mu.Lock()
 	key, published := inst.published[reg]
 	delete(inst.published, reg)
+	keeper := inst.keepers[reg]
+	delete(inst.keepers, reg)
 	if len(inst.published) == 0 {
 		inst.Exposure = Private
 	}
@@ -636,6 +696,63 @@ func (c *Container) Unexpose(id string, reg registry.Lookup) error {
 	if !published {
 		return fmt.Errorf("%w: %q not published in that registry", ErrNotExposed, id)
 	}
+	if keeper != nil {
+		keeper.Stop()
+		key = keeper.Key()
+	}
 	c.notify("unexpose", id, inst.Class)
 	return reg.Remove(key)
+}
+
+// UnexposeEverywhere withdraws an instance from every registry it is
+// published in — the graceful-shutdown path: a terminating host calls it
+// for each public instance so registrations disappear immediately instead
+// of dangling until their leases expire. It reports the number of
+// registrations released; removal errors (e.g. an unreachable registry)
+// are joined, and the instance is left Private regardless.
+func (c *Container) UnexposeEverywhere(id string) (int, error) {
+	inst, ok := c.Instance(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoInstance, id)
+	}
+	inst.mu.Lock()
+	pubs := inst.published
+	inst.published = map[registry.Lookup]string{}
+	keepers := inst.keepers
+	inst.keepers = map[registry.Lookup]*registry.LeaseKeeper{}
+	inst.Exposure = Private
+	inst.mu.Unlock()
+	for reg, k := range keepers {
+		k.Stop()
+		pubs[reg] = k.Key()
+	}
+	var errs []error
+	for reg, key := range pubs {
+		if err := reg.Remove(key); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(pubs) > 0 {
+		c.notify("unexpose", id, inst.Class)
+	}
+	return len(pubs), errors.Join(errs...)
+}
+
+// AbandonRegistrations stops every lease-renewal loop WITHOUT removing
+// the registrations — the crash model: a dead process stops renewing, so
+// its entries dangle until the lease expires or a restarted instance
+// republishes over them. It reports the number of keepers stopped.
+func (c *Container) AbandonRegistrations() int {
+	n := 0
+	for _, inst := range c.Instances() {
+		inst.mu.Lock()
+		keepers := inst.keepers
+		inst.keepers = map[registry.Lookup]*registry.LeaseKeeper{}
+		inst.mu.Unlock()
+		for _, k := range keepers {
+			k.Stop()
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,178 @@
+package container
+
+import (
+	"testing"
+	"time"
+
+	"harness2/internal/registry"
+)
+
+// TestExposeLeasedRenewsUntilUnexpose proves the graceful-shutdown fix:
+// a leased exposure stays registered past its lease (the keeper renews),
+// and Unexpose releases it immediately instead of waiting for expiry.
+func TestExposeLeasedRenewsUntilUnexpose(t *testing.T) {
+	c := newC(t)
+	reg := registry.New()
+	inst, _, err := c.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := c.ExposeLeased(inst.ID, reg, 80*time.Millisecond, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Exposure != Public {
+		t.Fatal("exposure not updated")
+	}
+	if e, ok := reg.Get(key); !ok || e.LeaseRemaining <= 0 {
+		t.Fatalf("entry = %+v ok=%v, want live leased entry", e, ok)
+	}
+	// Outlive the lease: the keeper must be renewing.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, ok := reg.Get(key); !ok {
+			t.Fatal("leased registration lapsed while the keeper was running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := c.Unexpose(inst.ID, reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("unexpose must release the lease immediately")
+	}
+	if inst.Exposure != Private {
+		t.Fatal("instance should revert to private")
+	}
+}
+
+// TestExposeLeasedKeyStableAcrossRestart proves lease recovery: a second
+// host re-publishing the same container/instance identity replaces the
+// dangling registration instead of duplicating it.
+func TestExposeLeasedKeyStableAcrossRestart(t *testing.T) {
+	reg := registry.New()
+	first := newC(t)
+	inst, _, err := first.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1, err := first.ExposeLeased(inst.ID, reg, time.Second, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: the keeper dies with the host, the entry dangles.
+	inst.mu.Lock()
+	keeper := inst.keepers[reg]
+	inst.mu.Unlock()
+	keeper.Stop()
+
+	second := newC(t) // same container name "node1"
+	inst2, _, err := second.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := second.ExposeLeased(inst2.ID, reg, time.Second, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key1 != key2 {
+		t.Fatalf("restart produced a new key %q != %q", key2, key1)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry holds %d entries, want the one replaced registration", reg.Len())
+	}
+	if _, err := second.UnexposeEverywhere(inst2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("release after restart left the entry behind")
+	}
+}
+
+// TestUndeployReleasesLease: undeploying a leased-exposed instance stops
+// the keeper and removes the entry.
+func TestUndeployReleasesLease(t *testing.T) {
+	c := newC(t)
+	reg := registry.New()
+	inst, _, err := c.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExposeLeased(inst.ID, reg, time.Second, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Undeploy(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("undeploy must release leased registrations")
+	}
+}
+
+// TestUnexposeEverywhere withdraws one instance from several registries
+// (mixed persistent and leased) in one call.
+func TestUnexposeEverywhere(t *testing.T) {
+	c := newC(t)
+	regA, regB := registry.New(), registry.New()
+	inst, _, err := c.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Expose(inst.ID, regA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExposeLeased(inst.ID, regB, time.Second, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.UnexposeEverywhere(inst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("released %d registrations, want 2", n)
+	}
+	if regA.Len() != 0 || regB.Len() != 0 {
+		t.Fatal("registrations left behind")
+	}
+	if inst.Exposure != Private {
+		t.Fatal("instance should be private")
+	}
+	// Idempotent: nothing left to release.
+	if n, err := c.UnexposeEverywhere(inst.ID); err != nil || n != 0 {
+		t.Fatalf("second release: n=%d err=%v", n, err)
+	}
+}
+
+// TestAbandonRegistrations is the crash model: renewal loops stop (a
+// dead process renews nothing) but the entries stay, dangling until the
+// lease expires — unlike UnexposeEverywhere, which removes them at once.
+func TestAbandonRegistrations(t *testing.T) {
+	c := newC(t)
+	reg := registry.New()
+	inst, _, err := c.Deploy("MatMul", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExposeLeased(inst.ID, reg, 120*time.Millisecond, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.AbandonRegistrations(); n != 1 {
+		t.Fatalf("abandoned %d keepers, want 1", n)
+	}
+	// The entry dangles: still answering immediately after the crash...
+	if reg.Len() != 1 {
+		t.Fatal("abandoned registration removed; it must dangle")
+	}
+	// ...then lapses once the lease runs out with nobody renewing.
+	deadline := time.Now().Add(time.Second)
+	for reg.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned lease never expired; a keeper is still renewing")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Idempotent: the keepers are gone.
+	if n := c.AbandonRegistrations(); n != 0 {
+		t.Fatalf("second abandon stopped %d keepers, want 0", n)
+	}
+}

@@ -33,6 +33,13 @@ type Field struct {
 // that cannot externalise its state.
 var ErrNotStateful = fmt.Errorf("container: component does not implement Stateful")
 
+// ErrMigrateCollision is returned when the destination container already
+// holds an instance under the migrating component's ID. The source
+// instance is left intact and running: callers (e.g. a fleet drain
+// sweeping components off a box) can distinguish "this component already
+// exists over there" from a transport or restore failure and skip it.
+var ErrMigrateCollision = fmt.Errorf("container: destination already holds instance")
+
 // Migrate moves the instance id from c to dst, preserving its ID and —
 // when the component implements Stateful — its state. The sequence is
 // stop-and-copy: the source instance stops, its state snapshots, a fresh
@@ -57,6 +64,14 @@ func Migrate(c *Container, id string, dst *Container) error {
 	st, stateful := inst.Component().(Stateful)
 	if !stateful {
 		return ErrNotStateful
+	}
+	// Refuse up front when the ID is taken at the destination, before the
+	// source is stopped: the source never blips and the caller gets a
+	// distinguished error instead of a wrapped deploy failure. A deploy
+	// racing into dst after this check still fails safely below (the
+	// source restarts), just with the generic duplicate-ID error.
+	if _, taken := dst.Instance(id); taken {
+		return fmt.Errorf("%w: %q at %s", ErrMigrateCollision, id, dst.Name())
 	}
 	// Freeze the source so the snapshot is consistent.
 	if err := c.Stop(id); err != nil {

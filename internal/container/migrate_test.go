@@ -141,12 +141,33 @@ func TestMigrateDuplicateIDAtDestination(t *testing.T) {
 	if _, _, err := dst.Deploy("SCounter", "x"); err != nil {
 		t.Fatal(err)
 	}
-	if err := Migrate(src, "x", dst); !errors.Is(err, ErrDuplicateID) {
-		t.Fatalf("err = %v", err)
+	ctx := context.Background()
+	if _, err := src.Invoke(ctx, "x", "inc", wire.Args("by", int64(7))); err != nil {
+		t.Fatal(err)
 	}
+	if err := Migrate(src, "x", dst); !errors.Is(err, ErrMigrateCollision) {
+		t.Fatalf("err = %v, want ErrMigrateCollision", err)
+	}
+	// The source must keep running — the collision is detected before the
+	// stop-and-copy window opens, so there is not even a service blip.
 	inst, _ := src.Instance("x")
 	if inst.Status() != Running {
-		t.Fatal("source left stopped after duplicate-ID failure")
+		t.Fatal("source left stopped after collision")
+	}
+	out, err := src.Invoke(ctx, "x", "inc", wire.Args("by", int64(1)))
+	if err != nil {
+		t.Fatalf("source unusable after collision: %v", err)
+	}
+	if total, _ := wire.GetArg(out, "total"); total != int64(8) {
+		t.Fatalf("source state disturbed: total = %v", total)
+	}
+	// The destination's own instance must be untouched.
+	dout, err := dst.Invoke(ctx, "x", "inc", wire.Args("by", int64(2)))
+	if err != nil {
+		t.Fatalf("destination instance disturbed: %v", err)
+	}
+	if total, _ := wire.GetArg(dout, "total"); total != int64(2) {
+		t.Fatalf("destination state disturbed: total = %v", total)
 	}
 }
 

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client speaks the hfleet control protocol to a daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets the control endpoint at base (scheme optional).
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 2 * time.Minute},
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("fleet: %s", eb.Error)
+		}
+		return fmt.Errorf("fleet: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Deploy submits a target descriptor. waitN > 0 blocks until that many
+// units serve; waitN == 0 returns as soon as the deployment is accepted.
+func (c *Client) Deploy(ctx context.Context, descriptor string, waitN int) (string, []string, error) {
+	path := "/v1/deploy"
+	if waitN > 0 {
+		path += "?wait=" + strconv.Itoa(waitN)
+	}
+	var reply deployReply
+	if err := c.do(ctx, http.MethodPost, path, bytes.NewReader([]byte(descriptor)), &reply); err != nil {
+		return "", nil, err
+	}
+	return reply.Deployment, reply.Units, nil
+}
+
+// State fetches the full fleet snapshot.
+func (c *Client) State(ctx context.Context) (FleetState, error) {
+	var st FleetState
+	err := c.do(ctx, http.MethodGet, "/v1/state", nil, &st)
+	return st, err
+}
+
+// Attach fetches a unit's status and its event tail after seq `since` —
+// enough to dial its endpoints and catch up on missed history.
+func (c *Client) Attach(ctx context.Context, unitID string, since int64) (UnitStatus, []Event, error) {
+	var reply attachReply
+	err := c.do(ctx, http.MethodGet,
+		"/v1/units/"+url.PathEscape(unitID)+"?since="+strconv.FormatInt(since, 10), nil, &reply)
+	return reply.Unit, reply.Events, err
+}
+
+// Kill terminates a unit abruptly (crash semantics; the daemon restarts it).
+func (c *Client) Kill(ctx context.Context, unitID string) error {
+	return c.do(ctx, http.MethodPost, "/v1/units/"+url.PathEscape(unitID)+"/kill", nil, nil)
+}
+
+// StopUnit stops a unit gracefully (deregistration; no restart).
+func (c *Client) StopUnit(ctx context.Context, unitID string) error {
+	return c.do(ctx, http.MethodPost, "/v1/units/"+url.PathEscape(unitID)+"/stop", nil, nil)
+}
+
+// StopDeployment stops every unit of a deployment gracefully.
+func (c *Client) StopDeployment(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodPost, "/v1/deployments/"+url.PathEscape(name)+"/stop", nil, nil)
+}
+
+// Upgrade rolls a deployment to the new descriptor, one unit at a time.
+func (c *Client) Upgrade(ctx context.Context, name, descriptor string) error {
+	return c.do(ctx, http.MethodPost, "/v1/deployments/"+url.PathEscape(name)+"/upgrade",
+		bytes.NewReader([]byte(descriptor)), nil)
+}
+
+// Drain evacuates a box, live-migrating stateful components.
+func (c *Client) Drain(ctx context.Context, boxName string) error {
+	return c.do(ctx, http.MethodPost, "/v1/boxes/"+url.PathEscape(boxName)+"/drain", nil, nil)
+}
+
+// Log fetches events after seq `since` plus whether the tail is
+// contiguous with it.
+func (c *Client) Log(ctx context.Context, since int64) ([]Event, bool, error) {
+	var reply logReply
+	err := c.do(ctx, http.MethodGet, "/v1/log?since="+strconv.FormatInt(since, 10), nil, &reply)
+	return reply.Events, reply.Contiguous, err
+}

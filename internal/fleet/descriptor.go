@@ -1,0 +1,381 @@
+// Package fleet is the HARNESS II deployment daemon and fleet control
+// plane (S32). The paper's first complaint about stock Web-Services
+// containers is the deployment issue — they "assume static, long-lived,
+// manually deployed services" — while metacomputing needs automated
+// instantiation of volatile components into lightweight containers.
+// fleet closes that gap: a per-box Supervisor instantiates container
+// nodes on enrolled runner boxes, auto-enrolls them into the registry
+// (leased registrations kept alive and released on graceful stop) and
+// optionally a DVM, detects crashes and restarts with full-jitter
+// backoff, drains boxes by live-migrating stateful components, performs
+// rolling upgrades, and keeps a canonical append-only event log exposed
+// over an HTTP control protocol alongside S27 telemetry.
+//
+// Deploy requests are target descriptors in the vocabulary of Dearle et
+// al.'s deployment framework: a deployable unit (the component list), a
+// cardinality, and resource constraints matched against the enrolled
+// runner-box inventory.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RestartPolicy bounds crash recovery: consecutive crashes back off with
+// full jitter drawn from [0, min(Max, Backoff<<n)]; after Limit
+// consecutive crashes without an intervening healthy serve the unit is
+// marked failed and left down for the operator.
+type RestartPolicy struct {
+	Backoff time.Duration
+	Max     time.Duration
+	Limit   int
+}
+
+// DefaultRestart is the policy applied when a descriptor does not name
+// one.
+var DefaultRestart = RestartPolicy{Backoff: 25 * time.Millisecond, Max: time.Second, Limit: 8}
+
+// Bound returns the worst-case sleep before any single restart attempt —
+// the "configured restart-backoff bound" E18's recovery assertion is
+// measured against.
+func (p RestartPolicy) Bound() time.Duration {
+	if p.Max > 0 {
+		return p.Max
+	}
+	return DefaultRestart.Max
+}
+
+// Constraint is one resource requirement of a target descriptor, matched
+// against runner-box inventories. Fields: "backend" (the resource-manager
+// kind), "slots" (execution slots; 0 on a box means unlimited), or
+// "label.<key>" (free-form box attributes). Ops: = != for strings,
+// additionally >= <= for slots.
+type Constraint struct {
+	Field string
+	Op    string
+	Value string
+}
+
+// String renders the constraint in descriptor syntax.
+func (c Constraint) String() string { return c.Field + c.Op + c.Value }
+
+// Matches reports whether box satisfies the constraint.
+func (c Constraint) Matches(box BoxInfo) bool {
+	switch {
+	case c.Field == "backend":
+		if c.Op == "!=" {
+			return box.Backend != c.Value
+		}
+		return box.Backend == c.Value
+	case c.Field == "slots":
+		want, err := strconv.Atoi(c.Value)
+		if err != nil {
+			return false
+		}
+		// Slots 0 means unlimited and satisfies any floor.
+		switch c.Op {
+		case ">=":
+			return box.Slots == 0 || box.Slots >= want
+		case "<=":
+			return box.Slots != 0 && box.Slots <= want
+		case "!=":
+			return box.Slots != want
+		default:
+			return box.Slots == want
+		}
+	case strings.HasPrefix(c.Field, "label."):
+		got, ok := box.Labels[strings.TrimPrefix(c.Field, "label.")]
+		if c.Op == "!=" {
+			return !ok || got != c.Value
+		}
+		return ok && got == c.Value
+	}
+	return false
+}
+
+// Descriptor is a deploy request: the deployable unit (component
+// classes), its cardinality, the constraints selecting eligible runner
+// boxes, and the registration/recovery parameters of the spawned nodes.
+type Descriptor struct {
+	// Name identifies the deployment; unit IDs derive from it.
+	Name string
+	// Replicas is the number of nodes to keep serving.
+	Replicas int
+	// Components are the component classes each node deploys.
+	Components []string
+	// Constraints select eligible runner boxes; empty matches every box.
+	Constraints []Constraint
+	// Registry optionally overrides the supervisor's registry endpoint
+	// for this deployment's registrations (a URL for real launchers).
+	Registry string
+	// Lease and Renew parameterise the nodes' leased registrations; zero
+	// values use the supervisor defaults.
+	Lease time.Duration
+	Renew time.Duration
+	// Restart is the crash-recovery policy; the zero value means
+	// DefaultRestart.
+	Restart RestartPolicy
+	// Version labels the deployment revision; rolling upgrades bump it.
+	Version string
+}
+
+// normalized fills defaults.
+func (d Descriptor) normalized() Descriptor {
+	if d.Replicas <= 0 {
+		d.Replicas = 1
+	}
+	if d.Restart == (RestartPolicy{}) {
+		d.Restart = DefaultRestart
+	}
+	if d.Restart.Limit <= 0 {
+		d.Restart.Limit = DefaultRestart.Limit
+	}
+	if d.Restart.Backoff <= 0 {
+		d.Restart.Backoff = DefaultRestart.Backoff
+	}
+	if d.Restart.Max < d.Restart.Backoff {
+		d.Restart.Max = d.Restart.Backoff
+	}
+	return d
+}
+
+// Validate checks the descriptor is deployable.
+func (d Descriptor) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("fleet: descriptor needs a deploy name")
+	}
+	if strings.ContainsAny(d.Name, " \t/") {
+		return fmt.Errorf("fleet: deploy name %q contains separators", d.Name)
+	}
+	if len(d.Components) == 0 {
+		return fmt.Errorf("fleet: descriptor %q lists no components", d.Name)
+	}
+	if d.Replicas < 0 || d.Replicas > 4096 {
+		return fmt.Errorf("fleet: replicas %d out of range [0,4096]", d.Replicas)
+	}
+	for _, c := range d.Constraints {
+		if err := validConstraint(c); err != nil {
+			return err
+		}
+	}
+	if d.Lease < 0 || d.Renew < 0 || d.Restart.Backoff < 0 || d.Restart.Max < 0 || d.Restart.Limit < 0 {
+		return fmt.Errorf("fleet: descriptor %q has negative durations", d.Name)
+	}
+	return nil
+}
+
+func validConstraint(c Constraint) error {
+	switch c.Op {
+	case "=", "!=":
+	case ">=", "<=":
+		if c.Field != "slots" {
+			return fmt.Errorf("fleet: constraint %s: ordering only applies to slots", c)
+		}
+	default:
+		return fmt.Errorf("fleet: constraint %s: unknown op %q", c, c.Op)
+	}
+	switch {
+	case c.Field == "backend":
+	case c.Field == "slots":
+		if _, err := strconv.Atoi(c.Value); err != nil {
+			return fmt.Errorf("fleet: constraint %s: slots wants an integer", c)
+		}
+	case strings.HasPrefix(c.Field, "label.") && len(c.Field) > len("label."):
+	default:
+		return fmt.Errorf("fleet: constraint %s: unknown field %q", c, c.Field)
+	}
+	return nil
+}
+
+// String renders the descriptor in the canonical parseable form.
+func (d Descriptor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deploy %s\n", d.Name)
+	fmt.Fprintf(&b, "replicas %d\n", d.Replicas)
+	for _, c := range d.Components {
+		fmt.Fprintf(&b, "component %s\n", c)
+	}
+	for _, c := range d.Constraints {
+		fmt.Fprintf(&b, "require %s\n", c)
+	}
+	if d.Registry != "" {
+		fmt.Fprintf(&b, "registry %s\n", d.Registry)
+	}
+	if d.Lease > 0 {
+		fmt.Fprintf(&b, "lease %s\n", d.Lease)
+	}
+	if d.Renew > 0 {
+		fmt.Fprintf(&b, "renew %s\n", d.Renew)
+	}
+	if d.Restart != (RestartPolicy{}) {
+		fmt.Fprintf(&b, "restart backoff=%s max=%s limit=%d\n",
+			d.Restart.Backoff, d.Restart.Max, d.Restart.Limit)
+	}
+	if d.Version != "" {
+		fmt.Fprintf(&b, "version %s\n", d.Version)
+	}
+	return b.String()
+}
+
+// maxDescriptorBytes bounds parser input; control-channel payloads are
+// tiny, so anything larger is rejected before parsing.
+const maxDescriptorBytes = 1 << 16
+
+// ParseDescriptor parses the line-oriented target-descriptor grammar:
+//
+//	deploy web                  # deployment name (required, first)
+//	replicas 3                  # cardinality (default 1)
+//	component MatMul            # deployable unit: one line per class
+//	require backend=local       # constraints over the box inventory
+//	require slots>=2            #   ops: = != and >= <= for slots
+//	require label.zone=eu       #   free-form box labels
+//	registry http://host:8900/  # registration endpoint override
+//	lease 2s                    # leased-registration parameters
+//	renew 500ms
+//	restart backoff=20ms max=500ms limit=6
+//	version v2                  # revision label (rolling upgrades)
+//
+// Blank lines and #-comments are ignored. The result is validated.
+func ParseDescriptor(text string) (Descriptor, error) {
+	if len(text) > maxDescriptorBytes {
+		return Descriptor{}, fmt.Errorf("fleet: descriptor exceeds %d bytes", maxDescriptorBytes)
+	}
+	var d Descriptor
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		word, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return Descriptor{}, fmt.Errorf("fleet: line %d: %q needs a value", ln+1, word)
+		}
+		switch word {
+		case "deploy":
+			if seen["deploy"] {
+				return Descriptor{}, fmt.Errorf("fleet: line %d: duplicate deploy", ln+1)
+			}
+			d.Name = rest
+		case "replicas":
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				return Descriptor{}, fmt.Errorf("fleet: line %d: replicas %q: %v", ln+1, rest, err)
+			}
+			d.Replicas = n
+		case "component":
+			for _, c := range strings.Split(rest, ",") {
+				if c = strings.TrimSpace(c); c != "" {
+					d.Components = append(d.Components, c)
+				}
+			}
+		case "require":
+			c, err := parseConstraint(rest)
+			if err != nil {
+				return Descriptor{}, fmt.Errorf("fleet: line %d: %v", ln+1, err)
+			}
+			d.Constraints = append(d.Constraints, c)
+		case "registry":
+			d.Registry = rest
+		case "lease", "renew":
+			dur, err := time.ParseDuration(rest)
+			if err != nil {
+				return Descriptor{}, fmt.Errorf("fleet: line %d: %s %q: %v", ln+1, word, rest, err)
+			}
+			if word == "lease" {
+				d.Lease = dur
+			} else {
+				d.Renew = dur
+			}
+		case "restart":
+			p, err := parseRestart(rest)
+			if err != nil {
+				return Descriptor{}, fmt.Errorf("fleet: line %d: %v", ln+1, err)
+			}
+			d.Restart = p
+		case "version":
+			d.Version = rest
+		default:
+			return Descriptor{}, fmt.Errorf("fleet: line %d: unknown directive %q", ln+1, word)
+		}
+		seen[word] = true
+	}
+	if err := d.Validate(); err != nil {
+		return Descriptor{}, err
+	}
+	return d, nil
+}
+
+// constraint ops, longest first so ">=" is not cut at "=".
+var constraintOps = []string{">=", "<=", "!=", "="}
+
+func parseConstraint(s string) (Constraint, error) {
+	for _, op := range constraintOps {
+		if i := strings.Index(s, op); i > 0 {
+			c := Constraint{
+				Field: strings.TrimSpace(s[:i]),
+				Op:    op,
+				Value: strings.TrimSpace(s[i+len(op):]),
+			}
+			if c.Value == "" {
+				return Constraint{}, fmt.Errorf("constraint %q has no value", s)
+			}
+			return c, validConstraint(c)
+		}
+	}
+	return Constraint{}, fmt.Errorf("constraint %q has no operator", s)
+}
+
+func parseRestart(s string) (RestartPolicy, error) {
+	p := RestartPolicy{}
+	for _, kv := range strings.Fields(s) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p, fmt.Errorf("restart field %q wants key=value", kv)
+		}
+		switch k {
+		case "backoff", "max":
+			dur, err := time.ParseDuration(v)
+			if err != nil {
+				return p, fmt.Errorf("restart %s %q: %v", k, v, err)
+			}
+			if k == "backoff" {
+				p.Backoff = dur
+			} else {
+				p.Max = dur
+			}
+		case "limit":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return p, fmt.Errorf("restart limit %q: %v", v, err)
+			}
+			p.Limit = n
+		default:
+			return p, fmt.Errorf("restart field %q unknown", k)
+		}
+	}
+	if p.Backoff <= 0 || p.Max < p.Backoff || p.Limit < 1 {
+		return p, fmt.Errorf("restart policy %+v invalid: need backoff>0, max>=backoff, limit>=1", p)
+	}
+	return p, nil
+}
+
+// sortedConstraints returns a canonical ordering for comparisons.
+func sortedConstraints(cs []Constraint) []Constraint {
+	out := append([]Constraint(nil), cs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Field != out[j].Field {
+			return out[i].Field < out[j].Field
+		}
+		return out[i].Op+out[i].Value < out[j].Op+out[j].Value
+	})
+	return out
+}

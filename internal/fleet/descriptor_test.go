@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDescriptorFull(t *testing.T) {
+	text := `
+# staging web tier
+deploy web
+replicas 3
+component MatMul, WSTime
+component FleetCounter
+require backend=local
+require slots>=2
+require label.zone=eu   # only EU boxes
+registry http://127.0.0.1:8900/
+lease 2s
+renew 500ms
+restart backoff=20ms max=500ms limit=6
+version v2
+`
+	d, err := ParseDescriptor(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Descriptor{
+		Name:       "web",
+		Replicas:   3,
+		Components: []string{"MatMul", "WSTime", "FleetCounter"},
+		Constraints: []Constraint{
+			{Field: "backend", Op: "=", Value: "local"},
+			{Field: "slots", Op: ">=", Value: "2"},
+			{Field: "label.zone", Op: "=", Value: "eu"},
+		},
+		Registry: "http://127.0.0.1:8900/",
+		Lease:    2 * time.Second,
+		Renew:    500 * time.Millisecond,
+		Restart:  RestartPolicy{Backoff: 20 * time.Millisecond, Max: 500 * time.Millisecond, Limit: 6},
+		Version:  "v2",
+	}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("parsed\n%+v\nwant\n%+v", d, want)
+	}
+	// Canonical render re-parses to the same descriptor.
+	d2, err := ParseDescriptor(d.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(d, d2) {
+		t.Fatalf("round trip changed descriptor:\n%+v\nvs\n%+v", d, d2)
+	}
+}
+
+func TestParseDescriptorErrors(t *testing.T) {
+	cases := map[string]string{
+		"no name":            "component MatMul",
+		"no components":      "deploy web",
+		"bad replicas":       "deploy web\nreplicas many\ncomponent A",
+		"negative replicas":  "deploy web\nreplicas -1\ncomponent A",
+		"huge replicas":      "deploy web\nreplicas 9999\ncomponent A",
+		"duplicate deploy":   "deploy a\ndeploy b\ncomponent A",
+		"unknown directive":  "deploy web\ncomponent A\nflavour vanilla",
+		"bare directive":     "deploy web\ncomponent A\nreplicas",
+		"no operator":        "deploy web\ncomponent A\nrequire backend local",
+		"no value":           "deploy web\ncomponent A\nrequire backend=",
+		"order on backend":   "deploy web\ncomponent A\nrequire backend>=2",
+		"slots not integer":  "deploy web\ncomponent A\nrequire slots>=lots",
+		"unknown field":      "deploy web\ncomponent A\nrequire cpus=4",
+		"bad lease":          "deploy web\ncomponent A\nlease soon",
+		"negative lease":     "deploy web\ncomponent A\nlease -2s",
+		"restart no backoff": "deploy web\ncomponent A\nrestart limit=3",
+		"restart max<min":    "deploy web\ncomponent A\nrestart backoff=1s max=10ms limit=3",
+		"restart bad field":  "deploy web\ncomponent A\nrestart retries=3",
+		"name with space":    "deploy web tier\ncomponent A",
+		"oversized":          "deploy web\ncomponent A\n#" + strings.Repeat("x", maxDescriptorBytes),
+	}
+	for name, text := range cases {
+		if _, err := ParseDescriptor(text); err == nil {
+			t.Errorf("%s: descriptor accepted:\n%s", name, text)
+		}
+	}
+}
+
+func TestConstraintMatches(t *testing.T) {
+	box := BoxInfo{Name: "b1", Backend: "local", Slots: 4,
+		Labels: map[string]string{"zone": "eu", "gpu": "none"}}
+	unlimited := BoxInfo{Name: "b2", Backend: "grid", Slots: 0}
+	cases := []struct {
+		c    Constraint
+		box  BoxInfo
+		want bool
+	}{
+		{Constraint{"backend", "=", "local"}, box, true},
+		{Constraint{"backend", "=", "grid"}, box, false},
+		{Constraint{"backend", "!=", "grid"}, box, true},
+		{Constraint{"slots", ">=", "2"}, box, true},
+		{Constraint{"slots", ">=", "8"}, box, false},
+		{Constraint{"slots", ">=", "8"}, unlimited, true}, // 0 = unlimited
+		{Constraint{"slots", "<=", "8"}, box, true},
+		{Constraint{"slots", "<=", "8"}, unlimited, false},
+		{Constraint{"slots", "=", "4"}, box, true},
+		{Constraint{"slots", "!=", "4"}, box, false},
+		{Constraint{"label.zone", "=", "eu"}, box, true},
+		{Constraint{"label.zone", "=", "us"}, box, false},
+		{Constraint{"label.zone", "!=", "us"}, box, true},
+		{Constraint{"label.zone", "=", "eu"}, unlimited, false}, // label absent
+		{Constraint{"label.zone", "!=", "eu"}, unlimited, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Matches(tc.box); got != tc.want {
+			t.Errorf("%s vs %s: got %v, want %v", tc.c, tc.box.Name, got, tc.want)
+		}
+	}
+}
+
+func TestRestartPolicyBound(t *testing.T) {
+	if got := (RestartPolicy{}).Bound(); got != DefaultRestart.Max {
+		t.Fatalf("zero policy bound = %v, want default %v", got, DefaultRestart.Max)
+	}
+	if got := (RestartPolicy{Max: 3 * time.Second}).Bound(); got != 3*time.Second {
+		t.Fatalf("bound = %v, want 3s", got)
+	}
+}
+
+func TestLogSinceAndTruncation(t *testing.T) {
+	l := NewLog(8)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Kind: EvSpawn})
+	}
+	evs, contiguous := l.Since(2)
+	if !contiguous || len(evs) != 4 || evs[0].Seq != 3 {
+		t.Fatalf("since(2) = %d events from %d contiguous=%v", len(evs), evs[0].Seq, contiguous)
+	}
+	// Overflow: the ring drops the oldest half.
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: EvCrash})
+	}
+	if _, contiguous := l.Since(0); contiguous {
+		t.Fatal("truncated log claimed a contiguous replay from 0")
+	}
+	evs, contiguous = l.Since(l.Seq() - 1)
+	if !contiguous || len(evs) != 1 {
+		t.Fatalf("tail read: %d events contiguous=%v", len(evs), contiguous)
+	}
+}

@@ -1,0 +1,33 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseDescriptor checks the parser never panics and that accepted
+// descriptors survive a render → reparse round trip unchanged — the
+// canonical form is a fixed point.
+func FuzzParseDescriptor(f *testing.F) {
+	f.Add("deploy web\nreplicas 3\ncomponent MatMul,WSTime\nrequire backend=local\nrequire slots>=2\nregistry http://h:1/\nlease 2s\nrenew 500ms\nrestart backoff=20ms max=500ms limit=6\nversion v2\n")
+	f.Add("deploy a\ncomponent B\n# comment\nrequire label.zone!=eu\n")
+	f.Add("deploy x\ncomponent C\nrequire slots<=8\nreplicas 0\n")
+	f.Add("deploy нode\ncomponent Ünïcode\n")
+	f.Add("deploy w\ncomponent A\nrequire backend=a=b\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseDescriptor(text)
+		if err != nil {
+			return
+		}
+		rendered := d.String()
+		d2, err := ParseDescriptor(rendered)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput:\n%s\nrendered:\n%s", err, text, rendered)
+		}
+		d.Constraints = sortedConstraints(d.Constraints)
+		d2.Constraints = sortedConstraints(d2.Constraints)
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("round trip changed descriptor\nfirst:  %+v\nsecond: %+v\nrendered:\n%s", d, d2, rendered)
+		}
+	})
+}

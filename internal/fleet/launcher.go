@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/core"
+	"harness2/internal/registry"
+	"harness2/internal/telemetry"
+	"harness2/internal/wire"
+	"harness2/internal/wsdl"
+)
+
+// Default lease parameters when neither the descriptor nor the launcher
+// config pins them.
+const (
+	DefaultLease = 2 * time.Second
+	DefaultRenew = 500 * time.Millisecond
+)
+
+// CounterClass is a stateful component class both launchers install in
+// addition to the core builtins: a running total that survives
+// live-migration (Snapshot/Restore), so drains have state to carry.
+const CounterClass = "FleetCounter"
+
+// CounterFactory builds the migratable counter component.
+func CounterFactory() container.Factory {
+	return container.FuncFactory(func() *container.FuncComponent {
+		var mu sync.Mutex
+		var n int64
+		f := &container.FuncComponent{
+			Spec: wsdl.ServiceSpec{Name: CounterClass, Operations: []wsdl.OpSpec{
+				{Name: "inc", Input: []wsdl.ParamSpec{{Name: "by", Type: wire.KindInt64}},
+					Output: []wsdl.ParamSpec{{Name: "total", Type: wire.KindInt64}}},
+				{Name: "total",
+					Output: []wsdl.ParamSpec{{Name: "total", Type: wire.KindInt64}}},
+			}},
+		}
+		f.Handlers = map[string]container.OpFunc{
+			"inc": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+				by, ok := wire.GetArg(args, "by")
+				mu.Lock()
+				defer mu.Unlock()
+				if ok {
+					n += by.(int64)
+				} else {
+					n++
+				}
+				return wire.Args("total", n), nil
+			},
+			"total": func(ctx context.Context, args []wire.Arg) ([]wire.Arg, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return wire.Args("total", n), nil
+			},
+		}
+		f.OnSnapshot = func() ([]container.Field, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return []container.Field{{Name: "n", Value: n}}, nil
+		}
+		f.OnRestore = func(state []container.Field) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, s := range state {
+				if s.Name == "n" {
+					n = s.Value.(int64)
+					return nil
+				}
+			}
+			return fmt.Errorf("fleet: counter state missing n")
+		}
+		return f
+	})
+}
+
+// deployAndExpose installs builtins + the fleet counter, deploys the
+// descriptor's component classes under stable instance IDs (the
+// lower-cased class name — identical on every replica, which is what
+// makes a re-spawned unit republish under the same registry key and a
+// drain's baseline migrations collide harmlessly), and leases each
+// registration.
+func deployAndExpose(c *container.Container, d Descriptor, reg container.LeasedRegistry, lease, renew time.Duration) error {
+	core.RegisterBuiltins(c)
+	c.RegisterFactory(CounterClass, CounterFactory())
+	for _, class := range d.Components {
+		id := strings.ToLower(class)
+		if _, _, err := c.Deploy(class, id); err != nil {
+			return fmt.Errorf("fleet: deploy %s: %w", class, err)
+		}
+		if reg == nil {
+			continue
+		}
+		if _, err := c.ExposeLeased(id, reg, lease, renew); err != nil {
+			return fmt.Errorf("fleet: publish %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func leaseParams(d Descriptor, lease, renew time.Duration) (time.Duration, time.Duration) {
+	if d.Lease > 0 {
+		lease = d.Lease
+	}
+	if d.Renew > 0 {
+		renew = d.Renew
+	}
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	if renew <= 0 || renew >= lease {
+		renew = lease / 4
+	}
+	return lease, renew
+}
+
+// NodeLauncherConfig parameterises NewNodeLauncher.
+type NodeLauncherConfig struct {
+	// Registry overrides descriptor registry endpoints: every unit
+	// publishes here. When nil, each descriptor's Registry URL is dialed
+	// as a SOAP remote; descriptors without one stay private.
+	Registry container.LeasedRegistry
+	// Lease/Renew default the leased-registration parameters for
+	// descriptors that leave them unset.
+	Lease, Renew time.Duration
+	// Telemetry selects each node's metrics registry.
+	Telemetry *telemetry.Registry
+	// DisableShm suppresses the shared-memory binding on spawned nodes.
+	DisableShm bool
+}
+
+// NewNodeLauncher returns a Launcher that instantiates full HARNESS II
+// hosts: a core.Node with live SOAP/XDR (and shm) listeners per unit, the
+// descriptor's components deployed and lease-published. This is what the
+// hfleet daemon runs.
+func NewNodeLauncher(cfg NodeLauncherConfig) Launcher {
+	return func(ctx context.Context, u UnitRef, d Descriptor) (UnitNode, error) {
+		node, err := core.NewNode(u.ID, core.NodeOptions{
+			Telemetry:  cfg.Telemetry,
+			DisableShm: cfg.DisableShm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reg := cfg.Registry
+		if reg == nil && d.Registry != "" {
+			reg = registry.NewRemote(d.Registry)
+		}
+		lease, renew := leaseParams(d, cfg.Lease, cfg.Renew)
+		if err := deployAndExpose(node.Container(), d, reg, lease, renew); err != nil {
+			_ = node.Close()
+			return nil, err
+		}
+		return &nodeUnit{node: node}, nil
+	}
+}
+
+type nodeUnit struct {
+	node *core.Node
+}
+
+func (n *nodeUnit) Endpoints() map[string]string {
+	eps := map[string]string{"soap": n.node.SOAPBase(), "rest": n.node.RESTBase()}
+	if a := n.node.XDRAddr(); a != "" {
+		eps["xdr"] = a
+	}
+	if a := n.node.ShmAddr(); a != "" {
+		eps["shm"] = a
+	}
+	return eps
+}
+
+func (n *nodeUnit) Container() *container.Container { return n.node.Container() }
+
+// Shutdown closes the node. Graceful shutdown first withdraws every
+// registration (releasing leases); a crash shutdown abandons them — the
+// renewal loops die with the process model, so the registry entries
+// dangle until their leases expire or a restarted unit republishes over
+// them.
+func (n *nodeUnit) Shutdown(graceful bool) error {
+	c := n.node.Container()
+	if graceful {
+		for _, inst := range c.Instances() {
+			_, _ = c.UnexposeEverywhere(inst.ID)
+		}
+	} else {
+		c.AbandonRegistrations()
+	}
+	return n.node.Close()
+}
+
+// SimLauncherConfig parameterises NewSimLauncher.
+type SimLauncherConfig struct {
+	// Registry receives every unit's leased publications; required.
+	Registry container.LeasedRegistry
+	// SpawnDelay models instantiation cost (network fetch + container
+	// start); the launcher sleeps this long before reporting serving.
+	SpawnDelay time.Duration
+	// Lease/Renew default the lease parameters.
+	Lease, Renew time.Duration
+	// FailFirst aborts each unit's first N launch attempts — exercises
+	// the supervisor's spawn-retry path deterministically.
+	FailFirst int
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// NewSimLauncher returns a listener-free Launcher for deterministic
+// experiments: each unit is a bare container (no sockets) whose
+// components lease-publish into cfg.Registry. E18's time-to-N curves run
+// on this.
+func NewSimLauncher(cfg *SimLauncherConfig) Launcher {
+	cfg.attempts = make(map[string]int)
+	return func(ctx context.Context, u UnitRef, d Descriptor) (UnitNode, error) {
+		if cfg.FailFirst > 0 {
+			cfg.mu.Lock()
+			cfg.attempts[u.ID]++
+			n := cfg.attempts[u.ID]
+			cfg.mu.Unlock()
+			if n <= cfg.FailFirst {
+				return nil, fmt.Errorf("fleet: simulated launch failure %d/%d for %s", n, cfg.FailFirst, u.ID)
+			}
+		}
+		if cfg.SpawnDelay > 0 {
+			select {
+			case <-time.After(cfg.SpawnDelay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		c := container.New(container.Config{Name: u.ID, Telemetry: telemetry.Disabled()})
+		lease, renew := leaseParams(d, cfg.Lease, cfg.Renew)
+		if err := deployAndExpose(c, d, cfg.Registry, lease, renew); err != nil {
+			return nil, err
+		}
+		return &simUnit{c: c}, nil
+	}
+}
+
+type simUnit struct {
+	c *container.Container
+}
+
+func (s *simUnit) Endpoints() map[string]string {
+	return map[string]string{"local": "mem://" + s.c.Name()}
+}
+
+func (s *simUnit) Container() *container.Container { return s.c }
+
+func (s *simUnit) Shutdown(graceful bool) error {
+	if !graceful {
+		// Crash: renewals stop with the "process", registrations dangle
+		// until their leases expire or a restart republishes over them.
+		s.c.AbandonRegistrations()
+		return nil
+	}
+	for _, inst := range s.c.Instances() {
+		_, _ = s.c.UnexposeEverywhere(inst.ID)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"harness2/internal/events"
+	"harness2/internal/wire"
+)
+
+// Event kinds recorded in the fleet log — the canonical history of the
+// control plane.
+const (
+	EvEnroll  = "enroll"  // runner box enrolled
+	EvDeploy  = "deploy"  // deployment accepted
+	EvSpawn   = "spawn"   // unit job submitted to a box
+	EvServing = "serving" // unit up: components deployed, registrations live
+	EvCrash   = "crash"   // unit exited without being asked to
+	EvRestart = "restart" // supervisor respawning after backoff
+	EvStop    = "stop"    // unit stopped gracefully (deregistered)
+	EvFail    = "fail"    // restart limit hit; unit left down
+	EvDrain   = "drain"   // box drain initiated
+	EvMigrate = "migrate" // component live-migrated between units
+	EvUpgrade = "upgrade" // rolling upgrade step
+)
+
+// Event is one fleet state change. The log is append-only and totally
+// ordered by Seq; clients reattach by replaying Since(lastSeen).
+type Event struct {
+	Seq        int64         `json:"seq"`
+	Time       time.Time     `json:"time"`
+	Kind       string        `json:"kind"`
+	Deployment string        `json:"deployment,omitempty"`
+	Unit       string        `json:"unit,omitempty"`
+	Box        string        `json:"box,omitempty"`
+	Detail     string        `json:"detail,omitempty"`
+	Err        string        `json:"err,omitempty"`
+	Elapsed    time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Log is the supervisor's canonical append-only event log. A bounded
+// ring keeps memory flat under years of churn; Since reports truncation
+// so a reattaching client knows it missed history.
+type Log struct {
+	mu    sync.Mutex
+	seq   int64
+	ring  []Event
+	cap   int
+	first int64 // seq of the oldest retained event
+	// bridge, when set, republishes every event on the Harness event
+	// manager under "fleet.<kind>" — Figure 2's general event management
+	// leveraged by the control plane itself.
+	bridge *events.Service
+	source string
+}
+
+// DefaultLogCap bounds retained events.
+const DefaultLogCap = 4096
+
+// NewLog returns an empty log retaining up to cap events (<=0 means
+// DefaultLogCap).
+func NewLog(cap int) *Log {
+	if cap <= 0 {
+		cap = DefaultLogCap
+	}
+	return &Log{cap: cap, first: 1}
+}
+
+// Bridge republishes every appended event into svc on topic
+// "fleet.<kind>" with unit/box/deployment in the payload. Call before
+// traffic flows.
+func (l *Log) Bridge(svc *events.Service, source string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bridge = svc
+	l.source = source
+}
+
+// Append stamps and stores ev, returning its sequence number.
+func (l *Log) Append(ev Event) int64 {
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	if len(l.ring) >= l.cap {
+		// Drop the oldest half in one slide; amortised O(1) per append.
+		n := l.cap / 2
+		l.ring = append(l.ring[:0], l.ring[n:]...)
+		l.first += int64(n)
+	}
+	l.ring = append(l.ring, ev)
+	bridge, source := l.bridge, l.source
+	l.mu.Unlock()
+	if bridge != nil {
+		bridge.Publish(events.Event{
+			Topic:  "fleet." + ev.Kind,
+			Source: source,
+			Payload: wire.Args(
+				"deployment", ev.Deployment,
+				"unit", ev.Unit,
+				"box", ev.Box,
+				"detail", ev.Detail,
+			),
+		})
+	}
+	return ev.Seq
+}
+
+// Since returns events with Seq > after, in order, and whether the log
+// still retains event after+1 (false means the client missed history to
+// truncation).
+func (l *Log) Since(after int64) ([]Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	contiguous := after+1 >= l.first
+	start := after + 1
+	if start < l.first {
+		start = l.first
+	}
+	idx := int(start - l.first)
+	if idx >= len(l.ring) {
+		return nil, contiguous
+	}
+	out := append([]Event(nil), l.ring[idx:]...)
+	return out, contiguous
+}
+
+// Seq returns the latest assigned sequence number.
+func (l *Log) Seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

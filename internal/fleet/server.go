@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"harness2/internal/telemetry"
+)
+
+// Server exposes a Supervisor over the hfleet control protocol:
+// line-oriented target descriptors in, JSON state and event streams out.
+//
+//	POST /v1/deploy            body = descriptor text; ?wait=N blocks for N serving
+//	GET  /v1/state             full fleet snapshot
+//	GET  /v1/units/{id}        attach: unit status + its event tail (?since=SEQ)
+//	POST /v1/units/{id}/kill   abrupt kill (crash semantics; supervisor restarts)
+//	POST /v1/units/{id}/stop   graceful stop (deregisters; no restart)
+//	POST /v1/deployments/{name}/stop     graceful stop of every unit
+//	POST /v1/deployments/{name}/upgrade  body = new descriptor; rolling
+//	POST /v1/boxes/{name}/drain          relocate units, live-migrating state
+//	GET  /v1/log?since=SEQ     event log tail
+//	GET  /metrics              S27 telemetry exposition
+type Server struct {
+	sup *Supervisor
+	srv *http.Server
+	ln  net.Listener
+	tel *telemetry.Registry
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewServer starts the control listener on addr (empty = 127.0.0.1:0).
+func NewServer(sup *Supervisor, addr string, tel *telemetry.Registry) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: control listen: %w", err)
+	}
+	s := &Server{sup: sup, ln: ln, tel: telemetry.Or(tel)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/deploy", s.handleDeploy)
+	mux.HandleFunc("GET /v1/state", s.handleState)
+	mux.HandleFunc("GET /v1/units/{id}", s.handleAttach)
+	mux.HandleFunc("POST /v1/units/{id}/kill", s.handleKill)
+	mux.HandleFunc("POST /v1/units/{id}/stop", s.handleStopUnit)
+	mux.HandleFunc("POST /v1/deployments/{name}/stop", s.handleStopDeployment)
+	mux.HandleFunc("POST /v1/deployments/{name}/upgrade", s.handleUpgrade)
+	mux.HandleFunc("POST /v1/boxes/{name}/drain", s.handleDrain)
+	mux.HandleFunc("GET /v1/log", s.handleLog)
+	mux.Handle("GET /metrics", telemetry.Handler(s.tel))
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the control endpoint's host:port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the control endpoint's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the control listener (the supervisor keeps running; close
+// it separately).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// deployReply answers POST /v1/deploy.
+type deployReply struct {
+	Deployment string   `json:"deployment"`
+	Units      []string `json:"units"`
+	Waited     int      `json:"waited_serving,omitempty"`
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxDescriptorBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := ParseDescriptor(string(body))
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ids, err := s.sup.Deploy(d)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	reply := deployReply{Deployment: d.Name, Units: ids}
+	if q := r.URL.Query().Get("wait"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("fleet: bad wait=%q", q))
+			return
+		}
+		if n == 0 {
+			n = len(ids)
+		}
+		ctx, cancel := waitContext(r)
+		defer cancel()
+		if err := s.sup.WaitServing(ctx, d.Name, n); err != nil {
+			writeErr(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		reply.Waited = n
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// waitContext bounds blocking handlers: ?timeout=DUR, default 60s.
+func waitContext(r *http.Request) (context.Context, context.CancelFunc) {
+	timeout := 60 * time.Second
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		if d, err := time.ParseDuration(q); err == nil && d > 0 {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sup.State())
+}
+
+// attachReply answers GET /v1/units/{id}.
+type attachReply struct {
+	Unit   UnitStatus `json:"unit"`
+	Events []Event    `json:"events,omitempty"`
+	LogSeq int64      `json:"log_seq"`
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	since, err := sinceParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, evs, err := s.sup.Attach(r.PathValue("id"), since)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, attachReply{Unit: st, Events: evs, LogSeq: s.sup.Log().Seq()})
+}
+
+func sinceParam(r *http.Request) (int64, error) {
+	q := r.URL.Query().Get("since")
+	if q == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(q, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("fleet: bad since=%q", q)
+	}
+	return n, nil
+}
+
+func (s *Server) handleKill(w http.ResponseWriter, r *http.Request) {
+	if err := s.sup.Kill(r.PathValue("id")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"killed": r.PathValue("id")})
+}
+
+func (s *Server) handleStopUnit(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := waitContext(r)
+	defer cancel()
+	if err := s.sup.StopUnit(ctx, r.PathValue("id")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stopped": r.PathValue("id")})
+}
+
+func (s *Server) handleStopDeployment(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := waitContext(r)
+	defer cancel()
+	if err := s.sup.StopDeployment(ctx, r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stopped": r.PathValue("name")})
+}
+
+func (s *Server) handleUpgrade(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxDescriptorBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := ParseDescriptor(string(body))
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if d.Name != r.PathValue("name") {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("fleet: descriptor deploys %q, path says %q", d.Name, r.PathValue("name")))
+		return
+	}
+	ctx, cancel := waitContext(r)
+	defer cancel()
+	if err := s.sup.Upgrade(ctx, d); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"upgraded": d.Name, "version": d.Version})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := waitContext(r)
+	defer cancel()
+	if err := s.sup.Drain(ctx, r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"drained": r.PathValue("name")})
+}
+
+// logReply answers GET /v1/log.
+type logReply struct {
+	Events     []Event `json:"events"`
+	Contiguous bool    `json:"contiguous"`
+	LogSeq     int64   `json:"log_seq"`
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	since, err := sinceParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	evs, contiguous := s.sup.Log().Since(since)
+	writeJSON(w, http.StatusOK, logReply{Events: evs, Contiguous: contiguous, LogSeq: s.sup.Log().Seq()})
+}
+
+// statusFor maps supervisor errors to HTTP codes: unknown names are 404,
+// timeouts 504, the rest 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case strings.Contains(err.Error(), "no unit"),
+		strings.Contains(err.Error(), "no deployment"),
+		strings.Contains(err.Error(), "no box"):
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"harness2/internal/registry"
+	"harness2/internal/telemetry"
+)
+
+// TestControlProtocolEndToEnd drives the full client → HTTP → supervisor
+// loop: deploy with wait, state, attach, kill + automatic restart,
+// reattach with the event tail, log reads, graceful stop.
+func TestControlProtocolEndToEnd(t *testing.T) {
+	reg := registry.New()
+	tel := telemetry.New()
+	sup := newTestSup(t, Config{
+		Launcher:  NewSimLauncher(&SimLauncherConfig{Registry: reg}),
+		Telemetry: tel,
+	}, testBox("a", nil), testBox("b", nil))
+	srv, err := NewServer(sup, "", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	cl := NewClient(srv.Addr())
+	ctx := ctxT(t, 20*time.Second)
+
+	// Deploy and block until both replicas serve.
+	dep, units, err := cl.Deploy(ctx, "deploy web\nreplicas 2\ncomponent MatMul\n"+fastRestart, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep != "web" || len(units) != 2 {
+		t.Fatalf("deploy reply %q %v", dep, units)
+	}
+	st, err := cl.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Boxes) != 2 || len(st.Deployments) != 1 {
+		t.Fatalf("state: %d boxes %d deployments", len(st.Boxes), len(st.Deployments))
+	}
+
+	// Attach: endpoints plus this unit's history.
+	ust, evs, err := cl.Attach(ctx, units[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ust.State != "serving" || ust.Endpoints["local"] == "" {
+		t.Fatalf("attach: %+v", ust)
+	}
+	if len(evs) == 0 {
+		t.Fatal("attach returned no events")
+	}
+	seen := ust // remember for reattach
+	lastSeq := evs[len(evs)-1].Seq
+
+	// Kill → the daemon restarts it; reattach picks up the crash story.
+	if err := cl.Kill(ctx, units[0]); err != nil {
+		t.Fatal(err)
+	}
+	pollUnit(t, sup, units[0], "restart", func(u UnitStatus) bool {
+		return u.State == "serving" && u.Restarts >= 1
+	})
+	ust, evs, err = cl.Attach(ctx, units[0], lastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ust.ID != seen.ID {
+		t.Fatalf("reattached to %s, want %s", ust.ID, seen.ID)
+	}
+	var kinds []string
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	for _, want := range []string{EvCrash, EvRestart, EvServing} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("reattach tail %s missing %q", joined, want)
+		}
+	}
+
+	// Full log read is contiguous from zero (nothing truncated yet).
+	all, contiguous, err := cl.Log(ctx, 0)
+	if err != nil || !contiguous || len(all) == 0 {
+		t.Fatalf("log: %d events contiguous=%v err=%v", len(all), contiguous, err)
+	}
+
+	// Rolling upgrade over the control channel.
+	if err := cl.Upgrade(ctx, "web", "deploy web\nreplicas 2\ncomponent MatMul\nversion v2\n"+fastRestart); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = cl.State(ctx)
+	if st.Deployments[0].Version != "v2" {
+		t.Fatalf("version after upgrade %q", st.Deployments[0].Version)
+	}
+
+	// Drain one box over the control channel.
+	if err := cl.Drain(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful stop of the whole deployment.
+	if err := cl.StopDeployment(ctx, "web"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("registry = %d entries after stop, want 0", reg.Len())
+	}
+
+	// Error mapping: unknown names are 404-backed errors.
+	if err := cl.Kill(ctx, "ghost"); err == nil || !strings.Contains(err.Error(), "no unit") {
+		t.Fatalf("kill ghost: %v", err)
+	}
+	if err := cl.Drain(ctx, "ghost"); err == nil || !strings.Contains(err.Error(), "no box") {
+		t.Fatalf("drain ghost: %v", err)
+	}
+	if _, _, err := cl.Deploy(ctx, "deploy !\nbogus\n", 0); err == nil {
+		t.Fatal("bogus descriptor accepted")
+	}
+}

@@ -1,0 +1,1293 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"harness2/internal/container"
+	"harness2/internal/dvm"
+	"harness2/internal/events"
+	"harness2/internal/runnerbox"
+	"harness2/internal/telemetry"
+)
+
+// UnitState is the supervisor's view of one node's lifecycle.
+type UnitState int
+
+// Unit lifecycle: Starting (spawn in flight) → Serving; crashes move
+// through Crashed → Restarting → Starting; graceful paths end in Stopped
+// and exhausted restart budgets in Failed.
+const (
+	Starting UnitState = iota
+	Serving
+	Crashed
+	Restarting
+	Stopped
+	Failed
+)
+
+// String names the state.
+func (s UnitState) String() string {
+	switch s {
+	case Starting:
+		return "starting"
+	case Serving:
+		return "serving"
+	case Crashed:
+		return "crashed"
+	case Restarting:
+		return "restarting"
+	case Stopped:
+		return "stopped"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// BoxInfo describes one enrolled runner box: the resource abstraction
+// layer enriched with the inventory attributes target descriptors match
+// against (Dearle et al.'s resource descriptions).
+type BoxInfo struct {
+	Name    string
+	Backend string
+	Slots   int
+	Labels  map[string]string
+	// Box is the live runner box jobs are submitted to.
+	Box *runnerbox.Box
+}
+
+// registrar is the command-installation surface every shipped runnerbox
+// backend provides (they all embed LocalBackend).
+type registrar interface {
+	Register(name string, cmd runnerbox.Command)
+}
+
+// UnitRef hands a launcher the identity and registration parameters of
+// the unit it is instantiating.
+type UnitRef struct {
+	ID         string
+	Deployment string
+	Box        string
+	Generation int
+}
+
+// UnitNode is a launched unit as the supervisor sees it: advertised
+// access points, the hosted container (for drain/live-migrate; may be
+// nil for virtual launchers), and a shutdown switch. Shutdown(true) is
+// the graceful path — deregister from every registry, release leases —
+// while Shutdown(false) models a crash cleanup: listeners close but
+// registrations are abandoned to dangle until their leases expire.
+type UnitNode interface {
+	Endpoints() map[string]string
+	Container() *container.Container
+	Shutdown(graceful bool) error
+}
+
+// Launcher instantiates the node a unit supervises. It runs inside the
+// unit's runner-box job: ctx is the job context and is cancelled when
+// the job is killed. Launch returns once the node is serving (components
+// deployed, registrations published).
+type Launcher func(ctx context.Context, u UnitRef, d Descriptor) (UnitNode, error)
+
+// Config parameterises a Supervisor.
+type Config struct {
+	// Name identifies the daemon (event source, telemetry labels).
+	Name string
+	// Launcher instantiates units; required.
+	Launcher Launcher
+	// DVM, when non-nil, auto-enrolls every serving unit's container as a
+	// DVM member and withdraws it on crash or stop.
+	DVM *dvm.DVM
+	// Events, when non-nil, receives every log event on "fleet.<kind>".
+	Events *events.Service
+	// Telemetry selects the metrics registry; nil falls back to the
+	// process default.
+	Telemetry *telemetry.Registry
+	// SpawnTimeout bounds one launch attempt (default 30s).
+	SpawnTimeout time.Duration
+	// LogCap bounds the event log (default DefaultLogCap).
+	LogCap int
+	// Seed fixes the restart-jitter RNG for deterministic tests.
+	Seed int64
+}
+
+// Supervisor is the per-box deployment daemon: it owns the runner-box
+// inventory, places target descriptors, supervises the spawned units,
+// and writes the canonical event log.
+type Supervisor struct {
+	cfg Config
+	log *Log
+
+	met struct {
+		boxes      *telemetry.Gauge
+		units      *telemetry.GaugeVec
+		deploys    *telemetry.Counter
+		spawns     *telemetry.Counter
+		crashes    *telemetry.Counter
+		restarts   *telemetry.Counter
+		migrations *telemetry.Counter
+		spawnNs    *telemetry.Histogram
+		recoveryNs *telemetry.Histogram
+	}
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	boxes       map[string]*boxState
+	deployments map[string]*deployment
+	units       map[string]*unit
+	seq         int
+	closed      bool
+	closeCh     chan struct{}
+	wg          sync.WaitGroup
+	serveCond   *sync.Cond
+}
+
+type boxState struct {
+	info     BoxInfo
+	draining bool
+	units    map[string]*unit
+}
+
+type deployment struct {
+	name string
+	desc Descriptor
+	// units in placement order; stopped units are retained for history.
+	units []*unit
+}
+
+// unit is one supervised node.
+type unit struct {
+	id         string
+	deployment string
+
+	mu          sync.Mutex
+	box         *boxState
+	state       UnitState
+	gen         int
+	jobID       string
+	node        UnitNode
+	endpoints   map[string]string
+	restarts    int
+	consecutive int
+	lastErr     string
+	since       time.Time
+	// stopCh signals the in-flight job to shut down gracefully; a fresh
+	// channel per attempt.
+	stopCh   chan struct{}
+	stopping bool
+	cycle    bool
+}
+
+// New creates a Supervisor. The Launcher is required.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Launcher == nil {
+		return nil, fmt.Errorf("fleet: Config.Launcher is required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "hfleet"
+	}
+	if cfg.SpawnTimeout <= 0 {
+		cfg.SpawnTimeout = 30 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Supervisor{
+		cfg:         cfg,
+		log:         NewLog(cfg.LogCap),
+		rng:         rand.New(rand.NewSource(seed)),
+		boxes:       make(map[string]*boxState),
+		deployments: make(map[string]*deployment),
+		units:       make(map[string]*unit),
+		closeCh:     make(chan struct{}),
+	}
+	s.serveCond = sync.NewCond(&s.mu)
+	if cfg.Events != nil {
+		s.log.Bridge(cfg.Events, cfg.Name)
+	}
+	tel := telemetry.Or(cfg.Telemetry)
+	tel.Help("harness_fleet_boxes", "enrolled runner boxes")
+	tel.Help("harness_fleet_units", "supervised units by state")
+	tel.Help("harness_fleet_deploys_total", "accepted deploy descriptors")
+	tel.Help("harness_fleet_spawns_total", "unit spawn attempts")
+	tel.Help("harness_fleet_crashes_total", "unit crashes detected")
+	tel.Help("harness_fleet_restarts_total", "automatic restarts")
+	tel.Help("harness_fleet_migrations_total", "components live-migrated by drains")
+	tel.Help("harness_fleet_spawn_ns", "spawn-to-serving latency")
+	tel.Help("harness_fleet_recovery_ns", "crash-to-serving recovery latency")
+	fixed := []string{"daemon", cfg.Name}
+	s.met.boxes = tel.Gauge("harness_fleet_boxes", fixed...)
+	s.met.units = tel.GaugeVec("harness_fleet_units", "state", fixed...)
+	s.met.deploys = tel.Counter("harness_fleet_deploys_total", fixed...)
+	s.met.spawns = tel.Counter("harness_fleet_spawns_total", fixed...)
+	s.met.crashes = tel.Counter("harness_fleet_crashes_total", fixed...)
+	s.met.restarts = tel.Counter("harness_fleet_restarts_total", fixed...)
+	s.met.migrations = tel.Counter("harness_fleet_migrations_total", fixed...)
+	s.met.spawnNs = tel.Histogram("harness_fleet_spawn_ns", fixed...)
+	s.met.recoveryNs = tel.Histogram("harness_fleet_recovery_ns", fixed...)
+	return s, nil
+}
+
+// Log returns the supervisor's event log.
+func (s *Supervisor) Log() *Log { return s.log }
+
+// Enroll adds a runner box to the inventory. The box's backend must
+// support command registration (every shipped backend does).
+func (s *Supervisor) Enroll(info BoxInfo) error {
+	if info.Name == "" || info.Box == nil {
+		return fmt.Errorf("fleet: enrollment needs a name and a live box")
+	}
+	if _, ok := info.Box.Backend().(registrar); !ok {
+		return fmt.Errorf("fleet: backend %q cannot register commands", info.Box.Backend().Name())
+	}
+	if info.Backend == "" {
+		info.Backend = info.Box.Backend().Name()
+	}
+	if info.Slots == 0 {
+		info.Slots = info.Box.Backend().Slots()
+	}
+	s.mu.Lock()
+	if _, dup := s.boxes[info.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: box %q already enrolled", info.Name)
+	}
+	s.boxes[info.Name] = &boxState{info: info, units: make(map[string]*unit)}
+	n := len(s.boxes)
+	s.mu.Unlock()
+	s.met.boxes.Set(int64(n))
+	s.log.Append(Event{Kind: EvEnroll, Box: info.Name,
+		Detail: fmt.Sprintf("backend=%s slots=%d", info.Backend, info.Slots)})
+	return nil
+}
+
+// matchBoxes returns non-draining boxes satisfying every constraint,
+// least-loaded first (ties by name for determinism).
+func (s *Supervisor) matchBoxesLocked(cs []Constraint) []*boxState {
+	var out []*boxState
+	for _, b := range s.boxes {
+		if b.draining {
+			continue
+		}
+		ok := true
+		for _, c := range cs {
+			if !c.Matches(b.info) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].units) != len(out[j].units) {
+			return len(out[i].units) < len(out[j].units)
+		}
+		return out[i].info.Name < out[j].info.Name
+	})
+	return out
+}
+
+// Deploy accepts a target descriptor: constraints are matched against
+// the box inventory, replicas placed least-loaded-first, and one
+// supervised unit spawned per replica. It returns the assigned unit IDs
+// without waiting for them to serve (see WaitServing).
+func (s *Supervisor) Deploy(d Descriptor) ([]string, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	d = d.normalized()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: supervisor closed")
+	}
+	if _, dup := s.deployments[d.Name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: deployment %q already exists", d.Name)
+	}
+	eligible := s.matchBoxesLocked(d.Constraints)
+	if len(eligible) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: no enrolled box satisfies %v", d.Constraints)
+	}
+	dep := &deployment{name: d.Name, desc: d}
+	s.deployments[d.Name] = dep
+	ids := make([]string, 0, d.Replicas)
+	var spawned []*unit
+	for i := 0; i < d.Replicas; i++ {
+		// Re-rank each placement so replicas spread by live load.
+		boxes := s.matchBoxesLocked(d.Constraints)
+		box := boxes[0]
+		s.seq++
+		u := &unit{
+			id:         fmt.Sprintf("%s-%d", d.Name, s.seq),
+			deployment: d.Name,
+			box:        box,
+			state:      Starting,
+			since:      time.Now(),
+		}
+		box.units[u.id] = u
+		s.units[u.id] = u
+		dep.units = append(dep.units, u)
+		ids = append(ids, u.id)
+		spawned = append(spawned, u)
+	}
+	s.mu.Unlock()
+
+	s.met.deploys.Inc()
+	s.log.Append(Event{Kind: EvDeploy, Deployment: d.Name,
+		Detail: fmt.Sprintf("replicas=%d components=%v constraints=%v", d.Replicas, d.Components, d.Constraints)})
+	for _, u := range spawned {
+		s.met.units.With(Starting.String()).Inc()
+		s.wg.Add(1)
+		go s.runUnit(u)
+	}
+	return ids, nil
+}
+
+// deploymentDesc snapshots the current descriptor of a deployment.
+func (s *Supervisor) deploymentDesc(name string) (Descriptor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dep, ok := s.deployments[name]
+	if !ok {
+		return Descriptor{}, false
+	}
+	return dep.desc, true
+}
+
+// setState moves a unit between states, maintaining the per-state gauge
+// and waking WaitServing waiters.
+func (s *Supervisor) setState(u *unit, to UnitState) {
+	u.mu.Lock()
+	from := u.state
+	u.state = to
+	u.since = time.Now()
+	u.mu.Unlock()
+	if from != to {
+		s.met.units.With(from.String()).Dec()
+		s.met.units.With(to.String()).Inc()
+	}
+	s.mu.Lock()
+	s.serveCond.Broadcast()
+	s.mu.Unlock()
+}
+
+type launchResult struct {
+	node UnitNode
+	err  error
+}
+
+// spawn submits the unit's job to its box and waits until the launcher
+// reports serving (or failure/timeout). The job keeps running until it
+// is killed (crash semantics) or stopCh closes (graceful shutdown).
+func (s *Supervisor) spawn(u *unit, d Descriptor) (UnitNode, error) {
+	u.mu.Lock()
+	if u.stopping && !u.cycle {
+		// A full stop arrived in the window between attempts, when there
+		// was no stopCh to signal; abort before launching a job nobody
+		// would ever stop. The flag stays set for the caller to consume.
+		u.mu.Unlock()
+		return nil, errStopRequested
+	}
+	box := u.box
+	stopCh := make(chan struct{})
+	u.stopCh = stopCh
+	gen := u.gen
+	ref := UnitRef{ID: u.id, Deployment: u.deployment, Box: box.info.Name, Generation: gen}
+	u.mu.Unlock()
+
+	ready := make(chan launchResult, 1)
+	cmd := func(ctx context.Context, args []string) error {
+		node, err := s.cfg.Launcher(ctx, ref, d)
+		if err != nil {
+			ready <- launchResult{err: err}
+			return err
+		}
+		ready <- launchResult{node: node}
+		select {
+		case <-ctx.Done():
+			// Killed: crash semantics. Listeners die with the process
+			// model; registrations are abandoned to dangle until their
+			// leases expire (the restart recovers them).
+			_ = node.Shutdown(false)
+			return ctx.Err()
+		case <-stopCh:
+			// Graceful: deregister everywhere, release leases.
+			return node.Shutdown(true)
+		}
+	}
+	box.info.Box.Backend().(registrar).Register(u.id, cmd)
+	jobID, cost, err := box.info.Box.Run(u.id, nil)
+	if err != nil {
+		return nil, err
+	}
+	u.mu.Lock()
+	u.jobID = jobID
+	u.mu.Unlock()
+	s.met.spawns.Inc()
+	s.log.Append(Event{Kind: EvSpawn, Deployment: u.deployment, Unit: u.id,
+		Box: box.info.Name, Detail: fmt.Sprintf("job=%s gen=%d spawn-cost=%s", jobID, gen, cost)})
+
+	select {
+	case r := <-ready:
+		return r.node, r.err
+	case <-time.After(s.cfg.SpawnTimeout):
+		_ = box.info.Box.Kill(jobID)
+		return nil, fmt.Errorf("fleet: unit %s spawn timed out after %s", u.id, s.cfg.SpawnTimeout)
+	}
+}
+
+// runUnit is the supervision loop: spawn, watch, classify the exit, and
+// restart with backoff until stopped, failed, or the supervisor closes.
+func (s *Supervisor) runUnit(u *unit) {
+	defer s.wg.Done()
+	var crashedAt time.Time
+	for {
+		// A full stop requested between attempts (e.g. during a restart
+		// backoff, when no job is live to signal) lands here.
+		u.mu.Lock()
+		stopped := u.stopping && !u.cycle
+		if stopped {
+			u.stopping, u.cycle = false, false
+		}
+		u.mu.Unlock()
+		if stopped {
+			s.setState(u, Stopped)
+			s.log.Append(Event{Kind: EvStop, Deployment: u.deployment, Unit: u.id, Box: u.boxName()})
+			s.detachUnit(u)
+			return
+		}
+		d, ok := s.deploymentDesc(u.deployment)
+		if !ok {
+			return
+		}
+		d = d.normalized()
+		spawnStart := time.Now()
+		node, err := s.spawn(u, d)
+		if err == nil {
+			u.mu.Lock()
+			u.node = node
+			u.endpoints = node.Endpoints()
+			u.consecutive = 0
+			u.lastErr = ""
+			u.mu.Unlock()
+			s.setState(u, Serving)
+			s.met.spawnNs.ObserveDuration(time.Since(spawnStart))
+			if !crashedAt.IsZero() {
+				s.met.recoveryNs.ObserveDuration(time.Since(crashedAt))
+				crashedAt = time.Time{}
+			}
+			s.enrollDVM(node)
+			s.log.Append(Event{Kind: EvServing, Deployment: u.deployment, Unit: u.id,
+				Box: u.boxName(), Detail: endpointsDetail(node.Endpoints()),
+				Elapsed: time.Since(spawnStart)})
+
+			// Watch until the job exits, whatever the reason.
+			waitErr := u.box.info.Box.Wait(u.jobID)
+			s.withdrawDVM(u.id)
+			u.mu.Lock()
+			u.node = nil
+			u.stopCh = nil
+			stopping, cycle := u.stopping, u.cycle
+			u.mu.Unlock()
+			if stopping {
+				if cycle {
+					// Upgrade/relocate: relaunch without passing through a
+					// terminal state. The state moves to Starting BEFORE the
+					// stop flags are consumed, so a cycle-stop caller never
+					// observes the old attempt's stale Serving; the flags are
+					// re-read at consumption because a concurrent full stop
+					// (Close) may have converted the cycle into a terminal
+					// stop in the meantime.
+					s.setState(u, Starting)
+					u.mu.Lock()
+					cycle = u.cycle
+					u.stopping, u.cycle = false, false
+					u.mu.Unlock()
+					s.mu.Lock()
+					s.serveCond.Broadcast()
+					s.mu.Unlock()
+					if cycle {
+						s.log.Append(Event{Kind: EvStop, Deployment: u.deployment, Unit: u.id,
+							Box: u.boxName(), Detail: "cycling"})
+						continue
+					}
+					s.setState(u, Stopped)
+					s.log.Append(Event{Kind: EvStop, Deployment: u.deployment, Unit: u.id, Box: u.boxName()})
+					s.detachUnit(u)
+					return
+				}
+				u.mu.Lock()
+				u.stopping, u.cycle = false, false
+				u.mu.Unlock()
+				s.setState(u, Stopped)
+				s.log.Append(Event{Kind: EvStop, Deployment: u.deployment, Unit: u.id, Box: u.boxName()})
+				s.detachUnit(u)
+				return
+			}
+			// Crash: the unit exited without being asked to.
+			crashedAt = time.Now()
+			s.met.crashes.Inc()
+			s.setState(u, Crashed)
+			s.log.Append(Event{Kind: EvCrash, Deployment: u.deployment, Unit: u.id,
+				Box: u.boxName(), Err: errString(waitErr)})
+			u.mu.Lock()
+			u.consecutive++
+			u.lastErr = errString(waitErr)
+			u.mu.Unlock()
+		} else {
+			// The spawn itself failed.
+			u.mu.Lock()
+			u.stopCh = nil
+			stopping := u.stopping && !u.cycle
+			u.stopping, u.cycle = false, false
+			if !stopping {
+				u.consecutive++
+				u.lastErr = errString(err)
+			}
+			u.mu.Unlock()
+			if stopping {
+				s.setState(u, Stopped)
+				s.log.Append(Event{Kind: EvStop, Deployment: u.deployment, Unit: u.id, Box: u.boxName()})
+				s.detachUnit(u)
+				return
+			}
+			crashedAt = time.Now()
+			s.met.crashes.Inc()
+			s.setState(u, Crashed)
+			s.log.Append(Event{Kind: EvCrash, Deployment: u.deployment, Unit: u.id,
+				Box: u.boxName(), Err: errString(err), Detail: "spawn failed"})
+		}
+
+		u.mu.Lock()
+		consecutive := u.consecutive
+		u.mu.Unlock()
+		if consecutive >= d.Restart.Limit {
+			s.setState(u, Failed)
+			s.log.Append(Event{Kind: EvFail, Deployment: u.deployment, Unit: u.id,
+				Box: u.boxName(), Detail: fmt.Sprintf("restart limit %d hit", d.Restart.Limit)})
+			s.detachUnit(u)
+			return
+		}
+		delay := s.backoff(d.Restart, consecutive)
+		s.setState(u, Restarting)
+		select {
+		case <-time.After(delay):
+		case <-s.closeCh:
+			s.setState(u, Stopped)
+			s.detachUnit(u)
+			return
+		}
+		u.mu.Lock()
+		u.restarts++
+		u.mu.Unlock()
+		s.met.restarts.Inc()
+		s.log.Append(Event{Kind: EvRestart, Deployment: u.deployment, Unit: u.id,
+			Box: u.boxName(), Detail: fmt.Sprintf("attempt %d after %s", consecutive, delay)})
+	}
+}
+
+// backoff draws the full-jitter sleep for the n-th consecutive crash.
+func (s *Supervisor) backoff(p RestartPolicy, n int) time.Duration {
+	ceil := p.Backoff << uint(minInt(n-1, 20))
+	if ceil > p.Max || ceil <= 0 {
+		ceil = p.Max
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.rng.Int63n(int64(ceil) + 1))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func endpointsDetail(eps map[string]string) string {
+	if len(eps) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(eps))
+	for k := range eps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, (k + "=" + eps[k])...)
+	}
+	return string(b)
+}
+
+// detachUnit removes a terminal unit from its box's live set (it stays
+// in the deployment history and the unit index for attach/status).
+func (s *Supervisor) detachUnit(u *unit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u.box != nil {
+		delete(u.box.units, u.id)
+	}
+	s.serveCond.Broadcast()
+}
+
+// enrollDVM adds a serving unit's container to the DVM.
+func (s *Supervisor) enrollDVM(node UnitNode) {
+	if s.cfg.DVM == nil || node.Container() == nil {
+		return
+	}
+	c := node.Container()
+	_ = s.cfg.DVM.RemoveNode(c.Name()) // a restart replaces its old enrollment
+	_ = s.cfg.DVM.AddNode(c)
+}
+
+// withdrawDVM removes a unit's container from the DVM by unit name.
+func (s *Supervisor) withdrawDVM(name string) {
+	if s.cfg.DVM == nil {
+		return
+	}
+	_ = s.cfg.DVM.RemoveNode(name)
+}
+
+// WaitServing blocks until n units of the deployment are Serving, the
+// context expires, or no progress is possible (every unit terminal).
+func (s *Supervisor) WaitServing(ctx context.Context, deployment string, n int) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		s.mu.Lock()
+		s.serveCond.Broadcast()
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		dep, ok := s.deployments[deployment]
+		if !ok {
+			return fmt.Errorf("fleet: no deployment %q", deployment)
+		}
+		serving, terminal := 0, 0
+		for _, u := range dep.units {
+			switch u.snapshotState() {
+			case Serving:
+				serving++
+			case Stopped, Failed:
+				terminal++
+			}
+		}
+		if serving >= n {
+			return nil
+		}
+		if terminal == len(dep.units) && len(dep.units) > 0 {
+			return fmt.Errorf("fleet: deployment %q has no restartable units (%d terminal)", deployment, terminal)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("fleet: waiting for %d/%s serving: %w", n, deployment, err)
+		}
+		s.serveCond.Wait()
+	}
+}
+
+func (u *unit) snapshotState() UnitState {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.state
+}
+
+func (u *unit) boxName() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.box == nil {
+		return ""
+	}
+	return u.box.info.Name
+}
+
+// Kill terminates a unit's job abruptly — crash semantics: no
+// deregistration, leases dangle, and the supervisor's crash detection
+// restarts the unit with backoff. This is the chaos/operator kill switch
+// E18 drives.
+func (s *Supervisor) Kill(unitID string) error {
+	s.mu.Lock()
+	u, ok := s.units[unitID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: no unit %q", unitID)
+	}
+	u.mu.Lock()
+	jobID := u.jobID
+	box := u.box
+	u.mu.Unlock()
+	if jobID == "" || box == nil {
+		return fmt.Errorf("fleet: unit %q has no live job", unitID)
+	}
+	return box.info.Box.Kill(jobID)
+}
+
+// StopUnit shuts a unit down gracefully: the node deregisters from every
+// registry (releasing its leases) and the supervisor marks it Stopped
+// without restarting it.
+func (s *Supervisor) StopUnit(ctx context.Context, unitID string) error {
+	s.mu.Lock()
+	u, ok := s.units[unitID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: no unit %q", unitID)
+	}
+	return s.stopUnit(ctx, u, false)
+}
+
+// errStopRequested aborts a spawn whose unit was full-stopped in the
+// window between attempts (no live job, no stopCh to signal).
+var errStopRequested = errors.New("fleet: stop requested")
+
+func (s *Supervisor) stopUnit(ctx context.Context, u *unit, cycle bool) error {
+	u.mu.Lock()
+	switch u.state {
+	case Stopped, Failed:
+		u.mu.Unlock()
+		return nil
+	}
+	if u.stopping {
+		// A stop is already in flight. A full stop converts a pending
+		// cycle (upgrade/relocate relaunch) into a terminal stop — the
+		// supervision loop re-reads the flags at consumption — and then
+		// waits for the in-flight stop like any other.
+		if !cycle {
+			u.cycle = false
+		}
+		u.mu.Unlock()
+	} else {
+		u.stopping = true
+		u.cycle = cycle
+		stopCh := u.stopCh
+		u.stopCh = nil
+		u.mu.Unlock()
+		if stopCh != nil {
+			close(stopCh)
+		}
+	}
+	// Wait for the supervision loop to process the stop: past the stale
+	// Serving of the stopped attempt for a cycle (the caller then waits
+	// for the relaunch to serve), or all the way to a terminal state plus
+	// bookkeeping (DVM withdrawal) for a full stop.
+	var err error
+	if cycle {
+		err = s.waitCycleHandled(ctx, u)
+	} else {
+		err = s.waitUnitTerminal(ctx, u)
+	}
+	if err != nil {
+		// Give up waiting; escalate to a kill so the job cannot linger.
+		u.mu.Lock()
+		jobID, box := u.jobID, u.box
+		u.mu.Unlock()
+		if box != nil && jobID != "" {
+			_ = box.info.Box.Kill(jobID)
+		}
+	}
+	return err
+}
+
+// waitCycleHandled blocks until the supervision loop has consumed a
+// cycle stop — the relaunch is under way (state already Starting) or the
+// unit went terminal — so a cycle-stop caller can never observe the
+// stopped attempt's stale Serving state.
+func (s *Supervisor) waitCycleHandled(ctx context.Context, u *unit) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		s.mu.Lock()
+		s.serveCond.Broadcast()
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		u.mu.Lock()
+		stopping := u.stopping
+		state := u.state
+		u.mu.Unlock()
+		if !stopping {
+			return nil
+		}
+		switch state {
+		case Stopped, Failed:
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.serveCond.Wait()
+	}
+}
+
+func (s *Supervisor) waitUnitTerminal(ctx context.Context, u *unit) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		s.mu.Lock()
+		s.serveCond.Broadcast()
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		switch u.snapshotState() {
+		case Stopped, Failed:
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.serveCond.Wait()
+	}
+}
+
+// StopDeployment gracefully stops every unit of a deployment.
+func (s *Supervisor) StopDeployment(ctx context.Context, name string) error {
+	s.mu.Lock()
+	dep, ok := s.deployments[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: no deployment %q", name)
+	}
+	units := append([]*unit(nil), dep.units...)
+	s.mu.Unlock()
+	var errs []error
+	for _, u := range units {
+		if err := s.stopUnit(ctx, u, false); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", u.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Upgrade performs a rolling upgrade of a deployment to the new
+// descriptor: one unit at a time is stopped gracefully, relaunched with
+// the new descriptor and a bumped generation, and confirmed Serving
+// before the next unit cycles — at most one replica is down at any
+// moment. The new descriptor's replica count is authoritative: after
+// the roll, surplus units are stopped newest-first and a shortfall is
+// filled by spawning fresh units under the new descriptor's placement.
+func (s *Supervisor) Upgrade(ctx context.Context, d Descriptor) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	d = d.normalized()
+	s.mu.Lock()
+	dep, ok := s.deployments[d.Name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: no deployment %q", d.Name)
+	}
+	dep.desc = d
+	units := append([]*unit(nil), dep.units...)
+	s.mu.Unlock()
+	s.log.Append(Event{Kind: EvUpgrade, Deployment: d.Name,
+		Detail: fmt.Sprintf("to version=%q components=%v", d.Version, d.Components)})
+	for _, u := range units {
+		if u.snapshotState() != Serving {
+			continue
+		}
+		u.mu.Lock()
+		u.gen++
+		gen := u.gen
+		u.mu.Unlock()
+		if err := s.stopUnit(ctx, u, true); err != nil {
+			return fmt.Errorf("fleet: upgrade %s: %w", u.id, err)
+		}
+		if err := s.waitUnitServing(ctx, u); err != nil {
+			return fmt.Errorf("fleet: upgrade %s: %w", u.id, err)
+		}
+		s.log.Append(Event{Kind: EvUpgrade, Deployment: d.Name, Unit: u.id,
+			Detail: fmt.Sprintf("gen=%d serving", gen)})
+	}
+	return s.reconcileReplicas(ctx, dep, d)
+}
+
+// reconcileReplicas brings a deployment's live-unit count in line with
+// its descriptor after a roll. Drain replacements can leave a
+// deployment above its replica target, and an upgrade descriptor may
+// raise or lower it; either way the descriptor wins.
+func (s *Supervisor) reconcileReplicas(ctx context.Context, dep *deployment, d Descriptor) error {
+	s.mu.Lock()
+	live := make([]*unit, 0, len(dep.units))
+	for _, u := range dep.units {
+		switch u.snapshotState() {
+		case Stopped, Failed:
+		default:
+			live = append(live, u)
+		}
+	}
+	var surplus, added []*unit
+	if n := len(live) - d.Replicas; n > 0 {
+		surplus = live[len(live)-n:]
+	} else if n < 0 {
+		if len(s.matchBoxesLocked(d.Constraints)) == 0 {
+			s.mu.Unlock()
+			return fmt.Errorf("fleet: upgrade %s: no enrolled box satisfies %v", d.Name, d.Constraints)
+		}
+		for i := n; i < 0; i++ {
+			boxes := s.matchBoxesLocked(d.Constraints)
+			box := boxes[0]
+			s.seq++
+			u := &unit{
+				id:         fmt.Sprintf("%s-%d", d.Name, s.seq),
+				deployment: d.Name,
+				box:        box,
+				state:      Starting,
+				since:      time.Now(),
+			}
+			box.units[u.id] = u
+			s.units[u.id] = u
+			dep.units = append(dep.units, u)
+			added = append(added, u)
+		}
+	}
+	s.mu.Unlock()
+	for _, u := range surplus {
+		s.log.Append(Event{Kind: EvUpgrade, Deployment: d.Name, Unit: u.id,
+			Box: u.boxName(), Detail: "scale-down"})
+		if err := s.stopUnit(ctx, u, false); err != nil {
+			return fmt.Errorf("fleet: upgrade scale-down %s: %w", u.id, err)
+		}
+	}
+	for _, u := range added {
+		s.log.Append(Event{Kind: EvUpgrade, Deployment: d.Name, Unit: u.id,
+			Box: u.boxName(), Detail: "scale-up"})
+		s.met.units.With(Starting.String()).Inc()
+		s.wg.Add(1)
+		go s.runUnit(u)
+		if err := s.waitUnitServing(ctx, u); err != nil {
+			return fmt.Errorf("fleet: upgrade scale-up %s: %w", u.id, err)
+		}
+	}
+	return nil
+}
+
+func (s *Supervisor) waitUnitServing(ctx context.Context, u *unit) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		s.mu.Lock()
+		s.serveCond.Broadcast()
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		switch u.snapshotState() {
+		case Serving:
+			return nil
+		case Stopped, Failed:
+			return fmt.Errorf("unit %s terminal (%s)", u.id, u.snapshotState())
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.serveCond.Wait()
+	}
+}
+
+// Drain evacuates a box: it stops accepting placements, then relocates
+// every serving unit — a replacement unit is spawned on another eligible
+// box, confirmed Serving, stateful components are live-migrated from the
+// old node's container to the replacement's (collisions are skipped with
+// a logged ErrMigrateCollision — baseline components already exist on
+// every replica), and only then is the old unit stopped gracefully.
+func (s *Supervisor) Drain(ctx context.Context, boxName string) error {
+	s.mu.Lock()
+	box, ok := s.boxes[boxName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: no box %q", boxName)
+	}
+	box.draining = true
+	victims := make([]*unit, 0, len(box.units))
+	for _, u := range box.units {
+		victims = append(victims, u)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	s.mu.Unlock()
+	s.log.Append(Event{Kind: EvDrain, Box: boxName, Detail: fmt.Sprintf("%d units to relocate", len(victims))})
+
+	var errs []error
+	for _, u := range victims {
+		if u.snapshotState() != Serving {
+			continue
+		}
+		if err := s.relocate(ctx, u); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", u.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// relocate moves one unit off its (draining) box.
+func (s *Supervisor) relocate(ctx context.Context, old *unit) error {
+	d, ok := s.deploymentDesc(old.deployment)
+	if !ok {
+		return fmt.Errorf("deployment %q gone", old.deployment)
+	}
+	d = d.normalized()
+	s.mu.Lock()
+	dep := s.deployments[old.deployment]
+	boxes := s.matchBoxesLocked(d.Constraints)
+	if len(boxes) == 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("no eligible box to relocate to")
+	}
+	box := boxes[0]
+	s.seq++
+	repl := &unit{
+		id:         fmt.Sprintf("%s-%d", d.Name, s.seq),
+		deployment: d.Name,
+		box:        box,
+		state:      Starting,
+		since:      time.Now(),
+	}
+	box.units[repl.id] = repl
+	s.units[repl.id] = repl
+	dep.units = append(dep.units, repl)
+	s.mu.Unlock()
+	s.met.units.With(Starting.String()).Inc()
+	s.wg.Add(1)
+	go s.runUnit(repl)
+	if err := s.waitUnitServing(ctx, repl); err != nil {
+		return fmt.Errorf("replacement %s: %w", repl.id, err)
+	}
+
+	// Live-migrate stateful components old → replacement.
+	old.mu.Lock()
+	oldNode := old.node
+	old.mu.Unlock()
+	repl.mu.Lock()
+	newNode := repl.node
+	repl.mu.Unlock()
+	if oldNode != nil && newNode != nil && oldNode.Container() != nil && newNode.Container() != nil {
+		src, dst := oldNode.Container(), newNode.Container()
+		for _, inst := range src.Instances() {
+			if _, stateful := inst.Component().(container.Stateful); !stateful {
+				continue
+			}
+			err := container.Migrate(src, inst.ID, dst)
+			switch {
+			case err == nil:
+				s.met.migrations.Inc()
+				s.log.Append(Event{Kind: EvMigrate, Deployment: old.deployment,
+					Unit: old.id, Box: old.boxName(),
+					Detail: fmt.Sprintf("%s -> %s", inst.ID, repl.id)})
+			case errors.Is(err, container.ErrMigrateCollision):
+				// Baseline components exist on every replica; skip.
+				s.log.Append(Event{Kind: EvMigrate, Deployment: old.deployment,
+					Unit: old.id, Box: old.boxName(),
+					Detail: fmt.Sprintf("%s skipped (exists at %s)", inst.ID, repl.id)})
+			default:
+				return fmt.Errorf("migrate %s: %w", inst.ID, err)
+			}
+		}
+	}
+	return s.stopUnit(ctx, old, false)
+}
+
+// UnitStatus is the control-plane view of one unit.
+type UnitStatus struct {
+	ID          string            `json:"id"`
+	Deployment  string            `json:"deployment"`
+	Box         string            `json:"box"`
+	State       string            `json:"state"`
+	Generation  int               `json:"generation"`
+	Restarts    int               `json:"restarts"`
+	Consecutive int               `json:"consecutive_crashes"`
+	LastErr     string            `json:"last_err,omitempty"`
+	Since       time.Time         `json:"since"`
+	Endpoints   map[string]string `json:"endpoints,omitempty"`
+}
+
+// BoxStatus is the control-plane view of one enrolled box.
+type BoxStatus struct {
+	Name     string            `json:"name"`
+	Backend  string            `json:"backend"`
+	Slots    int               `json:"slots"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Draining bool              `json:"draining,omitempty"`
+	Units    []string          `json:"units,omitempty"`
+}
+
+// DeploymentStatus is the control-plane view of one deployment.
+type DeploymentStatus struct {
+	Name       string       `json:"name"`
+	Version    string       `json:"version,omitempty"`
+	Replicas   int          `json:"replicas"`
+	Components []string     `json:"components"`
+	Units      []UnitStatus `json:"units"`
+}
+
+// FleetState is the full control-plane snapshot.
+type FleetState struct {
+	Daemon      string             `json:"daemon"`
+	Boxes       []BoxStatus        `json:"boxes"`
+	Deployments []DeploymentStatus `json:"deployments"`
+	LogSeq      int64              `json:"log_seq"`
+}
+
+func (u *unit) status() UnitStatus {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := UnitStatus{
+		ID:          u.id,
+		Deployment:  u.deployment,
+		State:       u.state.String(),
+		Generation:  u.gen,
+		Restarts:    u.restarts,
+		Consecutive: u.consecutive,
+		LastErr:     u.lastErr,
+		Since:       u.since,
+	}
+	if u.box != nil {
+		st.Box = u.box.info.Name
+	}
+	if len(u.endpoints) > 0 && u.state == Serving {
+		st.Endpoints = make(map[string]string, len(u.endpoints))
+		for k, v := range u.endpoints {
+			st.Endpoints[k] = v
+		}
+	}
+	return st
+}
+
+// State snapshots the fleet.
+func (s *Supervisor) State() FleetState {
+	s.mu.Lock()
+	st := FleetState{Daemon: s.cfg.Name, LogSeq: s.log.Seq()}
+	boxNames := make([]string, 0, len(s.boxes))
+	for n := range s.boxes {
+		boxNames = append(boxNames, n)
+	}
+	sort.Strings(boxNames)
+	for _, n := range boxNames {
+		b := s.boxes[n]
+		bs := BoxStatus{
+			Name:     b.info.Name,
+			Backend:  b.info.Backend,
+			Slots:    b.info.Slots,
+			Labels:   b.info.Labels,
+			Draining: b.draining,
+		}
+		for id := range b.units {
+			bs.Units = append(bs.Units, id)
+		}
+		sort.Strings(bs.Units)
+		st.Boxes = append(st.Boxes, bs)
+	}
+	depNames := make([]string, 0, len(s.deployments))
+	for n := range s.deployments {
+		depNames = append(depNames, n)
+	}
+	sort.Strings(depNames)
+	deps := make([]*deployment, 0, len(depNames))
+	for _, n := range depNames {
+		deps = append(deps, s.deployments[n])
+	}
+	s.mu.Unlock()
+	for _, dep := range deps {
+		ds := DeploymentStatus{
+			Name:       dep.name,
+			Version:    dep.desc.Version,
+			Replicas:   dep.desc.Replicas,
+			Components: dep.desc.Components,
+		}
+		for _, u := range dep.units {
+			ds.Units = append(ds.Units, u.status())
+		}
+		st.Deployments = append(st.Deployments, ds)
+	}
+	return st
+}
+
+// Attach returns a unit's live status plus the event log tail for it —
+// everything a client needs to (re)connect to a running node: current
+// endpoints to dial and the history since its last-seen sequence number.
+func (s *Supervisor) Attach(unitID string, since int64) (UnitStatus, []Event, error) {
+	s.mu.Lock()
+	u, ok := s.units[unitID]
+	s.mu.Unlock()
+	if !ok {
+		return UnitStatus{}, nil, fmt.Errorf("fleet: no unit %q", unitID)
+	}
+	all, _ := s.log.Since(since)
+	var evs []Event
+	for _, ev := range all {
+		if ev.Unit == unitID {
+			evs = append(evs, ev)
+		}
+	}
+	return u.status(), evs, nil
+}
+
+// Close stops every unit gracefully and waits for the supervision loops
+// to exit.
+func (s *Supervisor) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.closeCh)
+	units := make([]*unit, 0, len(s.units))
+	for _, u := range s.units {
+		units = append(units, u)
+	}
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, u := range units {
+		wg.Add(1)
+		go func(u *unit) {
+			defer wg.Done()
+			_ = s.stopUnit(ctx, u, false)
+		}(u)
+	}
+	wg.Wait()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,232 @@
+package runnerbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harness2/internal/wire"
+)
+
+// TestConcurrentRunControlKill hammers one box from many goroutines —
+// submitters, killers, status pollers, and waiters all racing — and then
+// checks the terminal bookkeeping is consistent. Run under -race this is
+// the job-lifecycle data-race audit the fleet supervisor depends on.
+func TestConcurrentRunControlKill(t *testing.T) {
+	b := New(NewLocalBackend())
+	var started, released atomic.Int64
+	blockers := make(chan struct{})
+	b.Backend().(*LocalBackend).Register("block", func(ctx context.Context, args []string) error {
+		started.Add(1)
+		defer released.Add(1)
+		select {
+		case <-blockers:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	b.Backend().(*LocalBackend).Register("instant", func(ctx context.Context, args []string) error {
+		return nil
+	})
+
+	const submitters = 8
+	const jobsEach = 25
+	ids := make(chan string, submitters*jobsEach*2)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < jobsEach; i++ {
+				cmd := "block"
+				if i%2 == 0 {
+					cmd = "instant"
+				}
+				id, _, err := b.Run(cmd, nil)
+				if err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+				ids <- id
+			}
+		}(g)
+	}
+	// Pollers race Status/Jobs against the submitters.
+	pollCtx, pollStop := context.WithCancel(context.Background())
+	var pollers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for pollCtx.Err() == nil {
+				for _, id := range b.Jobs() {
+					if j, ok := b.Job(id); ok {
+						_ = j.State()
+						_ = j.Err()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	// Kill every job concurrently (half are already done — killing a
+	// finished job must be a no-op), then wait for all of them.
+	var killers sync.WaitGroup
+	for id := range ids {
+		killers.Add(1)
+		go func(id string) {
+			defer killers.Done()
+			if err := b.Kill(id); err != nil {
+				t.Errorf("kill %s: %v", id, err)
+			}
+			_ = b.Wait(id)
+		}(id)
+	}
+	killers.Wait()
+	pollStop()
+	pollers.Wait()
+	close(blockers)
+
+	if got := len(b.Jobs()); got != submitters*jobsEach {
+		t.Fatalf("job count = %d, want %d", got, submitters*jobsEach)
+	}
+	for _, id := range b.Jobs() {
+		j, ok := b.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch j.State() {
+		case Done, Killed:
+		default:
+			t.Fatalf("job %s in non-terminal state %v after kill+wait", id, j.State())
+		}
+	}
+	if s, r := started.Load(), released.Load(); s != r {
+		t.Fatalf("%d blockers started but %d released", s, r)
+	}
+}
+
+// TestSlotGateUnderConcurrentKill covers the queued→killed path: a
+// 1-slot grid backend with one job wedged means every queued job must
+// terminate as Killed without ever running.
+func TestSlotGateUnderConcurrentKill(t *testing.T) {
+	back := NewGridBackend(0, 1)
+	b := New(back)
+	hold := make(chan struct{})
+	var ran atomic.Int64
+	back.Register("hold", func(ctx context.Context, args []string) error {
+		ran.Add(1)
+		select {
+		case <-hold:
+		case <-ctx.Done():
+		}
+		return ctx.Err()
+	})
+	first, _, err := b.Run("hold", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, b, first, Running)
+
+	queued := make([]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		id, _, err := b.Run("hold", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, id)
+	}
+	var wg sync.WaitGroup
+	for _, id := range queued {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := b.Kill(id); err != nil {
+				t.Errorf("kill queued %s: %v", id, err)
+			}
+			_ = b.Wait(id)
+		}(id)
+	}
+	wg.Wait()
+	for _, id := range queued {
+		j, _ := b.Job(id)
+		if j.State() != Killed {
+			t.Fatalf("queued job %s = %v, want Killed", id, j.State())
+		}
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("%d jobs entered Running, want only the slot holder", ran.Load())
+	}
+	close(hold)
+	_ = b.Kill(first)
+	_ = b.Wait(first)
+}
+
+// TestUnknownJobAndCommandErrors pins the distinguished error paths.
+func TestUnknownJobAndCommandErrors(t *testing.T) {
+	b := New(NewLocalBackend())
+	if _, _, err := b.Run("nope", nil); !errors.Is(err, ErrNoCommand) {
+		t.Fatalf("run unknown command: %v, want ErrNoCommand", err)
+	}
+	if err := b.Kill("job-404"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("kill unknown job: %v, want ErrNoJob", err)
+	}
+	if err := b.Wait("job-404"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("wait unknown job: %v, want ErrNoJob", err)
+	}
+	if _, ok := b.Job("job-404"); ok {
+		t.Fatal("unknown job reported present")
+	}
+	// The component surface carries the same errors through Invoke.
+	comp := &Component{Box: b}
+	ctx := context.Background()
+	for _, op := range []string{"status", "kill", "wait"} {
+		if _, err := comp.Invoke(ctx, op, wire.Args("job", "job-404")); !errors.Is(err, ErrNoJob) {
+			t.Fatalf("component %s of unknown job: %v, want ErrNoJob", op, err)
+		}
+	}
+	if _, err := comp.Invoke(ctx, "run", wire.Args("cmd", "nope")); !errors.Is(err, ErrNoCommand) {
+		t.Fatalf("component run of unknown command: %v, want ErrNoCommand", err)
+	}
+}
+
+// waitState polls until the job reaches state s (terminal states stick).
+func waitState(t *testing.T, b *Box, id string, s JobState) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := b.Job(id); ok && j.State() == s {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j, _ := b.Job(id)
+	t.Fatalf("job %s stuck in %v, want %v", id, j.State(), s)
+}
+
+// TestWaitErrSurfacesFailure: a failing command's error reaches Wait and
+// the job lands in Failed.
+func TestWaitErrSurfacesFailure(t *testing.T) {
+	b := New(NewLocalBackend())
+	boom := fmt.Errorf("boom")
+	b.Backend().(*LocalBackend).Register("fail", func(ctx context.Context, args []string) error {
+		return boom
+	})
+	id, _, err := b.Run("fail", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Wait(id); !errors.Is(err, boom) {
+		t.Fatalf("wait err = %v, want boom", err)
+	}
+	j, _ := b.Job(id)
+	if j.State() != Failed {
+		t.Fatalf("state = %v, want Failed", j.State())
+	}
+}
