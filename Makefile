@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 bench-e17 bench-e18 hbench fuzz chaos-smoke churn-smoke fleet-smoke ci clean
+.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 bench-e17 bench-e18 bench-e19 hbench fuzz chaos-smoke churn-smoke fleet-smoke ci clean
 
 all: build
 
@@ -60,17 +60,30 @@ bench-e18:
 	E18_GATE=1 $(GO) test -run TestE18Gate -v ./internal/bench/
 	$(GO) run ./cmd/hbench -exp E18
 
+# The S33 WAN data-plane gate and tables: adaptive v3 compression vs raw
+# through paced LAN/WAN link proxies, plus the loopback v2-vs-v3-raw
+# ablation and the negotiation compatibility matrix under the race
+# detector (EXPERIMENTS.md E19).
+bench-e19:
+	E19_GATE=1 $(GO) test -run TestE19Gate -v ./internal/bench/
+	$(GO) test -race -run 'TestXDRNegotiation' -v ./internal/invoke/
+	$(GO) run ./cmd/hbench -exp E19
+
 # Regenerate the experiment tables (quick parameters; add ARGS=-full).
 hbench:
 	$(GO) run ./cmd/hbench $(ARGS)
 
-# Short fuzz pass over the v2 frame-header and array decoders, the
-# zero-copy-vs-portable codec differential, the SOAP fast-vs-DOM
-# differential, the shm ring record framing, the chaos spec parser, the
-# resilience policy validators, the cluster gossip digest codec, and the
-# ring rebalance planner, and the fleet deployment-descriptor grammar.
+# Short fuzz pass over the v2 frame-header and array decoders, the v3
+# compressed-frame header/flags decoder, the v3-vs-v2 framing
+# differential, the zero-copy-vs-portable codec differential, the SOAP
+# fast-vs-DOM differential, the shm ring record framing, the chaos spec
+# parser, the resilience policy validators, the cluster gossip digest
+# codec, and the ring rebalance planner, and the fleet
+# deployment-descriptor grammar.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadFrameID -fuzztime 30s ./internal/xdr/
+	$(GO) test -run xxx -fuzz FuzzReadFrameV3 -fuzztime 30s ./internal/xdr/
+	$(GO) test -run xxx -fuzz FuzzXDRV3Differential -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzDecoderArrays -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzXDRZeroCopyDifferential -fuzztime 30s ./internal/xdr/
 	$(GO) test -run xxx -fuzz FuzzFastDecodeDifferential -fuzztime 30s ./internal/soap/

@@ -45,6 +45,7 @@ func main() {
 		printDoc = flag.Bool("wsdl", false, "print each instance's WSDL document")
 		prime    = flag.Bool("prime", true, "run startup self-invocations so /metrics exposes every instrument family")
 		noShm    = flag.Bool("no-shm", false, "do not expose the same-host shared-memory binding")
+		compress = flag.String("compress", "auto", `XDR wire compression: auto|off|on|adaptive[:codec] (S33)`)
 
 		// Resilience plane (S28): admission control + fault injection.
 		maxInflight = flag.Int("max-inflight", 0, "max concurrent invocations before shedding (0 = unlimited)")
@@ -56,6 +57,14 @@ func main() {
 	flag.Parse()
 
 	opts := core.NodeOptions{Addr: *addr, DisableShm: *noShm}
+	cpol, err := invoke.ParseCompressPolicy(*compress)
+	if err != nil {
+		log.Fatalf("hnode: -compress: %v", err)
+	}
+	opts.Compress = cpol
+	if adv := cpol.Advertised(); adv != "" {
+		fmt.Printf("hnode: XDR wire compression %s (codec %s)\n", cpol.Mode, adv)
+	}
 	if *maxInflight > 0 {
 		opts.Admission = resilience.NewLimiter(*maxInflight, *maxQueue, *queueWait)
 		fmt.Printf("hnode: admission control: %d in flight, %d queued (wait %v)\n",

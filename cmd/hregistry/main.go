@@ -44,6 +44,7 @@ func main() {
 	join := flag.String("join", "", "URL of a live peer to learn membership from")
 	replicas := flag.Int("replicas", 2, "copies per entry in cluster mode (owner + successors)")
 	gossipEvery := flag.Duration("gossip", 500*time.Millisecond, "gossip round interval in cluster mode")
+	compress := flag.Bool("compress", true, "gzip SOAP responses for clients that send Accept-Encoding: gzip (S33)")
 	flag.Parse()
 
 	reg := registry.New()
@@ -95,6 +96,11 @@ func main() {
 	// live-lease gauge, and — in cluster mode — the ring/membership
 	// gauges and rebalance counters land in the process-default registry.
 	mux.Handle("/metrics", telemetry.Handler(telemetry.Or(nil)))
+	if *compress {
+		// WAN-friendly SOAP: large find/publish response envelopes gzip
+		// well; the floor inside the middleware keeps probes identity.
+		handler = soap.Gzip(handler)
+	}
 	mux.Handle("/", handler)
 	srv := &http.Server{
 		Handler:           mux,

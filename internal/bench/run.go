@@ -225,7 +225,34 @@ func (p Params) e18Kills() int {
 	return 5
 }
 
-// Run executes one experiment by ID (E1–E18).
+// e19ArrayLen is the doubles count of the E19 transfer payload: 64 KiB
+// on the wire, large enough that WAN serialisation dominates latency.
+func (p Params) e19ArrayLen() int { return 8192 }
+
+// e19WanCalls is the per-trial call count on the paced LAN/WAN links —
+// modest because each WAN call costs real wall time by design.
+func (p Params) e19WanCalls() int {
+	if p.Short {
+		return 2
+	}
+	if p.Full {
+		return 8
+	}
+	return 4
+}
+
+// e19LoopCalls sizes the loopback v2-vs-v3-raw ablation.
+func (p Params) e19LoopCalls() int {
+	if p.Short {
+		return 40
+	}
+	if p.Full {
+		return 400
+	}
+	return 150
+}
+
+// Run executes one experiment by ID (E1–E19).
 func Run(id string, p Params) (*Table, error) {
 	switch id {
 	case "E1":
@@ -268,13 +295,15 @@ func Run(id string, p Params) (*Table, error) {
 		return E17Cluster(p.e17Entries(), p.e17Reads())
 	case "E18":
 		return E18Fleet(p.e18Ns(), p.e18Kills())
+	case "E19":
+		return E19WANPlane(p.e19ArrayLen(), p.e19WanCalls(), p.e19LoopCalls())
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)
 }
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E17", "E18", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E17", "E18", "E19", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

@@ -61,6 +61,13 @@ func E12TelemetryOverhead(reps, invokeReps int) (*Table, error) {
 			v := r.CounterVec("e12_vec", "op")
 			return func() { v.With("deploy").Inc() }
 		}},
+		{"xdr compress record (ctr+hist)", reps, func(r *telemetry.Registry) func() {
+			// The S33 per-frame accounting path: one counter add plus
+			// one ratio observation, exactly what compressedOut charges.
+			out := r.Counter("e12_comp_out_bytes", "role", "client")
+			ratio := r.Histogram("e12_comp_ratio", "role", "client")
+			return func() { out.Add(9930); ratio.Observe(15) }
+		}},
 		{"childSpan gate (untraced)", reps, func(r *telemetry.Registry) func() {
 			ctx := context.Background()
 			return func() { _, _ = r.ChildSpan(ctx, "e12") }

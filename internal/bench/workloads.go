@@ -15,6 +15,18 @@ func RandDoubles(n int, seed int64) []float64 {
 	return out
 }
 
+// CompressibleDoubles returns a float64 workload with heavy small-integer
+// repetition — the shape of real mesh/matrix data that wire compression
+// (S33) is for. Flate shrinks it severalfold; RandDoubles is its
+// incompressible counterpart.
+func CompressibleDoubles(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i % 16)
+	}
+	return out
+}
+
 // RandMatrix returns an n×n row-major matrix with a dominant diagonal
 // (well-conditioned, so LinSolve workloads never hit singularity).
 func RandMatrix(n int, seed int64) []float64 {

@@ -184,6 +184,10 @@ type Config struct {
 	// XDRAddr is the advertised host:port of the XDR socket endpoint;
 	// empty disables XDR advertising.
 	XDRAddr string
+	// XDRCompress names the wire-compression codec the XDR server accepts
+	// (v3 negotiation, e.g. "flate"); empty suppresses the `compress`
+	// capability in generated WSDL and remote clients stay raw.
+	XDRCompress string
 	// ShmAddr is the advertised shared-memory handshake address
 	// (shm:<hostname>:<socket path>); empty disables shm advertising.
 	// Like XDR, the binding is offered only for numeric-only services.
@@ -541,6 +545,7 @@ func (c *Container) WSDLFor(id string) (*wsdl.Definitions, error) {
 	}
 	if c.cfg.XDRAddr != "" && numericOnly(inst.spec) {
 		eps.XDRAddress = c.cfg.XDRAddr
+		eps.XDRCompress = c.cfg.XDRCompress
 	}
 	if c.cfg.ShmAddr != "" && numericOnly(inst.spec) {
 		eps.ShmAddress = c.cfg.ShmAddr

@@ -39,6 +39,10 @@ type NodeOptions struct {
 	DisableSOAP bool
 	DisableXDR  bool
 	DisableShm  bool
+	// Compress is the XDR wire-compression policy (S33). The zero value
+	// (CompressAuto) accepts adaptive flate from v3 clients and advertises
+	// the codec in generated WSDL; CompressOff disables negotiation.
+	Compress invoke.CompressPolicy
 	// Telemetry selects the metrics registry for the node's container,
 	// bindings, and /metrics endpoint; nil falls back to the process
 	// default, telemetry.Disabled() switches instrumentation off.
@@ -101,7 +105,9 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 	// config. The container is cheap; no instances exist yet.
 	c := container.New(cfg)
 	if !opts.DisableXDR {
-		xs, err := invoke.NewXDRServer(c, "127.0.0.1:0", invoke.WithXDRTelemetry(opts.Telemetry))
+		xs, err := invoke.NewXDRServer(c, "127.0.0.1:0",
+			invoke.WithXDRTelemetry(opts.Telemetry),
+			invoke.WithXDRCompression(opts.Compress))
 		if err != nil {
 			if n.httpLn != nil {
 				_ = n.httpLn.Close()
@@ -111,6 +117,7 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 		n.xdrSrv = xs
 		n.xdrAddr = xs.Addr()
 		cfg.XDRAddr = n.xdrAddr
+		cfg.XDRCompress = opts.Compress.Advertised()
 	}
 	if !opts.DisableShm {
 		// Best-effort: on platforms without mmap segments the node simply

@@ -60,6 +60,15 @@ type xdrWireMetrics struct {
 	tx, rx     *telemetry.Counter   // bytes that reached / left the socket
 	inflight   *telemetry.Gauge     // v2: registered, unanswered requests
 	flushBatch *telemetry.Histogram // v2: bytes committed per flush syscall
+
+	// v3 compression plane (S33): wire bytes that traveled compressed in
+	// each direction, the per-frame compressed/original size ratio, and a
+	// per-codec gauge of live connections that negotiated it. All nil-safe:
+	// a raw v3 stream touches none of them.
+	compOut   *telemetry.Counter   // compressed payload bytes sent
+	compIn    *telemetry.Counter   // compressed payload bytes received
+	compRatio *telemetry.Histogram // per-frame compressed size as % of original
+	codecs    *telemetry.GaugeVec  // live connections by negotiated codec
 }
 
 func newXDRWireMetrics(r *telemetry.Registry, role string) xdrWireMetrics {
@@ -67,12 +76,34 @@ func newXDRWireMetrics(r *telemetry.Registry, role string) xdrWireMetrics {
 	r.Help("harness_xdr_rx_bytes_total", "bytes read from XDR sockets by role")
 	r.Help("harness_xdr_mux_inflight", "v2 requests awaiting a response by role")
 	r.Help("harness_xdr_mux_flush_batch_bytes", "bytes per v2 flush syscall by role")
+	r.Help("harness_xdr_compress_out_bytes_total", "compressed v3 payload bytes sent by role")
+	r.Help("harness_xdr_compress_in_bytes_total", "compressed v3 payload bytes received by role")
+	r.Help("harness_xdr_compress_ratio_pct", "per-frame compressed size as percent of original by role")
+	r.Help("harness_xdr_codec_connections", "live XDR connections by negotiated codec and role")
 	return xdrWireMetrics{
 		tx:         r.Counter("harness_xdr_tx_bytes_total", "role", role),
 		rx:         r.Counter("harness_xdr_rx_bytes_total", "role", role),
 		inflight:   r.Gauge("harness_xdr_mux_inflight", "role", role),
 		flushBatch: r.Histogram("harness_xdr_mux_flush_batch_bytes", "role", role),
+		compOut:    r.Counter("harness_xdr_compress_out_bytes_total", "role", role),
+		compIn:     r.Counter("harness_xdr_compress_in_bytes_total", "role", role),
+		compRatio:  r.Histogram("harness_xdr_compress_ratio_pct", "role", role),
+		codecs:     r.GaugeVec("harness_xdr_codec_connections", "codec", "role", role),
 	}
+}
+
+// compressedOut records one outbound frame that shipped compressed: wire
+// is the on-wire payload size, orig the uncompressed size.
+func (wm *xdrWireMetrics) compressedOut(wire, orig int) {
+	wm.compOut.Add(uint64(wire))
+	if orig > 0 {
+		wm.compRatio.Observe(uint64(wire * 100 / orig))
+	}
+}
+
+// compressedIn records one inbound frame that arrived compressed.
+func (wm *xdrWireMetrics) compressedIn(wire int) {
+	wm.compIn.Add(uint64(wire))
 }
 
 // countingReader mirrors countingWriter on the receive side: it feeds the

@@ -178,6 +178,11 @@ type Options struct {
 	// Policy, when non-nil, is applied by DialResilient: the opened ports
 	// become the failover ladder of a ResilientPort. Plain Dial ignores it.
 	Policy *resilience.Policy
+	// Compress is the XDR wire-compression stance (S33). CompressAuto
+	// enables adaptive compression iff the binding advertises a `compress`
+	// capability whose codec this process implements; explicit modes
+	// override the advertisement.
+	Compress CompressPolicy
 }
 
 func (o Options) forbidden(k wsdl.BindingKind) bool {
@@ -294,6 +299,7 @@ func openPort(ref wsdl.PortRef, opts Options) (Port, error) {
 		p := NewXDRPort(ref.Port.Address, inst, opts.DialPerCall)
 		p.SetTelemetry(opts.Telemetry)
 		p.SetChaos(opts.Chaos)
+		p.SetCompression(resolveCompress(opts.Compress, ref.Binding))
 		return p, nil
 	case wsdl.BindSOAP:
 		return &SOAPPort{URL: ref.Port.Address, Client: soap.Client{Codec: opts.Codec}, Telemetry: opts.Telemetry, Chaos: opts.Chaos}, nil

@@ -70,6 +70,23 @@ func WithXDRLimiter(l *resilience.Limiter) XDRServerOption {
 	return func(s *XDRServer) { s.limiter = l }
 }
 
+// WithXDRCompression sets the server's v3 compression policy: which
+// codec it accepts from clients (and answers at negotiation) and how its
+// own response frames are compressed. The default (auto) accepts the
+// default codec and compresses responses adaptively — but only on
+// connections whose client offered a codec, so raw peers see no change.
+func WithXDRCompression(pol CompressPolicy) XDRServerOption {
+	return func(s *XDRServer) { s.cpol = pol }
+}
+
+// WithXDRMaxProto caps the wire protocol versions the server speaks —
+// WithXDRMaxProto(2) reproduces a pre-v3 peer, which reads MagicV3 as an
+// over-limit v1 frame length and drops the connection, exactly what the
+// negotiation matrix tests need to prove clients fall back silently.
+func WithXDRMaxProto(v int) XDRServerOption {
+	return func(s *XDRServer) { s.maxProto = v }
+}
+
 // XDRServer serves the XDR socket binding for a container's instances.
 // It speaks both wire protocol versions, auto-detected per connection:
 // v1 connections are served strictly sequentially (the protocol has no
@@ -84,6 +101,9 @@ type XDRServer struct {
 	limiter *resilience.Limiter // admission control; nil admits everything
 	m       bindingMetrics
 	wm      xdrWireMetrics
+
+	cpol     CompressPolicy // v3 compression stance (default auto)
+	maxProto int            // highest wire protocol served (default 3)
 
 	sem       chan struct{} // bounds concurrently executing v2 requests
 	closeCtx  context.Context
@@ -106,6 +126,7 @@ func NewXDRServer(c *container.Container, addr string, opts ...XDRServerOption) 
 	s := &XDRServer{
 		c: c, ln: ln, conns: make(map[net.Conn]bool),
 		sem:      make(chan struct{}, defaultXDRWorkers()),
+		maxProto: 3,
 		closeCtx: ctx, closeStop: cancel,
 	}
 	for _, opt := range opts {
@@ -185,8 +206,12 @@ func (s *XDRServer) acceptLoop() {
 }
 
 // serveConn sniffs the protocol version from the first word of the
-// stream: MagicV2 opens a multiplexed session; any legal v1 frame length
-// (always < MagicV2, by construction) starts a legacy sequential session.
+// stream: MagicV2 opens a multiplexed session, MagicV3 a multiplexed
+// session with codec negotiation; any legal v1 frame length (always <
+// MagicV2 < MagicV3, by construction) starts a legacy sequential
+// session. With maxProto < 3 the MagicV3 word falls through to the v1
+// path, which rejects it as an over-limit frame length — byte-for-byte
+// what a real pre-v3 server does.
 func (s *XDRServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -202,7 +227,15 @@ func (s *XDRServer) serveConn(conn net.Conn) {
 	}
 	word := binary.BigEndian.Uint32(first[:])
 	if word == xdr.MagicV2 {
-		s.serveV2(conn, br)
+		s.serveMux(conn, br, 2, 0)
+		return
+	}
+	if word == xdr.MagicV3 && s.maxProto >= 3 {
+		var off [4]byte
+		if _, err := io.ReadFull(br, off[:]); err != nil {
+			return
+		}
+		s.serveMux(conn, br, 3, binary.BigEndian.Uint32(off[:]))
 		return
 	}
 	s.serveV1(conn, br, word)
@@ -213,7 +246,7 @@ func (s *XDRServer) serveV1(conn net.Conn, br *bufio.Reader, firstLen uint32) {
 	bw := bufio.NewWriterSize(&countingWriter{w: conn, tx: s.wm.tx}, xdrBufSize)
 	frame, err := xdr.ReadFramePooledAfterLen(br, firstLen)
 	for err == nil {
-		resp := s.handleFrame(frame, false)
+		resp := s.handleFrame(frame, 1)
 		xdr.PutFrameBuf(frame)
 		if werr := xdr.WriteFrame(bw, resp.Bytes()); werr == nil {
 			err = bw.Flush()
@@ -231,16 +264,17 @@ func (s *XDRServer) serveV1(conn net.Conn, br *bufio.Reader, firstLen uint32) {
 // v2task is one request frame awaiting a worker.
 type v2task struct {
 	id    uint64
+	flags byte // v3 codec flags; 0 on v2 connections and raw frames
 	frame []byte
 }
 
-// serveV2 is the multiplexed path: request frames are handed to a pool
-// of persistent per-connection workers (bounded globally by s.sem) and
-// responses are written back — tagged with the request ID they answer —
-// as they complete, in any order. Persistent workers, rather than a
-// goroutine per frame, keep their grown stacks across requests; per-call
-// goroutine spawn and stack-copy churn would otherwise dominate the
-// profile at high request rates.
+// serveMux is the multiplexed path (wire protocol v2 and v3): request
+// frames are handed to a pool of persistent per-connection workers
+// (bounded globally by s.sem) and responses are written back — tagged
+// with the request ID they answer — as they complete, in any order.
+// Persistent workers, rather than a goroutine per frame, keep their grown
+// stacks across requests; per-call goroutine spawn and stack-copy churn
+// would otherwise dominate the profile at high request rates.
 //
 // Workers buffer their response frames and a dedicated flusher goroutine
 // commits them: after each wakeup it yields once so every worker that is
@@ -250,9 +284,36 @@ type v2task struct {
 // extra latency, and a bulk response skips the coalescing copy entirely
 // — frameWriter sends it vectored with whatever is already buffered.
 // See muxConn.flushLoop for the client-side twin.
-func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
+//
+// On a v3 connection the server first answers the client's offer word
+// with the chosen codec — flushed before any request frame is touched,
+// so a client that never sees the answer knows the server processed
+// nothing — then decompresses flagged request payloads in the workers
+// (parallel CPU) and compresses eligible response frames per cpol.
+func (s *XDRServer) serveMux(conn net.Conn, br *bufio.Reader, proto int, offer uint32) {
 	fw := newFrameWriter(conn, s.wm)
 	var wmu sync.Mutex // serializes response frames on the shared writer
+
+	var comp *xdr.Compressor // response compression; nil = raw
+	if proto >= 3 {
+		chosen := xdr.ChooseCodec(offer, s.cpol.acceptWord(true))
+		var answer [4]byte
+		if chosen != nil {
+			binary.BigEndian.PutUint32(answer[:], uint32(chosen.ID()))
+		}
+		if _, err := fw.Write(answer[:]); err != nil {
+			return
+		}
+		if err := fw.Flush(); err != nil {
+			return
+		}
+		if chosen != nil {
+			comp = xdr.NewCompressor(chosen, s.cpol.adaptive(), 0)
+			s.wm.codecs.With(chosen.Name()).Inc()
+			defer s.wm.codecs.With(chosen.Name()).Dec()
+		}
+	}
+
 	flushKick := make(chan struct{}, 1)
 	flushDone := make(chan struct{})
 	kick := func() {
@@ -295,15 +356,44 @@ func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
 			defer workers.Done()
 			for t := range tasks {
 				s.sem <- struct{}{} // global bound across connections
-				resp := s.handleFrame(t.frame, true)
+				if t.flags != 0 {
+					s.wm.compressedIn(len(t.frame))
+					dec, derr := xdr.DecompressFrameV3(t.flags, t.frame)
+					xdr.PutFrameBuf(t.frame)
+					if derr != nil {
+						<-s.sem
+						_ = conn.Close() // protocol error: desynced stream
+						continue
+					}
+					t.frame = dec
+				}
+				resp := s.handleFrame(t.frame, proto)
 				xdr.PutFrameBuf(t.frame)
-				frame, err := resp.FrameBytes(t.id)
+				var frame []byte
+				var ce *xdr.Encoder
+				var err error
+				if proto >= 3 {
+					if comp != nil {
+						payload := resp.FramePayloadV3()
+						if frame, ce = comp.CompressFrameV3(t.id, payload); ce != nil {
+							s.wm.compressedOut(len(frame)-xdr.FrameHeaderLenV3, len(payload))
+						}
+					}
+					if ce == nil {
+						frame, err = resp.FrameBytesV3(t.id, 0)
+					}
+				} else {
+					frame, err = resp.FrameBytes(t.id)
+				}
 				if err == nil {
 					wmu.Lock()
 					_, err = fw.Write(frame)
 					wmu.Unlock()
 				}
 				xdr.PutEncoder(resp)
+				if ce != nil {
+					xdr.PutEncoder(ce)
+				}
 				<-s.sem
 				if err != nil {
 					_ = conn.Close() // unblocks the read loop below
@@ -315,11 +405,17 @@ func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
 	}
 
 	for {
-		id, frame, err := xdr.ReadFrameID(br)
+		var t v2task
+		var err error
+		if proto >= 3 {
+			t.id, t.flags, t.frame, err = xdr.ReadFrameV3(br)
+		} else {
+			t.id, t.frame, err = xdr.ReadFrameID(br)
+		}
 		if err != nil {
 			break
 		}
-		tasks <- v2task{id: id, frame: frame} // blocks when workers saturate
+		tasks <- t // blocks when workers saturate
 	}
 	close(tasks)
 	workers.Wait()
@@ -336,19 +432,25 @@ func (s *XDRServer) serveV2(conn net.Conn, br *bufio.Reader) {
 
 // handleFrame decodes one request, invokes it, and encodes the response
 // into a pooled encoder the caller must release with xdr.PutEncoder.
-// With reserveHeader the encoder is primed for Encoder.FrameBytes (the
-// v2 path). The request frame is fully copied out by decodeRequest, so
-// the caller may release it as soon as handleFrame returns.
-func (s *XDRServer) handleFrame(frame []byte, reserveHeader bool) *xdr.Encoder {
+// proto primes the encoder for the caller's framing: 2 reserves a v2
+// header for Encoder.FrameBytes, 3 a v3 header for FrameBytesV3, 1 none
+// (the v1 path frames separately). The request frame is fully copied out
+// by decodeRequest, so the caller may release it as soon as handleFrame
+// returns.
+func (s *XDRServer) handleFrame(frame []byte, proto int) *xdr.Encoder {
 	e := xdr.GetEncoder()
-	if reserveHeader {
-		e.ReserveFrameHeader()
-	}
-	fault := func(err error) *xdr.Encoder {
-		e.Reset()
-		if reserveHeader {
+	reserve := func() {
+		switch {
+		case proto >= 3:
+			e.ReserveFrameHeaderV3()
+		case proto == 2:
 			e.ReserveFrameHeader()
 		}
+	}
+	reserve()
+	fault := func(err error) *xdr.Encoder {
+		e.Reset()
+		reserve()
 		return encodeFault(e, err)
 	}
 	instance, op, args, err := decodeRequest(frame)
@@ -536,8 +638,11 @@ type XDRPort struct {
 	m     bindingMetrics
 	wm    xdrWireMetrics
 
-	mu sync.Mutex
-	mc *muxConn // XDRModeMux
+	cpol CompressPolicy // outbound v3 compression stance
+
+	mu    sync.Mutex
+	mc    *muxConn // XDRModeMux
+	proto int      // mux wire protocol: 0 = newest (v3); 2 after a stale-peer downgrade
 
 	// Serial (v1) connection state. A non-nil conn is always "pooled":
 	// a connection that failed mid-call is dropped, so anything that
@@ -578,6 +683,22 @@ func (p *XDRPort) SetTelemetry(r *telemetry.Registry) { p.tel = r }
 // must be set before the first Invoke (openPort does). Nil disables
 // injection at the cost of one branch.
 func (p *XDRPort) SetChaos(in *chaos.Injector) { p.chaos = in }
+
+// SetCompression sets the port's outbound v3 compression policy; it must
+// be called before the first Invoke. The zero policy (auto) behaves as
+// off on a direct port — openPort resolves a WSDL-advertised `compress`
+// capability into an explicit adaptive policy here.
+func (p *XDRPort) SetCompression(pol CompressPolicy) { p.cpol = pol }
+
+// SetWireProtocol pins the multiplexed wire protocol version (2 or 3).
+// 0 (the default) dials the newest and falls back to v2 transparently
+// when the peer rejects the v3 preamble. Must be called before the first
+// Invoke; used by the negotiation matrix tests and mixed-version fleets.
+func (p *XDRPort) SetWireProtocol(v int) {
+	p.mu.Lock()
+	p.proto = v
+	p.mu.Unlock()
+}
 
 func (p *XDRPort) metrics() *bindingMetrics {
 	p.minit.Do(func() {

@@ -281,7 +281,14 @@ func (f *fakeXDRServer) serveConn(conn net.Conn) {
 	if _, err := io.ReadFull(conn, first[:]); err != nil {
 		return
 	}
-	v2 := binary.BigEndian.Uint32(first[:]) == xdr.MagicV2
+	word := binary.BigEndian.Uint32(first[:])
+	if word > xdr.MaxLen && word != xdr.MagicV2 {
+		// A pre-v3 peer: MagicV3 (or any unknown preamble) parses as an
+		// over-limit v1 frame length and the connection drops — the
+		// client must fall back to v2 silently.
+		return
+	}
+	v2 := word == xdr.MagicV2
 	readReq := func() (uint64, bool) {
 		if v2 {
 			id, frame, err := xdr.ReadFrameID(conn)

@@ -1,0 +1,172 @@
+package simnet
+
+// LinkProxy extends the fabric from modelled sends to real sockets: a TCP
+// proxy that forwards every byte of a live connection while pacing
+// delivery to a LinkConfig. Protocol code runs unmodified against real
+// listeners; only the wire slows down. Because pacing charges the bytes
+// that actually cross the proxy, compressed traffic (XDR v3, S33) is
+// billed post-compression — exactly the quantity a WAN bandwidth cap
+// would meter — which is what lets E19 measure adaptive compression as a
+// wall-clock win rather than inferring it from byte counts.
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// pacer serialises chunks over a finite-bandwidth, fixed-latency pipe.
+// Each chunk occupies the pipe for n/bandwidth seconds starting no
+// earlier than the previous chunk's departure (store-and-forward), then
+// propagates for the latency. The struct is pure state + arithmetic so
+// the model is unit-testable without sockets or sleeping.
+type pacer struct {
+	cfg       LinkConfig
+	busyUntil time.Time
+}
+
+// deliverAt returns the modelled delivery time of an n-byte chunk handed
+// to the pipe at now, advancing the pipe's busy horizon.
+func (p *pacer) deliverAt(now time.Time, n int) time.Time {
+	depart := now
+	if p.busyUntil.After(depart) {
+		depart = p.busyUntil
+	}
+	if p.cfg.Bandwidth > 0 {
+		depart = depart.Add(time.Duration(float64(n) / p.cfg.Bandwidth * float64(time.Second)))
+	}
+	p.busyUntil = depart
+	return depart.Add(p.cfg.Latency)
+}
+
+// LinkConnStats counts one proxied connection's traffic by direction.
+type LinkConnStats struct {
+	// ToBackend is bytes forwarded client → backend; ToClient the reverse.
+	ToBackend, ToClient int64
+}
+
+// LinkProxy is a live TCP proxy applying a LinkConfig to both directions
+// of every connection. Each direction gets its own pacer: full duplex,
+// like the real links the configs describe.
+type LinkProxy struct {
+	ln      net.Listener
+	backend string
+	cfg     LinkConfig
+
+	toBackend atomic.Int64
+	toClient  atomic.Int64
+
+	mu    sync.Mutex
+	conns []*linkConn
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type linkConn struct {
+	toBackend, toClient atomic.Int64
+}
+
+// NewLinkProxy starts a proxy on a fresh loopback port that forwards to
+// backend under cfg's latency/bandwidth model.
+func NewLinkProxy(backend string, cfg LinkConfig) (*LinkProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &LinkProxy{ln: ln, backend: backend, cfg: cfg}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address.
+func (p *LinkProxy) Addr() string { return p.ln.Addr().String() }
+
+// Config returns the link model applied to each direction.
+func (p *LinkProxy) Config() LinkConfig { return p.cfg }
+
+// Bytes returns total proxied bytes (client→backend, backend→client).
+func (p *LinkProxy) Bytes() (toBackend, toClient int64) {
+	return p.toBackend.Load(), p.toClient.Load()
+}
+
+// ConnStats snapshots per-connection byte counters in accept order.
+func (p *LinkProxy) ConnStats() []LinkConnStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]LinkConnStats, len(p.conns))
+	for i, c := range p.conns {
+		out[i] = LinkConnStats{
+			ToBackend: c.toBackend.Load(),
+			ToClient:  c.toClient.Load(),
+		}
+	}
+	return out
+}
+
+// Close stops accepting and waits for forwarders to drain.
+func (p *LinkProxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *LinkProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			_ = c.Close()
+			continue
+		}
+		lc := &linkConn{}
+		p.mu.Lock()
+		p.conns = append(p.conns, lc)
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(b, c, &lc.toBackend, &p.toBackend)
+		go p.pipe(c, b, &lc.toClient, &p.toClient)
+	}
+}
+
+// pipe forwards src → dst, sleeping each chunk to its modelled delivery
+// time. Reads stay eager (the sender's kernel buffer plays the sender
+// host); only onward delivery is delayed, so pipelined traffic overlaps
+// serialisation with propagation exactly as the pacer model dictates.
+func (p *LinkProxy) pipe(dst, src net.Conn, connCtr, totalCtr *atomic.Int64) {
+	defer p.wg.Done()
+	defer func() {
+		// Half-close so the peer sees EOF rather than a reset.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		} else {
+			_ = dst.Close()
+		}
+	}()
+	pc := pacer{cfg: p.cfg}
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			deliver := pc.deliverAt(time.Now(), n)
+			if d := time.Until(deliver); d > 0 {
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			connCtr.Add(int64(n))
+			totalCtr.Add(int64(n))
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package soap
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gzipGet(t *testing.T, h http.Handler, acceptGzip bool) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/", nil)
+	if acceptGzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	rec := httptest.NewRecorder()
+	Gzip(h).ServeHTTP(rec, req)
+	return rec
+}
+
+func TestGzipLargeResponse(t *testing.T) {
+	body := strings.Repeat("<item>soap envelope</item>", 200) // well over floor
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml")
+		_, _ = io.WriteString(w, body)
+	})
+	rec := gzipGet(t, h, true)
+	if rec.Header().Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding = %q", rec.Header().Get("Content-Encoding"))
+	}
+	if rec.Body.Len() >= len(body) {
+		t.Fatalf("compressed %d >= raw %d", rec.Body.Len(), len(body))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != body {
+		t.Fatal("round trip mismatch")
+	}
+	if rec.Header().Get("Content-Type") != "text/xml" {
+		t.Fatal("Content-Type lost")
+	}
+}
+
+func TestGzipSmallResponseStaysRaw(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "tiny")
+	})
+	rec := gzipGet(t, h, true)
+	if rec.Header().Get("Content-Encoding") != "" {
+		t.Fatalf("tiny response compressed")
+	}
+	if rec.Body.String() != "tiny" {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestGzipRespectsAcceptEncoding(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, body)
+	})
+	rec := gzipGet(t, h, false)
+	if rec.Header().Get("Content-Encoding") != "" {
+		t.Fatal("compressed without Accept-Encoding: gzip")
+	}
+	if rec.Body.String() != body {
+		t.Fatal("body altered")
+	}
+}
+
+func TestGzipPreservesStatus(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, strings.Repeat("fault!", 200))
+	})
+	rec := gzipGet(t, h, true)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("Content-Encoding") != "gzip" {
+		t.Fatal("large fault body should still compress")
+	}
+}
+
+func TestGzipEmptyResponse(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	rec := gzipGet(t, h, true)
+	if rec.Code != http.StatusNoContent || rec.Body.Len() != 0 {
+		t.Fatalf("code=%d len=%d", rec.Code, rec.Body.Len())
+	}
+	if rec.Header().Get("Content-Encoding") != "" {
+		t.Fatal("empty response must not claim gzip")
+	}
+}
+
+func TestGzipMultiWriteAccumulates(t *testing.T) {
+	// Many small writes crossing the floor mid-stream must all survive.
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 0; i < 100; i++ {
+			_, _ = io.WriteString(w, "chunk-0123456789")
+		}
+	})
+	rec := gzipGet(t, h, true)
+	if rec.Header().Get("Content-Encoding") != "gzip" {
+		t.Fatal("expected gzip")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(zr)
+	if len(got) != 1600 {
+		t.Fatalf("decoded %d bytes, want 1600", len(got))
+	}
+}

@@ -37,6 +37,10 @@ type EndpointSet struct {
 	// are all text-encodable (no structs) may advertise it.
 	HTTPAddress string
 	XDRAddress  string // e.g. host:9010
+	// XDRCompress names the wire-compression codec the XDR endpoint's
+	// server accepts (v3 negotiation); empty suppresses the `compress`
+	// capability and clients stay raw.
+	XDRCompress string
 	// ShmAddress locates the shared-memory handshake socket for same-host
 	// clients: shm:<hostname>:<socket path>. The hostname lets a client on
 	// a different machine reject the port without touching the filesystem.
@@ -119,6 +123,9 @@ func Generate(spec ServiceSpec, eps EndpointSet) (*Definitions, error) {
 			return nil, err
 		}
 		b := Binding{Name: spec.Name + "XDRBinding", Type: pt.Name, Kind: BindXDR}
+		if eps.XDRCompress != "" {
+			b.Capabilities = append(b.Capabilities, Capability{Name: "compress", Value: eps.XDRCompress})
+		}
 		d.Bindings = append(d.Bindings, b)
 		svc.Ports = append(svc.Ports, Port{
 			Name:    spec.Name + "XDRPort",

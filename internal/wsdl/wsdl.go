@@ -101,6 +101,30 @@ type Binding struct {
 	// IBM's WSIF Java binding.
 	Class    string
 	Instance string
+	// Capabilities are declared, negotiable properties of the endpoint
+	// (the first step toward a declared-capability registry): named,
+	// optionally-valued, rendered as <prefix:capability> children of the
+	// binding extension element. The XDR binding advertises
+	// {Name: "compress", Value: "<codec>"} when its server accepts v3
+	// wire compression; clients that understand a capability opt in at
+	// dial time, and ones that do not simply ignore it.
+	Capabilities []Capability
+}
+
+// Capability is one declared binding capability.
+type Capability struct {
+	Name  string
+	Value string
+}
+
+// Capability looks up a declared capability by name.
+func (b *Binding) Capability(name string) (string, bool) {
+	for _, c := range b.Capabilities {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return "", false
 }
 
 // Port exposes a binding at a network (or local) address.
@@ -334,9 +358,10 @@ func (d *Definitions) Node() *xmlq.Node {
 		bn := root.AddNew("binding")
 		bn.SetAttr("name", b.Name)
 		bn.SetAttr("type", b.Type)
+		var ext *xmlq.Node
 		switch b.Kind {
 		case BindSOAP:
-			ext := bn.AddNew("soap:binding")
+			ext = bn.AddNew("soap:binding")
 			style := b.Style
 			if style == "" {
 				style = "rpc"
@@ -348,17 +373,29 @@ func (d *Definitions) Node() *xmlq.Node {
 			ext.SetAttr("style", style)
 			ext.SetAttr("transport", transport)
 		case BindHTTP:
-			bn.AddNew("http:binding").SetAttr("verb", "GET")
+			ext = bn.AddNew("http:binding")
+			ext.SetAttr("verb", "GET")
 		case BindJavaObject:
-			ext := bn.AddNew("java:binding")
+			ext = bn.AddNew("java:binding")
 			ext.SetAttr("class", b.Class)
 			if b.Instance != "" {
 				ext.SetAttr("instance", b.Instance)
 			}
 		case BindXDR:
-			bn.AddNew("xdr:binding").SetAttr("transport", "socket")
+			ext = bn.AddNew("xdr:binding")
+			ext.SetAttr("transport", "socket")
 		case BindShm:
-			bn.AddNew("shm:binding").SetAttr("transport", "shared-memory")
+			ext = bn.AddNew("shm:binding")
+			ext.SetAttr("transport", "shared-memory")
+		}
+		if ext != nil {
+			for _, c := range b.Capabilities {
+				cn := ext.AddNew(ext.Prefix + ":capability")
+				cn.SetAttr("name", c.Name)
+				if c.Value != "" {
+					cn.SetAttr("value", c.Value)
+				}
+			}
 		}
 	}
 	for _, s := range d.Services {
@@ -437,6 +474,12 @@ func Parse(root *xmlq.Node) (*Definitions, error) {
 			b.Kind = BindShm
 		default:
 			return nil, fmt.Errorf("wsdl: binding %q has unknown extension prefix %q", b.Name, ext.Prefix)
+		}
+		for _, cn := range ext.ChildrenNamed("capability") {
+			b.Capabilities = append(b.Capabilities, Capability{
+				Name:  cn.AttrOr("name", ""),
+				Value: cn.AttrOr("value", ""),
+			})
 		}
 		d.Bindings = append(d.Bindings, b)
 	}

@@ -253,3 +253,43 @@ func TestLookupsReturnNilOnMiss(t *testing.T) {
 		t.Fatal("Operation should return nils on miss")
 	}
 }
+
+// TestCapabilityRoundTrip proves declared binding capabilities (S33: the
+// XDR `compress` advertisement) survive generate → render → parse.
+func TestCapabilityRoundTrip(t *testing.T) {
+	d, err := Generate(MatMulSpec(), EndpointSet{
+		XDRAddress:  "host:9010",
+		XDRCompress: "flate",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb := d.Binding("MatMulXDRBinding")
+	if xb == nil {
+		t.Fatal("no XDR binding")
+	}
+	if v, ok := xb.Capability("compress"); !ok || v != "flate" {
+		t.Fatalf("compress capability = %q, %v", v, ok)
+	}
+	text := d.String()
+	if !strings.Contains(text, `xdr:capability name="compress" value="flate"`) {
+		t.Fatalf("rendered document lacks capability element:\n%s", text)
+	}
+	rt, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb2 := rt.Binding("MatMulXDRBinding")
+	if xb2 == nil {
+		t.Fatal("no XDR binding after round trip")
+	}
+	if v, ok := xb2.Capability("compress"); !ok || v != "flate" {
+		t.Fatalf("round-tripped capability = %q, %v", v, ok)
+	}
+	if _, ok := xb2.Capability("nope"); ok {
+		t.Fatal("phantom capability")
+	}
+	if err := rt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

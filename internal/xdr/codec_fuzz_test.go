@@ -1,0 +1,121 @@
+package xdr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzXDRV3Differential proves the v3 compressed path is an identity over
+// the v2 path for every payload: whatever bytes WriteFrameID/ReadFrameID
+// carry, routing the same payload through CompressFrameV3 (forced-on, no
+// size floor) → ReadFrameV3 → DecompressFrameV3 — or the raw v3 frame
+// when the compressor declines on ratio — must yield byte-identical
+// payload and the same request ID.
+func FuzzXDRV3Differential(f *testing.F) {
+	f.Add(uint64(1), []byte{})
+	f.Add(uint64(7), []byte("payload"))
+	f.Add(uint64(1<<40), bytes.Repeat([]byte{0xAB, 0xCD}, 4096))
+	f.Add(uint64(0), compressible(2048))
+	f.Add(uint64(3), incompressible(2048, 9))
+
+	comp := NewCompressor(Flate, false, 1)
+	f.Fuzz(func(t *testing.T, id uint64, payload []byte) {
+		if len(payload) > MaxLen {
+			t.Skip()
+		}
+		// Reference: the v2 path.
+		var v2 bytes.Buffer
+		if err := WriteFrameID(&v2, id, payload); err != nil {
+			t.Fatalf("v2 encode: %v", err)
+		}
+		refID, refPayload, err := ReadFrameID(&v2)
+		if err != nil {
+			t.Fatalf("v2 decode: %v", err)
+		}
+
+		// Subject: the v3 path, compressed when the codec saves enough,
+		// raw otherwise — exactly the sender's runtime decision.
+		frame, enc := comp.CompressFrameV3(id, payload)
+		if enc == nil {
+			e := GetEncoder()
+			e.ReserveFrameHeaderV3()
+			copy(e.grow(len(payload)), payload)
+			if frame, err = e.FrameBytesV3(id, 0); err != nil {
+				t.Fatalf("v3 raw seal: %v", err)
+			}
+			enc = e
+		}
+		gotID, flags, wire, err := ReadFrameV3(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("v3 decode: %v", err)
+		}
+		got, err := DecompressFrameV3(flags, wire)
+		if err != nil {
+			t.Fatalf("v3 decompress (flags %d): %v", flags, err)
+		}
+
+		if gotID != refID {
+			t.Fatalf("id diverged: v3 %d, v2 %d", gotID, refID)
+		}
+		if !bytes.Equal(got, refPayload) {
+			t.Fatalf("payload diverged: v3 %d bytes, v2 %d bytes (flags %d)",
+				len(got), len(refPayload), flags)
+		}
+		if flags != 0 {
+			PutFrameBuf(got)
+		}
+		PutFrameBuf(wire)
+		PutFrameBuf(refPayload)
+		PutEncoder(enc)
+	})
+}
+
+// FuzzReadFrameV3 feeds arbitrary byte streams through the v3 header and
+// flags decoder, then through payload decompression. Invariants:
+//
+//   - never panics, never accepts a payload above MaxLen;
+//   - an accepted frame obeys its declared wire length exactly;
+//   - decompression of a frame whose flags name a codec either fails
+//     cleanly or yields exactly the declared uncompressed length.
+func FuzzReadFrameV3(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	var seed bytes.Buffer
+	{
+		frame, enc := NewCompressor(Flate, false, 1).CompressFrameV3(5, compressible(1024))
+		if enc != nil {
+			seed.Write(frame)
+			PutEncoder(enc)
+		}
+	}
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, flags, payload, err := ReadFrameV3(bytes.NewReader(data))
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("payload returned alongside error %v", err)
+			}
+			return
+		}
+		_ = id
+		if len(payload) > MaxLen {
+			t.Fatalf("accepted payload of %d bytes > MaxLen", len(payload))
+		}
+		declared := binary.BigEndian.Uint32(data[0:4])
+		if int(declared) != len(payload) {
+			t.Fatalf("declared %d bytes, decoded %d", declared, len(payload))
+		}
+		out, err := DecompressFrameV3(flags, payload)
+		if err == nil && flags != 0 {
+			want := binary.BigEndian.Uint32(payload[0:4])
+			if uint32(len(out)) != want {
+				t.Fatalf("decompressed %d bytes, declared %d", len(out), want)
+			}
+			PutFrameBuf(out)
+		}
+		PutFrameBuf(payload)
+	})
+}

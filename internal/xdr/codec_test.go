@@ -1,0 +1,254 @@
+package xdr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// compressible returns n bytes of low-entropy data flate shrinks well.
+func compressible(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i % 16)
+	}
+	return b
+}
+
+// incompressible returns n bytes of seeded random data.
+func incompressible(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	for _, src := range [][]byte{
+		{},
+		[]byte("hello"),
+		compressible(64 << 10),
+		incompressible(4096, 1),
+	} {
+		e := NewEncoder(0)
+		if err := Flate.AppendCompress(e, src); err != nil {
+			t.Fatalf("compress %d bytes: %v", len(src), err)
+		}
+		dst := make([]byte, len(src))
+		if err := Flate.DecompressInto(dst, e.Bytes()); err != nil {
+			t.Fatalf("decompress %d bytes: %v", len(src), err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatalf("round trip mismatch at %d bytes", len(src))
+		}
+	}
+}
+
+func TestDecompressIntoLengthMismatch(t *testing.T) {
+	src := compressible(1024)
+	e := NewEncoder(0)
+	if err := Flate.AppendCompress(e, src); err != nil {
+		t.Fatal(err)
+	}
+	// Declared length shorter than the stream: trailing bytes.
+	if err := Flate.DecompressInto(make([]byte, 512), e.Bytes()); err != ErrCodecData {
+		t.Fatalf("short dst: got %v, want ErrCodecData", err)
+	}
+	// Declared length longer than the stream: truncated.
+	if err := Flate.DecompressInto(make([]byte, 2048), e.Bytes()); err != ErrCodecData {
+		t.Fatalf("long dst: got %v, want ErrCodecData", err)
+	}
+}
+
+func TestOfferChoose(t *testing.T) {
+	if w := OfferWord(); w != 1 {
+		t.Fatalf("empty offer = %#x, want 1 (raw bit)", w)
+	}
+	w := OfferWord(Flate)
+	if w != 1|1<<CodecFlate {
+		t.Fatalf("flate offer = %#x", w)
+	}
+	if c := ChooseCodec(w, ^uint32(0)); c != Flate {
+		t.Fatalf("choose = %v, want flate", c)
+	}
+	if c := ChooseCodec(w, 1); c != nil {
+		t.Fatalf("raw-only accept chose %v", c)
+	}
+	if c := ChooseCodec(1, ^uint32(0)); c != nil {
+		t.Fatalf("raw-only offer chose %v", c)
+	}
+	// Unregistered IDs in the offer are ignored.
+	if c := ChooseCodec(1<<9|1, ^uint32(0)); c != nil {
+		t.Fatalf("unregistered offer bit chose %v", c)
+	}
+	if CodecByName("flate") != Flate || CodecByName("nope") != nil {
+		t.Fatal("CodecByName lookup wrong")
+	}
+	if CodecByID(CodecFlate) != Flate || CodecByID(0) != nil || CodecByID(200) != nil {
+		t.Fatal("CodecByID lookup wrong")
+	}
+}
+
+func TestCompressFrameV3(t *testing.T) {
+	c := NewCompressor(Flate, false, 0)
+
+	// Compressible payload over the floor: ships compressed.
+	src := compressible(32 << 10)
+	frame, enc := c.CompressFrameV3(42, src)
+	if enc == nil {
+		t.Fatal("compressible frame shipped raw")
+	}
+	if len(frame) >= len(src) {
+		t.Fatalf("compressed frame %d bytes >= payload %d", len(frame), len(src))
+	}
+	id, flags, wire, err := ReadFrameV3(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || flags != CodecFlate {
+		t.Fatalf("id=%d flags=%d", id, flags)
+	}
+	out, err := DecompressFrameV3(flags, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("decompressed payload differs from source")
+	}
+	PutFrameBuf(wire)
+	PutFrameBuf(out)
+	PutEncoder(enc)
+
+	// Under the floor: raw.
+	if f, e := c.CompressFrameV3(1, []byte("tiny")); f != nil || e != nil {
+		t.Fatal("under-floor frame was compressed")
+	}
+	// Incompressible: ratio check ships raw.
+	if f, e := c.CompressFrameV3(1, incompressible(8192, 7)); f != nil || e != nil {
+		t.Fatal("incompressible frame was compressed")
+	}
+	// Nil compressor: raw.
+	if f, e := (*Compressor)(nil).CompressFrameV3(1, src); f != nil || e != nil {
+		t.Fatal("nil compressor compressed")
+	}
+}
+
+func TestCompressorAdaptiveBackoff(t *testing.T) {
+	c := NewCompressor(Flate, true, 0)
+	noise := incompressible(8192, 3)
+
+	// A streak of incompressible frames flips the compressor into
+	// probing mode.
+	for i := 0; i < adaptiveStreak; i++ {
+		if f, e := c.CompressFrameV3(uint64(i), noise); f != nil || e != nil {
+			t.Fatal("noise compressed")
+		}
+	}
+	c.mu.Lock()
+	skip := c.skip
+	c.mu.Unlock()
+	if skip != adaptiveProbeEvery-1 {
+		t.Fatalf("skip=%d after streak, want %d", skip, adaptiveProbeEvery-1)
+	}
+
+	// The next skip frames must not touch the codec at all — even a
+	// perfectly compressible payload ships raw while backed off.
+	good := compressible(8192)
+	for i := 0; i < adaptiveProbeEvery-1; i++ {
+		if f, e := c.CompressFrameV3(0, good); f != nil || e != nil {
+			t.Fatalf("frame %d compressed during backoff", i)
+		}
+	}
+	// The probe frame compresses and snaps the compressor back on.
+	f, e := c.CompressFrameV3(0, good)
+	if e == nil {
+		t.Fatal("probe frame did not compress")
+	}
+	_ = f
+	PutEncoder(e)
+	if f2, e2 := c.CompressFrameV3(0, good); e2 == nil {
+		t.Fatal("post-probe frame did not compress")
+	} else {
+		_ = f2
+		PutEncoder(e2)
+	}
+}
+
+func TestReadFrameV3RoundTrip(t *testing.T) {
+	e := GetEncoder()
+	e.ReserveFrameHeaderV3()
+	e.Float64Array([]float64{1, 2, 3})
+	frame, err := e.FrameBytesV3(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, flags, payload, err := ReadFrameV3(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 9 || flags != 0 {
+		t.Fatalf("id=%d flags=%d", id, flags)
+	}
+	if !bytes.Equal(payload, frame[13:]) {
+		t.Fatal("payload mismatch")
+	}
+	PutFrameBuf(payload)
+	PutEncoder(e)
+}
+
+func TestDecompressFrameV3Errors(t *testing.T) {
+	if _, err := DecompressFrameV3(200, []byte{0, 0, 0, 0}); err != ErrBadCodec {
+		t.Fatalf("unknown codec: %v", err)
+	}
+	if _, err := DecompressFrameV3(CodecFlate, []byte{0, 0}); err != ErrShortBuffer {
+		t.Fatalf("short payload: %v", err)
+	}
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, uint32(MaxLen)+1)
+	if _, err := DecompressFrameV3(CodecFlate, huge); err != ErrTooLarge {
+		t.Fatalf("oversized declared length: %v", err)
+	}
+	if _, err := DecompressFrameV3(CodecFlate, []byte{0, 0, 0, 4, 0xde, 0xad}); err == nil {
+		t.Fatal("corrupt stream decoded")
+	}
+}
+
+// TestV3RawPathAllocs is the frame-level half of the E19 zero-extra-alloc
+// guarantee: building and sealing a raw v3 frame from pooled parts, with
+// the compressor declining (nil, under-floor, and adaptive-backoff arms),
+// allocates nothing.
+func TestV3RawPathAllocs(t *testing.T) {
+	var comp *Compressor // negotiation answered raw: no compressor at all
+	payload := compressible(4 << 10)
+	allocs := testing.AllocsPerRun(200, func() {
+		e := GetEncoder()
+		e.ReserveFrameHeaderV3()
+		e.Float64Array([]float64{1, 2, 3, 4})
+		if f, ce := comp.CompressFrameV3(1, payload); ce != nil {
+			_ = f
+			PutEncoder(ce)
+		}
+		if _, err := e.FrameBytesV3(1, 0); err != nil {
+			t.Fatal(err)
+		}
+		PutEncoder(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("raw v3 frame path allocates %.1f/op, want 0", allocs)
+	}
+
+	// Adaptive compressor backed off: still zero allocs per skipped frame.
+	c := NewCompressor(Flate, true, 0)
+	c.mu.Lock()
+	c.skip = 1 << 30
+	c.mu.Unlock()
+	allocs = testing.AllocsPerRun(200, func() {
+		if f, ce := c.CompressFrameV3(1, payload); ce != nil {
+			_ = f
+			PutEncoder(ce)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("backed-off adaptive path allocates %.1f/op, want 0", allocs)
+	}
+}

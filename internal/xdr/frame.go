@@ -23,14 +23,38 @@ import (
 // Responses echo the request ID of the call they answer and may arrive in
 // any order, so many calls can be pipelined over one connection.
 //
-// Version negotiation costs nothing on the wire: MaxLen < MagicV2, so the
-// first word of a connection is unambiguous — a legal v1 frame length can
-// never collide with the magic, and a server can keep serving v1 clients
-// on the same port.
+// v3 (compressed): same request-id framing as v2 plus one flags byte per
+// frame carrying the compression codec ID of the payload:
+//
+//	[4-byte big-endian payload length][8-byte big-endian request id][1-byte flags][payload]
+//
+// The length word counts the payload as it appears on the wire (after
+// compression). Flags 0 means a raw payload; a nonzero low nibble names
+// the Codec that compressed it, in which case the payload is
+//
+//	[4-byte big-endian uncompressed length][codec bytes]
+//
+// so the receiver can size the destination buffer exactly. The codec is
+// negotiated once at dial time: the client opens with MagicV3 followed by
+// a 4-byte offered-codec word (bit i set = codec ID i supported; bit 0,
+// raw, is always set), the server answers with a 4-byte chosen-codec word
+// (the codec ID it will accept and use, 0 = raw only) before its first
+// response frame. Whether a given frame is actually compressed remains a
+// per-frame sender decision — small or incompressible frames ship raw
+// with flags 0.
+//
+// Version negotiation costs nothing on the wire: MaxLen < MagicV2 <
+// MagicV3, so the first word of a connection is unambiguous — a legal v1
+// frame length can never collide with either magic, and a server can keep
+// serving v1 and v2 clients on the same port.
 
 // MagicV2 is the v2 stream preamble ("HXD2"). It deliberately exceeds
 // MaxLen so no v1 frame-length word can be mistaken for it.
 const MagicV2 uint32 = 0x48584432
+
+// MagicV3 is the v3 stream preamble ("HXD3"): v2 framing plus a per-frame
+// flags byte and dial-time codec negotiation. MaxLen < MagicV2 < MagicV3.
+const MagicV3 uint32 = 0x48584433
 
 // MaxArgs bounds the declared argument/result count of one XDR-binding
 // call, on both the encode and decode sides. Like MaxLen it guards
@@ -117,9 +141,28 @@ func WriteFrameID(w io.Writer, id uint64, payload []byte) error {
 	return err
 }
 
+// WriteMagicV3 writes the v3 stream preamble followed by the offered-codec
+// word. Clients send both once, immediately after connecting, before the
+// first v3 frame; the server's 4-byte chosen-codec answer precedes its
+// first response frame.
+func WriteMagicV3(w io.Writer, offer uint32) error {
+	var words [8]byte
+	binary.BigEndian.PutUint32(words[0:4], MagicV3)
+	binary.BigEndian.PutUint32(words[4:8], offer|1) // raw is always on offer
+	_, err := w.Write(words[:])
+	return err
+}
+
 // frameHeaderLen is the size of a v2 frame header: 4-byte length word
 // plus 8-byte request ID.
 const frameHeaderLen = 12
+
+// frameHeaderLenV3 adds the v3 flags byte.
+const frameHeaderLenV3 = 13
+
+// FrameHeaderLenV3 is the v3 frame header size, exported for wire-level
+// byte accounting.
+const FrameHeaderLenV3 = frameHeaderLenV3
 
 // ReserveFrameHeader appends space for a v2 frame header to a fresh
 // encoder. Encode the payload after it, then seal the frame with
@@ -144,6 +187,63 @@ func (e *Encoder) FrameBytes(id uint64) ([]byte, error) {
 	binary.BigEndian.PutUint32(e.buf[0:4], uint32(n))
 	binary.BigEndian.PutUint64(e.buf[4:12], id)
 	return e.buf, nil
+}
+
+// ReserveFrameHeaderV3 appends space for a v3 frame header (v2 header
+// plus the flags byte) to a fresh encoder; seal with FrameBytesV3.
+func (e *Encoder) ReserveFrameHeaderV3() {
+	_ = e.grow(frameHeaderLenV3)
+}
+
+// FramePayloadV3 returns the logical payload encoded after a
+// ReserveFrameHeaderV3 — what a Compressor consumes when deciding whether
+// the frame ships raw or compressed.
+func (e *Encoder) FramePayloadV3() []byte {
+	if len(e.buf) < frameHeaderLenV3 {
+		return nil
+	}
+	return e.buf[frameHeaderLenV3:]
+}
+
+// FrameBytesV3 patches the reserved v3 header with the payload length,
+// request ID, and flags byte and returns the complete wire frame. The
+// encoder must have been primed with ReserveFrameHeaderV3 before the
+// payload was encoded.
+func (e *Encoder) FrameBytesV3(id uint64, flags byte) ([]byte, error) {
+	n := len(e.buf) - frameHeaderLenV3
+	if n < 0 {
+		return nil, ErrShortBuffer // header was never reserved
+	}
+	if n > MaxLen {
+		return nil, ErrTooLarge
+	}
+	binary.BigEndian.PutUint32(e.buf[0:4], uint32(n))
+	binary.BigEndian.PutUint64(e.buf[4:12], id)
+	e.buf[12] = flags
+	return e.buf, nil
+}
+
+// ReadFrameV3 reads one v3 frame: request ID, flags byte, and the wire
+// payload (still compressed when flags name a codec — see
+// DecompressFrameV3). The payload comes from the frame pool; release it
+// with PutFrameBuf when fully decoded.
+func ReadFrameV3(r io.Reader) (id uint64, flags byte, payload []byte, err error) {
+	var hdr [frameHeaderLenV3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxLen {
+		return 0, 0, nil, ErrTooLarge
+	}
+	id = binary.BigEndian.Uint64(hdr[4:12])
+	flags = hdr[12]
+	payload = GetFrameBuf(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutFrameBuf(payload)
+		return 0, 0, nil, err
+	}
+	return id, flags, payload, nil
 }
 
 // ReadFrameID reads one v2 frame. The returned payload comes from the
