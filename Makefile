@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-xdr bench-e16 bench-e17 bench-e18 bench-e19 hbench fuzz chaos-smoke churn-smoke fleet-smoke ci clean
+.PHONY: all build vet lint test race cover bench bench-xdr bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 hbench fuzz chaos-smoke churn-smoke fleet-smoke metacity-smoke ci clean
 
 all: build
 
@@ -39,6 +39,17 @@ bench:
 bench-xdr:
 	$(GO) test -run xxx -bench 'BenchmarkXDRInvoke' -benchmem -benchtime 2s ./internal/invoke/
 	$(GO) test -run xxx -bench . -benchmem -benchtime 2s ./internal/xdr/
+
+# The S34 metacity gate and tables: 0 allocs/op on the cache-hit and
+# registry-Get read paths, the deterministic virtual-time macro slice
+# inside its availability/p99 envelope, and the E15 throughput/latency
+# curves per coherency strategy and resilience policy (EXPERIMENTS.md
+# E15). The hot-path microbenchmarks behind the before/after table run
+# last.
+bench-e15:
+	E15_GATE=1 $(GO) test -run TestE15Gate -v ./internal/bench/
+	$(GO) run ./cmd/hbench -exp E15
+	$(GO) test -run xxx -bench 'BenchmarkHot' -benchmem -benchtime 1s ./internal/registry/
 
 # The S30 data-plane gate and tables: zero-copy codec vs portable
 # ablation and shm rings vs XDR loopback (EXPERIMENTS.md E16).
@@ -111,7 +122,13 @@ fleet-smoke:
 	$(GO) test -run 'TestE18FleetSmoke|TestE18RecoverySmoke' -v -count=1 ./internal/bench/
 	$(GO) test -race ./internal/fleet/
 
-ci: vet build race chaos-smoke churn-smoke fleet-smoke
+# The metacity smoke: both E15 modes race-enabled at a small client
+# count (the always-on slice), plus the env-gated alloc/envelope gate.
+metacity-smoke:
+	$(GO) test -race -run 'TestE15Smoke|TestE15SimnetDeterminism' -v ./internal/bench/
+	E15_GATE=1 $(GO) test -run TestE15Gate -v ./internal/bench/
+
+ci: vet build race chaos-smoke churn-smoke fleet-smoke metacity-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,7 +1,8 @@
-// Command hbench regenerates the HARNESS II experiment tables (E1–E16 in
+// Command hbench regenerates the HARNESS II experiment tables (E1–E19 in
 // DESIGN.md): every figure-scenario and quantified design claim of the
 // paper, plus the plane audits (telemetry E12, resilience E13, SOAP fast
-// path E14, data plane E16), printed as aligned text tables.
+// path E14, metacity macro-load E15, data plane E16/E19, registry
+// cluster E17, fleet E18), printed as aligned text tables.
 //
 // Usage:
 //
@@ -19,16 +20,31 @@ import (
 	"strings"
 
 	"harness2/internal/bench"
+	"harness2/internal/profiling"
 )
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E14) or 'all'")
+		exps  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E19) or 'all'")
 		full  = flag.Bool("full", false, "run the full (report-quality) parameter sweeps")
 		short = flag.Bool("short", false, "run CI smoke-sized sweeps (wins over -full)")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while experiments run (empty = off)")
+		pprofMutex = flag.Int("pprof-mutex", 5, "mutex profile fraction when -pprof is set (0 = off)")
+		pprofBlock = flag.Int("pprof-block", 10000, "block profile rate in ns when -pprof is set (0 = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := profiling.Serve(*pprofAddr, *pprofMutex, *pprofBlock)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbench: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hbench: pprof at http://%s/debug/pprof/ (mutex 1/%d, block %dns)\n",
+			addr, *pprofMutex, *pprofBlock)
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {

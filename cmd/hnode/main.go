@@ -25,6 +25,7 @@ import (
 	"harness2/internal/core"
 	"harness2/internal/dvm"
 	"harness2/internal/invoke"
+	"harness2/internal/profiling"
 	"harness2/internal/registry"
 	"harness2/internal/resilience"
 	"harness2/internal/resilience/chaos"
@@ -39,6 +40,7 @@ func main() {
 		deploy   = flag.String("deploy", "MatMul,WSTime,LinSolve", "comma-separated component classes to deploy")
 		regURL   = flag.String("registry", "", "SOAP registry endpoint (empty = private node)")
 		cacheTTL = flag.Duration("discovery-ttl", 30*time.Second, "client-side discovery cache TTL for registry lookups (0 disables caching)")
+		negTTL   = flag.Duration("discovery-neg-ttl", 0, "discovery cache TTL for misses, kept shorter than -discovery-ttl so unpublished names reappear fast while hot-miss storms still coalesce (0 = discovery-ttl/4)")
 		leaseDur = flag.Duration("lease", 0, "registration lease TTL; a crashed node's entries expire instead of dangling (0 = persistent registration)")
 		leaseRen = flag.Duration("lease-renew", 0, "lease renewal interval (0 = lease/4)")
 		manage   = flag.Bool("manage", true, "deploy the remote-management component")
@@ -53,8 +55,22 @@ func main() {
 		queueWait   = flag.Duration("queue-wait", 0, "max time a queued invocation waits before shedding")
 		chaosSpec   = flag.String("chaos", "", `chaos rule spec, e.g. "error:0.1@container" or "latency:0.05:20ms" (empty = off)`)
 		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos schedule")
+
+		// Profiling plane (S34): contention-visible pprof on demand.
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		pprofMutex = flag.Int("pprof-mutex", 5, "mutex profile fraction when -pprof is set (0 = off)")
+		pprofBlock = flag.Int("pprof-block", 10000, "block profile rate in ns when -pprof is set (0 = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := profiling.Serve(*pprofAddr, *pprofMutex, *pprofBlock)
+		if err != nil {
+			log.Fatalf("hnode: -pprof: %v", err)
+		}
+		fmt.Printf("hnode: pprof at http://%s/debug/pprof/ (mutex 1/%d, block %dns)\n",
+			addr, *pprofMutex, *pprofBlock)
+	}
 
 	opts := core.NodeOptions{Addr: *addr, DisableShm: *noShm}
 	cpol, err := invoke.ParseCompressPolicy(*compress)
@@ -105,8 +121,14 @@ func main() {
 			// Memoize discovery reads so steady-state lookups skip the
 			// SOAP round trip; TTLs are clamped to registration leases
 			// and writes through the cache invalidate it (DESIGN.md S29).
-			lookup = registry.NewCache(lookup, *cacheTTL)
-			fmt.Printf("hnode: discovery cache on (ttl %v)\n", *cacheTTL)
+			cache := registry.NewCache(lookup, *cacheTTL)
+			eff := *cacheTTL / 4
+			if *negTTL > 0 {
+				cache.SetNegativeTTL(*negTTL)
+				eff = *negTTL
+			}
+			lookup = cache
+			fmt.Printf("hnode: discovery cache on (ttl %v, neg-ttl %v)\n", *cacheTTL, eff)
 		}
 	}
 

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"harness2/internal/profiling"
 	"harness2/internal/registry"
 	"harness2/internal/registry/cluster"
 	"harness2/internal/soap"
@@ -45,7 +46,19 @@ func main() {
 	replicas := flag.Int("replicas", 2, "copies per entry in cluster mode (owner + successors)")
 	gossipEvery := flag.Duration("gossip", 500*time.Millisecond, "gossip round interval in cluster mode")
 	compress := flag.Bool("compress", true, "gzip SOAP responses for clients that send Accept-Encoding: gzip (S33)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	pprofMutex := flag.Int("pprof-mutex", 5, "mutex profile fraction when -pprof is set (0 = off)")
+	pprofBlock := flag.Int("pprof-block", 10000, "block profile rate in ns when -pprof is set (0 = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		paddr, err := profiling.Serve(*pprofAddr, *pprofMutex, *pprofBlock)
+		if err != nil {
+			log.Fatalf("hregistry: -pprof: %v", err)
+		}
+		fmt.Printf("hregistry: pprof at http://%s/debug/pprof/ (mutex 1/%d, block %dns)\n",
+			paddr, *pprofMutex, *pprofBlock)
+	}
 
 	reg := registry.New()
 	for _, tm := range registry.WellKnownTModels() {

@@ -190,7 +190,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("E99", Params{}); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
-	if got := IDs(); len(got) != 20 || got[0] != "E1" {
+	if got := IDs(); len(got) != 21 || got[0] != "E1" {
 		t.Fatalf("IDs = %v", got)
 	}
 	// E2 through the dispatcher with the quick params (fastest pure-CPU

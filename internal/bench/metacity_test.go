@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestZipfDeterministic: same seed, same draw sequence.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(7, 1.1, 1000)
+	b := NewZipf(7, 1.1, 1000)
+	for i := 0; i < 2000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+	c := NewZipf(8, 1.1, 1000)
+	diff := false
+	a2 := NewZipf(7, 1.1, 1000)
+	for i := 0; i < 2000; i++ {
+		if a2.Next() != c.Next() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfStatistics fits the rank-frequency slope on a log-log scale:
+// for P(k) ∝ (1+k)^-s the least-squares slope of log(freq) against
+// log(1+k) must sit near -s.
+func TestZipfStatistics(t *testing.T) {
+	const (
+		s       = 1.1
+		n       = 1000
+		samples = 200_000
+		ranks   = 50 // head ranks with solid counts
+	)
+	z := NewZipf(11, s, n)
+	freq := make([]int, n)
+	for i := 0; i < samples; i++ {
+		r := z.Next()
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of [0,%d)", r, n)
+		}
+		freq[r]++
+	}
+	// The head must dominate: rank 0 far above rank 49.
+	if freq[0] < 10*freq[ranks-1] {
+		t.Fatalf("no popularity skew: freq[0]=%d freq[%d]=%d", freq[0], ranks-1, freq[ranks-1])
+	}
+	var sx, sy, sxx, sxy float64
+	m := 0
+	for k := 0; k < ranks; k++ {
+		if freq[k] == 0 {
+			continue
+		}
+		x := math.Log(float64(1 + k))
+		y := math.Log(float64(freq[k]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		m++
+	}
+	slope := (float64(m)*sxy - sx*sy) / (float64(m)*sxx - sx*sx)
+	if math.Abs(slope-(-s)) > 0.2 {
+		t.Fatalf("rank-frequency slope = %.3f, want %.1f ± 0.2", slope, -s)
+	}
+}
+
+func e15SmokeConfig() E15SimConfig {
+	return E15SimConfig{
+		Seed:         7,
+		Clients:      3000,
+		OpsPerClient: 3,
+		Services:     256,
+		Hnodes:       8,
+		ServiceNodes: 4,
+		Strategy:     "hybrid-k4",
+		Policy:       "retry1",
+		Chaos:        true,
+	}
+}
+
+// TestE15SimnetDeterminism: two same-seed virtual-time runs produce
+// identical results — op counts, fabric traffic, and percentiles.
+func TestE15SimnetDeterminism(t *testing.T) {
+	cfg := e15SmokeConfig()
+	r1, err := E15SimRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := E15SimRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same-seed runs diverged:\n%+v\n%+v", r1, r2)
+	}
+	cfg.Seed = 8
+	r3, err := E15SimRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1, r3) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestE15Smoke is the always-on (race-enabled) slice of both modes at a
+// small client count.
+func TestE15Smoke(t *testing.T) {
+	// Virtual-time mode: every strategy at smoke size.
+	for _, strat := range []string{"full-sync", "decentralized", "hybrid-k4"} {
+		cfg := e15SmokeConfig()
+		cfg.Clients = 1500
+		cfg.OpsPerClient = 2
+		cfg.Strategy = strat
+		res, err := E15SimRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Ops, uint64(cfg.Clients*cfg.OpsPerClient); got != want {
+			t.Fatalf("%s: ops = %d, want %d", strat, got, want)
+		}
+		if res.Availability() < 0.5 {
+			t.Fatalf("%s: availability %.2f implausibly low", strat, res.Availability())
+		}
+		if res.CacheHits == 0 || res.CacheMisses == 0 {
+			t.Fatalf("%s: cache never exercised: hits=%d misses=%d",
+				strat, res.CacheHits, res.CacheMisses)
+		}
+		if res.P99 <= 0 || res.VirtualElapsed <= 0 {
+			t.Fatalf("%s: degenerate timing: %+v", strat, res)
+		}
+	}
+
+	// Real-socket mode: a small goroutine crowd with the mid-run kill.
+	rr, err := e15Real(48, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Succeeded == 0 {
+		t.Fatal("no successful real-socket calls")
+	}
+	if rr.Succeeded+rr.Failed != uint64(rr.Calls) {
+		t.Fatalf("call accounting broken: %d + %d != %d", rr.Succeeded, rr.Failed, rr.Calls)
+	}
+	if rr.P99 <= 0 || rr.P99 > time.Minute {
+		t.Fatalf("implausible real-socket p99 %v", rr.P99)
+	}
+}
+
+// TestE15NegativeCacheChurn: after a service node dies and its hottest
+// service is unpublished, resolutions miss but do not stampede the
+// registry — the negative cache absorbs the hot-miss storm (the
+// regression the separate negative TTL exists for).
+func TestE15NegativeCacheChurn(t *testing.T) {
+	cfg := e15SmokeConfig()
+	cfg.Chaos = false // isolate churn effects
+	res, err := E15SimRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn unpublishes hot services, so some invokes must fail...
+	if res.Failed == 0 {
+		t.Fatalf("churn produced no failures: %+v", res)
+	}
+	// ...but the hit rate stays high: the hot-miss storm is soaked up by
+	// negative caching instead of turning every resolution into an
+	// upstream fetch.
+	hitRate := float64(res.CacheHits) / float64(res.CacheHits+res.CacheMisses)
+	if hitRate < 0.6 {
+		t.Fatalf("cache hit rate %.2f under churn, want >= 0.6 (negative cache broken?)", hitRate)
+	}
+}

@@ -288,6 +288,9 @@ func Run(id string, p Params) (*Table, error) {
 		return E13bDisabledOverhead(p.resilienceOverheadReps())
 	case "E14":
 		return E14FastPath(p.fastpathSizes())
+	case "E15":
+		return E15Metacity(p.e15SimClients(), p.e15SimOps(), p.e15Services(),
+			p.e15RealClients(), p.e15RealCalls())
 	case "E16":
 		return E16DataPlane(p.zerocopySizes(), p.xdrSmallCalls(),
 			p.xdrArrayLen(), p.e16ArrayCalls())
@@ -303,7 +306,7 @@ func Run(id string, p Params) (*Table, error) {
 
 // IDs returns every experiment ID in order.
 func IDs() []string {
-	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E16", "E17", "E18", "E19", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
+	ids := []string{"E1", "E10", "E11", "E12", "E13", "E13b", "E14", "E15", "E16", "E17", "E18", "E19", "E2", "E3", "E4", "E5", "E5b", "E6", "E7", "E8", "E9"}
 	sort.Strings(ids)
 	return ids
 }

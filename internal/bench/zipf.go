@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Zipf draws service ranks with the skew real discovery traffic shows: a
+// handful of names take most of the lookups (P(rank k) ∝ 1/(1+k)^s).
+// E15's client population draws names from it, which is exactly what
+// pushes the registry.Cache singleflight and the lock-free hit path —
+// everyone resolves the same few hot names forever.
+//
+// The generator is deterministic under a fixed seed (it owns a private
+// rand.Rand), so the virtual-time E15 runs replay identically.
+type Zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipf returns a generator over ranks [0, n) with exponent s (> 1;
+// ~1.1 matches measured service-popularity skew). It panics on invalid
+// parameters: the harness constructs it from compile-time constants.
+func NewZipf(seed int64, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(n-1))
+	if z == nil {
+		panic(fmt.Sprintf("bench: invalid Zipf exponent %v", s))
+	}
+	return &Zipf{z: z, n: n}
+}
+
+// Next draws one rank; rank 0 is the most popular.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// N reports the rank-space size.
+func (z *Zipf) N() int { return z.n }

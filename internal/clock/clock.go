@@ -1,0 +1,54 @@
+// Package clock provides a coarse process-wide wall clock for hot paths.
+//
+// On the hosts HARNESS II targets (VMs, containers — anywhere the cheap
+// vDSO clock path is unavailable) time.Now costs tens of nanoseconds of
+// syscall-ish work, which E15 profiling showed dominating the lock-free
+// discovery-cache hit: the clock was 60% of a ~130ns operation. Hot
+// paths that only need time at TTL/lease granularity (seconds) read a
+// coarse clock instead: one background ticker stores the current wall
+// time in an atomic every few milliseconds, and Coarse() is an atomic
+// load — the same technique nginx (cached per event-loop time) and
+// memcached (current_time) use.
+//
+// Coarse time is within tickEvery of real time under normal scheduling;
+// a starved ticker goroutine widens the error, so deadline checks that
+// must be exact (timeouts, test clocks) should keep using time.Now or an
+// injected clock. Coarse times carry no monotonic reading.
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tickEvery is the refresh period, and so the nominal resolution, of the
+// coarse clock. 2ms is far below any registry lease or discovery TTL
+// while keeping the ticker's CPU cost negligible.
+const tickEvery = 2 * time.Millisecond
+
+var (
+	once     sync.Once
+	nowNanos atomic.Int64
+)
+
+func start() {
+	nowNanos.Store(time.Now().UnixNano())
+	go func() {
+		t := time.NewTicker(tickEvery)
+		defer t.Stop()
+		for range t.C {
+			nowNanos.Store(time.Now().UnixNano())
+		}
+	}()
+}
+
+// Coarse returns the current wall time at tickEvery resolution for the
+// cost of an atomic load. The first call starts the updater goroutine.
+func Coarse() time.Time {
+	once.Do(start)
+	return time.Unix(0, nowNanos.Load())
+}
+
+// Resolution returns the nominal coarse-clock resolution.
+func Resolution() time.Duration { return tickEvery }

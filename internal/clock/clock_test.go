@@ -1,0 +1,27 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCoarseTracksRealTime(t *testing.T) {
+	c1 := Coarse()
+	r1 := time.Now()
+	if d := r1.Sub(c1); d < -time.Second || d > time.Second {
+		t.Fatalf("coarse clock off by %v", d)
+	}
+	// The updater must advance the clock.
+	time.Sleep(20 * tickEvery)
+	c2 := Coarse()
+	if !c2.After(c1) {
+		t.Fatalf("coarse clock did not advance: %v -> %v", c1, c2)
+	}
+}
+
+func TestCoarseNoAlloc(t *testing.T) {
+	Coarse() // ensure started
+	if n := testing.AllocsPerRun(1000, func() { _ = Coarse() }); n != 0 {
+		t.Fatalf("Coarse allocates %v per call", n)
+	}
+}

@@ -1,0 +1,286 @@
+package cowmap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicStoreLoadDelete(t *testing.T) {
+	m := New[int]()
+	if _, ok := m.Load("a"); ok {
+		t.Fatal("empty map should miss")
+	}
+	m.Store("a", 1)
+	m.Store("b", 2)
+	if v, ok := m.Load("a"); !ok || v != 1 {
+		t.Fatalf("a = %d %v", v, ok)
+	}
+	m.Store("a", 3)
+	if v, _ := m.Load("a"); v != 3 {
+		t.Fatalf("overwrite: a = %d", v)
+	}
+	if !m.Delete("a") {
+		t.Fatal("delete existing")
+	}
+	if m.Delete("a") {
+		t.Fatal("double delete")
+	}
+	if _, ok := m.Load("a"); ok {
+		t.Fatal("deleted key must miss")
+	}
+	if v, ok := m.Load("b"); !ok || v != 2 {
+		t.Fatalf("b = %d %v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+// TestOverlayMergeBoundary drives one shard far past overlayMax so every
+// write regime — overlay grow, merge, tombstone over snapshot, tombstone
+// dropped on merge — is exercised, checking the full contents after each
+// write.
+func TestOverlayMergeBoundary(t *testing.T) {
+	m := New[int]()
+	want := map[string]int{}
+	key := func(i int) string { return fmt.Sprintf("k%d", i) }
+	check := func(step string) {
+		t.Helper()
+		if m.Len() != len(want) {
+			t.Fatalf("%s: len = %d want %d", step, m.Len(), len(want))
+		}
+		for k, v := range want {
+			if got, ok := m.Load(k); !ok || got != v {
+				t.Fatalf("%s: %s = %d %v want %d", step, k, got, ok, v)
+			}
+		}
+		seen := map[string]int{}
+		m.Range(func(k string, v int) bool { seen[k] = v; return true })
+		if len(seen) != len(want) {
+			t.Fatalf("%s: range saw %d entries want %d", step, len(seen), len(want))
+		}
+	}
+	for i := 0; i < 4*overlayMax; i++ {
+		m.Store(key(i), i)
+		want[key(i)] = i
+		check(fmt.Sprintf("store %d", i))
+	}
+	for i := 0; i < 4*overlayMax; i += 3 {
+		m.Delete(key(i))
+		delete(want, key(i))
+		check(fmt.Sprintf("delete %d", i))
+	}
+	for i := 0; i < 4*overlayMax; i++ {
+		m.Store(key(i), -i)
+		want[key(i)] = -i
+		check(fmt.Sprintf("restore %d", i))
+	}
+}
+
+func TestLoadOrCreate(t *testing.T) {
+	m := New[*int]()
+	calls := 0
+	mk := func() *int { calls++; v := 7; return &v }
+	v1, loaded := m.LoadOrCreate("x", mk)
+	if loaded || *v1 != 7 || calls != 1 {
+		t.Fatalf("first: %v %v calls=%d", v1, loaded, calls)
+	}
+	v2, loaded := m.LoadOrCreate("x", mk)
+	if !loaded || v2 != v1 || calls != 1 {
+		t.Fatalf("second: %v %v calls=%d", v2, loaded, calls)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	m := New[[]string]()
+	add := func(s string) {
+		m.Update("row", func(old []string, ok bool) ([]string, bool) {
+			return append(append([]string(nil), old...), s), true
+		})
+	}
+	add("a")
+	add("b")
+	if v, _ := m.Load("row"); len(v) != 2 || v[0] != "a" || v[1] != "b" {
+		t.Fatalf("row = %v", v)
+	}
+	// keep=false deletes.
+	m.Update("row", func(old []string, ok bool) ([]string, bool) { return nil, false })
+	if _, ok := m.Load("row"); ok {
+		t.Fatal("update-delete failed")
+	}
+	// Update of an absent key with keep=false must not create it.
+	m.Update("ghost", func(old []string, ok bool) ([]string, bool) {
+		if ok {
+			t.Fatal("ghost should be absent")
+		}
+		return nil, false
+	})
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestDeleteIf(t *testing.T) {
+	m := New[int]()
+	m.Store("k", 1)
+	if m.DeleteIf("k", func(v int) bool { return v == 2 }) {
+		t.Fatal("cond false must not delete")
+	}
+	if !m.DeleteIf("k", func(v int) bool { return v == 1 }) {
+		t.Fatal("cond true must delete")
+	}
+	if m.DeleteIf("k", func(int) bool { return true }) {
+		t.Fatal("absent key must not delete")
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 100; i++ {
+		m.Store(fmt.Sprintf("k%d", i), i)
+	}
+	m.Rebuild(func(k string, v int) (int, bool) {
+		if v%2 == 0 {
+			return v * 10, true
+		}
+		return 0, false
+	})
+	if m.Len() != 50 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if v, ok := m.Load("k4"); !ok || v != 40 {
+		t.Fatalf("k4 = %d %v", v, ok)
+	}
+	if _, ok := m.Load("k3"); ok {
+		t.Fatal("odd keys must be gone")
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 100; i++ {
+		m.Store(fmt.Sprintf("k%d", i), i)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if _, ok := m.Load("k1"); ok {
+		t.Fatal("cleared key present")
+	}
+}
+
+// TestConcurrentReadersWriters hammers the map from readers, writers and
+// deleters at once; run under -race this is the memory-ordering proof for
+// the overlay/snapshot publication protocol.
+func TestConcurrentReadersWriters(t *testing.T) {
+	m := New[int]()
+	const keys = 128
+	for i := 0; i < keys; i++ {
+		m.Store(fmt.Sprintf("k%d", i), i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("k%d", (i*7+w)%keys)
+				switch i % 3 {
+				case 0:
+					m.Store(k, i)
+				case 1:
+					m.Delete(k)
+				case 2:
+					m.Update(k, func(old int, ok bool) (int, bool) { return old + 1, true })
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Load(fmt.Sprintf("k%d", (i+r)%keys))
+				if i%100 == 0 {
+					m.Range(func(string, int) bool { return true })
+					m.Len()
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 50; i++ {
+		m.Rebuild(func(k string, v int) (int, bool) { return v, true })
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWriterNeverHidesOtherKeys pins the invariant the merge-order
+// protocol guarantees: a key stored before a burst of writes to OTHER
+// keys in the same shard stays visible throughout the burst.
+func TestWriterNeverHidesOtherKeys(t *testing.T) {
+	m := New[int]()
+	m.Store("stable", 42)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Store(fmt.Sprintf("x%d", i%1000), i)
+		}
+	}()
+	for i := 0; i < 200_000; i++ {
+		if v, ok := m.Load("stable"); !ok || v != 42 {
+			t.Errorf("iteration %d: stable = %d %v", i, v, ok)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkLoadHit(b *testing.B) {
+	m := New[*int]()
+	v := 1
+	m.Store("key", &v)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, ok := m.Load("key"); !ok {
+				b.Fail()
+			}
+		}
+	})
+}
+
+func BenchmarkStore(b *testing.B) {
+	m := New[int]()
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Store(keys[i&1023], i)
+	}
+}

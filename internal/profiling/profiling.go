@@ -1,0 +1,63 @@
+// Package profiling exposes the Go runtime profiler over HTTP for the
+// long-running daemons (hnode, hregistry) and the benchmark driver
+// (hbench). The metacity-scale work (ISSUE 10 / E15) lives and dies by
+// contention profiles: the sharded registry store and the lock-free
+// discovery cache were tuned against exactly the mutex and block
+// profiles this package serves, so every binary grows a -pprof flag
+// that turns them on without a rebuild.
+//
+// The handlers are mounted on a private mux bound to the operator's
+// chosen address — never on the service mux — so enabling profiling
+// does not widen the public SOAP/XDR surface.
+package profiling
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Serve starts the pprof endpoint on addr (e.g. "127.0.0.1:6060") and
+// returns the bound address (useful with a ":0" port). mutexFraction
+// and blockRate seed runtime.SetMutexProfileFraction and
+// runtime.SetBlockProfileRate; pass 0 to leave either profiler off —
+// both cost a sampled stack capture per contention event, so the
+// defaults stay off until an operator asks.
+//
+// The listener serves until the process exits; profiling endpoints
+// have no graceful-shutdown story to tell.
+func Serve(addr string, mutexFraction, blockRate int) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("profiling: %w", err)
+	}
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+	srv := &http.Server{
+		Handler:           Mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Mux returns a mux carrying the standard pprof handler set under
+// /debug/pprof/, the same layout net/http/pprof installs on the
+// default mux (index, profile, symbol, cmdline, trace, and the named
+// runtime profiles via the index handler).
+func Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

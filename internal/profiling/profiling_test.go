@@ -1,0 +1,62 @@
+package profiling
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestServe(t *testing.T) {
+	defer runtime.SetMutexProfileFraction(runtime.SetMutexProfileFraction(0))
+	defer runtime.SetBlockProfileRate(0)
+
+	addr, err := Serve("127.0.0.1:0", 5, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.SetMutexProfileFraction(-1) != 5 {
+		t.Error("mutex profile fraction not applied")
+	}
+
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/mutex",
+		"/debug/pprof/block",
+		"/debug/pprof/goroutine",
+	} {
+		resp, err := http.Get("http://" + addr + path + "?debug=1")
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+	}
+}
+
+func TestServeZeroLeavesProfilersOff(t *testing.T) {
+	defer runtime.SetMutexProfileFraction(runtime.SetMutexProfileFraction(0))
+	runtime.SetMutexProfileFraction(0)
+
+	if _, err := Serve("127.0.0.1:0", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.SetMutexProfileFraction(-1); got != 0 {
+		t.Errorf("mutex profile fraction %d, want 0", got)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", 0, 0); err == nil {
+		t.Fatal("expected error for unusable address")
+	} else if !strings.Contains(err.Error(), "profiling:") {
+		t.Errorf("error %q not wrapped with package prefix", err)
+	}
+}

@@ -1,9 +1,11 @@
 package registry
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
+	"harness2/internal/clock"
+	"harness2/internal/cowmap"
 	"harness2/internal/telemetry"
 )
 
@@ -24,27 +26,47 @@ import (
 //   - concurrent misses for the same key are collapsed into one upstream
 //     call (singleflight), so a cold popular name costs one round trip.
 //
+// Negative results (an authoritative "not there") are cached under a
+// SEPARATE, shorter TTL: after a service dies its name stays popular for
+// a while, and a full-length negative TTL would hide its re-publication
+// for the whole window, while no negative caching at all would stampede
+// the registry with misses. See SetNegativeTTL.
+//
 // A zero or negative TTL disables caching entirely: every call passes
 // straight through at the cost of a single branch. Cached result slices
 // are shared between callers and must be treated as read-only.
+//
+// Concurrency (S34 metacity rework): slots live in cowmap sharded
+// copy-on-write maps and publish their result through an atomic pointer,
+// so a cache HIT — the operation a metacity's worth of clients repeats
+// forever — is lock-free and allocation-free: a sharded snapshot load,
+// an atomic result load, and an expiry check. Only fills and evictions
+// touch a (per-shard) lock.
 type Cache struct {
-	src Lookup
-	ttl time.Duration
-	now func() time.Time
-	tel *telemetry.Registry
+	src    Lookup
+	ttl    time.Duration
+	negTTL time.Duration // 0 = default (ttl/4)
+	now    func() time.Time
+	tel    *telemetry.Registry
 
 	hits, misses *telemetry.Counter
 
-	mu      sync.Mutex
-	gets    map[string]*cacheSlot
-	names   map[string]*cacheSlot
-	queries map[string]*cacheSlot
+	gets    *cowmap.Map[*cacheSlot]
+	names   *cowmap.Map[*cacheSlot]
+	queries *cowmap.Map[*cacheSlot]
 }
 
-// cacheSlot holds one memoized lookup result. done closes when the slot
-// is filled; a slot past its expiry is evicted and refetched.
+// cacheSlot is one memoized lookup in flight or filled. done closes when
+// the result is published; res is nil until then and immutable after.
 type cacheSlot struct {
-	done    chan struct{}
+	done chan struct{}
+	res  atomic.Pointer[cacheResult]
+}
+
+// cacheResult is the immutable outcome of one upstream call. A zero
+// expires (errors) is already in the past: direct waiters receive it,
+// later readers evict and refetch.
+type cacheResult struct {
 	expires time.Time
 
 	entry   Entry // Get
@@ -69,8 +91,12 @@ func (c *Cache) checked() (CheckedLookup, bool) {
 
 // NewCache returns a cache over src holding read results for ttl
 // (clamped per-result to lease lifetimes). ttl <= 0 disables caching.
+// Expiry runs on the coarse process clock: TTLs are seconds, so
+// millisecond resolution is free precision loss, and the hit path —
+// the single hottest operation at metacity scale — never pays a real
+// clock call.
 func NewCache(src Lookup, ttl time.Duration) *Cache {
-	return NewCacheWithClock(src, ttl, time.Now)
+	return NewCacheWithClock(src, ttl, clock.Coarse)
 }
 
 // NewCacheWithClock is NewCache with an injectable clock for
@@ -80,12 +106,24 @@ func NewCacheWithClock(src Lookup, ttl time.Duration, now func() time.Time) *Cac
 		src:     src,
 		ttl:     ttl,
 		now:     now,
-		gets:    make(map[string]*cacheSlot),
-		names:   make(map[string]*cacheSlot),
-		queries: make(map[string]*cacheSlot),
+		gets:    cowmap.New[*cacheSlot](),
+		names:   cowmap.New[*cacheSlot](),
+		queries: cowmap.New[*cacheSlot](),
 	}
 	c.initMetrics()
 	return c
+}
+
+// SetNegativeTTL sets how long authoritative misses (Get of an absent
+// key, FindByName with no matches) stay cached; d <= 0 restores the
+// default of a quarter of the positive TTL. Shorter than the positive
+// TTL because a dead service's re-publication should become visible
+// quickly while its name is still being hammered.
+func (c *Cache) SetNegativeTTL(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.negTTL = d
 }
 
 // SetTelemetry selects the cache's metrics registry; nil falls back to
@@ -102,45 +140,63 @@ func (c *Cache) initMetrics() {
 	c.misses = tel.Counter("harness_discovery_cache_total", "result", "miss")
 }
 
-// cached returns the live slot for key, filling it via fill on a miss.
-// fill runs outside the cache lock (it is a network call for Remote
-// sources); concurrent misses wait on the filling goroutine's slot.
-func (c *Cache) cached(m map[string]*cacheSlot, key string, fill func(*cacheSlot)) *cacheSlot {
+// cached returns the live result for key, filling a fresh slot on a
+// miss. fill runs outside any lock (it is a network call for Remote
+// sources); concurrent misses wait on the filling goroutine's slot. The
+// hit path takes no locks.
+func (c *Cache) cached(m *cowmap.Map[*cacheSlot], key string, fill func(*cacheResult)) *cacheResult {
 	for {
-		c.mu.Lock()
-		s := m[key]
-		if s == nil {
-			s = &cacheSlot{done: make(chan struct{})}
-			m[key] = s
-			c.mu.Unlock()
+		s, loaded := m.LoadOrCreate(key, newCacheSlot)
+		if !loaded {
 			c.misses.Inc()
+			res := &cacheResult{}
 			func() {
-				defer close(s.done)
-				fill(s)
+				// Publish-then-close even if fill panics, so waiters
+				// never hang on the slot.
+				defer func() { s.res.Store(res); close(s.done) }()
+				fill(res)
 			}()
-			return s
+			return res
 		}
-		c.mu.Unlock()
-		<-s.done
-		if c.now().Before(s.expires) {
+		res := s.res.Load()
+		if res == nil {
+			<-s.done
+			res = s.res.Load()
+		}
+		if c.now().Before(res.expires) {
 			c.hits.Inc()
-			return s
+			return res
 		}
-		// Expired (or an uncached error): evict if still current, retry.
-		c.mu.Lock()
-		if m[key] == s {
-			delete(m, key)
-		}
-		c.mu.Unlock()
+		// Expired (or an uncached error): evict exactly this slot — a
+		// racing refill may already have replaced it — and retry.
+		m.DeleteIf(key, func(cur *cacheSlot) bool { return cur == s })
 	}
 }
 
-// expiry computes a result's deadline: now+TTL, clamped to the shortest
-// live lease so cached state dies no later than its registration.
+func newCacheSlot() *cacheSlot {
+	return &cacheSlot{done: make(chan struct{})}
+}
+
+// expiry computes a positive result's deadline: now+TTL, clamped to the
+// shortest live lease so cached state dies no later than its
+// registration.
 func (c *Cache) expiry(minLease time.Duration) time.Time {
 	ttl := c.ttl
 	if minLease > 0 && minLease < ttl {
 		ttl = minLease
+	}
+	return c.now().Add(ttl)
+}
+
+// negExpiry computes a negative result's deadline under the separate,
+// shorter negative TTL.
+func (c *Cache) negExpiry() time.Time {
+	ttl := c.negTTL
+	if ttl <= 0 {
+		ttl = c.ttl / 4
+	}
+	if ttl <= 0 {
+		ttl = c.ttl
 	}
 	return c.now().Add(ttl)
 }
@@ -167,9 +223,10 @@ func (c *Cache) Get(key string) (Entry, bool) {
 }
 
 // GetErr is Get through the source's checked view: an authoritative miss
-// returns (ok=false, err=nil) and is cached; an unreachable registry
-// returns an error wrapping ErrUnavailable and the slot expires
-// immediately, so the next caller retries the source.
+// returns (ok=false, err=nil) and is negative-cached under the shorter
+// negative TTL; an unreachable registry returns an error wrapping
+// ErrUnavailable and the slot expires immediately, so the next caller
+// retries the source.
 func (c *Cache) GetErr(key string) (Entry, bool, error) {
 	fill := func() (Entry, bool, error) {
 		if cl, ok := c.checked(); ok {
@@ -181,15 +238,18 @@ func (c *Cache) GetErr(key string) (Entry, bool, error) {
 	if c.ttl <= 0 {
 		return fill()
 	}
-	s := c.cached(c.gets, key, func(s *cacheSlot) {
-		s.entry, s.ok, s.err = fill()
-		if s.err == nil {
-			s.expires = c.expiry(s.entry.LeaseRemaining)
+	res := c.cached(c.gets, key, func(res *cacheResult) {
+		res.entry, res.ok, res.err = fill()
+		switch {
+		case res.err != nil:
+			// expires stays zero: served to direct waiters only.
+		case res.ok:
+			res.expires = c.expiry(res.entry.LeaseRemaining)
+		default:
+			res.expires = c.negExpiry()
 		}
-		// On error s.expires stays zero: served to direct waiters only,
-		// never to a later caller.
 	})
-	return s.entry, s.ok, s.err
+	return res.entry, res.ok, res.err
 }
 
 // FindByName returns the cached name-index result.
@@ -199,7 +259,8 @@ func (c *Cache) FindByName(name string) []Entry {
 }
 
 // FindByNameErr is FindByName through the source's checked view; like
-// GetErr, only authoritative results (including empty ones) are cached.
+// GetErr, only authoritative results are cached — empty ones under the
+// negative TTL.
 func (c *Cache) FindByNameErr(name string) ([]Entry, error) {
 	fill := func() ([]Entry, error) {
 		if cl, ok := c.checked(); ok {
@@ -210,13 +271,17 @@ func (c *Cache) FindByNameErr(name string) ([]Entry, error) {
 	if c.ttl <= 0 {
 		return fill()
 	}
-	s := c.cached(c.names, name, func(s *cacheSlot) {
-		s.entries, s.err = fill()
-		if s.err == nil {
-			s.expires = c.expiry(minLease(s.entries))
+	res := c.cached(c.names, name, func(res *cacheResult) {
+		res.entries, res.err = fill()
+		switch {
+		case res.err != nil:
+		case len(res.entries) > 0:
+			res.expires = c.expiry(minLease(res.entries))
+		default:
+			res.expires = c.negExpiry()
 		}
 	})
-	return s.entries, s.err
+	return res.entries, res.err
 }
 
 // FindByQuery returns the cached structural-query result. Errors are
@@ -225,15 +290,15 @@ func (c *Cache) FindByQuery(query string) ([]Entry, error) {
 	if c.ttl <= 0 {
 		return c.src.FindByQuery(query)
 	}
-	s := c.cached(c.queries, query, func(s *cacheSlot) {
-		s.entries, s.err = c.src.FindByQuery(query)
-		if s.err == nil {
-			s.expires = c.expiry(minLease(s.entries))
+	res := c.cached(c.queries, query, func(res *cacheResult) {
+		res.entries, res.err = c.src.FindByQuery(query)
+		if res.err == nil {
+			res.expires = c.expiry(minLease(res.entries))
 		}
-		// On error s.expires stays zero: already expired, never served
+		// On error res.expires stays zero: already expired, never served
 		// to a later caller.
 	})
-	return s.entries, s.err
+	return res.entries, res.err
 }
 
 // Publish writes through to the source and invalidates the cache: a new
@@ -257,24 +322,18 @@ func (c *Cache) Remove(key string) error {
 
 // InvalidateKey drops the cached Get result for one key.
 func (c *Cache) InvalidateKey(key string) {
-	c.mu.Lock()
-	delete(c.gets, key)
-	c.mu.Unlock()
+	c.gets.Delete(key)
 }
 
 // InvalidateName drops the cached FindByName result for one name.
 func (c *Cache) InvalidateName(name string) {
-	c.mu.Lock()
-	delete(c.names, name)
-	c.mu.Unlock()
+	c.names.Delete(name)
 }
 
 // InvalidateAll empties the cache; in-flight fills complete but only
 // their direct waiters observe the results.
 func (c *Cache) InvalidateAll() {
-	c.mu.Lock()
-	clear(c.gets)
-	clear(c.names)
-	clear(c.queries)
-	c.mu.Unlock()
+	c.gets.Clear()
+	c.names.Clear()
+	c.queries.Clear()
 }

@@ -98,10 +98,7 @@ func TestCacheNeverNegativeCachesOutage(t *testing.T) {
 	if _, ok := cache.Get("ghost"); ok {
 		t.Fatal("ghost should miss")
 	}
-	cache.mu.Lock()
-	gets := len(cache.gets)
-	cache.mu.Unlock()
-	if gets == 0 {
+	if cache.gets.Len() == 0 {
 		t.Fatal("authoritative results should be cached")
 	}
 }

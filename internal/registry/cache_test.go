@@ -232,3 +232,77 @@ func BenchmarkDiscoveryCache(b *testing.B) {
 		}
 	})
 }
+
+// TestCacheNegativeTTLShorter is the regression test for the hot-miss
+// stampede after service death: an authoritative miss must be cached
+// (one upstream call absorbs the stampede), but under the SEPARATE
+// negative TTL — shorter than the positive one — so the re-published
+// service reappears well before a positive-TTL cache would have noticed.
+func TestCacheNegativeTTLShorter(t *testing.T) {
+	src := &countingLookup{byName: map[string][]Entry{}}
+	now := time.Unix(0, 0)
+	c := NewCacheWithClock(src, time.Minute, func() time.Time { return now })
+	c.SetNegativeTTL(5 * time.Second)
+
+	// The service is dead: a crowd of resolvers produces ONE upstream call.
+	for i := 0; i < 50; i++ {
+		if es := c.FindByName("dead"); len(es) != 0 {
+			t.Fatalf("resolve %d: %v", i, es)
+		}
+	}
+	if n := atomic.LoadInt32(&src.finds); n != 1 {
+		t.Fatalf("negative result not cached: %d upstream finds", n)
+	}
+
+	// The service comes back. Within the negative TTL the miss is still
+	// served...
+	src.mu.Lock()
+	src.byName["dead"] = []Entry{{Key: "k", Name: "dead"}}
+	src.mu.Unlock()
+	now = now.Add(4 * time.Second)
+	if es := c.FindByName("dead"); len(es) != 0 {
+		t.Fatalf("inside negative TTL: %v", es)
+	}
+	// ...but past it — far inside the 1-minute positive TTL — the
+	// re-publication is visible again.
+	now = now.Add(2 * time.Second)
+	if es := c.FindByName("dead"); len(es) != 1 {
+		t.Fatal("re-published service hidden past the negative TTL")
+	}
+
+	// Get misses take the same negative TTL.
+	if _, ok := c.Get("ghost"); ok {
+		t.Fatal("ghost should miss")
+	}
+	gets := atomic.LoadInt32(&src.gets)
+	if _, ok := c.Get("ghost"); ok || atomic.LoadInt32(&src.gets) != gets {
+		t.Fatal("negative Get result not cached")
+	}
+	now = now.Add(6 * time.Second)
+	c.Get("ghost")
+	if atomic.LoadInt32(&src.gets) != gets+1 {
+		t.Fatal("negative Get slot should expire under the negative TTL")
+	}
+}
+
+// TestCacheNegativeTTLDefault checks the default: a quarter of the
+// positive TTL.
+func TestCacheNegativeTTLDefault(t *testing.T) {
+	src := &countingLookup{byName: map[string][]Entry{}}
+	now := time.Unix(0, 0)
+	c := NewCacheWithClock(src, time.Minute, func() time.Time { return now })
+
+	c.FindByName("dead")
+	src.mu.Lock()
+	src.byName["dead"] = []Entry{{Key: "k", Name: "dead"}}
+	src.mu.Unlock()
+	// ttl/4 = 15s: hidden at 14s, visible at 16s.
+	now = now.Add(14 * time.Second)
+	if es := c.FindByName("dead"); len(es) != 0 {
+		t.Fatalf("at 14s: %v", es)
+	}
+	now = now.Add(2 * time.Second)
+	if es := c.FindByName("dead"); len(es) != 1 {
+		t.Fatal("negative default TTL must be ttl/4")
+	}
+}

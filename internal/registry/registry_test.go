@@ -10,7 +10,7 @@ import (
 	"harness2/internal/wsdl"
 )
 
-func matmulWSDL(t *testing.T) (string, *wsdl.Definitions) {
+func matmulWSDL(t testing.TB) (string, *wsdl.Definitions) {
 	t.Helper()
 	d, err := wsdl.Generate(wsdl.MatMulSpec(), wsdl.EndpointSet{
 		SOAPAddress: "http://host:8080/matmul",

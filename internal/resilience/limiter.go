@@ -19,14 +19,31 @@ import (
 // A nil *Limiter admits everything at the cost of one branch, following
 // the telemetry plane's nil-safety idiom, so admission control can stay
 // compiled into every server binding permanently.
+//
+// The admission fast path is lock-free (S34): admit is one CAS on the
+// in-flight counter, release one atomic decrement — the per-frame XDR
+// and shm servers call Acquire on every request, and the old buffered-
+// channel semaphore serialized all of them on the channel's internal
+// mutex. Waiters park on a one-slot wake channel; each release passes a
+// wake signal when the queue is non-empty, and a woken waiter that finds
+// spare capacity cascades the signal so no release is ever lost.
 type Limiter struct {
-	sem      chan struct{}
+	limit    int64
+	inflight atomic.Int64
+	queued   atomic.Int64
+	wake     chan struct{} // cap 1: release → waiter handoff hint
 	maxQueue int64
 	maxWait  time.Duration
-	queued   atomic.Int64
+
+	// releaseFn is the prebound release handed to every admitted caller,
+	// so the fast path does not allocate a fresh method value per admit.
+	releaseFn func()
 
 	met limiterMetrics
 }
+
+// noopRelease is what the nil limiter hands out.
+var noopRelease = func() {}
 
 // NewLimiter builds a limiter admitting maxConcurrent requests at once,
 // queueing at most maxQueue more for up to maxWait each. maxConcurrent
@@ -39,10 +56,36 @@ func NewLimiter(maxConcurrent, maxQueue int, maxWait time.Duration) *Limiter {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &Limiter{
-		sem:      make(chan struct{}, maxConcurrent),
+	l := &Limiter{
+		limit:    int64(maxConcurrent),
+		wake:     make(chan struct{}, 1),
 		maxQueue: int64(maxQueue),
 		maxWait:  maxWait,
+	}
+	l.releaseFn = l.release
+	return l
+}
+
+// tryAcquire claims a concurrency slot by CAS, without blocking.
+func (l *Limiter) tryAcquire() bool {
+	for {
+		n := l.inflight.Load()
+		if n >= l.limit {
+			return false
+		}
+		if l.inflight.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// signal hands one wake hint to a parked waiter; a full buffer means a
+// hint is already pending and the extra one is cascaded by the waiter
+// that consumes it (see Acquire).
+func (l *Limiter) signal() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
 	}
 }
 
@@ -60,14 +103,12 @@ func (l *Limiter) SetTelemetry(r *telemetry.Registry, server string) *Limiter {
 // error is ErrOverloaded (possibly wrapped); release is nil.
 func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
 	if l == nil {
-		return func() {}, nil
+		return noopRelease, nil
 	}
-	// Fast path: a free slot.
-	select {
-	case l.sem <- struct{}{}:
+	// Fast path: one CAS.
+	if l.tryAcquire() {
 		l.admitted()
-		return l.release, nil
-	default:
+		return l.releaseFn, nil
 	}
 	// Saturated: join the bounded queue or shed.
 	if q := l.queued.Add(1); q > l.maxQueue {
@@ -87,16 +128,30 @@ func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
 		defer t.Stop()
 		timeout = t.C
 	}
-	select {
-	case l.sem <- struct{}{}:
-		l.admitted()
-		return l.release, nil
-	case <-timeout:
-		l.met.shed.Inc()
-		return nil, ErrOverloaded
-	case <-ctx.Done():
-		l.met.shed.Inc()
-		return nil, ctx.Err()
+	for {
+		// Retry BEFORE parking, now that we are visibly queued: a release
+		// between the failed fast path and queued.Add already signalled or
+		// will see queued > 0 — and seq-cst ordering forbids both our retry
+		// missing its decrement and its check missing our increment.
+		if l.tryAcquire() {
+			l.admitted()
+			// Cascade: if capacity remains for the waiters behind us (we
+			// are still counted in queued, hence > 1), pass the hint on —
+			// the one-slot wake buffer may have merged several releases.
+			if l.queued.Load() > 1 && l.inflight.Load() < l.limit {
+				l.signal()
+			}
+			return l.releaseFn, nil
+		}
+		select {
+		case <-l.wake:
+		case <-timeout:
+			l.met.shed.Inc()
+			return nil, ErrOverloaded
+		case <-ctx.Done():
+			l.met.shed.Inc()
+			return nil, ctx.Err()
+		}
 	}
 }
 
@@ -106,8 +161,11 @@ func (l *Limiter) admitted() {
 }
 
 func (l *Limiter) release() {
-	<-l.sem
+	l.inflight.Add(-1)
 	l.met.inflight.Dec()
+	if l.queued.Load() > 0 {
+		l.signal()
+	}
 }
 
 // InFlight reports the number of admitted, unfinished requests.
@@ -115,7 +173,7 @@ func (l *Limiter) InFlight() int {
 	if l == nil {
 		return 0
 	}
-	return len(l.sem)
+	return int(l.inflight.Load())
 }
 
 // Queued reports the number of requests waiting for admission.

@@ -26,34 +26,67 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
+
+// counterStripes is the fan-out of a striped Counter (power of two).
+const counterStripes = 8
+
+// counterCell is one stripe, padded to a cacheline so neighbouring
+// stripes never false-share.
+type counterCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
 
 // Counter is a monotonically increasing metric. The nil Counter is a
 // valid no-op: every method is safe (and nearly free) on it.
+//
+// Counters sit on per-call hot paths (every invoke, every cache hit), so
+// the count is STRIPED across padded cells: concurrent writers usually
+// land on different cachelines instead of bouncing one atomic word
+// between cores, and Value sums the stripes at read (scrape) time. The
+// stripe is picked from the caller's stack address — goroutine stacks
+// are kilobytes apart, so concurrent goroutines spread across stripes
+// without any per-CPU or per-goroutine runtime support.
 type Counter struct {
-	v atomic.Uint64
+	cells [counterStripes]counterCell
+}
+
+// stripeIdx picks this goroutine's stripe from the address of a stack
+// local. The pointer never escapes (it is immediately reduced to a
+// uintptr), so the probe costs no allocation.
+func stripeIdx() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe)) >> 10 & (counterStripes - 1))
 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v.Add(1)
+		c.cells[stripeIdx()].v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v.Add(n)
+		c.cells[stripeIdx()].v.Add(n)
 	}
 }
 
-// Value returns the current count (0 for the nil Counter).
+// Value returns the current count (0 for the nil Counter), summing the
+// stripes. Concurrent Incs may or may not be included, like any atomic
+// counter read.
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	var n uint64
+	for i := range c.cells {
+		n += c.cells[i].v.Load()
+	}
+	return n
 }
 
 // Gauge is a metric that can go up and down. The nil Gauge is a valid

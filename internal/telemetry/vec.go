@@ -1,13 +1,57 @@
 package telemetry
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The Vec types are pre-bound metric families with one variable label —
 // the per-operation dimension of the invoke/coherency instrumentation.
-// They cache the label-value → handle mapping behind an RWMutex so the
-// steady state is one read-locked map hit, and they are nil-safe: a Vec
+// The label-value → handle mapping is a copy-on-write map behind an
+// atomic pointer, so the steady state of With is one atomic load and one
+// map probe: no locks on the hot path (S34 — the old RWMutex read lock
+// serialized every instrumented call sitewide). Vecs are nil-safe: a Vec
 // obtained from a disabled registry is nil, With on a nil Vec returns a
 // nil handle, and every operation on a nil handle is a branch.
+
+// vecCache is the shared copy-on-write label cache. Lookups are
+// lock-free; inserts copy the map under a writer mutex and republish.
+type vecCache[T any] struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[string]*T]
+}
+
+// get returns the cached handle for value, lock-free.
+func (c *vecCache[T]) get(value string) *T {
+	if mp := c.m.Load(); mp != nil {
+		return (*mp)[value]
+	}
+	return nil
+}
+
+// insert publishes value → mk() unless a racing insert got there first,
+// returning the winning handle.
+func (c *vecCache[T]) insert(value string, mk func() *T) *T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.m.Load()
+	if old != nil {
+		if h, ok := (*old)[value]; ok {
+			return h
+		}
+	}
+	next := make(map[string]*T, 1)
+	if old != nil {
+		next = make(map[string]*T, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	h := mk()
+	next[value] = h
+	c.m.Store(&next)
+	return h
+}
 
 // CounterVec is a counter family keyed by one variable label.
 type CounterVec struct {
@@ -16,8 +60,7 @@ type CounterVec struct {
 	label string
 	fixed []string // fixed label pairs appended to every child
 
-	mu sync.RWMutex
-	m  map[string]*Counter
+	cache vecCache[Counter]
 }
 
 // CounterVec returns a counter family: name with one variable label plus
@@ -26,7 +69,7 @@ func (r *Registry) CounterVec(name, label string, fixedPairs ...string) *Counter
 	if !r.Enabled() {
 		return nil
 	}
-	return &CounterVec{r: r, name: name, label: label, fixed: fixedPairs, m: make(map[string]*Counter)}
+	return &CounterVec{r: r, name: name, label: label, fixed: fixedPairs}
 }
 
 // With returns the child counter for the given label value.
@@ -34,22 +77,13 @@ func (v *CounterVec) With(value string) *Counter {
 	if v == nil {
 		return nil
 	}
-	v.mu.RLock()
-	c := v.m[value]
-	v.mu.RUnlock()
-	if c != nil {
+	if c := v.cache.get(value); c != nil {
 		return c
 	}
-	pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
-	c = v.r.Counter(v.name, pairs...)
-	v.mu.Lock()
-	if have, ok := v.m[value]; ok {
-		c = have
-	} else {
-		v.m[value] = c
-	}
-	v.mu.Unlock()
-	return c
+	return v.cache.insert(value, func() *Counter {
+		pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
+		return v.r.Counter(v.name, pairs...)
+	})
 }
 
 // GaugeVec is a gauge family keyed by one variable label.
@@ -59,8 +93,7 @@ type GaugeVec struct {
 	label string
 	fixed []string
 
-	mu sync.RWMutex
-	m  map[string]*Gauge
+	cache vecCache[Gauge]
 }
 
 // GaugeVec returns a gauge family: name with one variable label plus
@@ -69,7 +102,7 @@ func (r *Registry) GaugeVec(name, label string, fixedPairs ...string) *GaugeVec 
 	if !r.Enabled() {
 		return nil
 	}
-	return &GaugeVec{r: r, name: name, label: label, fixed: fixedPairs, m: make(map[string]*Gauge)}
+	return &GaugeVec{r: r, name: name, label: label, fixed: fixedPairs}
 }
 
 // With returns the child gauge for the given label value.
@@ -77,22 +110,13 @@ func (v *GaugeVec) With(value string) *Gauge {
 	if v == nil {
 		return nil
 	}
-	v.mu.RLock()
-	g := v.m[value]
-	v.mu.RUnlock()
-	if g != nil {
+	if g := v.cache.get(value); g != nil {
 		return g
 	}
-	pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
-	g = v.r.Gauge(v.name, pairs...)
-	v.mu.Lock()
-	if have, ok := v.m[value]; ok {
-		g = have
-	} else {
-		v.m[value] = g
-	}
-	v.mu.Unlock()
-	return g
+	return v.cache.insert(value, func() *Gauge {
+		pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
+		return v.r.Gauge(v.name, pairs...)
+	})
 }
 
 // HistogramVec is a histogram family keyed by one variable label.
@@ -102,8 +126,7 @@ type HistogramVec struct {
 	label string
 	fixed []string
 
-	mu sync.RWMutex
-	m  map[string]*Histogram
+	cache vecCache[Histogram]
 }
 
 // HistogramVec returns a histogram family: name with one variable label
@@ -112,7 +135,7 @@ func (r *Registry) HistogramVec(name, label string, fixedPairs ...string) *Histo
 	if !r.Enabled() {
 		return nil
 	}
-	return &HistogramVec{r: r, name: name, label: label, fixed: fixedPairs, m: make(map[string]*Histogram)}
+	return &HistogramVec{r: r, name: name, label: label, fixed: fixedPairs}
 }
 
 // With returns the child histogram for the given label value.
@@ -120,20 +143,11 @@ func (v *HistogramVec) With(value string) *Histogram {
 	if v == nil {
 		return nil
 	}
-	v.mu.RLock()
-	h := v.m[value]
-	v.mu.RUnlock()
-	if h != nil {
+	if h := v.cache.get(value); h != nil {
 		return h
 	}
-	pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
-	h = v.r.Histogram(v.name, pairs...)
-	v.mu.Lock()
-	if have, ok := v.m[value]; ok {
-		h = have
-	} else {
-		v.m[value] = h
-	}
-	v.mu.Unlock()
-	return h
+	return v.cache.insert(value, func() *Histogram {
+		pairs := append(append(make([]string, 0, len(v.fixed)+2), v.fixed...), v.label, value)
+		return v.r.Histogram(v.name, pairs...)
+	})
 }
